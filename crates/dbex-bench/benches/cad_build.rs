@@ -1,0 +1,35 @@
+//! Criterion benchmark: end-to-end CAD View construction (the quantity of
+//! the paper's Figure 8), worst-case vs optimized configurations, across
+//! result-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbex_bench::{base_cars_table, five_make_view, worst_case_request, FIVE_MAKES};
+use dbex_core::{build_cad_view, CadConfig, CadRequest};
+use std::hint::black_box;
+
+fn bench_cad_build(c: &mut Criterion) {
+    let table = base_cars_table();
+    let population = five_make_view(&table);
+    let mut group = c.benchmark_group("cad_build");
+    group.sample_size(10);
+
+    for &size in &[5_000usize, 20_000, 40_000] {
+        let result = population.sample(size);
+        let worst = worst_case_request();
+        group.bench_with_input(BenchmarkId::new("worst_case", size), &size, |b, _| {
+            b.iter(|| black_box(build_cad_view(&result, &worst).expect("builds")));
+        });
+        let optimized = CadRequest::new("Make")
+            .with_pivot_values(FIVE_MAKES.to_vec())
+            .with_iunits(6)
+            .with_max_compare_attrs(5)
+            .with_config(CadConfig::optimized());
+        group.bench_with_input(BenchmarkId::new("optimized", size), &size, |b, _| {
+            b.iter(|| black_box(build_cad_view(&result, &optimized).expect("builds")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cad_build);
+criterion_main!(benches);

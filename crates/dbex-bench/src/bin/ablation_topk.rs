@@ -1,0 +1,87 @@
+//! Ablation: exact **div-astar** vs **greedy** diversified top-k
+//! (DESIGN.md ablation 1; paper Section 3.2 argues greedy "can lead to
+//! arbitrarily bad solutions").
+//!
+//! Measures, across many synthetic candidate-IUnit instances shaped like
+//! real CAD builds (l = 15 candidates, k = 6, varying conflict densities):
+//! how often greedy is suboptimal, the mean score ratio, and both
+//! algorithms' runtime.
+
+use dbex_topk::{div_astar, div_cut, greedy, ConflictGraph};
+use std::time::Instant;
+
+fn main() {
+    let l = 15;
+    let k = 6;
+    println!("Ablation: diversified top-k — div-astar (exact) vs greedy");
+    println!("(l = {l} candidates, k = {k}, 200 instances per conflict density)\n");
+    println!(
+        "{:>9}  {:>11}  {:>11}  {:>12}  {:>12}  {:>12}",
+        "density", "subopt(%)", "ratio", "astar(us)", "cut(us)", "greedy(us)"
+    );
+
+    for density_pct in [10u64, 30, 50, 70] {
+        let mut suboptimal = 0usize;
+        let mut ratio_sum = 0.0;
+        let mut astar_ns = 0u128;
+        let mut cut_ns = 0u128;
+        let mut greedy_ns = 0u128;
+        let instances = 200;
+        for trial in 0..instances as u64 {
+            let mut state = (trial * 2 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ density_pct;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            // Scores shaped like cluster sizes: heavy-tailed positives.
+            let scores: Vec<f64> = (0..l)
+                .map(|_| {
+                    let u = (next() % 1_000) as f64 / 1_000.0;
+                    50.0 + 2_000.0 * u * u
+                })
+                .collect();
+            let mut graph = ConflictGraph::new(l);
+            for a in 0..l {
+                for b in (a + 1)..l {
+                    if next() % 100 < density_pct {
+                        graph.add_conflict(a, b);
+                    }
+                }
+            }
+            let t0 = Instant::now();
+            let exact = div_astar(&scores, &graph, k);
+            astar_ns += t0.elapsed().as_nanos();
+            let tc = Instant::now();
+            let cut = div_cut(&scores, &graph, k);
+            cut_ns += tc.elapsed().as_nanos();
+            assert!(
+                (cut.total_score - exact.total_score).abs() < 1e-9,
+                "div-cut must match div-astar"
+            );
+            let t1 = Instant::now();
+            let g = greedy(&scores, &graph, k);
+            greedy_ns += t1.elapsed().as_nanos();
+
+            if g.total_score + 1e-9 < exact.total_score {
+                suboptimal += 1;
+            }
+            ratio_sum += g.total_score / exact.total_score.max(1e-9);
+        }
+        println!(
+            "{:>8}%  {:>10.1}%  {:>11.4}  {:>12.1}  {:>12.1}  {:>12.1}",
+            density_pct,
+            100.0 * suboptimal as f64 / instances as f64,
+            ratio_sum / instances as f64,
+            astar_ns as f64 / instances as f64 / 1_000.0,
+            cut_ns as f64 / instances as f64 / 1_000.0,
+            greedy_ns as f64 / instances as f64 / 1_000.0,
+        );
+    }
+    println!(
+        "\nReading: greedy loses measurable score as conflicts densify, while the\n\
+         exact search stays microsecond-scale at CAD-View sizes — the paper's\n\
+         rationale for running div-astar."
+    );
+}

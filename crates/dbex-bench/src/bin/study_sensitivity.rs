@@ -1,0 +1,50 @@
+//! Sensitivity analysis of the simulated user study: do the paper-level
+//! conclusions survive perturbing the cost calibration and the simulated
+//! user population? (Robustness check the original paper could not run —
+//! its users were human — but a simulation must.)
+
+use dbex_study::run_sensitivity;
+
+fn main() {
+    println!("Sensitivity of the user-study conclusions\n");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8}  {:>6} {:>6} {:>6}",
+        "perturbation", "t1", "t2", "t3", "time", "F1", "error"
+    );
+    let rows = std::env::var("ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000);
+    let outcomes = run_sensitivity(rows, &[7, 99, 12_345, 777, 31_337]);
+    let mut all_hold = true;
+    for o in &outcomes {
+        all_hold &= o.holds();
+        println!(
+            "{:<28} {:>7.1}x {:>7.1}x {:>7.1}x  {:>6} {:>6} {:>6}",
+            o.label,
+            o.time_ratios[0],
+            o.time_ratios[1],
+            o.time_ratios[2],
+            tick(o.faster_everywhere),
+            tick(o.f1_no_worse),
+            tick(o.error_lower),
+        );
+    }
+    println!(
+        "\nAll conclusions hold under every perturbation: {}",
+        tick(all_hold)
+    );
+    println!(
+        "(t1-t3 are Solr/TPFacet time ratios; 'time' = tasks 1-2 >1.5x and task 3\n\
+         ≥ parity, 'F1' = classifier quality no worse, 'error' = task-3 retrieval\n\
+         error lower.)"
+    );
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "NO"
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates the paper's **Figures 2-7** and the Section 6.2 statistics:
+//! the simulated user study comparing Solr-style faceted navigation with
+//! TPFacet on the three exploratory tasks.
+
+use dbex_study::{render_replicated, run_replicated, run_study, Interface, StudyConfig, TaskId};
+
+fn main() {
+    let config = StudyConfig::default();
+    println!(
+        "Simulated user study: 8 users, 2 groups, 3 matched task pairs, \
+         Mushroom dataset ({} rows)\n",
+        config.rows
+    );
+    let report = run_study(&config);
+    print!("{}", report.render());
+
+    // Optional: replicate the whole protocol across independent simulated
+    // populations (REPS env var) and report means with error bars.
+    if let Some(reps) = std::env::var("REPS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        if reps > 1 {
+            println!("== Replicated across {reps} populations ==");
+            print!("{}", render_replicated(&run_replicated(&config, reps)));
+            println!();
+        }
+    }
+
+    println!("== Summary (means) ==");
+    for (task, metric) in [
+        (TaskId::Classifier, "F1"),
+        (TaskId::SimilarPair, "rank"),
+        (TaskId::AltCondition, "error"),
+    ] {
+        let sq = report.mean(task, Interface::Solr, false);
+        let tq = report.mean(task, Interface::TpFacet, false);
+        let st = report.mean(task, Interface::Solr, true);
+        let tt = report.mean(task, Interface::TpFacet, true);
+        println!(
+            "{:<36} {metric}: Solr {sq:.2} vs TPFacet {tq:.2}; \
+             time: Solr {st:.1} min vs TPFacet {tt:.1} min ({:.1}x faster)",
+            task.name(),
+            st / tt.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! # dbex-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section 6). Each experiment is a binary:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — the sample CAD View for five Makes |
+//! | `user_study` | Figures 2-7 + the §6.2 mixed-model statistics |
+//! | `fig8_worst_case` | Figure 8 — worst-case build time vs result size |
+//! | `fig9_iunits` | Figure 9 — generated IUnits `l` vs time |
+//! | `fig10_compare_attrs` | Figure 10 — Compare Attribute count vs time |
+//! | `opt_sampling` | Optimization 1 — sampled feature selection |
+//! | `opt_combined` | Optimizations 1-3 combined (40K in < 500 ms) |
+//! | `ablation_topk` | div-astar vs greedy diversified top-k |
+//! | `ablation_seeding` | k-means++ vs random seeding |
+//! | `ablation_binning` | equi-width vs equi-depth vs V-optimal binning |
+//!
+//! Timing experiments should be run with `--release`; each binary honors a
+//! `SIMS` environment variable to change the number of simulations per
+//! point (the paper uses 50).
+
+use dbex_core::{CadConfig, CadRequest, CadTimings};
+use dbex_data::UsedCarsGenerator;
+use dbex_table::{Predicate, Table, View};
+use std::time::Duration;
+
+/// The five Makes of the paper's running example.
+pub const FIVE_MAKES: [&str; 5] = ["Chevrolet", "Ford", "Honda", "Toyota", "Jeep"];
+
+/// Number of simulations per data point (`SIMS` env var; paper uses 50).
+pub fn simulations() -> usize {
+    std::env::var("SIMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Generates the benchmark base table: used-car listings restricted to the
+/// five example Makes, large enough to draw 40K-row result sets from.
+pub fn base_cars_table() -> Table {
+    // 90K raw listings leave ≈40K+ rows across the five Makes.
+    UsedCarsGenerator::new(0xD_BE).generate(90_000)
+}
+
+/// The five-Make restriction of `table` (the population result sets are
+/// sampled from, as in Section 6.3's simulations).
+pub fn five_make_view(table: &Table) -> View<'_> {
+    table
+        .filter(&Predicate::in_list(
+            "Make",
+            FIVE_MAKES.iter().map(|&m| m.into()).collect(),
+        ))
+        .expect("Make attribute exists")
+}
+
+/// The paper's worst-case pipeline configuration (Section 6.3, Figure 8):
+/// no sampling, no adaptivity, all 10 non-pivot attributes admitted
+/// (`alpha = 1` disables the significance filter), `l = 15` candidates for
+/// `k = 6` shown IUnits.
+pub fn worst_case_request() -> CadRequest {
+    CadRequest::new("Make")
+        .with_pivot_values(FIVE_MAKES.to_vec())
+        .with_iunits(6)
+        .with_max_compare_attrs(10)
+        .with_config(CadConfig {
+            alpha: 1.0,
+            candidate_factor: 2.5, // l = ceil(2.5 · 6) = 15
+            ..CadConfig::default()
+        })
+}
+
+/// Aggregated stage timings over repeated builds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanTimings {
+    /// Mean Compare Attribute selection time.
+    pub compare_ms: f64,
+    /// Mean IUnit generation time.
+    pub iunit_ms: f64,
+    /// Mean time of all remaining steps.
+    pub others_ms: f64,
+}
+
+impl MeanTimings {
+    /// Mean total time.
+    pub fn total_ms(&self) -> f64 {
+        self.compare_ms + self.iunit_ms + self.others_ms
+    }
+
+    /// Accumulates one build's timings.
+    pub fn add(&mut self, t: &CadTimings, n: usize) {
+        let ms = |d: Duration| d.as_secs_f64() * 1_000.0 / n as f64;
+        self.compare_ms += ms(t.compare_attrs);
+        self.iunit_ms += ms(t.iunit_generation);
+        self.others_ms += ms(t.others);
+    }
+}
+
+/// Runs `sims` CAD builds over distinct deterministic subsamples of
+/// `population` at `size` rows, returning mean stage timings.
+pub fn timed_builds(
+    population: &View<'_>,
+    size: usize,
+    request: &CadRequest,
+    sims: usize,
+) -> MeanTimings {
+    let mut mean = MeanTimings::default();
+    for sim in 0..sims {
+        // Vary the subsample per simulation by rotating the population.
+        let rotated = rotate(population, sim * 7_919);
+        let result = rotated.sample(size);
+        let cad = dbex_core::build_cad_view(&result, request).expect("build succeeds");
+        mean.add(&cad.timings, sims);
+    }
+    mean
+}
+
+/// Rotates a view's row order (deterministic per-simulation variation).
+fn rotate<'a>(view: &View<'a>, by: usize) -> View<'a> {
+    let ids = view.row_ids();
+    if ids.is_empty() {
+        return view.clone();
+    }
+    let k = by % ids.len();
+    let mut rows = Vec::with_capacity(ids.len());
+    rows.extend_from_slice(&ids[k..]);
+    rows.extend_from_slice(&ids[..k]);
+    View::from_rows(view.table(), rows)
+}
+
+/// Prints one aligned text table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Warns when timings are collected from an unoptimized build.
+pub fn warn_if_debug() {
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "NOTE: running a debug build; use `cargo run --release -p dbex-bench --bin ...` \
+             for meaningful timings."
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_make_population_is_large() {
+        let table = base_cars_table();
+        let v = five_make_view(&table);
+        assert!(v.len() >= 40_000, "population too small: {}", v.len());
+    }
+
+    #[test]
+    fn timed_builds_produce_positive_times() {
+        let table = base_cars_table();
+        let v = five_make_view(&table);
+        let m = timed_builds(&v, 2_000, &worst_case_request(), 2);
+        assert!(m.total_ms() > 0.0);
+        assert!(m.iunit_ms > 0.0);
+    }
+
+    #[test]
+    fn rotate_preserves_rows() {
+        let table = base_cars_table();
+        let v = five_make_view(&table).sample(100);
+        let r = rotate(&v, 37);
+        assert_eq!(r.len(), v.len());
+        let mut a: Vec<u32> = v.row_ids().to_vec();
+        let mut b: Vec<u32> = r.row_ids().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,444 @@
+//! Lloyd's k-means over sparse one-hot points.
+//!
+//! Matches the paper's use of Weka `SimpleKMeans` (Section 3.1.2) with the
+//! quality/latency refinements the performance study relies on:
+//!
+//! * **k-means++ seeding** for reliable starts (random seeding is kept as an
+//!   ablation option; the benchmark suite compares the two).
+//! * **Empty-cluster reseeding** to the point farthest from its centroid.
+//! * **Out-of-sample assignment**: the paper's Optimization 1 clusters a
+//!   sample and assigns remaining tuples to the nearest learned centroid.
+//!
+//! Points are sparse binary vectors (active dimensions, one per non-NULL
+//! attribute); centroids are dense. The squared distance between point `x`
+//! and centroid `c` is `‖c‖² − 2·Σ_{d∈x} c_d + |x|`, so each distance costs
+//! `O(#attributes)` regardless of dimensionality.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters (`l` candidate IUnits in the paper).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// PRNG seed; identical seeds give identical clusterings.
+    pub seed: u64,
+    /// Use k-means++ seeding (`true`, default) or uniform random seeding
+    /// (`false`, ablation baseline).
+    pub plus_plus: bool,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 25,
+            seed: 0xDBE0,
+            plus_plus: true,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Dense centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of points per cluster.
+    pub sizes: Vec<usize>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations actually run.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Assigns an out-of-sample sparse point to its nearest centroid.
+    pub fn assign(&self, point: &[u32]) -> usize {
+        let norms: Vec<f64> = self
+            .centroids
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum())
+            .collect();
+        nearest(point, &self.centroids, &norms).0
+    }
+
+    /// Assigns many out-of-sample points (shares the centroid-norm cache).
+    pub fn assign_all(&self, points: &[Vec<u32>]) -> Vec<usize> {
+        let norms: Vec<f64> = self
+            .centroids
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum())
+            .collect();
+        points
+            .iter()
+            .map(|p| nearest(p, &self.centroids, &norms).0)
+            .collect()
+    }
+}
+
+/// Runs k-means on sparse one-hot `points` of dimensionality `dim`.
+///
+/// When `points.len() <= config.k`, each point gets its own cluster (and
+/// surplus clusters stay empty with zero centroids). Points may be empty
+/// (all-NULL tuples); they land in whichever cluster is nearest by `‖c‖²`.
+pub fn kmeans(points: &[Vec<u32>], dim: usize, config: &KMeansConfig) -> KMeansResult {
+    assert!(config.k > 0, "k must be positive");
+    let n = points.len();
+    let k = config.k.min(n.max(1));
+    if n == 0 {
+        return KMeansResult {
+            assignments: Vec::new(),
+            centroids: vec![vec![0.0; dim]; config.k],
+            sizes: vec![0; config.k],
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let seeds = if config.plus_plus {
+        seed_plus_plus(points, k, &mut rng)
+    } else {
+        seed_random(n, k, &mut rng)
+    };
+    let mut centroids: Vec<Vec<f64>> = seeds
+        .iter()
+        .map(|&i| {
+            let mut c = vec![0.0; dim];
+            for &d in &points[i] {
+                c[d as usize] = 1.0;
+            }
+            c
+        })
+        .collect();
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let norms: Vec<f64> = centroids
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum())
+            .collect();
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (best, _) = nearest(p, &centroids, &norms);
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for &d in p {
+                sums[c][d as usize] += 1.0;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed empty cluster to the point farthest from its centroid.
+                let norms: Vec<f64> = centroids
+                    .iter()
+                    .map(|cc| cc.iter().map(|v| v * v).sum())
+                    .collect();
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = dist2(&points[a], &centroids[assignments[a]], norms[assignments[a]]);
+                        let db = dist2(&points[b], &centroids[assignments[b]], norms[assignments[b]]);
+                        da.total_cmp(&db)
+                    })
+                    .unwrap();
+                let mut cc = vec![0.0; dim];
+                for &d in &points[far] {
+                    cc[d as usize] = 1.0;
+                }
+                centroids[c] = cc;
+            } else {
+                for d in 0..dim {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    // Final stats.
+    let norms: Vec<f64> = centroids
+        .iter()
+        .map(|c| c.iter().map(|v| v * v).sum())
+        .collect();
+    let mut inertia = 0.0;
+    let mut sizes = vec![0usize; k];
+    for (i, p) in points.iter().enumerate() {
+        let (best, d) = nearest(p, &centroids, &norms);
+        assignments[i] = best;
+        sizes[best] += 1;
+        inertia += d;
+    }
+    // Pad to the requested k so callers can index by cluster id uniformly.
+    while centroids.len() < config.k {
+        centroids.push(vec![0.0; dim]);
+        sizes.push(0);
+    }
+    KMeansResult {
+        assignments,
+        centroids,
+        sizes,
+        inertia,
+        iterations,
+    }
+}
+
+/// Squared distance between sparse point and dense centroid with cached
+/// `‖c‖²`.
+fn dist2(point: &[u32], centroid: &[f64], norm2: f64) -> f64 {
+    let mut dot = 0.0;
+    for &d in point {
+        dot += centroid[d as usize];
+    }
+    (norm2 - 2.0 * dot + point.len() as f64).max(0.0)
+}
+
+fn nearest(point: &[u32], centroids: &[Vec<f64>], norms: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = dist2(point, centroid, norms[c]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+fn seed_random(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    // Partial Fisher-Yates over 0..n.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.random_range(0..n - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+fn seed_plus_plus(points: &[Vec<u32>], k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = points.len();
+    let mut seeds = Vec::with_capacity(k);
+    seeds.push(rng.random_range(0..n));
+    // Squared distance of each point to its nearest chosen seed. In one-hot
+    // space the distance between two sparse points x,y is |x| + |y| − 2|x∩y|.
+    let mut d2 = vec![f64::INFINITY; n];
+    for _ in 1..k {
+        let last = *seeds.last().unwrap();
+        for (i, p) in points.iter().enumerate() {
+            let d = sparse_dist2(p, &points[last]);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        seeds.push(next);
+    }
+    seeds
+}
+
+/// Squared distance between two sparse binary points (sorted dim lists).
+fn sparse_dist2(a: &[u32], b: &[u32]) -> f64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut common = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (a.len() + b.len() - 2 * common) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two obvious groups: points activating dims {0,2} vs dims {1,3}.
+    fn two_groups(n_each: usize) -> Vec<Vec<u32>> {
+        let mut pts = Vec::new();
+        for _ in 0..n_each {
+            pts.push(vec![0, 2]);
+            pts.push(vec![1, 3]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_groups() {
+        let pts = two_groups(20);
+        let result = kmeans(
+            &pts,
+            4,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        // All even-index points together, all odd-index points together.
+        let c0 = result.assignments[0];
+        let c1 = result.assignments[1];
+        assert_ne!(c0, c1);
+        for (i, &a) in result.assignments.iter().enumerate() {
+            assert_eq!(a, if i % 2 == 0 { c0 } else { c1 });
+        }
+        assert!(result.inertia < 1e-9);
+        assert_eq!(result.sizes.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = two_groups(10);
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = kmeans(&pts, 4, &cfg);
+        let b = kmeans(&pts, 4, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn fewer_points_than_k() {
+        let pts = vec![vec![0u32], vec![1u32]];
+        let result = kmeans(
+            &pts,
+            2,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.centroids.len(), 5);
+        assert_eq!(result.sizes.len(), 5);
+        assert_eq!(result.sizes.iter().sum::<usize>(), 2);
+        assert_ne!(result.assignments[0], result.assignments[1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = kmeans(&[], 3, &KMeansConfig::default());
+        assert!(result.assignments.is_empty());
+        assert_eq!(result.inertia, 0.0);
+    }
+
+    #[test]
+    fn out_of_sample_assignment() {
+        let pts = two_groups(20);
+        let result = kmeans(
+            &pts,
+            4,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let a = result.assign(&[0, 2]);
+        let b = result.assign(&[1, 3]);
+        assert_eq!(a, result.assignments[0]);
+        assert_eq!(b, result.assignments[1]);
+        assert_eq!(result.assign_all(&pts), result.assignments);
+    }
+
+    #[test]
+    fn plus_plus_no_worse_than_random_on_structured_data() {
+        // Three groups; compare final inertia.
+        let mut pts = Vec::new();
+        for _ in 0..30 {
+            pts.push(vec![0u32, 3]);
+            pts.push(vec![1u32, 4]);
+            pts.push(vec![2u32, 5]);
+        }
+        let pp = kmeans(
+            &pts,
+            6,
+            &KMeansConfig {
+                k: 3,
+                plus_plus: true,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let mut best_rand = f64::INFINITY;
+        for seed in 0..5 {
+            let r = kmeans(
+                &pts,
+                6,
+                &KMeansConfig {
+                    k: 3,
+                    plus_plus: false,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            best_rand = best_rand.min(r.inertia);
+        }
+        assert!(pp.inertia <= best_rand + 1e-9);
+    }
+
+    #[test]
+    fn sparse_dist2_matches_definition() {
+        assert_eq!(sparse_dist2(&[0, 2], &[0, 2]), 0.0);
+        assert_eq!(sparse_dist2(&[0, 2], &[1, 3]), 4.0);
+        assert_eq!(sparse_dist2(&[0, 2], &[0, 3]), 2.0);
+        assert_eq!(sparse_dist2(&[], &[1]), 1.0);
+    }
+
+    #[test]
+    fn all_identical_points_single_effective_cluster() {
+        let pts = vec![vec![1u32, 5]; 12];
+        let result = kmeans(
+            &pts,
+            8,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert!(result.inertia < 1e-9);
+        // Every point in the same cluster.
+        assert!(result.assignments.iter().all(|&a| a == result.assignments[0]));
+    }
+}

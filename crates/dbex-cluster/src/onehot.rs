@@ -1,0 +1,136 @@
+//! One-hot encoding of discretized tuples.
+//!
+//! Each Compare Attribute with cardinality `c_a` contributes `c_a`
+//! dimensions; a tuple activates exactly one dimension per non-NULL
+//! attribute. Points are stored sparsely (the list of active dimensions),
+//! which makes squared Euclidean distances between a point and a dense
+//! centroid computable in `O(#attributes)`.
+
+use dbex_stats::discretize::CodedColumn;
+use dbex_table::dict::NULL_CODE;
+
+/// The one-hot feature space induced by a set of discretized attributes.
+#[derive(Debug, Clone)]
+pub struct OneHotSpace {
+    /// Start offset of each attribute's block of dimensions.
+    offsets: Vec<usize>,
+    /// Total dimensionality (sum of attribute cardinalities).
+    dim: usize,
+}
+
+impl OneHotSpace {
+    /// Builds the space from attribute cardinalities.
+    pub fn from_cardinalities(cards: &[usize]) -> OneHotSpace {
+        let mut offsets = Vec::with_capacity(cards.len());
+        let mut dim = 0;
+        for &c in cards {
+            offsets.push(dim);
+            dim += c;
+        }
+        OneHotSpace { offsets, dim }
+    }
+
+    /// Builds the space from coded columns (cardinality of each codec).
+    pub fn from_columns(columns: &[&CodedColumn]) -> OneHotSpace {
+        let cards: Vec<usize> = columns.iter().map(|c| c.codec.cardinality()).collect();
+        Self::from_cardinalities(&cards)
+    }
+
+    /// Total dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of attributes.
+    pub fn num_attrs(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Global dimension of `(attribute, code)`.
+    pub fn dim_of(&self, attr: usize, code: u32) -> usize {
+        self.offsets[attr] + code as usize
+    }
+
+    /// Inverse of [`Self::dim_of`]: which `(attribute, code)` a global
+    /// dimension belongs to.
+    pub fn attr_code_of(&self, dim: usize) -> (usize, u32) {
+        debug_assert!(dim < self.dim);
+        let attr = match self.offsets.binary_search(&dim) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (attr, (dim - self.offsets[attr]) as u32)
+    }
+
+    /// Encodes one tuple: `codes[a]` is attribute `a`'s discrete code
+    /// (`NULL_CODE` for NULL). Returns the sorted active dimensions.
+    pub fn encode(&self, codes: &[u32]) -> Vec<u32> {
+        debug_assert_eq!(codes.len(), self.offsets.len());
+        let mut active = Vec::with_capacity(codes.len());
+        for (attr, &code) in codes.iter().enumerate() {
+            if code != NULL_CODE {
+                active.push(self.dim_of(attr, code) as u32);
+            }
+        }
+        active
+    }
+
+    /// Encodes every position of a set of coded columns.
+    ///
+    /// `positions` index into the columns' code vectors (i.e. the view's
+    /// row positions). Each output point is the sparse active-dimension
+    /// list of one tuple.
+    pub fn encode_positions(&self, columns: &[&CodedColumn], positions: &[usize]) -> Vec<Vec<u32>> {
+        positions
+            .iter()
+            .map(|&p| {
+                let mut active = Vec::with_capacity(columns.len());
+                for (attr, col) in columns.iter().enumerate() {
+                    let code = col.codes[p];
+                    if code != NULL_CODE {
+                        active.push(self.dim_of(attr, code) as u32);
+                    }
+                }
+                active
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_and_dims() {
+        let s = OneHotSpace::from_cardinalities(&[3, 2, 4]);
+        assert_eq!(s.dim(), 9);
+        assert_eq!(s.num_attrs(), 3);
+        assert_eq!(s.dim_of(0, 2), 2);
+        assert_eq!(s.dim_of(1, 0), 3);
+        assert_eq!(s.dim_of(2, 3), 8);
+    }
+
+    #[test]
+    fn attr_code_round_trip() {
+        let s = OneHotSpace::from_cardinalities(&[3, 2, 4]);
+        for attr in 0..3 {
+            let card = [3, 2, 4][attr];
+            for code in 0..card {
+                let d = s.dim_of(attr, code as u32);
+                assert_eq!(s.attr_code_of(d), (attr, code as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn encode_skips_nulls() {
+        let s = OneHotSpace::from_cardinalities(&[3, 2]);
+        assert_eq!(s.encode(&[1, 0]), vec![1, 3]);
+        assert_eq!(s.encode(&[dbex_table::dict::NULL_CODE, 1]), vec![4]);
+        assert_eq!(
+            s.encode(&[dbex_table::dict::NULL_CODE, dbex_table::dict::NULL_CODE]),
+            Vec::<u32>::new()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Cluster-quality measures.
+//!
+//! The CAD View's usefulness depends on IUnits being real structure, not
+//! arbitrary partitions. The silhouette coefficient quantifies that: for
+//! each point, how much closer it is to its own cluster than to the nearest
+//! other cluster. Used by the ablation benchmarks (seeding strategies,
+//! candidate counts) and available to library users tuning `l`.
+
+/// Mean silhouette coefficient of a clustering of sparse one-hot points.
+///
+/// `assignments[i]` is point `i`'s cluster. Returns `None` when fewer than
+/// two non-empty clusters exist (silhouette is undefined). Complexity is
+/// O(n²·|point|) — intended for samples, not full 40K results; callers
+/// should subsample first.
+pub fn silhouette(points: &[Vec<u32>], assignments: &[usize]) -> Option<f64> {
+    assert_eq!(points.len(), assignments.len(), "length mismatch");
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let num_clusters = assignments.iter().copied().max()? + 1;
+    let mut sizes = vec![0usize; num_clusters];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return None;
+    }
+
+    // Pairwise distances accumulated per (point, cluster).
+    let mut sum_to_cluster = vec![vec![0.0f64; num_clusters]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sparse_dist(&points[i], &points[j]);
+            sum_to_cluster[i][assignments[j]] += d;
+            sum_to_cluster[j][assignments[i]] += d;
+        }
+    }
+
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            // Singleton clusters contribute silhouette 0 by convention.
+            counted += 1;
+            continue;
+        }
+        let a = sum_to_cluster[i][own] / (sizes[own] - 1) as f64;
+        let b = (0..num_clusters)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sum_to_cluster[i][c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+        counted += 1;
+    }
+    Some(total / counted as f64)
+}
+
+/// Euclidean distance between two sparse binary points.
+fn sparse_dist(a: &[u32], b: &[u32]) -> f64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut common = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    ((a.len() + b.len() - 2 * common) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_high_silhouette() {
+        let mut points = Vec::new();
+        let mut assignments = Vec::new();
+        for _ in 0..10 {
+            points.push(vec![0u32, 2]);
+            assignments.push(0);
+            points.push(vec![1u32, 3]);
+            assignments.push(1);
+        }
+        let s = silhouette(&points, &assignments).unwrap();
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn random_assignment_low_silhouette() {
+        let mut points = Vec::new();
+        let mut assignments = Vec::new();
+        for i in 0..20 {
+            points.push(if i % 2 == 0 { vec![0u32, 2] } else { vec![1u32, 3] });
+            assignments.push(i % 3 % 2); // scrambled labels
+        }
+        let good: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let s_bad = silhouette(&points, &assignments).unwrap();
+        let s_good = silhouette(&points, &good).unwrap();
+        assert!(s_good > s_bad, "good {s_good} vs bad {s_bad}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(silhouette(&[vec![0]], &[0]).is_none());
+        // Single cluster.
+        assert!(silhouette(&[vec![0], vec![1]], &[0, 0]).is_none());
+        // Two singleton clusters: defined, contributes 0s.
+        let s = silhouette(&[vec![0], vec![1]], &[0, 1]).unwrap();
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,831 @@
+//! CAD View construction pipeline (paper Section 3).
+//!
+//! `build_cad_view` realizes the sequence Problem 1.1 → 1.2 → 2:
+//!
+//! 1. **Compare Attributes** — chi-square feature selection against the
+//!    pivot classes (optionally on a sample: Optimization 1).
+//! 2. **Candidate IUnits** — per pivot value, k-means with `l ≈ 1.5k`
+//!    centers over one-hot encoded Compare Attributes (optionally sampled
+//!    clustering with out-of-sample assignment; optionally fewer candidates
+//!    on huge results: Optimization 2), then cluster labeling.
+//! 3. **Diversified top-k** — div-astar over the candidate IUnits with the
+//!    Algorithm-1 similarity graph at threshold `τ = tau_fraction · |I|`.
+//!
+//! Per-stage wall-clock timings are recorded in [`CadTimings`] using the
+//! same three buckets as the paper's Figure 8 (Compare Attribute time,
+//! IUnit generation time, "others").
+
+use crate::cad::{CadRow, CadView};
+use crate::iunit::{IUnit, LabelConfig};
+use crate::simil::iunit_similarity;
+use dbex_cluster::{kmeans, KMeansConfig, OneHotSpace};
+use dbex_stats::discretize::{AttributeCodec, CodedColumn, CodedMatrix};
+use dbex_stats::feature::{select_compare_attributes_by, FeatureScorer, FeatureSelectionConfig};
+use dbex_stats::histogram::BinningStrategy;
+use dbex_table::dict::NULL_CODE;
+use dbex_table::{DataType, Error, Result, View};
+use dbex_topk::{div_astar, ConflictGraph};
+use std::time::{Duration, Instant};
+
+/// How IUnits are scored for the top-k ranking (Problem 2's preference
+/// function `P`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Preference {
+    /// Larger clusters first (the paper's system default).
+    ClusterSize,
+    /// Ascending mean of a numeric attribute (e.g. cheapest price first —
+    /// the paper's car-shopper example).
+    AttributeAsc(String),
+    /// Descending mean of a numeric attribute (e.g. highest mileage first —
+    /// the paper's taxi-fleet example).
+    AttributeDesc(String),
+}
+
+/// Tuning knobs for the construction pipeline.
+#[derive(Debug, Clone)]
+pub struct CadConfig {
+    /// Candidate IUnits per pivot value: `l = ceil(candidate_factor · k)`
+    /// (the paper suggests `l = 1.5k`).
+    pub candidate_factor: f64,
+    /// Bins for numeric Compare Attributes.
+    pub bins: usize,
+    /// Binning strategy for numeric Compare Attributes.
+    pub strategy: BinningStrategy,
+    /// Chi-square significance level for Compare Attribute selection.
+    pub alpha: f64,
+    /// Relevance measure ranking candidate Compare Attributes.
+    pub scorer: FeatureScorer,
+    /// Similarity threshold as a fraction of `|I|`: `τ = tau_fraction·|I|`.
+    pub tau_fraction: f64,
+    /// IUnit labeling thresholds.
+    pub label: LabelConfig,
+    /// Optimization 1a: feature-select on at most this many rows.
+    pub fs_sample: Option<usize>,
+    /// Optimization 1b: cluster at most this many rows per pivot value and
+    /// assign the remainder to the nearest centroid.
+    pub cluster_sample: Option<usize>,
+    /// Optimization 2: on partitions larger than
+    /// [`CadConfig::ADAPTIVE_THRESHOLD`], generate only `k` candidates.
+    pub adaptive_iunits: bool,
+    /// Maximum k-means iterations.
+    pub kmeans_iters: usize,
+    /// k-means++ seeding (`false` = random seeding, ablation only).
+    pub plus_plus: bool,
+    /// PRNG seed for clustering.
+    pub seed: u64,
+}
+
+impl CadConfig {
+    /// Partition size above which `adaptive_iunits` clamps `l` to `k`.
+    pub const ADAPTIVE_THRESHOLD: usize = 10_000;
+
+    /// The paper's combined optimizations (Section 6.3): sampled feature
+    /// selection + sampled clustering + adaptive candidate counts, which
+    /// together bring a 40K-row CAD View under ~500 ms.
+    pub fn optimized() -> CadConfig {
+        CadConfig {
+            fs_sample: Some(5_000),
+            cluster_sample: Some(2_000),
+            adaptive_iunits: true,
+            ..CadConfig::default()
+        }
+    }
+}
+
+impl Default for CadConfig {
+    fn default() -> Self {
+        CadConfig {
+            candidate_factor: 1.5,
+            bins: 6,
+            strategy: BinningStrategy::EquiDepth,
+            alpha: 0.05,
+            scorer: FeatureScorer::ChiSquare,
+            tau_fraction: 0.7,
+            label: LabelConfig::default(),
+            fs_sample: None,
+            cluster_sample: None,
+            adaptive_iunits: false,
+            kmeans_iters: 20,
+            plus_plus: true,
+            seed: 0xCAD,
+        }
+    }
+}
+
+/// A CAD View request — the programmatic equivalent of the paper's
+/// `CREATE CADVIEW` statement (Section 2.1.2).
+#[derive(Debug, Clone)]
+pub struct CadRequest {
+    /// Pivot Attribute name (`SET pivot = ...`).
+    pub pivot: String,
+    /// Explicit pivot values to show; `None` shows every distinct value,
+    /// ordered by decreasing tuple count.
+    pub pivot_values: Option<Vec<String>>,
+    /// User-forced Compare Attributes (the `SELECT` list).
+    pub compare_attrs: Vec<String>,
+    /// Total Compare Attribute budget `M` (`LIMIT COLUMNS M`).
+    pub max_compare_attrs: usize,
+    /// IUnits per pivot value `k` (`IUNITS k`).
+    pub iunits: usize,
+    /// IUnit preference function.
+    pub preference: Preference,
+    /// Pipeline tuning.
+    pub config: CadConfig,
+}
+
+impl CadRequest {
+    /// A request with defaults matching the paper's running example
+    /// (5 Compare Attributes, 3 IUnits, cluster-size preference).
+    pub fn new(pivot: impl Into<String>) -> CadRequest {
+        CadRequest {
+            pivot: pivot.into(),
+            pivot_values: None,
+            compare_attrs: Vec::new(),
+            max_compare_attrs: 5,
+            iunits: 3,
+            preference: Preference::ClusterSize,
+            config: CadConfig::default(),
+        }
+    }
+
+    /// Restricts the view to these pivot values, in this order.
+    pub fn with_pivot_values<S: Into<String>>(mut self, values: Vec<S>) -> Self {
+        self.pivot_values = Some(values.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Forces these attributes into the Compare Attribute set.
+    pub fn with_compare<S: Into<String>>(mut self, attrs: Vec<S>) -> Self {
+        self.compare_attrs = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets `k`, the IUnits shown per pivot value.
+    pub fn with_iunits(mut self, k: usize) -> Self {
+        self.iunits = k;
+        self
+    }
+
+    /// Sets `M`, the Compare Attribute budget.
+    pub fn with_max_compare_attrs(mut self, m: usize) -> Self {
+        self.max_compare_attrs = m;
+        self
+    }
+
+    /// Sets the IUnit preference function.
+    pub fn with_preference(mut self, p: Preference) -> Self {
+        self.preference = p;
+        self
+    }
+
+    /// Replaces the pipeline configuration.
+    pub fn with_config(mut self, config: CadConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Wall-clock cost of each pipeline stage — the decomposition plotted in
+/// the paper's Figure 8.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CadTimings {
+    /// Compare Attribute selection (chi-square feature selection).
+    pub compare_attrs: Duration,
+    /// Candidate IUnit generation (encoding, clustering, labeling).
+    pub iunit_generation: Duration,
+    /// Everything else: similarity graph, diversified top-k, assembly.
+    pub others: Duration,
+}
+
+impl CadTimings {
+    /// Total build time.
+    pub fn total(&self) -> Duration {
+        self.compare_attrs + self.iunit_generation + self.others
+    }
+}
+
+/// Builds a CAD View over result set `result`.
+///
+/// Errors if the pivot attribute is unknown or not categorical, if an
+/// explicit pivot value does not occur in the result set, or if a forced
+/// Compare Attribute is unknown.
+///
+/// ```
+/// use dbex_table::{TableBuilder, Field, DataType};
+/// use dbex_core::{build_cad_view, CadRequest};
+///
+/// let mut b = TableBuilder::new(vec![
+///     Field::new("Make", DataType::Categorical),
+///     Field::new("Engine", DataType::Categorical),
+/// ]).unwrap();
+/// for i in 0..20 {
+///     let (m, e) = if i % 2 == 0 { ("Ford", "V6") } else { ("Jeep", "V8") };
+///     b.push_row(vec![m.into(), e.into()]).unwrap();
+/// }
+/// let table = b.finish();
+///
+/// let cad = build_cad_view(&table.full_view(), &CadRequest::new("Make")).unwrap();
+/// assert_eq!(cad.rows.len(), 2);
+/// assert!(cad.render().contains("IUnit 1"));
+/// ```
+pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView> {
+    let schema = result.table().schema();
+    let pivot_col = schema.index_of(&request.pivot)?;
+    if request.iunits == 0 {
+        return Err(Error::Invalid("IUNITS must be at least 1".into()));
+    }
+    let pivot_column = result.table().column(pivot_col);
+    // Categorical pivots use their dictionary codes; numeric pivots are
+    // discretized, and the bins act as pivot values (an extension beyond
+    // the paper, which assumes a categorical pivot).
+    let pivot_codec = AttributeCodec::build(
+        result,
+        pivot_col,
+        request.config.bins,
+        request.config.strategy,
+    )
+    .ok_or_else(|| {
+        Error::Invalid(format!(
+            "pivot attribute {} has no non-NULL values to pivot on",
+            request.pivot
+        ))
+    })?;
+
+    // Partition the result set by pivot code (positions, not row ids).
+    let mut partitions: Vec<(u32, Vec<usize>)> = Vec::new();
+    {
+        let mut index_of_code: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        for (pos, &row) in result.row_ids().iter().enumerate() {
+            let Some(code) = pivot_codec.encode(pivot_column, row as usize) else {
+                continue;
+            };
+            if code == NULL_CODE {
+                continue;
+            }
+            let slot = *index_of_code.entry(code).or_insert_with(|| {
+                partitions.push((code, Vec::new()));
+                partitions.len() - 1
+            });
+            partitions[slot].1.push(pos);
+        }
+    }
+
+    // Resolve the pivot value list V.
+    let selected_partitions: Vec<(u32, String, Vec<usize>)> = match &request.pivot_values {
+        Some(labels) => {
+            let mut out = Vec::with_capacity(labels.len());
+            for label in labels {
+                let code = pivot_codec.code_of_label(label).ok_or_else(|| {
+                    Error::Invalid(format!(
+                        "pivot value {label:?} does not occur in attribute {}",
+                        request.pivot
+                    ))
+                })?;
+                let members = partitions
+                    .iter()
+                    .find(|(c, _)| *c == code)
+                    .map(|(_, m)| m.clone())
+                    .unwrap_or_default();
+                out.push((code, label.clone(), members));
+            }
+            out
+        }
+        None => {
+            let mut parts = partitions.clone();
+            match schema.field(pivot_col).data_type {
+                // Categorical pivots: biggest partitions first.
+                DataType::Categorical => {
+                    parts.sort_by_key(|p| std::cmp::Reverse(p.1.len()));
+                }
+                // Binned numeric pivots: natural bin order.
+                _ => parts.sort_by_key(|p| p.0),
+            }
+            parts
+                .into_iter()
+                .map(|(code, members)| {
+                    let label = pivot_codec.label(code).to_owned();
+                    (code, label, members)
+                })
+                .collect()
+        }
+    };
+    let pivot_codes: Vec<u32> = selected_partitions.iter().map(|(c, _, _)| *c).collect();
+    if pivot_codes.is_empty() {
+        return Err(Error::Invalid(
+            "result set has no pivot values to summarize".into(),
+        ));
+    }
+
+    // --- Stage 1: Compare Attributes (Problem 1.1) ---
+    let t0 = Instant::now();
+    let forced: Vec<usize> = request
+        .compare_attrs
+        .iter()
+        .map(|name| schema.index_of(name))
+        .collect::<Result<_>>()?;
+    let candidates: Vec<usize> = (0..schema.len()).filter(|&i| i != pivot_col).collect();
+    let fs_config = FeatureSelectionConfig {
+        max_attrs: request.max_compare_attrs,
+        alpha: request.config.alpha,
+        bins: request.config.bins,
+        strategy: request.config.strategy,
+        sample: request.config.fs_sample,
+        scorer: request.config.scorer,
+    };
+    let class_of = |row: usize| -> Option<usize> {
+        let code = pivot_codec.encode(pivot_column, row)?;
+        pivot_codes.iter().position(|&c| c == code)
+    };
+    let (mut compare_attrs, scores) = select_compare_attributes_by(
+        result,
+        pivot_codes.len(),
+        &class_of,
+        pivot_col,
+        &forced,
+        &candidates,
+        &fs_config,
+    );
+    // Degenerate fallback: if nothing passes the significance filter, take
+    // the best-scoring candidates anyway — an empty CAD View helps nobody.
+    if compare_attrs.is_empty() {
+        compare_attrs = scores
+            .iter()
+            .take(request.max_compare_attrs)
+            .map(|s| s.attr_index)
+            .collect();
+    }
+    if compare_attrs.is_empty() {
+        compare_attrs = candidates
+            .into_iter()
+            .take(request.max_compare_attrs)
+            .collect();
+    }
+    let timing_compare = t0.elapsed();
+
+    // --- Stage 2: Candidate IUnits (Problem 1.2) ---
+    let t1 = Instant::now();
+    let matrix = CodedMatrix::encode(
+        result,
+        &compare_attrs,
+        request.config.bins,
+        request.config.strategy,
+    );
+    let coded: Vec<&CodedColumn> = matrix.columns.iter().collect();
+    // Attributes that survived encoding, in selection order.
+    let live_attrs: Vec<usize> = coded.iter().map(|c| c.attr_index).collect();
+    if coded.is_empty() {
+        return Err(Error::Invalid(
+            "no usable Compare Attributes after discretization".into(),
+        ));
+    }
+    let space = OneHotSpace::from_columns(&coded);
+    let k = request.iunits;
+
+    let mut candidate_sets: Vec<Vec<IUnit>> = Vec::with_capacity(selected_partitions.len());
+    for (_, _, members) in &selected_partitions {
+        candidate_sets.push(generate_candidates(
+            members,
+            &coded,
+            &space,
+            k,
+            &request.config,
+        ));
+    }
+    let timing_iunits = t1.elapsed();
+
+    // --- Stage 3: preference scores + diversified top-k (Problem 2) ---
+    let t2 = Instant::now();
+    let tau = request.config.tau_fraction * coded.len() as f64;
+    let mut rows = Vec::with_capacity(selected_partitions.len());
+    for ((code, label, _members), mut units) in
+        selected_partitions.into_iter().zip(candidate_sets)
+    {
+        apply_preference(&mut units, result, &request.preference)?;
+        let scores: Vec<f64> = units.iter().map(|u| u.score).collect();
+        let graph = ConflictGraph::from_similarity(
+            units.len(),
+            |a, b| iunit_similarity(&units[a], &units[b]),
+            tau,
+        );
+        let solution = div_astar(&scores, &graph, k);
+        let mut chosen: Vec<usize> = solution.items;
+        chosen.sort_by(|&a, &b| units[b].score.total_cmp(&units[a].score));
+        let iunits: Vec<IUnit> = {
+            // Drain by index without cloning the rest.
+            let mut taken: Vec<Option<IUnit>> = units.into_iter().map(Some).collect();
+            chosen
+                .into_iter()
+                .map(|i| taken[i].take().expect("top-k indices are distinct"))
+                .collect()
+        };
+        rows.push(CadRow {
+            pivot_code: code,
+            pivot_label: label,
+            iunits,
+        });
+    }
+    let timing_others = t2.elapsed();
+
+    Ok(CadView {
+        pivot_attr: pivot_col,
+        pivot_name: request.pivot.clone(),
+        compare_attrs: live_attrs.clone(),
+        compare_names: live_attrs
+            .iter()
+            .map(|&i| schema.field(i).name.clone())
+            .collect(),
+        k,
+        tau,
+        rows,
+        feature_scores: scores,
+        timings: CadTimings {
+            compare_attrs: timing_compare,
+            iunit_generation: timing_iunits,
+            others: timing_others,
+        },
+    })
+}
+
+/// Clusters one pivot partition into `l` candidate IUnits.
+fn generate_candidates(
+    members: &[usize],
+    coded: &[&CodedColumn],
+    space: &OneHotSpace,
+    k: usize,
+    config: &CadConfig,
+) -> Vec<IUnit> {
+    if members.is_empty() {
+        return Vec::new();
+    }
+    let adaptive_clamp =
+        config.adaptive_iunits && members.len() > CadConfig::ADAPTIVE_THRESHOLD;
+    let l = if adaptive_clamp {
+        k
+    } else {
+        ((config.candidate_factor * k as f64).ceil() as usize).max(k)
+    };
+
+    // Optionally cluster a sample and assign the rest (Optimization 1).
+    let (train_members, holdout): (Vec<usize>, Vec<usize>) = match config.cluster_sample {
+        Some(cap) if members.len() > cap => {
+            // Deterministic stride sample over the member positions.
+            let step = members.len() as f64 / cap as f64;
+            let mut train = Vec::with_capacity(cap);
+            let mut is_train = vec![false; members.len()];
+            let mut pos = 0.0;
+            while train.len() < cap {
+                let idx = pos as usize;
+                if idx >= members.len() {
+                    break;
+                }
+                if !is_train[idx] {
+                    is_train[idx] = true;
+                    train.push(members[idx]);
+                }
+                pos += step;
+            }
+            let holdout = members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !is_train[*i])
+                .map(|(_, &m)| m)
+                .collect();
+            (train, holdout)
+        }
+        _ => (members.to_vec(), Vec::new()),
+    };
+
+    let train_points = space.encode_positions(coded, &train_members);
+    let km = kmeans(
+        &train_points,
+        space.dim(),
+        &KMeansConfig {
+            k: l,
+            max_iters: config.kmeans_iters,
+            seed: config.seed,
+            plus_plus: config.plus_plus,
+        },
+    );
+
+    // Bucket every member (train + holdout) into its cluster.
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); km.centroids.len()];
+    for (i, &m) in train_members.iter().enumerate() {
+        clusters[km.assignments[i]].push(m);
+    }
+    if !holdout.is_empty() {
+        let holdout_points = space.encode_positions(coded, &holdout);
+        for (assignment, &m) in km.assign_all(&holdout_points).iter().zip(&holdout) {
+            clusters[*assignment].push(m);
+        }
+    }
+
+    clusters
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .map(|c| IUnit::from_members(c, coded, &config.label))
+        .collect()
+}
+
+/// Applies the preference function to candidate scores.
+fn apply_preference(
+    units: &mut [IUnit],
+    result: &View<'_>,
+    preference: &Preference,
+) -> Result<()> {
+    match preference {
+        Preference::ClusterSize => Ok(()), // already size-scored
+        Preference::AttributeAsc(name) | Preference::AttributeDesc(name) => {
+            let col_idx = result.table().schema().index_of(name)?;
+            let column = result.table().column(col_idx);
+            if column.data_type() == DataType::Categorical {
+                return Err(Error::Invalid(format!(
+                    "preference attribute {name} must be numeric"
+                )));
+            }
+            let means: Vec<f64> = units
+                .iter()
+                .map(|u| {
+                    let mut sum = 0.0;
+                    let mut n = 0usize;
+                    for &pos in &u.members {
+                        let row = result.row_ids()[pos] as usize;
+                        if let Some(v) = column.get_f64(row) {
+                            sum += v;
+                            n += 1;
+                        }
+                    }
+                    if n == 0 {
+                        0.0
+                    } else {
+                        sum / n as f64
+                    }
+                })
+                .collect();
+            let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for (unit, &mean) in units.iter_mut().zip(&means) {
+                unit.score = match preference {
+                    Preference::AttributeAsc(_) => hi - mean + 1.0,
+                    _ => mean - lo + 1.0,
+                };
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::{Field, TableBuilder};
+
+    /// A small car-like table with clear Make → (Engine, Price) structure.
+    fn table() -> dbex_table::Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Engine", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+            Field::new("Color", DataType::Categorical),
+        ])
+        .unwrap();
+        // Ford: V6 around 25K and V4 around 15K; Jeep: V8 around 35K.
+        for i in 0..60 {
+            let color = ["Red", "Blue", "Black"][i % 3];
+            if i % 2 == 0 {
+                b.push_row(vec!["Ford".into(), "V6".into(), (25_000 + (i as i64 % 7) * 100).into(), color.into()]).unwrap();
+            } else {
+                b.push_row(vec!["Ford".into(), "V4".into(), (15_000 + (i as i64 % 7) * 100).into(), color.into()]).unwrap();
+            }
+            b.push_row(vec!["Jeep".into(), "V8".into(), (35_000 + (i as i64 % 5) * 100).into(), color.into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builds_rows_per_pivot_value() {
+        let t = table();
+        let view = t.full_view();
+        let cad = build_cad_view(&view, &CadRequest::new("Make").with_iunits(2)).unwrap();
+        assert_eq!(cad.rows.len(), 2);
+        // Rows ordered by partition size desc: Jeep (60) then Ford (60)?
+        // Equal sizes — both present regardless of order.
+        let labels: Vec<&str> = cad.rows.iter().map(|r| r.pivot_label.as_str()).collect();
+        assert!(labels.contains(&"Ford"));
+        assert!(labels.contains(&"Jeep"));
+        for row in &cad.rows {
+            assert!(!row.iunits.is_empty());
+            assert!(row.iunits.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn engine_selected_as_compare_attribute() {
+        let t = table();
+        let view = t.full_view();
+        let cad = build_cad_view(&view, &CadRequest::new("Make")).unwrap();
+        assert!(
+            cad.compare_names.iter().any(|n| n == "Engine"),
+            "Engine strongly contrasts Makes: {:?}",
+            cad.compare_names
+        );
+        // Color is independent of Make and should not be selected.
+        assert!(
+            !cad.compare_names.iter().any(|n| n == "Color"),
+            "{:?}",
+            cad.compare_names
+        );
+    }
+
+    #[test]
+    fn explicit_pivot_values_and_order() {
+        let t = table();
+        let view = t.full_view();
+        let cad = build_cad_view(
+            &view,
+            &CadRequest::new("Make").with_pivot_values(vec!["Jeep", "Ford"]),
+        )
+        .unwrap();
+        assert_eq!(cad.rows[0].pivot_label, "Jeep");
+        assert_eq!(cad.rows[1].pivot_label, "Ford");
+    }
+
+    #[test]
+    fn unknown_pivot_value_rejected() {
+        let t = table();
+        let view = t.full_view();
+        let err = build_cad_view(
+            &view,
+            &CadRequest::new("Make").with_pivot_values(vec!["Tesla"]),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn numeric_pivot_binned_into_ranges() {
+        // Numeric pivots are supported by discretization: bins become the
+        // pivot values, in natural numeric order.
+        let t = table();
+        let view = t.full_view();
+        let cad = build_cad_view(&view, &CadRequest::new("Price").with_iunits(2)).unwrap();
+        assert!(cad.rows.len() >= 2);
+        for row in &cad.rows {
+            assert!(row.pivot_label.contains('-'), "bin label: {}", row.pivot_label);
+        }
+        // Engine contrasts price ranges strongly (V4 cheap, V8 expensive).
+        assert!(cad.compare_names.iter().any(|n| n == "Engine"));
+        // Unknown attributes still error.
+        assert!(build_cad_view(&view, &CadRequest::new("Nope")).is_err());
+    }
+
+    #[test]
+    fn forced_compare_attribute_included() {
+        let t = table();
+        let view = t.full_view();
+        let cad = build_cad_view(
+            &view,
+            &CadRequest::new("Make").with_compare(vec!["Color"]),
+        )
+        .unwrap();
+        assert_eq!(cad.compare_names[0], "Color");
+    }
+
+    #[test]
+    fn ford_iunits_separate_v4_and_v6() {
+        let t = table();
+        let view = t.full_view();
+        let cad = build_cad_view(&view, &CadRequest::new("Make").with_iunits(2)).unwrap();
+        let ford = cad.row("Ford").unwrap();
+        let engine_pos = cad
+            .compare_names
+            .iter()
+            .position(|n| n == "Engine")
+            .unwrap();
+        let labels: Vec<String> = ford
+            .iunits
+            .iter()
+            .map(|u| u.labels[engine_pos].join(","))
+            .collect();
+        assert!(
+            labels.iter().any(|l| l.contains("V6")) && labels.iter().any(|l| l.contains("V4")),
+            "expected V4 and V6 IUnits, got {labels:?}"
+        );
+    }
+
+    #[test]
+    fn preference_by_price_ascending() {
+        let t = table();
+        let view = t.full_view();
+        let cad = build_cad_view(
+            &view,
+            &CadRequest::new("Make")
+                .with_iunits(2)
+                .with_pivot_values(vec!["Ford"])
+                .with_preference(Preference::AttributeAsc("Price".into())),
+        )
+        .unwrap();
+        let ford = &cad.rows[0];
+        // First IUnit should be the cheap (V4 ≈ 15K) cluster.
+        let price_pos = cad.compare_names.iter().position(|n| n == "Price");
+        let engine_pos = cad.compare_names.iter().position(|n| n == "Engine").unwrap();
+        assert!(price_pos.is_some() || engine_pos < usize::MAX);
+        assert!(
+            ford.iunits[0].labels[engine_pos].contains(&"V4".to_string()),
+            "cheapest cluster first: {:?}",
+            ford.iunits[0].labels
+        );
+    }
+
+    #[test]
+    fn categorical_preference_attribute_rejected() {
+        let t = table();
+        let view = t.full_view();
+        let err = build_cad_view(
+            &view,
+            &CadRequest::new("Make")
+                .with_preference(Preference::AttributeAsc("Color".into())),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn timings_populated() {
+        let t = table();
+        let view = t.full_view();
+        let cad = build_cad_view(&view, &CadRequest::new("Make")).unwrap();
+        assert!(cad.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn optimized_config_gives_same_shape() {
+        let t = table();
+        let view = t.full_view();
+        let base = build_cad_view(&view, &CadRequest::new("Make").with_iunits(2)).unwrap();
+        let opt = build_cad_view(
+            &view,
+            &CadRequest::new("Make")
+                .with_iunits(2)
+                .with_config(CadConfig::optimized()),
+        )
+        .unwrap();
+        assert_eq!(base.rows.len(), opt.rows.len());
+        assert_eq!(base.compare_names, opt.compare_names);
+    }
+
+    #[test]
+    fn sampled_clustering_covers_every_member() {
+        // With cluster_sample smaller than the partition, holdout rows are
+        // assigned to learned centroids — IUnit sizes must still cover the
+        // entire partition.
+        let t = table();
+        let view = t.full_view();
+        let config = CadConfig {
+            cluster_sample: Some(10),
+            ..CadConfig::default()
+        };
+        let cad = build_cad_view(
+            &view,
+            &CadRequest::new("Make")
+                .with_pivot_values(vec!["Ford"])
+                .with_iunits(2)
+                .with_config(config),
+        )
+        .unwrap();
+        let covered: usize = cad.rows[0].iunits.iter().map(|u| u.size).sum();
+        let ford_rows = t
+            .filter(&dbex_table::Predicate::eq("Make", "Ford"))
+            .unwrap()
+            .len();
+        // Diversified top-k may drop a candidate cluster, but with k=2 and
+        // two real clusters everything should be covered here.
+        assert_eq!(covered, ford_rows);
+    }
+
+    #[test]
+    fn adaptive_candidates_clamp_l() {
+        // Partition below the threshold: adaptive config behaves like the
+        // default (this exercises the flag path; the threshold behavior at
+        // >10K rows is covered by the fig9/opt benches).
+        let t = table();
+        let view = t.full_view();
+        let adaptive = build_cad_view(
+            &view,
+            &CadRequest::new("Make").with_config(CadConfig {
+                adaptive_iunits: true,
+                ..CadConfig::default()
+            }),
+        )
+        .unwrap();
+        let normal = build_cad_view(&view, &CadRequest::new("Make")).unwrap();
+        assert_eq!(adaptive.rows.len(), normal.rows.len());
+    }
+
+    #[test]
+    fn empty_result_rejected() {
+        let t = table();
+        let empty = t
+            .filter(&dbex_table::Predicate::eq("Make", "Tesla"))
+            .unwrap();
+        assert!(build_cad_view(&empty, &CadRequest::new("Make")).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Comparing CAD Views across contexts.
+//!
+//! The paper distinguishes *independent* comparisons (Chevrolet vs Jeep in
+//! general) from *conditional* comparisons (given the user's current
+//! selections), and notes that "the conditional comparisons change with
+//! every change in the given query condition" (Section 1, Limitation 1).
+//! [`ContextDiff`] makes that change explicit: given two CAD Views over
+//! different result contexts (e.g. before/after adding `Mileage ≤ 30K`),
+//! it matches IUnits across the views with Algorithm 1 and reports, per
+//! pivot value, which IUnits persisted, appeared, or vanished.
+
+use crate::cad::CadView;
+use crate::simil::iunit_similarity;
+use dbex_table::{Error, Result};
+
+/// The fate of one IUnit across a context change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IUnitChange {
+    /// Present in both contexts (similarity ≥ τ). Carries
+    /// `(before_index, after_index, similarity)`.
+    Persisted(usize, usize, f64),
+    /// Only in the *before* view: the added condition removed this group.
+    Vanished(usize),
+    /// Only in the *after* view: the condition surfaced a new group.
+    Appeared(usize),
+}
+
+/// Per-pivot-value changes.
+#[derive(Debug, Clone)]
+pub struct RowDiff {
+    /// The pivot value.
+    pub pivot_label: String,
+    /// IUnit-level changes.
+    pub changes: Vec<IUnitChange>,
+}
+
+/// A structural diff between two CAD Views over the same pivot attribute.
+#[derive(Debug, Clone)]
+pub struct ContextDiff {
+    /// Per-row diffs, in the order of the *after* view (rows only in the
+    /// before view come last).
+    pub rows: Vec<RowDiff>,
+    /// Pivot values present only in the before view.
+    pub vanished_values: Vec<String>,
+    /// Pivot values present only in the after view.
+    pub appeared_values: Vec<String>,
+    /// Similarity threshold used for matching.
+    pub tau: f64,
+}
+
+impl ContextDiff {
+    /// Computes the diff between `before` and `after`.
+    ///
+    /// Both views must share the pivot attribute and Compare Attribute set
+    /// (matching IUnits across different attribute sets is not meaningful —
+    /// Algorithm 1 compares per-attribute frequency vectors).
+    pub fn compute(before: &CadView, after: &CadView) -> Result<ContextDiff> {
+        if before.pivot_name != after.pivot_name {
+            return Err(Error::Invalid(format!(
+                "pivot mismatch: {} vs {}",
+                before.pivot_name, after.pivot_name
+            )));
+        }
+        if before.compare_names != after.compare_names {
+            return Err(Error::Invalid(format!(
+                "compare attribute mismatch: {:?} vs {:?}; rebuild with forced \
+                 compare attributes to diff across contexts",
+                before.compare_names, after.compare_names
+            )));
+        }
+        let tau = before.tau.min(after.tau);
+
+        let mut rows = Vec::new();
+        let mut vanished_values = Vec::new();
+        let appeared_values: Vec<String> = after
+            .rows
+            .iter()
+            .filter(|r| before.row(&r.pivot_label).is_none())
+            .map(|r| r.pivot_label.clone())
+            .collect();
+
+        for after_row in &after.rows {
+            let Some(before_row) = before.row(&after_row.pivot_label) else {
+                continue;
+            };
+            // Greedy best-first matching between the two IUnit lists.
+            let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+            for (i, bu) in before_row.iunits.iter().enumerate() {
+                for (j, au) in after_row.iunits.iter().enumerate() {
+                    let s = iunit_similarity(bu, au);
+                    if s >= tau {
+                        pairs.push((i, j, s));
+                    }
+                }
+            }
+            pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
+            let mut used_before = vec![false; before_row.iunits.len()];
+            let mut used_after = vec![false; after_row.iunits.len()];
+            let mut changes = Vec::new();
+            for (i, j, s) in pairs {
+                if !used_before[i] && !used_after[j] {
+                    used_before[i] = true;
+                    used_after[j] = true;
+                    changes.push(IUnitChange::Persisted(i, j, s));
+                }
+            }
+            for (i, used) in used_before.iter().enumerate() {
+                if !used {
+                    changes.push(IUnitChange::Vanished(i));
+                }
+            }
+            for (j, used) in used_after.iter().enumerate() {
+                if !used {
+                    changes.push(IUnitChange::Appeared(j));
+                }
+            }
+            rows.push(RowDiff {
+                pivot_label: after_row.pivot_label.clone(),
+                changes,
+            });
+        }
+        for before_row in &before.rows {
+            if after.row(&before_row.pivot_label).is_none() {
+                vanished_values.push(before_row.pivot_label.clone());
+            }
+        }
+        Ok(ContextDiff {
+            rows,
+            vanished_values,
+            appeared_values,
+            tau,
+        })
+    }
+
+    /// Fraction of before-IUnits that persisted (1.0 = the condition did
+    /// not change the structure at all).
+    pub fn stability(&self) -> f64 {
+        let mut persisted = 0usize;
+        let mut before_total = 0usize;
+        for row in &self.rows {
+            for c in &row.changes {
+                match c {
+                    IUnitChange::Persisted(..) => {
+                        persisted += 1;
+                        before_total += 1;
+                    }
+                    IUnitChange::Vanished(_) => before_total += 1,
+                    IUnitChange::Appeared(_) => {}
+                }
+            }
+        }
+        if before_total == 0 {
+            1.0
+        } else {
+            persisted as f64 / before_total as f64
+        }
+    }
+
+    /// Renders the diff as text.
+    pub fn render(&self, before: &CadView, after: &CadView) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Context diff (tau = {:.2}, stability = {:.0}%)\n",
+            self.tau,
+            100.0 * self.stability()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("{}\n", row.pivot_label));
+            for change in &row.changes {
+                match change {
+                    IUnitChange::Persisted(i, j, s) => {
+                        out.push_str(&format!(
+                            "  = IUnit {} -> IUnit {} (similarity {s:.2})\n",
+                            i + 1,
+                            j + 1
+                        ));
+                    }
+                    IUnitChange::Vanished(i) => {
+                        let label = before
+                            .row(&row.pivot_label)
+                            .and_then(|r| r.iunits.get(*i))
+                            .map(|u| u.label_of(0))
+                            .unwrap_or_default();
+                        out.push_str(&format!("  - IUnit {} vanished {label}\n", i + 1));
+                    }
+                    IUnitChange::Appeared(j) => {
+                        let label = after
+                            .row(&row.pivot_label)
+                            .and_then(|r| r.iunits.get(*j))
+                            .map(|u| u.label_of(0))
+                            .unwrap_or_default();
+                        out.push_str(&format!("  + IUnit {} appeared {label}\n", j + 1));
+                    }
+                }
+            }
+        }
+        if !self.vanished_values.is_empty() {
+            out.push_str(&format!(
+                "pivot values gone from context: {:?}\n",
+                self.vanished_values
+            ));
+        }
+        if !self.appeared_values.is_empty() {
+            out.push_str(&format!(
+                "pivot values new in context: {:?}\n",
+                self.appeared_values
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_cad_view, CadRequest};
+    use dbex_table::{DataType, Field, Predicate, TableBuilder};
+
+    fn table() -> dbex_table::Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Engine", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for i in 0..60i64 {
+            // Ford: cheap V4s and expensive V8s; Jeep: V6 mid-range.
+            b.push_row(vec!["Ford".into(), "V4".into(), (12_000 + i * 10).into()]).unwrap();
+            b.push_row(vec!["Ford".into(), "V8".into(), (40_000 + i * 10).into()]).unwrap();
+            b.push_row(vec!["Jeep".into(), "V6".into(), (25_000 + i * 10).into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn request() -> CadRequest {
+        CadRequest::new("Make")
+            .with_compare(vec!["Engine", "Price"])
+            .with_max_compare_attrs(2)
+            .with_iunits(2)
+    }
+
+    #[test]
+    fn identical_contexts_fully_stable() {
+        let t = table();
+        let a = build_cad_view(&t.full_view(), &request()).unwrap();
+        let b = build_cad_view(&t.full_view(), &request()).unwrap();
+        let diff = ContextDiff::compute(&a, &b).unwrap();
+        assert_eq!(diff.stability(), 1.0);
+        assert!(diff.vanished_values.is_empty());
+        assert!(diff.appeared_values.is_empty());
+    }
+
+    #[test]
+    fn condition_removes_a_cluster() {
+        let t = table();
+        let before = build_cad_view(&t.full_view(), &request()).unwrap();
+        // Condition away the expensive V8 Fords.
+        let context = t
+            .filter(&Predicate::cmp(
+                "Price",
+                dbex_table::predicate::CmpOp::Lt,
+                30_000,
+            ))
+            .unwrap();
+        let after = build_cad_view(&context, &request()).unwrap();
+        let diff = ContextDiff::compute(&before, &after).unwrap();
+        assert!(diff.stability() < 1.0);
+        let ford = diff
+            .rows
+            .iter()
+            .find(|r| r.pivot_label == "Ford")
+            .expect("Ford present");
+        assert!(
+            ford.changes
+                .iter()
+                .any(|c| matches!(c, IUnitChange::Vanished(_))),
+            "the V8 cluster should vanish: {:?}",
+            ford.changes
+        );
+        let text = diff.render(&before, &after);
+        assert!(text.contains("vanished"));
+    }
+
+    #[test]
+    fn pivot_value_disappearing_reported() {
+        let t = table();
+        let before = build_cad_view(&t.full_view(), &request()).unwrap();
+        let context = t.filter(&Predicate::eq("Make", "Ford")).unwrap();
+        let after = build_cad_view(&context, &request()).unwrap();
+        let diff = ContextDiff::compute(&before, &after).unwrap();
+        assert_eq!(diff.vanished_values, vec!["Jeep".to_string()]);
+    }
+
+    #[test]
+    fn mismatched_views_rejected() {
+        let t = table();
+        let a = build_cad_view(&t.full_view(), &request()).unwrap();
+        let b = build_cad_view(
+            &t.full_view(),
+            &CadRequest::new("Engine").with_compare(vec!["Price"]),
+        )
+        .unwrap();
+        assert!(ContextDiff::compute(&a, &b).is_err());
+    }
+}

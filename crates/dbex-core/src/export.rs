@@ -1,0 +1,132 @@
+//! Exporting CAD Views to interchange formats.
+//!
+//! The paper imagines the CAD View embedded in arbitrary front ends ("can
+//! be integrated with any structured data presentation system", Section 1).
+//! Besides the ASCII renderer, views export to Markdown (for notebooks /
+//! issue trackers) and to a flat CSV of `(pivot value, iunit, attribute,
+//! labels, size, score)` rows for downstream tooling.
+
+use crate::cad::CadView;
+
+/// Renders the view as a GitHub-flavored Markdown table (same layout as
+/// the paper's Table 1).
+pub fn to_markdown(view: &CadView) -> String {
+    let max_units = view.rows.iter().map(|r| r.iunits.len()).max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    // Header.
+    out.push_str(&format!("| {} | Compare Attrs |", view.pivot_name));
+    for i in 0..max_units {
+        out.push_str(&format!(" IUnit {} |", i + 1));
+    }
+    out.push('\n');
+    out.push_str("|---|---|");
+    for _ in 0..max_units {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    // Body: one Markdown row per (pivot value, compare attribute).
+    for row in &view.rows {
+        for (a, attr) in view.compare_names.iter().enumerate() {
+            let pivot = if a == 0 { row.pivot_label.as_str() } else { "" };
+            out.push_str(&format!("| {pivot} | {attr} |"));
+            for u in 0..max_units {
+                let cell = row
+                    .iunits
+                    .get(u)
+                    .map(|unit| unit.label_of(a))
+                    .unwrap_or_default();
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Flattens the view to CSV: one line per `(pivot value, iunit, attribute)`
+/// with the display labels, cluster size, and preference score.
+pub fn to_csv(view: &CadView) -> String {
+    let mut out = String::from("pivot_value,iunit,attribute,labels,size,score\n");
+    for row in &view.rows {
+        for (u, unit) in row.iunits.iter().enumerate() {
+            for (a, attr) in view.compare_names.iter().enumerate() {
+                let labels = unit.labels[a].join("; ");
+                out.push_str(&format!(
+                    "{},{},{},{},{},{}\n",
+                    escape(&row.pivot_label),
+                    u + 1,
+                    escape(attr),
+                    escape(&labels),
+                    unit.size,
+                    unit.score,
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_cad_view, CadRequest};
+    use dbex_table::{DataType, Field, TableBuilder};
+
+    fn view() -> CadView {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Engine", DataType::Categorical),
+        ])
+        .unwrap();
+        for i in 0..20 {
+            let (m, e) = if i % 2 == 0 { ("Ford", "V6") } else { ("Jeep", "V8") };
+            b.push_row(vec![m.into(), e.into()]).unwrap();
+        }
+        let t = b.finish();
+        build_cad_view(&t.full_view(), &CadRequest::new("Make").with_iunits(2)).unwrap()
+    }
+
+    #[test]
+    fn markdown_structure() {
+        let md = to_markdown(&view());
+        let lines: Vec<&str> = md.lines().collect();
+        assert!(lines[0].starts_with("| Make | Compare Attrs |"));
+        assert!(lines[1].starts_with("|---|---|"));
+        assert!(md.contains("| Ford |"));
+        assert!(md.contains("[V6]"));
+        // Every line has the same number of pipes.
+        let pipes: std::collections::HashSet<usize> =
+            lines.iter().map(|l| l.matches('|').count()).collect();
+        assert_eq!(pipes.len(), 1, "ragged markdown:\n{md}");
+    }
+
+    #[test]
+    fn csv_flat_rows() {
+        let csv = to_csv(&view());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "pivot_value,iunit,attribute,labels,size,score"
+        );
+        let body: Vec<&str> = lines.collect();
+        // 2 pivot values × 1 IUnit each (homogeneous rows) × |I| attrs.
+        assert!(!body.is_empty());
+        assert!(body.iter().all(|l| l.split(',').count() >= 6));
+        assert!(body.iter().any(|l| l.starts_with("Ford,1,")));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

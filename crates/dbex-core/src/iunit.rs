@@ -1,0 +1,175 @@
+//! IUnits: labeled clusters of attribute-value interactions.
+//!
+//! "An IUnit (Interaction Unit) is an 'interesting' group of values for the
+//! Compare Attributes" (Section 2.1.1). Each IUnit summarizes one cluster of
+//! tuples: per Compare Attribute it stores the full value-frequency
+//! distribution (used by Algorithm 1's similarity) and a short ranked label
+//! (used for display).
+//!
+//! Labeling follows Section 3.1.2: "We rank attribute values based on
+//! frequency count and then group multiple values if they have similar
+//! frequency count. We use two thresholds — max display count and
+//! statistical difference between frequency counts — to determine the
+//! representative Compare Attribute values for each cluster."
+
+use dbex_stats::discretize::CodedColumn;
+
+/// Thresholds controlling IUnit label construction.
+#[derive(Debug, Clone)]
+pub struct LabelConfig {
+    /// Maximum values displayed per Compare Attribute (`max display count`).
+    pub max_display: usize,
+    /// A value is grouped with the attribute's top value when its frequency
+    /// is at least this fraction of the top frequency (`statistical
+    /// difference between frequency counts`).
+    pub min_support_ratio: f64,
+}
+
+impl Default for LabelConfig {
+    fn default() -> Self {
+        LabelConfig {
+            max_display: 2,
+            min_support_ratio: 0.5,
+        }
+    }
+}
+
+/// One IUnit: a labeled cluster over the Compare Attributes.
+#[derive(Debug, Clone)]
+pub struct IUnit {
+    /// Number of tuples in the underlying cluster.
+    pub size: usize,
+    /// Preference score used for top-k ranking (default: cluster size).
+    pub score: f64,
+    /// Per-Compare-Attribute value frequencies (`freqs[a][code]`), the term
+    /// frequencies of Algorithm 1.
+    pub freqs: Vec<Vec<f64>>,
+    /// Per-Compare-Attribute representative value labels, most frequent
+    /// first (the bracketed labels of Table 1).
+    pub labels: Vec<Vec<String>>,
+    /// Positions (into the parent result set's row list) of the member
+    /// tuples — retained so users can drill from an IUnit to its tuples.
+    pub members: Vec<usize>,
+}
+
+impl IUnit {
+    /// Builds an IUnit from cluster member positions.
+    ///
+    /// `columns` are the Compare Attributes' coded columns (shared across
+    /// the whole CAD View so frequencies are comparable across IUnits).
+    pub fn from_members(
+        members: Vec<usize>,
+        columns: &[&CodedColumn],
+        config: &LabelConfig,
+    ) -> IUnit {
+        let mut freqs = Vec::with_capacity(columns.len());
+        let mut labels = Vec::with_capacity(columns.len());
+        for col in columns {
+            let freq = col.frequencies(&members);
+            labels.push(representative_labels(&freq, col, config));
+            freqs.push(freq);
+        }
+        IUnit {
+            size: members.len(),
+            score: members.len() as f64,
+            freqs,
+            labels,
+            members,
+        }
+    }
+
+    /// Formats attribute `a`'s label like the paper's Table 1:
+    /// `[Traverse LT, Equinox LT]`.
+    pub fn label_of(&self, a: usize) -> String {
+        format!("[{}]", self.labels[a].join(", "))
+    }
+}
+
+/// Ranks an attribute's values by cluster frequency and picks the
+/// representatives per the two thresholds.
+fn representative_labels(freq: &[f64], col: &CodedColumn, config: &LabelConfig) -> Vec<String> {
+    let mut order: Vec<usize> = (0..freq.len()).filter(|&c| freq[c] > 0.0).collect();
+    order.sort_by(|&a, &b| freq[b].total_cmp(&freq[a]));
+    let Some(&top) = order.first() else {
+        return Vec::new();
+    };
+    let threshold = freq[top] * config.min_support_ratio;
+    order
+        .into_iter()
+        .take(config.max_display)
+        .filter(|&c| freq[c] >= threshold)
+        .map(|c| col.codec.label(c as u32).to_owned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_stats::discretize::CodedMatrix;
+    use dbex_stats::histogram::BinningStrategy;
+    use dbex_table::{DataType, Field, TableBuilder};
+
+    fn coded() -> (dbex_table::Table, CodedMatrix) {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Engine", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for (e, p) in [
+            ("V6", 25_000),
+            ("V6", 26_000),
+            ("V6", 27_000),
+            ("V4", 15_000),
+            ("V8", 45_000),
+        ] {
+            b.push_row(vec![e.into(), p.into()]).unwrap();
+        }
+        let t = b.finish();
+        let m = CodedMatrix::encode(&t.full_view(), &[0, 1], 3, BinningStrategy::EquiWidth);
+        (t, m)
+    }
+
+    #[test]
+    fn frequencies_and_labels() {
+        let (_t, m) = coded();
+        let cols: Vec<&CodedColumn> = m.columns.iter().collect();
+        let unit = IUnit::from_members(vec![0, 1, 2, 3], &cols, &LabelConfig::default());
+        assert_eq!(unit.size, 4);
+        assert_eq!(unit.score, 4.0);
+        // Engine: V6 dominates (3 vs 1) → only V6 displayed at ratio 0.5.
+        assert_eq!(unit.labels[0], vec!["V6".to_string()]);
+        assert_eq!(unit.freqs[0], vec![3.0, 1.0, 0.0]); // V6, V4, V8 codes
+        assert_eq!(unit.label_of(0), "[V6]");
+    }
+
+    #[test]
+    fn grouped_labels_when_counts_similar() {
+        let (_t, m) = coded();
+        let cols: Vec<&CodedColumn> = m.columns.iter().collect();
+        // Two V6 and two... use members 2,3 → V6 and V4 once each: grouped.
+        let unit = IUnit::from_members(vec![2, 3], &cols, &LabelConfig::default());
+        assert_eq!(unit.labels[0].len(), 2);
+    }
+
+    #[test]
+    fn max_display_caps_labels() {
+        let (_t, m) = coded();
+        let cols: Vec<&CodedColumn> = m.columns.iter().collect();
+        let cfg = LabelConfig {
+            max_display: 1,
+            min_support_ratio: 0.0,
+        };
+        let unit = IUnit::from_members(vec![0, 3, 4], &cols, &cfg);
+        assert_eq!(unit.labels[0].len(), 1);
+    }
+
+    #[test]
+    fn empty_cluster_is_safe() {
+        let (_t, m) = coded();
+        let cols: Vec<&CodedColumn> = m.columns.iter().collect();
+        let unit = IUnit::from_members(vec![], &cols, &LabelConfig::default());
+        assert_eq!(unit.size, 0);
+        assert!(unit.labels[0].is_empty());
+        assert_eq!(unit.label_of(0), "[]");
+    }
+}

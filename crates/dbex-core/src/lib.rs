@@ -1,0 +1,40 @@
+//! # dbex-core
+//!
+//! The Conditional Attribute Dependency (CAD) View — the paper's primary
+//! contribution (Sections 2-5).
+//!
+//! A CAD View summarizes a result set *in context*: the user picks a
+//! **Pivot Attribute**; the system picks contrasting **Compare Attributes**
+//! (chi-square feature selection); each pivot value's tuples are clustered
+//! over the Compare Attributes into labeled **IUnits**; a diversified top-k
+//! pass picks the `k` IUnits shown per row. Similarity search over the view
+//! (Algorithms 1 and 2) supports finding similar IUnits and similar pivot
+//! values.
+//!
+//! Modules:
+//!
+//! * [`iunit`] — IUnits and the cluster-labeling step (Section 3.1.2).
+//! * [`simil`] — Algorithm 1 (IUnit pair similarity) and Algorithm 2
+//!   (attribute-value pair similarity over ranked IUnit lists).
+//! * [`builder`] — the end-to-end construction pipeline with per-stage
+//!   timings (the quantities plotted in the paper's Figures 8-10).
+//! * [`cad`] — the [`CadView`] structure, highlight / reorder operations,
+//!   and the ASCII renderer that reproduces Table 1's layout.
+//! * [`tpfacet`] — the two-phase faceted interface integrating the CAD
+//!   View with faceted navigation (Section 5).
+
+pub mod builder;
+pub mod cad;
+pub mod diff;
+pub mod export;
+pub mod iunit;
+pub mod simil;
+pub mod tpfacet;
+
+pub use builder::{build_cad_view, CadConfig, CadRequest, CadTimings, Preference};
+pub use cad::{CadRow, CadView};
+pub use diff::{ContextDiff, IUnitChange, RowDiff};
+pub use export::{to_csv as cad_to_csv, to_markdown as cad_to_markdown};
+pub use iunit::{IUnit, LabelConfig};
+pub use simil::{attribute_value_distance, iunit_similarity};
+pub use tpfacet::{Panel, TpFacet};

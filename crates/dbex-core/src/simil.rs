@@ -1,0 +1,189 @@
+//! Similarity search within a CAD View (paper Section 4).
+//!
+//! * [`iunit_similarity`] — **Algorithm 1**: the similarity of two IUnits is
+//!   the sum over Compare Attributes of the cosine similarity of their
+//!   value-frequency vectors. Range `[0, |I|]`.
+//! * [`attribute_value_distance`] — **Algorithm 2**: the distance between
+//!   two pivot values' ranked top-k IUnit lists, accounting for both
+//!   content (which IUnits are similar) and rank (where they sit).
+
+use crate::iunit::IUnit;
+use dbex_stats::simil::cosine_similarity;
+
+/// Algorithm 1: IUnit pair similarity.
+///
+/// Sums per-dimension cosine similarity of the frequency vectors. Both
+/// IUnits must come from the same CAD View (same Compare Attributes and
+/// codecs), which guarantees equal dimensionality.
+pub fn iunit_similarity(a: &IUnit, b: &IUnit) -> f64 {
+    debug_assert_eq!(a.freqs.len(), b.freqs.len(), "IUnit dimension mismatch");
+    a.freqs
+        .iter()
+        .zip(&b.freqs)
+        .map(|(fa, fb)| cosine_similarity(fa, fb))
+        .sum()
+}
+
+/// Algorithm 2: attribute-value pair similarity (as a distance; smaller is
+/// more similar).
+///
+/// For each IUnit in `tx` (rank `i`), find the similar IUnit in `ty`
+/// (`sim ≥ tau`) whose rank is closest to `i`; if none exists, use rank
+/// `|ty|` (one past the end, 0-based — the paper's `|T^y|+1` in 1-based
+/// ranks). Accumulate `|i − index|`, then repeat symmetrically from `ty`.
+pub fn attribute_value_distance(tx: &[IUnit], ty: &[IUnit], tau: f64) -> f64 {
+    one_sided(tx, ty, tau) + one_sided(ty, tx, tau)
+}
+
+/// Continuous content similarity between two ranked IUnit lists: the mean,
+/// over both directions, of each IUnit's best Algorithm-1 match in the
+/// other list.
+///
+/// Algorithm 2's rank-displacement distance is integer-valued and ties
+/// easily when `k` is small; this smooth companion score breaks those ties
+/// (used by [`crate::CadView::reorder_rows`]).
+pub fn list_content_similarity(tx: &[IUnit], ty: &[IUnit]) -> f64 {
+    if tx.is_empty() || ty.is_empty() {
+        return 0.0;
+    }
+    let best_sum = |from: &[IUnit], to: &[IUnit]| -> f64 {
+        from.iter()
+            .map(|u| {
+                to.iter()
+                    .map(|v| iunit_similarity(u, v))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / from.len() as f64
+    };
+    (best_sum(tx, ty) + best_sum(ty, tx)) / 2.0
+}
+
+fn one_sided(from: &[IUnit], to: &[IUnit], tau: f64) -> f64 {
+    let mut d = 0.0;
+    for (i, unit) in from.iter().enumerate() {
+        let mut index = to.len(); // sentinel: "best non-selected rank"
+        let mut best_gap = usize::MAX;
+        for (j, other) in to.iter().enumerate() {
+            if iunit_similarity(unit, other) >= tau {
+                let gap = i.abs_diff(j);
+                if gap < best_gap {
+                    best_gap = gap;
+                    index = j;
+                }
+            }
+        }
+        d += i.abs_diff(index) as f64;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// IUnit with explicit frequency vectors (labels don't matter here).
+    fn unit(freqs: Vec<Vec<f64>>) -> IUnit {
+        IUnit {
+            size: 1,
+            score: 1.0,
+            labels: freqs.iter().map(|_| Vec::new()).collect(),
+            freqs,
+            members: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_iunits_reach_max_similarity() {
+        let a = unit(vec![vec![2.0, 0.0], vec![0.0, 3.0]]);
+        let s = iunit_similarity(&a, &a);
+        assert!((s - 2.0).abs() < 1e-12, "max = |I| = 2, got {s}");
+    }
+
+    #[test]
+    fn orthogonal_iunits_similarity_zero() {
+        let a = unit(vec![vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let b = unit(vec![vec![0.0, 1.0], vec![0.0, 1.0]]);
+        assert_eq!(iunit_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_in_between() {
+        let a = unit(vec![vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let b = unit(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let s = iunit_similarity(&a, &b);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_lists_distance_zero() {
+        let tx = vec![
+            unit(vec![vec![1.0, 0.0]]),
+            unit(vec![vec![0.0, 1.0]]),
+        ];
+        let d = attribute_value_distance(&tx, &tx, 0.9);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn disjoint_lists_distance_maximal() {
+        let tx = vec![unit(vec![vec![1.0, 0.0, 0.0]]), unit(vec![vec![0.0, 1.0, 0.0]])];
+        let ty = vec![unit(vec![vec![0.0, 0.0, 1.0]]), unit(vec![vec![0.0, 0.0, 1.0]])];
+        // Every IUnit maps to sentinel rank 2: |0-2| + |1-2| on both sides.
+        let d = attribute_value_distance(&tx, &ty, 0.9);
+        assert_eq!(d, 6.0);
+    }
+
+    #[test]
+    fn rank_displacement_counts() {
+        // Same content, swapped order: each unit finds its match one rank
+        // away → 1+1 per side = 4.
+        let a = unit(vec![vec![1.0, 0.0]]);
+        let b = unit(vec![vec![0.0, 1.0]]);
+        let tx = vec![a.clone(), b.clone()];
+        let ty = vec![b, a];
+        let d = attribute_value_distance(&tx, &ty, 0.9);
+        assert_eq!(d, 4.0);
+    }
+
+    #[test]
+    fn closest_rank_match_preferred() {
+        // ty has two IUnits similar to tx[1]; the rank-closest (index 1)
+        // must be used, giving zero displacement.
+        let probe = unit(vec![vec![1.0, 0.0]]);
+        let other = unit(vec![vec![0.0, 1.0]]);
+        let tx = vec![other.clone(), probe.clone()];
+        let ty = vec![probe.clone(), probe.clone()];
+        let d = one_sided(&tx, &ty, 0.9);
+        // tx[0] (other) has no match → |0-2| = 2; tx[1] matches at rank 1 → 0.
+        assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    fn content_similarity_edges() {
+        use super::list_content_similarity;
+        let a = unit(vec![vec![1.0, 0.0]]);
+        let a_list = [a.clone()];
+        assert_eq!(list_content_similarity(&[], &[]), 0.0);
+        assert_eq!(list_content_similarity(&a_list, &[]), 0.0);
+        // Self-similarity of a single-unit list is the max per-attr sum.
+        let s = list_content_similarity(&a_list, &a_list);
+        assert!((s - 1.0).abs() < 1e-12);
+        // Symmetric.
+        let b_list = [unit(vec![vec![0.5, 0.5]])];
+        assert_eq!(
+            list_content_similarity(&a_list, &b_list),
+            list_content_similarity(&b_list, &a_list)
+        );
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let tx = vec![unit(vec![vec![1.0, 0.0]]), unit(vec![vec![0.5, 0.5]])];
+        let ty = vec![unit(vec![vec![0.0, 1.0]]), unit(vec![vec![1.0, 0.0]])];
+        assert_eq!(
+            attribute_value_distance(&tx, &ty, 0.8),
+            attribute_value_distance(&ty, &tx, 0.8)
+        );
+    }
+}

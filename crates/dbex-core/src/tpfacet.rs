@@ -1,0 +1,307 @@
+//! TPFacet: the two-phased faceted interface (paper Section 5).
+//!
+//! TPFacet marries faceted navigation with the CAD View. At any moment the
+//! interface shows either the **results panel** (classic faceted browsing)
+//! or the **CAD View panel**; the user toggles between the *query revision*
+//! phase (CAD View) and the *result set* phase (results). The three
+//! interactive extensions of Section 5 are modeled directly:
+//!
+//! 1. every queriable attribute is selectable as Pivot Attribute,
+//! 2. clicking an IUnit highlights all similar IUnits,
+//! 3. clicking a pivot value reorders rows by similarity to it.
+
+use crate::builder::{build_cad_view, CadRequest};
+use crate::cad::CadView;
+use dbex_facet::FacetedEngine;
+use dbex_table::{Error, Result, Table};
+
+/// Which panel the interface currently shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// Classic faceted results panel.
+    Results,
+    /// The CAD View panel (query-revision phase).
+    CadView,
+}
+
+/// The TPFacet interface over one table.
+pub struct TpFacet<'a> {
+    engine: FacetedEngine<'a>,
+    panel: Panel,
+    pivot: Option<String>,
+    cad: Option<CadView>,
+}
+
+impl<'a> TpFacet<'a> {
+    /// Opens the interface on `table` with `bins` buckets per numeric facet.
+    pub fn new(table: &'a Table, bins: usize) -> TpFacet<'a> {
+        TpFacet {
+            engine: FacetedEngine::new(table, bins),
+            panel: Panel::Results,
+            pivot: None,
+            cad: None,
+        }
+    }
+
+    /// The underlying faceted engine (selection state, digests, results).
+    pub fn engine(&self) -> &FacetedEngine<'a> {
+        &self.engine
+    }
+
+    /// Mutable access to the faceted engine for selections.
+    pub fn engine_mut(&mut self) -> &mut FacetedEngine<'a> {
+        &mut self.engine
+    }
+
+    /// The currently shown panel.
+    pub fn panel(&self) -> Panel {
+        self.panel
+    }
+
+    /// Toggles between the results panel and the CAD View panel.
+    pub fn toggle_panel(&mut self) {
+        self.panel = match self.panel {
+            Panel::Results => Panel::CadView,
+            Panel::CadView => Panel::Results,
+        };
+    }
+
+    /// Selects a facet value; any cached CAD View is invalidated because
+    /// the result context changed.
+    pub fn select(&mut self, attr: usize, label: &str) -> Result<()> {
+        self.engine.select(attr, label)?;
+        self.cad = None;
+        Ok(())
+    }
+
+    /// Deselects a facet value (invalidates the CAD View cache).
+    pub fn deselect(&mut self, attr: usize, label: &str) {
+        self.engine.deselect(attr, label);
+        self.cad = None;
+    }
+
+    /// Chooses the Pivot Attribute (modification 1 of Section 5). Any
+    /// queriable attribute may be chosen.
+    pub fn set_pivot(&mut self, attribute: &str) -> Result<()> {
+        let schema = self.engine.table().schema();
+        let idx = schema.index_of(attribute)?;
+        if !schema.field(idx).queriable {
+            return Err(Error::Invalid(format!(
+                "{attribute} is not exposed in the query panel"
+            )));
+        }
+        self.pivot = Some(attribute.to_owned());
+        self.cad = None;
+        Ok(())
+    }
+
+    /// The current pivot attribute, if set.
+    pub fn pivot(&self) -> Option<&str> {
+        self.pivot.as_deref()
+    }
+
+    /// Builds (or rebuilds) the CAD View for the current result context and
+    /// switches to the CAD panel. `customize` may adjust the request (k,
+    /// compare attributes, preference...).
+    pub fn build_cad<F>(&mut self, customize: F) -> Result<&CadView>
+    where
+        F: FnOnce(CadRequest) -> CadRequest,
+    {
+        let pivot = self
+            .pivot
+            .clone()
+            .ok_or_else(|| Error::Invalid("no pivot attribute selected".into()))?;
+        let results = self.engine.results()?;
+        let request = customize(CadRequest::new(pivot));
+        let cad = build_cad_view(&results, &request)?;
+        self.cad = Some(cad);
+        self.panel = Panel::CadView;
+        Ok(self.cad.as_ref().expect("just built"))
+    }
+
+    /// The cached CAD View, if one is built and still valid.
+    pub fn cad(&self) -> Option<&CadView> {
+        self.cad.as_ref()
+    }
+
+    /// Modification 2 of Section 5: clicking an IUnit highlights similar
+    /// IUnits across the view.
+    pub fn click_iunit(&self, pivot_label: &str, idx: usize) -> Vec<(String, usize, f64)> {
+        self.cad
+            .as_ref()
+            .map(|c| c.highlight_similar(pivot_label, idx, None))
+            .unwrap_or_default()
+    }
+
+    /// Modification 3 of Section 5: clicking a pivot value reorders the
+    /// rows by similarity to it.
+    pub fn click_pivot_value(&mut self, pivot_label: &str) -> Vec<(String, f64)> {
+        let Some(cad) = self.cad.as_mut() else {
+            return Vec::new();
+        };
+        let order = cad.reorder_rows(pivot_label);
+        cad.apply_row_order(&order);
+        order
+    }
+
+    /// Drills from an IUnit into its member tuples: the "result set phase"
+    /// hand-off where the user inspects the actual items behind a summary
+    /// cell. Returns the member rows (all attributes, schema order).
+    ///
+    /// The IUnit's member positions index the result set the CAD View was
+    /// built from; selections invalidate the view (see [`Self::select`]),
+    /// so the positions always resolve against the current results.
+    pub fn drill(&self, pivot_label: &str, idx: usize) -> Result<Vec<Vec<dbex_table::Value>>> {
+        let Some(cad) = self.cad.as_ref() else {
+            return Err(Error::Invalid("no CAD View built".into()));
+        };
+        let Some(unit) = cad.iunit(pivot_label, idx) else {
+            return Err(Error::Invalid(format!(
+                "no IUnit {idx} for pivot value {pivot_label}"
+            )));
+        };
+        let results = self.engine.results()?;
+        let table = self.engine.table();
+        unit.members
+            .iter()
+            .map(|&pos| {
+                let row = results.row_ids()[pos] as usize;
+                table.row(row)
+            })
+            .collect()
+    }
+
+    /// Renders whichever panel is active.
+    pub fn render(&self) -> Result<String> {
+        match self.panel {
+            Panel::Results => self.engine.render_query_panel(),
+            Panel::CadView => Ok(self
+                .cad
+                .as_ref()
+                .map(|c| c.render())
+                .unwrap_or_else(|| "(no CAD View built)".to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::{DataType, Field, TableBuilder};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Body", DataType::Categorical),
+            Field::hidden("Engine", DataType::Categorical),
+        ])
+        .unwrap();
+        for i in 0..30 {
+            let (m, e) = if i % 2 == 0 { ("Ford", "V6") } else { ("Jeep", "V8") };
+            let body = if i % 3 == 0 { "SUV" } else { "Sedan" };
+            b.push_row(vec![m.into(), body.into(), e.into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn starts_on_results_panel() {
+        let t = table();
+        let tp = TpFacet::new(&t, 4);
+        assert_eq!(tp.panel(), Panel::Results);
+        assert!(tp.render().unwrap().contains("results"));
+    }
+
+    #[test]
+    fn pivot_must_be_queriable() {
+        let t = table();
+        let mut tp = TpFacet::new(&t, 4);
+        assert!(tp.set_pivot("Engine").is_err()); // hidden
+        assert!(tp.set_pivot("Make").is_ok());
+        assert_eq!(tp.pivot(), Some("Make"));
+    }
+
+    #[test]
+    fn build_requires_pivot() {
+        let t = table();
+        let mut tp = TpFacet::new(&t, 4);
+        assert!(tp.build_cad(|r| r).is_err());
+    }
+
+    #[test]
+    fn build_switches_to_cad_panel() {
+        let t = table();
+        let mut tp = TpFacet::new(&t, 4);
+        tp.set_pivot("Make").unwrap();
+        tp.build_cad(|r| r.with_iunits(2)).unwrap();
+        assert_eq!(tp.panel(), Panel::CadView);
+        let rendered = tp.render().unwrap();
+        assert!(rendered.contains("IUnit 1"), "{rendered}");
+        // Hidden Engine attribute surfaces in the CAD View (Limitation 2).
+        assert!(tp.cad().unwrap().compare_names.iter().any(|n| n == "Engine"));
+    }
+
+    #[test]
+    fn selection_invalidates_cad() {
+        let t = table();
+        let mut tp = TpFacet::new(&t, 4);
+        tp.set_pivot("Make").unwrap();
+        tp.build_cad(|r| r).unwrap();
+        assert!(tp.cad().is_some());
+        tp.select(1, "SUV").unwrap();
+        assert!(tp.cad().is_none());
+        tp.build_cad(|r| r).unwrap();
+        tp.deselect(1, "SUV");
+        assert!(tp.cad().is_none());
+    }
+
+    #[test]
+    fn clicks_are_safe_without_cad() {
+        let t = table();
+        let mut tp = TpFacet::new(&t, 4);
+        assert!(tp.click_iunit("Ford", 0).is_empty());
+        assert!(tp.click_pivot_value("Ford").is_empty());
+    }
+
+    #[test]
+    fn click_pivot_value_reorders() {
+        let t = table();
+        let mut tp = TpFacet::new(&t, 4);
+        tp.set_pivot("Make").unwrap();
+        tp.build_cad(|r| r.with_iunits(2)).unwrap();
+        let order = tp.click_pivot_value("Jeep");
+        assert_eq!(order[0].0, "Jeep");
+        assert_eq!(tp.cad().unwrap().rows[0].pivot_label, "Jeep");
+    }
+
+    #[test]
+    fn drill_returns_member_tuples() {
+        let t = table();
+        let mut tp = TpFacet::new(&t, 4);
+        tp.set_pivot("Make").unwrap();
+        tp.build_cad(|r| r.with_iunits(2)).unwrap();
+        let label = tp.cad().unwrap().rows[0].pivot_label.clone();
+        let unit_size = tp.cad().unwrap().rows[0].iunits[0].size;
+        let rows = tp.drill(&label, 0).unwrap();
+        assert_eq!(rows.len(), unit_size);
+        // Every drilled tuple carries the pivot value of its row.
+        for row in &rows {
+            assert_eq!(row[0].to_string(), label);
+        }
+        // Errors for missing view / bad coordinates.
+        assert!(tp.drill("Nope", 0).is_err());
+        assert!(tp.drill(&label, 99).is_err());
+        tp.select(1, "SUV").unwrap(); // invalidates the view
+        assert!(tp.drill(&label, 0).is_err());
+    }
+
+    #[test]
+    fn toggle_round_trips() {
+        let t = table();
+        let mut tp = TpFacet::new(&t, 4);
+        tp.toggle_panel();
+        assert_eq!(tp.panel(), Panel::CadView);
+        tp.toggle_panel();
+        assert_eq!(tp.panel(), Panel::Results);
+    }
+}

@@ -1,0 +1,305 @@
+//! Synthetic hotel listings — the paper's *introduction* scenario.
+//!
+//! The paper opens with "a user on a travel web site looking to book a
+//! hotel in a big city" who doesn't know that "typical prices", that "all
+//! the 5-star hotels are clustered in the financial district", or that
+//! "there is a tradeoff between location and price" — and whose budget
+//! segment (youth hostels) has prices "poorly correlated" with fancy
+//! hotels. This generator plants exactly those facts so the CAD View can
+//! surface them:
+//!
+//! * `District` determines `DistanceToCenter`;
+//! * 5-star properties concentrate in the Financial District (and the
+//!   Beachfront resorts);
+//! * price grows with stars *and* with centrality (the location-price
+//!   trade-off), with a district premium at equal star rating;
+//! * hostels are cheap regardless of their star rating — the segment where
+//!   price decouples from the luxury signal.
+
+use dbex_table::{DataType, Field, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// City districts, central first.
+const DISTRICTS: &[(&str, f64, f64)] = &[
+    // (name, typical distance to center in km, price premium multiplier)
+    ("FinancialDistrict", 0.8, 1.45),
+    ("OldTown", 1.5, 1.20),
+    ("Downtown", 2.5, 1.15),
+    ("Midtown", 4.5, 1.00),
+    ("Beachfront", 7.0, 1.30),
+    ("UniversityQuarter", 5.5, 0.85),
+    ("Suburbs", 12.0, 0.70),
+    ("AirportZone", 18.0, 0.75),
+];
+
+/// Seeded generator for the synthetic hotel table.
+#[derive(Debug, Clone)]
+pub struct HotelsGenerator {
+    seed: u64,
+}
+
+impl HotelsGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        HotelsGenerator { seed }
+    }
+
+    /// The 10-attribute schema.
+    pub fn fields() -> Vec<Field> {
+        vec![
+            Field::new("District", DataType::Categorical),
+            Field::new("Type", DataType::Categorical),
+            Field::new("StarRating", DataType::Int),
+            Field::new("PricePerNight", DataType::Int),
+            Field::new("DistanceToCenter", DataType::Float),
+            Field::new("ReviewScore", DataType::Float),
+            Field::new("RoomSize", DataType::Int),
+            Field::new("Breakfast", DataType::Categorical),
+            Field::new("Pool", DataType::Categorical),
+            Field::new("WalkScore", DataType::Int),
+        ]
+    }
+
+    /// Generates `n` listings. Deterministic in `(seed, n)`.
+    pub fn generate(&self, n: usize) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = TableBuilder::new(Self::fields()).expect("static schema is valid");
+        for _ in 0..n {
+            builder
+                .push_row(listing(&mut rng))
+                .expect("generated row matches schema");
+        }
+        builder.finish()
+    }
+}
+
+fn listing(rng: &mut StdRng) -> Vec<Value> {
+    // Property type first: it shapes everything else.
+    let type_roll = rng.random_range(0..100);
+    let kind = if type_roll < 62 {
+        "Hotel"
+    } else if type_roll < 78 {
+        "Hostel"
+    } else if type_roll < 92 {
+        "BnB"
+    } else {
+        "Resort"
+    };
+
+    // Star rating by type.
+    let stars: i64 = match kind {
+        "Hostel" => 1 + rng.random_range(0..3),               // 1-3
+        "BnB" => 2 + rng.random_range(0..3),                  // 2-4
+        "Resort" => 4 + rng.random_range(0..2),               // 4-5
+        _ => 2 + rng.random_range(0..4),                      // hotels 2-5
+    };
+
+    // District: 5-star properties cluster in the Financial District and
+    // the Beachfront; hostels cluster near the old town / university.
+    let district_idx = if stars == 5 {
+        if rng.random_range(0..100) < 65 {
+            0 // FinancialDistrict
+        } else if rng.random_range(0..100) < 60 {
+            4 // Beachfront
+        } else {
+            rng.random_range(0..DISTRICTS.len())
+        }
+    } else if kind == "Hostel" {
+        match rng.random_range(0..100) {
+            0..=44 => 1,  // OldTown
+            45..=74 => 5, // UniversityQuarter
+            _ => 2,       // Downtown
+        }
+    } else {
+        // Everything else spreads out, thinner in the center.
+        let weights = [6, 10, 14, 18, 10, 12, 18, 12];
+        let total: u64 = weights.iter().sum();
+        let mut roll = rng.random_range(0..total);
+        let mut idx = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w {
+                idx = i;
+                break;
+            }
+            roll -= w;
+        }
+        idx
+    };
+    let (district, base_distance, premium) = DISTRICTS[district_idx];
+    let distance = (base_distance * rng.random_range(0.6..1.5)).max(0.1);
+
+    // Price: stars set the base; district premium applies the
+    // location-price trade-off; hostels are cheap regardless of stars
+    // (price poorly correlated with the luxury signal).
+    let price: f64 = if kind == "Hostel" {
+        18.0 + rng.random_range(0.0..30.0)
+    } else {
+        let base = match stars {
+            1 => 45.0,
+            2 => 70.0,
+            3 => 105.0,
+            4 => 165.0,
+            _ => 290.0,
+        };
+        base * premium * rng.random_range(0.85..1.20)
+    };
+
+    // Review score tracks stars for hotels/resorts; hostels and BnBs run
+    // on their own scale (service ≠ luxury).
+    let review: f64 = match kind {
+        "Hostel" | "BnB" => 6.0 + rng.random_range(0.0..3.5),
+        _ => (4.0 + stars as f64 + rng.random_range(-0.8..1.2)).clamp(2.0, 10.0),
+    };
+
+    let room_size: i64 = match kind {
+        "Hostel" => 8 + rng.random_range(0..10),
+        "Resort" => 40 + rng.random_range(0..35),
+        _ => 16 + 5 * stars + rng.random_range(0..12),
+    };
+    let breakfast = match kind {
+        "BnB" => "included",
+        "Hostel" => {
+            if rng.random_range(0..100) < 30 {
+                "extra"
+            } else {
+                "none"
+            }
+        }
+        _ => {
+            if stars >= 4 || rng.random_range(0..100) < 40 {
+                "included"
+            } else {
+                "extra"
+            }
+        }
+    };
+    let pool = if (kind == "Resort") || (stars >= 4 && rng.random_range(0..100) < 70) {
+        "yes"
+    } else {
+        "no"
+    };
+    // Walkability decays with distance from the center.
+    let walk = (100.0 - 4.5 * distance + rng.random_range(-8.0..8.0)).clamp(5.0, 100.0);
+
+    vec![
+        district.into(),
+        kind.into(),
+        Value::Int(stars),
+        Value::Int(price.round() as i64),
+        Value::Float((distance * 10.0).round() / 10.0),
+        Value::Float((review * 10.0).round() / 10.0),
+        Value::Int(room_size),
+        breakfast.into(),
+        pool.into(),
+        Value::Int(walk.round() as i64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::Predicate;
+
+    fn data() -> Table {
+        HotelsGenerator::new(99).generate(8_000)
+    }
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = HotelsGenerator::new(1).generate(200);
+        let b = HotelsGenerator::new(1).generate(200);
+        assert_eq!(a.row(123).unwrap(), b.row(123).unwrap());
+        assert_eq!(a.num_columns(), 10);
+    }
+
+    #[test]
+    fn five_star_hotels_cluster_in_financial_district() {
+        let t = data();
+        let five_star = t.filter(&Predicate::eq("StarRating", 5)).unwrap();
+        let in_fd = five_star
+            .refine(&Predicate::eq("District", "FinancialDistrict"))
+            .unwrap();
+        let frac = in_fd.len() as f64 / five_star.len().max(1) as f64;
+        assert!(frac > 0.45, "5-star share in FD: {frac}");
+        // Against a ~12.5% uniform baseline this is strong clustering.
+    }
+
+    #[test]
+    fn location_price_tradeoff() {
+        // At equal star rating, central hotels cost more.
+        let t = data();
+        let mean_price = |district: &str| {
+            let v = t
+                .filter(&Predicate::and(vec![
+                    Predicate::eq("District", district),
+                    Predicate::eq("StarRating", 3),
+                    Predicate::eq("Type", "Hotel"),
+                ]))
+                .unwrap();
+            let col = t.schema().index_of("PricePerNight").unwrap();
+            let sum: f64 = v
+                .row_ids()
+                .iter()
+                .filter_map(|&r| t.column(col).get_f64(r as usize))
+                .sum();
+            sum / v.len().max(1) as f64
+        };
+        let central = mean_price("FinancialDistrict");
+        let suburban = mean_price("Suburbs");
+        assert!(
+            central > 1.4 * suburban,
+            "central {central:.0} vs suburban {suburban:.0}"
+        );
+    }
+
+    #[test]
+    fn hostel_prices_decoupled_from_stars() {
+        let t = data();
+        let price_col = t.schema().index_of("PricePerNight").unwrap();
+        let star_col = t.schema().index_of("StarRating").unwrap();
+        let corr = |kind: &str| {
+            let v = t.filter(&Predicate::eq("Type", kind)).unwrap();
+            let pairs: Vec<(f64, f64)> = v
+                .row_ids()
+                .iter()
+                .map(|&r| {
+                    (
+                        t.column(star_col).get_f64(r as usize).unwrap(),
+                        t.column(price_col).get_f64(r as usize).unwrap(),
+                    )
+                })
+                .collect();
+            let n = pairs.len() as f64;
+            let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+            let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+            let cov: f64 = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+            let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+            let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+            cov / (sx * sy).max(1e-9)
+        };
+        assert!(corr("Hotel") > 0.6, "hotel corr {}", corr("Hotel"));
+        assert!(corr("Hostel").abs() < 0.2, "hostel corr {}", corr("Hostel"));
+    }
+
+    #[test]
+    fn district_determines_distance() {
+        let t = data();
+        let fd = t
+            .filter(&Predicate::eq("District", "FinancialDistrict"))
+            .unwrap();
+        let airport = t.filter(&Predicate::eq("District", "AirportZone")).unwrap();
+        let col = t.schema().index_of("DistanceToCenter").unwrap();
+        let max_fd = fd
+            .row_ids()
+            .iter()
+            .filter_map(|&r| t.column(col).get_f64(r as usize))
+            .fold(0.0f64, f64::max);
+        let min_airport = airport
+            .row_ids()
+            .iter()
+            .filter_map(|&r| t.column(col).get_f64(r as usize))
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_fd < min_airport, "fd max {max_fd} vs airport min {min_airport}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # dbex-data
+//!
+//! Deterministic synthetic datasets standing in for the paper's evaluation
+//! data (Section 6.1).
+//!
+//! * [`usedcars`] — a **YahooUsedCar** equivalent: 40,000 used-car listings
+//!   over 11 attributes with realistic cross-attribute dependencies
+//!   (Make → Model → BodyType/Engine/Drivetrain/Price, Year ↔ Mileage ↔
+//!   Price, Engine → FuelEconomy). The paper scraped Yahoo's used-car site;
+//!   the scrape is long gone, so we generate data with the same scale and
+//!   the dependency structure the paper's examples (Table 1, Section 6.3)
+//!   rely on.
+//! * [`mushroom`] — a **UCI Mushroom** equivalent: 8,124 specimens over 23
+//!   categorical attributes with planted class-conditional structure, so the
+//!   three user-study tasks have computable ground truth (a near-perfect
+//!   2-value classifier for `Bruises`, near-duplicate gill colors, and
+//!   twin stalk-color attributes that admit alternative search conditions).
+//!
+//! * [`hotels`] — the paper's *introduction* scenario: a big-city hotel
+//!   market where 5-star properties cluster in the financial district,
+//!   location trades off against price, and hostel prices decouple from
+//!   star ratings.
+//!
+//! All generators are seeded and fully deterministic: the same seed and
+//! row count always produce byte-identical tables.
+
+pub mod hotels;
+pub mod mushroom;
+pub mod usedcars;
+
+pub use hotels::HotelsGenerator;
+pub use mushroom::MushroomGenerator;
+pub use usedcars::UsedCarsGenerator;

@@ -1,0 +1,420 @@
+//! Synthetic mushroom dataset (UCI Mushroom stand-in).
+//!
+//! 8,124 specimens × 23 categorical attributes, mirroring the UCI schema.
+//! The generator plants the statistical structure the paper's three user
+//! study tasks (Section 6.2) require, so the tasks have computable ground
+//! truth:
+//!
+//! * **Task 1 (simple classifier)** — `Bruises` is strongly predicted by a
+//!   small number of attribute values (`StalkSurfaceAboveRing = smooth`,
+//!   `RingType = pendant`), so a 2-value classifier can reach high F1 — and
+//!   `Odor` nearly determines `Class`, as in the real data.
+//! * **Task 2 (most similar value pair)** — `GillColor` values `brown` and
+//!   `white` are emitted from a common latent with a fair coin, so their
+//!   conditional profiles against every other attribute are statistically
+//!   identical, making them the uniquely most-similar pair among
+//!   `{buff, white, brown, green}`.
+//! * **Task 3 (alternative search condition)** — specimens carry a latent
+//!   *group* that simultaneously drives `StalkShape`, `SporePrintColor`,
+//!   `Habitat` and `Population`, so a selection like `StalkShape = enlarging
+//!   AND SporePrintColor = chocolate` has close alternatives on other
+//!   attributes; additionally `StalkColorBelowRing` copies
+//!   `StalkColorAboveRing` 95% of the time (twin attributes, as in the real
+//!   data's highly correlated stalk attributes).
+
+use dbex_table::{DataType, Field, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of rows in the canonical dataset (matches UCI).
+pub const MUSHROOM_ROWS: usize = 8_124;
+
+/// Seeded generator for the synthetic mushroom table.
+#[derive(Debug, Clone)]
+pub struct MushroomGenerator {
+    seed: u64,
+}
+
+impl MushroomGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        MushroomGenerator { seed }
+    }
+
+    /// Generates the canonical 8,124-row table.
+    pub fn generate_default(&self) -> Table {
+        self.generate(MUSHROOM_ROWS)
+    }
+
+    /// Generates `n` specimens. Deterministic in `(seed, n)`.
+    pub fn generate(&self, n: usize) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = TableBuilder::new(Self::fields()).expect("static schema is valid");
+        for _ in 0..n {
+            builder
+                .push_row(specimen(&mut rng))
+                .expect("generated row matches schema");
+        }
+        builder.finish()
+    }
+
+    /// The 23-attribute schema.
+    pub fn fields() -> Vec<Field> {
+        [
+            "Class",
+            "CapShape",
+            "CapSurface",
+            "CapColor",
+            "Bruises",
+            "Odor",
+            "GillAttachment",
+            "GillSpacing",
+            "GillSize",
+            "GillColor",
+            "StalkShape",
+            "StalkRoot",
+            "StalkSurfaceAboveRing",
+            "StalkSurfaceBelowRing",
+            "StalkColorAboveRing",
+            "StalkColorBelowRing",
+            "VeilType",
+            "VeilColor",
+            "RingNumber",
+            "RingType",
+            "SporePrintColor",
+            "Population",
+            "Habitat",
+        ]
+        .iter()
+        .map(|name| Field::new(*name, DataType::Categorical))
+        .collect()
+    }
+}
+
+/// Weighted categorical draw.
+fn choose<'a>(rng: &mut StdRng, options: &[(&'a str, f64)]) -> &'a str {
+    let total: f64 = options.iter().map(|o| o.1).sum();
+    let mut target = rng.random_range(0.0..total);
+    for &(value, weight) in options {
+        if target < weight {
+            return value;
+        }
+        target -= weight;
+    }
+    options[options.len() - 1].0
+}
+
+/// Draw the group-determined base value with probability `p`, else uniform
+/// over `values`.
+fn group_value<'a>(rng: &mut StdRng, values: &[&'a str], base: usize, p: f64) -> &'a str {
+    if rng.random_range(0.0..1.0) < p {
+        values[base % values.len()]
+    } else {
+        values[rng.random_range(0..values.len())]
+    }
+}
+
+fn specimen(rng: &mut StdRng) -> Vec<Value> {
+    // Latent class and group. Six global groups (3 per class) drive the
+    // conditional dependencies between attributes.
+    let poisonous = rng.random_range(0.0..1.0) < 0.482;
+    let g = rng.random_range(0..3usize);
+    let cg = if poisonous { 3 + g } else { g };
+
+    // Bruises: strongly group-dependent (groups 0, 2, 4 bruise).
+    let bruises_p = match cg {
+        0 => 0.92,
+        2 => 0.85,
+        4 => 0.80,
+        1 => 0.15,
+        3 => 0.10,
+        _ => 0.08,
+    };
+    let bruises = rng.random_range(0.0..1.0) < bruises_p;
+
+    // Odor nearly determines class.
+    let odor = if poisonous {
+        choose(
+            rng,
+            &[
+                ("foul", 0.45),
+                ("pungent", 0.18),
+                ("creosote", 0.14),
+                ("fishy", 0.10),
+                ("musty", 0.05),
+                ("none", 0.08),
+            ],
+        )
+    } else {
+        choose(
+            rng,
+            &[("none", 0.62), ("almond", 0.19), ("anise", 0.19)],
+        )
+    };
+
+    // Stalk surface above the ring tracks bruising; below copies above 95%.
+    let surfaces = ["fibrous", "scaly", "silky", "smooth"];
+    let above = if bruises {
+        choose(rng, &[("smooth", 0.85), ("fibrous", 0.10), ("silky", 0.05)])
+    } else {
+        choose(rng, &[("silky", 0.45), ("scaly", 0.30), ("fibrous", 0.20), ("smooth", 0.05)])
+    };
+    let below = if rng.random_range(0.0..1.0) < 0.95 {
+        above
+    } else {
+        surfaces[rng.random_range(0..surfaces.len())]
+    };
+
+    // Ring type also tracks bruising (the second classifier signal).
+    let ring_type = if bruises {
+        choose(rng, &[("pendant", 0.78), ("flaring", 0.12), ("evanescent", 0.10)])
+    } else {
+        choose(rng, &[("evanescent", 0.50), ("none", 0.30), ("large", 0.20)])
+    };
+
+    // Gill color: brown/white share one latent ("light"), giving Task 2 its
+    // uniquely similar pair.
+    let gill_latent = match cg {
+        0 => choose(rng, &[("light", 0.62), ("pink", 0.22), ("gray", 0.16)]),
+        1 => choose(rng, &[("light", 0.45), ("gray", 0.35), ("pink", 0.20)]),
+        2 => choose(rng, &[("light", 0.52), ("chocolate", 0.28), ("gray", 0.20)]),
+        3 => choose(rng, &[("buff", 0.52), ("chocolate", 0.30), ("light", 0.18)]),
+        4 => choose(rng, &[("buff", 0.40), ("light", 0.30), ("chocolate", 0.30)]),
+        _ => choose(rng, &[("buff", 0.38), ("green", 0.30), ("chocolate", 0.32)]),
+    };
+    let gill_color = if gill_latent == "light" {
+        if rng.random_range(0..2) == 0 {
+            "brown"
+        } else {
+            "white"
+        }
+    } else {
+        gill_latent
+    };
+
+    // Task 3 cluster: group-driven stalk shape / spore print / habitat /
+    // population.
+    let stalk_shape = match cg {
+        5 => choose(rng, &[("enlarging", 0.88), ("tapering", 0.12)]),
+        2 => choose(rng, &[("enlarging", 0.70), ("tapering", 0.30)]),
+        _ => choose(rng, &[("tapering", 0.82), ("enlarging", 0.18)]),
+    };
+    let spore = match cg {
+        5 => choose(rng, &[("chocolate", 0.72), ("white", 0.14), ("brown", 0.14)]),
+        3 => choose(rng, &[("white", 0.45), ("chocolate", 0.35), ("buff", 0.20)]),
+        4 => choose(rng, &[("purple", 0.40), ("chocolate", 0.30), ("white", 0.30)]),
+        0 => choose(rng, &[("black", 0.48), ("brown", 0.40), ("yellow", 0.12)]),
+        1 => choose(rng, &[("brown", 0.52), ("black", 0.36), ("orange", 0.12)]),
+        _ => choose(rng, &[("black", 0.40), ("brown", 0.30), ("green", 0.30)]),
+    };
+    let habitats = ["grasses", "leaves", "meadows", "paths", "urban", "woods"];
+    let habitat = group_value(rng, &habitats, cg, 0.82);
+    let populations = [
+        "abundant",
+        "clustered",
+        "numerous",
+        "scattered",
+        "several",
+        "solitary",
+    ];
+    let population = group_value(rng, &populations, cg + 1, 0.78);
+
+    // Remaining attributes: moderately group-determined with noise.
+    let cap_shapes = ["bell", "conical", "convex", "flat", "knobbed", "sunken"];
+    let cap_shape = group_value(rng, &cap_shapes, cg, 0.55);
+    let cap_surfaces = ["fibrous", "grooves", "scaly", "smooth"];
+    let cap_surface = group_value(rng, &cap_surfaces, cg, 0.50);
+    // Cap color: `red` and `pink` come from a shared "warm" latent with a
+    // mild class asymmetry — the "slightly harder" similar pair of the
+    // study's Task 2B (clearly the most similar pair, but not statistically
+    // identical like the gill-color twins).
+    let warm_p = match cg {
+        0 => 0.30,
+        3 => 0.28,
+        1 => 0.15,
+        4 => 0.12,
+        _ => 0.08,
+    };
+    let cap_color = if rng.random_range(0.0..1.0) < warm_p {
+        let red_p = if poisonous { 0.56 } else { 0.44 };
+        if rng.random_range(0.0..1.0) < red_p {
+            "red"
+        } else {
+            "pink"
+        }
+    } else {
+        let cap_colors = [
+            "brown", "buff", "cinnamon", "gray", "green", "purple", "white", "yellow",
+        ];
+        group_value(rng, &cap_colors, cg + 2, 0.45)
+    };
+    let gill_attachment = choose(rng, &[("free", 0.93), ("attached", 0.07)]);
+    let gill_spacing = group_value(rng, &["close", "crowded"], cg, 0.60);
+    let gill_size = if bruises {
+        choose(rng, &[("broad", 0.75), ("narrow", 0.25)])
+    } else {
+        choose(rng, &[("narrow", 0.60), ("broad", 0.40)])
+    };
+    let stalk_roots = ["bulbous", "club", "equal", "rooted", "missing"];
+    let stalk_root = group_value(rng, &stalk_roots, cg, 0.50);
+    let stalk_colors = [
+        "brown", "buff", "cinnamon", "gray", "orange", "pink", "red", "white", "yellow",
+    ];
+    let stalk_color_above = group_value(rng, &stalk_colors, cg * 3, 0.55);
+    // Twin attribute for Task 3's "trivially available" alternative.
+    let stalk_color_below = if rng.random_range(0.0..1.0) < 0.95 {
+        stalk_color_above
+    } else {
+        stalk_colors[rng.random_range(0..stalk_colors.len())]
+    };
+    let veil_color = choose(
+        rng,
+        &[("white", 0.90), ("brown", 0.04), ("orange", 0.03), ("yellow", 0.03)],
+    );
+    let ring_number = if ring_type == "none" {
+        "none"
+    } else {
+        choose(rng, &[("one", 0.85), ("two", 0.15)])
+    };
+
+    vec![
+        (if poisonous { "poisonous" } else { "edible" }).into(),
+        cap_shape.into(),
+        cap_surface.into(),
+        cap_color.into(),
+        (if bruises { "true" } else { "false" }).into(),
+        odor.into(),
+        gill_attachment.into(),
+        gill_spacing.into(),
+        gill_size.into(),
+        gill_color.into(),
+        stalk_shape.into(),
+        stalk_root.into(),
+        above.into(),
+        below.into(),
+        stalk_color_above.into(),
+        stalk_color_below.into(),
+        "partial".into(),
+        veil_color.into(),
+        ring_number.into(),
+        ring_type.into(),
+        spore.into(),
+        population.into(),
+        habitat.into(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::Predicate;
+
+    fn data() -> Table {
+        MushroomGenerator::new(2016).generate(4_000)
+    }
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = MushroomGenerator::new(1).generate(100);
+        let b = MushroomGenerator::new(1).generate(100);
+        assert_eq!(a.row(57).unwrap(), b.row(57).unwrap());
+        assert_eq!(a.num_columns(), 23);
+        let full = MushroomGenerator::new(1).generate_default();
+        assert_eq!(full.num_rows(), MUSHROOM_ROWS);
+    }
+
+    #[test]
+    fn class_balance_roughly_even() {
+        let t = data();
+        let poisonous = t.filter(&Predicate::eq("Class", "poisonous")).unwrap().len();
+        let frac = poisonous as f64 / t.num_rows() as f64;
+        assert!((0.42..0.56).contains(&frac), "poisonous fraction {frac}");
+    }
+
+    #[test]
+    fn odor_nearly_determines_class() {
+        let t = data();
+        let foul = t.filter(&Predicate::eq("Odor", "foul")).unwrap();
+        let foul_poisonous = foul.refine(&Predicate::eq("Class", "poisonous")).unwrap();
+        assert!(foul_poisonous.len() == foul.len(), "all foul are poisonous");
+        let almond = t.filter(&Predicate::eq("Odor", "almond")).unwrap();
+        let almond_edible = almond.refine(&Predicate::eq("Class", "edible")).unwrap();
+        assert_eq!(almond_edible.len(), almond.len(), "all almond are edible");
+    }
+
+    #[test]
+    fn bruises_predicted_by_smooth_stalk_surface() {
+        let t = data();
+        let smooth = t
+            .filter(&Predicate::eq("StalkSurfaceAboveRing", "smooth"))
+            .unwrap();
+        let smooth_bruised = smooth.refine(&Predicate::eq("Bruises", "true")).unwrap();
+        let precision = smooth_bruised.len() as f64 / smooth.len() as f64;
+        let bruised = t.filter(&Predicate::eq("Bruises", "true")).unwrap();
+        let recall = smooth_bruised.len() as f64 / bruised.len() as f64;
+        assert!(precision > 0.85, "precision {precision}");
+        assert!(recall > 0.75, "recall {recall}");
+    }
+
+    #[test]
+    fn twin_stalk_colors_agree() {
+        let t = data();
+        let above = t.schema().index_of("StalkColorAboveRing").unwrap();
+        let below = t.schema().index_of("StalkColorBelowRing").unwrap();
+        let agree = (0..t.num_rows())
+            .filter(|&r| t.value(r, above) == t.value(r, below))
+            .count();
+        let frac = agree as f64 / t.num_rows() as f64;
+        assert!(frac > 0.90, "agreement {frac}");
+    }
+
+    #[test]
+    fn brown_and_white_gills_have_matching_profiles() {
+        // The planted Task 2 ground truth: conditioned on gill color brown
+        // vs white, the class distribution should be nearly identical,
+        // while buff diverges strongly.
+        let t = data();
+        let frac_poisonous = |color: &str| {
+            let v = t.filter(&Predicate::eq("GillColor", color)).unwrap();
+            let p = v.refine(&Predicate::eq("Class", "poisonous")).unwrap();
+            p.len() as f64 / v.len().max(1) as f64
+        };
+        let brown = frac_poisonous("brown");
+        let white = frac_poisonous("white");
+        let buff = frac_poisonous("buff");
+        assert!((brown - white).abs() < 0.08, "brown {brown} vs white {white}");
+        assert!(
+            (brown - buff).abs() > 0.3,
+            "buff should diverge: brown {brown}, buff {buff}"
+        );
+    }
+
+    #[test]
+    fn task3_alternative_condition_exists() {
+        // StalkShape=enlarging AND SporePrintColor=chocolate targets group 5.
+        // Habitat (base value of group 5 = "woods") must heavily overlap it.
+        let t = data();
+        let target = t
+            .filter(&Predicate::and(vec![
+                Predicate::eq("StalkShape", "enlarging"),
+                Predicate::eq("SporePrintColor", "chocolate"),
+            ]))
+            .unwrap();
+        assert!(target.len() > 100, "target selection too small");
+        let alt = t
+            .filter(&Predicate::and(vec![
+                Predicate::eq("Habitat", "woods"),
+                Predicate::eq("Class", "poisonous"),
+            ]))
+            .unwrap();
+        let jaccard = target.jaccard(&alt);
+        assert!(jaccard > 0.25, "jaccard {jaccard} too low for an alternative");
+    }
+
+    #[test]
+    fn veil_type_constant() {
+        let t = data();
+        let col = t.schema().index_of("VeilType").unwrap();
+        assert_eq!(t.column(col).cardinality(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Synthetic used-car listings (YahooUsedCar stand-in).
+//!
+//! 11 attributes: `Make`, `Model`, `BodyType`, `Price`, `Mileage`, `Year`,
+//! `Engine`, `Drivetrain`, `Transmission`, `Color`, `FuelEconomy`.
+//! `Engine` is marked *hidden* (non-queriable): the paper's Limitation 2
+//! example is a user who wants V4 engines but cannot query the attribute
+//! directly and must find queriable surrogates via the CAD View.
+//!
+//! Generation is model-driven: a static catalog of model specs (body type,
+//! engine options, drivetrain options, base price) mirrors the structure of
+//! the paper's Table 1. Listings draw a model, then a year, then derive
+//! mileage from age, price from base price + depreciation, and fuel economy
+//! from the engine — producing exactly the conditional dependencies the CAD
+//! View is supposed to surface.
+
+use dbex_table::{DataType, Field, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One entry of the model catalog.
+struct ModelSpec {
+    make: &'static str,
+    model: &'static str,
+    body: &'static str,
+    /// Engine options in preference order (first is most common).
+    engines: &'static [&'static str],
+    /// Drivetrain options in preference order.
+    drivetrains: &'static [&'static str],
+    /// New-vehicle base price in dollars.
+    base_price: f64,
+    /// Relative popularity weight.
+    weight: f64,
+}
+
+/// The model catalog. Names follow the paper's Table 1 where it lists them
+/// (Traverse LT, Equinox LT, Suburban 1500 LT, Escape XLT, Wrangler
+/// Unlimited, ...) and plausible fillers elsewhere.
+const CATALOG: &[ModelSpec] = &[
+    // --- Chevrolet ---
+    ModelSpec { make: "Chevrolet", model: "Traverse LT", body: "SUV", engines: &["V6"], drivetrains: &["AWD", "2WD"], base_price: 33_000.0, weight: 3.0 },
+    ModelSpec { make: "Chevrolet", model: "Equinox LT", body: "SUV", engines: &["V4", "V6"], drivetrains: &["2WD", "AWD"], base_price: 26_000.0, weight: 4.0 },
+    ModelSpec { make: "Chevrolet", model: "Suburban 1500 LT", body: "SUV", engines: &["V8"], drivetrains: &["4WD", "2WD"], base_price: 46_000.0, weight: 2.0 },
+    ModelSpec { make: "Chevrolet", model: "Tahoe LT", body: "SUV", engines: &["V8"], drivetrains: &["4WD", "2WD"], base_price: 44_000.0, weight: 2.0 },
+    ModelSpec { make: "Chevrolet", model: "Captiva LS", body: "SUV", engines: &["V4"], drivetrains: &["2WD"], base_price: 23_000.0, weight: 2.0 },
+    ModelSpec { make: "Chevrolet", model: "Malibu LT", body: "Sedan", engines: &["V4"], drivetrains: &["2WD"], base_price: 23_000.0, weight: 3.0 },
+    ModelSpec { make: "Chevrolet", model: "Cruze LS", body: "Sedan", engines: &["V4"], drivetrains: &["2WD"], base_price: 18_000.0, weight: 3.0 },
+    ModelSpec { make: "Chevrolet", model: "Silverado 1500", body: "Truck", engines: &["V8", "V6"], drivetrains: &["4WD", "2WD"], base_price: 35_000.0, weight: 3.0 },
+    // --- Ford ---
+    ModelSpec { make: "Ford", model: "Escape XLT", body: "SUV", engines: &["V6", "V4"], drivetrains: &["2WD", "4WD"], base_price: 25_000.0, weight: 4.0 },
+    ModelSpec { make: "Ford", model: "Escape Ltd.", body: "SUV", engines: &["V6", "V4"], drivetrains: &["4WD", "2WD"], base_price: 28_000.0, weight: 2.0 },
+    ModelSpec { make: "Ford", model: "Explorer XLT", body: "SUV", engines: &["V6"], drivetrains: &["4WD", "2WD"], base_price: 34_000.0, weight: 3.0 },
+    ModelSpec { make: "Ford", model: "Explorer Ltd.", body: "SUV", engines: &["V8", "V6"], drivetrains: &["4WD", "2WD"], base_price: 38_000.0, weight: 1.5 },
+    ModelSpec { make: "Ford", model: "Edge Ltd.", body: "SUV", engines: &["V6"], drivetrains: &["AWD", "2WD"], base_price: 32_000.0, weight: 2.0 },
+    ModelSpec { make: "Ford", model: "Edge SEL", body: "SUV", engines: &["V6"], drivetrains: &["AWD", "2WD"], base_price: 30_000.0, weight: 2.0 },
+    ModelSpec { make: "Ford", model: "Fusion SE", body: "Sedan", engines: &["V4", "V6"], drivetrains: &["2WD"], base_price: 22_000.0, weight: 3.5 },
+    ModelSpec { make: "Ford", model: "F-150 XLT", body: "Truck", engines: &["V8", "V6"], drivetrains: &["4WD", "2WD"], base_price: 34_000.0, weight: 4.0 },
+    // --- Honda ---
+    ModelSpec { make: "Honda", model: "CR-V EX", body: "SUV", engines: &["V4"], drivetrains: &["AWD", "2WD"], base_price: 25_000.0, weight: 4.0 },
+    ModelSpec { make: "Honda", model: "Pilot EX-L", body: "SUV", engines: &["V6"], drivetrains: &["4WD", "2WD"], base_price: 33_000.0, weight: 2.5 },
+    ModelSpec { make: "Honda", model: "Element EX", body: "SUV", engines: &["V4"], drivetrains: &["2WD", "AWD"], base_price: 22_000.0, weight: 1.5 },
+    ModelSpec { make: "Honda", model: "Accord EX", body: "Sedan", engines: &["V4", "V6"], drivetrains: &["2WD"], base_price: 24_000.0, weight: 4.0 },
+    ModelSpec { make: "Honda", model: "Civic LX", body: "Sedan", engines: &["V4"], drivetrains: &["2WD"], base_price: 19_000.0, weight: 4.0 },
+    // --- Toyota ---
+    ModelSpec { make: "Toyota", model: "RAV4 Ltd.", body: "SUV", engines: &["V4", "V6"], drivetrains: &["AWD", "2WD"], base_price: 26_000.0, weight: 4.0 },
+    ModelSpec { make: "Toyota", model: "Highlander SE", body: "SUV", engines: &["V6"], drivetrains: &["AWD", "2WD"], base_price: 33_000.0, weight: 3.0 },
+    ModelSpec { make: "Toyota", model: "4Runner SR5", body: "SUV", engines: &["V6"], drivetrains: &["4WD"], base_price: 34_000.0, weight: 2.0 },
+    ModelSpec { make: "Toyota", model: "Camry LE", body: "Sedan", engines: &["V4", "V6"], drivetrains: &["2WD"], base_price: 23_000.0, weight: 4.5 },
+    ModelSpec { make: "Toyota", model: "Corolla LE", body: "Sedan", engines: &["V4"], drivetrains: &["2WD"], base_price: 18_000.0, weight: 4.0 },
+    ModelSpec { make: "Toyota", model: "Tacoma SR5", body: "Truck", engines: &["V6", "V4"], drivetrains: &["4WD", "2WD"], base_price: 28_000.0, weight: 2.5 },
+    // --- Jeep ---
+    ModelSpec { make: "Jeep", model: "Wrangler Unlimited", body: "SUV", engines: &["V6", "V8"], drivetrains: &["4WD"], base_price: 31_000.0, weight: 3.0 },
+    ModelSpec { make: "Jeep", model: "Compass Sport", body: "SUV", engines: &["V4"], drivetrains: &["4WD", "2WD"], base_price: 21_000.0, weight: 2.5 },
+    ModelSpec { make: "Jeep", model: "Patriot Sport", body: "SUV", engines: &["V4"], drivetrains: &["4WD", "2WD"], base_price: 20_000.0, weight: 2.5 },
+    ModelSpec { make: "Jeep", model: "Liberty Sport", body: "SUV", engines: &["V6"], drivetrains: &["4WD", "2WD"], base_price: 22_000.0, weight: 2.0 },
+    ModelSpec { make: "Jeep", model: "Grand Cherokee Laredo", body: "SUV", engines: &["V6", "V8"], drivetrains: &["4WD", "AWD"], base_price: 36_000.0, weight: 2.5 },
+    // --- Nissan ---
+    ModelSpec { make: "Nissan", model: "Rogue S", body: "SUV", engines: &["V4"], drivetrains: &["AWD", "2WD"], base_price: 24_000.0, weight: 3.0 },
+    ModelSpec { make: "Nissan", model: "Pathfinder SV", body: "SUV", engines: &["V6"], drivetrains: &["4WD", "2WD"], base_price: 32_000.0, weight: 2.0 },
+    ModelSpec { make: "Nissan", model: "Altima 2.5", body: "Sedan", engines: &["V4", "V6"], drivetrains: &["2WD"], base_price: 22_000.0, weight: 3.5 },
+    // --- Hyundai ---
+    ModelSpec { make: "Hyundai", model: "Santa Fe GLS", body: "SUV", engines: &["V4", "V6"], drivetrains: &["AWD", "2WD"], base_price: 25_000.0, weight: 2.5 },
+    ModelSpec { make: "Hyundai", model: "Tucson GLS", body: "SUV", engines: &["V4"], drivetrains: &["2WD", "AWD"], base_price: 21_000.0, weight: 2.0 },
+    ModelSpec { make: "Hyundai", model: "Sonata GLS", body: "Sedan", engines: &["V4"], drivetrains: &["2WD"], base_price: 21_000.0, weight: 3.0 },
+    // --- BMW ---
+    ModelSpec { make: "BMW", model: "X5 xDrive35i", body: "SUV", engines: &["V6", "V8"], drivetrains: &["AWD"], base_price: 56_000.0, weight: 1.5 },
+    ModelSpec { make: "BMW", model: "328i", body: "Sedan", engines: &["V6"], drivetrains: &["2WD", "AWD"], base_price: 38_000.0, weight: 2.0 },
+    // --- Dodge ---
+    ModelSpec { make: "Dodge", model: "Durango SXT", body: "SUV", engines: &["V6", "V8"], drivetrains: &["4WD", "2WD"], base_price: 30_000.0, weight: 2.0 },
+    ModelSpec { make: "Dodge", model: "Grand Caravan SE", body: "Van", engines: &["V6"], drivetrains: &["2WD"], base_price: 24_000.0, weight: 2.5 },
+];
+
+const COLORS: &[&str] = &[
+    "Black", "White", "Silver", "Gray", "Blue", "Red", "Green", "Beige", "Brown", "Gold",
+];
+
+/// Seeded generator for the synthetic used-car table.
+#[derive(Debug, Clone)]
+pub struct UsedCarsGenerator {
+    seed: u64,
+}
+
+impl UsedCarsGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        UsedCarsGenerator { seed }
+    }
+
+    /// Generates `n` listings. Deterministic in `(seed, n)`.
+    pub fn generate(&self, n: usize) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = TableBuilder::new(Self::fields()).expect("static schema is valid");
+
+        let total_weight: f64 = CATALOG.iter().map(|m| m.weight).sum();
+        for _ in 0..n {
+            let spec = pick_weighted(&mut rng, total_weight);
+            let row = Self::listing(&mut rng, spec);
+            builder.push_row(row).expect("generated row matches schema");
+        }
+        builder.finish()
+    }
+
+    /// The 11-attribute schema (with `Engine` hidden, see module docs).
+    pub fn fields() -> Vec<Field> {
+        vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Model", DataType::Categorical),
+            Field::new("BodyType", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+            Field::new("Mileage", DataType::Int),
+            Field::new("Year", DataType::Int),
+            Field::hidden("Engine", DataType::Categorical),
+            Field::new("Drivetrain", DataType::Categorical),
+            Field::new("Transmission", DataType::Categorical),
+            Field::new("Color", DataType::Categorical),
+            Field::new("FuelEconomy", DataType::Int),
+        ]
+    }
+
+    fn listing(rng: &mut StdRng, spec: &ModelSpec) -> Vec<Value> {
+        // Year skews recent: 2005..=2013 with triangular weighting.
+        let a = rng.random_range(0..9);
+        let b = rng.random_range(0..9);
+        let year = 2005 + a.max(b) as i64;
+        let age = 2013 - year;
+
+        // Mileage: ~12K miles/year with listing-level noise, floor 1K.
+        let mileage = (age as f64 * 12_000.0
+            + rng.random_range(-6_000.0..14_000.0)
+            + rng.random_range(0.0..4_000.0))
+        .max(1_000.0);
+
+        // Engine/drivetrain: first option 70%, remainder split the rest.
+        let engine = pick_option(rng, spec.engines);
+        let drivetrain = pick_option(rng, spec.drivetrains);
+
+        // Price: base price, exponential depreciation in age plus a mileage
+        // penalty, premium trims (V8, 4WD/AWD) hold value slightly.
+        let mut price = spec.base_price * 0.92f64.powi(age as i32);
+        price -= mileage * 0.05;
+        if engine == "V8" {
+            price *= 1.08;
+        }
+        if drivetrain != "2WD" {
+            price *= 1.04;
+        }
+        price *= rng.random_range(0.92..1.08);
+        let price = price.max(2_500.0);
+
+        // Fuel economy determined by engine class (the hidden-attribute
+        // surrogate of Limitation 2).
+        let fuel: f64 = match engine {
+            "V4" => 27.0 + rng.random_range(-3.0..4.0),
+            "V6" => 20.0 + rng.random_range(-2.0..3.0),
+            _ => 15.0 + rng.random_range(-2.0..3.0),
+        };
+
+        let transmission = if rng.random_range(0..100) < 88 {
+            "Automatic"
+        } else {
+            "Manual"
+        };
+        let color = COLORS[rng.random_range(0..COLORS.len())];
+
+        vec![
+            spec.make.into(),
+            spec.model.into(),
+            spec.body.into(),
+            Value::Int((price / 100.0).round() as i64 * 100),
+            Value::Int((mileage / 100.0).round() as i64 * 100),
+            Value::Int(year),
+            engine.into(),
+            drivetrain.into(),
+            transmission.into(),
+            color.into(),
+            Value::Int(fuel.round() as i64),
+        ]
+    }
+}
+
+fn pick_weighted<'a>(rng: &mut StdRng, total_weight: f64) -> &'a ModelSpec {
+    let mut target = rng.random_range(0.0..total_weight);
+    for spec in CATALOG {
+        if target < spec.weight {
+            return spec;
+        }
+        target -= spec.weight;
+    }
+    &CATALOG[CATALOG.len() - 1]
+}
+
+/// First option with 70% probability, remaining options share the rest.
+fn pick_option<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    if options.len() == 1 || rng.random_range(0..100) < 70 {
+        options[0]
+    } else {
+        options[1 + rng.random_range(0..options.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::Predicate;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = UsedCarsGenerator::new(7).generate(500);
+        let b = UsedCarsGenerator::new(7).generate(500);
+        for row in [0, 42, 499] {
+            assert_eq!(a.row(row).unwrap(), b.row(row).unwrap());
+        }
+        let c = UsedCarsGenerator::new(8).generate(500);
+        let differs = (0..500).any(|r| a.row(r).unwrap() != c.row(r).unwrap());
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn schema_shape() {
+        let t = UsedCarsGenerator::new(1).generate(10);
+        assert_eq!(t.num_columns(), 11);
+        assert_eq!(t.num_rows(), 10);
+        assert!(!t.schema().field(t.schema().index_of("Engine").unwrap()).queriable);
+        assert!(t.schema().field(0).queriable);
+    }
+
+    #[test]
+    fn paper_query_returns_suvs_from_all_five_makes() {
+        // Mary's query: SUVs, 10K-30K miles, automatic, 5 makes.
+        let t = UsedCarsGenerator::new(42).generate(20_000);
+        let r = t
+            .filter(&Predicate::and(vec![
+                Predicate::eq("BodyType", "SUV"),
+                Predicate::between("Mileage", 10_000, 30_000),
+                Predicate::eq("Transmission", "Automatic"),
+                Predicate::in_list(
+                    "Make",
+                    vec![
+                        "Ford".into(),
+                        "Chevrolet".into(),
+                        "Toyota".into(),
+                        "Honda".into(),
+                        "Jeep".into(),
+                    ],
+                ),
+            ]))
+            .unwrap();
+        assert!(r.len() > 1_000, "result too small: {}", r.len());
+        let parts = r.partition_by_code(t.schema().index_of("Make").unwrap());
+        assert_eq!(parts.len(), 5, "all five makes present");
+    }
+
+    #[test]
+    fn engine_determines_fuel_economy() {
+        let t = UsedCarsGenerator::new(3).generate(5_000);
+        let engine_col = t.schema().index_of("Engine").unwrap();
+        let fuel_col = t.schema().index_of("FuelEconomy").unwrap();
+        let mut v4 = Vec::new();
+        let mut v8 = Vec::new();
+        for row in 0..t.num_rows() {
+            let e = t.value(row, engine_col).to_string();
+            let f = t.value(row, fuel_col).as_f64().unwrap();
+            if e == "V4" {
+                v4.push(f);
+            } else if e == "V8" {
+                v8.push(f);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&v4) > mean(&v8) + 8.0, "V4 should be far more efficient");
+    }
+
+    #[test]
+    fn year_mileage_negatively_correlated() {
+        let t = UsedCarsGenerator::new(5).generate(5_000);
+        let year_col = t.schema().index_of("Year").unwrap();
+        let miles_col = t.schema().index_of("Mileage").unwrap();
+        let pairs: Vec<(f64, f64)> = (0..t.num_rows())
+            .map(|r| {
+                (
+                    t.value(r, year_col).as_f64().unwrap(),
+                    t.value(r, miles_col).as_f64().unwrap(),
+                )
+            })
+            .collect();
+        let n = pairs.len() as f64;
+        let my = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let mm = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - my) * (p.1 - mm)).sum::<f64>() / n;
+        assert!(cov < 0.0, "covariance should be negative: {cov}");
+    }
+
+    #[test]
+    fn models_respect_catalog() {
+        let t = UsedCarsGenerator::new(9).generate(3_000);
+        let make_col = t.schema().index_of("Make").unwrap();
+        let model_col = t.schema().index_of("Model").unwrap();
+        for row in 0..t.num_rows() {
+            let make = t.value(row, make_col).to_string();
+            let model = t.value(row, model_col).to_string();
+            assert!(
+                CATALOG
+                    .iter()
+                    .any(|s| s.make == make && s.model == model),
+                "unknown make/model: {make}/{model}"
+            );
+        }
+    }
+}

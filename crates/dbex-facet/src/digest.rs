@@ -1,0 +1,204 @@
+//! Summary digests: per-attribute value counts of a result set.
+
+use dbex_stats::discretize::AttributeCodec;
+use dbex_stats::simil::cosine_similarity;
+use dbex_table::dict::NULL_CODE;
+use dbex_table::View;
+
+/// Value counts of one attribute within a result set.
+#[derive(Debug, Clone)]
+pub struct AttributeDigest {
+    /// Attribute's schema index.
+    pub attr_index: usize,
+    /// Attribute name.
+    pub name: String,
+    /// `counts[code]` = number of tuples with that (discretized) value.
+    pub counts: Vec<usize>,
+    /// Label per code (facet value captions shown in the query panel).
+    pub labels: Vec<String>,
+}
+
+impl AttributeDigest {
+    /// `(label, count)` pairs with non-zero counts, by decreasing count.
+    pub fn entries(&self) -> Vec<(&str, usize)> {
+        let mut out: Vec<(&str, usize)> = self
+            .labels
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, &c)| (l.as_str(), c))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+
+    /// Count for a given value label (0 if absent).
+    pub fn count_of(&self, label: &str) -> usize {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| self.counts[i])
+            .unwrap_or(0)
+    }
+}
+
+/// The full summary digest: one [`AttributeDigest`] per summarized
+/// attribute.
+#[derive(Debug, Clone)]
+pub struct SummaryDigest {
+    /// Digests in schema order of the summarized attributes.
+    pub attributes: Vec<AttributeDigest>,
+    /// Total number of tuples in the digested result set.
+    pub total: usize,
+}
+
+impl SummaryDigest {
+    /// Computes the digest of `view` for the given attributes, using
+    /// pre-built codecs (so digests of different result sets share bins and
+    /// are comparable).
+    pub fn compute(
+        view: &View<'_>,
+        attrs: &[(usize, AttributeCodec)],
+    ) -> SummaryDigest {
+        let mut attributes = Vec::with_capacity(attrs.len());
+        for (attr_index, codec) in attrs {
+            let column = view.table().column(*attr_index);
+            let mut counts = vec![0usize; codec.cardinality()];
+            for &row in view.row_ids() {
+                if let Some(code) = codec.encode(column, row as usize) {
+                    if code != NULL_CODE {
+                        counts[code as usize] += 1;
+                    }
+                }
+            }
+            let labels = (0..codec.cardinality() as u32)
+                .map(|c| codec.label(c).to_owned())
+                .collect();
+            attributes.push(AttributeDigest {
+                attr_index: *attr_index,
+                name: view.table().schema().field(*attr_index).name.clone(),
+                counts,
+                labels,
+            });
+        }
+        SummaryDigest {
+            attributes,
+            total: view.len(),
+        }
+    }
+
+    /// Digest of a single attribute by schema index, if present.
+    pub fn attribute(&self, attr_index: usize) -> Option<&AttributeDigest> {
+        self.attributes.iter().find(|a| a.attr_index == attr_index)
+    }
+}
+
+/// Cosine similarity between two summary digests.
+///
+/// The digests are flattened into one long frequency vector (attribute
+/// blocks concatenated in order) and compared with cosine similarity —
+/// the metric the paper supplies to baseline users for the "most similar
+/// facet value pair" task (Section 6.2.2). Both digests must cover the same
+/// attributes with the same codecs (i.e. come from the same
+/// [`crate::FacetedEngine`]).
+pub fn digest_similarity(a: &SummaryDigest, b: &SummaryDigest) -> f64 {
+    let flatten = |d: &SummaryDigest| -> Vec<f64> {
+        d.attributes
+            .iter()
+            .flat_map(|attr| attr.counts.iter().map(|&c| c as f64))
+            .collect()
+    };
+    cosine_similarity(&flatten(a), &flatten(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_stats::histogram::BinningStrategy;
+    use dbex_table::{DataType, Field, TableBuilder};
+
+    fn setup() -> (dbex_table::Table, Vec<(usize, AttributeCodec)>) {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for (m, p) in [
+            ("Ford", 10),
+            ("Ford", 12),
+            ("Jeep", 30),
+            ("Jeep", 32),
+            ("Jeep", 34),
+        ] {
+            b.push_row(vec![m.into(), p.into()]).unwrap();
+        }
+        let t = b.finish();
+        let attrs: Vec<(usize, AttributeCodec)> = (0..2)
+            .map(|i| {
+                (
+                    i,
+                    AttributeCodec::build(&t.full_view(), i, 2, BinningStrategy::EquiWidth)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        (t, attrs)
+    }
+
+    #[test]
+    fn digest_counts_values() {
+        let (t, attrs) = setup();
+        let d = SummaryDigest::compute(&t.full_view(), &attrs);
+        assert_eq!(d.total, 5);
+        let make = d.attribute(0).unwrap();
+        assert_eq!(make.count_of("Ford"), 2);
+        assert_eq!(make.count_of("Jeep"), 3);
+        assert_eq!(make.count_of("Honda"), 0);
+        assert_eq!(make.entries()[0], ("Jeep", 3));
+    }
+
+    #[test]
+    fn numeric_attribute_binned() {
+        let (t, attrs) = setup();
+        let d = SummaryDigest::compute(&t.full_view(), &attrs);
+        let price = d.attribute(1).unwrap();
+        assert_eq!(price.counts.iter().sum::<usize>(), 5);
+        assert_eq!(price.counts.len(), 2);
+        assert_eq!(price.counts[0], 2); // 10, 12 in the low bin
+        assert_eq!(price.counts[1], 3);
+    }
+
+    #[test]
+    fn identical_views_similarity_one() {
+        let (t, attrs) = setup();
+        let d1 = SummaryDigest::compute(&t.full_view(), &attrs);
+        let d2 = SummaryDigest::compute(&t.full_view(), &attrs);
+        assert!((digest_similarity(&d1, &d2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_views_similarity_below_one() {
+        let (t, attrs) = setup();
+        let ford = t
+            .filter(&dbex_table::Predicate::eq("Make", "Ford"))
+            .unwrap();
+        let jeep = t
+            .filter(&dbex_table::Predicate::eq("Make", "Jeep"))
+            .unwrap();
+        let df = SummaryDigest::compute(&ford, &attrs);
+        let dj = SummaryDigest::compute(&jeep, &attrs);
+        let s = digest_similarity(&df, &dj);
+        assert!(s < 0.5, "similarity {s} should be small for disjoint sets");
+    }
+
+    #[test]
+    fn empty_view_digest() {
+        let (t, attrs) = setup();
+        let empty = t
+            .filter(&dbex_table::Predicate::eq("Make", "Tesla"))
+            .unwrap();
+        let d = SummaryDigest::compute(&empty, &attrs);
+        assert_eq!(d.total, 0);
+        assert!(d.attribute(0).unwrap().entries().is_empty());
+    }
+}

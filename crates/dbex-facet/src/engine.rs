@@ -1,0 +1,346 @@
+//! Interactive faceted-navigation engine.
+//!
+//! Mirrors the interaction model of the paper's Figure 1 / Section 5: a
+//! query panel of attribute values with counts, value-click refinement
+//! (OR within an attribute, AND across attributes), and a results panel.
+//! Digest codecs are built once over the whole table so that digests of any
+//! two result sets are comparable.
+
+use crate::digest::SummaryDigest;
+use dbex_stats::discretize::AttributeCodec;
+use dbex_stats::histogram::BinningStrategy;
+use dbex_table::{Error, Predicate, Result, Table, View};
+use std::collections::BTreeMap;
+
+/// Current selection state: per attribute, the set of selected value labels.
+#[derive(Debug, Clone, Default)]
+pub struct FacetState {
+    /// Attribute index → selected value labels (OR semantics within;
+    /// AND across attributes).
+    pub selections: BTreeMap<usize, Vec<String>>,
+}
+
+impl FacetState {
+    /// True iff no value is selected anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.selections.is_empty()
+    }
+
+    /// Total number of selected values across attributes.
+    pub fn num_selected(&self) -> usize {
+        self.selections.values().map(|v| v.len()).sum()
+    }
+}
+
+/// The faceted search engine over one table.
+pub struct FacetedEngine<'a> {
+    table: &'a Table,
+    /// Facetable attributes with their digest codecs.
+    attrs: Vec<(usize, AttributeCodec)>,
+    state: FacetState,
+}
+
+impl<'a> FacetedEngine<'a> {
+    /// Builds an engine over the queriable attributes of `table`, binning
+    /// numeric attributes into `bins` equi-depth buckets.
+    pub fn new(table: &'a Table, bins: usize) -> FacetedEngine<'a> {
+        let view = table.full_view();
+        let attrs = table
+            .schema()
+            .queriable_indices()
+            .into_iter()
+            .filter_map(|i| {
+                AttributeCodec::build(&view, i, bins, BinningStrategy::EquiDepth)
+                    .map(|codec| (i, codec))
+            })
+            .collect();
+        FacetedEngine {
+            table,
+            attrs,
+            state: FacetState::default(),
+        }
+    }
+
+    /// The base table.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// Facetable attributes and their codecs.
+    pub fn attributes(&self) -> &[(usize, AttributeCodec)] {
+        &self.attrs
+    }
+
+    /// Current selection state.
+    pub fn state(&self) -> &FacetState {
+        &self.state
+    }
+
+    /// Selects a facet value (idempotent). `attr` is a schema index.
+    pub fn select(&mut self, attr: usize, label: &str) -> Result<()> {
+        let codec = self.codec_of(attr)?;
+        if codec.code_of_label(label).is_none() {
+            return Err(Error::Invalid(format!(
+                "attribute {} has no facet value {label:?}",
+                self.table.schema().field(attr).name
+            )));
+        }
+        let entry = self.state.selections.entry(attr).or_default();
+        if !entry.iter().any(|l| l == label) {
+            entry.push(label.to_owned());
+        }
+        Ok(())
+    }
+
+    /// Deselects a facet value (no-op if not selected).
+    pub fn deselect(&mut self, attr: usize, label: &str) {
+        if let Some(entry) = self.state.selections.get_mut(&attr) {
+            entry.retain(|l| l != label);
+            if entry.is_empty() {
+                self.state.selections.remove(&attr);
+            }
+        }
+    }
+
+    /// Clears all selections.
+    pub fn clear(&mut self) {
+        self.state = FacetState::default();
+    }
+
+    /// Replaces the entire selection state.
+    pub fn set_state(&mut self, state: FacetState) {
+        self.state = state;
+    }
+
+    /// The current result set under the selection state.
+    pub fn results(&self) -> Result<View<'a>> {
+        self.results_for(&self.state)
+    }
+
+    /// Result set for an arbitrary selection state (without mutating the
+    /// engine) — used by simulated users to peek at hypothetical
+    /// refinements the way a human opens a selection and backs out.
+    pub fn results_for(&self, state: &FacetState) -> Result<View<'a>> {
+        let mut conjuncts = Vec::new();
+        for (&attr, labels) in &state.selections {
+            let codec = self.codec_of(attr)?;
+            let disjuncts: Vec<Predicate> = labels
+                .iter()
+                .map(|label| self.label_predicate(attr, codec, label))
+                .collect::<Result<_>>()?;
+            conjuncts.push(Predicate::or(disjuncts));
+        }
+        self.table.filter(&Predicate::and(conjuncts))
+    }
+
+    /// Summary digest of the current result set.
+    pub fn digest(&self) -> Result<SummaryDigest> {
+        Ok(SummaryDigest::compute(&self.results()?, &self.attrs))
+    }
+
+    /// Summary digest of an arbitrary view (with this engine's codecs, so
+    /// digests are mutually comparable).
+    pub fn digest_of(&self, view: &View<'_>) -> SummaryDigest {
+        SummaryDigest::compute(view, &self.attrs)
+    }
+
+    /// Renders the query panel: every attribute with its value counts under
+    /// the current selection, marking selected values with `*`.
+    pub fn render_query_panel(&self) -> Result<String> {
+        let digest = self.digest()?;
+        let mut out = String::new();
+        out.push_str(&format!("=== {} results ===\n", digest.total));
+        for attr in &digest.attributes {
+            out.push_str(&format!("{}\n", attr.name));
+            for (label, count) in attr.entries() {
+                let mark = if self
+                    .state
+                    .selections
+                    .get(&attr.attr_index)
+                    .is_some_and(|ls| ls.iter().any(|l| l == label))
+                {
+                    "*"
+                } else {
+                    " "
+                };
+                out.push_str(&format!("  {mark} {label} ({count})\n"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn codec_of(&self, attr: usize) -> Result<&AttributeCodec> {
+        self.attrs
+            .iter()
+            .find(|(i, _)| *i == attr)
+            .map(|(_, c)| c)
+            .ok_or_else(|| {
+                Error::Invalid(format!(
+                    "attribute index {attr} is not facetable"
+                ))
+            })
+    }
+
+    /// Converts a facet value label into a predicate over the raw column.
+    fn label_predicate(
+        &self,
+        attr: usize,
+        codec: &AttributeCodec,
+        label: &str,
+    ) -> Result<Predicate> {
+        let name = self.table.schema().field(attr).name.clone();
+        match codec {
+            AttributeCodec::Categorical { .. } => Ok(Predicate::eq(name, label)),
+            AttributeCodec::Binned { histogram, .. } => {
+                let code = codec.code_of_label(label).ok_or_else(|| {
+                    Error::Invalid(format!("no bin labeled {label:?} on {name}"))
+                })? as usize;
+                let lo = histogram.edges()[code];
+                let hi = histogram.edges()[code + 1];
+                // Bins are [lo, hi) except the last, which is [lo, hi].
+                if code + 1 == histogram.num_bins() {
+                    Ok(Predicate::between(name, lo, hi))
+                } else {
+                    Ok(Predicate::and(vec![
+                        Predicate::cmp(name.clone(), dbex_table::predicate::CmpOp::Ge, lo),
+                        Predicate::cmp(name, dbex_table::predicate::CmpOp::Lt, hi),
+                    ]))
+                }
+            }
+        }
+    }
+
+    /// Predicate equivalent of a selection state (useful for exporting the
+    /// user's final query).
+    pub fn state_predicate(&self, state: &FacetState) -> Result<Predicate> {
+        let mut conjuncts = Vec::new();
+        for (&attr, labels) in &state.selections {
+            let codec = self.codec_of(attr)?;
+            let disjuncts: Vec<Predicate> = labels
+                .iter()
+                .map(|label| self.label_predicate(attr, codec, label))
+                .collect::<Result<_>>()?;
+            conjuncts.push(Predicate::or(disjuncts));
+        }
+        Ok(Predicate::and(conjuncts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::{DataType, Field, TableBuilder};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Body", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+            Field::hidden("Engine", DataType::Categorical),
+        ])
+        .unwrap();
+        for (m, body, p, e) in [
+            ("Ford", "SUV", 10, "V6"),
+            ("Ford", "Sedan", 20, "V4"),
+            ("Jeep", "SUV", 30, "V6"),
+            ("Jeep", "SUV", 40, "V8"),
+            ("Honda", "Sedan", 50, "V4"),
+            ("Honda", "SUV", 60, "V4"),
+        ] {
+            b.push_row(vec![m.into(), body.into(), p.into(), e.into()])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn hidden_attributes_not_facetable() {
+        let t = table();
+        let e = FacetedEngine::new(&t, 3);
+        assert_eq!(e.attributes().len(), 3); // Engine excluded
+        assert!(e.attributes().iter().all(|(i, _)| *i != 3));
+    }
+
+    #[test]
+    fn select_and_refine() {
+        let t = table();
+        let mut e = FacetedEngine::new(&t, 3);
+        e.select(1, "SUV").unwrap();
+        assert_eq!(e.results().unwrap().len(), 4);
+        e.select(0, "Ford").unwrap();
+        assert_eq!(e.results().unwrap().len(), 1);
+        // OR within attribute.
+        e.select(0, "Jeep").unwrap();
+        assert_eq!(e.results().unwrap().len(), 3);
+        e.deselect(0, "Ford");
+        assert_eq!(e.results().unwrap().len(), 2);
+        e.clear();
+        assert_eq!(e.results().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn unknown_value_rejected() {
+        let t = table();
+        let mut e = FacetedEngine::new(&t, 3);
+        assert!(e.select(0, "Tesla").is_err());
+        assert!(e.select(3, "V6").is_err()); // hidden attribute
+    }
+
+    #[test]
+    fn numeric_facet_selection() {
+        let t = table();
+        let mut e = FacetedEngine::new(&t, 2);
+        let digest = e.digest().unwrap();
+        let price = digest.attribute(2).unwrap();
+        let (label, count) = price.entries()[0];
+        let label = label.to_owned();
+        e.select(2, &label).unwrap();
+        assert_eq!(e.results().unwrap().len(), count);
+    }
+
+    #[test]
+    fn digest_reflects_selection_context() {
+        let t = table();
+        let mut e = FacetedEngine::new(&t, 3);
+        e.select(0, "Honda").unwrap();
+        let digest = e.digest().unwrap();
+        let body = digest.attribute(1).unwrap();
+        assert_eq!(body.count_of("SUV"), 1);
+        assert_eq!(body.count_of("Sedan"), 1);
+        assert_eq!(digest.total, 2);
+    }
+
+    #[test]
+    fn query_panel_renders_marks() {
+        let t = table();
+        let mut e = FacetedEngine::new(&t, 3);
+        e.select(0, "Ford").unwrap();
+        let panel = e.render_query_panel().unwrap();
+        assert!(panel.contains("* Ford"));
+        assert!(panel.contains("=== 2 results ==="));
+    }
+
+    #[test]
+    fn results_for_does_not_mutate() {
+        let t = table();
+        let e = FacetedEngine::new(&t, 3);
+        let mut s = FacetState::default();
+        s.selections.insert(0, vec!["Ford".into()]);
+        assert_eq!(e.results_for(&s).unwrap().len(), 2);
+        assert!(e.state().is_empty());
+        assert_eq!(e.results().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn state_predicate_round_trips() {
+        let t = table();
+        let e = FacetedEngine::new(&t, 3);
+        let mut s = FacetState::default();
+        s.selections.insert(0, vec!["Ford".into(), "Jeep".into()]);
+        s.selections.insert(1, vec!["SUV".into()]);
+        let p = e.state_predicate(&s).unwrap();
+        let direct = e.results_for(&s).unwrap();
+        let via_pred = t.filter(&p).unwrap();
+        assert_eq!(direct.row_ids(), via_pred.row_ids());
+    }
+}

@@ -1,0 +1,23 @@
+//! # dbex-facet
+//!
+//! Faceted navigation engine — the Apache Solr stand-in of the paper's
+//! evaluation (Sections 5-6).
+//!
+//! A faceted interface has a query panel showing, for every queriable
+//! attribute, the attribute values present in the current result set with
+//! their tuple counts (the **summary digest**), and lets the user refine the
+//! result set by clicking values (OR within an attribute, AND across
+//! attributes). This is the observable surface the paper's baseline exposes
+//! and the only information a "Solr user" has when performing the study
+//! tasks.
+//!
+//! * [`digest`] — summary digests and their cosine similarity (the metric
+//!   the study hands to baseline users for Task 2).
+//! * [`engine`] — interactive engine: selection state, refinement,
+//!   digest computation, rendering of the query panel.
+
+pub mod digest;
+pub mod engine;
+
+pub use digest::{digest_similarity, AttributeDigest, SummaryDigest};
+pub use engine::{FacetState, FacetedEngine};

@@ -1,0 +1,105 @@
+//! Statement AST for the query language.
+
+use dbex_table::{Aggregate, Predicate};
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// `SELECT cols|aggregates FROM table [WHERE pred] [GROUP BY cols]
+/// [ORDER BY col [ASC|DESC], ...] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projected column names; empty means `*` (ignored when
+    /// `aggregates` is non-empty, where it must equal `group_by`).
+    pub columns: Vec<String>,
+    /// Aggregate functions in the select list; non-empty makes this an
+    /// aggregate query.
+    pub aggregates: Vec<Aggregate>,
+    /// Source table name.
+    pub table: String,
+    /// Filter; `Predicate::Const(true)` when absent.
+    pub predicate: Predicate,
+    /// `GROUP BY` attributes.
+    pub group_by: Vec<String>,
+    /// `ORDER BY` keys: `(attribute, ascending)`.
+    pub order_by: Vec<(String, bool)>,
+    /// Row limit, if any.
+    pub limit: Option<usize>,
+}
+
+/// `CREATE CADVIEW name AS SET pivot = attr SELECT attrs FROM table
+/// [WHERE pred] [LIMIT COLUMNS m] [IUNITS k] [ORDER BY attr ASC|DESC]`
+/// (paper Section 2.1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CadViewStmt {
+    /// Name under which the view is stored.
+    pub name: String,
+    /// Pivot Attribute.
+    pub pivot: String,
+    /// Explicit Compare Attributes (the `SELECT` list; may be empty).
+    pub compare_attrs: Vec<String>,
+    /// Source table name.
+    pub table: String,
+    /// Filter defining the result context.
+    pub predicate: Predicate,
+    /// `LIMIT COLUMNS m` — total Compare Attribute budget.
+    pub limit_columns: Option<usize>,
+    /// `IUNITS k` — IUnits per pivot value.
+    pub iunits: Option<usize>,
+    /// `ORDER BY attr [ASC|DESC], ...` — IUnit preference function. The
+    /// paper's grammar admits a key list; the preference function is
+    /// one-dimensional, so execution accepts exactly one key and rejects
+    /// more with a clear error.
+    pub order_by: Vec<(String, SortOrder)>,
+}
+
+/// `HIGHLIGHT SIMILAR IUNITS IN view WHERE SIMILARITY(value, id) > t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HighlightStmt {
+    /// CAD View name.
+    pub view: String,
+    /// Pivot value of the probe IUnit.
+    pub pivot_value: String,
+    /// 1-based IUnit id of the probe (as in the paper's example).
+    pub iunit_id: usize,
+    /// Similarity threshold.
+    pub threshold: f64,
+}
+
+/// `REORDER ROWS IN view ORDER BY SIMILARITY(value) DESC`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReorderStmt {
+    /// CAD View name.
+    pub view: String,
+    /// Reference pivot value.
+    pub pivot_value: String,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Plain SELECT query.
+    Select(SelectStmt),
+    /// CAD View creation.
+    CreateCadView(CadViewStmt),
+    /// `EXPLAIN` of a CAD View statement: reports the chosen Compare
+    /// Attributes with their chi-square scores and the per-stage timings
+    /// instead of storing the view.
+    ExplainCadView(CadViewStmt),
+    /// Similar-IUnit highlighting.
+    Highlight(HighlightStmt),
+    /// Row reordering by pivot-value similarity.
+    Reorder(ReorderStmt),
+    /// `DESCRIBE table`: schema listing.
+    Describe(String),
+    /// `SHOW CADVIEWS`: list the session's stored CAD Views.
+    ShowCadViews,
+    /// `DROP CADVIEW name`: remove a stored CAD View.
+    DropCadView(String),
+}

@@ -1,0 +1,221 @@
+//! Tokenizer for the query language.
+
+use dbex_table::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or bare word (`Make`, `Jeep`, `SUV`).
+    Word(String),
+    /// Single-quoted string literal (`'Traverse LT'`).
+    Str(String),
+    /// Integer literal (after `K`/`M` suffix expansion).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operator: `( ) , = != <> < <= > >= * ;`.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// The word's text if this is a [`Token::Word`].
+    pub fn as_word(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// True iff this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' | ')' | ',' | '*' | ';' => {
+                tokens.push(Token::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    _ => ";",
+                }));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Sym("="));
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Sym("!="));
+                    i += 2;
+                } else {
+                    return Err(Error::Invalid("unexpected '!'".into()));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Sym("<="));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Sym("!="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Sym(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(Error::Invalid("unterminated string".into())),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                let mut multiplier = 1.0f64;
+                if i < chars.len() && (chars[i] == 'K' || chars[i] == 'k') {
+                    multiplier = 1_000.0;
+                    i += 1;
+                } else if i < chars.len() && (chars[i] == 'M' || chars[i] == 'm')
+                    // Don't eat the start of a word like `Make` after `10`.
+                    && !chars.get(i + 1).is_some_and(|n| n.is_alphanumeric())
+                {
+                    multiplier = 1_000_000.0;
+                    i += 1;
+                }
+                let text: String = chars[start..i]
+                    .iter()
+                    .filter(|&&c| c != '_' && c != 'K' && c != 'k' && c != 'M' && c != 'm')
+                    .collect();
+                if text.contains('.') {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|e| Error::Invalid(format!("bad number {text:?}: {e}")))?;
+                    tokens.push(Token::Float(v * multiplier));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|e| Error::Invalid(format!("bad number {text:?}: {e}")))?;
+                    let scaled = v as f64 * multiplier;
+                    tokens.push(Token::Int(scaled as i64));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(chars[start..i].iter().collect()));
+            }
+            other => return Err(Error::Invalid(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_symbols_numbers() {
+        let t = tokenize("SELECT * FROM cars WHERE Price >= 10K").unwrap();
+        assert_eq!(t[0], Token::Word("SELECT".into()));
+        assert_eq!(t[1], Token::Sym("*"));
+        assert_eq!(t[5], Token::Word("Price".into()));
+        assert_eq!(t[6], Token::Sym(">="));
+        assert_eq!(t[7], Token::Int(10_000));
+    }
+
+    #[test]
+    fn quoted_strings_with_escapes() {
+        let t = tokenize("'Traverse LT' 'it''s'").unwrap();
+        assert_eq!(t[0], Token::Str("Traverse LT".into()));
+        assert_eq!(t[1], Token::Str("it's".into()));
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn float_and_suffixes() {
+        let t = tokenize("3.5 2.5K 1M").unwrap();
+        assert_eq!(t[0], Token::Float(3.5));
+        assert_eq!(t[1], Token::Float(2_500.0));
+        assert_eq!(t[2], Token::Int(1_000_000));
+    }
+
+    #[test]
+    fn k_suffix_does_not_eat_words() {
+        // `10 Make` must not merge; also `10Make` lexes 10 then Make.
+        let t = tokenize("BETWEEN 10K AND 30K AND Make = Jeep").unwrap();
+        assert!(t.iter().any(|x| x.is_kw("Make")));
+        assert_eq!(t[1], Token::Int(10_000));
+        assert_eq!(t[3], Token::Int(30_000));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+    }
+
+    #[test]
+    fn not_equal_variants() {
+        let t = tokenize("a != b <> c").unwrap();
+        assert_eq!(t[1], Token::Sym("!="));
+        assert_eq!(t[3], Token::Sym("!="));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let t = tokenize("-5 -2.5").unwrap();
+        assert_eq!(t[0], Token::Int(-5));
+        assert_eq!(t[1], Token::Float(-2.5));
+        // A bare minus (no arithmetic in this language) is rejected.
+        assert!(tokenize("- 5").is_err());
+    }
+}

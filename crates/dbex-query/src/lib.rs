@@ -1,0 +1,39 @@
+//! # dbex-query
+//!
+//! Textual query interface: a small SQL subset plus the paper's exploratory
+//! search extensions (Section 2.1.2).
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! SELECT * FROM cars WHERE BodyType = SUV AND Mileage BETWEEN 10K AND 30K;
+//! SELECT Make, Price FROM cars WHERE Make IN (Ford, Jeep);
+//!
+//! CREATE CADVIEW CompareMakes AS
+//!   SET pivot = Make
+//!   SELECT Price
+//!   FROM cars
+//!   WHERE Transmission = Automatic AND BodyType = SUV
+//!   LIMIT COLUMNS 5 IUNITS 3;
+//!
+//! HIGHLIGHT SIMILAR IUNITS IN CompareMakes WHERE SIMILARITY(Chevrolet, 3) > 3.5;
+//!
+//! REORDER ROWS IN CompareMakes ORDER BY SIMILARITY(Chevrolet) DESC;
+//! ```
+//!
+//! Bare words in value position are string literals (the paper writes
+//! `Make = Jeep`); quote multi-word values (`'Traverse LT'`). Numbers accept
+//! a `K`/`M` suffix (`10K` = 10,000). Keywords are case-insensitive.
+//!
+//! [`Session`] executes statements against a catalog of registered tables
+//! and stores named CAD Views for the follow-up `HIGHLIGHT` / `REORDER`
+//! statements.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod session;
+
+pub use ast::{CadViewStmt, HighlightStmt, ReorderStmt, SelectStmt, Statement};
+pub use parser::parse;
+pub use session::{QueryOutput, Session};

@@ -1,0 +1,616 @@
+//! Recursive-descent parser for the query language.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use dbex_table::predicate::CmpOp;
+use dbex_table::{Aggregate, Error, Predicate, Result, Value};
+
+/// Parses one statement from `input`.
+///
+/// ```
+/// use dbex_query::{parse, Statement};
+///
+/// let stmt = parse("SELECT * FROM cars WHERE Price BETWEEN 10K AND 30K").unwrap();
+/// assert!(matches!(stmt, Statement::Select(_)));
+/// assert!(parse("DROP TABLE cars").is_err());
+/// ```
+pub fn parse(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_sym(";"); // optional trailing semicolon
+    if !p.at_end() {
+        return Err(Error::Invalid(format!(
+            "unexpected trailing input near {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Invalid("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Invalid(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(Error::Invalid(format!(
+                "expected {sym:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Word(w) => Ok(w),
+            Token::Str(s) => Ok(s),
+            other => Err(Error::Invalid(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64> {
+        match self.next()? {
+            Token::Int(v) => Ok(v),
+            other => Err(Error::Invalid(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next()? {
+            Token::Int(v) => Ok(v as f64),
+            Token::Float(v) => Ok(v),
+            other => Err(Error::Invalid(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.peek_kw("CREATE") {
+            Ok(Statement::CreateCadView(self.create_cadview()?))
+        } else if self.peek_kw("EXPLAIN") {
+            self.expect_kw("EXPLAIN")?;
+            Ok(Statement::ExplainCadView(self.create_cadview()?))
+        } else if self.peek_kw("DESCRIBE") || self.peek_kw("DESC") {
+            self.pos += 1;
+            Ok(Statement::Describe(self.identifier()?))
+        } else if self.peek_kw("SHOW") {
+            self.expect_kw("SHOW")?;
+            self.expect_kw("CADVIEWS")?;
+            Ok(Statement::ShowCadViews)
+        } else if self.peek_kw("DROP") {
+            self.expect_kw("DROP")?;
+            self.expect_kw("CADVIEW")?;
+            Ok(Statement::DropCadView(self.identifier()?))
+        } else if self.peek_kw("HIGHLIGHT") {
+            Ok(Statement::Highlight(self.highlight()?))
+        } else if self.peek_kw("REORDER") {
+            Ok(Statement::Reorder(self.reorder()?))
+        } else {
+            Err(Error::Invalid(format!(
+                "expected SELECT, CREATE CADVIEW, EXPLAIN, DESCRIBE, SHOW CADVIEWS, DROP \
+                 CADVIEW, HIGHLIGHT or REORDER, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let (columns, aggregates) = self.select_items()?;
+        self.expect_kw("FROM")?;
+        let table = self.identifier()?;
+        let predicate = if self.eat_kw("WHERE") {
+            self.predicate()?
+        } else {
+            Predicate::Const(true)
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.identifier()?);
+            while self.eat_sym(",") {
+                group_by.push(self.identifier()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let attr = self.identifier()?;
+                let ascending = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push((attr, ascending));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.integer()? as usize)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            columns,
+            aggregates,
+            table,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    /// Select list: `*`, columns, and/or aggregate calls.
+    fn select_items(&mut self) -> Result<(Vec<String>, Vec<Aggregate>)> {
+        if self.eat_sym("*") {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let mut columns = Vec::new();
+        let mut aggregates = Vec::new();
+        loop {
+            if let Some(agg) = self.try_aggregate()? {
+                aggregates.push(agg);
+            } else {
+                columns.push(self.identifier()?);
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok((columns, aggregates))
+    }
+
+    /// Parses `COUNT(*)` / `SUM(a)` / `AVG(a)` / `MIN(a)` / `MAX(a)` if the
+    /// next tokens form one.
+    fn try_aggregate(&mut self) -> Result<Option<Aggregate>> {
+        let func = match self.peek() {
+            Some(t) if t.is_kw("COUNT") => "count",
+            Some(t) if t.is_kw("SUM") => "sum",
+            Some(t) if t.is_kw("AVG") => "avg",
+            Some(t) if t.is_kw("MIN") => "min",
+            Some(t) if t.is_kw("MAX") => "max",
+            _ => return Ok(None),
+        };
+        // Only a function call if followed by '('.
+        if !matches!(self.tokens.get(self.pos + 1), Some(Token::Sym("("))) {
+            return Ok(None);
+        }
+        self.pos += 2; // function name + '('
+        let agg = if func == "count" {
+            self.expect_sym("*")?;
+            Aggregate::Count
+        } else {
+            let attr = self.identifier()?;
+            match func {
+                "sum" => Aggregate::Sum(attr),
+                "avg" => Aggregate::Avg(attr),
+                "min" => Aggregate::Min(attr),
+                _ => Aggregate::Max(attr),
+            }
+        };
+        self.expect_sym(")")?;
+        Ok(Some(agg))
+    }
+
+    /// Plain column list (used by `CREATE CADVIEW`'s SELECT clause).
+    fn select_list(&mut self) -> Result<Vec<String>> {
+        if self.eat_sym("*") {
+            return Ok(Vec::new());
+        }
+        let mut cols = vec![self.identifier()?];
+        while self.eat_sym(",") {
+            cols.push(self.identifier()?);
+        }
+        Ok(cols)
+    }
+
+    fn create_cadview(&mut self) -> Result<CadViewStmt> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("CADVIEW")?;
+        let name = self.identifier()?;
+        self.expect_kw("AS")?;
+        self.expect_kw("SET")?;
+        self.expect_kw("pivot")?;
+        self.expect_sym("=")?;
+        let pivot = self.identifier()?;
+        let compare_attrs = if self.eat_kw("SELECT") {
+            self.select_list()?
+        } else {
+            Vec::new()
+        };
+        self.expect_kw("FROM")?;
+        let table = self.identifier()?;
+        let predicate = if self.eat_kw("WHERE") {
+            self.predicate()?
+        } else {
+            Predicate::Const(true)
+        };
+        let mut limit_columns = None;
+        let mut iunits = None;
+        let mut order_by = Vec::new();
+        loop {
+            if self.eat_kw("LIMIT") {
+                self.expect_kw("COLUMNS")?;
+                limit_columns = Some(self.integer()? as usize);
+            } else if self.eat_kw("IUNITS") {
+                iunits = Some(self.integer()? as usize);
+            } else if self.eat_kw("ORDER") {
+                self.expect_kw("BY")?;
+                loop {
+                    let attr = self.identifier()?;
+                    let order = if self.eat_kw("DESC") {
+                        SortOrder::Desc
+                    } else {
+                        self.eat_kw("ASC");
+                        SortOrder::Asc
+                    };
+                    order_by.push((attr, order));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(CadViewStmt {
+            name,
+            pivot,
+            compare_attrs,
+            table,
+            predicate,
+            limit_columns,
+            iunits,
+            order_by,
+        })
+    }
+
+    fn highlight(&mut self) -> Result<HighlightStmt> {
+        self.expect_kw("HIGHLIGHT")?;
+        self.expect_kw("SIMILAR")?;
+        self.expect_kw("IUNITS")?;
+        self.expect_kw("IN")?;
+        let view = self.identifier()?;
+        self.expect_kw("WHERE")?;
+        self.expect_kw("SIMILARITY")?;
+        self.expect_sym("(")?;
+        let pivot_value = self.identifier()?;
+        self.expect_sym(",")?;
+        let iunit_id = self.integer()? as usize;
+        self.expect_sym(")")?;
+        self.expect_sym(">")?;
+        let threshold = self.number()?;
+        Ok(HighlightStmt {
+            view,
+            pivot_value,
+            iunit_id,
+            threshold,
+        })
+    }
+
+    fn reorder(&mut self) -> Result<ReorderStmt> {
+        self.expect_kw("REORDER")?;
+        self.expect_kw("ROWS")?;
+        self.expect_kw("IN")?;
+        let view = self.identifier()?;
+        self.expect_kw("ORDER")?;
+        self.expect_kw("BY")?;
+        self.expect_kw("SIMILARITY")?;
+        self.expect_sym("(")?;
+        let pivot_value = self.identifier()?;
+        self.expect_sym(")")?;
+        self.eat_kw("DESC");
+        Ok(ReorderStmt { view, pivot_value })
+    }
+
+    // --- predicates: OR < AND < NOT < primary ---
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut terms = vec![self.and_expr()?];
+        while self.eat_kw("OR") {
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("non-empty")
+        } else {
+            Predicate::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate> {
+        let mut terms = vec![self.unary()?];
+        while self.eat_kw("AND") {
+            terms.push(self.unary()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("non-empty")
+        } else {
+            Predicate::And(terms)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Predicate> {
+        if self.eat_kw("NOT") {
+            return Ok(Predicate::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_sym("(") {
+            let inner = self.predicate()?;
+            self.expect_sym(")")?;
+            return Ok(inner);
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Predicate> {
+        let attribute = self.identifier()?;
+        if self.eat_kw("BETWEEN") {
+            let low = self.literal()?;
+            self.expect_kw("AND")?;
+            let high = self.literal()?;
+            return Ok(Predicate::Between {
+                attribute,
+                low,
+                high,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_sym("(")?;
+            let mut values = vec![self.literal()?];
+            while self.eat_sym(",") {
+                values.push(self.literal()?);
+            }
+            self.expect_sym(")")?;
+            return Ok(Predicate::In { attribute, values });
+        }
+        if self.eat_kw("IS") {
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                return Ok(Predicate::Not(Box::new(Predicate::IsNull { attribute })));
+            }
+            self.expect_kw("NULL")?;
+            return Ok(Predicate::IsNull { attribute });
+        }
+        let op = match self.next()? {
+            Token::Sym("=") => CmpOp::Eq,
+            Token::Sym("!=") => CmpOp::Ne,
+            Token::Sym("<") => CmpOp::Lt,
+            Token::Sym("<=") => CmpOp::Le,
+            Token::Sym(">") => CmpOp::Gt,
+            Token::Sym(">=") => CmpOp::Ge,
+            other => {
+                return Err(Error::Invalid(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let value = self.literal()?;
+        Ok(Predicate::Compare {
+            attribute,
+            op,
+            value,
+        })
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Token::Int(v) => Ok(Value::Int(v)),
+            Token::Float(v) => Ok(Value::Float(v)),
+            Token::Str(s) => Ok(Value::Str(s)),
+            Token::Word(w) if w.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            Token::Word(w) => Ok(Value::Str(w)), // bare word literal
+            other => Err(Error::Invalid(format!("expected literal, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_initial_query() {
+        let stmt = parse(
+            "SELECT * FROM D WHERE Mileage BETWEEN 10K AND 30K AND \
+             Transmission = Automatic AND BodyType = SUV",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("expected select");
+        };
+        assert_eq!(s.table, "D");
+        assert!(s.columns.is_empty());
+        assert_eq!(s.predicate.referenced_attributes().len(), 3);
+    }
+
+    #[test]
+    fn parses_paper_cadview_query() {
+        let stmt = parse(
+            "CREATE CADVIEW CompareMakes AS \
+             SET pivot = Make \
+             SELECT Price \
+             FROM UsedCars \
+             WHERE Mileage BETWEEN 10K AND 30K AND Transmission = Automatic \
+               AND BodyType = SUV AND \
+               (Make = Jeep OR Make = Toyota OR Make = Honda OR Make = Ford OR Make = Chevrolet) \
+             LIMIT COLUMNS 5 IUNITS 3",
+        )
+        .unwrap();
+        let Statement::CreateCadView(c) = stmt else {
+            panic!("expected cadview");
+        };
+        assert_eq!(c.name, "CompareMakes");
+        assert_eq!(c.pivot, "Make");
+        assert_eq!(c.compare_attrs, vec!["Price"]);
+        assert_eq!(c.limit_columns, Some(5));
+        assert_eq!(c.iunits, Some(3));
+        assert!(c.order_by.is_empty());
+    }
+
+    #[test]
+    fn parses_highlight() {
+        let stmt = parse(
+            "HIGHLIGHT SIMILAR IUNITS IN CompareMakes WHERE SIMILARITY(Chevrolet, 3) > 3.5",
+        )
+        .unwrap();
+        let Statement::Highlight(h) = stmt else {
+            panic!("expected highlight");
+        };
+        assert_eq!(h.view, "CompareMakes");
+        assert_eq!(h.pivot_value, "Chevrolet");
+        assert_eq!(h.iunit_id, 3);
+        assert_eq!(h.threshold, 3.5);
+    }
+
+    #[test]
+    fn parses_reorder() {
+        let stmt =
+            parse("REORDER ROWS IN CompareMakes ORDER BY SIMILARITY(Chevrolet) DESC").unwrap();
+        let Statement::Reorder(r) = stmt else {
+            panic!("expected reorder");
+        };
+        assert_eq!(r.view, "CompareMakes");
+        assert_eq!(r.pivot_value, "Chevrolet");
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let Statement::Select(s) =
+            parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap()
+        else {
+            panic!()
+        };
+        let Predicate::Or(terms) = s.predicate else {
+            panic!("top level should be OR");
+        };
+        assert_eq!(terms.len(), 2);
+        assert!(matches!(terms[1], Predicate::And(_)));
+    }
+
+    #[test]
+    fn not_and_is_null() {
+        let Statement::Select(s) =
+            parse("SELECT * FROM t WHERE NOT a = 1 AND b IS NULL AND c IS NOT NULL").unwrap()
+        else {
+            panic!()
+        };
+        let Predicate::And(terms) = s.predicate else {
+            panic!()
+        };
+        assert!(matches!(terms[0], Predicate::Not(_)));
+        assert!(matches!(terms[1], Predicate::IsNull { .. }));
+        assert!(matches!(terms[2], Predicate::Not(_)));
+    }
+
+    #[test]
+    fn in_list_and_quoted_values() {
+        let Statement::Select(s) =
+            parse("SELECT Make, Model FROM cars WHERE Model IN ('Traverse LT', 'Equinox LT')")
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.columns, vec!["Make", "Model"]);
+        let Predicate::In { values, .. } = s.predicate else {
+            panic!()
+        };
+        assert_eq!(values[0], Value::Str("Traverse LT".into()));
+    }
+
+    #[test]
+    fn order_by_in_cadview() {
+        let Statement::CreateCadView(c) = parse(
+            "CREATE CADVIEW v AS SET pivot = Make FROM cars ORDER BY Price ASC IUNITS 4",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.order_by, vec![("Price".into(), SortOrder::Asc)]);
+        assert_eq!(c.iunits, Some(4));
+        assert!(c.compare_attrs.is_empty());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT * FROM t WHERE a = 1 banana banana").is_err());
+        assert!(parse("DELETE FROM t").is_err());
+        assert!(parse("SELECT *").is_err());
+    }
+
+    #[test]
+    fn show_and_drop_cadviews() {
+        assert_eq!(parse("SHOW CADVIEWS").unwrap(), Statement::ShowCadViews);
+        assert_eq!(
+            parse("DROP CADVIEW v;").unwrap(),
+            Statement::DropCadView("v".into())
+        );
+        assert!(parse("SHOW TABLES").is_err());
+        assert!(parse("DROP TABLE t").is_err());
+    }
+
+    #[test]
+    fn semicolon_tolerated() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+    }
+}

@@ -1,0 +1,520 @@
+//! Session: a catalog of tables plus named CAD Views, executing parsed
+//! statements.
+
+use crate::ast::*;
+use crate::parser::parse;
+use dbex_core::{build_cad_view, CadRequest, CadView, Preference};
+use dbex_table::{group_by, sort_view, Error, Result, SortKey, Table, Value};
+use std::collections::HashMap;
+
+/// The result of executing one statement.
+#[derive(Debug)]
+pub enum QueryOutput {
+    /// Rows from a `SELECT`: header + materialized values.
+    Rows {
+        /// Projected column names.
+        columns: Vec<String>,
+        /// Row values, in result order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// A created CAD View (also stored in the session under its name).
+    Cad {
+        /// The view's name.
+        name: String,
+        /// Rendered ASCII table (Table-1 style).
+        rendered: String,
+    },
+    /// `HIGHLIGHT SIMILAR IUNITS` hits: `(pivot value, 1-based IUnit id,
+    /// similarity)`.
+    Highlights(Vec<(String, usize, f64)>),
+    /// `REORDER ROWS` result: pivot values by decreasing similarity (i.e.
+    /// increasing Algorithm-2 distance) to the reference.
+    Reordered(Vec<(String, f64)>),
+    /// Free-form text output (`DESCRIBE`, `EXPLAIN CADVIEW`).
+    Text(String),
+}
+
+/// An interactive session over registered tables.
+#[derive(Default)]
+pub struct Session {
+    tables: HashMap<String, Table>,
+    cad_views: HashMap<String, CadView>,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Registers `table` under `name` (replacing any previous table).
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// A registered table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::Invalid(format!("unknown table {name}")))
+    }
+
+    /// A stored CAD View.
+    pub fn cad_view(&self, name: &str) -> Result<&CadView> {
+        self.cad_views
+            .get(name)
+            .ok_or_else(|| Error::Invalid(format!("unknown CAD View {name}")))
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput> {
+        let stmt = parse(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Executes a multi-statement script: statements separated by `;`
+    /// (semicolons inside single-quoted strings are respected). Empty
+    /// statements are skipped. Stops at the first error.
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<QueryOutput>> {
+        let mut outputs = Vec::new();
+        for stmt in split_statements(script) {
+            if stmt.trim().is_empty() {
+                continue;
+            }
+            outputs.push(self.execute(&stmt)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_statement(&mut self, stmt: Statement) -> Result<QueryOutput> {
+        match stmt {
+            Statement::Select(s) => self.run_select(s),
+            Statement::CreateCadView(c) => self.run_create_cadview(c),
+            Statement::ExplainCadView(c) => self.run_explain_cadview(c),
+            Statement::Highlight(h) => self.run_highlight(h),
+            Statement::Reorder(r) => self.run_reorder(r),
+            Statement::Describe(name) => self.run_describe(&name),
+            Statement::ShowCadViews => {
+                let mut names: Vec<&String> = self.cad_views.keys().collect();
+                names.sort();
+                let mut out = String::new();
+                for name in names {
+                    let cad = &self.cad_views[name];
+                    out.push_str(&format!(
+                        "{name}: pivot {} ({} values, {} compare attrs, k = {})\n",
+                        cad.pivot_name,
+                        cad.rows.len(),
+                        cad.compare_names.len(),
+                        cad.k
+                    ));
+                }
+                if out.is_empty() {
+                    out.push_str("(no CAD Views)\n");
+                }
+                Ok(QueryOutput::Text(out))
+            }
+            Statement::DropCadView(name) => {
+                if self.cad_views.remove(&name).is_none() {
+                    return Err(Error::Invalid(format!("unknown CAD View {name}")));
+                }
+                Ok(QueryOutput::Text(format!("dropped CAD View {name}\n")))
+            }
+        }
+    }
+
+    fn run_select(&self, s: SelectStmt) -> Result<QueryOutput> {
+        let table = self.table(&s.table)?;
+        let view = table.filter(&s.predicate)?;
+
+        // Aggregate query: GROUP BY + aggregates produce a derived table,
+        // then ORDER BY / LIMIT apply to it.
+        if !s.aggregates.is_empty() {
+            for col in &s.columns {
+                if !s.group_by.contains(col) {
+                    return Err(Error::Invalid(format!(
+                        "column {col} must appear in GROUP BY"
+                    )));
+                }
+            }
+            let derived = group_by(&view, &s.group_by, &s.aggregates)?;
+            return Self::emit_rows(&derived, &s.order_by, s.limit);
+        }
+        if !s.group_by.is_empty() {
+            return Err(Error::Invalid(
+                "GROUP BY requires aggregate functions in the select list".into(),
+            ));
+        }
+
+        let schema = table.schema();
+        let col_indices: Vec<usize> = if s.columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            s.columns
+                .iter()
+                .map(|c| schema.index_of(c))
+                .collect::<Result<_>>()?
+        };
+        let columns: Vec<String> = col_indices
+            .iter()
+            .map(|&i| schema.field(i).name.clone())
+            .collect();
+        let ordered = if s.order_by.is_empty() {
+            view
+        } else {
+            let keys: Vec<SortKey> = s
+                .order_by
+                .iter()
+                .map(|(a, asc)| SortKey {
+                    attribute: a.clone(),
+                    ascending: *asc,
+                })
+                .collect();
+            sort_view(&view, &keys)?
+        };
+        let limit = s.limit.unwrap_or(usize::MAX);
+        let rows = ordered
+            .row_ids()
+            .iter()
+            .take(limit)
+            .map(|&r| {
+                col_indices
+                    .iter()
+                    .map(|&c| table.value(r as usize, c))
+                    .collect()
+            })
+            .collect();
+        Ok(QueryOutput::Rows { columns, rows })
+    }
+
+    /// Materializes a derived table (all columns) with optional ordering
+    /// and limit.
+    fn emit_rows(
+        table: &Table,
+        order_by: &[(String, bool)],
+        limit: Option<usize>,
+    ) -> Result<QueryOutput> {
+        let view = if order_by.is_empty() {
+            table.full_view()
+        } else {
+            let keys: Vec<SortKey> = order_by
+                .iter()
+                .map(|(a, asc)| SortKey {
+                    attribute: a.clone(),
+                    ascending: *asc,
+                })
+                .collect();
+            sort_view(&table.full_view(), &keys)?
+        };
+        let limit = limit.unwrap_or(usize::MAX);
+        let columns = table
+            .schema()
+            .names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let rows = view
+            .row_ids()
+            .iter()
+            .take(limit)
+            .map(|&r| {
+                (0..table.num_columns())
+                    .map(|c| table.value(r as usize, c))
+                    .collect()
+            })
+            .collect();
+        Ok(QueryOutput::Rows { columns, rows })
+    }
+
+    fn run_describe(&self, name: &str) -> Result<QueryOutput> {
+        let table = self.table(name)?;
+        let mut out = format!(
+            "table {name}: {} rows, {} attributes\n",
+            table.num_rows(),
+            table.num_columns()
+        );
+        for (i, field) in table.schema().fields().iter().enumerate() {
+            out.push_str(&format!(
+                "  {:<24} {:<12} {:<10} {} distinct\n",
+                field.name,
+                field.data_type.to_string(),
+                if field.queriable { "queriable" } else { "hidden" },
+                table.column(i).cardinality(),
+            ));
+        }
+        Ok(QueryOutput::Text(out))
+    }
+
+    fn run_explain_cadview(&self, c: CadViewStmt) -> Result<QueryOutput> {
+        let table = self.table(&c.table)?;
+        let result = table.filter(&c.predicate)?;
+        let request = Self::cad_request(&c)?;
+        let cad = build_cad_view(&result, &request)?;
+        let mut out = format!(
+            "CADVIEW {} over {} rows of {}\n  pivot: {} ({} values shown)\n",
+            c.name,
+            result.len(),
+            c.table,
+            c.pivot,
+            cad.rows.len()
+        );
+        out.push_str("  compare attributes (forced first, then by chi-square):\n");
+        for (name, idx) in cad.compare_names.iter().zip(&cad.compare_attrs) {
+            match cad.feature_scores.iter().find(|s| s.attr_index == *idx) {
+                Some(score) => out.push_str(&format!(
+                    "    {:<20} chi2 = {:>10.1}  dof = {:>4}  p = {:.4}\n",
+                    name, score.statistic, score.dof, score.p_value
+                )),
+                None => out.push_str(&format!("    {name:<20} (user-forced)\n")),
+            }
+        }
+        out.push_str(&format!(
+            "  timings: compare-attrs {:.1?} | iunit-generation {:.1?} | others {:.1?}\n",
+            cad.timings.compare_attrs, cad.timings.iunit_generation, cad.timings.others
+        ));
+        Ok(QueryOutput::Text(out))
+    }
+
+    /// Translates a parsed CADVIEW statement into a builder request.
+    fn cad_request(c: &CadViewStmt) -> Result<CadRequest> {
+        let mut request = CadRequest::new(&c.pivot).with_compare(c.compare_attrs.clone());
+        if let Some(m) = c.limit_columns {
+            request = request.with_max_compare_attrs(m);
+        }
+        if let Some(k) = c.iunits {
+            request = request.with_iunits(k);
+        }
+        if c.order_by.len() > 1 {
+            return Err(Error::Invalid(
+                "CADVIEW ORDER BY accepts a single key (the IUnit preference                  function is one-dimensional)"
+                    .into(),
+            ));
+        }
+        if let Some((attr, order)) = c.order_by.first() {
+            request = request.with_preference(match order {
+                SortOrder::Asc => Preference::AttributeAsc(attr.clone()),
+                SortOrder::Desc => Preference::AttributeDesc(attr.clone()),
+            });
+        }
+        Ok(request)
+    }
+
+    fn run_create_cadview(&mut self, c: CadViewStmt) -> Result<QueryOutput> {
+        let table = self.table(&c.table)?;
+        let result = table.filter(&c.predicate)?;
+        let request = Self::cad_request(&c)?;
+        let cad = build_cad_view(&result, &request)?;
+        let rendered = cad.render();
+        self.cad_views.insert(c.name.clone(), cad);
+        Ok(QueryOutput::Cad {
+            name: c.name,
+            rendered,
+        })
+    }
+
+    fn run_highlight(&self, h: HighlightStmt) -> Result<QueryOutput> {
+        let cad = self.cad_view(&h.view)?;
+        if h.iunit_id == 0 {
+            return Err(Error::Invalid("IUnit ids are 1-based".into()));
+        }
+        let hits = cad.highlight_similar(&h.pivot_value, h.iunit_id - 1, Some(h.threshold));
+        Ok(QueryOutput::Highlights(
+            hits.into_iter().map(|(v, i, s)| (v, i + 1, s)).collect(),
+        ))
+    }
+
+    fn run_reorder(&mut self, r: ReorderStmt) -> Result<QueryOutput> {
+        let cad = self
+            .cad_views
+            .get_mut(&r.view)
+            .ok_or_else(|| Error::Invalid(format!("unknown CAD View {}", r.view)))?;
+        let order = cad.reorder_rows(&r.pivot_value);
+        if order.is_empty() {
+            return Err(Error::Invalid(format!(
+                "pivot value {} not in CAD View {}",
+                r.pivot_value, r.view
+            )));
+        }
+        cad.apply_row_order(&order);
+        Ok(QueryOutput::Reordered(order))
+    }
+}
+
+/// Splits on semicolons outside single-quoted strings.
+fn split_statements(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_quote = false;
+    for c in script.chars() {
+        match c {
+            '\'' => {
+                in_quote = !in_quote;
+                current.push(c);
+            }
+            ';' if !in_quote => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::{DataType, Field, TableBuilder};
+
+    fn session() -> Session {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Engine", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for i in 0..30i64 {
+            let (m, e, p) = match i % 3 {
+                0 => ("Ford", "V6", 25_000 + i * 10),
+                1 => ("Jeep", "V8", 35_000 + i * 10),
+                _ => ("Ford", "V4", 15_000 + i * 10),
+            };
+            b.push_row(vec![m.into(), e.into(), p.into()]).unwrap();
+        }
+        let mut s = Session::new();
+        s.register_table("cars", b.finish());
+        s
+    }
+
+    #[test]
+    fn select_star_and_projection() {
+        let mut s = session();
+        let QueryOutput::Rows { columns, rows } =
+            s.execute("SELECT * FROM cars WHERE Make = Jeep").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(columns.len(), 3);
+        assert_eq!(rows.len(), 10);
+
+        let QueryOutput::Rows { columns, rows } = s
+            .execute("SELECT Make, Price FROM cars WHERE Price < 16K LIMIT 3")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(columns, vec!["Make", "Price"]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], Value::Str("Ford".into()));
+    }
+
+    #[test]
+    fn create_highlight_reorder_pipeline() {
+        let mut s = session();
+        let out = s
+            .execute(
+                "CREATE CADVIEW v AS SET pivot = Make FROM cars LIMIT COLUMNS 2 IUNITS 2",
+            )
+            .unwrap();
+        let QueryOutput::Cad { name, rendered } = out else {
+            panic!()
+        };
+        assert_eq!(name, "v");
+        assert!(rendered.contains("IUnit 1"));
+
+        let QueryOutput::Highlights(hits) = s
+            .execute("HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(Ford, 1) > 0.1")
+            .unwrap()
+        else {
+            panic!()
+        };
+        // 1-based ids and no self-hit.
+        assert!(hits.iter().all(|(_, id, _)| *id >= 1));
+
+        let QueryOutput::Reordered(order) = s
+            .execute("REORDER ROWS IN v ORDER BY SIMILARITY(Jeep) DESC")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(order[0].0, "Jeep");
+        assert_eq!(s.cad_view("v").unwrap().rows[0].pivot_label, "Jeep");
+    }
+
+    #[test]
+    fn errors_on_unknown_objects() {
+        let mut s = session();
+        assert!(s.execute("SELECT * FROM nope").is_err());
+        assert!(s
+            .execute("HIGHLIGHT SIMILAR IUNITS IN nope WHERE SIMILARITY(Ford, 1) > 1")
+            .is_err());
+        assert!(s
+            .execute("REORDER ROWS IN nope ORDER BY SIMILARITY(Ford) DESC")
+            .is_err());
+        assert!(s
+            .execute("SELECT * FROM cars WHERE NoSuchColumn = 1")
+            .is_err());
+    }
+
+    #[test]
+    fn show_and_drop_cadview_lifecycle() {
+        let mut s = session();
+        let QueryOutput::Text(t) = s.execute("SHOW CADVIEWS").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("no CAD Views"));
+        s.execute("CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2")
+            .unwrap();
+        let QueryOutput::Text(t) = s.execute("SHOW CADVIEWS").unwrap() else {
+            panic!()
+        };
+        assert!(t.contains("v: pivot Make"));
+        s.execute("DROP CADVIEW v").unwrap();
+        assert!(s.cad_view("v").is_err());
+        assert!(s.execute("DROP CADVIEW v").is_err());
+    }
+
+    #[test]
+    fn highlight_validates_iunit_id() {
+        let mut s = session();
+        s.execute("CREATE CADVIEW v AS SET pivot = Make FROM cars")
+            .unwrap();
+        assert!(s
+            .execute("HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(Ford, 0) > 1")
+            .is_err());
+    }
+
+    #[test]
+    fn script_execution() {
+        let mut s = session();
+        let outputs = s
+            .execute_script(
+                "SELECT * FROM cars LIMIT 1;\n\
+                 CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2;\n\
+                 REORDER ROWS IN v ORDER BY SIMILARITY(Jeep) DESC;",
+            )
+            .unwrap();
+        assert_eq!(outputs.len(), 3);
+        assert!(matches!(outputs[0], QueryOutput::Rows { .. }));
+        assert!(matches!(outputs[2], QueryOutput::Reordered(_)));
+        // Errors stop the script.
+        assert!(s.execute_script("SELECT * FROM cars; SELECT * FROM nope").is_err());
+        // Quoted semicolons survive.
+        let out = s
+            .execute_script("SELECT * FROM cars WHERE Make = 'a;b' LIMIT 1")
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn reorder_unknown_value_errors() {
+        let mut s = session();
+        s.execute("CREATE CADVIEW v AS SET pivot = Make FROM cars")
+            .unwrap();
+        assert!(s
+            .execute("REORDER ROWS IN v ORDER BY SIMILARITY(Tesla) DESC")
+            .is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the query-language extensions: aggregates,
+//! GROUP BY / ORDER BY, DESCRIBE and EXPLAIN CADVIEW.
+
+use dbex_query::{QueryOutput, Session};
+use dbex_table::{DataType, Field, TableBuilder, Value};
+
+fn session() -> Session {
+    let mut b = TableBuilder::new(vec![
+        Field::new("Make", DataType::Categorical),
+        Field::new("Body", DataType::Categorical),
+        Field::new("Price", DataType::Int),
+        Field::hidden("Engine", DataType::Categorical),
+    ])
+    .unwrap();
+    for (m, body, p, e) in [
+        ("Ford", "SUV", 30, "V6"),
+        ("Ford", "SUV", 20, "V6"),
+        ("Ford", "Sedan", 10, "V4"),
+        ("Jeep", "SUV", 40, "V8"),
+        ("Jeep", "SUV", 50, "V8"),
+    ] {
+        b.push_row(vec![m.into(), body.into(), p.into(), e.into()])
+            .unwrap();
+    }
+    let mut s = Session::new();
+    s.register_table("cars", b.finish());
+    s
+}
+
+#[test]
+fn group_by_with_aggregates() {
+    let mut s = session();
+    let QueryOutput::Rows { columns, rows } = s
+        .execute(
+            "SELECT Make, COUNT(*), AVG(Price) FROM cars \
+             GROUP BY Make ORDER BY 'avg(Price)' DESC",
+        )
+        .unwrap()
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(columns, vec!["Make", "count(*)", "avg(Price)"]);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::Str("Jeep".into()));
+    assert_eq!(rows[0][1], Value::Int(2));
+    assert_eq!(rows[0][2], Value::Float(45.0));
+    assert_eq!(rows[1][2], Value::Float(20.0));
+}
+
+#[test]
+fn ungrouped_aggregate() {
+    let mut s = session();
+    let QueryOutput::Rows { rows, .. } = s
+        .execute("SELECT COUNT(*), MIN(Price), MAX(Price) FROM cars WHERE Body = SUV")
+        .unwrap()
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::Int(4));
+    assert_eq!(rows[0][1], Value::Float(20.0));
+    assert_eq!(rows[0][2], Value::Float(50.0));
+}
+
+#[test]
+fn order_by_on_plain_select() {
+    let mut s = session();
+    let QueryOutput::Rows { rows, .. } = s
+        .execute("SELECT Make, Price FROM cars ORDER BY Price DESC LIMIT 2")
+        .unwrap()
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(rows[0][1], Value::Int(50));
+    assert_eq!(rows[1][1], Value::Int(40));
+}
+
+#[test]
+fn multi_key_order_by() {
+    let mut s = session();
+    let QueryOutput::Rows { rows, .. } = s
+        .execute("SELECT Make, Price FROM cars ORDER BY Make ASC, Price ASC")
+        .unwrap()
+    else {
+        panic!("expected rows");
+    };
+    let got: Vec<(String, i64)> = rows
+        .iter()
+        .map(|r| {
+            let Value::Int(p) = r[1] else { panic!() };
+            (r[0].to_string(), p)
+        })
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("Ford".into(), 10),
+            ("Ford".into(), 20),
+            ("Ford".into(), 30),
+            ("Jeep".into(), 40),
+            ("Jeep".into(), 50),
+        ]
+    );
+}
+
+#[test]
+fn describe_table() {
+    let mut s = session();
+    let QueryOutput::Text(text) = s.execute("DESCRIBE cars").unwrap() else {
+        panic!("expected text");
+    };
+    assert!(text.contains("5 rows, 4 attributes"));
+    assert!(text.contains("Engine"));
+    assert!(text.contains("hidden"));
+    assert!(text.contains("queriable"));
+    assert!(s.execute("DESCRIBE nope").is_err());
+}
+
+#[test]
+fn explain_cadview_reports_scores_without_storing() {
+    let mut s = session();
+    let QueryOutput::Text(text) = s
+        .execute("EXPLAIN CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2")
+        .unwrap()
+    else {
+        panic!("expected text");
+    };
+    assert!(text.contains("CADVIEW v over 5 rows"));
+    assert!(text.contains("chi2"));
+    assert!(text.contains("timings"));
+    // EXPLAIN does not store the view.
+    assert!(s.cad_view("v").is_err());
+}
+
+#[test]
+fn cadview_order_by_single_key_only() {
+    let mut s = session();
+    // One key works.
+    assert!(s
+        .execute("CREATE CADVIEW a AS SET pivot = Make FROM cars ORDER BY Price ASC")
+        .is_ok());
+    // Two keys parse (the paper's grammar admits a list) but execution
+    // rejects them with a clear message.
+    let err = s
+        .execute("CREATE CADVIEW b AS SET pivot = Make FROM cars ORDER BY Price ASC, Make DESC")
+        .unwrap_err();
+    assert!(err.to_string().contains("single key"), "{err}");
+}
+
+#[test]
+fn aggregate_errors() {
+    let mut s = session();
+    // Bare column not in GROUP BY.
+    assert!(s
+        .execute("SELECT Body, COUNT(*) FROM cars GROUP BY Make")
+        .is_err());
+    // GROUP BY without aggregates.
+    assert!(s.execute("SELECT Make FROM cars GROUP BY Make").is_err());
+    // Aggregating a categorical attribute.
+    assert!(s.execute("SELECT AVG(Make) FROM cars").is_err());
+}
+
+#[test]
+fn aggregate_names_usable_as_bare_columns() {
+    // MIN/MAX/etc. only become functions when followed by `(`.
+    let mut b = TableBuilder::new(vec![Field::new("min", DataType::Int)]).unwrap();
+    b.push_row(vec![Value::Int(1)]).unwrap();
+    let mut s = Session::new();
+    s.register_table("t", b.finish());
+    let QueryOutput::Rows { columns, .. } = s.execute("SELECT min FROM t").unwrap() else {
+        panic!("expected rows");
+    };
+    assert_eq!(columns, vec!["min"]);
+}

@@ -1,0 +1,213 @@
+//! Contingency tables and Pearson's chi-square test of independence.
+//!
+//! This is the statistical core of Compare Attribute selection (paper
+//! Section 3.1.1): "ChiSquare evaluates the worth of an attribute by
+//! computing the value of the chi-squared statistic with respect to the
+//! class".
+
+use crate::special::chi2_sf;
+
+/// A dense `rows × cols` contingency table of observation counts.
+///
+/// Rows index the class variable (Pivot Attribute values); columns index the
+/// candidate attribute's discrete values.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    rows: usize,
+    cols: usize,
+    counts: Vec<f64>,
+}
+
+impl ContingencyTable {
+    /// Creates an all-zero table of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        ContingencyTable {
+            rows,
+            cols,
+            counts: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of class rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of attribute-value columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Increments the `(row, col)` cell by one observation.
+    pub fn add(&mut self, row: usize, col: usize) {
+        self.counts[row * self.cols + col] += 1.0;
+    }
+
+    /// Count in cell `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.counts[row * self.cols + col]
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Row marginal sums.
+    pub fn row_totals(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c)).sum())
+            .collect()
+    }
+
+    /// Column marginal sums.
+    pub fn col_totals(&self) -> Vec<f64> {
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self.get(r, c)).sum())
+            .collect()
+    }
+
+    /// Runs Pearson's chi-square test of independence on the table.
+    ///
+    /// Rows/columns whose marginal total is zero are excluded both from the
+    /// statistic and from the degrees of freedom (they carry no
+    /// information — Weka does the same). Returns `None` when fewer than two
+    /// non-empty rows or columns remain (the test is undefined).
+    pub fn chi_square(&self) -> Option<ChiSquareResult> {
+        let row_totals = self.row_totals();
+        let col_totals = self.col_totals();
+        let n = self.total();
+        let live_rows: Vec<usize> = (0..self.rows).filter(|&r| row_totals[r] > 0.0).collect();
+        let live_cols: Vec<usize> = (0..self.cols).filter(|&c| col_totals[c] > 0.0).collect();
+        if live_rows.len() < 2 || live_cols.len() < 2 || n <= 0.0 {
+            return None;
+        }
+        let mut statistic = 0.0;
+        for &r in &live_rows {
+            for &c in &live_cols {
+                let expected = row_totals[r] * col_totals[c] / n;
+                let observed = self.get(r, c);
+                let diff = observed - expected;
+                statistic += diff * diff / expected;
+            }
+        }
+        let dof = ((live_rows.len() - 1) * (live_cols.len() - 1)) as f64;
+        Some(ChiSquareResult {
+            statistic,
+            dof,
+            p_value: chi2_sf(statistic, dof),
+        })
+    }
+
+    /// Cramér's V effect size, a `[0,1]`-normalized version of the statistic.
+    ///
+    /// Useful for comparing attributes with different cardinalities, and
+    /// exposed for diagnostics in the feature-selection report.
+    pub fn cramers_v(&self) -> Option<f64> {
+        let result = self.chi_square()?;
+        let n = self.total();
+        let live_rows = self.row_totals().iter().filter(|&&t| t > 0.0).count();
+        let live_cols = self.col_totals().iter().filter(|&&t| t > 0.0).count();
+        let k = (live_rows.min(live_cols) - 1) as f64;
+        if k <= 0.0 || n <= 0.0 {
+            return None;
+        }
+        Some((result.statistic / (n * k)).sqrt())
+    }
+}
+
+/// The outcome of a chi-square test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// Pearson's X² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom, `(r−1)(c−1)` over non-empty rows/columns.
+    pub dof: f64,
+    /// Upper-tail p-value `Pr[χ²(dof) > statistic]`.
+    pub p_value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_table_small_statistic() {
+        // Perfectly proportional table ⇒ statistic 0.
+        let mut t = ContingencyTable::new(2, 2);
+        for _ in 0..10 {
+            t.add(0, 0);
+            t.add(1, 0);
+        }
+        for _ in 0..30 {
+            t.add(0, 1);
+            t.add(1, 1);
+        }
+        let r = t.chi_square().unwrap();
+        assert!(r.statistic.abs() < 1e-9);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert_eq!(r.dof, 1.0);
+    }
+
+    #[test]
+    fn dependent_table_large_statistic() {
+        // Diagonal table ⇒ maximal dependence.
+        let mut t = ContingencyTable::new(2, 2);
+        for _ in 0..50 {
+            t.add(0, 0);
+            t.add(1, 1);
+        }
+        let r = t.chi_square().unwrap();
+        assert!((r.statistic - 100.0).abs() < 1e-9); // n·V² = n for perfect association
+        assert!(r.p_value < 1e-12);
+        assert!((t.cramers_v().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic 2×2 example: observed [[20,30],[30,20]], n=100.
+        let mut t = ContingencyTable::new(2, 2);
+        for (r, c, n) in [(0, 0, 20), (0, 1, 30), (1, 0, 30), (1, 1, 20)] {
+            for _ in 0..n {
+                t.add(r, c);
+            }
+        }
+        let r = t.chi_square().unwrap();
+        // X² = Σ (O-E)²/E with E=25 everywhere: 4 · 25/25 = 4.0.
+        assert!((r.statistic - 4.0).abs() < 1e-9);
+        assert!((r.p_value - 0.0455).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_rows_and_columns_dropped() {
+        let mut t = ContingencyTable::new(3, 3);
+        // Only rows 0,2 and cols 0,2 populated → effective 2×2, dof 1.
+        for _ in 0..10 {
+            t.add(0, 0);
+            t.add(2, 2);
+        }
+        let r = t.chi_square().unwrap();
+        assert_eq!(r.dof, 1.0);
+    }
+
+    #[test]
+    fn degenerate_tables_return_none() {
+        let t = ContingencyTable::new(2, 2);
+        assert!(t.chi_square().is_none()); // all zero
+        let mut t = ContingencyTable::new(2, 2);
+        t.add(0, 0);
+        t.add(0, 1);
+        assert!(t.chi_square().is_none()); // single non-empty row
+    }
+
+    #[test]
+    fn marginals() {
+        let mut t = ContingencyTable::new(2, 3);
+        t.add(0, 0);
+        t.add(0, 2);
+        t.add(1, 2);
+        assert_eq!(t.row_totals(), vec![2.0, 1.0]);
+        assert_eq!(t.col_totals(), vec![1.0, 0.0, 2.0]);
+        assert_eq!(t.total(), 3.0);
+    }
+}

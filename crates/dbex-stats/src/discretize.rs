@@ -1,0 +1,237 @@
+//! Discretization: mapping table columns to dense discrete codes.
+//!
+//! Every CAD View algorithm — chi-square feature selection, k-means
+//! clustering, IUnit labeling, digest similarity — consumes attributes as
+//! small discrete domains. [`AttributeCodec`] captures how one attribute is
+//! discretized (categorical passthrough or numeric binning) and
+//! [`CodedMatrix`] materializes the codes for a result set.
+
+use crate::histogram::{BinningStrategy, Histogram};
+use dbex_table::dict::NULL_CODE;
+use dbex_table::{Column, DataType, View};
+
+/// How an attribute's raw values map to discrete codes `0..cardinality`.
+#[derive(Debug, Clone)]
+pub enum AttributeCodec {
+    /// Categorical column: codes are the dictionary codes; labels are the
+    /// dictionary strings.
+    Categorical {
+        /// Label per code, indexed by dictionary code.
+        labels: Vec<String>,
+    },
+    /// Numeric column: codes are histogram bin indices.
+    Binned {
+        /// The histogram defining the bins.
+        histogram: Histogram,
+        /// Label per bin, e.g. `"15K-20K"`.
+        labels: Vec<String>,
+    },
+}
+
+impl AttributeCodec {
+    /// Builds a codec for column `col` over the rows of `view`.
+    ///
+    /// Numeric columns are binned with `bins`/`strategy`; returns `None` if
+    /// the column has no non-NULL values to bin.
+    pub fn build(view: &View<'_>, col: usize, bins: usize, strategy: BinningStrategy) -> Option<Self> {
+        let column = view.table().column(col);
+        match column.data_type() {
+            DataType::Categorical => {
+                let dict = column.dictionary().expect("categorical column has dict");
+                let labels = dict.iter().map(|(_, s)| s.to_owned()).collect();
+                Some(AttributeCodec::Categorical { labels })
+            }
+            DataType::Int | DataType::Float => {
+                let values: Vec<f64> = view
+                    .row_ids()
+                    .iter()
+                    .filter_map(|&r| column.get_f64(r as usize))
+                    .collect();
+                let histogram = Histogram::build(&values, bins, strategy)?;
+                let labels = histogram.labels();
+                Some(AttributeCodec::Binned { histogram, labels })
+            }
+        }
+    }
+
+    /// Number of distinct codes this codec can produce.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            AttributeCodec::Categorical { labels } => labels.len(),
+            AttributeCodec::Binned { labels, .. } => labels.len(),
+        }
+    }
+
+    /// Label for a code; `"?"` for out-of-range codes.
+    pub fn label(&self, code: u32) -> &str {
+        let labels = match self {
+            AttributeCodec::Categorical { labels } => labels,
+            AttributeCodec::Binned { labels, .. } => labels,
+        };
+        labels.get(code as usize).map(|s| s.as_str()).unwrap_or("?")
+    }
+
+    /// Encodes the value of `column` at `row`, or `None` for NULL.
+    pub fn encode(&self, column: &Column, row: usize) -> Option<u32> {
+        match self {
+            AttributeCodec::Categorical { .. } => match column.get_code(row) {
+                Some(NULL_CODE) | None => None,
+                Some(code) => Some(code),
+            },
+            AttributeCodec::Binned { histogram, .. } => {
+                column.get_f64(row).map(|v| histogram.bin_of(v) as u32)
+            }
+        }
+    }
+
+    /// Finds the code whose label equals `label`, if any.
+    pub fn code_of_label(&self, label: &str) -> Option<u32> {
+        let labels = match self {
+            AttributeCodec::Categorical { labels } => labels,
+            AttributeCodec::Binned { labels, .. } => labels,
+        };
+        labels.iter().position(|l| l == label).map(|i| i as u32)
+    }
+}
+
+/// One attribute's codes for every row of a view, plus its codec.
+#[derive(Debug, Clone)]
+pub struct CodedColumn {
+    /// The attribute's position in the table schema.
+    pub attr_index: usize,
+    /// The codec used.
+    pub codec: AttributeCodec,
+    /// Codes parallel to the view's `row_ids()`; `NULL_CODE` marks NULL.
+    pub codes: Vec<u32>,
+}
+
+impl CodedColumn {
+    /// Frequency of each code among the given positions (indices into the
+    /// view, not row ids). NULLs are skipped.
+    pub fn frequencies(&self, positions: &[usize]) -> Vec<f64> {
+        let mut freq = vec![0.0; self.codec.cardinality()];
+        for &p in positions {
+            let code = self.codes[p];
+            if code != NULL_CODE {
+                freq[code as usize] += 1.0;
+            }
+        }
+        freq
+    }
+}
+
+/// Discretized view: a set of [`CodedColumn`]s over a common result set.
+#[derive(Debug, Clone)]
+pub struct CodedMatrix {
+    /// One coded column per requested attribute, in request order.
+    pub columns: Vec<CodedColumn>,
+    /// Number of rows (same for every column).
+    pub rows: usize,
+}
+
+impl CodedMatrix {
+    /// Encodes the given attributes of `view`.
+    ///
+    /// Attributes whose codec cannot be built (all-NULL numeric columns) are
+    /// silently skipped — the CAD View simply cannot use them.
+    pub fn encode(
+        view: &View<'_>,
+        attr_indices: &[usize],
+        bins: usize,
+        strategy: BinningStrategy,
+    ) -> CodedMatrix {
+        let mut columns = Vec::with_capacity(attr_indices.len());
+        for &col in attr_indices {
+            let Some(codec) = AttributeCodec::build(view, col, bins, strategy) else {
+                continue;
+            };
+            let column = view.table().column(col);
+            let codes = view
+                .row_ids()
+                .iter()
+                .map(|&r| codec.encode(column, r as usize).unwrap_or(NULL_CODE))
+                .collect();
+            columns.push(CodedColumn {
+                attr_index: col,
+                codec,
+                codes,
+            });
+        }
+        CodedMatrix {
+            columns,
+            rows: view.len(),
+        }
+    }
+
+    /// The coded column for schema attribute `attr_index`, if present.
+    pub fn column_for_attr(&self, attr_index: usize) -> Option<&CodedColumn> {
+        self.columns.iter().find(|c| c.attr_index == attr_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::{DataType, Field, TableBuilder, Value};
+
+    fn table() -> dbex_table::Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for (m, p) in [("Ford", 10), ("Jeep", 20), ("Ford", 30), ("Jeep", 40)] {
+            b.push_row(vec![m.into(), p.into()]).unwrap();
+        }
+        b.push_row(vec![Value::Null, Value::Null]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn categorical_codec_passthrough() {
+        let t = table();
+        let v = t.full_view();
+        let codec = AttributeCodec::build(&v, 0, 4, BinningStrategy::EquiWidth).unwrap();
+        assert_eq!(codec.cardinality(), 2);
+        assert_eq!(codec.label(0), "Ford");
+        assert_eq!(codec.code_of_label("Jeep"), Some(1));
+        assert_eq!(codec.encode(t.column(0), 0), Some(0));
+        assert_eq!(codec.encode(t.column(0), 4), None);
+    }
+
+    #[test]
+    fn numeric_codec_bins() {
+        let t = table();
+        let v = t.full_view();
+        let codec = AttributeCodec::build(&v, 1, 2, BinningStrategy::EquiWidth).unwrap();
+        assert_eq!(codec.cardinality(), 2);
+        assert_eq!(codec.encode(t.column(1), 0), Some(0)); // 10 → low bin
+        assert_eq!(codec.encode(t.column(1), 3), Some(1)); // 40 → high bin
+        assert_eq!(codec.encode(t.column(1), 4), None); // NULL
+    }
+
+    #[test]
+    fn matrix_encodes_and_counts() {
+        let t = table();
+        let v = t.full_view();
+        let m = CodedMatrix::encode(&v, &[0, 1], 2, BinningStrategy::EquiWidth);
+        assert_eq!(m.columns.len(), 2);
+        assert_eq!(m.rows, 5);
+        let make = m.column_for_attr(0).unwrap();
+        // Rows 0..4: Ford, Jeep, Ford, Jeep, NULL.
+        let freq = make.frequencies(&[0, 1, 2, 3, 4]);
+        assert_eq!(freq, vec![2.0, 2.0]);
+        let freq_subset = make.frequencies(&[0, 4]);
+        assert_eq!(freq_subset, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn all_null_numeric_column_skipped() {
+        let mut b = TableBuilder::new(vec![Field::new("X", DataType::Int)]).unwrap();
+        b.push_row(vec![Value::Null]).unwrap();
+        let t = b.finish();
+        let v = t.full_view();
+        let m = CodedMatrix::encode(&v, &[0], 2, BinningStrategy::EquiWidth);
+        assert!(m.columns.is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Entropy-based dependence measures over contingency tables.
+//!
+//! The paper (Section 7) frames Compare Attribute selection as "part of the
+//! broader feature selection problem [12, 22, 18]"; chi-square is the
+//! selector it ships, but information-theoretic selectors are the standard
+//! alternatives (Weka's `InfoGainAttributeEval` /
+//! `SymmetricalUncertAttributeEval`). This module provides them, and the
+//! benchmark suite compares all three.
+
+use crate::chi2::ContingencyTable;
+
+/// Shannon entropy (nats) of a count vector.
+pub fn entropy(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    -counts
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .map(|&c| {
+            let p = c / total;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Joint entropy `H(X, Y)` of a contingency table.
+pub fn joint_entropy(table: &ContingencyTable) -> f64 {
+    let cells: Vec<f64> = (0..table.rows())
+        .flat_map(|r| (0..table.cols()).map(move |c| (r, c)))
+        .map(|(r, c)| table.get(r, c))
+        .collect();
+    entropy(&cells)
+}
+
+/// Mutual information `I(X; Y) = H(X) + H(Y) − H(X, Y)` (nats, ≥ 0).
+pub fn mutual_information(table: &ContingencyTable) -> f64 {
+    let hx = entropy(&table.row_totals());
+    let hy = entropy(&table.col_totals());
+    (hx + hy - joint_entropy(table)).max(0.0)
+}
+
+/// Information gain of the column variable about the row variable —
+/// identical to mutual information, named as in the feature-selection
+/// literature (`IG(class; attr) = H(class) − H(class | attr)`).
+pub fn information_gain(table: &ContingencyTable) -> f64 {
+    mutual_information(table)
+}
+
+/// Symmetrical uncertainty: `2·I(X;Y) / (H(X) + H(Y))`, in `[0, 1]`.
+///
+/// Normalizes information gain by both entropies, removing the bias toward
+/// high-cardinality attributes that plain information gain (and chi-square)
+/// exhibit. Returns 0 when either variable is constant.
+pub fn symmetrical_uncertainty(table: &ContingencyTable) -> f64 {
+    let hx = entropy(&table.row_totals());
+    let hy = entropy(&table.col_totals());
+    if hx + hy <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * mutual_information(table) / (hx + hy)).clamp(0.0, 1.0)
+}
+
+/// Conditional entropy `H(row | col) = H(X, Y) − H(col)`.
+///
+/// Near-zero means the column variable (almost) determines the row
+/// variable — the "soft functional dependency" signal of CORDS (the
+/// paper's reference \[16\]).
+pub fn conditional_entropy(table: &ContingencyTable) -> f64 {
+    (joint_entropy(table) - entropy(&table.col_totals())).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(cells: &[&[u32]]) -> ContingencyTable {
+        let mut t = ContingencyTable::new(cells.len(), cells[0].len());
+        for (r, row) in cells.iter().enumerate() {
+            for (c, &n) in row.iter().enumerate() {
+                for _ in 0..n {
+                    t.add(r, c);
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn entropy_known_values() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[10.0]), 0.0);
+        assert!((entropy(&[1.0, 1.0]) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((entropy(&[1.0, 1.0, 1.0, 1.0]) - 4f64.ln()).abs() < 1e-12);
+        // Skewed distribution has lower entropy than uniform.
+        assert!(entropy(&[9.0, 1.0]) < entropy(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn independent_variables_zero_mi() {
+        let t = table(&[&[10, 30], &[10, 30]]);
+        assert!(mutual_information(&t).abs() < 1e-12);
+        assert!(symmetrical_uncertainty(&t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determined_variables_max_su() {
+        // Diagonal: Y determines X and vice versa.
+        let t = table(&[&[25, 0], &[0, 25]]);
+        assert!((symmetrical_uncertainty(&t) - 1.0).abs() < 1e-12);
+        assert!((mutual_information(&t) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(conditional_entropy(&t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_dependence_in_between() {
+        let t = table(&[&[20, 5], &[5, 20]]);
+        let su = symmetrical_uncertainty(&t);
+        assert!(su > 0.05 && su < 0.95, "su = {su}");
+        let ig = information_gain(&t);
+        assert!(ig > 0.0 && ig < std::f64::consts::LN_2);
+    }
+
+    #[test]
+    fn functional_dependency_detected_by_conditional_entropy() {
+        // col 0 → row 0; col 1 → row 1; col 2 → row 1 : column determines
+        // row (soft FD col→row), but not vice versa.
+        let t = table(&[&[30, 0, 0], &[0, 20, 10]]);
+        assert!(conditional_entropy(&t) < 1e-12);
+        // Rows do NOT determine columns: H(col|row) > 0. Transpose check:
+        let mut tr = ContingencyTable::new(3, 2);
+        for r in 0..2 {
+            for c in 0..3 {
+                for _ in 0..t.get(r, c) as usize {
+                    tr.add(c, r);
+                }
+            }
+        }
+        assert!(conditional_entropy(&tr) > 0.1);
+    }
+
+    #[test]
+    fn constant_variable_zero_su() {
+        let t = table(&[&[10, 20]]); // single row value
+        assert_eq!(symmetrical_uncertainty(&t), 0.0);
+    }
+}

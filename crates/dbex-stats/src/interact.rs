@@ -1,0 +1,262 @@
+//! Pairwise attribute-interaction analysis.
+//!
+//! The paper's related work (Section 7) positions the CAD View as "a
+//! summary of important interactions between attributes" and points at
+//! CORDS \[16\] (automatic discovery of correlations and soft functional
+//! dependencies) and Bayesian networks as richer interaction models. This
+//! module provides that global view: a matrix of pairwise association
+//! strengths (Cramér's V) plus soft-FD detection via normalized conditional
+//! entropy — useful both as an exploration aid ("which attributes move
+//! together?") and as a sanity check on the generators' planted structure.
+
+use crate::chi2::ContingencyTable;
+use crate::discretize::CodedMatrix;
+use crate::entropy::{conditional_entropy, entropy};
+use crate::histogram::BinningStrategy;
+use dbex_table::dict::NULL_CODE;
+use dbex_table::View;
+
+/// Pairwise interaction measures between two attributes.
+#[derive(Debug, Clone, Copy)]
+pub struct PairInteraction {
+    /// Schema index of the first attribute.
+    pub a: usize,
+    /// Schema index of the second attribute.
+    pub b: usize,
+    /// Cramér's V in `[0, 1]` (0 = independent, 1 = perfectly associated).
+    pub cramers_v: f64,
+    /// `1 − H(a|b)/H(a)`: how well `b` determines `a` (1 = functional).
+    pub determines_a: f64,
+    /// `1 − H(b|a)/H(b)`: how well `a` determines `b`.
+    pub determines_b: f64,
+}
+
+/// The full pairwise interaction matrix over a set of attributes.
+#[derive(Debug, Clone)]
+pub struct InteractionMatrix {
+    /// Attribute schema indices, in analysis order.
+    pub attrs: Vec<usize>,
+    /// Attribute display names.
+    pub names: Vec<String>,
+    /// Upper-triangle pair measures (`a < b` by position in `attrs`).
+    pub pairs: Vec<PairInteraction>,
+}
+
+impl InteractionMatrix {
+    /// Computes the matrix over the given attributes of `view` (numeric
+    /// attributes discretized into `bins` equi-depth buckets).
+    pub fn compute(view: &View<'_>, attrs: &[usize], bins: usize) -> InteractionMatrix {
+        let coded = CodedMatrix::encode(view, attrs, bins, BinningStrategy::EquiDepth);
+        let names = coded
+            .columns
+            .iter()
+            .map(|c| view.table().schema().field(c.attr_index).name.clone())
+            .collect();
+        let live: Vec<usize> = coded.columns.iter().map(|c| c.attr_index).collect();
+        let mut pairs = Vec::new();
+        for i in 0..coded.columns.len() {
+            for j in (i + 1)..coded.columns.len() {
+                let ci = &coded.columns[i];
+                let cj = &coded.columns[j];
+                let mut table =
+                    ContingencyTable::new(ci.codec.cardinality(), cj.codec.cardinality());
+                for (ai, bj) in ci.codes.iter().zip(&cj.codes) {
+                    if *ai != NULL_CODE && *bj != NULL_CODE {
+                        table.add(*ai as usize, *bj as usize);
+                    }
+                }
+                let cramers_v = table.cramers_v().unwrap_or(0.0);
+                let ha = entropy(&table.row_totals());
+                let hb = entropy(&table.col_totals());
+                let determines_a = if ha > 0.0 {
+                    (1.0 - conditional_entropy(&table) / ha).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                // H(b|a) = H(a,b) − H(a) = H(a|b) + H(b) − H(a).
+                let hba = (conditional_entropy(&table) + hb - ha).max(0.0);
+                let determines_b = if hb > 0.0 {
+                    (1.0 - hba / hb).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                pairs.push(PairInteraction {
+                    a: ci.attr_index,
+                    b: cj.attr_index,
+                    cramers_v,
+                    determines_a,
+                    determines_b,
+                });
+            }
+        }
+        InteractionMatrix {
+            attrs: live,
+            names,
+            pairs,
+        }
+    }
+
+    /// The measure for an attribute pair (order-insensitive).
+    pub fn pair(&self, a: usize, b: usize) -> Option<&PairInteraction> {
+        self.pairs
+            .iter()
+            .find(|p| (p.a == a && p.b == b) || (p.a == b && p.b == a))
+    }
+
+    /// Pairs whose one-directional determination exceeds `threshold` —
+    /// soft functional dependencies, strongest first. Returns
+    /// `(determiner, determined, strength)` by schema index.
+    pub fn soft_fds(&self, threshold: f64) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for p in &self.pairs {
+            if p.determines_a >= threshold {
+                out.push((p.b, p.a, p.determines_a));
+            }
+            if p.determines_b >= threshold {
+                out.push((p.a, p.b, p.determines_b));
+            }
+        }
+        out.sort_by(|x, y| y.2.total_cmp(&x.2));
+        out
+    }
+
+    /// Pairs ranked by Cramér's V, strongest association first.
+    pub fn strongest_pairs(&self) -> Vec<&PairInteraction> {
+        let mut out: Vec<&PairInteraction> = self.pairs.iter().collect();
+        out.sort_by(|x, y| y.cramers_v.total_cmp(&x.cramers_v));
+        out
+    }
+
+    /// Renders the Cramér's V matrix as an aligned text table.
+    pub fn render(&self) -> String {
+        let n = self.attrs.len();
+        let width = self
+            .names
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(4)
+            .max(5);
+        let mut out = String::new();
+        out.push_str(&format!("{:>width$} ", ""));
+        for name in &self.names {
+            out.push_str(&format!(" {:>7}", truncate(name, 7)));
+        }
+        out.push('\n');
+        for i in 0..n {
+            out.push_str(&format!("{:>width$} ", truncate(&self.names[i], width)));
+            for j in 0..n {
+                if i == j {
+                    out.push_str(&format!(" {:>7}", "-"));
+                } else {
+                    let v = self
+                        .pair(self.attrs[i], self.attrs[j])
+                        .map(|p| p.cramers_v)
+                        .unwrap_or(0.0);
+                    out.push_str(&format!(" {v:>7.3}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::{DataType, Field, TableBuilder};
+
+    /// A = B always (FD both ways); C independent; D determined by A but
+    /// not vice versa (A has 2 values, D collapses them... inverse).
+    fn table() -> dbex_table::Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("A", DataType::Categorical),
+            Field::new("B", DataType::Categorical),
+            Field::new("C", DataType::Categorical),
+            Field::new("D", DataType::Categorical),
+        ])
+        .unwrap();
+        for i in 0..120 {
+            let a = ["x", "y", "z"][i % 3];
+            let b_val = ["p", "q", "r"][i % 3]; // bijective with A
+            let c = ["u", "v"][(i / 3) % 2]; // independent of A
+            let d = if i % 3 == 0 { "d0" } else { "d1" }; // function of A
+            b.push_row(vec![a.into(), b_val.into(), c.into(), d.into()])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn bijective_pair_maximal() {
+        let t = table();
+        let m = InteractionMatrix::compute(&t.full_view(), &[0, 1, 2, 3], 4);
+        let ab = m.pair(0, 1).unwrap();
+        assert!((ab.cramers_v - 1.0).abs() < 1e-9);
+        assert!((ab.determines_a - 1.0).abs() < 1e-9);
+        assert!((ab.determines_b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_pair_near_zero() {
+        let t = table();
+        let m = InteractionMatrix::compute(&t.full_view(), &[0, 1, 2, 3], 4);
+        let ac = m.pair(0, 2).unwrap();
+        assert!(ac.cramers_v < 0.05, "V = {}", ac.cramers_v);
+    }
+
+    #[test]
+    fn one_directional_fd() {
+        let t = table();
+        let m = InteractionMatrix::compute(&t.full_view(), &[0, 1, 2, 3], 4);
+        let ad = m.pair(0, 3).unwrap();
+        // A determines D fully; D does not determine A.
+        let (det_d_by_a, det_a_by_d) = if ad.a == 0 {
+            (ad.determines_b, ad.determines_a)
+        } else {
+            (ad.determines_a, ad.determines_b)
+        };
+        assert!((det_d_by_a - 1.0).abs() < 1e-9);
+        assert!(det_a_by_d < 0.9, "D should not determine A: {det_a_by_d}");
+    }
+
+    #[test]
+    fn soft_fds_ranked() {
+        let t = table();
+        let m = InteractionMatrix::compute(&t.full_view(), &[0, 1, 2, 3], 4);
+        let fds = m.soft_fds(0.99);
+        // A↔B (two directions) plus A→D and B→D.
+        assert!(fds.len() >= 4, "{fds:?}");
+        assert!(fds.iter().any(|&(x, y, _)| x == 0 && y == 3));
+        assert!(!fds.iter().any(|&(x, y, _)| x == 3 && y == 0));
+    }
+
+    #[test]
+    fn render_is_square() {
+        let t = table();
+        let m = InteractionMatrix::compute(&t.full_view(), &[0, 1, 2, 3], 4);
+        let text = m.render();
+        assert_eq!(text.lines().count(), 5); // header + 4 rows
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn strongest_pairs_sorted() {
+        let t = table();
+        let m = InteractionMatrix::compute(&t.full_view(), &[0, 1, 2, 3], 4);
+        let ranked = m.strongest_pairs();
+        for w in ranked.windows(2) {
+            assert!(w[0].cramers_v >= w[1].cramers_v);
+        }
+        assert_eq!((ranked[0].a, ranked[0].b), (0, 1));
+    }
+}

@@ -1,0 +1,47 @@
+//! # dbex-stats
+//!
+//! Statistics substrate for DBExplorer.
+//!
+//! The CAD View pipeline needs several statistical components the paper
+//! delegates to off-the-shelf software:
+//!
+//! * [`special`] — log-gamma and regularized incomplete gamma functions,
+//!   from which the chi-square distribution is derived.
+//! * [`chi2`] — contingency tables and Pearson's chi-square test (the
+//!   paper's Weka `ChiSquare` attribute evaluator, Section 3.1.1).
+//! * [`histogram`] — equi-width, equi-depth and V-optimal histograms for
+//!   numeric discretization (the paper cites Jagadish & Suel's optimal
+//!   histograms, Section 2.2.1).
+//! * [`discretize`] — per-attribute codecs mapping raw column values to
+//!   dense discrete codes with human-readable bin labels.
+//! * [`feature`] — Compare Attribute selection: chi-square ranking with
+//!   significance thresholds (Problem 1.1).
+//! * [`simil`] — cosine similarity over frequency vectors (Algorithm 1's
+//!   building block).
+//! * [`metrics`] — F1 / precision / recall used by the user-study tasks.
+//! * [`mixed`] — linear mixed-effects model with a random intercept and
+//!   likelihood-ratio tests, reproducing the paper's Section 6.2 analysis.
+
+pub mod chi2;
+pub mod entropy;
+pub mod discretize;
+pub mod feature;
+pub mod histogram;
+pub mod interact;
+pub mod metrics;
+pub mod mixed;
+pub mod simil;
+pub mod special;
+
+pub use chi2::{ChiSquareResult, ContingencyTable};
+pub use discretize::{AttributeCodec, CodedColumn, CodedMatrix};
+pub use entropy::{entropy, information_gain, mutual_information, symmetrical_uncertainty};
+pub use feature::{
+    select_compare_attributes, select_compare_attributes_by, FeatureScore, FeatureScorer,
+    FeatureSelectionConfig,
+};
+pub use interact::{InteractionMatrix, PairInteraction};
+pub use histogram::{BinningStrategy, Histogram};
+pub use metrics::{f1_score, ConfusionCounts};
+pub use mixed::{likelihood_ratio_test, LmmFit, LrtResult};
+pub use simil::{cosine_similarity, cosine_similarity_sparse};

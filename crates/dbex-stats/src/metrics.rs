@@ -1,0 +1,126 @@
+//! Classification metrics used by the user-study tasks.
+//!
+//! Task 1 ("Simple Classifier", Section 6.2.1) scores user-built selections
+//! with "standard F1 accuracy score"; these helpers compute it from a
+//! predicted-vs-actual partition of a result set.
+
+/// Confusion-matrix counts for a binary classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+}
+
+impl ConfusionCounts {
+    /// Builds counts from parallel prediction/truth slices.
+    pub fn from_labels(predicted: &[bool], actual: &[bool]) -> ConfusionCounts {
+        assert_eq!(predicted.len(), actual.len(), "label length mismatch");
+        let mut c = ConfusionCounts::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision: `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall: `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// F1 score from prediction/truth slices. See [`ConfusionCounts::f1`].
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    ConfusionCounts::from_labels(predicted, actual).f1()
+}
+
+/// Precision and recall from prediction/truth slices.
+pub fn precision_recall(predicted: &[bool], actual: &[bool]) -> (f64, f64) {
+    let c = ConfusionCounts::from_labels(predicted, actual);
+    (c.precision(), c.recall())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let labels = [true, false, true, false];
+        assert_eq!(f1_score(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_classifier() {
+        let predicted = [true, false];
+        let actual = [false, true];
+        assert_eq!(f1_score(&predicted, &actual), 0.0);
+    }
+
+    #[test]
+    fn known_confusion_counts() {
+        let c = ConfusionCounts {
+            tp: 6,
+            fp: 2,
+            fn_: 3,
+            tn: 9,
+        };
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 6.0 / 9.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.75 * (6.0 / 9.0) / (0.75 + 6.0 / 9.0);
+        assert!((c.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_empty_prediction() {
+        // Predicts nothing positive: precision undefined → 0, F1 = 0.
+        let predicted = [false, false];
+        let actual = [true, false];
+        let (p, r) = precision_recall(&predicted, &actual);
+        assert_eq!(p, 0.0);
+        assert_eq!(r, 0.0);
+        assert_eq!(f1_score(&predicted, &actual), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label length mismatch")]
+    fn mismatched_lengths_panic() {
+        f1_score(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Linear mixed-effects model with a single random intercept.
+//!
+//! The paper's user study (Section 6.2) is analyzed with "linear mixed
+//! model statistical analysis ... Display type as fixed effect and User ID
+//! as random effect", with p-values from a likelihood-ratio test comparing
+//! the model with and without the fixed effect (via ANOVA of the two ML
+//! fits). This module reproduces that analysis:
+//!
+//! `y_ij = x_ij'β + u_i + ε_ij`, `u_i ~ N(0, σ_u²)`, `ε_ij ~ N(0, σ_e²)`
+//!
+//! The model is fit by maximum likelihood. For a single grouping factor the
+//! covariance of group *i*'s observations is `σ_e²(I + λ·11')` with
+//! `λ = σ_u²/σ_e²`; its inverse and determinant have closed forms, so the
+//! profile log-likelihood over `λ` is one-dimensional and is maximized by a
+//! grid + golden-section search.
+
+// Index loops below intentionally couple multiple arrays / triangular
+// ranges; iterator adapters would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+/// A fitted linear mixed model.
+#[derive(Debug, Clone)]
+pub struct LmmFit {
+    /// Fixed-effect coefficients (first entry is the intercept).
+    pub beta: Vec<f64>,
+    /// Standard errors of the fixed effects.
+    pub se: Vec<f64>,
+    /// Random-intercept variance σ_u².
+    pub sigma_u2: f64,
+    /// Residual variance σ_e².
+    pub sigma_e2: f64,
+    /// Maximized log-likelihood (ML, not REML — required for LRTs on fixed
+    /// effects).
+    pub log_likelihood: f64,
+    /// Number of observations.
+    pub n: usize,
+    /// Number of fixed-effect parameters (including the intercept).
+    pub p: usize,
+}
+
+/// Result of a likelihood-ratio test between two nested ML fits.
+#[derive(Debug, Clone, Copy)]
+pub struct LrtResult {
+    /// The LR statistic `2(ℓ_full − ℓ_null)` (clamped at 0).
+    pub chi2: f64,
+    /// Degrees of freedom: difference in fixed-effect parameter counts.
+    pub dof: f64,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+/// Fits the mixed model by maximum likelihood.
+///
+/// * `y` — responses.
+/// * `x` — fixed-effect design columns, *excluding* the intercept (which is
+///   added automatically). May be empty for the null (intercept-only) model.
+/// * `groups` — group index per observation (e.g. user id), `0..G`.
+///
+/// Panics if inputs are empty or have mismatched lengths.
+pub fn fit_lmm(y: &[f64], x: &[Vec<f64>], groups: &[usize]) -> LmmFit {
+    let n = y.len();
+    assert!(n > 0, "empty response");
+    assert_eq!(groups.len(), n, "groups length mismatch");
+    for col in x {
+        assert_eq!(col.len(), n, "design column length mismatch");
+    }
+    let p = x.len() + 1;
+    let n_groups = groups.iter().copied().max().unwrap_or(0) + 1;
+
+    // Pre-split observation indices by group.
+    let mut by_group: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    for (i, &g) in groups.iter().enumerate() {
+        by_group[g].push(i);
+    }
+
+    // Profile log-likelihood at a given variance ratio λ.
+    let profile = |lambda: f64| -> (f64, Vec<f64>, f64, Vec<Vec<f64>>) {
+        // Weighted normal equations: A β = b with A = Σ Xᵢ'WᵢXᵢ.
+        let mut a = vec![vec![0.0; p]; p];
+        let mut b = vec![0.0; p];
+        // Accumulate also for σ² once β is known; do two passes.
+        let design = |i: usize, j: usize| -> f64 {
+            if j == 0 {
+                1.0
+            } else {
+                x[j - 1][i]
+            }
+        };
+        for rows in &by_group {
+            if rows.is_empty() {
+                continue;
+            }
+            let ni = rows.len() as f64;
+            let shrink = lambda / (1.0 + lambda * ni);
+            // Group sums of design columns and y.
+            let mut sx = vec![0.0; p];
+            let mut sy = 0.0;
+            for &i in rows {
+                for (j, sxj) in sx.iter_mut().enumerate() {
+                    *sxj += design(i, j);
+                }
+                sy += y[i];
+            }
+            for &i in rows {
+                for j in 0..p {
+                    let xij = design(i, j);
+                    for k in j..p {
+                        a[j][k] += xij * design(i, k);
+                    }
+                    b[j] += xij * y[i];
+                }
+            }
+            // Subtract the shrinkage rank-1 terms.
+            for j in 0..p {
+                for k in j..p {
+                    a[j][k] -= shrink * sx[j] * sx[k];
+                }
+                b[j] -= shrink * sx[j] * sy;
+            }
+        }
+        for j in 0..p {
+            for k in 0..j {
+                a[j][k] = a[k][j];
+            }
+        }
+        let beta = solve(&a, &b);
+
+        // Weighted RSS and log|V|/σ² part.
+        let mut rss = 0.0;
+        let mut log_det = 0.0;
+        for rows in &by_group {
+            if rows.is_empty() {
+                continue;
+            }
+            let ni = rows.len() as f64;
+            let shrink = lambda / (1.0 + lambda * ni);
+            log_det += (1.0 + lambda * ni).ln();
+            let mut sr = 0.0;
+            let mut ss = 0.0;
+            for &i in rows {
+                let mut fitted = beta[0];
+                for j in 1..p {
+                    fitted += beta[j] * x[j - 1][i];
+                }
+                let r = y[i] - fitted;
+                sr += r;
+                ss += r * r;
+            }
+            rss += ss - shrink * sr * sr;
+        }
+        let sigma_e2 = (rss / n as f64).max(1e-12);
+        let ll = -0.5
+            * (n as f64 * (2.0 * std::f64::consts::PI * sigma_e2).ln() + log_det + n as f64);
+        (ll, beta, sigma_e2, a)
+    };
+
+    // 1-D search over λ: log-spaced grid, then golden-section refinement.
+    let mut best_lambda = 0.0;
+    let mut best_ll = profile(0.0).0;
+    let grid: Vec<f64> = (0..=60)
+        .map(|i| 10f64.powf(-4.0 + 8.0 * i as f64 / 60.0))
+        .collect();
+    for &lam in &grid {
+        let ll = profile(lam).0;
+        if ll > best_ll {
+            best_ll = ll;
+            best_lambda = lam;
+        }
+    }
+    // Golden-section around the best grid point (in log space).
+    if best_lambda > 0.0 {
+        let (mut lo, mut hi) = (best_lambda / 10.0, best_lambda * 10.0);
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        for _ in 0..60 {
+            let m1 = hi - phi * (hi - lo);
+            let m2 = lo + phi * (hi - lo);
+            if profile(m1).0 >= profile(m2).0 {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        let lam = (lo + hi) / 2.0;
+        if profile(lam).0 > best_ll {
+            best_lambda = lam;
+        }
+    }
+
+    let (ll, beta, sigma_e2, a) = profile(best_lambda);
+    // Var(β) = σ_e² (X'WX)^{-1}.
+    let ainv = invert(&a);
+    let se = (0..p).map(|j| (sigma_e2 * ainv[j][j]).sqrt()).collect();
+    LmmFit {
+        beta,
+        se,
+        sigma_u2: best_lambda * sigma_e2,
+        sigma_e2,
+        log_likelihood: ll,
+        n,
+        p,
+    }
+}
+
+/// Likelihood-ratio test of `full` against the nested `null` model.
+///
+/// Both fits must be ML fits on the same data; `full` must strictly contain
+/// `null`'s fixed effects.
+pub fn likelihood_ratio_test(full: &LmmFit, null: &LmmFit) -> LrtResult {
+    assert!(full.p > null.p, "models are not properly nested");
+    assert_eq!(full.n, null.n, "models fit on different data");
+    let chi2 = (2.0 * (full.log_likelihood - null.log_likelihood)).max(0.0);
+    let dof = (full.p - null.p) as f64;
+    LrtResult {
+        chi2,
+        dof,
+        p_value: crate::special::chi2_sf(chi2, dof),
+    }
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+/// `A` must be square and non-singular (design matrices here are tiny).
+fn solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bv)| {
+            let mut r = row.clone();
+            r.push(bv);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+            .unwrap();
+        m.swap(col, pivot);
+        let pv = m[col][col];
+        assert!(pv.abs() > 1e-12, "singular design matrix");
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = m[row][col] / pv;
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+    (0..n).map(|i| m[i][n] / m[i][i]).collect()
+}
+
+/// Inverts a small symmetric positive-definite matrix by solving against
+/// the identity columns.
+fn invert(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut inv = vec![vec![0.0; n]; n];
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        let col = solve(a, &e);
+        for i in 0..n {
+            inv[i][j] = col[i];
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise (no rand dependency in unit tests).
+    fn noise(i: usize) -> f64 {
+        ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5
+    }
+
+    fn simulate(effect: f64, user_sd: f64) -> (Vec<f64>, Vec<Vec<f64>>, Vec<usize>) {
+        // 8 users × 2 conditions × 3 replicates.
+        let user_offsets: Vec<f64> = (0..8).map(|u| user_sd * noise(u * 97 + 13) * 2.0).collect();
+        let mut y = Vec::new();
+        let mut x = Vec::new();
+        let mut g = Vec::new();
+        let mut idx = 0;
+        for (u, &off) in user_offsets.iter().enumerate() {
+            for cond in 0..2 {
+                for _ in 0..3 {
+                    idx += 1;
+                    y.push(10.0 + effect * cond as f64 + off + 0.3 * noise(idx * 7 + 1));
+                    x.push(cond as f64);
+                    g.push(u);
+                }
+            }
+        }
+        (y, vec![x], g)
+    }
+
+    #[test]
+    fn recovers_fixed_effect() {
+        let (y, x, g) = simulate(-5.0, 2.0);
+        let fit = fit_lmm(&y, &x, &g);
+        assert!(
+            (fit.beta[1] + 5.0).abs() < 0.3,
+            "effect estimate {} should be ≈ -5",
+            fit.beta[1]
+        );
+        assert!(fit.sigma_u2 > 0.5, "σ_u²={} should be sizable", fit.sigma_u2);
+        assert!(fit.sigma_e2 < 1.0);
+    }
+
+    #[test]
+    fn lrt_detects_real_effect() {
+        let (y, x, g) = simulate(-5.0, 2.0);
+        let full = fit_lmm(&y, &x, &g);
+        let null = fit_lmm(&y, &[], &g);
+        let lrt = likelihood_ratio_test(&full, &null);
+        assert!(lrt.chi2 > 10.0, "chi2={}", lrt.chi2);
+        assert!(lrt.p_value < 0.01);
+        assert_eq!(lrt.dof, 1.0);
+    }
+
+    #[test]
+    fn lrt_accepts_null_effect() {
+        let (y, x, g) = simulate(0.0, 2.0);
+        let full = fit_lmm(&y, &x, &g);
+        let null = fit_lmm(&y, &[], &g);
+        let lrt = likelihood_ratio_test(&full, &null);
+        assert!(lrt.p_value > 0.05, "p={}", lrt.p_value);
+    }
+
+    #[test]
+    fn zero_group_variance_degenerates_to_ols() {
+        let (y, x, g) = simulate(-2.0, 0.0);
+        let fit = fit_lmm(&y, &x, &g);
+        assert!(fit.sigma_u2 < 0.1, "σ_u²={}", fit.sigma_u2);
+        assert!((fit.beta[1] + 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn full_likelihood_at_least_null() {
+        let (y, x, g) = simulate(-1.0, 1.0);
+        let full = fit_lmm(&y, &x, &g);
+        let null = fit_lmm(&y, &[], &g);
+        assert!(full.log_likelihood >= null.log_likelihood - 1e-9);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_errors_positive() {
+        let (y, x, g) = simulate(-5.0, 2.0);
+        let fit = fit_lmm(&y, &x, &g);
+        assert!(fit.se.iter().all(|&s| s > 0.0 && s.is_finite()));
+    }
+}

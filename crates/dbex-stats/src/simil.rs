@@ -1,0 +1,89 @@
+//! Cosine similarity over frequency vectors.
+//!
+//! Algorithm 1 of the paper sums, per Compare Attribute, the cosine
+//! similarity between the two IUnits' value-frequency vectors ("we use the
+//! frequency count of each attribute value in the corresponding cluster as
+//! the attribute value's term frequency").
+
+/// Cosine similarity of two dense non-negative vectors.
+///
+/// Returns 0 when either vector is all-zero. Vectors may differ in length;
+/// the shorter is implicitly zero-padded.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+    }
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Cosine similarity of two sparse vectors given as `(index, weight)`
+/// pairs. Indices need not be sorted; duplicate indices accumulate.
+pub fn cosine_similarity_sparse(a: &[(u32, f64)], b: &[(u32, f64)]) -> f64 {
+    use std::collections::HashMap;
+    let mut map: HashMap<u32, f64> = HashMap::with_capacity(a.len());
+    for &(i, w) in a {
+        *map.entry(i).or_insert(0.0) += w;
+    }
+    let mut bmap: HashMap<u32, f64> = HashMap::with_capacity(b.len());
+    for &(i, w) in b {
+        *bmap.entry(i).or_insert(0.0) += w;
+    }
+    let dot: f64 = map
+        .iter()
+        .filter_map(|(i, w)| bmap.get(i).map(|v| w * v))
+        .sum();
+    let na: f64 = map.values().map(|w| w * w).sum::<f64>().sqrt();
+    let nb: f64 = bmap.values().map(|w| w * w).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_are_one() {
+        assert!((cosine_similarity(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        // Scale invariance.
+        assert!((cosine_similarity(&[1.0, 2.0], &[10.0, 20.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_are_zero() {
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert_eq!(cosine_similarity(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_pads_with_zero() {
+        let s = cosine_similarity(&[1.0], &[1.0, 1.0]);
+        assert!((s - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let dense = cosine_similarity(&[1.0, 0.0, 2.0], &[3.0, 4.0, 0.0]);
+        let sparse = cosine_similarity_sparse(&[(0, 1.0), (2, 2.0)], &[(0, 3.0), (1, 4.0)]);
+        assert!((dense - sparse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_duplicate_indices_accumulate() {
+        let s = cosine_similarity_sparse(&[(0, 1.0), (0, 1.0)], &[(0, 2.0)]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dbex-study
+//!
+//! Simulated reproduction of the paper's user study (Section 6.2).
+//!
+//! The original study put eight graduate students in front of two
+//! interfaces — Apache Solr's faceted navigation and TPFacet (faceted
+//! navigation + CAD View) — and measured task completion time and response
+//! quality on three exploratory tasks over the Mushroom dataset:
+//!
+//! 1. **Simple Classifier** (Figures 2-3) — build a ≤2-value classifier for
+//!    a target class, scored by F1.
+//! 2. **Most Similar Value Pair** (Figures 4-5) — among four given values
+//!    of an attribute, find the two with the most similar data profiles.
+//! 3. **Alternative Search Condition** (Figures 6-7) — find a different
+//!    ≤2-value selection reproducing a given selection's result set.
+//!
+//! We cannot rerun humans, so each user is a *policy* that only consumes
+//! information its interface actually exposes (facet digests for Solr;
+//! digests + CAD Views for TPFacet), pays per-operation time costs from a
+//! calibrated [`cost::CostModel`], and carries per-user speed / diligence /
+//! judgment-noise parameters. Group assignment, matched task pairs (each
+//! group does task A on one interface and task B on the other), and the
+//! linear mixed-model analysis (χ² likelihood-ratio tests with user as
+//! random effect) all follow the paper's protocol.
+
+pub mod cost;
+pub mod replicate;
+pub mod sensitivity;
+pub mod study;
+pub mod tasks;
+pub mod user;
+
+pub use cost::{CostModel, Stopwatch};
+pub use replicate::{render_replicated, run_replicated, ReplicatedSummary};
+pub use sensitivity::{run_sensitivity, SensitivityOutcome};
+pub use study::{run_study, Interface, StudyConfig, StudyReport, TaskAnalysis, TaskObservation};
+pub use tasks::TaskId;
+pub use user::{roster, SimulatedUser};

@@ -1,0 +1,139 @@
+//! Replicated study runs: variance across simulated populations.
+//!
+//! The paper ran one cohort of eight humans; a simulation can rerun the
+//! whole protocol under many independently-drawn user populations and
+//! datasets and report means with standard deviations — the error bars the
+//! original figures could not have.
+
+use crate::study::{run_study, Interface, StudyConfig};
+use crate::tasks::TaskId;
+
+/// Aggregated result of one `(task, interface)` cell across replicates.
+#[derive(Debug, Clone)]
+pub struct ReplicatedSummary {
+    /// Which task.
+    pub task: TaskId,
+    /// Which interface.
+    pub interface: Interface,
+    /// Mean of the per-replicate mean quality.
+    pub quality_mean: f64,
+    /// Standard deviation of the per-replicate mean quality.
+    pub quality_sd: f64,
+    /// Mean of the per-replicate mean minutes.
+    pub minutes_mean: f64,
+    /// Standard deviation of the per-replicate mean minutes.
+    pub minutes_sd: f64,
+    /// Number of replicates.
+    pub reps: usize,
+}
+
+/// Runs `reps` independent replications of the full study (seeds
+/// `base.seed`, `base.seed+1`, ...) and aggregates each `(task,
+/// interface)` cell.
+pub fn run_replicated(base: &StudyConfig, reps: usize) -> Vec<ReplicatedSummary> {
+    assert!(reps > 0, "at least one replicate");
+    let tasks = [TaskId::Classifier, TaskId::SimilarPair, TaskId::AltCondition];
+    let interfaces = [Interface::Solr, Interface::TpFacet];
+
+    // per (task, interface): collected per-replicate means
+    let mut quality: Vec<Vec<f64>> = (0..6).map(|_| Vec::with_capacity(reps)).collect();
+    let mut minutes: Vec<Vec<f64>> = (0..6).map(|_| Vec::with_capacity(reps)).collect();
+    for r in 0..reps {
+        let config = StudyConfig {
+            seed: base.seed.wrapping_add(r as u64),
+            rows: base.rows,
+            costs: base.costs.clone(),
+        };
+        let report = run_study(&config);
+        for (ti, &task) in tasks.iter().enumerate() {
+            for (ii, &interface) in interfaces.iter().enumerate() {
+                let cell = ti * 2 + ii;
+                quality[cell].push(report.mean(task, interface, false));
+                minutes[cell].push(report.mean(task, interface, true));
+            }
+        }
+    }
+
+    let stats = |xs: &[f64]| -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    };
+
+    let mut out = Vec::with_capacity(6);
+    for (ti, &task) in tasks.iter().enumerate() {
+        for (ii, &interface) in interfaces.iter().enumerate() {
+            let cell = ti * 2 + ii;
+            let (quality_mean, quality_sd) = stats(&quality[cell]);
+            let (minutes_mean, minutes_sd) = stats(&minutes[cell]);
+            out.push(ReplicatedSummary {
+                task,
+                interface,
+                quality_mean,
+                quality_sd,
+                minutes_mean,
+                minutes_sd,
+                reps,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the replicated summary as an aligned table.
+pub fn render_replicated(summaries: &[ReplicatedSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<36} {:>8}  {:>16}  {:>16}\n",
+        "task", "iface", "quality (±sd)", "minutes (±sd)"
+    ));
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<36} {:>8}  {:>8.2} ±{:>5.2}  {:>8.1} ±{:>5.1}\n",
+            s.task.name(),
+            s.interface.name(),
+            s.quality_mean,
+            s.quality_sd,
+            s.minutes_mean,
+            s.minutes_sd
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_aggregates_and_preserves_conclusions() {
+        let base = StudyConfig {
+            rows: 1_200,
+            ..StudyConfig::default()
+        };
+        let summaries = run_replicated(&base, 3);
+        assert_eq!(summaries.len(), 6);
+        for s in &summaries {
+            assert_eq!(s.reps, 3);
+            assert!(s.minutes_mean > 0.0);
+            assert!(s.minutes_sd.is_finite());
+        }
+        // TPFacet faster on tasks 1-2 in replicated means too.
+        let get = |task: TaskId, iface: Interface| {
+            summaries
+                .iter()
+                .find(|s| s.task == task && s.interface == iface)
+                .expect("cell present")
+        };
+        for task in [TaskId::Classifier, TaskId::SimilarPair] {
+            assert!(
+                get(task, Interface::Solr).minutes_mean
+                    > 1.5 * get(task, Interface::TpFacet).minutes_mean
+            );
+        }
+        let text = render_replicated(&summaries);
+        assert!(text.contains("Simple Classifier"));
+        assert!(text.contains("±"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Robustness analysis of the simulated study's conclusions.
+//!
+//! A simulated user study is only as good as its calibration, so we test
+//! whether the paper-level conclusions survive perturbation of everything
+//! we calibrated: each operation cost halved and doubled (one at a time and
+//! jointly) and different simulated-user populations (different seeds). The
+//! conclusions checked are the qualitative ones the reproduction claims:
+//!
+//! 1. TPFacet is several times faster on Tasks 1-2 and at least at time
+//!    parity on Task 3 (where the paper itself reports only a marginal
+//!    time effect, p = 0.108),
+//! 2. TPFacet's classifier F1 is no worse than Solr's,
+//! 3. TPFacet's Task-3 retrieval error is lower than Solr's.
+
+use crate::cost::CostModel;
+
+/// A named perturbation of the cost model.
+type Perturbation = (String, Box<dyn Fn(&CostModel) -> CostModel>);
+use crate::study::{run_study, Interface, StudyConfig};
+use crate::tasks::TaskId;
+
+/// Outcome of one perturbed study run.
+#[derive(Debug, Clone)]
+pub struct SensitivityOutcome {
+    /// Human-readable description of the perturbation.
+    pub label: String,
+    /// Solr/TPFacet time ratio per task (classifier, pair, alt-condition).
+    pub time_ratios: [f64; 3],
+    /// Conclusion 1: Tasks 1-2 are > 1.5x faster and Task 3 is at least at
+    /// time parity (> 0.9x) — matching the paper's strong/weak split.
+    pub faster_everywhere: bool,
+    /// Conclusion 2: TPFacet F1 ≥ Solr F1 − 0.05.
+    pub f1_no_worse: bool,
+    /// Conclusion 3: TPFacet error < Solr error.
+    pub error_lower: bool,
+}
+
+impl SensitivityOutcome {
+    /// All three conclusions hold.
+    pub fn holds(&self) -> bool {
+        self.faster_everywhere && self.f1_no_worse && self.error_lower
+    }
+}
+
+/// The perturbations applied: `(label, cost-model transformer)`.
+fn perturbations() -> Vec<Perturbation> {
+    let mut out: Vec<Perturbation> = Vec::new();
+    out.push(("baseline".into(), Box::new(|c: &CostModel| c.clone())));
+    type FieldAccess = fn(&mut CostModel) -> &mut f64;
+    let fields: [(&str, FieldAccess); 7] = [
+        ("facet_click", |c| &mut c.facet_click),
+        ("digest_scan_attr", |c| &mut c.digest_scan_attr),
+        ("digest_compare", |c| &mut c.digest_compare),
+        ("cad_build", |c| &mut c.cad_build),
+        ("iunit_inspect", |c| &mut c.iunit_inspect),
+        ("cad_click", |c| &mut c.cad_click),
+        ("decision", |c| &mut c.decision),
+    ];
+    for (name, accessor) in fields {
+        for scale in [0.5f64, 2.0] {
+            out.push((
+                format!("{name} x{scale}"),
+                Box::new(move |c: &CostModel| {
+                    let mut c = c.clone();
+                    *accessor(&mut c) *= scale;
+                    c
+                }),
+            ));
+        }
+    }
+    out.push((
+        "all costs x2".into(),
+        Box::new(|c: &CostModel| {
+            let mut c = c.clone();
+            c.facet_click *= 2.0;
+            c.digest_scan_attr *= 2.0;
+            c.digest_compare *= 2.0;
+            c.cad_build *= 2.0;
+            c.iunit_inspect *= 2.0;
+            c.cad_click *= 2.0;
+            c.decision *= 2.0;
+            c
+        }),
+    ));
+    out
+}
+
+/// Runs the study under every perturbation plus alternative user
+/// populations (`extra_seeds`), returning one outcome per run.
+///
+/// `rows` sizes the Mushroom dataset (use a few thousand for speed; the
+/// planted structure is stable well below the full 8,124).
+pub fn run_sensitivity(rows: usize, extra_seeds: &[u64]) -> Vec<SensitivityOutcome> {
+    let mut outcomes = Vec::new();
+    for (label, transform) in perturbations() {
+        let base = StudyConfig {
+            rows,
+            ..StudyConfig::default()
+        };
+        let config = StudyConfig {
+            costs: transform(&base.costs),
+            ..base
+        };
+        outcomes.push(evaluate(&label, &config));
+    }
+    for &seed in extra_seeds {
+        let config = StudyConfig {
+            seed,
+            rows,
+            ..StudyConfig::default()
+        };
+        outcomes.push(evaluate(&format!("user population seed {seed}"), &config));
+    }
+    outcomes
+}
+
+fn evaluate(label: &str, config: &StudyConfig) -> SensitivityOutcome {
+    let report = run_study(config);
+    let ratio = |task: TaskId| {
+        report.mean(task, Interface::Solr, true)
+            / report.mean(task, Interface::TpFacet, true).max(1e-9)
+    };
+    let time_ratios = [
+        ratio(TaskId::Classifier),
+        ratio(TaskId::SimilarPair),
+        ratio(TaskId::AltCondition),
+    ];
+    let f1_solr = report.mean(TaskId::Classifier, Interface::Solr, false);
+    let f1_tp = report.mean(TaskId::Classifier, Interface::TpFacet, false);
+    let err_solr = report.mean(TaskId::AltCondition, Interface::Solr, false);
+    let err_tp = report.mean(TaskId::AltCondition, Interface::TpFacet, false);
+    SensitivityOutcome {
+        label: label.to_owned(),
+        time_ratios,
+        faster_everywhere: time_ratios[0] > 1.5
+            && time_ratios[1] > 1.5
+            && time_ratios[2] > 0.9,
+        f1_no_worse: f1_tp >= f1_solr - 0.05,
+        error_lower: err_tp < err_solr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conclusions_robust_to_cost_calibration() {
+        // Small dataset for speed; every cost perturbation must preserve
+        // the qualitative conclusions.
+        let outcomes = run_sensitivity(1_500, &[]);
+        assert!(outcomes.len() >= 15);
+        let holding = outcomes.iter().filter(|o| o.holds()).count();
+        assert!(
+            holding == outcomes.len(),
+            "conclusions broke under: {:?}",
+            outcomes
+                .iter()
+                .filter(|o| !o.holds())
+                .map(|o| (&o.label, o.time_ratios))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn conclusions_robust_to_user_population() {
+        let outcomes = run_sensitivity(1_500, &[7, 99, 12345]);
+        let seeded: Vec<&SensitivityOutcome> = outcomes
+            .iter()
+            .filter(|o| o.label.starts_with("user population"))
+            .collect();
+        assert_eq!(seeded.len(), 3);
+        for o in seeded {
+            assert!(o.holds(), "{}: {:?}", o.label, o.time_ratios);
+        }
+    }
+}

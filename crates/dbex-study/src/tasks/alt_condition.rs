@@ -1,0 +1,360 @@
+//! Task 3 — Alternative Search Condition (Section 6.2.3, Figures 6-7).
+//!
+//! Given a selection, find a *different* selection (≤2 attribute values,
+//! none of the given ones) that reproduces the same result set. Quality is
+//! the relative symmetric-difference retrieval error (0 = identical result
+//! sets; the paper's example user error of "48 missing tuples out of 1344"
+//! scores 48/1344 ≈ 0.036).
+
+use crate::cost::{CostModel, Stopwatch};
+use crate::tasks::{charge_trial, digest_width, retrieval_error, view_of, Selection, TaskOutcome};
+use crate::user::{judgment_jitter, SimulatedUser};
+use dbex_core::{build_cad_view, CadRequest};
+use dbex_facet::{digest_similarity, FacetedEngine};
+use dbex_table::{Predicate, Table, View};
+use rand::rngs::StdRng;
+
+/// Task 3 specification.
+#[derive(Debug, Clone)]
+pub struct AltConditionTask {
+    /// The given selection: `(attribute name, value)` conjuncts.
+    pub given: Vec<(String, String)>,
+}
+
+/// A scored alternative candidate.
+#[derive(Debug, Clone)]
+struct Candidate {
+    attr: usize,
+    label: String,
+    perceived: f64,
+}
+
+impl AltConditionTask {
+    /// The target result set defined by the given selection.
+    pub fn target_view<'a>(&self, table: &'a Table) -> View<'a> {
+        let conjuncts: Vec<Predicate> = self
+            .given
+            .iter()
+            .map(|(a, v)| Predicate::eq(a.clone(), v.clone()))
+            .collect();
+        table.filter(&Predicate::and(conjuncts)).expect("valid given")
+    }
+
+    fn given_attr_indices(&self, table: &Table) -> Vec<usize> {
+        self.given
+            .iter()
+            .map(|(a, _)| table.schema().index_of(a).expect("attr exists"))
+            .collect()
+    }
+
+    /// Solr policy: apply the given selection, rank other attributes'
+    /// values by in-target frequency (all the digest shows), then
+    /// trial-and-error: apply a candidate, compare its digest against the
+    /// memorized target digest, keep the best.
+    pub fn run_solr(&self, table: &Table, costs: &CostModel, user: &SimulatedUser) -> TaskOutcome {
+        let engine = FacetedEngine::new(table, 6);
+        let mut rng = user.task_rng(0xA17C_0001);
+        let mut watch = Stopwatch::new(user.speed);
+        let target = self.target_view(table);
+        let target_digest = engine.digest_of(&target);
+        let given_attrs = self.given_attr_indices(table);
+
+        // Apply the given selection and study the digest.
+        watch.charge_n(costs.facet_click, self.given.len());
+        let width = digest_width(&engine);
+        let studied = ((user.diligence * width as f64).ceil() as usize).clamp(1, width);
+        watch.charge_n(costs.digest_scan_attr, studied);
+
+        // Candidates: high-recall values (count close to the result size).
+        // The digest cannot show precision — that is exactly the baseline's
+        // handicap.
+        let mut candidates = Vec::new();
+        for (scanned, attr) in target_digest.attributes.iter().enumerate() {
+            if scanned >= studied {
+                break;
+            }
+            if given_attrs.contains(&attr.attr_index) {
+                continue;
+            }
+            for (label, count) in attr.entries().into_iter().take(3) {
+                let recall = count as f64 / target_digest.total.max(1) as f64;
+                if recall < 0.3 {
+                    continue;
+                }
+                candidates.push(Candidate {
+                    attr: attr.attr_index,
+                    label: label.to_owned(),
+                    perceived: recall + judgment_jitter(&mut rng, user.judgment_noise),
+                });
+            }
+        }
+        candidates.sort_by(|a, b| b.perceived.total_cmp(&a.perceived));
+
+        let budget = 5 + (user.diligence * 4.0).round() as usize;
+        self.run_trials(
+            table, &engine, &target, &target_digest, candidates, costs, user, &mut rng, watch,
+            budget, true,
+        )
+    }
+
+    /// TPFacet policy: pivot the CAD View on one of the given attributes;
+    /// the given value's row shows which other values co-occur with it
+    /// *specifically* (frequent in its IUnits, rare in other rows'), so the
+    /// candidate list is discriminative and only a few trials are needed.
+    pub fn run_tpfacet(
+        &self,
+        table: &Table,
+        costs: &CostModel,
+        user: &SimulatedUser,
+    ) -> TaskOutcome {
+        let engine = FacetedEngine::new(table, 6);
+        let mut rng = user.task_rng(0xA17C_0002);
+        let mut watch = Stopwatch::new(user.speed);
+        let target = self.target_view(table);
+        let target_digest = engine.digest_of(&target);
+        let given_attrs = self.given_attr_indices(table);
+
+        // Build the CAD View pivoted on the first given attribute, in the
+        // context of the remaining given conjuncts.
+        let (pivot_name, pivot_value) = &self.given[0];
+        watch.charge(costs.cad_build);
+        let context: Vec<Predicate> = self.given[1..]
+            .iter()
+            .map(|(a, v)| Predicate::eq(a.clone(), v.clone()))
+            .collect();
+        let context_view = table
+            .filter(&Predicate::and(context))
+            .expect("valid context");
+        let cad = build_cad_view(
+            &context_view,
+            &CadRequest::new(pivot_name)
+                .with_iunits(3)
+                .with_max_compare_attrs(6),
+        )
+        .expect("CAD View over given attribute");
+
+        let Some(target_row) = cad.row(pivot_value) else {
+            // Degenerate: pivot value missing — fall back to the digest.
+            return self.run_trials(
+                table,
+                &engine,
+                &target,
+                &target_digest,
+                Vec::new(),
+                costs,
+                user,
+                &mut rng,
+                watch,
+                2,
+                false,
+            );
+        };
+        let total_iunits: usize = cad.rows.iter().map(|r| r.iunits.len()).sum();
+        watch.charge_n(costs.iunit_inspect, total_iunits);
+
+        // Discriminative candidates: frequent within the target row's
+        // IUnits, rare elsewhere.
+        let mut candidates = Vec::new();
+        for (a, &attr_index) in cad.compare_attrs.iter().enumerate() {
+            if given_attrs.contains(&attr_index) {
+                continue;
+            }
+            let Some(codec) = engine
+                .attributes()
+                .iter()
+                .find(|(i, _)| *i == attr_index)
+                .map(|(_, c)| c)
+            else {
+                continue;
+            };
+            let card = target_row
+                .iunits
+                .first()
+                .map(|u| u.freqs[a].len())
+                .unwrap_or(0);
+            let row_total: f64 = target_row
+                .iunits
+                .iter()
+                .map(|u| u.size as f64)
+                .sum::<f64>()
+                .max(1.0);
+            for code in 0..card {
+                let inside: f64 = target_row.iunits.iter().map(|u| u.freqs[a][code]).sum();
+                if inside <= 0.0 {
+                    continue;
+                }
+                let outside: f64 = cad
+                    .rows
+                    .iter()
+                    .filter(|r| r.pivot_label != *pivot_value)
+                    .flat_map(|r| r.iunits.iter())
+                    .map(|u| u.freqs[a][code])
+                    .sum();
+                let recall = inside / row_total;
+                let precision_proxy = inside / (inside + outside);
+                candidates.push(Candidate {
+                    attr: attr_index,
+                    label: codec.label(code as u32).to_owned(),
+                    perceived: recall * precision_proxy
+                        + judgment_jitter(&mut rng, user.judgment_noise * 0.3),
+                });
+            }
+        }
+        candidates.sort_by(|x, y| y.perceived.total_cmp(&x.perceived));
+
+        self.run_trials(
+            table, &engine, &target, &target_digest, candidates, costs, user, &mut rng, watch, 4,
+            false,
+        )
+    }
+
+    /// Trial loop shared by both policies: apply a candidate selection,
+    /// compare the resulting digest to the (memorized) target digest, keep
+    /// the best perceived match, stop early on a near-perfect one.
+    #[allow(clippy::too_many_arguments)]
+    fn run_trials(
+        &self,
+        table: &Table,
+        engine: &FacetedEngine<'_>,
+        target: &View<'_>,
+        target_digest: &dbex_facet::SummaryDigest,
+        candidates: Vec<Candidate>,
+        costs: &CostModel,
+        user: &SimulatedUser,
+        rng: &mut StdRng,
+        mut watch: Stopwatch,
+        budget: usize,
+        noisy_compare: bool,
+    ) -> TaskOutcome {
+        // Singles first, then the pairwise AND-combinations of the top
+        // candidates across distinct attributes (a ≤2-value alternative may
+        // need both).
+        let mut trials: Vec<Selection> = Vec::new();
+        let singles = (budget / 2).max(1);
+        for c in candidates.iter().take(singles) {
+            trials.push(vec![(c.attr, c.label.clone())]);
+        }
+        let top: Vec<&Candidate> = candidates.iter().take(4).collect();
+        for i in 0..top.len() {
+            for j in (i + 1)..top.len() {
+                if top[i].attr != top[j].attr {
+                    trials.push(vec![
+                        (top[i].attr, top[i].label.clone()),
+                        (top[j].attr, top[j].label.clone()),
+                    ]);
+                }
+            }
+        }
+
+        let mut best: Option<(f64, Selection)> = None;
+        for trial in trials.into_iter().take(budget) {
+            charge_trial(&mut watch, costs, trial.len());
+            watch.charge(costs.digest_compare);
+            let view = view_of(engine, &trial).expect("valid trial");
+            let noise = if noisy_compare {
+                judgment_jitter(rng, user.judgment_noise)
+            } else {
+                judgment_jitter(rng, user.judgment_noise * 0.3)
+            };
+            let perceived = digest_similarity(target_digest, &engine.digest_of(&view)) + noise;
+            if best.as_ref().map(|(q, _)| perceived > *q).unwrap_or(true) {
+                best = Some((perceived, trial));
+            }
+            if best.as_ref().is_some_and(|(q, _)| *q > 0.985) {
+                break;
+            }
+        }
+        watch.charge(costs.decision);
+        let selection = best.map(|(_, s)| s).unwrap_or_default();
+        let quality = if selection.is_empty() {
+            // No acceptable alternative found: error of an empty selection
+            // is the full table vs the target.
+            retrieval_error(target, &table.full_view())
+        } else {
+            retrieval_error(target, &view_of(engine, &selection).expect("valid selection"))
+        };
+        TaskOutcome {
+            quality,
+            minutes: watch.minutes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::roster;
+    use dbex_data::MushroomGenerator;
+
+    fn hard_task() -> AltConditionTask {
+        AltConditionTask {
+            given: vec![
+                ("StalkShape".into(), "enlarging".into()),
+                ("SporePrintColor".into(), "chocolate".into()),
+            ],
+        }
+    }
+
+    fn easy_task() -> AltConditionTask {
+        AltConditionTask {
+            given: vec![("StalkColorAboveRing".into(), "gray".into())],
+        }
+    }
+
+    #[test]
+    fn easy_task_twin_attribute_found_with_low_error() {
+        let table = MushroomGenerator::new(2016).generate(4_000);
+        let costs = CostModel::default();
+        let users = roster(7);
+        let task = easy_task();
+        for user in &users[..4] {
+            let out = task.run_tpfacet(&table, &costs, user);
+            assert!(
+                out.quality < 0.4,
+                "{}: error {} too high for the twin-attribute task",
+                user.name(),
+                out.quality
+            );
+        }
+    }
+
+    #[test]
+    fn tpfacet_lower_error_and_faster_on_hard_task() {
+        let table = MushroomGenerator::new(2016).generate(4_000);
+        let costs = CostModel::default();
+        let users = roster(7);
+        let task = hard_task();
+        let mut solr_err = 0.0;
+        let mut tp_err = 0.0;
+        let mut solr_min = 0.0;
+        let mut tp_min = 0.0;
+        for user in &users {
+            let s = task.run_solr(&table, &costs, user);
+            let t = task.run_tpfacet(&table, &costs, user);
+            solr_err += s.quality;
+            tp_err += t.quality;
+            solr_min += s.minutes;
+            tp_min += t.minutes;
+        }
+        let n = users.len() as f64;
+        assert!(
+            tp_err / n < solr_err / n,
+            "TPFacet error {} vs Solr {}",
+            tp_err / n,
+            solr_err / n
+        );
+        assert!(
+            solr_min / n > 1.2 * tp_min / n,
+            "Solr {} vs TPFacet {} minutes",
+            solr_min / n,
+            tp_min / n
+        );
+    }
+
+    #[test]
+    fn target_view_nonempty() {
+        let table = MushroomGenerator::new(2016).generate(4_000);
+        assert!(hard_task().target_view(&table).len() > 50);
+        assert!(easy_task().target_view(&table).len() > 50);
+    }
+}

@@ -1,0 +1,339 @@
+//! Task 1 — Simple Classifier (paper Section 6.2.1, Figures 2-3).
+//!
+//! "Build a classifier for binary class data ... selecting at most two
+//! attribute values that maximizes the number of tuples retrieved from a
+//! given target class, and minimizes the number of tuples from the other
+//! class", scored by F1.
+
+use crate::cost::{CostModel, Stopwatch};
+use crate::tasks::{charge_trial, digest_width, selection_f1, state_of, Selection, TaskOutcome};
+use crate::user::{judgment_jitter, SimulatedUser};
+use dbex_core::{build_cad_view, CadRequest};
+use dbex_facet::{FacetState, FacetedEngine};
+use dbex_table::Table;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Task 1 specification.
+#[derive(Debug, Clone)]
+pub struct ClassifierTask {
+    /// Binary class attribute (e.g. `Bruises`).
+    pub class_attr: String,
+    /// Target class value (e.g. `true`).
+    pub target: String,
+}
+
+/// A scored candidate `(attribute, value)` pick.
+#[derive(Debug, Clone)]
+struct Candidate {
+    attr: usize,
+    label: String,
+    perceived: f64,
+}
+
+impl ClassifierTask {
+    /// Runs the task with the Solr-style baseline policy.
+    ///
+    /// The user selects the target class, reads the full digest, repeats
+    /// for the complement, mentally ranks value candidates by the count
+    /// contrast, then trial-and-errors the top combinations.
+    pub fn run_solr(
+        &self,
+        table: &Table,
+        costs: &CostModel,
+        user: &SimulatedUser,
+    ) -> TaskOutcome {
+        let engine = FacetedEngine::new(table, 6);
+        let mut rng = user.task_rng(0x7A5C_0001);
+        let mut watch = Stopwatch::new(user.speed);
+        let class_attr = table
+            .schema()
+            .index_of(&self.class_attr)
+            .expect("class attribute exists");
+
+        // Read the digest conditioned on the target class...
+        let mut target_state = FacetState::default();
+        target_state
+            .selections
+            .insert(class_attr, vec![self.target.clone()]);
+        watch.charge(costs.facet_click);
+        let target_digest = engine
+            .digest_of(&engine.results_for(&target_state).expect("valid class value"));
+        watch.charge_n(costs.digest_scan_attr, digest_width(&engine));
+
+        // ...and on the complement (deselect + full rescan).
+        watch.charge_n(costs.facet_click, 2);
+        let full = engine.table().full_view();
+        let full_digest = engine.digest_of(&full);
+        watch.charge_n(costs.digest_scan_attr, digest_width(&engine));
+
+        // Rank candidates by the perceived contrast between in-class and
+        // out-of-class relative frequency. Diligence bounds how many
+        // attributes the user actually studies.
+        let n_attrs = target_digest.attributes.len();
+        let studied = ((user.diligence * n_attrs as f64).ceil() as usize).clamp(1, n_attrs);
+        let mut attr_order: Vec<usize> = (0..n_attrs).collect();
+        shuffle(&mut attr_order, &mut rng);
+        let candidates = self.rank_candidates(
+            &target_digest,
+            &full_digest,
+            &attr_order[..studied],
+            class_attr,
+            user,
+            &mut rng,
+        );
+        watch.charge_n(costs.decision, studied.min(6));
+
+        self.run_trials(
+            table, &engine, class_attr, candidates, costs, user, &mut rng, watch, 5, 1.5,
+        )
+    }
+
+    /// Runs the task with the TPFacet policy.
+    ///
+    /// The user pivots on the class attribute and builds a CAD View; the
+    /// chi-square-selected Compare Attributes and the per-class IUnit
+    /// labels surface the discriminating values directly, so only a couple
+    /// of trials are needed.
+    pub fn run_tpfacet(
+        &self,
+        table: &Table,
+        costs: &CostModel,
+        user: &SimulatedUser,
+    ) -> TaskOutcome {
+        let engine = FacetedEngine::new(table, 6);
+        let mut rng = user.task_rng(0x7A5C_0002);
+        let mut watch = Stopwatch::new(user.speed);
+        let class_attr = table
+            .schema()
+            .index_of(&self.class_attr)
+            .expect("class attribute exists");
+
+        watch.charge(costs.cad_build);
+        let cad = build_cad_view(
+            &table.full_view(),
+            &CadRequest::new(&self.class_attr)
+                .with_iunits(3)
+                .with_max_compare_attrs(5),
+        )
+        .expect("CAD View over the class attribute");
+
+        // Inspect both rows' IUnits; collect values frequent in the target
+        // row and rare in the other rows.
+        let total_iunits: usize = cad.rows.iter().map(|r| r.iunits.len()).sum();
+        watch.charge_n(costs.iunit_inspect, total_iunits);
+        let target_row = cad.row(&self.target).expect("target class row");
+        let row_total: f64 = target_row
+            .iunits
+            .iter()
+            .map(|u| u.size as f64)
+            .sum::<f64>()
+            .max(1.0);
+        let mut candidates = Vec::new();
+        for (a, &attr_index) in cad.compare_attrs.iter().enumerate() {
+            // Aggregate frequencies across the row's IUnits.
+            let card = target_row.iunits.first().map(|u| u.freqs[a].len()).unwrap_or(0);
+            for code in 0..card {
+                let in_target: f64 = target_row.iunits.iter().map(|u| u.freqs[a][code]).sum();
+                let elsewhere: f64 = cad
+                    .rows
+                    .iter()
+                    .filter(|r| r.pivot_label != self.target)
+                    .flat_map(|r| r.iunits.iter())
+                    .map(|u| u.freqs[a][code])
+                    .sum();
+                if in_target <= 0.0 {
+                    continue;
+                }
+                // F1 proxy, exactly the quantity the task optimizes: the
+                // IUnit frequency vectors expose both how much of the
+                // target class the value covers (recall) and how exclusive
+                // to the target row it is (precision).
+                let precision = in_target / (in_target + elsewhere);
+                let recall = in_target / row_total;
+                let proxy = 2.0 * precision * recall / (precision + recall).max(1e-12);
+                let label = engine
+                    .attributes()
+                    .iter()
+                    .find(|(i, _)| *i == attr_index)
+                    .map(|(_, codec)| codec.label(code as u32).to_owned());
+                let Some(label) = label else { continue };
+                let perceived = proxy + judgment_jitter(&mut rng, user.judgment_noise * 0.3);
+                candidates.push(Candidate {
+                    attr: attr_index,
+                    label,
+                    perceived,
+                });
+            }
+        }
+        candidates.sort_by(|x, y| y.perceived.total_cmp(&x.perceived));
+        watch.charge(costs.decision);
+
+        self.run_trials(
+            table, &engine, class_attr, candidates, costs, user, &mut rng, watch, 4, 0.25,
+        )
+    }
+
+    /// Ranks Solr candidates from two digests.
+    fn rank_candidates(
+        &self,
+        target_digest: &dbex_facet::SummaryDigest,
+        full_digest: &dbex_facet::SummaryDigest,
+        studied_attrs: &[usize],
+        class_attr: usize,
+        user: &SimulatedUser,
+        rng: &mut StdRng,
+    ) -> Vec<Candidate> {
+        let target_total = target_digest.total.max(1) as f64;
+        let full_total = full_digest.total.max(1) as f64;
+        let mut out = Vec::new();
+        for &ai in studied_attrs {
+            let tattr = &target_digest.attributes[ai];
+            if tattr.attr_index == class_attr {
+                continue;
+            }
+            let fattr = &full_digest.attributes[ai];
+            for (code, label) in tattr.labels.iter().enumerate() {
+                let in_target = tattr.counts[code] as f64;
+                if in_target == 0.0 {
+                    continue;
+                }
+                let overall = fattr.counts[code] as f64;
+                let out_of_target = (overall - in_target).max(0.0);
+                let p_in = in_target / target_total;
+                let p_out = out_of_target / (full_total - target_total).max(1.0);
+                let perceived =
+                    (p_in - p_out) + judgment_jitter(rng, user.judgment_noise);
+                out.push(Candidate {
+                    attr: tattr.attr_index,
+                    label: label.clone(),
+                    perceived,
+                });
+            }
+        }
+        out.sort_by(|x, y| y.perceived.total_cmp(&x.perceived));
+        out
+    }
+
+    /// Shared trial loop: try top singles plus the pair of the top two,
+    /// observe F1 through the interface, keep the best observed.
+    #[allow(clippy::too_many_arguments)]
+    fn run_trials(
+        &self,
+        table: &Table,
+        engine: &FacetedEngine<'_>,
+        class_attr: usize,
+        candidates: Vec<Candidate>,
+        costs: &CostModel,
+        user: &SimulatedUser,
+        rng: &mut StdRng,
+        mut watch: Stopwatch,
+        budget: usize,
+        obs_noise: f64,
+    ) -> TaskOutcome {
+        let mut trials: Vec<Selection> = Vec::new();
+        for c in candidates.iter().take(budget.saturating_sub(2)) {
+            trials.push(vec![(c.attr, c.label.clone())]);
+        }
+        // Combinations of the top two distinct-attribute candidates.
+        if let Some(first) = candidates.first() {
+            if let Some(second) = candidates.iter().find(|c| c.attr != first.attr) {
+                trials.push(vec![
+                    (first.attr, first.label.clone()),
+                    (second.attr, second.label.clone()),
+                ]);
+            }
+        }
+
+        let mut best: Option<(f64, Selection)> = None;
+        for trial in trials.into_iter().take(budget) {
+            charge_trial(&mut watch, costs, trial.len());
+            // Observed through the interface: select, read the class row of
+            // the digest — exact counts, tiny reading noise.
+            let observed = selection_f1(table, engine, &trial, class_attr, &self.target)
+                + judgment_jitter(rng, user.judgment_noise * obs_noise);
+            if best.as_ref().map(|(q, _)| observed > *q).unwrap_or(true) {
+                best = Some((observed, trial));
+            }
+        }
+        let selection = best.map(|(_, s)| s).unwrap_or_default();
+        watch.charge(costs.decision);
+        let quality = selection_f1(table, engine, &selection, class_attr, &self.target);
+        let _ = state_of(&selection); // selection is reportable state
+        TaskOutcome {
+            quality,
+            minutes: watch.minutes(),
+        }
+    }
+}
+
+fn shuffle(v: &mut [usize], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::roster;
+    use dbex_data::MushroomGenerator;
+
+    fn setup() -> (Table, CostModel, Vec<SimulatedUser>) {
+        (
+            MushroomGenerator::new(2016).generate(3_000),
+            CostModel::default(),
+            roster(7),
+        )
+    }
+
+    #[test]
+    fn tpfacet_beats_solr_on_average() {
+        let (table, costs, users) = setup();
+        let task = ClassifierTask {
+            class_attr: "Bruises".into(),
+            target: "true".into(),
+        };
+        let mut solr_f1 = 0.0;
+        let mut tp_f1 = 0.0;
+        let mut solr_min = 0.0;
+        let mut tp_min = 0.0;
+        for user in &users {
+            let s = task.run_solr(&table, &costs, user);
+            let t = task.run_tpfacet(&table, &costs, user);
+            solr_f1 += s.quality;
+            tp_f1 += t.quality;
+            solr_min += s.minutes;
+            tp_min += t.minutes;
+        }
+        let n = users.len() as f64;
+        assert!(
+            tp_f1 / n >= solr_f1 / n - 0.02,
+            "TPFacet F1 {} vs Solr {}",
+            tp_f1 / n,
+            solr_f1 / n
+        );
+        assert!(
+            solr_min / n > 2.5 * tp_min / n,
+            "Solr {} min vs TPFacet {} min",
+            solr_min / n,
+            tp_min / n
+        );
+        // Both interfaces produce genuinely good classifiers on this data.
+        assert!(tp_f1 / n > 0.7, "TPFacet mean F1 {}", tp_f1 / n);
+    }
+
+    #[test]
+    fn deterministic_per_user() {
+        let (table, costs, users) = setup();
+        let task = ClassifierTask {
+            class_attr: "Bruises".into(),
+            target: "true".into(),
+        };
+        let a = task.run_solr(&table, &costs, &users[0]);
+        let b = task.run_solr(&table, &costs, &users[0]);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.minutes, b.minutes);
+    }
+}

@@ -1,0 +1,186 @@
+//! The three study tasks and shared policy machinery.
+//!
+//! Every policy is *honest*: it consumes only information its interface
+//! exposes (digest counts for Solr; digests plus CAD View contents for
+//! TPFacet), pays for every operation through the [`crate::cost::Stopwatch`], and makes
+//! noisy mental comparisons via the user's judgment jitter. Ground-truth
+//! quality is computed afterwards from the full data, exactly as the paper
+//! scored its participants.
+
+pub mod alt_condition;
+pub mod classifier;
+pub mod similar_pair;
+
+use crate::cost::CostModel;
+use dbex_facet::{FacetState, FacetedEngine};
+use dbex_table::{Predicate, Result, Table, View};
+
+/// Identifies one of the paper's three tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskId {
+    /// Section 6.2.1 — Figures 2-3.
+    Classifier,
+    /// Section 6.2.2 — Figures 4-5.
+    SimilarPair,
+    /// Section 6.2.3 — Figures 6-7.
+    AltCondition,
+}
+
+impl TaskId {
+    /// Human-readable task name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskId::Classifier => "Simple Classifier",
+            TaskId::SimilarPair => "Most Similar Attribute Value Pair",
+            TaskId::AltCondition => "Alternative Search Condition",
+        }
+    }
+}
+
+/// Outcome of one (user, interface, task) execution.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskOutcome {
+    /// Task-specific quality (F1, rank, or retrieval error).
+    pub quality: f64,
+    /// Completion time in minutes.
+    pub minutes: f64,
+}
+
+/// A candidate selection: conjunction of `(attribute index, value label)`
+/// facet picks (at most two, per the task rules).
+pub type Selection = Vec<(usize, String)>;
+
+/// Builds a [`FacetState`] from a selection.
+pub(crate) fn state_of(selection: &Selection) -> FacetState {
+    let mut state = FacetState::default();
+    for (attr, label) in selection {
+        state
+            .selections
+            .entry(*attr)
+            .or_default()
+            .push(label.clone());
+    }
+    state
+}
+
+/// The result view of a selection (read-only peek, no engine mutation).
+pub(crate) fn view_of<'a>(
+    engine: &FacetedEngine<'a>,
+    selection: &Selection,
+) -> Result<View<'a>> {
+    engine.results_for(&state_of(selection))
+}
+
+/// Exact F1 of "rows matching `selection`" as a classifier for
+/// `class_attr = target` (ground-truth scoring for Task 1).
+pub(crate) fn selection_f1(
+    table: &Table,
+    engine: &FacetedEngine<'_>,
+    selection: &Selection,
+    class_attr: usize,
+    target: &str,
+) -> f64 {
+    let predicted = view_of(engine, selection).expect("valid selection");
+    let class_name = &table.schema().field(class_attr).name;
+    let actual = table
+        .filter(&Predicate::eq(class_name.clone(), target))
+        .expect("class attribute exists");
+    let predicted_set: std::collections::HashSet<u32> =
+        predicted.row_ids().iter().copied().collect();
+    let actual_set: std::collections::HashSet<u32> = actual.row_ids().iter().copied().collect();
+    let tp = predicted_set.intersection(&actual_set).count() as f64;
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / predicted_set.len() as f64;
+    let recall = tp / actual_set.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Relative symmetric-difference retrieval error for Task 3:
+/// `(|target \ alt| + |alt \ target|) / |target|`. Zero is perfect; values
+/// above 1 mean the alternative is mostly wrong.
+pub(crate) fn retrieval_error(target: &View<'_>, alt: &View<'_>) -> f64 {
+    let t: std::collections::HashSet<u32> = target.row_ids().iter().copied().collect();
+    let a: std::collections::HashSet<u32> = alt.row_ids().iter().copied().collect();
+    if t.is_empty() {
+        return if a.is_empty() { 0.0 } else { a.len() as f64 };
+    }
+    let missing = t.difference(&a).count();
+    let extra = a.difference(&t).count();
+    (missing + extra) as f64 / t.len() as f64
+}
+
+/// Number of facet-able attributes scanned when a user reads a full digest.
+pub(crate) fn digest_width(engine: &FacetedEngine<'_>) -> usize {
+    engine.attributes().len()
+}
+
+/// Cost of one trial: clear the panel, click each value of the candidate
+/// selection, glance at the relevant digest row, decide.
+pub(crate) fn charge_trial(
+    watch: &mut crate::cost::Stopwatch,
+    costs: &CostModel,
+    selection_len: usize,
+) {
+    watch.charge(costs.facet_click); // clear / reset
+    watch.charge_n(costs.facet_click, selection_len);
+    watch.charge(costs.digest_scan_attr);
+    watch.charge(costs.decision);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::{DataType, Field, TableBuilder};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Class", DataType::Categorical),
+            Field::new("X", DataType::Categorical),
+        ])
+        .unwrap();
+        for i in 0..20 {
+            let class = if i < 10 { "pos" } else { "neg" };
+            let x = if !(8..18).contains(&i) { "a" } else { "b" };
+            b.push_row(vec![class.into(), x.into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn selection_f1_matches_hand_computation() {
+        let t = table();
+        let engine = FacetedEngine::new(&t, 4);
+        // X=a: rows 0-7 (pos) and 18-19 (neg) → tp=8, fp=2, fn=2.
+        let sel: Selection = vec![(1, "a".into())];
+        let f1 = selection_f1(&t, &engine, &sel, 0, "pos");
+        let expected = 2.0 * 0.8 * 0.8 / (0.8 + 0.8);
+        assert!((f1 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retrieval_error_zero_for_identity() {
+        let t = table();
+        let v = t.full_view();
+        assert_eq!(retrieval_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn retrieval_error_counts_both_sides() {
+        let t = table();
+        let a = View::from_rows(&t, vec![0, 1, 2, 3]);
+        let b = View::from_rows(&t, vec![2, 3, 4, 5, 6]);
+        // missing = {0,1} (2), extra = {4,5,6} (3), |target| = 4.
+        assert!((retrieval_error(&a, &b) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_of_builds_conjunction() {
+        let t = table();
+        let engine = FacetedEngine::new(&t, 4);
+        let sel: Selection = vec![(0, "pos".into()), (1, "a".into())];
+        let v = view_of(&engine, &sel).unwrap();
+        assert_eq!(v.len(), 8);
+    }
+}

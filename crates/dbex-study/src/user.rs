@@ -1,0 +1,103 @@
+//! Simulated study participants.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A simulated participant.
+///
+/// `speed` scales every operation's duration; `diligence` bounds how much
+/// of the candidate space the user explores before committing;
+/// `judgment_noise` perturbs mental comparisons (a user eyeballing two
+/// digests does not compute an exact cosine). All three are drawn once per
+/// user from the study seed, mirroring between-subject variability.
+#[derive(Debug, Clone)]
+pub struct SimulatedUser {
+    /// Stable id `U1..U8` (0-based internally).
+    pub id: usize,
+    /// Study group: 0 or 1 (controls the matched-pair task assignment).
+    pub group: usize,
+    /// Operation speed multiplier (≈0.75 slow … 1.35 fast).
+    pub speed: f64,
+    /// Fraction of candidates explored before committing (0.5 … 1.0).
+    pub diligence: f64,
+    /// Standard deviation of mental-comparison noise.
+    pub judgment_noise: f64,
+    /// Personal PRNG seed for within-task randomness.
+    pub seed: u64,
+}
+
+impl SimulatedUser {
+    /// Display name matching the paper's figures (`U1`…`U8`).
+    pub fn name(&self) -> String {
+        format!("U{}", self.id + 1)
+    }
+
+    /// A fresh PRNG for one task execution, derived from the user seed and
+    /// a task tag so re-running a single task is deterministic.
+    pub fn task_rng(&self, task_tag: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ task_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Builds the paper's roster: 8 users, U1-U4 in group 0, U5-U8 in group 1.
+pub fn roster(seed: u64) -> Vec<SimulatedUser> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..8)
+        .map(|id| SimulatedUser {
+            id,
+            group: if id < 4 { 0 } else { 1 },
+            speed: rng.random_range(0.75..1.35),
+            diligence: rng.random_range(0.5..1.0),
+            judgment_noise: rng.random_range(0.02..0.12),
+            seed: rng.random_range(0..u64::MAX),
+        })
+        .collect()
+}
+
+/// Draws one sample of zero-mean comparison noise with standard deviation
+/// `sd` (sum of uniforms ≈ normal; exactness is irrelevant here).
+pub fn judgment_jitter(rng: &mut StdRng, sd: f64) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.random_range(0.0..1.0)).sum();
+    (sum - 6.0) * sd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_shape() {
+        let users = roster(2016);
+        assert_eq!(users.len(), 8);
+        assert!(users[..4].iter().all(|u| u.group == 0));
+        assert!(users[4..].iter().all(|u| u.group == 1));
+        assert_eq!(users[0].name(), "U1");
+        assert_eq!(users[7].name(), "U8");
+        for u in &users {
+            assert!((0.75..1.35).contains(&u.speed));
+            assert!((0.5..1.0).contains(&u.diligence));
+        }
+    }
+
+    #[test]
+    fn roster_deterministic_and_seed_sensitive() {
+        let a = roster(1);
+        let b = roster(1);
+        let c = roster(2);
+        assert_eq!(a[3].seed, b[3].seed);
+        assert_ne!(a[3].seed, c[3].seed);
+    }
+
+    #[test]
+    fn jitter_centered() {
+        let users = roster(5);
+        let mut rng = users[0].task_rng(9);
+        let samples: Vec<f64> = (0..2000).map(|_| judgment_jitter(&mut rng, 0.1)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        let sd = (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!((sd - 0.1).abs() < 0.02, "sd {sd}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Grouped aggregation over views.
+//!
+//! Backs the query layer's `GROUP BY` and the "simple summary statistics"
+//! the paper contrasts the CAD View against (Section 1: "average price for
+//! a hotel room" is of limited value without context — this module computes
+//! exactly those statistics so the comparison can be made).
+
+use crate::error::{Error, Result};
+use crate::schema::Field;
+use crate::table::{Table, TableBuilder};
+use crate::value::{DataType, Value};
+use crate::view::View;
+use std::collections::HashMap;
+
+/// An aggregate function over a numeric attribute (or `*` for COUNT).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)`
+    Count,
+    /// `SUM(attr)`
+    Sum(String),
+    /// `AVG(attr)`
+    Avg(String),
+    /// `MIN(attr)`
+    Min(String),
+    /// `MAX(attr)`
+    Max(String),
+}
+
+impl Aggregate {
+    /// Output column name, e.g. `avg(Price)`.
+    pub fn output_name(&self) -> String {
+        match self {
+            Aggregate::Count => "count(*)".to_owned(),
+            Aggregate::Sum(a) => format!("sum({a})"),
+            Aggregate::Avg(a) => format!("avg({a})"),
+            Aggregate::Min(a) => format!("min({a})"),
+            Aggregate::Max(a) => format!("max({a})"),
+        }
+    }
+
+    fn attribute(&self) -> Option<&str> {
+        match self {
+            Aggregate::Count => None,
+            Aggregate::Sum(a) | Aggregate::Avg(a) | Aggregate::Min(a) | Aggregate::Max(a) => {
+                Some(a)
+            }
+        }
+    }
+}
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone, Copy, Default)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    seen: bool,
+}
+
+impl AggState {
+    fn update(&mut self, v: Option<f64>) {
+        self.count += u64::from(v.is_some());
+        if let Some(v) = v {
+            self.sum += v;
+            if !self.seen {
+                self.min = v;
+                self.max = v;
+                self.seen = true;
+            } else {
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+        }
+    }
+
+    fn finish(&self, agg: &Aggregate, group_rows: u64) -> Value {
+        match agg {
+            Aggregate::Count => Value::Int(group_rows as i64),
+            Aggregate::Sum(_) => {
+                if self.seen {
+                    Value::Float(self.sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Aggregate::Avg(_) => {
+                if self.count > 0 {
+                    Value::Float(self.sum / self.count as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            Aggregate::Min(_) => {
+                if self.seen {
+                    Value::Float(self.min)
+                } else {
+                    Value::Null
+                }
+            }
+            Aggregate::Max(_) => {
+                if self.seen {
+                    Value::Float(self.max)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+/// Computes `GROUP BY group_attrs` with the given aggregates over `view`,
+/// returning a new table with one row per group (group columns first, then
+/// aggregate columns, groups in first-appearance order).
+///
+/// Group attributes must be categorical; aggregate attributes (except
+/// `COUNT(*)`) must be numeric. NULL group values form their own group.
+pub fn group_by(view: &View<'_>, group_attrs: &[String], aggs: &[Aggregate]) -> Result<Table> {
+    let table = view.table();
+    let schema = table.schema();
+    let group_cols: Vec<usize> = group_attrs
+        .iter()
+        .map(|a| {
+            let idx = schema.index_of(a)?;
+            if schema.field(idx).data_type != DataType::Categorical {
+                return Err(Error::Invalid(format!(
+                    "GROUP BY attribute {a} must be categorical"
+                )));
+            }
+            Ok(idx)
+        })
+        .collect::<Result<_>>()?;
+    let agg_cols: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|agg| match agg.attribute() {
+            None => Ok(None),
+            Some(a) => {
+                let idx = schema.index_of(a)?;
+                if schema.field(idx).data_type == DataType::Categorical {
+                    return Err(Error::Invalid(format!(
+                        "aggregate attribute {a} must be numeric"
+                    )));
+                }
+                Ok(Some(idx))
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    // Group key = vector of dictionary codes.
+    let mut order: Vec<Vec<u32>> = Vec::new();
+    let mut groups: HashMap<Vec<u32>, (u64, Vec<AggState>)> = HashMap::new();
+    for &row in view.row_ids() {
+        let key: Vec<u32> = group_cols
+            .iter()
+            .map(|&c| table.column(c).get_code(row as usize).unwrap_or(u32::MAX))
+            .collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (0, vec![AggState::default(); aggs.len()])
+        });
+        entry.0 += 1;
+        for (state, col) in entry.1.iter_mut().zip(&agg_cols) {
+            let v = col.and_then(|c| table.column(c).get_f64(row as usize));
+            state.update(v);
+        }
+    }
+
+    // Output schema: group columns (categorical) then aggregates.
+    let mut fields: Vec<Field> = group_cols
+        .iter()
+        .map(|&c| Field::new(schema.field(c).name.clone(), DataType::Categorical))
+        .collect();
+    for agg in aggs {
+        let ty = match agg {
+            Aggregate::Count => DataType::Int,
+            _ => DataType::Float,
+        };
+        fields.push(Field::new(agg.output_name(), ty));
+    }
+    let mut builder = TableBuilder::new(fields)?;
+    for key in order {
+        let (rows, states) = groups.remove(&key).expect("key recorded");
+        let mut out = Vec::with_capacity(key.len() + aggs.len());
+        for (&code, &col) in key.iter().zip(&group_cols) {
+            let dict = table.column(col).dictionary().expect("categorical");
+            out.push(match dict.resolve(code) {
+                Some(s) => Value::Str(s.to_owned()),
+                None => Value::Null,
+            });
+        }
+        for (state, agg) in states.iter().zip(aggs) {
+            out.push(state.finish(agg, rows));
+        }
+        builder.push_row(out)?;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Body", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for (m, body, p) in [
+            ("Ford", "SUV", 20),
+            ("Ford", "SUV", 30),
+            ("Ford", "Sedan", 10),
+            ("Jeep", "SUV", 40),
+        ] {
+            b.push_row(vec![m.into(), body.into(), p.into()]).unwrap();
+        }
+        b.push_row(vec!["Jeep".into(), "SUV".into(), Value::Null])
+            .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn single_group_all_aggregates() {
+        let t = table();
+        let out = group_by(
+            &t.full_view(),
+            &["Make".into()],
+            &[
+                Aggregate::Count,
+                Aggregate::Sum("Price".into()),
+                Aggregate::Avg("Price".into()),
+                Aggregate::Min("Price".into()),
+                Aggregate::Max("Price".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.schema().names()[1], "count(*)");
+        // Ford: count 3, sum 60, avg 20, min 10, max 30.
+        assert_eq!(out.value(0, 0), Value::Str("Ford".into()));
+        assert_eq!(out.value(0, 1), Value::Int(3));
+        assert_eq!(out.value(0, 2), Value::Float(60.0));
+        assert_eq!(out.value(0, 3), Value::Float(20.0));
+        assert_eq!(out.value(0, 4), Value::Float(10.0));
+        assert_eq!(out.value(0, 5), Value::Float(30.0));
+        // Jeep: count includes the NULL-price row; avg ignores it.
+        assert_eq!(out.value(1, 1), Value::Int(2));
+        assert_eq!(out.value(1, 2), Value::Float(40.0));
+    }
+
+    #[test]
+    fn multi_column_grouping() {
+        let t = table();
+        let out = group_by(
+            &t.full_view(),
+            &["Make".into(), "Body".into()],
+            &[Aggregate::Count],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3); // Ford/SUV, Ford/Sedan, Jeep/SUV
+        assert_eq!(out.value(0, 2), Value::Int(2));
+    }
+
+    #[test]
+    fn empty_view_yields_empty_table() {
+        let t = table();
+        let empty = t.filter(&crate::Predicate::eq("Make", "Tesla")).unwrap();
+        let out = group_by(&empty, &["Make".into()], &[Aggregate::Count]).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn type_errors() {
+        let t = table();
+        assert!(group_by(&t.full_view(), &["Price".into()], &[Aggregate::Count]).is_err());
+        assert!(group_by(
+            &t.full_view(),
+            &["Make".into()],
+            &[Aggregate::Avg("Body".into())]
+        )
+        .is_err());
+        assert!(group_by(&t.full_view(), &["Nope".into()], &[Aggregate::Count]).is_err());
+    }
+
+    #[test]
+    fn ungrouped_aggregate_single_row() {
+        let t = table();
+        let out = group_by(
+            &t.full_view(),
+            &[],
+            &[Aggregate::Count, Aggregate::Avg("Price".into())],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, 0), Value::Int(5));
+        assert_eq!(out.value(0, 1), Value::Float(25.0));
+    }
+}

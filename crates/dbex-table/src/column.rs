@@ -1,0 +1,284 @@
+//! Typed column storage.
+
+use crate::dict::{Dictionary, NULL_CODE};
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// A single column of values, stored in a typed dense vector.
+///
+/// * `Int`/`Float` use `Option`-free storage with a parallel validity mask
+///   kept implicit via sentinel-free `Vec<Option<...>>`? No — we store
+///   `Vec<i64>` / `Vec<f64>` plus a null bitmap for compactness.
+/// * `Categorical` stores dictionary codes (`u32`), with
+///   [`NULL_CODE`] marking NULLs.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Integer column: values plus null mask (`true` = null).
+    Int { data: Vec<i64>, nulls: Vec<bool> },
+    /// Float column: values plus null mask.
+    Float { data: Vec<f64>, nulls: Vec<bool> },
+    /// Categorical column: dictionary codes; `NULL_CODE` marks NULL.
+    Categorical { codes: Vec<u32>, dict: Dictionary },
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn empty(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int => Column::Int {
+                data: Vec::new(),
+                nulls: Vec::new(),
+            },
+            DataType::Float => Column::Float {
+                data: Vec::new(),
+                nulls: Vec::new(),
+            },
+            DataType::Categorical => Column::Categorical {
+                codes: Vec::new(),
+                dict: Dictionary::new(),
+            },
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int { .. } => DataType::Int,
+            Column::Float { .. } => DataType::Float,
+            Column::Categorical { .. } => DataType::Categorical,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { data, .. } => data.len(),
+            Column::Float { data, .. } => data.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value, coercing `Int` to `Float` where needed.
+    ///
+    /// `attribute` is only used for error messages.
+    pub fn push(&mut self, value: Value, attribute: &str) -> Result<()> {
+        match (self, value) {
+            (Column::Int { data, nulls }, Value::Int(v)) => {
+                data.push(v);
+                nulls.push(false);
+            }
+            (Column::Int { data, nulls }, Value::Null) => {
+                data.push(0);
+                nulls.push(true);
+            }
+            (Column::Float { data, nulls }, Value::Float(v)) => {
+                data.push(v);
+                nulls.push(false);
+            }
+            (Column::Float { data, nulls }, Value::Int(v)) => {
+                data.push(v as f64);
+                nulls.push(false);
+            }
+            (Column::Float { data, nulls }, Value::Null) => {
+                data.push(0.0);
+                nulls.push(true);
+            }
+            (Column::Categorical { codes, dict }, Value::Str(s)) => {
+                codes.push(dict.intern(&s));
+            }
+            (Column::Categorical { codes, .. }, Value::Null) => {
+                codes.push(NULL_CODE);
+            }
+            (col, value) => {
+                return Err(Error::TypeMismatch {
+                    attribute: attribute.to_owned(),
+                    expected: col.data_type().to_string(),
+                    found: format!("{value:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Value at row `row` as a dynamic [`Value`].
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int { data, nulls } => {
+                if nulls[row] {
+                    Value::Null
+                } else {
+                    Value::Int(data[row])
+                }
+            }
+            Column::Float { data, nulls } => {
+                if nulls[row] {
+                    Value::Null
+                } else {
+                    Value::Float(data[row])
+                }
+            }
+            Column::Categorical { codes, dict } => match dict.resolve(codes[row]) {
+                Some(s) => Value::Str(s.to_owned()),
+                None => Value::Null,
+            },
+        }
+    }
+
+    /// True iff the value at `row` is NULL.
+    pub fn is_null(&self, row: usize) -> bool {
+        match self {
+            Column::Int { nulls, .. } | Column::Float { nulls, .. } => nulls[row],
+            Column::Categorical { codes, .. } => codes[row] == NULL_CODE,
+        }
+    }
+
+    /// Numeric value at `row` (ints widened), `None` if NULL or categorical.
+    pub fn get_f64(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int { data, nulls } => (!nulls[row]).then(|| data[row] as f64),
+            Column::Float { data, nulls } => (!nulls[row]).then(|| data[row]),
+            Column::Categorical { .. } => None,
+        }
+    }
+
+    /// Dictionary code at `row` for categorical columns.
+    ///
+    /// Returns `None` for non-categorical columns; NULLs return
+    /// `Some(NULL_CODE)`.
+    pub fn get_code(&self, row: usize) -> Option<u32> {
+        match self {
+            Column::Categorical { codes, .. } => Some(codes[row]),
+            _ => None,
+        }
+    }
+
+    /// The dictionary backing a categorical column.
+    pub fn dictionary(&self) -> Option<&Dictionary> {
+        match self {
+            Column::Categorical { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Raw code slice of a categorical column.
+    pub fn codes(&self) -> Option<&[u32]> {
+        match self {
+            Column::Categorical { codes, .. } => Some(codes.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct non-NULL values in the column.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Column::Categorical { codes, dict } => {
+                // Distinct codes actually used (dictionary may be shared).
+                let mut seen = vec![false; dict.len()];
+                let mut count = 0usize;
+                for &c in codes {
+                    if c != NULL_CODE && !seen[c as usize] {
+                        seen[c as usize] = true;
+                        count += 1;
+                    }
+                }
+                count
+            }
+            Column::Int { data, nulls } => {
+                let mut vals: Vec<i64> = data
+                    .iter()
+                    .zip(nulls)
+                    .filter(|(_, &n)| !n)
+                    .map(|(&v, _)| v)
+                    .collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals.len()
+            }
+            Column::Float { data, nulls } => {
+                let mut vals: Vec<u64> = data
+                    .iter()
+                    .zip(nulls)
+                    .filter(|(_, &n)| !n)
+                    .map(|(&v, _)| v.to_bits())
+                    .collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals.len()
+            }
+        }
+    }
+
+    /// Minimum and maximum over non-NULL numeric values.
+    pub fn numeric_range(&self) -> Option<(f64, f64)> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut any = false;
+        for row in 0..self.len() {
+            if let Some(v) = self.get_f64(row) {
+                min = min.min(v);
+                max = max.max(v);
+                any = true;
+            }
+        }
+        any.then_some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_int() {
+        let mut c = Column::empty(DataType::Int);
+        c.push(Value::Int(5), "x").unwrap();
+        c.push(Value::Null, "x").unwrap();
+        assert_eq!(c.get(0), Value::Int(5));
+        assert_eq!(c.get(1), Value::Null);
+        assert!(c.is_null(1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn float_column_accepts_ints() {
+        let mut c = Column::empty(DataType::Float);
+        c.push(Value::Int(2), "x").unwrap();
+        assert_eq!(c.get(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::empty(DataType::Int);
+        let err = c.push(Value::Str("a".into()), "x");
+        assert!(matches!(err, Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn categorical_codes_and_dictionary() {
+        let mut c = Column::empty(DataType::Categorical);
+        c.push(Value::Str("SUV".into()), "x").unwrap();
+        c.push(Value::Str("Sedan".into()), "x").unwrap();
+        c.push(Value::Str("SUV".into()), "x").unwrap();
+        c.push(Value::Null, "x").unwrap();
+        assert_eq!(c.get_code(0), Some(0));
+        assert_eq!(c.get_code(2), Some(0));
+        assert_eq!(c.get_code(3), Some(NULL_CODE));
+        assert_eq!(c.cardinality(), 2);
+        assert_eq!(c.get(1), Value::Str("Sedan".into()));
+    }
+
+    #[test]
+    fn numeric_range_and_cardinality() {
+        let mut c = Column::empty(DataType::Int);
+        for v in [5, 1, 9, 1] {
+            c.push(Value::Int(v), "x").unwrap();
+        }
+        assert_eq!(c.numeric_range(), Some((1.0, 9.0)));
+        assert_eq!(c.cardinality(), 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! Minimal CSV import/export.
+//!
+//! Supports the subset of CSV the project needs: comma separation, optional
+//! double-quote quoting with `""` escapes, a mandatory header row, and
+//! automatic per-column type inference (INT → FLOAT → CATEGORICAL). Empty
+//! fields are NULL.
+
+use crate::error::{Error, Result};
+use crate::schema::Field;
+use crate::table::{Table, TableBuilder};
+use crate::value::{DataType, Value};
+
+/// Parses CSV text into a [`Table`], inferring column types.
+///
+/// Type inference scans every row: a column is `Int` if every non-empty
+/// field parses as `i64`, else `Float` if every non-empty field parses as
+/// `f64`, else `Categorical`.
+pub fn parse_csv(text: &str) -> Result<Table> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                    // Note trailing comma yields an empty final field, which
+                    // the flush below pushes.
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv("unterminated quoted field".into()));
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+
+    let mut it = records.into_iter();
+    let header = it.next().ok_or_else(|| Error::Csv("empty input".into()))?;
+    let rows: Vec<Vec<String>> = it.collect();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != header.len() {
+            return Err(Error::Csv(format!(
+                "row {} has {} fields, header has {}",
+                i + 2,
+                r.len(),
+                header.len()
+            )));
+        }
+    }
+
+    let types: Vec<DataType> = (0..header.len())
+        .map(|c| infer_type(rows.iter().map(|r| r[c].as_str())))
+        .collect();
+
+    let fields = header
+        .iter()
+        .zip(&types)
+        .map(|(name, &ty)| Field::new(name.trim(), ty))
+        .collect();
+    let mut builder = TableBuilder::new(fields)?;
+    for row in &rows {
+        let values = row
+            .iter()
+            .zip(&types)
+            .map(|(raw, &ty)| parse_value(raw, ty))
+            .collect::<Result<Vec<_>>>()?;
+        builder.push_row(values)?;
+    }
+    Ok(builder.finish())
+}
+
+fn infer_type<'a>(mut fields: impl Iterator<Item = &'a str>) -> DataType {
+    let mut ty = DataType::Int;
+    let mut saw_any = false;
+    for f in fields.by_ref() {
+        let f = f.trim();
+        if f.is_empty() {
+            continue;
+        }
+        saw_any = true;
+        match ty {
+            DataType::Int => {
+                if f.parse::<i64>().is_err() {
+                    ty = if f.parse::<f64>().is_ok() {
+                        DataType::Float
+                    } else {
+                        DataType::Categorical
+                    };
+                }
+            }
+            DataType::Float => {
+                if f.parse::<f64>().is_err() {
+                    ty = DataType::Categorical;
+                }
+            }
+            DataType::Categorical => break,
+        }
+    }
+    if saw_any {
+        ty
+    } else {
+        DataType::Categorical
+    }
+}
+
+fn parse_value(raw: &str, ty: DataType) -> Result<Value> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        DataType::Int => Value::Int(
+            raw.parse::<i64>()
+                .map_err(|e| Error::Csv(format!("bad int {raw:?}: {e}")))?,
+        ),
+        DataType::Float => Value::Float(
+            raw.parse::<f64>()
+                .map_err(|e| Error::Csv(format!("bad float {raw:?}: {e}")))?,
+        ),
+        DataType::Categorical => Value::Str(raw.to_owned()),
+    })
+}
+
+/// Serializes a table to CSV text (header row plus one line per row).
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.schema().names();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in 0..table.num_rows() {
+        for col in 0..table.num_columns() {
+            if col > 0 {
+                out.push(',');
+            }
+            match table.value(row, col) {
+                Value::Null => {}
+                Value::Str(s) => {
+                    if s.contains(',') || s.contains('"') || s.contains('\n') {
+                        out.push('"');
+                        out.push_str(&s.replace('"', "\"\""));
+                        out.push('"');
+                    } else {
+                        out.push_str(&s);
+                    }
+                }
+                v => out.push_str(&v.to_string()),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_typed_columns() {
+        let t = parse_csv("Make,Price,Score\nFord,25000,4.5\nJeep,31000,3.9\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().field(0).data_type, DataType::Categorical);
+        assert_eq!(t.schema().field(1).data_type, DataType::Int);
+        assert_eq!(t.schema().field(2).data_type, DataType::Float);
+        assert_eq!(t.value(1, 1), Value::Int(31_000));
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let t = parse_csv("A,B\n1,\n,x\n").unwrap();
+        assert_eq!(t.value(0, 1), Value::Null);
+        assert_eq!(t.value(1, 0), Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let t = parse_csv("A\n\"hello, \"\"world\"\"\"\n").unwrap();
+        assert_eq!(t.value(0, 0), Value::Str("hello, \"world\"".into()));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(parse_csv("A,B\n1\n").is_err());
+        assert!(parse_csv("").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_csv("A\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "Make,Price\nFord,25000\n\"a,b\",1\n";
+        let t = parse_csv(src).unwrap();
+        let out = to_csv(&t);
+        let t2 = parse_csv(&out).unwrap();
+        assert_eq!(t2.num_rows(), t.num_rows());
+        assert_eq!(t2.value(1, 0), Value::Str("a,b".into()));
+    }
+
+    #[test]
+    fn mixed_int_then_string_becomes_categorical() {
+        let t = parse_csv("A\n1\nx\n").unwrap();
+        assert_eq!(t.schema().field(0).data_type, DataType::Categorical);
+        assert_eq!(t.value(0, 0), Value::Str("1".into()));
+    }
+}

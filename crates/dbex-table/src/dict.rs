@@ -1,0 +1,100 @@
+//! String dictionary for categorical columns.
+
+use std::collections::HashMap;
+
+/// Sentinel code used for NULL entries in categorical columns.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// An append-only string interner mapping category strings to dense `u32`
+/// codes.
+///
+/// Categorical columns store codes rather than strings; every CAD View
+/// algorithm (contingency tables, clustering, labeling) operates on codes
+/// and only resolves strings at rendering time.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its code. Existing strings keep their code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary overflow");
+        self.values.push(s.to_owned());
+        self.index.insert(s.to_owned(), code);
+        code
+    }
+
+    /// Looks up the code for `s` without interning.
+    pub fn code(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves a code back to its string. Returns `None` for out-of-range
+    /// codes (including [`NULL_CODE`]).
+    pub fn resolve(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterator over `(code, string)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("Ford");
+        let b = d.intern("Chevrolet");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("Ford"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut d = Dictionary::new();
+        let code = d.intern("Jeep");
+        assert_eq!(d.resolve(code), Some("Jeep"));
+        assert_eq!(d.code("Jeep"), Some(code));
+        assert_eq!(d.resolve(NULL_CODE), None);
+        assert_eq!(d.code("Toyota"), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let mut d = Dictionary::new();
+        d.intern("a");
+        d.intern("b");
+        d.intern("c");
+        let collected: Vec<_> = d.iter().collect();
+        assert_eq!(collected, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        /// Attribute on which the mismatch occurred.
+        attribute: String,
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// Row data had the wrong arity for the schema.
+    ArityMismatch {
+        /// Number of columns the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// The number of rows in the table.
+        len: usize,
+    },
+    /// Malformed CSV input.
+    Csv(String),
+    /// Any other constraint violation.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+            Error::TypeMismatch {
+                attribute,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch on attribute {attribute}: expected {expected}, found {found}"
+            ),
+            Error::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected}, found {found}")
+            }
+            Error::RowOutOfBounds { row, len } => {
+                write!(f, "row index {row} out of bounds for table with {len} rows")
+            }
+            Error::Csv(msg) => write!(f, "csv error: {msg}"),
+            Error::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the storage layer.
+pub type Result<T> = std::result::Result<T, Error>;

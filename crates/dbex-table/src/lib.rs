@@ -1,0 +1,44 @@
+//! # dbex-table
+//!
+//! In-memory columnar relational engine underpinning DBExplorer.
+//!
+//! The EDBT 2016 paper assumes "a traditional relational database" as the
+//! substrate that produces result sets `R` which the CAD View then
+//! summarizes. This crate provides that substrate:
+//!
+//! * a typed, dictionary-encoded columnar [`Table`] ([`column::Column`],
+//!   [`dict::Dictionary`], [`schema::Schema`]),
+//! * a predicate AST ([`predicate::Predicate`]) covering the operators used
+//!   throughout the paper (`=`, `BETWEEN`, `IN`, `AND`, `OR`, ...),
+//! * zero-copy result sets as row-id selections ([`view::View`]),
+//! * CSV import/export ([`csv`]) for loading external datasets.
+//!
+//! The engine is deliberately single-node and in-memory: the paper's
+//! evaluation operates on result sets of at most ~40K tuples and 11-23
+//! attributes, and its latency budget (interactive, <1s) is met without
+//! persistence or parallelism.
+
+pub mod aggregate;
+pub mod column;
+pub mod csv;
+pub mod dict;
+pub mod error;
+pub mod predicate;
+pub mod schema;
+pub mod sort;
+pub mod stats;
+pub mod table;
+pub mod value;
+pub mod view;
+
+pub use aggregate::{group_by, Aggregate};
+pub use column::Column;
+pub use dict::Dictionary;
+pub use error::{Error, Result};
+pub use predicate::Predicate;
+pub use schema::{Field, Schema};
+pub use sort::{sort_view, SortKey};
+pub use stats::{summarize_column, summarize_table, ColumnSummary};
+pub use table::{Table, TableBuilder};
+pub use value::{DataType, Value};
+pub use view::View;

@@ -1,0 +1,149 @@
+//! Schema: named, typed attributes.
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+use std::collections::HashMap;
+
+/// A single attribute (column) declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name, e.g. `"Make"` or `"Price"`.
+    pub name: String,
+    /// Attribute type.
+    pub data_type: DataType,
+    /// Whether the attribute is exposed in the query panel.
+    ///
+    /// The paper's Limitation 2 ("Querying Hidden Attributes") distinguishes
+    /// *queriable* attributes — exposed by the forms-based interface — from
+    /// attributes that exist in the data but cannot be selected on directly
+    /// (e.g. `Engine`/`NumCylinders` in the car example). The CAD View
+    /// surfaces hidden attributes inside IUnit labels so users can find
+    /// queriable surrogates.
+    pub queriable: bool,
+}
+
+impl Field {
+    /// Creates a queriable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            queriable: true,
+        }
+    }
+
+    /// Creates a hidden (non-queriable) field.
+    pub fn hidden(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            queriable: false,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s with name lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from fields. Duplicate names are rejected.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(Error::Invalid(format!("duplicate attribute: {}", f.name)));
+            }
+        }
+        Ok(Schema { fields, by_name })
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownAttribute(name.to_owned()))
+    }
+
+    /// True iff the schema contains an attribute named `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Names of all attributes, in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Indices of queriable attributes (see [`Field::queriable`]).
+    pub fn queriable_indices(&self) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.queriable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+            Field::hidden("Engine", DataType::Categorical),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.index_of("Price").unwrap(), 1);
+        assert!(s.index_of("Missing").is_err());
+        assert!(s.contains("Engine"));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("A", DataType::Int),
+            Field::new("A", DataType::Int),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn queriable_filtering() {
+        let s = schema();
+        assert_eq!(s.queriable_indices(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Sorting views by one or more attributes.
+//!
+//! The paper's Limitation 1 discussion notes that tuple-wise result
+//! presentation "could be sorted on some important attributes" — the query
+//! layer supports `ORDER BY`, and exploratory flows sort IUnit members when
+//! drilling into a cluster.
+
+use crate::error::Result;
+use crate::view::View;
+use std::cmp::Ordering;
+
+/// One sort key: attribute name plus direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortKey {
+    /// Attribute to sort by.
+    pub attribute: String,
+    /// `true` for ascending (the default), `false` for descending.
+    pub ascending: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(attribute: impl Into<String>) -> SortKey {
+        SortKey {
+            attribute: attribute.into(),
+            ascending: true,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(attribute: impl Into<String>) -> SortKey {
+        SortKey {
+            attribute: attribute.into(),
+            ascending: false,
+        }
+    }
+}
+
+/// Returns a new view with the same rows ordered by `keys` (stable sort,
+/// NULLs first on ascending keys — matching [`crate::Value::total_cmp`]).
+pub fn sort_view<'a>(view: &View<'a>, keys: &[SortKey]) -> Result<View<'a>> {
+    let table = view.table();
+    let cols: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| Ok((table.schema().index_of(&k.attribute)?, k.ascending)))
+        .collect::<Result<_>>()?;
+    let mut rows: Vec<u32> = view.row_ids().to_vec();
+    rows.sort_by(|&a, &b| {
+        for &(col, ascending) in &cols {
+            let va = table.value(a as usize, col);
+            let vb = table.value(b as usize, col);
+            let ord = va.total_cmp(&vb);
+            if ord != Ordering::Equal {
+                return if ascending { ord } else { ord.reverse() };
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(View::from_rows(table, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn table() -> crate::table::Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for (m, p) in [
+            ("Jeep", 30),
+            ("Ford", 20),
+            ("Ford", 10),
+            ("Jeep", 10),
+        ] {
+            b.push_row(vec![m.into(), p.into()]).unwrap();
+        }
+        b.push_row(vec!["Ford".into(), Value::Null]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn single_key_ascending_nulls_first() {
+        let t = table();
+        let sorted = sort_view(&t.full_view(), &[SortKey::asc("Price")]).unwrap();
+        let prices: Vec<Value> = (0..sorted.len()).map(|i| sorted.value(i, 1)).collect();
+        assert_eq!(prices[0], Value::Null);
+        assert_eq!(prices[1], Value::Int(10));
+        assert_eq!(prices[4], Value::Int(30));
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let t = table();
+        let sorted = sort_view(
+            &t.full_view(),
+            &[SortKey::asc("Make"), SortKey::desc("Price")],
+        )
+        .unwrap();
+        // Ford block first (NULL price sorts last on descending key),
+        // then Jeep block 30, 10.
+        let rows: Vec<(String, Value)> = (0..sorted.len())
+            .map(|i| (sorted.value(i, 0).to_string(), sorted.value(i, 1)))
+            .collect();
+        assert_eq!(rows[0], ("Ford".into(), Value::Int(20)));
+        assert_eq!(rows[1], ("Ford".into(), Value::Int(10)));
+        assert_eq!(rows[2], ("Ford".into(), Value::Null));
+        assert_eq!(rows[3], ("Jeep".into(), Value::Int(30)));
+        assert_eq!(rows[4], ("Jeep".into(), Value::Int(10)));
+    }
+
+    #[test]
+    fn stability_preserves_input_order_on_ties() {
+        let t = table();
+        let sorted = sort_view(&t.full_view(), &[SortKey::asc("Make")]).unwrap();
+        // Ford rows keep original relative order 1, 2, 4.
+        let ford_rows: Vec<u32> = sorted
+            .row_ids()
+            .iter()
+            .copied()
+            .filter(|&r| t.value(r as usize, 0) == Value::Str("Ford".into()))
+            .collect();
+        assert_eq!(ford_rows, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let t = table();
+        assert!(sort_view(&t.full_view(), &[SortKey::asc("Nope")]).is_err());
+    }
+}

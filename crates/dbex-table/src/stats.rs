@@ -1,0 +1,241 @@
+//! Per-column summary statistics.
+//!
+//! The "simple summary statistics" of the paper's introduction (count,
+//! nulls, distinct values, range, mean, top values) — useful on their own
+//! and as the payload of `DESCRIBE`-style inspection, but, as the paper
+//! argues, no substitute for context-dependent summarization.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::DataType;
+#[cfg(test)]
+use crate::value::Value;
+use crate::view::View;
+use std::collections::HashMap;
+
+/// Summary of one column over a set of rows.
+#[derive(Debug, Clone)]
+pub struct ColumnSummary {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub data_type: DataType,
+    /// Rows examined.
+    pub rows: usize,
+    /// NULL count.
+    pub nulls: usize,
+    /// Distinct non-NULL values.
+    pub distinct: usize,
+    /// Minimum (numeric columns only).
+    pub min: Option<f64>,
+    /// Maximum (numeric columns only).
+    pub max: Option<f64>,
+    /// Mean (numeric columns only).
+    pub mean: Option<f64>,
+    /// Population standard deviation (numeric columns only).
+    pub std_dev: Option<f64>,
+    /// Most frequent values with counts, descending (categorical columns;
+    /// at most five).
+    pub top_values: Vec<(String, usize)>,
+}
+
+/// Summarizes one column of `view`.
+pub fn summarize_column(view: &View<'_>, col: usize) -> ColumnSummary {
+    let table = view.table();
+    let column = table.column(col);
+    let field = table.schema().field(col);
+    let mut nulls = 0usize;
+
+    match column {
+        Column::Int { .. } | Column::Float { .. } => {
+            let mut n = 0usize;
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut distinct: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            for &row in view.row_ids() {
+                match column.get_f64(row as usize) {
+                    Some(v) => {
+                        n += 1;
+                        sum += v;
+                        sum_sq += v * v;
+                        min = min.min(v);
+                        max = max.max(v);
+                        distinct.insert(v.to_bits());
+                    }
+                    None => nulls += 1,
+                }
+            }
+            let mean = (n > 0).then(|| sum / n as f64);
+            let std_dev = (n > 0).then(|| {
+                let m = sum / n as f64;
+                (sum_sq / n as f64 - m * m).max(0.0).sqrt()
+            });
+            ColumnSummary {
+                name: field.name.clone(),
+                data_type: field.data_type,
+                rows: view.len(),
+                nulls,
+                distinct: distinct.len(),
+                min: (n > 0).then_some(min),
+                max: (n > 0).then_some(max),
+                mean,
+                std_dev,
+                top_values: Vec::new(),
+            }
+        }
+        Column::Categorical { .. } => {
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for &row in view.row_ids() {
+                match column.get_code(row as usize) {
+                    Some(code) if code != crate::dict::NULL_CODE => {
+                        *counts.entry(code).or_insert(0) += 1;
+                    }
+                    _ => nulls += 1,
+                }
+            }
+            let dict = column.dictionary().expect("categorical column");
+            let mut top: Vec<(String, usize)> = counts
+                .iter()
+                .map(|(&code, &n)| (dict.resolve(code).unwrap_or("?").to_owned(), n))
+                .collect();
+            top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let distinct = top.len();
+            top.truncate(5);
+            ColumnSummary {
+                name: field.name.clone(),
+                data_type: field.data_type,
+                rows: view.len(),
+                nulls,
+                distinct,
+                min: None,
+                max: None,
+                mean: None,
+                std_dev: None,
+                top_values: top,
+            }
+        }
+    }
+}
+
+/// Summarizes every column of `table`.
+pub fn summarize_table(table: &Table) -> Vec<ColumnSummary> {
+    let view = table.full_view();
+    (0..table.num_columns())
+        .map(|c| summarize_column(&view, c))
+        .collect()
+}
+
+impl ColumnSummary {
+    /// One-line rendering for `DESCRIBE`-style output.
+    pub fn render(&self) -> String {
+        match self.data_type {
+            DataType::Categorical => {
+                let tops: Vec<String> = self
+                    .top_values
+                    .iter()
+                    .map(|(v, n)| format!("{v}({n})"))
+                    .collect();
+                format!(
+                    "{}: {} distinct, {} nulls, top: {}",
+                    self.name,
+                    self.distinct,
+                    self.nulls,
+                    tops.join(", ")
+                )
+            }
+            _ => format!(
+                "{}: range [{}, {}], mean {:.1}, sd {:.1}, {} distinct, {} nulls",
+                self.name,
+                self.min.map(|v| v.to_string()).unwrap_or_default(),
+                self.max.map(|v| v.to_string()).unwrap_or_default(),
+                self.mean.unwrap_or(0.0),
+                self.std_dev.unwrap_or(0.0),
+                self.distinct,
+                self.nulls
+            ),
+        }
+    }
+}
+
+// Re-export-friendly helper for the query layer.
+impl Table {
+    /// Summaries for every column (see [`summarize_table`]).
+    pub fn summaries(&self) -> Vec<ColumnSummary> {
+        summarize_table(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::table::TableBuilder;
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for (m, p) in [("Ford", 10), ("Ford", 20), ("Jeep", 30)] {
+            b.push_row(vec![m.into(), p.into()]).unwrap();
+        }
+        b.push_row(vec![Value::Null, Value::Null]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn numeric_summary() {
+        let t = table();
+        let s = summarize_column(&t.full_view(), 1);
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.min, Some(10.0));
+        assert_eq!(s.max, Some(30.0));
+        assert_eq!(s.mean, Some(20.0));
+        let expected_sd = (200.0f64 / 3.0).sqrt();
+        assert!((s.std_dev.unwrap() - expected_sd).abs() < 1e-9);
+        assert!(s.render().contains("range [10, 30]"));
+    }
+
+    #[test]
+    fn categorical_summary() {
+        let t = table();
+        let s = summarize_column(&t.full_view(), 0);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.top_values[0], ("Ford".to_string(), 2));
+        assert!(s.render().contains("Ford(2)"));
+    }
+
+    #[test]
+    fn view_scoped_summary() {
+        let t = table();
+        let ford = t.filter(&crate::Predicate::eq("Make", "Ford")).unwrap();
+        let s = summarize_column(&ford, 1);
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.mean, Some(15.0));
+    }
+
+    #[test]
+    fn table_summaries_cover_all_columns() {
+        let t = table();
+        let all = t.summaries();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "Make");
+        assert_eq!(all[1].name, "Price");
+    }
+
+    #[test]
+    fn empty_view_summary() {
+        let t = table();
+        let empty = t.filter(&crate::Predicate::eq("Make", "Tesla")).unwrap();
+        let s = summarize_column(&empty, 1);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.mean, None);
+        assert_eq!(s.min, None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Tables: a schema plus columns, with row-oriented construction helpers.
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::predicate::Predicate;
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+#[cfg(test)]
+use crate::value::DataType;
+use crate::view::View;
+
+/// An immutable, in-memory columnar table.
+///
+/// Construct with [`TableBuilder`]. Row identity is positional (`0..n`);
+/// result sets are represented as [`View`]s over row-id subsets rather than
+/// materialized copies.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at position `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column with attribute name `name`.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// Value at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Materializes a full row as values, in schema order.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.rows {
+            return Err(Error::RowOutOfBounds {
+                row,
+                len: self.rows,
+            });
+        }
+        Ok(self.columns.iter().map(|c| c.get(row)).collect())
+    }
+
+    /// A [`View`] containing every row of the table.
+    pub fn full_view(&self) -> View<'_> {
+        View::all(self)
+    }
+
+    /// Evaluates `predicate` over all rows, returning the selected view.
+    ///
+    /// This is the engine's `SELECT * FROM t WHERE ...` primitive; the query
+    /// layer in `dbex-query` compiles SQL text down to this call.
+    pub fn filter(&self, predicate: &Predicate) -> Result<View<'_>> {
+        predicate.validate(&self.schema)?;
+        let mut rows = Vec::new();
+        for row in 0..self.rows {
+            if predicate.eval(self, row)? {
+                rows.push(row as u32);
+            }
+        }
+        Ok(View::from_rows(self, rows))
+    }
+}
+
+/// Incremental, row-at-a-time table constructor.
+///
+/// ```
+/// use dbex_table::{TableBuilder, Field, DataType, Value};
+///
+/// let mut b = TableBuilder::new(vec![
+///     Field::new("Make", DataType::Categorical),
+///     Field::new("Price", DataType::Int),
+/// ]).unwrap();
+/// b.push_row(vec![Value::from("Ford"), Value::from(25_000)]).unwrap();
+/// let table = b.finish();
+/// assert_eq!(table.num_rows(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Starts a builder for the given fields.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let schema = Schema::new(fields)?;
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.data_type))
+            .collect();
+        Ok(TableBuilder {
+            schema,
+            columns,
+            rows: 0,
+        })
+    }
+
+    /// Appends one row. The value count must match the schema arity.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.columns.len(),
+                found: values.len(),
+            });
+        }
+        for (i, value) in values.into_iter().enumerate() {
+            self.columns[i].push(value, &self.schema.field(i).name)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows appended so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Finalizes the builder into an immutable [`Table`].
+    pub fn finish(self) -> Table {
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+            rows: self.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cars() -> Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+            Field::new("Mileage", DataType::Int),
+        ])
+        .unwrap();
+        for (make, price, miles) in [
+            ("Ford", 25_000, 12_000),
+            ("Ford", 32_000, 28_000),
+            ("Jeep", 28_000, 20_000),
+            ("Chevrolet", 45_000, 9_000),
+        ] {
+            b.push_row(vec![make.into(), price.into(), miles.into()])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let t = cars();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.value(2, 0), Value::Str("Jeep".into()));
+        assert_eq!(t.row(0).unwrap()[1], Value::Int(25_000));
+        assert!(t.row(99).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = TableBuilder::new(vec![Field::new("A", DataType::Int)]).unwrap();
+        assert!(b.push_row(vec![]).is_err());
+        assert!(b.push_row(vec![Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn filter_by_predicate() {
+        let t = cars();
+        let p = Predicate::and(vec![
+            Predicate::eq("Make", "Ford"),
+            Predicate::between("Mileage", 10_000, 30_000),
+        ]);
+        let v = t.filter(&p).unwrap();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn filter_unknown_attribute_errors() {
+        let t = cars();
+        let p = Predicate::eq("Nope", "x");
+        assert!(t.filter(&p).is_err());
+    }
+}

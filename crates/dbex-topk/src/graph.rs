@@ -1,0 +1,101 @@
+//! Conflict (similarity) graph over candidate items.
+
+/// An undirected graph whose edges mark pairs of items that are "similar"
+/// (`sim ≥ τ` in the paper) and therefore may not co-occur in a diversified
+/// top-k result.
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    n: usize,
+    adj: Vec<Vec<u64>>,
+}
+
+impl ConflictGraph {
+    /// Creates an edgeless graph over `n` items.
+    pub fn new(n: usize) -> ConflictGraph {
+        let words = n.div_ceil(64).max(1);
+        ConflictGraph {
+            n,
+            adj: vec![vec![0u64; words]; n],
+        }
+    }
+
+    /// Builds the graph from item scores' pairwise similarity: items `a, b`
+    /// conflict iff `sim(a, b) >= tau`.
+    pub fn from_similarity<F: Fn(usize, usize) -> f64>(n: usize, sim: F, tau: f64) -> Self {
+        let mut g = ConflictGraph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if sim(a, b) >= tau {
+                    g.add_conflict(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the graph has no items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Marks `a` and `b` as conflicting (self-loops are ignored).
+    pub fn add_conflict(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "vertex out of range");
+        if a == b {
+            return;
+        }
+        self.adj[a][b / 64] |= 1 << (b % 64);
+        self.adj[b][a / 64] |= 1 << (a % 64);
+    }
+
+    /// True iff `a` and `b` conflict.
+    pub fn conflicts(&self, a: usize, b: usize) -> bool {
+        self.adj[a][b / 64] >> (b % 64) & 1 == 1
+    }
+
+    /// Number of conflict edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj
+            .iter()
+            .map(|row| row.iter().map(|w| w.count_ones() as usize).sum::<usize>())
+            .sum::<usize>()
+            / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut g = ConflictGraph::new(70); // spans multiple words
+        g.add_conflict(0, 65);
+        assert!(g.conflicts(0, 65));
+        assert!(g.conflicts(65, 0));
+        assert!(!g.conflicts(0, 64));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = ConflictGraph::new(3);
+        g.add_conflict(1, 1);
+        assert!(!g.conflicts(1, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_similarity_thresholds() {
+        let sims = [[1.0, 0.9, 0.1], [0.9, 1.0, 0.5], [0.1, 0.5, 1.0]];
+        let g = ConflictGraph::from_similarity(3, |a, b| sims[a][b], 0.5);
+        assert!(g.conflicts(0, 1));
+        assert!(g.conflicts(1, 2));
+        assert!(!g.conflicts(0, 2));
+    }
+}

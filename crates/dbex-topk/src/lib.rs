@@ -1,0 +1,366 @@
+//! # dbex-topk
+//!
+//! Diversified top-k selection (paper Problem 2, Section 3.2).
+//!
+//! Given candidate IUnits with preference scores and a pairwise similarity
+//! relation `≈`, the paper selects the *diversified top-k*: a subset of at
+//! most `k` items, no two similar, maximizing total score. This reduces to
+//! maximum-weight independent set (Qin, Yu & Chang, VLDB 2012). The paper
+//! notes that greedy "can lead to arbitrarily bad solutions" and uses Qin
+//! et al.'s exact **div-astar** algorithm, which is feasible because the
+//! candidate list is small (`l ≈ 1.5k ≤ ~15`).
+//!
+//! This crate implements both:
+//!
+//! * [`div_astar`] — exact best-first branch-and-bound search with an
+//!   admissible "top remaining scores" heuristic.
+//! * [`greedy`] — the baseline that repeatedly takes the best compatible
+//!   item (kept for the ablation benchmark).
+//! * [`div_cut`] — Qin et al.'s component-decomposition exact algorithm,
+//!   faster when the conflict graph splits into small components.
+
+mod divcut;
+mod graph;
+
+pub use divcut::div_cut;
+pub use graph::ConflictGraph;
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A solution: chosen item indices (into the candidate list) in descending
+/// score order, plus the total score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKSolution {
+    /// Indices of the selected items.
+    pub items: Vec<usize>,
+    /// Sum of selected items' scores.
+    pub total_score: f64,
+}
+
+/// Exact diversified top-k via best-first branch-and-bound (div-astar).
+///
+/// `scores[i]` is item *i*'s preference score (must be non-negative);
+/// `graph` encodes the `≈` relation (an edge means the two items may not
+/// both be selected); `k` bounds the solution size.
+///
+/// The search explores states `(next item to decide, chosen set)` in
+/// descending order of `g + h`, where `g` is the chosen score and `h` the
+/// admissible bound "sum of the `k − |chosen|` largest undecided,
+/// non-conflicting scores". With candidates sorted by score the first goal
+/// popped is optimal.
+///
+/// ```
+/// use dbex_topk::{div_astar, ConflictGraph};
+///
+/// // A high scorer conflicting with two mid scorers: exact search skips it.
+/// let scores = [10.0, 7.0, 7.0];
+/// let mut graph = ConflictGraph::new(3);
+/// graph.add_conflict(0, 1);
+/// graph.add_conflict(0, 2);
+/// let best = div_astar(&scores, &graph, 2);
+/// assert_eq!(best.total_score, 14.0);
+/// ```
+pub fn div_astar(scores: &[f64], graph: &ConflictGraph, k: usize) -> TopKSolution {
+    let n = scores.len();
+    assert_eq!(graph.len(), n, "graph size must match scores");
+    assert!(
+        scores.iter().all(|&s| s >= 0.0),
+        "scores must be non-negative"
+    );
+    if n == 0 || k == 0 {
+        return TopKSolution {
+            items: Vec::new(),
+            total_score: 0.0,
+        };
+    }
+
+    // Order items by descending score; work in that order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let ordered_scores: Vec<f64> = order.iter().map(|&i| scores[i]).collect();
+
+    #[derive(Debug)]
+    struct Node {
+        bound: f64,
+        g: f64,
+        depth: usize,
+        chosen: Vec<usize>, // indices into `order`
+        blocked: Vec<u64>,  // bitset over ordered indices
+    }
+    impl PartialEq for Node {
+        fn eq(&self, other: &Self) -> bool {
+            self.bound == other.bound
+        }
+    }
+    impl Eq for Node {}
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.bound.total_cmp(&other.bound)
+        }
+    }
+
+    let words = n.div_ceil(64);
+    let is_blocked = |blocked: &[u64], i: usize| blocked[i / 64] >> (i % 64) & 1 == 1;
+
+    // Admissible heuristic: top remaining compatible scores.
+    let heuristic = |depth: usize, chosen_len: usize, blocked: &[u64]| -> f64 {
+        let mut h = 0.0;
+        let mut slots = k - chosen_len;
+        let mut i = depth;
+        while slots > 0 && i < n {
+            if !is_blocked(blocked, i) {
+                h += ordered_scores[i];
+                slots -= 1;
+            }
+            i += 1;
+        }
+        h
+    };
+
+    let mut heap = BinaryHeap::new();
+    let root_h = heuristic(0, 0, &vec![0u64; words]);
+    heap.push(Node {
+        bound: root_h,
+        g: 0.0,
+        depth: 0,
+        chosen: Vec::new(),
+        blocked: vec![0u64; words],
+    });
+
+    let mut best = TopKSolution {
+        items: Vec::new(),
+        total_score: 0.0,
+    };
+
+    while let Some(node) = heap.pop() {
+        if node.bound <= best.total_score + 1e-12 && !best.items.is_empty() {
+            break; // admissible bound: nothing better remains
+        }
+        if node.depth == n || node.chosen.len() == k {
+            if node.g > best.total_score {
+                best = TopKSolution {
+                    items: node.chosen.iter().map(|&oi| order[oi]).collect(),
+                    total_score: node.g,
+                };
+            }
+            continue;
+        }
+        let i = node.depth;
+
+        // Branch 1: skip item i.
+        let skip_h = heuristic(i + 1, node.chosen.len(), &node.blocked);
+        let skip = Node {
+            bound: node.g + skip_h,
+            g: node.g,
+            depth: i + 1,
+            chosen: node.chosen.clone(),
+            blocked: node.blocked.clone(),
+        };
+        if skip.bound > best.total_score + 1e-12 || best.items.is_empty() {
+            heap.push(skip);
+        }
+
+        // Branch 2: take item i (if compatible).
+        if !is_blocked(&node.blocked, i) {
+            let mut blocked = node.blocked;
+            for j in (i + 1)..n {
+                if graph.conflicts(order[i], order[j]) {
+                    blocked[j / 64] |= 1 << (j % 64);
+                }
+            }
+            let mut chosen = node.chosen;
+            chosen.push(i);
+            let g = node.g + ordered_scores[i];
+            let take_h = heuristic(i + 1, chosen.len(), &blocked);
+            let take = Node {
+                bound: g + take_h,
+                g,
+                depth: i + 1,
+                chosen,
+                blocked,
+            };
+            if take.g > best.total_score {
+                best = TopKSolution {
+                    items: take.chosen.iter().map(|&oi| order[oi]).collect(),
+                    total_score: take.g,
+                };
+            }
+            heap.push(take);
+        }
+    }
+    best
+}
+
+/// Greedy diversified top-k: repeatedly select the highest-score item not
+/// similar to anything already selected.
+///
+/// Kept as the ablation baseline; Qin et al. show it has no bounded
+/// approximation factor for this problem.
+pub fn greedy(scores: &[f64], graph: &ConflictGraph, k: usize) -> TopKSolution {
+    let n = scores.len();
+    assert_eq!(graph.len(), n, "graph size must match scores");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut items = Vec::new();
+    let mut total = 0.0;
+    for &i in &order {
+        if items.len() >= k {
+            break;
+        }
+        if items.iter().all(|&j| !graph.conflicts(i, j)) {
+            items.push(i);
+            total += scores[i];
+        }
+    }
+    TopKSolution {
+        items,
+        total_score: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> ConflictGraph {
+        let mut g = ConflictGraph::new(n);
+        for &(a, b) in edges {
+            g.add_conflict(a, b);
+        }
+        g
+    }
+
+    fn total(items: &[usize], scores: &[f64]) -> f64 {
+        items.iter().map(|&i| scores[i]).sum()
+    }
+
+    #[test]
+    fn no_conflicts_takes_top_k() {
+        let scores = [5.0, 1.0, 3.0, 2.0];
+        let g = ConflictGraph::new(4);
+        let sol = div_astar(&scores, &g, 2);
+        let mut items = sol.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 2]);
+        assert_eq!(sol.total_score, 8.0);
+    }
+
+    #[test]
+    fn conflict_forces_diversity() {
+        // 0 and 2 are the top scorers but conflict.
+        let scores = [5.0, 4.0, 4.9];
+        let g = graph_from_edges(3, &[(0, 2)]);
+        let sol = div_astar(&scores, &g, 2);
+        let mut items = sol.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1]);
+        assert_eq!(sol.total_score, 9.0);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_div_astar_is_not() {
+        // Star: center scores 10, leaves 6+6+6. Greedy takes the center
+        // (10); optimal takes the three leaves (18).
+        let scores = [10.0, 6.0, 6.0, 6.0];
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let greedy_sol = greedy(&scores, &g, 3);
+        assert_eq!(greedy_sol.items, vec![0]);
+        assert_eq!(greedy_sol.total_score, 10.0);
+        let exact = div_astar(&scores, &g, 3);
+        let mut items = exact.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![1, 2, 3]);
+        assert_eq!(exact.total_score, 18.0);
+    }
+
+    #[test]
+    fn k_limits_solution_size() {
+        let scores = [3.0, 2.0, 1.0];
+        let g = ConflictGraph::new(3);
+        let sol = div_astar(&scores, &g, 1);
+        assert_eq!(sol.items, vec![0]);
+        assert_eq!(div_astar(&scores, &g, 0).items.len(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = ConflictGraph::new(0);
+        let sol = div_astar(&[], &g, 3);
+        assert!(sol.items.is_empty());
+        assert_eq!(sol.total_score, 0.0);
+        assert!(greedy(&[], &g, 3).items.is_empty());
+    }
+
+    #[test]
+    fn fully_connected_picks_single_best() {
+        let scores = [1.0, 9.0, 4.0];
+        let g = graph_from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let sol = div_astar(&scores, &g, 3);
+        assert_eq!(sol.items, vec![1]);
+        assert_eq!(sol.total_score, 9.0);
+    }
+
+    #[test]
+    fn exhaustive_check_on_random_instances() {
+        // Compare div-astar against brute force on every instance of a
+        // deterministic pseudo-random family (n=10).
+        let n = 10;
+        for trial in 0..25u64 {
+            let mut state = trial.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let scores: Vec<f64> = (0..n).map(|_| (next() % 1000) as f64 / 10.0).collect();
+            let mut g = ConflictGraph::new(n);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if next() % 100 < 30 {
+                        g.add_conflict(a, b);
+                    }
+                }
+            }
+            let k = 1 + (next() % 5) as usize;
+
+            // Brute force over all subsets.
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << n) {
+                if mask.count_ones() as usize > k {
+                    continue;
+                }
+                let items: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                let ok = items
+                    .iter()
+                    .enumerate()
+                    .all(|(ii, &a)| items[ii + 1..].iter().all(|&b| !g.conflicts(a, b)));
+                if ok {
+                    best = best.max(total(&items, &scores));
+                }
+            }
+            let sol = div_astar(&scores, &g, k);
+            assert!(
+                (sol.total_score - best).abs() < 1e-9,
+                "trial {trial}: div_astar={} brute={best}",
+                sol.total_score
+            );
+            // Validity of the returned set.
+            for (ii, &a) in sol.items.iter().enumerate() {
+                for &b in &sol.items[ii + 1..] {
+                    assert!(!g.conflicts(a, b));
+                }
+            }
+            assert!(sol.items.len() <= k);
+            // Greedy is never better than exact.
+            let gsol = greedy(&scores, &g, k);
+            assert!(gsol.total_score <= sol.total_score + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Global attribute-interaction analysis: the CORDS-style companion view
+//! the paper's related-work section points at (Section 7) — which
+//! attributes move together, and which soft functional dependencies hold.
+//!
+//! ```sh
+//! cargo run --release --example attribute_interactions
+//! ```
+
+use dbexplorer::data::{MushroomGenerator, UsedCarsGenerator};
+use dbexplorer::stats::interact::InteractionMatrix;
+
+fn main() {
+    // --- Used cars: the generator's planted dependency structure --------
+    let cars = UsedCarsGenerator::new(42).generate(20_000);
+    let attrs: Vec<usize> = (0..cars.schema().len()).collect();
+    let matrix = InteractionMatrix::compute(&cars.full_view(), &attrs, 6);
+
+    println!("=== UsedCars: pairwise Cramér's V ===");
+    println!("{}", matrix.render());
+
+    println!("Strongest associations:");
+    for p in matrix.strongest_pairs().into_iter().take(5) {
+        println!(
+            "  {} ~ {}  V = {:.3}",
+            cars.schema().field(p.a).name,
+            cars.schema().field(p.b).name,
+            p.cramers_v
+        );
+    }
+
+    println!("\nSoft functional dependencies (>= 0.8 determination):");
+    for (x, y, strength) in matrix.soft_fds(0.8).into_iter().take(8) {
+        println!(
+            "  {} -> {}  ({strength:.2})",
+            cars.schema().field(x).name,
+            cars.schema().field(y).name
+        );
+    }
+
+    // --- Mushroom: finding the twin attributes ---------------------------
+    let shrooms = MushroomGenerator::new(2016).generate(8_124);
+    let attrs: Vec<usize> = (0..shrooms.schema().len()).collect();
+    let matrix = InteractionMatrix::compute(&shrooms.full_view(), &attrs, 6);
+
+    println!("\n=== Mushroom: strongest associations ===");
+    for p in matrix.strongest_pairs().into_iter().take(6) {
+        println!(
+            "  {} ~ {}  V = {:.3}",
+            shrooms.schema().field(p.a).name,
+            shrooms.schema().field(p.b).name,
+            p.cramers_v
+        );
+    }
+    println!(
+        "\nThe stalk-color twins and the odor/class dependency surface at the\n\
+         top — exactly the structure Task 3 of the user study exploits."
+    );
+}

@@ -1,0 +1,96 @@
+//! Mary's car-shopping session, end to end, through the SQL interface —
+//! the paper's Example 1 plus the Section 2.1.2/2.1.3 query extensions.
+//!
+//! ```sh
+//! cargo run --release --example car_shopping
+//! ```
+
+use dbexplorer::data::usedcars::UsedCarsGenerator;
+use dbexplorer::query::{QueryOutput, Session};
+
+fn main() {
+    let mut session = Session::new();
+    session.register_table("UsedCars", UsedCarsGenerator::new(42).generate(40_000));
+
+    // Mary's initial lookup query: too many rows to browse.
+    println!("-- Mary's initial query --");
+    let out = session
+        .execute(
+            "SELECT Make, Model, Price FROM UsedCars \
+             WHERE Mileage BETWEEN 10K AND 30K AND Transmission = Automatic \
+               AND BodyType = SUV LIMIT 5",
+        )
+        .expect("query runs");
+    if let QueryOutput::Rows { columns, rows } = &out {
+        println!("{}", columns.join(" | "));
+        for row in rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("{}", cells.join(" | "));
+        }
+        println!("... (first 5 of thousands)\n");
+    }
+
+    // Exploratory mode: the paper's CREATE CADVIEW statement, verbatim.
+    println!("-- CREATE CADVIEW CompareMakes --");
+    let out = session
+        .execute(
+            "CREATE CADVIEW CompareMakes AS \
+             SET pivot = Make \
+             SELECT Price \
+             FROM UsedCars \
+             WHERE Mileage BETWEEN 10K AND 30K AND Transmission = Automatic \
+               AND BodyType = SUV AND \
+               (Make = Jeep OR Make = Toyota OR Make = Honda OR \
+                Make = Ford OR Make = Chevrolet) \
+             LIMIT COLUMNS 5 IUNITS 3",
+        )
+        .expect("CAD View builds");
+    if let QueryOutput::Cad { rendered, .. } = &out {
+        println!("{rendered}");
+    }
+
+    // Mary likes one of Chevrolet's IUnits: where else does it appear?
+    println!("-- HIGHLIGHT SIMILAR IUNITS --");
+    let out = session
+        .execute(
+            "HIGHLIGHT SIMILAR IUNITS IN CompareMakes \
+             WHERE SIMILARITY(Chevrolet, 1) > 3.5",
+        )
+        .expect("highlight runs");
+    if let QueryOutput::Highlights(hits) = &out {
+        if hits.is_empty() {
+            println!("(no IUnit above threshold — Chevrolet's top IUnit is distinctive)");
+        }
+        for (make, id, sim) in hits {
+            println!("{make} IUnit {id}: similarity {sim:.2} (max 5.0)");
+        }
+        println!();
+    }
+
+    // And which Makes resemble Chevrolet overall?
+    println!("-- REORDER ROWS BY SIMILARITY(Chevrolet) --");
+    let out = session
+        .execute("REORDER ROWS IN CompareMakes ORDER BY SIMILARITY(Chevrolet) DESC")
+        .expect("reorder runs");
+    if let QueryOutput::Reordered(order) = &out {
+        for (make, distance) in order {
+            println!("{make:<10} rank-list distance {distance}");
+        }
+    }
+
+    // The hidden-attribute payoff (Limitation 2): Mary wanted V4 engines
+    // but Engine is not queriable. The CAD View exposed Engine as a
+    // Compare Attribute; its IUnits tell her which queriable attributes
+    // (FuelEconomy, Price, Model) act as surrogates.
+    let cad = session.cad_view("CompareMakes").expect("view stored");
+    println!(
+        "\nCompare Attributes chosen for CompareMakes: {:?}",
+        cad.compare_names
+    );
+    let engine_hidden = !cad.compare_names.is_empty()
+        && cad.compare_names.iter().any(|n| n == "Engine");
+    println!(
+        "Engine (non-queriable) surfaced in the CAD View: {}",
+        if engine_hidden { "yes" } else { "no" }
+    );
+}

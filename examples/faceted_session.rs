@@ -1,0 +1,60 @@
+//! A TPFacet session: the two-phase interface of the paper's Section 5
+//! (query panel + results panel + CAD View panel), driven programmatically
+//! the way a user would click through it.
+//!
+//! ```sh
+//! cargo run --release --example faceted_session
+//! ```
+
+use dbexplorer::core::{Panel, TpFacet};
+use dbexplorer::data::usedcars::UsedCarsGenerator;
+
+fn main() {
+    let cars = UsedCarsGenerator::new(42).generate(40_000);
+    let mut tp = TpFacet::new(&cars, 6);
+
+    // Phase 1 — faceted browsing: the user narrows the result set from the
+    // query panel (the paper's Figure 1 interface).
+    let schema = cars.schema();
+    let body = schema.index_of("BodyType").expect("attribute");
+    let trans = schema.index_of("Transmission").expect("attribute");
+    tp.select(body, "SUV").expect("facet value exists");
+    tp.select(trans, "Automatic").expect("facet value exists");
+
+    println!("=== Results panel (query panel summary digest) ===");
+    let panel = tp.render().expect("render");
+    // The full panel is long; show the first attribute blocks.
+    for line in panel.lines().take(24) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    // Phase 2 — query revision with the CAD View: pivot on Make.
+    tp.set_pivot("Make").expect("Make is queriable");
+    tp.build_cad(|request| request.with_iunits(2).with_max_compare_attrs(4))
+        .expect("CAD View builds");
+    assert_eq!(tp.panel(), Panel::CadView);
+    println!("=== CAD View panel (pivot = Make) ===");
+    println!("{}", tp.render().expect("render"));
+
+    // Interactive effects: click an IUnit to highlight similar ones...
+    let first_make = tp.cad().expect("built").rows[0].pivot_label.clone();
+    println!("Clicking ({first_make}, IUnit 1) highlights:");
+    for (make, idx, sim) in tp.click_iunit(&first_make, 0) {
+        println!("  {make} IUnit {} (similarity {sim:.2})", idx + 1);
+    }
+
+    // ...and click a pivot value to reorder rows by similarity.
+    println!("\nClicking pivot value {first_make:?} reorders rows:");
+    for (make, distance) in tp.click_pivot_value(&first_make) {
+        println!("  {make} (distance {distance})");
+    }
+
+    // Toggle back to the results panel to inspect tuples.
+    tp.toggle_panel();
+    assert_eq!(tp.panel(), Panel::Results);
+    println!(
+        "\nBack on the results panel with {} tuples selected.",
+        tp.engine().results().expect("results").len()
+    );
+}

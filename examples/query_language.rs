@@ -1,0 +1,116 @@
+//! Tour of the query language: the SQL subset plus the paper's exploratory
+//! extensions, executed against both datasets in one session.
+//!
+//! ```sh
+//! cargo run --release --example query_language
+//! ```
+
+use dbexplorer::data::{MushroomGenerator, UsedCarsGenerator};
+use dbexplorer::query::{QueryOutput, Session};
+
+fn run(session: &mut Session, sql: &str) {
+    println!("dbex> {sql}");
+    match session.execute(sql) {
+        Ok(QueryOutput::Rows { columns, rows }) => {
+            println!("  {} row(s); columns: {}", rows.len(), columns.join(", "));
+            for row in rows.iter().take(3) {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("  {}", cells.join(" | "));
+            }
+            if rows.len() > 3 {
+                println!("  ...");
+            }
+        }
+        Ok(QueryOutput::Cad { name, rendered }) => {
+            println!("  created CAD View {name}:");
+            for line in rendered.lines().take(12) {
+                println!("  {line}");
+            }
+            println!("  ...");
+        }
+        Ok(QueryOutput::Highlights(hits)) => {
+            println!("  {} similar IUnit(s):", hits.len());
+            for (value, id, sim) in hits.iter().take(5) {
+                println!("  {value} IUnit {id} (similarity {sim:.2})");
+            }
+        }
+        Ok(QueryOutput::Reordered(order)) => {
+            let labels: Vec<&str> = order.iter().map(|(l, _)| l.as_str()).collect();
+            println!("  new row order: {}", labels.join(", "));
+        }
+        Ok(QueryOutput::Text(text)) => {
+            for line in text.lines().take(10) {
+                println!("  {line}");
+            }
+        }
+        Err(e) => println!("  ERROR: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let mut session = Session::new();
+    session.register_table("cars", UsedCarsGenerator::new(42).generate(20_000));
+    session.register_table("mushrooms", MushroomGenerator::new(2016).generate(8_124));
+
+    // Plain SQL with the paper's literal conventions (`10K`, bare words).
+    run(
+        &mut session,
+        "SELECT Make, Model, Price FROM cars \
+         WHERE Price BETWEEN 20K AND 30K AND Drivetrain = AWD LIMIT 3",
+    );
+    run(
+        &mut session,
+        "SELECT * FROM cars WHERE Make IN (Jeep, Honda) AND NOT BodyType = Sedan LIMIT 2",
+    );
+
+    // Exploratory extensions on the cars table.
+    run(
+        &mut session,
+        "CREATE CADVIEW suvs AS SET pivot = Make SELECT Price FROM cars \
+         WHERE BodyType = SUV LIMIT COLUMNS 4 IUNITS 2",
+    );
+    run(
+        &mut session,
+        "HIGHLIGHT SIMILAR IUNITS IN suvs WHERE SIMILARITY(Ford, 1) > 2.5",
+    );
+    run(
+        &mut session,
+        "REORDER ROWS IN suvs ORDER BY SIMILARITY(Toyota) DESC",
+    );
+
+    // A CAD View with an explicit preference function (ORDER BY): rank
+    // IUnits by ascending price — the paper's budget-shopper default.
+    run(
+        &mut session,
+        "CREATE CADVIEW cheap_first AS SET pivot = Make FROM cars \
+         WHERE BodyType = SUV ORDER BY Price ASC IUNITS 3 LIMIT COLUMNS 4",
+    );
+
+    // The mushroom table through the same language.
+    run(
+        &mut session,
+        "CREATE CADVIEW by_class AS SET pivot = Class FROM mushrooms IUNITS 2 LIMIT COLUMNS 4",
+    );
+    run(
+        &mut session,
+        "SELECT Class, Odor FROM mushrooms WHERE Odor = foul LIMIT 2",
+    );
+
+    // Schema inspection and aggregate queries.
+    run(&mut session, "DESCRIBE cars");
+    run(
+        &mut session,
+        "SELECT Make, COUNT(*), AVG(Price) FROM cars WHERE BodyType = SUV \
+         GROUP BY Make ORDER BY 'avg(Price)' DESC LIMIT 5",
+    );
+    run(
+        &mut session,
+        "EXPLAIN CREATE CADVIEW plan AS SET pivot = Make FROM cars \
+         WHERE BodyType = SUV LIMIT COLUMNS 4 IUNITS 2",
+    );
+
+    // Errors are ordinary values, not panics.
+    run(&mut session, "SELECT * FROM nope");
+    run(&mut session, "DROP TABLE cars");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build and explore a CAD View in a dozen lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dbexplorer::core::{build_cad_view, CadRequest};
+use dbexplorer::data::usedcars::UsedCarsGenerator;
+use dbexplorer::table::Predicate;
+
+fn main() {
+    // 1. A dataset: 40,000 synthetic used-car listings.
+    let cars = UsedCarsGenerator::new(42).generate(40_000);
+
+    // 2. A result context: Mary's query from the paper's Example 1.
+    let result = cars
+        .filter(&Predicate::and(vec![
+            Predicate::eq("BodyType", "SUV"),
+            Predicate::between("Mileage", 10_000, 30_000),
+            Predicate::eq("Transmission", "Automatic"),
+        ]))
+        .expect("valid query");
+    println!("{} automatic SUVs with 10K-30K miles\n", result.len());
+
+    // 3. A CAD View: compare the five Makes Mary is considering, three
+    //    IUnits each, five automatically-chosen Compare Attributes.
+    let cad = build_cad_view(
+        &result,
+        &CadRequest::new("Make")
+            .with_pivot_values(vec!["Chevrolet", "Ford", "Honda", "Toyota", "Jeep"])
+            .with_iunits(3)
+            .with_max_compare_attrs(5),
+    )
+    .expect("CAD View builds");
+    println!("{}", cad.render());
+
+    // 4. Explore: which IUnits elsewhere resemble Chevrolet's top IUnit?
+    println!("IUnits similar to (Chevrolet, IUnit 1):");
+    for (make, idx, sim) in cad.highlight_similar("Chevrolet", 0, None) {
+        println!("  {make} IUnit {} (similarity {sim:.2})", idx + 1);
+    }
+
+    // 5. And which Makes are most like Chevrolet overall?
+    println!("\nMakes by similarity to Chevrolet:");
+    for (make, distance) in cad.reorder_rows("Chevrolet") {
+        println!("  {make} (rank-list distance {distance})");
+    }
+}

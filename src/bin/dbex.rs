@@ -1,0 +1,229 @@
+//! `dbex` — interactive DBExplorer shell.
+//!
+//! An exploratory-search REPL over the query language, with the synthetic
+//! datasets and CSV files as data sources:
+//!
+//! ```text
+//! $ cargo run --release --bin dbex
+//! dbex> .load cars 40000
+//! dbex> CREATE CADVIEW v AS SET pivot = Make FROM cars WHERE BodyType = SUV IUNITS 3;
+//! dbex> HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(Ford, 1) > 3.0;
+//! dbex> .quit
+//! ```
+//!
+//! Dot-commands: `.load cars|mushroom [rows] [seed]`, `.open <path> <name>`,
+//! `.tables`, `.summary <table>`, `.help`, `.quit`. Everything else is fed
+//! to the SQL engine (statements may span lines; terminate with `;`).
+
+use dbexplorer::data::{MushroomGenerator, UsedCarsGenerator};
+use dbexplorer::query::{QueryOutput, Session};
+use std::collections::BTreeSet;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    println!("DBExplorer shell — .help for commands, .quit to exit");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("dbex> ");
+        } else {
+            print!("  ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !shell.dot_command(trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') || trimmed.is_empty() {
+            let statement = std::mem::take(&mut buffer);
+            if !statement.trim().is_empty() {
+                shell.run_sql(&statement);
+            }
+        }
+    }
+}
+
+/// REPL state: a session plus the set of registered table names.
+struct Shell {
+    session: Session,
+    tables: BTreeSet<String>,
+}
+
+impl Shell {
+    fn new() -> Shell {
+        Shell {
+            session: Session::new(),
+            tables: BTreeSet::new(),
+        }
+    }
+
+    /// Handles a `.command`; returns `false` to exit the REPL.
+    fn dot_command(&mut self, line: &str) -> bool {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            ".quit" | ".exit" => return false,
+            ".help" => {
+                println!(
+                    ".load cars [rows] [seed]      register the synthetic used-car table\n\
+                     .load mushroom [rows] [seed]  register the synthetic mushroom table\n\
+                     .open <path> <name>           load a CSV file as <name>\n\
+                     .tables                       list registered tables\n\
+                     .summary <table>              per-column statistics\n\
+                     .quit                         exit\n\
+                     Any other input is SQL (end statements with ';'):\n\
+                     SELECT, CREATE CADVIEW, EXPLAIN, DESCRIBE, HIGHLIGHT, REORDER"
+                );
+            }
+            ".load" => self.load(&parts),
+            ".open" => self.open(&parts),
+            ".tables" => {
+                for t in &self.tables {
+                    println!("{t}");
+                }
+            }
+            ".summary" => {
+                if let Some(name) = parts.get(1) {
+                    match self.session.table(name) {
+                        Ok(table) => {
+                            for s in table.summaries() {
+                                println!("{}", s.render());
+                            }
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                } else {
+                    println!("usage: .summary <table>");
+                }
+            }
+            other => println!("unknown command {other}; try .help"),
+        }
+        true
+    }
+
+    fn load(&mut self, parts: &[&str]) {
+        let which = parts.get(1).copied().unwrap_or("");
+        let rows: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let seed: u64 = parts.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+        match which {
+            "cars" => {
+                let rows = if rows == 0 { 40_000 } else { rows };
+                let table = UsedCarsGenerator::new(seed).generate(rows);
+                println!("loaded cars: {rows} rows");
+                self.session.register_table("cars", table);
+                self.tables.insert("cars".into());
+            }
+            "mushroom" => {
+                let rows = if rows == 0 {
+                    dbexplorer::data::mushroom::MUSHROOM_ROWS
+                } else {
+                    rows
+                };
+                let table = MushroomGenerator::new(seed).generate(rows);
+                println!("loaded mushroom: {rows} rows");
+                self.session.register_table("mushroom", table);
+                self.tables.insert("mushroom".into());
+            }
+            _ => println!("usage: .load cars|mushroom [rows] [seed]"),
+        }
+    }
+
+    fn open(&mut self, parts: &[&str]) {
+        let (Some(path), Some(name)) = (parts.get(1), parts.get(2)) else {
+            println!("usage: .open <path> <name>");
+            return;
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => match dbexplorer::table::csv::parse_csv(&text) {
+                Ok(table) => {
+                    println!("loaded {name}: {} rows, {} columns", table.num_rows(), table.num_columns());
+                    self.session.register_table(name.to_string(), table);
+                    self.tables.insert(name.to_string());
+                }
+                Err(e) => println!("csv error: {e}"),
+            },
+            Err(e) => println!("io error: {e}"),
+        }
+    }
+
+    fn run_sql(&mut self, sql: &str) {
+        match self.session.execute(sql) {
+            Ok(output) => print_output(&output),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn print_output(output: &QueryOutput) {
+    match output {
+        QueryOutput::Rows { columns, rows } => {
+            // Column widths over header + up to 40 shown rows.
+            let shown = rows.len().min(40);
+            let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+            let cells: Vec<Vec<String>> = rows[..shown]
+                .iter()
+                .map(|r| r.iter().map(|v| v.to_string()).collect())
+                .collect();
+            for row in &cells {
+                for (w, cell) in widths.iter_mut().zip(row) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let print_row = |cells: &[String]| {
+                let line: Vec<String> = cells
+                    .iter()
+                    .zip(&widths)
+                    .map(|(c, w)| format!("{c:<w$}"))
+                    .collect();
+                println!("| {} |", line.join(" | "));
+            };
+            print_row(&columns.to_vec());
+            println!(
+                "|{}|",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(w + 2))
+                    .collect::<Vec<_>>()
+                    .join("|")
+            );
+            for row in &cells {
+                print_row(row);
+            }
+            if rows.len() > shown {
+                println!("... ({} rows total)", rows.len());
+            }
+        }
+        QueryOutput::Cad { name, rendered } => {
+            println!("CAD View {name}:");
+            println!("{rendered}");
+        }
+        QueryOutput::Highlights(hits) => {
+            if hits.is_empty() {
+                println!("(no IUnits above the threshold)");
+            }
+            for (value, id, sim) in hits {
+                println!("{value} IUnit {id}: similarity {sim:.2}");
+            }
+        }
+        QueryOutput::Reordered(order) => {
+            for (value, distance) in order {
+                println!("{value} (distance {distance})");
+            }
+        }
+        QueryOutput::Text(text) => println!("{text}"),
+    }
+}

@@ -1,0 +1,46 @@
+//! # DBExplorer
+//!
+//! A Rust reproduction of *DBExplorer: Exploratory Search in Databases*
+//! (Singh, Cafarella, Jagadish — EDBT 2016).
+//!
+//! This facade crate re-exports every subsystem so downstream users can
+//! depend on a single crate:
+//!
+//! * [`table`] — in-memory columnar relational engine.
+//! * [`query`] — SQL subset plus the paper's `CREATE CADVIEW` extensions.
+//! * [`stats`] — chi-square feature selection, histograms, mixed models.
+//! * [`cluster`] — k-means over one-hot encoded mixed data.
+//! * [`topk`] — diversified top-k (div-astar) selection.
+//! * [`facet`] — faceted navigation engine (the Solr-style baseline).
+//! * [`core`] — the CAD View itself: builder, similarity, TPFacet.
+//! * [`data`] — synthetic UsedCars / Mushroom dataset generators.
+//! * [`study`] — the simulated user study reproducing Section 6.2.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbexplorer::data::usedcars::UsedCarsGenerator;
+//! use dbexplorer::table::Predicate;
+//! use dbexplorer::core::{CadRequest, build_cad_view};
+//!
+//! let table = UsedCarsGenerator::new(42).generate(2_000);
+//! let result = table
+//!     .filter(&Predicate::and(vec![
+//!         Predicate::eq("BodyType", "SUV"),
+//!         Predicate::between("Mileage", 10_000, 30_000),
+//!     ]))
+//!     .unwrap();
+//! let request = CadRequest::new("Make").with_iunits(3).with_max_compare_attrs(5);
+//! let cad = build_cad_view(&result, &request).unwrap();
+//! println!("{}", cad.render());
+//! ```
+
+pub use dbex_cluster as cluster;
+pub use dbex_core as core;
+pub use dbex_data as data;
+pub use dbex_facet as facet;
+pub use dbex_query as query;
+pub use dbex_stats as stats;
+pub use dbex_study as study;
+pub use dbex_table as table;
+pub use dbex_topk as topk;

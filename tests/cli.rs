@@ -1,0 +1,77 @@
+//! End-to-end test of the `dbex` interactive shell, driven as a subprocess
+//! with piped stdin/stdout.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dbex"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("dbex binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let output = child.wait_with_output().expect("dbex exits");
+    assert!(output.status.success(), "dbex exited with failure");
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn full_session_through_the_shell() {
+    let out = run_script(
+        ".load cars 3000 7\n\
+         SELECT Make, COUNT(*) FROM cars GROUP BY Make ORDER BY 'count(*)' DESC LIMIT 2;\n\
+         CREATE CADVIEW v AS SET pivot = Make FROM cars WHERE BodyType = SUV \
+           LIMIT COLUMNS 3 IUNITS 2;\n\
+         REORDER ROWS IN v ORDER BY SIMILARITY(Jeep) DESC;\n\
+         DESCRIBE cars;\n\
+         .tables\n\
+         .quit\n",
+    );
+    assert!(out.contains("loaded cars: 3000 rows"), "{out}");
+    assert!(out.contains("count(*)"));
+    assert!(out.contains("IUnit 1"));
+    assert!(out.contains("Jeep (distance 0)"));
+    assert!(out.contains("11 attributes"));
+    assert!(out.contains("cars"));
+}
+
+#[test]
+fn shell_reports_errors_without_crashing() {
+    let out = run_script(
+        ".load mushroom 500\n\
+         SELECT * FROM missing_table;\n\
+         NOT SQL AT ALL;\n\
+         .summary mushroom\n\
+         .quit\n",
+    );
+    assert!(out.contains("loaded mushroom: 500 rows"));
+    assert!(out.contains("error:"), "{out}");
+    assert!(out.contains("Class:"), "summary should list columns: {out}");
+}
+
+#[test]
+fn shell_multiline_statement() {
+    let out = run_script(
+        ".load cars 1000\n\
+         SELECT Make, Price FROM cars\n\
+         WHERE Price > 30K\n\
+         LIMIT 2;\n\
+         .quit\n",
+    );
+    assert!(out.contains("| Make"), "{out}");
+    assert!(out.contains("Price"));
+}
+
+#[test]
+fn shell_help_and_unknown_commands() {
+    let out = run_script(".help\n.bogus\n.quit\n");
+    assert!(out.contains(".load cars"));
+    assert!(out.contains("unknown command"));
+}

@@ -1,0 +1,164 @@
+//! Integration tests for the exploration features beyond the core CAD View:
+//! context diffs, exports, interaction analysis, aggregates, and the
+//! alternative top-k algorithms — exercised through the facade crate on the
+//! synthetic datasets.
+
+use dbexplorer::core::{build_cad_view, CadRequest, ContextDiff};
+use dbexplorer::data::{MushroomGenerator, UsedCarsGenerator};
+use dbexplorer::query::{QueryOutput, Session};
+use dbexplorer::stats::interact::InteractionMatrix;
+use dbexplorer::table::{Predicate, Value};
+use dbexplorer::topk::{div_astar, div_cut, ConflictGraph};
+
+#[test]
+fn context_diff_detects_condition_effect() {
+    let cars = UsedCarsGenerator::new(42).generate(15_000);
+    let request = || {
+        CadRequest::new("Make")
+            .with_pivot_values(vec!["Chevrolet", "Jeep"])
+            .with_compare(vec!["Model", "Engine", "Price"])
+            .with_max_compare_attrs(3)
+            .with_iunits(3)
+    };
+    let all = cars.filter(&Predicate::eq("BodyType", "SUV")).unwrap();
+    let before = build_cad_view(&all, &request()).unwrap();
+    let budget = all
+        .refine(&Predicate::between("Price", 5_000, 18_000))
+        .unwrap();
+    let after = build_cad_view(&budget, &request()).unwrap();
+
+    let diff = ContextDiff::compute(&before, &after).unwrap();
+    assert!(diff.stability() < 1.0, "price cap must change the structure");
+    assert!(diff.stability() > 0.0, "some structure must persist");
+    let text = diff.render(&before, &after);
+    assert!(text.contains("Context diff"));
+}
+
+#[test]
+fn exports_are_consistent_with_the_view() {
+    let cars = UsedCarsGenerator::new(7).generate(5_000);
+    let cad = build_cad_view(
+        &cars.full_view(),
+        &CadRequest::new("Make").with_iunits(2).with_max_compare_attrs(3),
+    )
+    .unwrap();
+    let md = dbexplorer::core::cad_to_markdown(&cad);
+    let csv = dbexplorer::core::cad_to_csv(&cad);
+    for row in &cad.rows {
+        assert!(md.contains(&format!("| {} |", row.pivot_label)));
+        assert!(csv.contains(&format!("{},1,", row.pivot_label)));
+    }
+    // CSV line count = header + Σ (iunits × compare attrs).
+    let expected: usize = cad
+        .rows
+        .iter()
+        .map(|r| r.iunits.len() * cad.compare_names.len())
+        .sum();
+    assert_eq!(csv.lines().count(), expected + 1);
+}
+
+#[test]
+fn interaction_matrix_recovers_planted_dependencies() {
+    let shrooms = MushroomGenerator::new(2016).generate(6_000);
+    let attrs: Vec<usize> = (0..shrooms.schema().len()).collect();
+    let matrix = InteractionMatrix::compute(&shrooms.full_view(), &attrs, 6);
+
+    let idx = |name: &str| shrooms.schema().index_of(name).unwrap();
+    // The twin stalk colors are near-functional in both directions.
+    let twins = matrix
+        .pair(idx("StalkColorAboveRing"), idx("StalkColorBelowRing"))
+        .unwrap();
+    assert!(twins.cramers_v > 0.85, "V = {}", twins.cramers_v);
+    // Odor nearly determines Class.
+    let odor_class = matrix.pair(idx("Odor"), idx("Class")).unwrap();
+    assert!(odor_class.cramers_v > 0.85);
+    // VeilColor is largely constant noise: weak everywhere.
+    let veil_class = matrix.pair(idx("VeilColor"), idx("Class")).unwrap();
+    assert!(veil_class.cramers_v < 0.2);
+    // Soft FDs include odor -> class.
+    let fds = matrix.soft_fds(0.6);
+    assert!(
+        fds.iter().any(|&(x, y, _)| x == idx("Odor") && y == idx("Class")),
+        "missing odor->class FD"
+    );
+}
+
+#[test]
+fn aggregate_queries_over_generated_data() {
+    let mut session = Session::new();
+    session.register_table("cars", UsedCarsGenerator::new(42).generate(10_000));
+    let QueryOutput::Rows { columns, rows } = session
+        .execute(
+            "SELECT BodyType, COUNT(*), AVG(Price), MIN(Year), MAX(Year) FROM cars \
+             GROUP BY BodyType ORDER BY 'count(*)' DESC",
+        )
+        .unwrap()
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(columns.len(), 5);
+    assert!(rows.len() >= 3); // SUV, Sedan, Truck, (Van)
+    // Counts descending and summing to the table size.
+    let counts: Vec<i64> = rows
+        .iter()
+        .map(|r| {
+            let Value::Int(n) = r[1] else { panic!() };
+            n
+        })
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    assert_eq!(counts.iter().sum::<i64>(), 10_000);
+    // Year bounds within the generator's range.
+    for r in &rows {
+        let (Value::Float(lo), Value::Float(hi)) = (&r[3], &r[4]) else {
+            panic!()
+        };
+        assert!(*lo >= 2005.0 && *hi <= 2013.0);
+    }
+}
+
+#[test]
+fn div_cut_equals_div_astar_on_cad_scale_instances() {
+    // Deterministic pseudo-random instances at CAD scale.
+    let mut state = 0xD1CEu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..40 {
+        let n = 6 + (next() % 10) as usize;
+        let scores: Vec<f64> = (0..n).map(|_| (next() % 500) as f64).collect();
+        let mut graph = ConflictGraph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if next() % 10 < 2 {
+                    graph.add_conflict(a, b);
+                }
+            }
+        }
+        let k = 1 + (next() % 6) as usize;
+        let a = div_astar(&scores, &graph, k);
+        let c = div_cut(&scores, &graph, k);
+        assert!((a.total_score - c.total_score).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn explain_and_describe_through_the_facade() {
+    let mut session = Session::new();
+    session.register_table("m", MushroomGenerator::new(1).generate(2_000));
+    let QueryOutput::Text(desc) = session.execute("DESCRIBE m").unwrap() else {
+        panic!()
+    };
+    assert!(desc.contains("23 attributes"));
+    let QueryOutput::Text(plan) = session
+        .execute("EXPLAIN CREATE CADVIEW p AS SET pivot = Class FROM m IUNITS 2")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(plan.contains("chi2"));
+    assert!(plan.contains("Odor") || plan.contains("SporePrintColor"));
+}

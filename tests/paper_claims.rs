@@ -1,0 +1,177 @@
+//! Direction-level assertions for the paper's evaluation claims, kept fast
+//! enough for CI (small result sets, few simulations). The full-scale
+//! regenerations live in `dbex-bench`.
+
+use dbexplorer::core::{build_cad_view, CadConfig, CadRequest};
+use dbexplorer::data::usedcars::UsedCarsGenerator;
+use dbexplorer::stats::feature::{select_compare_attributes, FeatureSelectionConfig};
+use dbexplorer::table::Predicate;
+
+fn population() -> dbexplorer::table::Table {
+    UsedCarsGenerator::new(0xD_BE).generate(30_000)
+}
+
+fn five_makes(table: &dbexplorer::table::Table) -> dbexplorer::table::View<'_> {
+    table
+        .filter(&Predicate::in_list(
+            "Make",
+            ["Chevrolet", "Ford", "Honda", "Toyota", "Jeep"]
+                .iter()
+                .map(|&m| m.into())
+                .collect(),
+        ))
+        .unwrap()
+}
+
+/// Figure 8's monotone trend: bigger result sets cost more to summarize.
+#[test]
+fn build_time_grows_with_result_size() {
+    let table = population();
+    let pop = five_makes(&table);
+    let request = CadRequest::new("Make").with_iunits(6).with_max_compare_attrs(8);
+    let time_at = |n: usize| {
+        // Median of 3 to damp scheduler noise.
+        let mut times: Vec<f64> = (0..3)
+            .map(|_| {
+                let cad = build_cad_view(&pop.sample(n), &request).unwrap();
+                cad.timings.total().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[1]
+    };
+    let small = time_at(2_000);
+    let large = time_at(12_000);
+    assert!(
+        large > small,
+        "12K rows ({large:.4}s) should cost more than 2K ({small:.4}s)"
+    );
+}
+
+/// Optimization 1: a modest sample reproduces the full-data Compare
+/// Attribute choice.
+#[test]
+fn sampled_feature_selection_agrees_with_full() {
+    let table = population();
+    let result = five_makes(&table);
+    let pivot = table.schema().index_of("Make").unwrap();
+    let dict = table.column(pivot).dictionary().unwrap();
+    let codes: Vec<u32> = ["Chevrolet", "Ford", "Honda", "Toyota", "Jeep"]
+        .iter()
+        .map(|m| dict.code(m).unwrap())
+        .collect();
+    let candidates: Vec<usize> = (0..table.schema().len()).filter(|&i| i != pivot).collect();
+
+    let run = |sample| {
+        let config = FeatureSelectionConfig {
+            max_attrs: 5,
+            sample,
+            ..FeatureSelectionConfig::default()
+        };
+        let (set, _) =
+            select_compare_attributes(&result, pivot, &codes, &[], &candidates, &config);
+        let mut set = set;
+        set.sort_unstable();
+        set
+    };
+    let full = run(None);
+    let sampled = run(Some(5_000));
+    let agree = sampled.iter().filter(|a| full.contains(a)).count();
+    assert!(
+        agree >= 4,
+        "5K sample selected {sampled:?}, full selected {full:?}"
+    );
+}
+
+/// Combined optimizations are strictly faster at 20K+ rows while keeping
+/// the same Compare Attribute set.
+#[test]
+fn optimized_config_is_faster_and_consistent() {
+    let table = population();
+    let pop = five_makes(&table);
+    let result = pop.sample(20_000);
+
+    let worst = CadRequest::new("Make")
+        .with_iunits(6)
+        .with_max_compare_attrs(8)
+        .with_config(CadConfig {
+            alpha: 1.0,
+            candidate_factor: 2.5,
+            ..CadConfig::default()
+        });
+    let optimized = CadRequest::new("Make")
+        .with_iunits(6)
+        .with_max_compare_attrs(5)
+        .with_config(CadConfig::optimized());
+
+    let median = |request: &CadRequest| {
+        let mut times: Vec<f64> = (0..3)
+            .map(|_| {
+                build_cad_view(&result, request)
+                    .unwrap()
+                    .timings
+                    .total()
+                    .as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[1]
+    };
+    let tw = median(&worst);
+    let to = median(&optimized);
+    assert!(
+        to < tw,
+        "optimized ({to:.4}s) should beat worst-case ({tw:.4}s)"
+    );
+
+    let cad = build_cad_view(&result, &optimized).unwrap();
+    // The optimized view still contains the strong discriminators.
+    assert!(cad.compare_names.iter().any(|n| n == "Model"));
+}
+
+/// Table 1's headline comparison claims: Chevrolet and Ford offer similar
+/// SUVs; Jeep is different (all 4WD, different price points).
+#[test]
+fn chevrolet_ford_similar_jeep_different() {
+    let table = UsedCarsGenerator::new(42).generate(30_000);
+    let result = table
+        .filter(&Predicate::and(vec![
+            Predicate::eq("BodyType", "SUV"),
+            Predicate::eq("Transmission", "Automatic"),
+        ]))
+        .unwrap();
+    let cad = build_cad_view(
+        &result,
+        &CadRequest::new("Make")
+            .with_pivot_values(vec!["Chevrolet", "Ford", "Honda", "Toyota", "Jeep"])
+            .with_iunits(3)
+            .with_max_compare_attrs(5),
+    )
+    .unwrap();
+    let order = cad.reorder_rows("Chevrolet");
+    let pos = |make: &str| order.iter().position(|(l, _)| l == make).unwrap();
+    assert_eq!(pos("Chevrolet"), 0);
+    assert!(
+        pos("Jeep") > pos("Ford"),
+        "Jeep should rank below Ford in similarity to Chevrolet: {order:?}"
+    );
+}
+
+/// The simulated user study's headline: TPFacet is several times faster on
+/// every task with quality no worse (direction only; tiny dataset).
+#[test]
+fn study_headline_direction_small() {
+    use dbexplorer::study::{run_study, Interface, StudyConfig, TaskId};
+    let report = run_study(&StudyConfig {
+        rows: 2_000,
+        ..StudyConfig::default()
+    });
+    for task in [TaskId::Classifier, TaskId::SimilarPair] {
+        let solr = report.mean(task, Interface::Solr, true);
+        let tp = report.mean(task, Interface::TpFacet, true);
+        assert!(solr > 1.5 * tp, "{}: {solr:.1} vs {tp:.1} min", task.name());
+    }
+    let err_solr = report.mean(TaskId::AltCondition, Interface::Solr, false);
+    let err_tp = report.mean(TaskId::AltCondition, Interface::TpFacet, false);
+    assert!(err_tp < err_solr, "error {err_tp:.2} vs {err_solr:.2}");
+}

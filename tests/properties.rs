@@ -1,0 +1,296 @@
+//! Property-based tests over the core data structures and invariants.
+
+use dbexplorer::core::simil::{attribute_value_distance, iunit_similarity};
+use dbexplorer::core::{build_cad_view, CadRequest, IUnit};
+use dbexplorer::stats::histogram::{BinningStrategy, Histogram};
+use dbexplorer::stats::simil::cosine_similarity;
+use dbexplorer::table::{DataType, Field, Predicate, TableBuilder, Value};
+use dbexplorer::topk::{div_astar, greedy, ConflictGraph};
+use proptest::prelude::*;
+
+/// Random-ish but valid SQL-fragment strings for parser robustness.
+fn arb_sql() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,80}").expect("valid regex")
+}
+
+/// Builds a small random categorical/numeric table.
+fn arb_table() -> impl Strategy<Value = dbexplorer::table::Table> {
+    let rows = prop::collection::vec((0u8..4, 0u8..3, -50i64..50), 8..80);
+    rows.prop_map(|rows| {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Pivot", DataType::Categorical),
+            Field::new("Cat", DataType::Categorical),
+            Field::new("Num", DataType::Int),
+        ])
+        .unwrap();
+        for (p, c, n) in rows {
+            b.push_row(vec![
+                Value::Str(format!("p{p}")),
+                Value::Str(format!("c{c}")),
+                Value::Int(n),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cad_view_respects_bounds(table in arb_table(), k in 1usize..5, m in 1usize..4) {
+        let request = CadRequest::new("Pivot").with_iunits(k).with_max_compare_attrs(m);
+        let cad = build_cad_view(&table.full_view(), &request).unwrap();
+        prop_assert!(cad.compare_attrs.len() <= m);
+        prop_assert!(!cad.compare_attrs.is_empty());
+        for row in &cad.rows {
+            prop_assert!(row.iunits.len() <= k);
+        }
+        // Distinct pivot values in the view = distinct values in the data.
+        let expected = table.column(0).cardinality();
+        prop_assert_eq!(cad.rows.len(), expected);
+    }
+
+    #[test]
+    fn iunit_members_partition_each_pivot_row(table in arb_table()) {
+        // With l = k and a tau of 0 candidates never get dropped by
+        // diversification unless similar; members of the selected IUnits
+        // must be disjoint and within the partition.
+        let request = CadRequest::new("Pivot").with_iunits(3);
+        let cad = build_cad_view(&table.full_view(), &request).unwrap();
+        let view = table.full_view();
+        for row in &cad.rows {
+            let mut seen = std::collections::HashSet::new();
+            for unit in &row.iunits {
+                prop_assert_eq!(unit.members.len(), unit.size);
+                for &pos in &unit.members {
+                    prop_assert!(pos < view.len());
+                    // Member rows carry the row's pivot value.
+                    let value = view.value(pos, 0);
+                    prop_assert_eq!(value.to_string(), row.pivot_label.clone());
+                    prop_assert!(seen.insert(pos), "IUnits overlap within a row");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_similarity_bounded_and_symmetric(table in arb_table()) {
+        let cad = build_cad_view(&table.full_view(), &CadRequest::new("Pivot")).unwrap();
+        let units: Vec<&IUnit> = cad.rows.iter().flat_map(|r| r.iunits.iter()).collect();
+        let max = cad.compare_attrs.len() as f64;
+        for a in &units {
+            for b in &units {
+                let s = iunit_similarity(a, b);
+                prop_assert!((0.0..=max + 1e-9).contains(&s), "sim {s} out of [0,{max}]");
+                prop_assert!((s - iunit_similarity(b, a)).abs() < 1e-12);
+            }
+            prop_assert!(iunit_similarity(a, a) > 0.0);
+        }
+    }
+
+    #[test]
+    fn algorithm2_distance_symmetric_zero_on_self(table in arb_table(), tau_f in 0.1f64..0.9) {
+        let cad = build_cad_view(&table.full_view(), &CadRequest::new("Pivot")).unwrap();
+        let tau = tau_f * cad.compare_attrs.len() as f64;
+        for a in &cad.rows {
+            prop_assert_eq!(attribute_value_distance(&a.iunits, &a.iunits, tau), 0.0);
+            for b in &cad.rows {
+                let d1 = attribute_value_distance(&a.iunits, &b.iunits, tau);
+                let d2 = attribute_value_distance(&b.iunits, &a.iunits, tau);
+                prop_assert_eq!(d1, d2);
+                prop_assert!(d1 >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_filter_matches_row_scan(table in arb_table(), lo in -50i64..0, hi in 0i64..50) {
+        let p = Predicate::or(vec![
+            Predicate::and(vec![
+                Predicate::eq("Cat", "c1"),
+                Predicate::between("Num", lo, hi),
+            ]),
+            Predicate::not(Predicate::eq("Pivot", "p0")),
+        ]);
+        let filtered = table.filter(&p).unwrap();
+        for row in 0..table.num_rows() {
+            let expected = p.eval(&table, row).unwrap();
+            let present = filtered.row_ids().contains(&(row as u32));
+            prop_assert_eq!(expected, present, "row {}", row);
+        }
+    }
+
+    #[test]
+    fn histogram_edges_monotone_and_total(values in prop::collection::vec(-1e6f64..1e6, 1..200), bins in 1usize..12) {
+        for strategy in [BinningStrategy::EquiWidth, BinningStrategy::EquiDepth, BinningStrategy::VOptimal, BinningStrategy::MaxDiff] {
+            let h = Histogram::build(&values, bins, strategy).unwrap();
+            let edges = h.edges();
+            for w in edges.windows(2) {
+                prop_assert!(w[0] < w[1], "{strategy:?}: non-monotone {edges:?}");
+            }
+            prop_assert!(h.num_bins() <= bins);
+            for &v in &values {
+                let b = h.bin_of(v);
+                prop_assert!(b < h.num_bins());
+            }
+            // Out-of-range values clamp.
+            prop_assert_eq!(h.bin_of(f64::MIN), 0);
+            prop_assert_eq!(h.bin_of(f64::MAX), h.num_bins() - 1);
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_bounds(a in prop::collection::vec(0.0f64..100.0, 0..20),
+                                b in prop::collection::vec(0.0f64..100.0, 0..20)) {
+        let s = cosine_similarity(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s));
+        prop_assert!((s - cosine_similarity(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn div_astar_valid_and_at_least_greedy(
+        scores in prop::collection::vec(0.0f64..100.0, 1..14),
+        edges in prop::collection::vec((0usize..14, 0usize..14), 0..40),
+        k in 1usize..6,
+    ) {
+        let n = scores.len();
+        let mut graph = ConflictGraph::new(n);
+        for (a, b) in edges {
+            if a < n && b < n && a != b {
+                graph.add_conflict(a, b);
+            }
+        }
+        let exact = div_astar(&scores, &graph, k);
+        let approx = greedy(&scores, &graph, k);
+        prop_assert!(exact.items.len() <= k);
+        for (i, &a) in exact.items.iter().enumerate() {
+            for &b in &exact.items[i + 1..] {
+                prop_assert!(!graph.conflicts(a, b), "conflicting items selected");
+            }
+        }
+        prop_assert!(exact.total_score + 1e-9 >= approx.total_score);
+        let sum: f64 = exact.items.iter().map(|&i| scores[i]).sum();
+        prop_assert!((sum - exact.total_score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_never_panics(input in arb_sql()) {
+        // Any printable-ASCII input must produce Ok or Err, never a panic.
+        let _ = dbexplorer::query::parse(&input);
+    }
+
+    #[test]
+    fn facet_bins_partition_the_table(table in arb_table()) {
+        // Selecting each facet value of an attribute, one at a time, must
+        // partition the table: every row in exactly one value's results.
+        use dbexplorer::facet::{FacetState, FacetedEngine};
+        let engine = FacetedEngine::new(&table, 4);
+        for (attr, codec) in engine.attributes() {
+            let mut seen = vec![0usize; table.num_rows()];
+            for code in 0..codec.cardinality() as u32 {
+                let label = codec.label(code).to_owned();
+                let mut state = FacetState::default();
+                state.selections.insert(*attr, vec![label]);
+                let view = engine.results_for(&state).unwrap();
+                for &r in view.row_ids() {
+                    seen[r as usize] += 1;
+                }
+            }
+            for (r, &count) in seen.iter().enumerate() {
+                // NULL rows match no facet value; all others exactly one.
+                let is_null = table.column(*attr).is_null(r);
+                prop_assert_eq!(count, usize::from(!is_null), "row {} attr {}", r, attr);
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_counts_partition_the_view(table in arb_table()) {
+        use dbexplorer::table::{group_by, Aggregate, Value};
+        let out = group_by(
+            &table.full_view(),
+            &["Pivot".into(), "Cat".into()],
+            &[Aggregate::Count, Aggregate::Avg("Num".into())],
+        ).unwrap();
+        // Counts over all groups sum to the table size.
+        let mut total = 0i64;
+        for r in 0..out.num_rows() {
+            let Value::Int(n) = out.value(r, 2) else { panic!("count col") };
+            prop_assert!(n > 0, "empty group emitted");
+            total += n;
+        }
+        prop_assert_eq!(total as usize, table.num_rows());
+        // Every group key actually occurs in the data.
+        for r in 0..out.num_rows() {
+            let p = out.value(r, 0).to_string();
+            let c = out.value(r, 1).to_string();
+            let matched = table
+                .filter(&Predicate::and(vec![
+                    Predicate::eq("Pivot", p.as_str()),
+                    Predicate::eq("Cat", c.as_str()),
+                ]))
+                .unwrap();
+            prop_assert!(!matched.is_empty());
+        }
+    }
+
+    #[test]
+    fn sort_view_is_an_ordered_permutation(table in arb_table()) {
+        use dbexplorer::table::{sort_view, SortKey};
+        let sorted = sort_view(
+            &table.full_view(),
+            &[SortKey::asc("Num"), SortKey::desc("Cat")],
+        ).unwrap();
+        prop_assert_eq!(sorted.len(), table.num_rows());
+        // Permutation: same multiset of row ids.
+        let mut ids: Vec<u32> = sorted.row_ids().to_vec();
+        ids.sort_unstable();
+        let expected: Vec<u32> = (0..table.num_rows() as u32).collect();
+        prop_assert_eq!(ids, expected);
+        // Ordered by the primary key.
+        for w in sorted.row_ids().windows(2) {
+            let a = table.value(w[0] as usize, 2);
+            let b = table.value(w[1] as usize, 2);
+            prop_assert!(a.total_cmp(&b) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn predicate_simplify_preserves_eval(table in arb_table(), lo in -50i64..0, hi in 0i64..50) {
+        let gnarly = Predicate::not(Predicate::and(vec![
+            Predicate::or(vec![
+                Predicate::eq("Cat", "c0"),
+                Predicate::Const(false),
+                Predicate::or(vec![Predicate::between("Num", lo, hi)]),
+            ]),
+            Predicate::Const(true),
+            Predicate::and(vec![Predicate::not(Predicate::not(Predicate::eq(
+                "Pivot", "p1",
+            )))]),
+        ]));
+        let simple = gnarly.clone().simplify();
+        for row in 0..table.num_rows() {
+            prop_assert_eq!(
+                gnarly.eval(&table, row).unwrap(),
+                simple.eval(&table, row).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn view_sample_is_subset_without_duplicates(table in arb_table(), n in 0usize..100) {
+        let view = table.full_view();
+        let sample = view.sample(n);
+        prop_assert!(sample.len() <= view.len());
+        if n > 0 {
+            prop_assert!(sample.len() <= n.max(view.len().min(n)));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &r in sample.row_ids() {
+            prop_assert!((r as usize) < table.num_rows());
+            prop_assert!(seen.insert(r), "duplicate row in sample");
+        }
+    }
+}

@@ -56,7 +56,8 @@ fn main() {
                 plus_plus: true,
                 ..Default::default()
             },
-        );
+        )
+        .expect("k-means on bench data");
         let rnd = kmeans(
             &points,
             space.dim(),
@@ -66,7 +67,8 @@ fn main() {
                 plus_plus: false,
                 ..Default::default()
             },
-        );
+        )
+        .expect("k-means on bench data");
         pp_total += pp.inertia;
         rand_total += rnd.inertia;
         println!(

@@ -40,7 +40,8 @@ fn main() {
                 k: 15,
                 ..Default::default()
             },
-        );
+        )
+        .expect("k-means on bench data");
         let full_ms = t0.elapsed().as_secs_f64() * 1_000.0;
 
         let t1 = Instant::now();
@@ -53,7 +54,8 @@ fn main() {
                 batches: 120,
                 seed: 7,
             },
-        );
+        )
+        .expect("mini-batch k-means on bench data");
         let mb_ms = t1.elapsed().as_secs_f64() * 1_000.0;
 
         println!(

@@ -1,0 +1,59 @@
+//! Typed errors for the clustering layer.
+
+use dbex_stats::StatsError;
+use std::fmt;
+
+/// An error from k-means / mini-batch clustering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// `k == 0` clusters requested.
+    ZeroClusters,
+    /// A mini-batch of zero points requested.
+    ZeroBatchSize,
+    /// A sparse point activates a dimension outside the feature space.
+    DimensionOutOfRange {
+        /// Index of the offending point.
+        point: usize,
+        /// The out-of-range dimension.
+        dim: u32,
+        /// Dimensionality of the space.
+        space: usize,
+    },
+    /// Discretization failed while preparing clustering inputs.
+    Stats(StatsError),
+    /// A deliberately injected fault (testing only; see [`crate::fault`]).
+    FaultInjected {
+        /// The site that was armed.
+        site: &'static str,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::ZeroClusters => write!(f, "k must be at least 1"),
+            ClusterError::ZeroBatchSize => write!(f, "mini-batch size must be at least 1"),
+            ClusterError::DimensionOutOfRange { point, dim, space } => write!(
+                f,
+                "point {point} activates dimension {dim} outside the {space}-dimensional space"
+            ),
+            ClusterError::Stats(_) => write!(f, "discretization failed"),
+            ClusterError::FaultInjected { site } => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for ClusterError {
+    fn from(e: StatsError) -> Self {
+        ClusterError::Stats(e)
+    }
+}

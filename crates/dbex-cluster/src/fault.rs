@@ -1,0 +1,65 @@
+//! Deterministic fault injection for the clustering layer.
+//!
+//! Mirrors `dbex_stats::fault`: tests arm a named site on their thread and
+//! the matching code path returns [`ClusterError::FaultInjected`] until the
+//! guard drops. Known sites: `"cluster::kmeans"`, `"cluster::minibatch"`.
+
+use crate::error::ClusterError;
+use std::cell::Cell;
+
+thread_local! {
+    static ARMED: Cell<Option<&'static str>> = const { Cell::new(None) };
+}
+
+/// Arms `site` on this thread: subsequent [`check`]s for it fail.
+pub fn arm(site: &'static str) {
+    ARMED.with(|a| a.set(Some(site)));
+}
+
+/// Disarms any armed fault on this thread.
+pub fn disarm() {
+    ARMED.with(|a| a.set(None));
+}
+
+/// Arms `site` for the lifetime of the returned guard.
+pub fn scoped(site: &'static str) -> ScopedFault {
+    arm(site);
+    ScopedFault { _private: () }
+}
+
+/// Guard that disarms the thread's fault on drop.
+#[must_use = "the fault is disarmed when this guard drops"]
+pub struct ScopedFault {
+    _private: (),
+}
+
+impl Drop for ScopedFault {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// Returns the injected error if `site` is armed on this thread.
+pub fn check(site: &'static str) -> Result<(), ClusterError> {
+    let armed = ARMED.with(|a| a.get());
+    if armed == Some(site) {
+        return Err(ClusterError::FaultInjected { site });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_arm_and_release() {
+        assert!(check("cluster::kmeans").is_ok());
+        {
+            let _g = scoped("cluster::kmeans");
+            assert!(check("cluster::kmeans").is_err());
+            assert!(check("cluster::minibatch").is_ok());
+        }
+        assert!(check("cluster::kmeans").is_ok());
+    }
+}

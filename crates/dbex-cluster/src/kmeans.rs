@@ -14,6 +14,8 @@
 //! and centroid `c` is `‖c‖² − 2·Σ_{d∈x} c_d + |x|`, so each distance costs
 //! `O(#attributes)` regardless of dimensionality.
 
+use crate::error::ClusterError;
+use crate::fault;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -87,18 +89,29 @@ impl KMeansResult {
 /// When `points.len() <= config.k`, each point gets its own cluster (and
 /// surplus clusters stay empty with zero centroids). Points may be empty
 /// (all-NULL tuples); they land in whichever cluster is nearest by `‖c‖²`.
-pub fn kmeans(points: &[Vec<u32>], dim: usize, config: &KMeansConfig) -> KMeansResult {
-    assert!(config.k > 0, "k must be positive");
+///
+/// Fails with a typed [`ClusterError`] when `config.k == 0` or a point
+/// activates a dimension outside `0..dim`.
+pub fn kmeans(
+    points: &[Vec<u32>],
+    dim: usize,
+    config: &KMeansConfig,
+) -> Result<KMeansResult, ClusterError> {
+    fault::check("cluster::kmeans")?;
+    if config.k == 0 {
+        return Err(ClusterError::ZeroClusters);
+    }
+    validate_points(points, dim)?;
     let n = points.len();
     let k = config.k.min(n.max(1));
     if n == 0 {
-        return KMeansResult {
+        return Ok(KMeansResult {
             assignments: Vec::new(),
             centroids: vec![vec![0.0; dim]; config.k],
             sizes: vec![0; config.k],
             inertia: 0.0,
             iterations: 0,
-        };
+        });
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -161,7 +174,7 @@ pub fn kmeans(points: &[Vec<u32>], dim: usize, config: &KMeansConfig) -> KMeansR
                         let db = dist2(&points[b], &centroids[assignments[b]], norms[assignments[b]]);
                         da.total_cmp(&db)
                     })
-                    .unwrap();
+                    .unwrap_or(0);
                 let mut cc = vec![0.0; dim];
                 for &d in &points[far] {
                     cc[d as usize] = 1.0;
@@ -193,13 +206,30 @@ pub fn kmeans(points: &[Vec<u32>], dim: usize, config: &KMeansConfig) -> KMeansR
         centroids.push(vec![0.0; dim]);
         sizes.push(0);
     }
-    KMeansResult {
+    Ok(KMeansResult {
         assignments,
         centroids,
         sizes,
         inertia,
         iterations,
+    })
+}
+
+/// Rejects points referencing dimensions outside `0..dim` — they would
+/// otherwise index out of bounds in the centroid update.
+pub(crate) fn validate_points(points: &[Vec<u32>], dim: usize) -> Result<(), ClusterError> {
+    for (i, p) in points.iter().enumerate() {
+        for &d in p {
+            if d as usize >= dim {
+                return Err(ClusterError::DimensionOutOfRange {
+                    point: i,
+                    dim: d,
+                    space: dim,
+                });
+            }
+        }
     }
+    Ok(())
 }
 
 /// Squared distance between sparse point and dense centroid with cached
@@ -239,12 +269,12 @@ fn seed_random(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
 fn seed_plus_plus(points: &[Vec<u32>], k: usize, rng: &mut StdRng) -> Vec<usize> {
     let n = points.len();
     let mut seeds = Vec::with_capacity(k);
-    seeds.push(rng.random_range(0..n));
+    let mut last = rng.random_range(0..n);
+    seeds.push(last);
     // Squared distance of each point to its nearest chosen seed. In one-hot
     // space the distance between two sparse points x,y is |x| + |y| − 2|x∩y|.
     let mut d2 = vec![f64::INFINITY; n];
     for _ in 1..k {
-        let last = *seeds.last().unwrap();
         for (i, p) in points.iter().enumerate() {
             let d = sparse_dist2(p, &points[last]);
             if d < d2[i] {
@@ -267,6 +297,7 @@ fn seed_plus_plus(points: &[Vec<u32>], k: usize, rng: &mut StdRng) -> Vec<usize>
             chosen
         };
         seeds.push(next);
+        last = next;
     }
     seeds
 }
@@ -314,7 +345,8 @@ mod tests {
                 k: 2,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         // All even-index points together, all odd-index points together.
         let c0 = result.assignments[0];
         let c1 = result.assignments[1];
@@ -334,8 +366,10 @@ mod tests {
             seed: 7,
             ..Default::default()
         };
-        let a = kmeans(&pts, 4, &cfg);
-        let b = kmeans(&pts, 4, &cfg);
+        let a = kmeans(&pts, 4, &cfg)
+        .unwrap();
+        let b = kmeans(&pts, 4, &cfg)
+        .unwrap();
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.inertia, b.inertia);
     }
@@ -350,7 +384,8 @@ mod tests {
                 k: 5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(result.centroids.len(), 5);
         assert_eq!(result.sizes.len(), 5);
         assert_eq!(result.sizes.iter().sum::<usize>(), 2);
@@ -359,7 +394,8 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let result = kmeans(&[], 3, &KMeansConfig::default());
+        let result = kmeans(&[], 3, &KMeansConfig::default())
+        .unwrap();
         assert!(result.assignments.is_empty());
         assert_eq!(result.inertia, 0.0);
     }
@@ -374,7 +410,8 @@ mod tests {
                 k: 2,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let a = result.assign(&[0, 2]);
         let b = result.assign(&[1, 3]);
         assert_eq!(a, result.assignments[0]);
@@ -400,7 +437,8 @@ mod tests {
                 seed: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let mut best_rand = f64::INFINITY;
         for seed in 0..5 {
             let r = kmeans(
@@ -412,7 +450,8 @@ mod tests {
                     seed,
                     ..Default::default()
                 },
-            );
+            )
+        .unwrap();
             best_rand = best_rand.min(r.inertia);
         }
         assert!(pp.inertia <= best_rand + 1e-9);
@@ -436,7 +475,8 @@ mod tests {
                 k: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(result.inertia < 1e-9);
         // Every point in the same cluster.
         assert!(result.assignments.iter().all(|&a| a == result.assignments[0]));

@@ -15,11 +15,16 @@
 //!   reseeding, and out-of-sample assignment (the paper's sampling
 //!   optimization clusters a sample and assigns the remainder).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
+pub mod fault;
 pub mod kmeans;
 pub mod minibatch;
 pub mod onehot;
 pub mod quality;
 
+pub use error::ClusterError;
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use minibatch::{mini_batch_kmeans, MiniBatchConfig};
 pub use onehot::OneHotSpace;

@@ -7,7 +7,9 @@
 //! than full Lloyd iterations but touches each point a constant number of
 //! times — useful when result sets grow beyond the paper's 40K scale.
 
-use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
+use crate::error::ClusterError;
+use crate::fault;
+use crate::kmeans::{kmeans, validate_points, KMeansConfig, KMeansResult};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -38,22 +40,32 @@ impl Default for MiniBatchConfig {
 /// Runs mini-batch k-means on sparse one-hot `points` of dimensionality
 /// `dim`. Returns the same result type as [`kmeans`] (final assignments
 /// are a full pass over all points).
+///
+/// Fails with a typed [`ClusterError`] when `config.k == 0`,
+/// `config.batch_size == 0`, or a point activates a dimension outside
+/// `0..dim`.
 pub fn mini_batch_kmeans(
     points: &[Vec<u32>],
     dim: usize,
     config: &MiniBatchConfig,
-) -> KMeansResult {
-    assert!(config.k > 0, "k must be positive");
-    assert!(config.batch_size > 0, "batch_size must be positive");
+) -> Result<KMeansResult, ClusterError> {
+    fault::check("cluster::minibatch")?;
+    if config.k == 0 {
+        return Err(ClusterError::ZeroClusters);
+    }
+    if config.batch_size == 0 {
+        return Err(ClusterError::ZeroBatchSize);
+    }
+    validate_points(points, dim)?;
     let n = points.len();
     if n == 0 {
-        return KMeansResult {
+        return Ok(KMeansResult {
             assignments: Vec::new(),
             centroids: vec![vec![0.0; dim]; config.k],
             sizes: vec![0; config.k],
             inertia: 0.0,
             iterations: 0,
-        };
+        });
     }
     if n <= config.batch_size {
         // Batches would cover everything anyway: run exact k-means.
@@ -87,7 +99,7 @@ pub fn mini_batch_kmeans(
     while seed_idx.len() < k {
         let far = (0..n)
             .max_by(|&a, &b| min_d2[a].total_cmp(&min_d2[b]))
-            .expect("non-empty");
+            .unwrap_or(0);
         seed_idx.push(far);
         for (i, p) in points.iter().enumerate() {
             let d = sparse_d2(p, &points[far]);
@@ -156,13 +168,13 @@ pub fn mini_batch_kmeans(
         centroids.push(vec![0.0; dim]);
         sizes.push(0);
     }
-    KMeansResult {
+    Ok(KMeansResult {
         assignments,
         centroids,
         sizes,
         inertia,
         iterations: config.batches,
-    }
+    })
 }
 
 fn nearest(point: &[u32], centroids: &[Vec<f64>], norms: &[f64]) -> usize {
@@ -205,7 +217,8 @@ mod tests {
                 batches: 80,
                 seed: 1,
             },
-        );
+        )
+        .unwrap();
         // Near-perfect clustering: inertia close to zero.
         assert!(
             result.inertia < 0.1 * pts.len() as f64,
@@ -229,7 +242,8 @@ mod tests {
                 k: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let mb = mini_batch_kmeans(
             &pts,
             6,
@@ -239,7 +253,8 @@ mod tests {
                 batches: 60,
                 seed: 3,
             },
-        );
+        )
+        .unwrap();
         assert!(
             mb.inertia <= full.inertia * 1.25 + 1.0,
             "mini-batch {} vs full {}",
@@ -251,7 +266,8 @@ mod tests {
     #[test]
     fn small_input_falls_back_to_exact() {
         let pts = three_groups(2); // 6 points < batch_size
-        let result = mini_batch_kmeans(&pts, 6, &MiniBatchConfig::default());
+        let result = mini_batch_kmeans(&pts, 6, &MiniBatchConfig::default())
+        .unwrap();
         assert_eq!(result.assignments.len(), 6);
         assert!(result.inertia < 1e-9);
     }
@@ -265,14 +281,17 @@ mod tests {
             batches: 40,
             seed: 9,
         };
-        let a = mini_batch_kmeans(&pts, 6, &cfg);
-        let b = mini_batch_kmeans(&pts, 6, &cfg);
+        let a = mini_batch_kmeans(&pts, 6, &cfg)
+        .unwrap();
+        let b = mini_batch_kmeans(&pts, 6, &cfg)
+        .unwrap();
         assert_eq!(a.assignments, b.assignments);
     }
 
     #[test]
     fn empty_input() {
-        let result = mini_batch_kmeans(&[], 4, &MiniBatchConfig::default());
+        let result = mini_batch_kmeans(&[], 4, &MiniBatchConfig::default())
+        .unwrap();
         assert!(result.assignments.is_empty());
     }
 }

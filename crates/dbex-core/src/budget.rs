@@ -1,0 +1,247 @@
+//! Execution budgets and graceful degradation (robustness layer).
+//!
+//! The paper's interactivity target (Section 6: CAD Views over 40K-row
+//! result sets in well under a second) is reframed here as an explicit
+//! [`ExecBudget`]: a row limit, a wall-clock deadline, and a k-means
+//! iteration cap carried through `build_cad_view`, clustering, and the
+//! diversified top-k stage. When a budget is exhausted the pipeline does
+//! not fail — it *degrades*: full k-means falls back to mini-batch, then
+//! to a sampled build, and every shortcut taken is recorded as a
+//! [`Degradation`] on the finished `CadView` so `EXPLAIN CADVIEW` and the
+//! REPL can surface exactly what was traded away.
+//!
+//! Deadlines are measured against an injectable [`ClockSource`] so tests
+//! can exhaust the budget deterministically without sleeping.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where a [`BudgetGauge`] reads time from.
+#[derive(Debug, Clone, Default)]
+pub enum ClockSource {
+    /// Real wall-clock time (`Instant::now`).
+    #[default]
+    System,
+    /// A test-controlled clock: the atomic holds "now" in milliseconds.
+    Manual(Arc<AtomicU64>),
+}
+
+/// Resource limits for one CAD View build.
+///
+/// All limits are optional; [`ExecBudget::unlimited`] (the default) never
+/// triggers degradation.
+#[derive(Debug, Clone, Default)]
+pub struct ExecBudget {
+    /// Partitions larger than this are clustered with mini-batch k-means
+    /// instead of full Lloyd iterations.
+    pub max_rows: Option<usize>,
+    /// Wall-clock deadline for the whole build. Once past it, remaining
+    /// work switches to sampled builds and greedy top-k.
+    pub time_limit: Option<Duration>,
+    /// Hard cap on k-means iterations, clamping `CadConfig::kmeans_iters`.
+    pub max_kmeans_iters: Option<usize>,
+    /// Clock the deadline is measured against.
+    pub clock: ClockSource,
+}
+
+impl ExecBudget {
+    /// No limits: the pipeline never degrades.
+    pub fn unlimited() -> ExecBudget {
+        ExecBudget::default()
+    }
+
+    /// Sets the per-partition row limit.
+    pub fn with_max_rows(mut self, rows: usize) -> Self {
+        self.max_rows = Some(rows);
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Caps k-means iterations.
+    pub fn with_kmeans_iters(mut self, iters: usize) -> Self {
+        self.max_kmeans_iters = Some(iters);
+        self
+    }
+
+    /// Measures the deadline against a manually advanced clock
+    /// (milliseconds in the atomic). Testing only.
+    pub fn with_manual_clock(mut self, clock: Arc<AtomicU64>) -> Self {
+        self.clock = ClockSource::Manual(clock);
+        self
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_rows.is_none() && self.time_limit.is_none() && self.max_kmeans_iters.is_none()
+    }
+
+    /// Starts measuring: captures "now" on the configured clock.
+    pub fn start(&self) -> BudgetGauge<'_> {
+        let manual_start = match &self.clock {
+            ClockSource::Manual(ms) => ms.load(Ordering::Relaxed),
+            ClockSource::System => 0,
+        };
+        BudgetGauge {
+            budget: self,
+            started: Instant::now(),
+            manual_start,
+        }
+    }
+}
+
+/// A running measurement of one build against its [`ExecBudget`].
+#[derive(Debug)]
+pub struct BudgetGauge<'a> {
+    budget: &'a ExecBudget,
+    started: Instant,
+    manual_start: u64,
+}
+
+impl BudgetGauge<'_> {
+    /// Time elapsed since [`ExecBudget::start`], on the configured clock.
+    pub fn elapsed(&self) -> Duration {
+        match &self.budget.clock {
+            ClockSource::System => self.started.elapsed(),
+            ClockSource::Manual(ms) => {
+                Duration::from_millis(ms.load(Ordering::Relaxed).saturating_sub(self.manual_start))
+            }
+        }
+    }
+
+    /// True once the wall-clock deadline has passed.
+    pub fn time_exhausted(&self) -> bool {
+        self.budget
+            .time_limit
+            .is_some_and(|limit| self.elapsed() >= limit)
+    }
+
+    /// True when `rows` exceeds the row limit.
+    pub fn rows_exhausted(&self, rows: usize) -> bool {
+        self.budget.max_rows.is_some_and(|max| rows > max)
+    }
+
+    /// Clamps a requested k-means iteration count to the budget cap.
+    pub fn clamp_iters(&self, requested: usize) -> usize {
+        match self.budget.max_kmeans_iters {
+            Some(max) => requested.min(max.max(1)),
+            None => requested,
+        }
+    }
+
+    /// The budget being measured.
+    pub fn budget(&self) -> &ExecBudget {
+        self.budget
+    }
+}
+
+/// What kind of shortcut the pipeline took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationKind {
+    /// Feature selection ran on a sample instead of the full result set.
+    SampledFeatureSelection,
+    /// A partition was clustered with mini-batch k-means.
+    MiniBatchClustering,
+    /// A partition was clustered on a small sample, remainder assigned to
+    /// the learned centroids.
+    SampledClustering,
+    /// Clustering failed entirely; the partition became one catch-all IUnit.
+    SingleUnitFallback,
+    /// Diversified top-k used the greedy heuristic instead of div-astar.
+    GreedyTopK,
+    /// k-means iterations were clamped below the configured count.
+    ClampedKMeansIters,
+}
+
+impl DegradationKind {
+    /// Short stable label used in `EXPLAIN CADVIEW` output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradationKind::SampledFeatureSelection => "sampled-feature-selection",
+            DegradationKind::MiniBatchClustering => "mini-batch-clustering",
+            DegradationKind::SampledClustering => "sampled-clustering",
+            DegradationKind::SingleUnitFallback => "single-unit-fallback",
+            DegradationKind::GreedyTopK => "greedy-top-k",
+            DegradationKind::ClampedKMeansIters => "clamped-kmeans-iters",
+        }
+    }
+}
+
+/// One recorded shortcut: what degraded, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The kind of shortcut.
+    pub kind: DegradationKind,
+    /// Pivot value it applied to, when partition-scoped.
+    pub pivot_value: Option<String>,
+    /// Human-readable cause ("time budget exhausted after 120ms", ...).
+    pub reason: String,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.pivot_value {
+            Some(v) => write!(f, "{} [pivot {v}]: {}", self.kind.label(), self.reason),
+            None => write!(f, "{}: {}", self.kind.label(), self.reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let budget = ExecBudget::unlimited();
+        assert!(budget.is_unlimited());
+        let gauge = budget.start();
+        assert!(!gauge.time_exhausted());
+        assert!(!gauge.rows_exhausted(usize::MAX));
+        assert_eq!(gauge.clamp_iters(77), 77);
+    }
+
+    #[test]
+    fn manual_clock_drives_deadline() {
+        let clock = Arc::new(AtomicU64::new(1_000));
+        let budget = ExecBudget::unlimited()
+            .with_time_limit(Duration::from_millis(50))
+            .with_manual_clock(clock.clone());
+        let gauge = budget.start();
+        assert!(!gauge.time_exhausted());
+        clock.store(1_049, Ordering::Relaxed);
+        assert!(!gauge.time_exhausted());
+        clock.store(1_050, Ordering::Relaxed);
+        assert!(gauge.time_exhausted());
+        assert_eq!(gauge.elapsed(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn row_and_iteration_limits() {
+        let budget = ExecBudget::unlimited().with_max_rows(100).with_kmeans_iters(5);
+        let gauge = budget.start();
+        assert!(!gauge.rows_exhausted(100));
+        assert!(gauge.rows_exhausted(101));
+        assert_eq!(gauge.clamp_iters(20), 5);
+        assert_eq!(gauge.clamp_iters(3), 3);
+    }
+
+    #[test]
+    fn degradation_renders_with_pivot() {
+        let d = Degradation {
+            kind: DegradationKind::MiniBatchClustering,
+            pivot_value: Some("Ford".into()),
+            reason: "partition has 5000 rows over the 1000-row budget".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("mini-batch-clustering"));
+        assert!(s.contains("Ford"));
+        assert!(s.contains("5000 rows"));
+    }
+}

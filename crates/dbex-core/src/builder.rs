@@ -15,16 +15,20 @@
 //! same three buckets as the paper's Figure 8 (Compare Attribute time,
 //! IUnit generation time, "others").
 
+use crate::budget::{BudgetGauge, Degradation, DegradationKind, ExecBudget};
 use crate::cad::{CadRow, CadView};
+use crate::error::CadError;
 use crate::iunit::{IUnit, LabelConfig};
 use crate::simil::iunit_similarity;
-use dbex_cluster::{kmeans, KMeansConfig, OneHotSpace};
+use dbex_cluster::{
+    kmeans, mini_batch_kmeans, KMeansConfig, KMeansResult, MiniBatchConfig, OneHotSpace,
+};
 use dbex_stats::discretize::{AttributeCodec, CodedColumn, CodedMatrix};
 use dbex_stats::feature::{select_compare_attributes_by, FeatureScorer, FeatureSelectionConfig};
 use dbex_stats::histogram::BinningStrategy;
 use dbex_table::dict::NULL_CODE;
-use dbex_table::{DataType, Error, Result, View};
-use dbex_topk::{div_astar, ConflictGraph};
+use dbex_table::{DataType, View};
+use dbex_topk::{div_astar, greedy, ConflictGraph};
 use std::time::{Duration, Instant};
 
 /// How IUnits are scored for the top-k ranking (Problem 2's preference
@@ -131,6 +135,9 @@ pub struct CadRequest {
     pub preference: Preference,
     /// Pipeline tuning.
     pub config: CadConfig,
+    /// Resource limits; exhaustion degrades the build instead of failing
+    /// it (see [`crate::budget`]).
+    pub budget: ExecBudget,
 }
 
 impl CadRequest {
@@ -145,6 +152,7 @@ impl CadRequest {
             iunits: 3,
             preference: Preference::ClusterSize,
             config: CadConfig::default(),
+            budget: ExecBudget::unlimited(),
         }
     }
 
@@ -181,6 +189,12 @@ impl CadRequest {
     /// Replaces the pipeline configuration.
     pub fn with_config(mut self, config: CadConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Sets the execution budget.
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -228,11 +242,13 @@ impl CadTimings {
 /// assert_eq!(cad.rows.len(), 2);
 /// assert!(cad.render().contains("IUnit 1"));
 /// ```
-pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView> {
+pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView, CadError> {
+    let gauge = request.budget.start();
+    let mut degradation: Vec<Degradation> = Vec::new();
     let schema = result.table().schema();
     let pivot_col = schema.index_of(&request.pivot)?;
     if request.iunits == 0 {
-        return Err(Error::Invalid("IUNITS must be at least 1".into()));
+        return Err(CadError::ZeroIUnits);
     }
     let pivot_column = result.table().column(pivot_col);
     // Categorical pivots use their dictionary codes; numeric pivots are
@@ -244,11 +260,9 @@ pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView
         request.config.bins,
         request.config.strategy,
     )
-    .ok_or_else(|| {
-        Error::Invalid(format!(
-            "pivot attribute {} has no non-NULL values to pivot on",
-            request.pivot
-        ))
+    .map_err(|e| CadError::PivotNotDiscretizable {
+        pivot: request.pivot.clone(),
+        source: e,
     })?;
 
     // Partition the result set by pivot code (positions, not row ids).
@@ -277,10 +291,10 @@ pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView
             let mut out = Vec::with_capacity(labels.len());
             for label in labels {
                 let code = pivot_codec.code_of_label(label).ok_or_else(|| {
-                    Error::Invalid(format!(
-                        "pivot value {label:?} does not occur in attribute {}",
-                        request.pivot
-                    ))
+                    CadError::UnknownPivotValue {
+                        value: label.clone(),
+                        pivot: request.pivot.clone(),
+                    }
                 })?;
                 let members = partitions
                     .iter()
@@ -312,9 +326,7 @@ pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView
     };
     let pivot_codes: Vec<u32> = selected_partitions.iter().map(|(c, _, _)| *c).collect();
     if pivot_codes.is_empty() {
-        return Err(Error::Invalid(
-            "result set has no pivot values to summarize".into(),
-        ));
+        return Err(CadError::NoPivotValues);
     }
 
     // --- Stage 1: Compare Attributes (Problem 1.1) ---
@@ -323,14 +335,31 @@ pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView
         .compare_attrs
         .iter()
         .map(|name| schema.index_of(name))
-        .collect::<Result<_>>()?;
+        .collect::<dbex_table::Result<_>>()?;
     let candidates: Vec<usize> = (0..schema.len()).filter(|&i| i != pivot_col).collect();
+    // Deadline already blown before stage 1 (e.g. a tiny budget): clamp
+    // feature selection to a small sample instead of scanning everything.
+    let mut fs_sample = request.config.fs_sample;
+    if gauge.time_exhausted() {
+        const FS_DEGRADED_CAP: usize = 1_000;
+        if fs_sample.is_none_or(|s| s > FS_DEGRADED_CAP) {
+            fs_sample = Some(FS_DEGRADED_CAP);
+            degradation.push(Degradation {
+                kind: DegradationKind::SampledFeatureSelection,
+                pivot_value: None,
+                reason: format!(
+                    "time budget exhausted after {:?}; scoring attributes on a {FS_DEGRADED_CAP}-row sample",
+                    gauge.elapsed()
+                ),
+            });
+        }
+    }
     let fs_config = FeatureSelectionConfig {
         max_attrs: request.max_compare_attrs,
         alpha: request.config.alpha,
         bins: request.config.bins,
         strategy: request.config.strategy,
-        sample: request.config.fs_sample,
+        sample: fs_sample,
         scorer: request.config.scorer,
     };
     let class_of = |row: usize| -> Option<usize> {
@@ -375,21 +404,36 @@ pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView
     // Attributes that survived encoding, in selection order.
     let live_attrs: Vec<usize> = coded.iter().map(|c| c.attr_index).collect();
     if coded.is_empty() {
-        return Err(Error::Invalid(
-            "no usable Compare Attributes after discretization".into(),
-        ));
+        return Err(CadError::NoCompareAttributes);
     }
     let space = OneHotSpace::from_columns(&coded);
     let k = request.iunits;
 
+    // Iteration-cap clamping is recorded once, not per partition.
+    let kmeans_iters = gauge.clamp_iters(request.config.kmeans_iters);
+    if kmeans_iters < request.config.kmeans_iters {
+        degradation.push(Degradation {
+            kind: DegradationKind::ClampedKMeansIters,
+            pivot_value: None,
+            reason: format!(
+                "k-means capped at {kmeans_iters} of {} configured iterations",
+                request.config.kmeans_iters
+            ),
+        });
+    }
+
     let mut candidate_sets: Vec<Vec<IUnit>> = Vec::with_capacity(selected_partitions.len());
-    for (_, _, members) in &selected_partitions {
+    for (_, label, members) in &selected_partitions {
         candidate_sets.push(generate_candidates(
             members,
             &coded,
             &space,
             k,
             &request.config,
+            kmeans_iters,
+            &gauge,
+            label,
+            &mut degradation,
         ));
     }
     let timing_iunits = t1.elapsed();
@@ -397,6 +441,9 @@ pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView
     // --- Stage 3: preference scores + diversified top-k (Problem 2) ---
     let t2 = Instant::now();
     let tau = request.config.tau_fraction * coded.len() as f64;
+    // Past the deadline, div-astar's exact search gives way to the greedy
+    // heuristic for every remaining partition (recorded once).
+    let mut greedy_topk = false;
     let mut rows = Vec::with_capacity(selected_partitions.len());
     for ((code, label, _members), mut units) in
         selected_partitions.into_iter().zip(candidate_sets)
@@ -408,15 +455,32 @@ pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView
             |a, b| iunit_similarity(&units[a], &units[b]),
             tau,
         );
-        let solution = div_astar(&scores, &graph, k);
+        if !greedy_topk && gauge.time_exhausted() {
+            greedy_topk = true;
+            degradation.push(Degradation {
+                kind: DegradationKind::GreedyTopK,
+                pivot_value: None,
+                reason: format!(
+                    "time budget exhausted after {:?}; ranking IUnits greedily",
+                    gauge.elapsed()
+                ),
+            });
+        }
+        let solution = if greedy_topk {
+            greedy(&scores, &graph, k)
+        } else {
+            div_astar(&scores, &graph, k)
+        };
         let mut chosen: Vec<usize> = solution.items;
         chosen.sort_by(|&a, &b| units[b].score.total_cmp(&units[a].score));
         let iunits: Vec<IUnit> = {
-            // Drain by index without cloning the rest.
+            // Drain by index without cloning the rest. Indices from the
+            // top-k solvers are distinct and in range; out-of-contract
+            // values are skipped rather than trusted with a panic.
             let mut taken: Vec<Option<IUnit>> = units.into_iter().map(Some).collect();
             chosen
                 .into_iter()
-                .map(|i| taken[i].take().expect("top-k indices are distinct"))
+                .filter_map(|i| taken.get_mut(i).and_then(Option::take))
                 .collect()
         };
         rows.push(CadRow {
@@ -444,16 +508,59 @@ pub fn build_cad_view(result: &View<'_>, request: &CadRequest) -> Result<CadView
             iunit_generation: timing_iunits,
             others: timing_others,
         },
+        degradation,
     })
 }
 
+/// Sample cap used by the last clustering rung under an exhausted budget.
+const DEGRADED_SAMPLE_CAP: usize = 256;
+
+/// Rungs of the degradation ladder, in order of decreasing fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClusterRung {
+    /// Full Lloyd iterations (possibly over `cluster_sample` rows).
+    Full,
+    /// Mini-batch k-means: constant work per point.
+    MiniBatch,
+    /// Full k-means over a tiny stride sample, remainder assigned.
+    Sampled,
+}
+
+impl ClusterRung {
+    fn next(self) -> Option<ClusterRung> {
+        match self {
+            ClusterRung::Full => Some(ClusterRung::MiniBatch),
+            ClusterRung::MiniBatch => Some(ClusterRung::Sampled),
+            ClusterRung::Sampled => None,
+        }
+    }
+
+    fn kind(self) -> DegradationKind {
+        match self {
+            // `Full` never appears in a degradation record; mapped for
+            // completeness only.
+            ClusterRung::Full | ClusterRung::MiniBatch => DegradationKind::MiniBatchClustering,
+            ClusterRung::Sampled => DegradationKind::SampledClustering,
+        }
+    }
+}
+
 /// Clusters one pivot partition into `l` candidate IUnits.
+///
+/// Budget exhaustion and clustering failures never propagate: the ladder
+/// walks full k-means → mini-batch → sampled build → a single catch-all
+/// IUnit, recording a [`Degradation`] for every rung it descends.
+#[allow(clippy::too_many_arguments)]
 fn generate_candidates(
     members: &[usize],
     coded: &[&CodedColumn],
     space: &OneHotSpace,
     k: usize,
     config: &CadConfig,
+    kmeans_iters: usize,
+    gauge: &BudgetGauge<'_>,
+    pivot_label: &str,
+    degradation: &mut Vec<Degradation>,
 ) -> Vec<IUnit> {
     if members.is_empty() {
         return Vec::new();
@@ -466,8 +573,86 @@ fn generate_candidates(
         ((config.candidate_factor * k as f64).ceil() as usize).max(k)
     };
 
-    // Optionally cluster a sample and assign the rest (Optimization 1).
-    let (train_members, holdout): (Vec<usize>, Vec<usize>) = match config.cluster_sample {
+    // Pick the starting rung from the budget state.
+    let mut rung = if gauge.time_exhausted() {
+        degradation.push(Degradation {
+            kind: DegradationKind::SampledClustering,
+            pivot_value: Some(pivot_label.to_owned()),
+            reason: format!(
+                "time budget exhausted after {:?}; clustering a {}-row sample",
+                gauge.elapsed(),
+                DEGRADED_SAMPLE_CAP.min(members.len())
+            ),
+        });
+        ClusterRung::Sampled
+    } else if gauge.rows_exhausted(members.len()) {
+        degradation.push(Degradation {
+            kind: DegradationKind::MiniBatchClustering,
+            pivot_value: Some(pivot_label.to_owned()),
+            reason: format!(
+                "partition has {} rows over the {}-row budget",
+                members.len(),
+                gauge.budget().max_rows.unwrap_or(0)
+            ),
+        });
+        ClusterRung::MiniBatch
+    } else {
+        ClusterRung::Full
+    };
+
+    loop {
+        match cluster_partition(members, coded, space, l, config, kmeans_iters, rung) {
+            Ok(units) => return units,
+            Err(e) => match rung.next() {
+                Some(next) => {
+                    degradation.push(Degradation {
+                        kind: next.kind(),
+                        pivot_value: Some(pivot_label.to_owned()),
+                        reason: format!("{rung:?} clustering failed ({e}); degrading"),
+                    });
+                    rung = next;
+                }
+                None => {
+                    // Every clustering rung failed: one catch-all IUnit
+                    // still gives the pivot row a well-formed summary.
+                    degradation.push(Degradation {
+                        kind: DegradationKind::SingleUnitFallback,
+                        pivot_value: Some(pivot_label.to_owned()),
+                        reason: format!("all clustering fallbacks failed ({e})"),
+                    });
+                    return vec![IUnit::from_members(
+                        members.to_vec(),
+                        coded,
+                        &config.label,
+                    )];
+                }
+            },
+        }
+    }
+}
+
+/// One attempt at clustering a partition on a specific ladder rung.
+fn cluster_partition(
+    members: &[usize],
+    coded: &[&CodedColumn],
+    space: &OneHotSpace,
+    l: usize,
+    config: &CadConfig,
+    kmeans_iters: usize,
+    rung: ClusterRung,
+) -> Result<Vec<IUnit>, dbex_cluster::ClusterError> {
+    // Cluster a sample and assign the rest (Optimization 1). The sampled
+    // rung forces a tiny cap regardless of configuration.
+    let cap = match rung {
+        ClusterRung::Sampled => Some(
+            config
+                .cluster_sample
+                .unwrap_or(DEGRADED_SAMPLE_CAP)
+                .min(DEGRADED_SAMPLE_CAP),
+        ),
+        _ => config.cluster_sample,
+    };
+    let (train_members, holdout): (Vec<usize>, Vec<usize>) = match cap {
         Some(cap) if members.len() > cap => {
             // Deterministic stride sample over the member positions.
             let step = members.len() as f64 / cap as f64;
@@ -497,16 +682,28 @@ fn generate_candidates(
     };
 
     let train_points = space.encode_positions(coded, &train_members);
-    let km = kmeans(
-        &train_points,
-        space.dim(),
-        &KMeansConfig {
-            k: l,
-            max_iters: config.kmeans_iters,
-            seed: config.seed,
-            plus_plus: config.plus_plus,
-        },
-    );
+    let km: KMeansResult = match rung {
+        ClusterRung::MiniBatch => mini_batch_kmeans(
+            &train_points,
+            space.dim(),
+            &MiniBatchConfig {
+                k: l,
+                batch_size: 256,
+                batches: kmeans_iters.max(1) * 3,
+                seed: config.seed,
+            },
+        )?,
+        _ => kmeans(
+            &train_points,
+            space.dim(),
+            &KMeansConfig {
+                k: l,
+                max_iters: kmeans_iters,
+                seed: config.seed,
+                plus_plus: config.plus_plus,
+            },
+        )?,
+    };
 
     // Bucket every member (train + holdout) into its cluster.
     let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); km.centroids.len()];
@@ -520,11 +717,11 @@ fn generate_candidates(
         }
     }
 
-    clusters
+    Ok(clusters
         .into_iter()
         .filter(|c| !c.is_empty())
         .map(|c| IUnit::from_members(c, coded, &config.label))
-        .collect()
+        .collect())
 }
 
 /// Applies the preference function to candidate scores.
@@ -532,16 +729,14 @@ fn apply_preference(
     units: &mut [IUnit],
     result: &View<'_>,
     preference: &Preference,
-) -> Result<()> {
+) -> Result<(), CadError> {
     match preference {
         Preference::ClusterSize => Ok(()), // already size-scored
         Preference::AttributeAsc(name) | Preference::AttributeDesc(name) => {
             let col_idx = result.table().schema().index_of(name)?;
             let column = result.table().column(col_idx);
             if column.data_type() == DataType::Categorical {
-                return Err(Error::Invalid(format!(
-                    "preference attribute {name} must be numeric"
-                )));
+                return Err(CadError::NonNumericPreference { attr: name.clone() });
             }
             let means: Vec<f64> = units
                 .iter()

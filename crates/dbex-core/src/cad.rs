@@ -1,5 +1,6 @@
 //! The CAD View structure, its similarity operations, and rendering.
 
+use crate::budget::Degradation;
 use crate::iunit::IUnit;
 use crate::simil::{attribute_value_distance, iunit_similarity};
 use dbex_stats::feature::FeatureScore;
@@ -38,9 +39,18 @@ pub struct CadView {
     pub feature_scores: Vec<FeatureScore>,
     /// Per-stage build timings.
     pub timings: crate::builder::CadTimings,
+    /// Shortcuts the builder took under budget pressure or after
+    /// recoverable failures (empty for a full-fidelity build). Surfaced
+    /// by `EXPLAIN CADVIEW` and the REPL.
+    pub degradation: Vec<Degradation>,
 }
 
 impl CadView {
+    /// True when the builder degraded any stage (see [`Self::degradation`]).
+    pub fn is_degraded(&self) -> bool {
+        !self.degradation.is_empty()
+    }
+
     /// The row for a pivot value label.
     pub fn row(&self, pivot_label: &str) -> Option<&CadRow> {
         self.rows.iter().find(|r| r.pivot_label == pivot_label)

@@ -1,0 +1,122 @@
+//! Typed errors for CAD View construction.
+//!
+//! Every failure mode of the builder pipeline gets its own variant; errors
+//! from the layers below (`dbex-table`, `dbex-stats`, `dbex-cluster`) are
+//! wrapped rather than flattened to strings, so `source()` chains stay
+//! intact all the way down to the root cause.
+
+use dbex_cluster::ClusterError;
+use dbex_stats::StatsError;
+use std::fmt;
+
+/// An error from [`crate::build_cad_view`] or its helpers.
+#[derive(Debug)]
+pub enum CadError {
+    /// A table-layer failure (unknown attribute, bad predicate, ...).
+    Table(dbex_table::Error),
+    /// A statistics-layer failure (histogram / discretization).
+    Stats(StatsError),
+    /// A clustering-layer failure.
+    Cluster(ClusterError),
+    /// The pivot attribute could not be discretized into pivot values.
+    PivotNotDiscretizable {
+        /// The pivot attribute name.
+        pivot: String,
+        /// The underlying statistics failure.
+        source: StatsError,
+    },
+    /// An explicit pivot value does not occur in the result set.
+    UnknownPivotValue {
+        /// The requested value.
+        value: String,
+        /// The pivot attribute name.
+        pivot: String,
+    },
+    /// `IUNITS 0` requested.
+    ZeroIUnits,
+    /// The result set has no non-null pivot values to summarize.
+    NoPivotValues,
+    /// Every candidate Compare Attribute failed discretization.
+    NoCompareAttributes,
+    /// The preference attribute is categorical, not numeric.
+    NonNumericPreference {
+        /// The offending attribute name.
+        attr: String,
+    },
+}
+
+impl fmt::Display for CadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CadError::Table(_) => write!(f, "table operation failed"),
+            CadError::Stats(_) => write!(f, "statistics computation failed"),
+            CadError::Cluster(_) => write!(f, "clustering failed"),
+            CadError::PivotNotDiscretizable { pivot, .. } => {
+                write!(f, "pivot attribute {pivot} cannot be discretized")
+            }
+            CadError::UnknownPivotValue { value, pivot } => {
+                write!(f, "pivot value {value:?} does not occur in attribute {pivot}")
+            }
+            CadError::ZeroIUnits => write!(f, "IUNITS must be at least 1"),
+            CadError::NoPivotValues => {
+                write!(f, "result set has no pivot values to summarize")
+            }
+            CadError::NoCompareAttributes => {
+                write!(f, "no usable Compare Attributes after discretization")
+            }
+            CadError::NonNumericPreference { attr } => {
+                write!(f, "preference attribute {attr} must be numeric")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CadError::Table(e) => Some(e),
+            CadError::Stats(e) => Some(e),
+            CadError::Cluster(e) => Some(e),
+            CadError::PivotNotDiscretizable { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<dbex_table::Error> for CadError {
+    fn from(e: dbex_table::Error) -> Self {
+        CadError::Table(e)
+    }
+}
+
+impl From<StatsError> for CadError {
+    fn from(e: StatsError) -> Self {
+        CadError::Stats(e)
+    }
+}
+
+impl From<ClusterError> for CadError {
+    fn from(e: ClusterError) -> Self {
+        CadError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn source_chain_reaches_stats_layer() {
+        let err = CadError::Cluster(ClusterError::Stats(StatsError::ZeroBins));
+        let cluster = err.source().expect("cluster source");
+        let stats = cluster.source().expect("stats source");
+        assert_eq!(stats.to_string(), StatsError::ZeroBins.to_string());
+    }
+
+    #[test]
+    fn leaf_variants_have_no_source() {
+        assert!(CadError::ZeroIUnits.source().is_none());
+        assert!(CadError::NoPivotValues.source().is_none());
+    }
+}

@@ -22,17 +22,26 @@
 //!   and the ASCII renderer that reproduces Table 1's layout.
 //! * [`tpfacet`] — the two-phase faceted interface integrating the CAD
 //!   View with faceted navigation (Section 5).
+//! * [`error`] / [`budget`] — typed [`CadError`]s with intact `source()`
+//!   chains, execution budgets, and the graceful-degradation records
+//!   surfaced by `EXPLAIN CADVIEW`.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod budget;
 pub mod builder;
 pub mod cad;
 pub mod diff;
+pub mod error;
 pub mod export;
 pub mod iunit;
 pub mod simil;
 pub mod tpfacet;
 
+pub use budget::{BudgetGauge, ClockSource, Degradation, DegradationKind, ExecBudget};
 pub use builder::{build_cad_view, CadConfig, CadRequest, CadTimings, Preference};
 pub use cad::{CadRow, CadView};
+pub use error::CadError;
 pub use diff::{ContextDiff, IUnitChange, RowDiff};
 pub use export::{to_csv as cad_to_csv, to_markdown as cad_to_markdown};
 pub use iunit::{IUnit, LabelConfig};

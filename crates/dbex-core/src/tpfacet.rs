@@ -113,10 +113,21 @@ impl<'a> TpFacet<'a> {
             .ok_or_else(|| Error::Invalid("no pivot attribute selected".into()))?;
         let results = self.engine.results()?;
         let request = customize(CadRequest::new(pivot));
-        let cad = build_cad_view(&results, &request)?;
-        self.cad = Some(cad);
+        // This facade keeps the storage-layer error type; the full typed
+        // chain is flattened into the message (Session exposes it intact).
+        let cad = build_cad_view(&results, &request).map_err(|e| {
+            use std::error::Error as _;
+            let mut msg = e.to_string();
+            let mut src = e.source();
+            while let Some(s) = src {
+                msg.push_str(": ");
+                msg.push_str(&s.to_string());
+                src = s.source();
+            }
+            Error::Invalid(msg)
+        })?;
         self.panel = Panel::CadView;
-        Ok(self.cad.as_ref().expect("just built"))
+        Ok(self.cad.insert(cad))
     }
 
     /// The cached CAD View, if one is built and still valid.

@@ -51,6 +51,7 @@ impl<'a> FacetedEngine<'a> {
             .into_iter()
             .filter_map(|i| {
                 AttributeCodec::build(&view, i, bins, BinningStrategy::EquiDepth)
+                    .ok()
                     .map(|codec| (i, codec))
             })
             .collect();

@@ -1,0 +1,259 @@
+//! Typed errors for the query layer.
+//!
+//! [`QueryError`] is the single error type leaving [`crate::Session`].
+//! Every variant *wraps* an inner error — a [`ParseError`], a storage
+//! failure, a [`CadError`], a [`SessionError`], or a captured panic — so
+//! `source()` is never empty: callers can always walk the chain down to
+//! the layer that actually failed.
+
+use dbex_core::CadError;
+use std::fmt;
+
+/// A syntax error from the lexer or parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Input ended where a token was required.
+    UnexpectedEnd,
+    /// The next token was not what the grammar required.
+    UnexpectedToken {
+        /// What the parser was looking for.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// A character the lexer does not recognize.
+    UnexpectedChar(char),
+    /// A single-quoted string without a closing quote.
+    UnterminatedString,
+    /// A numeric literal that does not parse.
+    BadNumber {
+        /// The offending text.
+        text: String,
+    },
+    /// The statement does not start with a known verb.
+    UnknownStatement {
+        /// The first token of the input.
+        found: String,
+    },
+    /// Extra tokens after a complete statement.
+    TrailingInput {
+        /// The first unconsumed token.
+        near: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            ParseError::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseError::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseError::UnterminatedString => write!(f, "unterminated string"),
+            ParseError::BadNumber { text } => write!(f, "bad number {text:?}"),
+            ParseError::UnknownStatement { found } => write!(
+                f,
+                "expected SELECT, CREATE CADVIEW, EXPLAIN, DESCRIBE, SHOW CADVIEWS, DROP \
+                 CADVIEW, HIGHLIGHT or REORDER, found {found}"
+            ),
+            ParseError::TrailingInput { near } => {
+                write!(f, "unexpected trailing input near {near}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A statement that parsed but cannot be executed against this session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The referenced table is not registered.
+    UnknownTable {
+        /// The table name.
+        name: String,
+    },
+    /// The referenced CAD View does not exist.
+    UnknownCadView {
+        /// The view name.
+        name: String,
+    },
+    /// `SIMILARITY(value, 0)` — IUnit ids are 1-based.
+    ZeroIUnitId,
+    /// `CADVIEW ORDER BY` accepts a single key (the IUnit preference
+    /// function is one-dimensional).
+    MultipleOrderKeys,
+    /// A projected column is missing from `GROUP BY`.
+    ColumnNotGrouped {
+        /// The offending column.
+        column: String,
+    },
+    /// `GROUP BY` without aggregate functions in the select list.
+    GroupByWithoutAggregates,
+    /// `REORDER` referenced a pivot value absent from the view.
+    PivotValueNotInView {
+        /// The requested pivot value.
+        value: String,
+        /// The CAD View name.
+        view: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownTable { name } => write!(f, "unknown table {name}"),
+            SessionError::UnknownCadView { name } => write!(f, "unknown CAD View {name}"),
+            SessionError::ZeroIUnitId => write!(f, "IUnit ids are 1-based"),
+            SessionError::MultipleOrderKeys => write!(
+                f,
+                "CADVIEW ORDER BY accepts a single key (the IUnit preference function is \
+                 one-dimensional)"
+            ),
+            SessionError::ColumnNotGrouped { column } => {
+                write!(f, "column {column} must appear in GROUP BY")
+            }
+            SessionError::GroupByWithoutAggregates => {
+                write!(f, "GROUP BY requires aggregate functions in the select list")
+            }
+            SessionError::PivotValueNotInView { value, view } => {
+                write!(f, "pivot value {value} not in CAD View {view}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A panic caught at the [`crate::Session::execute`] boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    /// The panic payload, if it was a string (the common case).
+    pub message: String,
+}
+
+impl CaughtPanic {
+    /// Extracts the message from a `catch_unwind` payload.
+    pub fn from_payload(payload: &(dyn std::any::Any + Send)) -> CaughtPanic {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        CaughtPanic { message }
+    }
+}
+
+impl fmt::Display for CaughtPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "panic: {}", self.message)
+    }
+}
+
+impl std::error::Error for CaughtPanic {}
+
+/// An error from executing a statement. Always wraps an inner error, so
+/// `source()` is never `None`.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The statement failed to lex or parse.
+    Parse(ParseError),
+    /// The storage layer failed (filter, sort, group-by, projection, ...).
+    Table(dbex_table::Error),
+    /// CAD View construction failed.
+    Cad(CadError),
+    /// The statement is well-formed but invalid for this session.
+    Session(SessionError),
+    /// The statement panicked; the session recovered (internal bug — the
+    /// chain bottoms out at the captured panic message).
+    Panicked(CaughtPanic),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The inner message is repeated here so a one-line print (the
+        // REPL, logs) is self-contained; source() still exposes the
+        // structured chain.
+        match self {
+            QueryError::Parse(e) => write!(f, "syntax error: {e}"),
+            QueryError::Table(e) => write!(f, "query failed: {e}"),
+            QueryError::Cad(e) => write!(f, "CAD View construction failed: {e}"),
+            QueryError::Session(e) => write!(f, "invalid statement: {e}"),
+            QueryError::Panicked(e) => {
+                write!(f, "internal error ({e}); session recovered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Parse(e) => Some(e),
+            QueryError::Table(e) => Some(e),
+            QueryError::Cad(e) => Some(e),
+            QueryError::Session(e) => Some(e),
+            QueryError::Panicked(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<dbex_table::Error> for QueryError {
+    fn from(e: dbex_table::Error) -> Self {
+        QueryError::Table(e)
+    }
+}
+
+impl From<CadError> for QueryError {
+    fn from(e: CadError) -> Self {
+        QueryError::Cad(e)
+    }
+}
+
+impl From<SessionError> for QueryError {
+    fn from(e: SessionError) -> Self {
+        QueryError::Session(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn every_variant_has_a_source() {
+        let errors: Vec<QueryError> = vec![
+            ParseError::UnexpectedEnd.into(),
+            dbex_table::Error::UnknownAttribute("x".into()).into(),
+            CadError::ZeroIUnits.into(),
+            SessionError::ZeroIUnitId.into(),
+            QueryError::Panicked(CaughtPanic {
+                message: "boom".into(),
+            }),
+        ];
+        for e in &errors {
+            assert!(e.source().is_some(), "no source: {e:?}");
+        }
+    }
+
+    #[test]
+    fn panic_payload_extraction() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("static str panic");
+        assert_eq!(CaughtPanic::from_payload(&*p).message, "static str panic");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("owned panic"));
+        assert_eq!(CaughtPanic::from_payload(&*p).message, "owned panic");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(
+            CaughtPanic::from_payload(&*p).message,
+            "non-string panic payload"
+        );
+    }
+}

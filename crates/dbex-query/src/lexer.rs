@@ -1,6 +1,6 @@
 //! Tokenizer for the query language.
 
-use dbex_table::{Error, Result};
+use crate::error::ParseError;
 
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +33,7 @@ impl Token {
 }
 
 /// Tokenizes `input` into a vector of tokens.
-pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = input.chars().collect();
     let mut i = 0;
@@ -60,7 +60,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     tokens.push(Token::Sym("!="));
                     i += 2;
                 } else {
-                    return Err(Error::Invalid("unexpected '!'".into()));
+                    return Err(ParseError::UnexpectedChar('!'));
                 }
             }
             '<' => {
@@ -101,7 +101,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             s.push(ch);
                             i += 1;
                         }
-                        None => return Err(Error::Invalid("unterminated string".into())),
+                        None => return Err(ParseError::UnterminatedString),
                     }
                 }
                 tokens.push(Token::Str(s));
@@ -133,12 +133,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 if text.contains('.') {
                     let v: f64 = text
                         .parse()
-                        .map_err(|e| Error::Invalid(format!("bad number {text:?}: {e}")))?;
+                        .map_err(|_| ParseError::BadNumber { text: text.clone() })?;
                     tokens.push(Token::Float(v * multiplier));
                 } else {
                     let v: i64 = text
                         .parse()
-                        .map_err(|e| Error::Invalid(format!("bad number {text:?}: {e}")))?;
+                        .map_err(|_| ParseError::BadNumber { text: text.clone() })?;
                     let scaled = v as f64 * multiplier;
                     tokens.push(Token::Int(scaled as i64));
                 }
@@ -152,7 +152,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 tokens.push(Token::Word(chars[start..i].iter().collect()));
             }
-            other => return Err(Error::Invalid(format!("unexpected character {other:?}"))),
+            other => return Err(ParseError::UnexpectedChar(other)),
         }
     }
     Ok(tokens)

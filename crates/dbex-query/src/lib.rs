@@ -29,11 +29,15 @@
 //! and stores named CAD Views for the follow-up `HIGHLIGHT` / `REORDER`
 //! statements.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
+pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod session;
 
 pub use ast::{CadViewStmt, HighlightStmt, ReorderStmt, SelectStmt, Statement};
+pub use error::{CaughtPanic, ParseError, QueryError, SessionError};
 pub use parser::parse;
 pub use session::{QueryOutput, Session};

@@ -1,9 +1,21 @@
 //! Recursive-descent parser for the query language.
 
 use crate::ast::*;
+use crate::error::ParseError;
 use crate::lexer::{tokenize, Token};
 use dbex_table::predicate::CmpOp;
-use dbex_table::{Aggregate, Error, Predicate, Result, Value};
+use dbex_table::{Aggregate, Predicate, Value};
+
+/// Parser-local result alias.
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Renders the token at the cursor for error messages.
+fn describe(tok: Option<&Token>) -> String {
+    match tok {
+        Some(t) => format!("{t:?}"),
+        None => "end of input".to_owned(),
+    }
+}
 
 /// Parses one statement from `input`.
 ///
@@ -20,10 +32,9 @@ pub fn parse(input: &str) -> Result<Statement> {
     let stmt = p.statement()?;
     p.eat_sym(";"); // optional trailing semicolon
     if !p.at_end() {
-        return Err(Error::Invalid(format!(
-            "unexpected trailing input near {:?}",
-            p.peek()
-        )));
+        return Err(ParseError::TrailingInput {
+            near: describe(p.peek()),
+        });
     }
     Ok(stmt)
 }
@@ -47,7 +58,7 @@ impl Parser {
             .tokens
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| Error::Invalid("unexpected end of input".into()))?;
+            .ok_or(ParseError::UnexpectedEnd)?;
         self.pos += 1;
         Ok(t)
     }
@@ -69,10 +80,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Invalid(format!(
-                "expected {kw}, found {:?}",
-                self.peek()
-            )))
+            Err(ParseError::UnexpectedToken {
+                expected: kw.to_owned(),
+                found: describe(self.peek()),
+            })
         }
     }
 
@@ -89,10 +100,10 @@ impl Parser {
         if self.eat_sym(sym) {
             Ok(())
         } else {
-            Err(Error::Invalid(format!(
-                "expected {sym:?}, found {:?}",
-                self.peek()
-            )))
+            Err(ParseError::UnexpectedToken {
+                expected: format!("{sym:?}"),
+                found: describe(self.peek()),
+            })
         }
     }
 
@@ -100,14 +111,20 @@ impl Parser {
         match self.next()? {
             Token::Word(w) => Ok(w),
             Token::Str(s) => Ok(s),
-            other => Err(Error::Invalid(format!("expected identifier, found {other:?}"))),
+            other => Err(ParseError::UnexpectedToken {
+                expected: "identifier".to_owned(),
+                found: format!("{other:?}"),
+            }),
         }
     }
 
     fn integer(&mut self) -> Result<i64> {
         match self.next()? {
             Token::Int(v) => Ok(v),
-            other => Err(Error::Invalid(format!("expected integer, found {other:?}"))),
+            other => Err(ParseError::UnexpectedToken {
+                expected: "integer".to_owned(),
+                found: format!("{other:?}"),
+            }),
         }
     }
 
@@ -115,7 +132,10 @@ impl Parser {
         match self.next()? {
             Token::Int(v) => Ok(v as f64),
             Token::Float(v) => Ok(v),
-            other => Err(Error::Invalid(format!("expected number, found {other:?}"))),
+            other => Err(ParseError::UnexpectedToken {
+                expected: "number".to_owned(),
+                found: format!("{other:?}"),
+            }),
         }
     }
 
@@ -143,11 +163,9 @@ impl Parser {
         } else if self.peek_kw("REORDER") {
             Ok(Statement::Reorder(self.reorder()?))
         } else {
-            Err(Error::Invalid(format!(
-                "expected SELECT, CREATE CADVIEW, EXPLAIN, DESCRIBE, SHOW CADVIEWS, DROP \
-                 CADVIEW, HIGHLIGHT or REORDER, found {:?}",
-                self.peek()
-            )))
+            Err(ParseError::UnknownStatement {
+                found: describe(self.peek()),
+            })
         }
     }
 
@@ -373,7 +391,7 @@ impl Parser {
             terms.push(self.and_expr()?);
         }
         Ok(if terms.len() == 1 {
-            terms.pop().expect("non-empty")
+            terms.remove(0)
         } else {
             Predicate::Or(terms)
         })
@@ -385,7 +403,7 @@ impl Parser {
             terms.push(self.unary()?);
         }
         Ok(if terms.len() == 1 {
-            terms.pop().expect("non-empty")
+            terms.remove(0)
         } else {
             Predicate::And(terms)
         })
@@ -440,9 +458,10 @@ impl Parser {
             Token::Sym(">") => CmpOp::Gt,
             Token::Sym(">=") => CmpOp::Ge,
             other => {
-                return Err(Error::Invalid(format!(
-                    "expected comparison operator, found {other:?}"
-                )))
+                return Err(ParseError::UnexpectedToken {
+                    expected: "comparison operator".to_owned(),
+                    found: format!("{other:?}"),
+                })
             }
         };
         let value = self.literal()?;
@@ -460,7 +479,10 @@ impl Parser {
             Token::Str(s) => Ok(Value::Str(s)),
             Token::Word(w) if w.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
             Token::Word(w) => Ok(Value::Str(w)), // bare word literal
-            other => Err(Error::Invalid(format!("expected literal, found {other:?}"))),
+            other => Err(ParseError::UnexpectedToken {
+                expected: "literal".to_owned(),
+                found: format!("{other:?}"),
+            }),
         }
     }
 }

@@ -2,10 +2,15 @@
 //! statements.
 
 use crate::ast::*;
+use crate::error::{CaughtPanic, QueryError, SessionError};
 use crate::parser::parse;
-use dbex_core::{build_cad_view, CadRequest, CadView, Preference};
-use dbex_table::{group_by, sort_view, Error, Result, SortKey, Table, Value};
+use dbex_core::{build_cad_view, CadRequest, CadView, ExecBudget, Preference};
+use dbex_table::{group_by, sort_view, SortKey, Table, Value};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Session-local result alias.
+type Result<T> = std::result::Result<T, QueryError>;
 
 /// The result of executing one statement.
 #[derive(Debug)]
@@ -23,6 +28,9 @@ pub enum QueryOutput {
         name: String,
         /// Rendered ASCII table (Table-1 style).
         rendered: String,
+        /// Rendered [`dbex_core::Degradation`] records, one per shortcut
+        /// the builder took under budget pressure (empty = full fidelity).
+        degradation: Vec<String>,
     },
     /// `HIGHLIGHT SIMILAR IUNITS` hits: `(pivot value, 1-based IUnit id,
     /// similarity)`.
@@ -39,6 +47,7 @@ pub enum QueryOutput {
 pub struct Session {
     tables: HashMap<String, Table>,
     cad_views: HashMap<String, CadView>,
+    budget: ExecBudget,
 }
 
 impl Session {
@@ -52,18 +61,35 @@ impl Session {
         self.tables.insert(name.into(), table);
     }
 
+    /// Sets the execution budget applied to every CAD View build. The
+    /// default is [`ExecBudget::unlimited`].
+    pub fn set_budget(&mut self, budget: ExecBudget) {
+        self.budget = budget;
+    }
+
+    /// The session's execution budget.
+    pub fn budget(&self) -> &ExecBudget {
+        &self.budget
+    }
+
     /// A registered table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| Error::Invalid(format!("unknown table {name}")))
+        self.tables.get(name).ok_or_else(|| {
+            SessionError::UnknownTable {
+                name: name.to_owned(),
+            }
+            .into()
+        })
     }
 
     /// A stored CAD View.
     pub fn cad_view(&self, name: &str) -> Result<&CadView> {
-        self.cad_views
-            .get(name)
-            .ok_or_else(|| Error::Invalid(format!("unknown CAD View {name}")))
+        self.cad_views.get(name).ok_or_else(|| {
+            SessionError::UnknownCadView {
+                name: name.to_owned(),
+            }
+            .into()
+        })
     }
 
     /// Parses and executes one statement.
@@ -87,7 +113,31 @@ impl Session {
     }
 
     /// Executes an already-parsed statement.
+    ///
+    /// This is a hard panic boundary: a panic anywhere below (a bug, not a
+    /// user error) is caught, converted into [`QueryError::Panicked`], and
+    /// any CAD View the statement may have left half-mutated is dropped,
+    /// so the shell or a server loop survives every input.
     pub fn execute_statement(&mut self, stmt: Statement) -> Result<QueryOutput> {
+        // CREATE CADVIEW inserts atomically at the end, but REORDER
+        // mutates a stored view in place — if it panics midway the view
+        // is poisoned and must not be served again.
+        let at_risk: Option<String> = match &stmt {
+            Statement::Reorder(r) => Some(r.view.clone()),
+            _ => None,
+        };
+        match catch_unwind(AssertUnwindSafe(|| self.dispatch(stmt))) {
+            Ok(result) => result,
+            Err(payload) => {
+                if let Some(name) = at_risk {
+                    self.cad_views.remove(&name);
+                }
+                Err(QueryError::Panicked(CaughtPanic::from_payload(&*payload)))
+            }
+        }
+    }
+
+    fn dispatch(&mut self, stmt: Statement) -> Result<QueryOutput> {
         match stmt {
             Statement::Select(s) => self.run_select(s),
             Statement::CreateCadView(c) => self.run_create_cadview(c),
@@ -116,7 +166,7 @@ impl Session {
             }
             Statement::DropCadView(name) => {
                 if self.cad_views.remove(&name).is_none() {
-                    return Err(Error::Invalid(format!("unknown CAD View {name}")));
+                    return Err(SessionError::UnknownCadView { name }.into());
                 }
                 Ok(QueryOutput::Text(format!("dropped CAD View {name}\n")))
             }
@@ -132,18 +182,14 @@ impl Session {
         if !s.aggregates.is_empty() {
             for col in &s.columns {
                 if !s.group_by.contains(col) {
-                    return Err(Error::Invalid(format!(
-                        "column {col} must appear in GROUP BY"
-                    )));
+                    return Err(SessionError::ColumnNotGrouped { column: col.clone() }.into());
                 }
             }
             let derived = group_by(&view, &s.group_by, &s.aggregates)?;
             return Self::emit_rows(&derived, &s.order_by, s.limit);
         }
         if !s.group_by.is_empty() {
-            return Err(Error::Invalid(
-                "GROUP BY requires aggregate functions in the select list".into(),
-            ));
+            return Err(SessionError::GroupByWithoutAggregates.into());
         }
 
         let schema = table.schema();
@@ -153,7 +199,7 @@ impl Session {
             s.columns
                 .iter()
                 .map(|c| schema.index_of(c))
-                .collect::<Result<_>>()?
+                .collect::<dbex_table::Result<_>>()?
         };
         let columns: Vec<String> = col_indices
             .iter()
@@ -248,7 +294,7 @@ impl Session {
     fn run_explain_cadview(&self, c: CadViewStmt) -> Result<QueryOutput> {
         let table = self.table(&c.table)?;
         let result = table.filter(&c.predicate)?;
-        let request = Self::cad_request(&c)?;
+        let request = self.cad_request(&c)?;
         let cad = build_cad_view(&result, &request)?;
         let mut out = format!(
             "CADVIEW {} over {} rows of {}\n  pivot: {} ({} values shown)\n",
@@ -272,12 +318,23 @@ impl Session {
             "  timings: compare-attrs {:.1?} | iunit-generation {:.1?} | others {:.1?}\n",
             cad.timings.compare_attrs, cad.timings.iunit_generation, cad.timings.others
         ));
+        if cad.is_degraded() {
+            out.push_str("  degradation:\n");
+            for d in &cad.degradation {
+                out.push_str(&format!("    {d}\n"));
+            }
+        } else {
+            out.push_str("  degradation: none\n");
+        }
         Ok(QueryOutput::Text(out))
     }
 
-    /// Translates a parsed CADVIEW statement into a builder request.
-    fn cad_request(c: &CadViewStmt) -> Result<CadRequest> {
-        let mut request = CadRequest::new(&c.pivot).with_compare(c.compare_attrs.clone());
+    /// Translates a parsed CADVIEW statement into a builder request,
+    /// applying the session's execution budget.
+    fn cad_request(&self, c: &CadViewStmt) -> Result<CadRequest> {
+        let mut request = CadRequest::new(&c.pivot)
+            .with_compare(c.compare_attrs.clone())
+            .with_budget(self.budget.clone());
         if let Some(m) = c.limit_columns {
             request = request.with_max_compare_attrs(m);
         }
@@ -285,10 +342,7 @@ impl Session {
             request = request.with_iunits(k);
         }
         if c.order_by.len() > 1 {
-            return Err(Error::Invalid(
-                "CADVIEW ORDER BY accepts a single key (the IUnit preference                  function is one-dimensional)"
-                    .into(),
-            ));
+            return Err(SessionError::MultipleOrderKeys.into());
         }
         if let Some((attr, order)) = c.order_by.first() {
             request = request.with_preference(match order {
@@ -302,20 +356,22 @@ impl Session {
     fn run_create_cadview(&mut self, c: CadViewStmt) -> Result<QueryOutput> {
         let table = self.table(&c.table)?;
         let result = table.filter(&c.predicate)?;
-        let request = Self::cad_request(&c)?;
+        let request = self.cad_request(&c)?;
         let cad = build_cad_view(&result, &request)?;
         let rendered = cad.render();
+        let degradation = cad.degradation.iter().map(|d| d.to_string()).collect();
         self.cad_views.insert(c.name.clone(), cad);
         Ok(QueryOutput::Cad {
             name: c.name,
             rendered,
+            degradation,
         })
     }
 
     fn run_highlight(&self, h: HighlightStmt) -> Result<QueryOutput> {
         let cad = self.cad_view(&h.view)?;
         if h.iunit_id == 0 {
-            return Err(Error::Invalid("IUnit ids are 1-based".into()));
+            return Err(SessionError::ZeroIUnitId.into());
         }
         let hits = cad.highlight_similar(&h.pivot_value, h.iunit_id - 1, Some(h.threshold));
         Ok(QueryOutput::Highlights(
@@ -324,16 +380,18 @@ impl Session {
     }
 
     fn run_reorder(&mut self, r: ReorderStmt) -> Result<QueryOutput> {
-        let cad = self
-            .cad_views
-            .get_mut(&r.view)
-            .ok_or_else(|| Error::Invalid(format!("unknown CAD View {}", r.view)))?;
+        let cad = self.cad_views.get_mut(&r.view).ok_or_else(|| {
+            QueryError::from(SessionError::UnknownCadView {
+                name: r.view.clone(),
+            })
+        })?;
         let order = cad.reorder_rows(&r.pivot_value);
         if order.is_empty() {
-            return Err(Error::Invalid(format!(
-                "pivot value {} not in CAD View {}",
-                r.pivot_value, r.view
-            )));
+            return Err(SessionError::PivotValueNotInView {
+                value: r.pivot_value,
+                view: r.view,
+            }
+            .into());
         }
         cad.apply_row_order(&order);
         Ok(QueryOutput::Reordered(order))
@@ -418,7 +476,7 @@ mod tests {
                 "CREATE CADVIEW v AS SET pivot = Make FROM cars LIMIT COLUMNS 2 IUNITS 2",
             )
             .unwrap();
-        let QueryOutput::Cad { name, rendered } = out else {
+        let QueryOutput::Cad { name, rendered, .. } = out else {
             panic!()
         };
         assert_eq!(name, "v");

@@ -6,6 +6,8 @@
 //! discretized (categorical passthrough or numeric binning) and
 //! [`CodedMatrix`] materializes the codes for a result set.
 
+use crate::error::StatsError;
+use crate::fault;
 use crate::histogram::{BinningStrategy, Histogram};
 use dbex_table::dict::NULL_CODE;
 use dbex_table::{Column, DataType, View};
@@ -31,15 +33,24 @@ pub enum AttributeCodec {
 impl AttributeCodec {
     /// Builds a codec for column `col` over the rows of `view`.
     ///
-    /// Numeric columns are binned with `bins`/`strategy`; returns `None` if
-    /// the column has no non-NULL values to bin.
-    pub fn build(view: &View<'_>, col: usize, bins: usize, strategy: BinningStrategy) -> Option<Self> {
+    /// Numeric columns are binned with `bins`/`strategy`; fails with a typed
+    /// [`StatsError`] if the column has no non-NULL values to bin or a
+    /// categorical column is missing its dictionary.
+    pub fn build(
+        view: &View<'_>,
+        col: usize,
+        bins: usize,
+        strategy: BinningStrategy,
+    ) -> Result<Self, StatsError> {
+        fault::check("codec::build")?;
         let column = view.table().column(col);
         match column.data_type() {
             DataType::Categorical => {
-                let dict = column.dictionary().expect("categorical column has dict");
+                let dict = column
+                    .dictionary()
+                    .ok_or(StatsError::MissingDictionary { attr: col })?;
                 let labels = dict.iter().map(|(_, s)| s.to_owned()).collect();
-                Some(AttributeCodec::Categorical { labels })
+                Ok(AttributeCodec::Categorical { labels })
             }
             DataType::Int | DataType::Float => {
                 let values: Vec<f64> = view
@@ -47,9 +58,12 @@ impl AttributeCodec {
                     .iter()
                     .filter_map(|&r| column.get_f64(r as usize))
                     .collect();
+                if values.is_empty() {
+                    return Err(StatsError::NoUsableValues { attr: col });
+                }
                 let histogram = Histogram::build(&values, bins, strategy)?;
                 let labels = histogram.labels();
-                Some(AttributeCodec::Binned { histogram, labels })
+                Ok(AttributeCodec::Binned { histogram, labels })
             }
         }
     }
@@ -133,7 +147,7 @@ impl CodedMatrix {
     /// Encodes the given attributes of `view`.
     ///
     /// Attributes whose codec cannot be built (all-NULL numeric columns) are
-    /// silently skipped — the CAD View simply cannot use them.
+    /// skipped — the CAD View simply cannot use them.
     pub fn encode(
         view: &View<'_>,
         attr_indices: &[usize],
@@ -142,7 +156,7 @@ impl CodedMatrix {
     ) -> CodedMatrix {
         let mut columns = Vec::with_capacity(attr_indices.len());
         for &col in attr_indices {
-            let Some(codec) = AttributeCodec::build(view, col, bins, strategy) else {
+            let Ok(codec) = AttributeCodec::build(view, col, bins, strategy) else {
                 continue;
             };
             let column = view.table().column(col);

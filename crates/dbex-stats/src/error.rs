@@ -1,0 +1,64 @@
+//! Typed errors for the statistics layer.
+//!
+//! `dbex-stats` sits at the bottom of the CAD pipeline's error hierarchy:
+//! [`StatsError`] values have no `source()` of their own, but are wrapped by
+//! `dbex_cluster::ClusterError` / `dbex_core::CadError` so that failures
+//! surfacing at the session layer carry a full chain down to the
+//! statistical root cause.
+
+use std::fmt;
+
+/// An error from histogram construction or attribute discretization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// An input slice was empty where at least one value is required.
+    EmptyInput {
+        /// What was empty, e.g. `"histogram values"`.
+        what: &'static str,
+    },
+    /// Every input value was NaN or infinite, leaving nothing to bin.
+    NoFiniteValues {
+        /// What contained only non-finite values.
+        what: &'static str,
+    },
+    /// A histogram with zero bins was requested.
+    ZeroBins,
+    /// A categorical column is missing its dictionary (corrupt table).
+    MissingDictionary {
+        /// Schema index of the offending column.
+        attr: usize,
+    },
+    /// A column has no non-NULL values to build a codec from.
+    NoUsableValues {
+        /// Schema index of the offending column.
+        attr: usize,
+    },
+    /// A deliberately injected fault (testing only; see [`crate::fault`]).
+    FaultInjected {
+        /// The site that was armed.
+        site: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput { what } => write!(f, "{what} is empty"),
+            StatsError::NoFiniteValues { what } => {
+                write!(f, "{what} contains no finite values (all NaN/inf)")
+            }
+            StatsError::ZeroBins => write!(f, "histogram requires at least one bin"),
+            StatsError::MissingDictionary { attr } => {
+                write!(f, "categorical column {attr} has no dictionary")
+            }
+            StatsError::NoUsableValues { attr } => {
+                write!(f, "column {attr} has no non-NULL values to discretize")
+            }
+            StatsError::FaultInjected { site } => {
+                write!(f, "injected fault at {site}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

@@ -150,7 +150,7 @@ pub fn select_compare_attributes_by(
         if attr == pivot_col || forced.contains(&attr) {
             continue;
         }
-        let Some(codec) = AttributeCodec::build(&scoring_view, attr, config.bins, config.strategy)
+        let Ok(codec) = AttributeCodec::build(&scoring_view, attr, config.bins, config.strategy)
         else {
             continue;
         };

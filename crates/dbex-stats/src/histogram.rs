@@ -16,6 +16,9 @@
 // ranges; iterator adapters would obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+use crate::error::StatsError;
+use crate::fault;
+
 /// Strategy used to place bin boundaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinningStrategy {
@@ -45,8 +48,8 @@ impl Histogram {
     ///
     /// Returns a histogram with fewer bins when the data has fewer distinct
     /// values than requested. `values` may be in any order; NULLs must be
-    /// filtered by the caller. Returns `None` when `values` is empty or
-    /// `bins == 0`.
+    /// filtered by the caller. Fails with a typed [`StatsError`] when
+    /// `values` is empty, contains no finite value, or `bins == 0`.
     ///
     /// ```
     /// use dbex_stats::histogram::{Histogram, BinningStrategy};
@@ -56,13 +59,25 @@ impl Histogram {
     /// assert_eq!(h.num_bins(), 2);
     /// assert_ne!(h.bin_of(15_000.0), h.bin_of(42_000.0));
     /// ```
-    pub fn build(values: &[f64], bins: usize, strategy: BinningStrategy) -> Option<Histogram> {
-        if values.is_empty() || bins == 0 {
-            return None;
+    pub fn build(
+        values: &[f64],
+        bins: usize,
+        strategy: BinningStrategy,
+    ) -> Result<Histogram, StatsError> {
+        fault::check("histogram::build")?;
+        if values.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "histogram values",
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::ZeroBins);
         }
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
         if sorted.is_empty() {
-            return None;
+            return Err(StatsError::NoFiniteValues {
+                what: "histogram values",
+            });
         }
         sorted.sort_by(|a, b| a.total_cmp(b));
         let edges = match strategy {
@@ -71,7 +86,7 @@ impl Histogram {
             BinningStrategy::VOptimal => v_optimal_edges(&sorted, bins),
             BinningStrategy::MaxDiff => max_diff_edges(&sorted, bins),
         };
-        Some(Histogram { edges })
+        Ok(Histogram { edges })
     }
 
     /// The bin edges (length = number of bins + 1).
@@ -87,12 +102,15 @@ impl Histogram {
     /// Index of the bin containing `v`.
     ///
     /// Values below the first edge clamp to bin 0; values above the last
-    /// edge clamp to the last bin. This makes the codec total, so rows that
-    /// fall outside the range the histogram was built on (e.g. when built on
-    /// a sample) still discretize.
+    /// edge clamp to the last bin, and NaN maps to bin 0. This makes the
+    /// codec total, so rows that fall outside the range the histogram was
+    /// built on (a sample, or non-finite values the build filtered out)
+    /// still discretize.
     pub fn bin_of(&self, v: f64) -> usize {
         let last = self.num_bins() - 1;
-        if v <= self.edges[0] {
+        // NaN compares false against every edge; without this check it
+        // would reach partition_point, get index 0, and underflow below.
+        if v.is_nan() || v <= self.edges[0] {
             return 0;
         }
         if v >= self.edges[self.edges.len() - 1] {
@@ -100,7 +118,7 @@ impl Histogram {
         }
         // partition_point: first edge strictly greater than v.
         let idx = self.edges.partition_point(|&e| e <= v);
-        (idx - 1).min(last)
+        idx.saturating_sub(1).min(last)
     }
 
     /// Human-readable label for bin `i`, e.g. `"15K-20K"` or `"2011-2012"`.
@@ -142,7 +160,9 @@ fn equi_width_edges(sorted: &[f64], bins: usize) -> Vec<f64> {
     let width = (max - min) / bins as f64;
     let mut edges: Vec<f64> = (0..=bins).map(|i| min + width * i as f64).collect();
     // Guard against floating error on the final edge.
-    *edges.last_mut().unwrap() = max;
+    if let Some(last) = edges.last_mut() {
+        *last = max;
+    }
     dedup_edges(edges)
 }
 
@@ -172,11 +192,11 @@ fn v_optimal_edges(sorted: &[f64], bins: usize) -> Vec<f64> {
     let mut xs: Vec<f64> = Vec::new();
     let mut fs: Vec<f64> = Vec::new();
     for &v in sorted {
-        if let Some(&last) = xs.last() {
-            if last == v {
-                *fs.last_mut().unwrap() += 1.0;
-                continue;
+        if xs.last() == Some(&v) {
+            if let Some(f) = fs.last_mut() {
+                *f += 1.0;
             }
+            continue;
         }
         xs.push(v);
         fs.push(1.0);
@@ -415,10 +435,63 @@ mod tests {
     }
 
     #[test]
-    fn empty_or_zero_bins_is_none() {
-        assert!(Histogram::build(&[], 3, BinningStrategy::EquiWidth).is_none());
-        assert!(Histogram::build(&[1.0], 0, BinningStrategy::EquiWidth).is_none());
-        assert!(Histogram::build(&[f64::NAN], 3, BinningStrategy::EquiWidth).is_none());
+    fn degenerate_inputs_are_typed_errors() {
+        assert_eq!(
+            Histogram::build(&[], 3, BinningStrategy::EquiWidth).unwrap_err(),
+            StatsError::EmptyInput {
+                what: "histogram values"
+            }
+        );
+        assert_eq!(
+            Histogram::build(&[1.0], 0, BinningStrategy::EquiWidth).unwrap_err(),
+            StatsError::ZeroBins
+        );
+        assert_eq!(
+            Histogram::build(
+                &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY],
+                3,
+                BinningStrategy::EquiWidth
+            )
+            .unwrap_err(),
+            StatsError::NoFiniteValues {
+                what: "histogram values"
+            }
+        );
+    }
+
+    #[test]
+    fn nan_mixed_with_finite_values_is_filtered() {
+        let h = Histogram::build(
+            &[1.0, f64::NAN, 2.0, f64::INFINITY, 3.0],
+            2,
+            BinningStrategy::EquiDepth,
+        )
+        .unwrap();
+        assert!(h.num_bins() >= 1);
+        assert!(h.edges().iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn bin_of_is_total_over_non_finite_queries() {
+        let h = Histogram::build(&[1.0, 2.0, 3.0, 4.0], 2, BinningStrategy::EquiDepth).unwrap();
+        // NaN and the infinities clamp instead of panicking: the codec must
+        // stay total even when the column being encoded holds values the
+        // histogram build filtered out.
+        assert_eq!(h.bin_of(f64::NAN), 0);
+        assert_eq!(h.bin_of(f64::NEG_INFINITY), 0);
+        assert_eq!(h.bin_of(f64::INFINITY), h.num_bins() - 1);
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_error() {
+        let _guard = crate::fault::scoped("histogram::build");
+        let err = Histogram::build(&[1.0, 2.0], 2, BinningStrategy::EquiWidth).unwrap_err();
+        assert_eq!(
+            err,
+            StatsError::FaultInjected {
+                site: "histogram::build"
+            }
+        );
     }
 
     #[test]

@@ -21,10 +21,16 @@
 //! * [`metrics`] — F1 / precision / recall used by the user-study tasks.
 //! * [`mixed`] — linear mixed-effects model with a random intercept and
 //!   likelihood-ratio tests, reproducing the paper's Section 6.2 analysis.
+//! * [`error`] — the layer's typed error ([`StatsError`]); [`fault`] holds
+//!   the deterministic fault-injection hooks the robustness tests use.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chi2;
 pub mod entropy;
 pub mod discretize;
+pub mod error;
+pub mod fault;
 pub mod feature;
 pub mod histogram;
 pub mod interact;
@@ -34,6 +40,7 @@ pub mod simil;
 pub mod special;
 
 pub use chi2::{ChiSquareResult, ContingencyTable};
+pub use error::StatsError;
 pub use discretize::{AttributeCodec, CodedColumn, CodedMatrix};
 pub use entropy::{entropy, information_gain, mutual_information, symmetrical_uncertainty};
 pub use feature::{

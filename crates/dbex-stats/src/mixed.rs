@@ -233,7 +233,7 @@ fn solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
     for col in 0..n {
         let pivot = (col..n)
             .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
-            .unwrap();
+            .unwrap_or(col);
         m.swap(col, pivot);
         let pv = m[col][col];
         assert!(pv.abs() > 1e-12, "singular design matrix");

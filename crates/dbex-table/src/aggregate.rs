@@ -180,11 +180,13 @@ pub fn group_by(view: &View<'_>, group_attrs: &[String], aggs: &[Aggregate]) -> 
     }
     let mut builder = TableBuilder::new(fields)?;
     for key in order {
-        let (rows, states) = groups.remove(&key).expect("key recorded");
+        let Some((rows, states)) = groups.remove(&key) else {
+            continue; // every key in `order` was recorded; defensive only
+        };
         let mut out = Vec::with_capacity(key.len() + aggs.len());
         for (&code, &col) in key.iter().zip(&group_cols) {
-            let dict = table.column(col).dictionary().expect("categorical");
-            out.push(match dict.resolve(code) {
+            let resolved = table.column(col).dictionary().and_then(|d| d.resolve(code));
+            out.push(match resolved {
                 Some(s) => Value::Str(s.to_owned()),
                 None => Value::Null,
             });

@@ -4,23 +4,54 @@
 //! double-quote quoting with `""` escapes, a mandatory header row, and
 //! automatic per-column type inference (INT → FLOAT → CATEGORICAL). Empty
 //! fields are NULL.
+//!
+//! Two import entry points:
+//!
+//! * [`parse_csv`] — strict: the first malformed row aborts the import with
+//!   an [`Error::Csv`] locating the offending line and field.
+//! * [`parse_csv_lossy`] — lossy: malformed rows are skipped and reported
+//!   as warnings in the returned [`CsvImport`]; only structural failures
+//!   (empty input, unterminated quote) abort.
 
 use crate::error::{Error, Result};
 use crate::schema::Field;
 use crate::table::{Table, TableBuilder};
 use crate::value::{DataType, Value};
 
-/// Parses CSV text into a [`Table`], inferring column types.
-///
-/// Type inference scans every row: a column is `Int` if every non-empty
-/// field parses as `i64`, else `Float` if every non-empty field parses as
-/// `f64`, else `Categorical`.
-pub fn parse_csv(text: &str) -> Result<Table> {
+/// The outcome of a lossy CSV import: the table built from the good rows
+/// plus one located [`Error::Csv`] per skipped row.
+#[derive(Debug)]
+pub struct CsvImport {
+    /// The table built from the rows that parsed cleanly.
+    pub table: Table,
+    /// One warning per skipped row, each locating the offending line.
+    pub warnings: Vec<Error>,
+}
+
+impl CsvImport {
+    /// Number of rows skipped during the import.
+    pub fn skipped(&self) -> usize {
+        self.warnings.len()
+    }
+}
+
+/// A raw record plus the 1-based physical line it started on.
+struct RawRecord {
+    line: usize,
+    fields: Vec<String>,
+}
+
+/// Splits `text` into records, tracking the physical line each record
+/// starts on (quoted fields may span lines, so records are not lines).
+fn scan_records(text: &str) -> Result<Vec<RawRecord>> {
     let mut records = Vec::new();
     let mut record = Vec::new();
     let mut field = String::new();
     let mut chars = text.chars().peekable();
     let mut in_quotes = false;
+    let mut line = 1usize; // current physical line
+    let mut record_line = 1usize; // line the current record started on
+    let mut quote_line = 0usize; // line the open quote started on
 
     while let Some(c) = chars.next() {
         if in_quotes {
@@ -33,11 +64,18 @@ pub fn parse_csv(text: &str) -> Result<Table> {
                         in_quotes = false;
                     }
                 }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
                 _ => field.push(c),
             }
         } else {
             match c {
-                '"' => in_quotes = true,
+                '"' => {
+                    in_quotes = true;
+                    quote_line = line;
+                }
                 ',' => {
                     record.push(std::mem::take(&mut field));
                     // Note trailing comma yields an empty final field, which
@@ -45,54 +83,127 @@ pub fn parse_csv(text: &str) -> Result<Table> {
                 }
                 '\r' => {}
                 '\n' => {
+                    line += 1;
                     record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
+                    records.push(RawRecord {
+                        line: record_line,
+                        fields: std::mem::take(&mut record),
+                    });
+                    record_line = line;
                 }
                 _ => field.push(c),
             }
         }
     }
     if in_quotes {
-        return Err(Error::Csv("unterminated quoted field".into()));
+        return Err(Error::csv(quote_line, None, "unterminated quoted field"));
     }
     if !field.is_empty() || !record.is_empty() {
         record.push(field);
-        records.push(record);
+        records.push(RawRecord {
+            line: record_line,
+            fields: record,
+        });
     }
+    Ok(records)
+}
 
-    let mut it = records.into_iter();
-    let header = it.next().ok_or_else(|| Error::Csv("empty input".into()))?;
-    let rows: Vec<Vec<String>> = it.collect();
-    for (i, r) in rows.iter().enumerate() {
-        if r.len() != header.len() {
-            return Err(Error::Csv(format!(
-                "row {} has {} fields, header has {}",
-                i + 2,
-                r.len(),
-                header.len()
-            )));
+/// Parses CSV text into a [`Table`], inferring column types.
+///
+/// Type inference scans every row: a column is `Int` if every non-empty
+/// field parses as `i64`, else `Float` if every non-empty field parses as
+/// `f64`, else `Categorical`. The first malformed row aborts the import;
+/// the returned [`Error::Csv`] reports the offending line (and field index
+/// where applicable).
+pub fn parse_csv(text: &str) -> Result<Table> {
+    match import(text, false)? {
+        ImportOutcome::Clean(table) => Ok(table),
+        ImportOutcome::Lossy(_) => unreachable!("strict import never returns Lossy"),
+    }
+}
+
+/// Parses CSV text like [`parse_csv`], but skips malformed rows instead of
+/// aborting: ragged rows (wrong field count) are dropped and reported in
+/// [`CsvImport::warnings`]. Structural failures — empty input, a missing
+/// header, an unterminated quote — still abort, because no well-defined
+/// table can be recovered from them.
+pub fn parse_csv_lossy(text: &str) -> Result<CsvImport> {
+    match import(text, true)? {
+        ImportOutcome::Clean(table) => Ok(CsvImport {
+            table,
+            warnings: Vec::new(),
+        }),
+        ImportOutcome::Lossy(import) => Ok(import),
+    }
+}
+
+enum ImportOutcome {
+    Clean(Table),
+    Lossy(CsvImport),
+}
+
+fn import(text: &str, lossy: bool) -> Result<ImportOutcome> {
+    let mut it = scan_records(text)?.into_iter();
+    let header = it
+        .next()
+        .ok_or_else(|| Error::csv(0, None, "empty input"))?;
+    let mut rows: Vec<RawRecord> = Vec::new();
+    let mut warnings: Vec<Error> = Vec::new();
+
+    for r in it {
+        if r.fields.len() == header.fields.len() {
+            rows.push(r);
+        } else {
+            let err = Error::csv(
+                r.line,
+                None,
+                format!(
+                    "row has {} fields, header has {}",
+                    r.fields.len(),
+                    header.fields.len()
+                ),
+            );
+            if lossy {
+                warnings.push(err);
+            } else {
+                return Err(err);
+            }
         }
     }
 
-    let types: Vec<DataType> = (0..header.len())
-        .map(|c| infer_type(rows.iter().map(|r| r[c].as_str())))
+    // Infer types from the surviving rows only, so a skipped ragged row
+    // cannot poison a column's type.
+    let types: Vec<DataType> = (0..header.fields.len())
+        .map(|c| infer_type(rows.iter().map(|r| r.fields[c].as_str())))
         .collect();
 
     let fields = header
+        .fields
         .iter()
         .zip(&types)
         .map(|(name, &ty)| Field::new(name.trim(), ty))
         .collect();
     let mut builder = TableBuilder::new(fields)?;
-    for row in &rows {
-        let values = row
-            .iter()
-            .zip(&types)
-            .map(|(raw, &ty)| parse_value(raw, ty))
-            .collect::<Result<Vec<_>>>()?;
+    'rows: for row in &rows {
+        let mut values = Vec::with_capacity(row.fields.len());
+        for (col, (raw, &ty)) in row.fields.iter().zip(&types).enumerate() {
+            match parse_value(raw, ty, row.line, col + 1) {
+                Ok(v) => values.push(v),
+                Err(err) if lossy => {
+                    warnings.push(err);
+                    continue 'rows;
+                }
+                Err(err) => return Err(err),
+            }
+        }
         builder.push_row(values)?;
     }
-    Ok(builder.finish())
+    let table = builder.finish();
+    if lossy {
+        Ok(ImportOutcome::Lossy(CsvImport { table, warnings }))
+    } else {
+        Ok(ImportOutcome::Clean(table))
+    }
 }
 
 fn infer_type<'a>(mut fields: impl Iterator<Item = &'a str>) -> DataType {
@@ -129,7 +240,7 @@ fn infer_type<'a>(mut fields: impl Iterator<Item = &'a str>) -> DataType {
     }
 }
 
-fn parse_value(raw: &str, ty: DataType) -> Result<Value> {
+fn parse_value(raw: &str, ty: DataType, line: usize, column: usize) -> Result<Value> {
     let raw = raw.trim();
     if raw.is_empty() {
         return Ok(Value::Null);
@@ -137,11 +248,11 @@ fn parse_value(raw: &str, ty: DataType) -> Result<Value> {
     Ok(match ty {
         DataType::Int => Value::Int(
             raw.parse::<i64>()
-                .map_err(|e| Error::Csv(format!("bad int {raw:?}: {e}")))?,
+                .map_err(|e| Error::csv(line, Some(column), format!("bad int {raw:?}: {e}")))?,
         ),
         DataType::Float => Value::Float(
             raw.parse::<f64>()
-                .map_err(|e| Error::Csv(format!("bad float {raw:?}: {e}")))?,
+                .map_err(|e| Error::csv(line, Some(column), format!("bad float {raw:?}: {e}")))?,
         ),
         DataType::Categorical => Value::Str(raw.to_owned()),
     })
@@ -205,14 +316,58 @@ mod tests {
     }
 
     #[test]
-    fn ragged_rows_rejected() {
-        assert!(parse_csv("A,B\n1\n").is_err());
+    fn ragged_rows_rejected_with_line_number() {
+        let err = parse_csv("A,B\n1,2\n1\n").unwrap_err();
+        match &err {
+            Error::Csv { line, .. } => assert_eq!(*line, 3),
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("line 3"), "{err}");
         assert!(parse_csv("").is_err());
     }
 
     #[test]
-    fn unterminated_quote_rejected() {
-        assert!(parse_csv("A\n\"oops\n").is_err());
+    fn unterminated_quote_reports_opening_line() {
+        let err = parse_csv("A\nx\n\"oops\n").unwrap_err();
+        match &err {
+            Error::Csv { line, .. } => assert_eq!(*line, 3),
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_newlines_keep_line_numbers_physical() {
+        // The quoted field spans lines 2-3, so the ragged row is line 4.
+        let err = parse_csv("A,B\n\"x\ny\",1\n1\n").unwrap_err();
+        match &err {
+            Error::Csv { line, .. } => assert_eq!(*line, 4),
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_skips_ragged_rows_with_warnings() {
+        let import = parse_csv_lossy("A,B\n1,2\noops\n3,4\n1,2,3\n").unwrap();
+        assert_eq!(import.table.num_rows(), 2);
+        assert_eq!(import.skipped(), 2);
+        let msgs: Vec<String> = import.warnings.iter().map(|w| w.to_string()).collect();
+        assert!(msgs[0].contains("line 3"), "{msgs:?}");
+        assert!(msgs[1].contains("line 5"), "{msgs:?}");
+        // Skipped rows do not poison type inference: column A stays Int.
+        assert_eq!(import.table.schema().field(0).data_type, DataType::Int);
+    }
+
+    #[test]
+    fn lossy_clean_input_has_no_warnings() {
+        let import = parse_csv_lossy("A\n1\n2\n").unwrap();
+        assert_eq!(import.table.num_rows(), 2);
+        assert_eq!(import.skipped(), 0);
+    }
+
+    #[test]
+    fn lossy_still_rejects_structural_failures() {
+        assert!(parse_csv_lossy("").is_err());
+        assert!(parse_csv_lossy("A\n\"oops\n").is_err());
     }
 
     #[test]

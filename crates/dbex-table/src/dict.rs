@@ -28,6 +28,9 @@ impl Dictionary {
         if let Some(&code) = self.index.get(s) {
             return code;
         }
+        // 2^32 distinct strings cannot fit in memory long before this
+        // conversion could fail; not a user-reachable panic.
+        #[allow(clippy::expect_used)]
         let code = u32::try_from(self.values.len()).expect("dictionary overflow");
         self.values.push(s.to_owned());
         self.index.insert(s.to_owned(), code);

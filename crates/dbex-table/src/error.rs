@@ -30,8 +30,17 @@ pub enum Error {
         /// The number of rows in the table.
         len: usize,
     },
-    /// Malformed CSV input.
-    Csv(String),
+    /// Malformed CSV input, located as precisely as possible.
+    Csv {
+        /// 1-based physical line of the offending input (0 when the error
+        /// is not tied to a line, e.g. empty input).
+        line: usize,
+        /// 1-based field index within the line, when the failure is tied
+        /// to one.
+        column: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
     /// Any other constraint violation.
     Invalid(String),
 }
@@ -54,8 +63,34 @@ impl fmt::Display for Error {
             Error::RowOutOfBounds { row, len } => {
                 write!(f, "row index {row} out of bounds for table with {len} rows")
             }
-            Error::Csv(msg) => write!(f, "csv error: {msg}"),
+            Error::Csv {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "csv error")?;
+                if *line > 0 {
+                    write!(f, " at line {line}")?;
+                }
+                if let Some(c) = column {
+                    write!(f, ", column {c}")?;
+                }
+                write!(f, ": {message}")
+            }
             Error::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl Error {
+    /// Builds a located CSV error. `line` and `column` are 1-based;
+    /// pass `line = 0` / `column = None` when the failure has no precise
+    /// location.
+    pub fn csv(line: usize, column: Option<usize>, message: impl Into<String>) -> Error {
+        Error::Csv {
+            line,
+            column,
+            message: message.into(),
         }
     }
 }

@@ -18,6 +18,8 @@
 //! attributes, and its latency budget (interactive, <1s) is met without
 //! persistence or parallelism.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod aggregate;
 pub mod column;
 pub mod csv;
@@ -33,6 +35,7 @@ pub mod view;
 
 pub use aggregate::{group_by, Aggregate};
 pub use column::Column;
+pub use csv::{parse_csv, parse_csv_lossy, to_csv, CsvImport};
 pub use dict::Dictionary;
 pub use error::{Error, Result};
 pub use predicate::Predicate;

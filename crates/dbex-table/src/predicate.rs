@@ -202,7 +202,7 @@ impl Predicate {
                 }
                 match flat.len() {
                     0 => Predicate::Const(true),
-                    1 => flat.pop().expect("one element"),
+                    1 => flat.pop().unwrap_or(Predicate::Const(true)),
                     _ => Predicate::And(flat),
                 }
             }
@@ -218,7 +218,7 @@ impl Predicate {
                 }
                 match flat.len() {
                     0 => Predicate::Const(false),
-                    1 => flat.pop().expect("one element"),
+                    1 => flat.pop().unwrap_or(Predicate::Const(false)),
                     _ => Predicate::Or(flat),
                 }
             }

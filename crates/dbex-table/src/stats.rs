@@ -95,10 +95,13 @@ pub fn summarize_column(view: &View<'_>, col: usize) -> ColumnSummary {
                     _ => nulls += 1,
                 }
             }
-            let dict = column.dictionary().expect("categorical column");
+            let dict = column.dictionary();
             let mut top: Vec<(String, usize)> = counts
                 .iter()
-                .map(|(&code, &n)| (dict.resolve(code).unwrap_or("?").to_owned(), n))
+                .map(|(&code, &n)| {
+                    let label = dict.and_then(|d| d.resolve(code)).unwrap_or("?");
+                    (label.to_owned(), n)
+                })
                 .collect();
             top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             let distinct = top.len();

@@ -21,7 +21,7 @@ fn run(session: &mut Session, sql: &str) {
                 println!("  ...");
             }
         }
-        Ok(QueryOutput::Cad { name, rendered }) => {
+        Ok(QueryOutput::Cad { name, rendered, .. }) => {
             println!("  created CAD View {name}:");
             for line in rendered.lines().take(12) {
                 println!("  {line}");

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, and lint-clean libraries.
+#
+# The clippy step runs with -D warnings, and the library crates carry
+# `#![warn(clippy::unwrap_used, clippy::expect_used)]` outside #[cfg(test)],
+# so any new unwrap/expect in library code fails this script.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -11,14 +11,21 @@
 //! dbex> .quit
 //! ```
 //!
-//! Dot-commands: `.load cars|mushroom [rows] [seed]`, `.open <path> <name>`,
+//! Dot-commands: `.load cars|mushroom [rows] [seed]`,
+//! `.open <path> <name> [--lossy]`, `.budget [rows N] [time MS] [iters N]`,
 //! `.tables`, `.summary <table>`, `.help`, `.quit`. Everything else is fed
 //! to the SQL engine (statements may span lines; terminate with `;`).
+//!
+//! The shell never dies on bad input: missing or malformed CSV files, bad
+//! `.load` arguments, SQL errors, and even statements that panic inside the
+//! engine all print a diagnostic and return to the prompt.
 
+use dbexplorer::core::ExecBudget;
 use dbexplorer::data::{MushroomGenerator, UsedCarsGenerator};
 use dbexplorer::query::{QueryOutput, Session};
 use std::collections::BTreeSet;
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 fn main() {
     let mut shell = Shell::new();
@@ -34,7 +41,19 @@ fn main() {
         std::io::stdout().flush().ok();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) => break, // EOF
+            Ok(0) => {
+                // EOF. A non-empty buffer means the input ended mid-statement
+                // (no terminating ';'): diagnose instead of silently dropping.
+                let pending = buffer.trim();
+                if !pending.is_empty() {
+                    let first = pending.lines().next().unwrap_or("");
+                    eprintln!(
+                        "warning: input ended mid-statement (statements end with ';'); \
+                         discarding: {first}..."
+                    );
+                }
+                break;
+            }
             Ok(_) => {}
             Err(e) => {
                 eprintln!("input error: {e}");
@@ -78,19 +97,24 @@ impl Shell {
         match parts[0] {
             ".quit" | ".exit" => return false,
             ".help" => {
-                println!(
-                    ".load cars [rows] [seed]      register the synthetic used-car table\n\
-                     .load mushroom [rows] [seed]  register the synthetic mushroom table\n\
-                     .open <path> <name>           load a CSV file as <name>\n\
-                     .tables                       list registered tables\n\
-                     .summary <table>              per-column statistics\n\
-                     .quit                         exit\n\
-                     Any other input is SQL (end statements with ';'):\n\
-                     SELECT, CREATE CADVIEW, EXPLAIN, DESCRIBE, HIGHLIGHT, REORDER"
-                );
+                let help = [
+                    ".load cars [rows] [seed]      register the synthetic used-car table",
+                    ".load mushroom [rows] [seed]  register the synthetic mushroom table",
+                    ".open <path> <name> [--lossy] load a CSV file as <name>; with --lossy,",
+                    "                              skip bad rows instead of aborting",
+                    ".budget [rows N] [time MS] [iters N] | off",
+                    "                              limit CAD View builds (degrade, don't fail)",
+                    ".tables                       list registered tables",
+                    ".summary <table>              per-column statistics",
+                    ".quit                         exit",
+                    "Any other input is SQL (end statements with ';'):",
+                    "SELECT, CREATE CADVIEW, EXPLAIN, DESCRIBE, HIGHLIGHT, REORDER",
+                ];
+                println!("{}", help.join("\n"));
             }
             ".load" => self.load(&parts),
             ".open" => self.open(&parts),
+            ".budget" => self.budget(&parts),
             ".tables" => {
                 for t in &self.tables {
                     println!("{t}");
@@ -117,8 +141,27 @@ impl Shell {
 
     fn load(&mut self, parts: &[&str]) {
         let which = parts.get(1).copied().unwrap_or("");
-        let rows: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
-        let seed: u64 = parts.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+        // A malformed count is a diagnostic, not a silent default.
+        let rows: usize = match parts.get(2) {
+            Some(s) => match s.parse() {
+                Ok(n) => n,
+                Err(e) => {
+                    println!("bad row count {s:?}: {e}");
+                    return;
+                }
+            },
+            None => 0,
+        };
+        let seed: u64 = match parts.get(3) {
+            Some(s) => match s.parse() {
+                Ok(n) => n,
+                Err(e) => {
+                    println!("bad seed {s:?}: {e}");
+                    return;
+                }
+            },
+            None => 42,
+        };
         match which {
             "cars" => {
                 let rows = if rows == 0 { 40_000 } else { rows };
@@ -143,21 +186,89 @@ impl Shell {
     }
 
     fn open(&mut self, parts: &[&str]) {
-        let (Some(path), Some(name)) = (parts.get(1), parts.get(2)) else {
-            println!("usage: .open <path> <name>");
+        let lossy = parts.contains(&"--lossy");
+        let args: Vec<&str> = parts[1..].iter().copied().filter(|p| *p != "--lossy").collect();
+        let (Some(path), Some(name)) = (args.first(), args.get(1)) else {
+            println!("usage: .open <path> <name> [--lossy]");
             return;
         };
-        match std::fs::read_to_string(path) {
-            Ok(text) => match dbexplorer::table::csv::parse_csv(&text) {
-                Ok(table) => {
-                    println!("loaded {name}: {} rows, {} columns", table.num_rows(), table.num_columns());
-                    self.session.register_table(name.to_string(), table);
-                    self.tables.insert(name.to_string());
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                println!("cannot read {path}: {e}");
+                return;
+            }
+        };
+        let (table, skipped) = if lossy {
+            match dbexplorer::table::parse_csv_lossy(&text) {
+                Ok(import) => {
+                    for w in &import.warnings {
+                        println!("warning: skipped row: {w}");
+                    }
+                    let skipped = import.skipped();
+                    (import.table, skipped)
                 }
-                Err(e) => println!("csv error: {e}"),
-            },
-            Err(e) => println!("io error: {e}"),
+                Err(e) => {
+                    println!("{e}");
+                    return;
+                }
+            }
+        } else {
+            match dbexplorer::table::parse_csv(&text) {
+                Ok(table) => (table, 0),
+                Err(e) => {
+                    println!("{e} (retry with --lossy to skip bad rows)");
+                    return;
+                }
+            }
+        };
+        print!("loaded {name}: {} rows, {} columns", table.num_rows(), table.num_columns());
+        if skipped > 0 {
+            print!(" ({skipped} bad rows skipped)");
         }
+        println!();
+        self.session.register_table(name.to_string(), table);
+        self.tables.insert(name.to_string());
+    }
+
+    /// `.budget [rows N] [time MS] [iters N]` tightens the session budget;
+    /// `.budget off` clears it; bare `.budget` shows it.
+    fn budget(&mut self, parts: &[&str]) {
+        if parts.len() == 1 {
+            println!("budget: {}", render_budget(self.session.budget()));
+            return;
+        }
+        if parts[1] == "off" {
+            self.session.set_budget(ExecBudget::unlimited());
+            println!("budget: unlimited");
+            return;
+        }
+        let mut budget = self.session.budget().clone();
+        let mut it = parts[1..].iter();
+        while let Some(key) = it.next() {
+            let Some(raw) = it.next() else {
+                println!("usage: .budget [rows N] [time MS] [iters N] | off");
+                return;
+            };
+            let value: usize = match raw.parse() {
+                Ok(v) => v,
+                Err(e) => {
+                    println!("bad value {raw:?} for {key}: {e}");
+                    return;
+                }
+            };
+            match *key {
+                "rows" => budget = budget.with_max_rows(value),
+                "time" => budget = budget.with_time_limit(Duration::from_millis(value as u64)),
+                "iters" => budget = budget.with_kmeans_iters(value),
+                other => {
+                    println!("unknown budget limit {other}; expected rows, time or iters");
+                    return;
+                }
+            }
+        }
+        println!("budget: {}", render_budget(&budget));
+        self.session.set_budget(budget);
     }
 
     fn run_sql(&mut self, sql: &str) {
@@ -166,6 +277,23 @@ impl Shell {
             Err(e) => println!("error: {e}"),
         }
     }
+}
+
+fn render_budget(budget: &ExecBudget) -> String {
+    if budget.is_unlimited() {
+        return "unlimited".to_owned();
+    }
+    let mut limits = Vec::new();
+    if let Some(rows) = budget.max_rows {
+        limits.push(format!("rows<={rows}"));
+    }
+    if let Some(limit) = budget.time_limit {
+        limits.push(format!("time<={}ms", limit.as_millis()));
+    }
+    if let Some(iters) = budget.max_kmeans_iters {
+        limits.push(format!("iters<={iters}"));
+    }
+    limits.join(", ")
 }
 
 fn print_output(output: &QueryOutput) {
@@ -207,9 +335,16 @@ fn print_output(output: &QueryOutput) {
                 println!("... ({} rows total)", rows.len());
             }
         }
-        QueryOutput::Cad { name, rendered } => {
+        QueryOutput::Cad {
+            name,
+            rendered,
+            degradation,
+        } => {
             println!("CAD View {name}:");
             println!("{rendered}");
+            for d in degradation {
+                println!("warning: degraded build: {d}");
+            }
         }
         QueryOutput::Highlights(hits) => {
             if hits.is_empty() {

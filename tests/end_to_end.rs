@@ -222,3 +222,123 @@ fn facade_reexports_compile_and_link() {
     let _ = dbexplorer::facet::FacetState::default();
     let _ = dbexplorer::query::parse("SELECT * FROM t").unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Budget-governed degradation (robustness layer).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tiny_budget_yields_well_formed_degraded_view() {
+    use dbexplorer::core::{DegradationKind, ExecBudget};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // The manual clock makes the deadline deterministic: a zero time limit
+    // is exhausted before the first pipeline stage runs, regardless of how
+    // fast the machine is.
+    let clock = Arc::new(AtomicU64::new(1_000));
+    let mut session = Session::new();
+    session.register_table("cars", UsedCarsGenerator::new(5).generate(4_000));
+    session.set_budget(
+        ExecBudget::unlimited()
+            .with_time_limit(Duration::ZERO)
+            .with_manual_clock(clock),
+    );
+    let out = session
+        .execute("CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 3")
+        .expect("exhausted budget must degrade, not fail");
+    let QueryOutput::Cad { degradation, .. } = out else {
+        panic!("expected CAD output");
+    };
+    assert!(!degradation.is_empty(), "degradation not reported in output");
+
+    let cad = session.cad_view("v").unwrap();
+    assert!(cad.is_degraded());
+    assert!(
+        cad.degradation
+            .iter()
+            .any(|d| d.kind == DegradationKind::SampledClustering),
+        "time exhaustion should force the sampled rung: {:?}",
+        cad.degradation
+    );
+    // Well-formed despite the shortcuts: every pivot value present, every
+    // row populated, and the view still answers similarity queries.
+    assert!(!cad.rows.is_empty());
+    for row in &cad.rows {
+        assert!(!row.iunits.is_empty(), "row {} has no IUnits", row.pivot_label);
+        assert!(row.iunits.len() <= 3);
+    }
+    session
+        .execute("REORDER ROWS IN v ORDER BY SIMILARITY(Ford) DESC")
+        .expect("degraded view still supports REORDER");
+}
+
+#[test]
+fn row_budget_forces_minibatch_clustering() {
+    use dbexplorer::core::{DegradationKind, ExecBudget};
+
+    let mut session = Session::new();
+    session.register_table("cars", UsedCarsGenerator::new(5).generate(4_000));
+    session.set_budget(ExecBudget::unlimited().with_max_rows(50));
+    session
+        .execute("CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 3")
+        .expect("row budget must degrade, not fail");
+    let cad = session.cad_view("v").unwrap();
+    assert!(
+        cad.degradation
+            .iter()
+            .any(|d| d.kind == DegradationKind::MiniBatchClustering),
+        "partitions over the row budget should use mini-batch: {:?}",
+        cad.degradation
+    );
+}
+
+#[test]
+fn kmeans_iteration_cap_is_recorded() {
+    use dbexplorer::core::{DegradationKind, ExecBudget};
+
+    let mut session = Session::new();
+    session.register_table("cars", UsedCarsGenerator::new(5).generate(2_000));
+    session.set_budget(ExecBudget::unlimited().with_kmeans_iters(1));
+    session
+        .execute("CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 3")
+        .expect("iteration cap must degrade, not fail");
+    let cad = session.cad_view("v").unwrap();
+    assert!(
+        cad.degradation
+            .iter()
+            .any(|d| d.kind == DegradationKind::ClampedKMeansIters),
+        "clamped iterations should be recorded: {:?}",
+        cad.degradation
+    );
+}
+
+#[test]
+fn explain_cadview_surfaces_degradation() {
+    use dbexplorer::core::ExecBudget;
+    use std::time::Duration;
+
+    let mut session = Session::new();
+    session.register_table("cars", UsedCarsGenerator::new(5).generate(2_000));
+
+    // Unlimited budget: EXPLAIN reports a clean build.
+    let out = session
+        .execute("EXPLAIN CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2")
+        .unwrap();
+    let QueryOutput::Text(text) = out else {
+        panic!("expected text output");
+    };
+    assert!(text.contains("degradation: none"), "{text}");
+
+    // Exhausted budget: EXPLAIN lists every shortcut taken.
+    session.set_budget(ExecBudget::unlimited().with_time_limit(Duration::ZERO));
+    let out = session
+        .execute("EXPLAIN CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2")
+        .unwrap();
+    let QueryOutput::Text(text) = out else {
+        panic!("expected text output");
+    };
+    assert!(text.contains("degradation:"), "{text}");
+    assert!(text.contains("sampled"), "{text}");
+}

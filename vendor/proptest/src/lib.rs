@@ -1,0 +1,489 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest's API that DBExplorer's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and
+//! tuple strategies, [`collection::vec`], a tiny [`string::string_regex`]
+//! (character classes + quantifiers only), and the `prop_assert*` macros.
+//!
+//! Semantic differences from real proptest: cases are sampled from a fixed
+//! deterministic seed (no env-var override), failures panic immediately
+//! (no shrinking, no regression persistence). For the project's purposes —
+//! hammering the pipeline with many random inputs — that is enough.
+
+// Vendored stand-in: keep workspace-wide `clippy -D warnings` runs quiet.
+#![allow(clippy::all)]
+
+pub mod test_runner {
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 RNG driving value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A fixed-seed generator; every `cargo test` run sees the same
+        /// case sequence.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x0DBE_0DBE_0DBE_0DBE ^ 0xA5A5_A5A5_5A5A_5A5A,
+            }
+        }
+
+        /// A generator with an explicit seed.
+        pub fn with_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform usize in [0, bound).
+        pub fn below(&mut self, bound: usize) -> usize {
+            debug_assert!(bound > 0);
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values (no shrinking in this stand-in).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one random value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategy_impl {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy_impl {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    float_strategy_impl!(f32, f64);
+
+    macro_rules! tuple_strategy_impl {
+        ($($name:ident)+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy_impl!(A);
+    tuple_strategy_impl!(A B);
+    tuple_strategy_impl!(A B C);
+    tuple_strategy_impl!(A B C D);
+    tuple_strategy_impl!(A B C D E);
+    tuple_strategy_impl!(A B C D E F);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size` and elements
+    /// drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: lengths in `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span.max(1));
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error for regex patterns this stand-in cannot generate from.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    enum Piece {
+        /// A literal character.
+        Lit(char),
+        /// A character class: concrete alternatives, pre-expanded.
+        Class(Vec<char>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Quantified {
+        piece: Piece,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a (restricted) regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Quantified>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for q in &self.pieces {
+                let span = q.max - q.min + 1;
+                let reps = q.min + rng.below(span);
+                for _ in 0..reps {
+                    match &q.piece {
+                        Piece::Lit(c) => out.push(*c),
+                        Piece::Class(chars) => out.push(chars[rng.below(chars.len())]),
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Builds a string strategy from a restricted regex: literal characters,
+    /// `[...]` classes with ranges, and the quantifiers `{m,n}` `{n}` `?`
+    /// `*` `+`. Anything else returns an error.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let piece = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error("unterminated class".into()))?
+                        + i
+                        + 1;
+                    let body = &chars[i + 1..close];
+                    if body.first() == Some(&'^') {
+                        return Err(Error("negated classes unsupported".into()));
+                    }
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                            if lo > hi {
+                                return Err(Error("inverted range in class".into()));
+                            }
+                            for cp in lo..=hi {
+                                if let Some(c) = char::from_u32(cp) {
+                                    set.push(c);
+                                }
+                            }
+                            j += 3;
+                        } else {
+                            set.push(body[j]);
+                            j += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(Error("empty class".into()));
+                    }
+                    i = close + 1;
+                    Piece::Class(set)
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    i += 2;
+                    Piece::Lit(c)
+                }
+                '(' | ')' | '|' | '^' | '$' | '.' => {
+                    return Err(Error(format!("unsupported construct {:?}", chars[i])))
+                }
+                c => {
+                    i += 1;
+                    Piece::Lit(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(|| Error("unterminated quantifier".into()))?
+                        + i
+                        + 1;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    let parse =
+                        |s: &str| s.trim().parse::<usize>().map_err(|e| Error(e.to_string()));
+                    let (min, max) = match body.split_once(',') {
+                        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                        None => {
+                            let n = parse(&body)?;
+                            (n, n)
+                        }
+                    };
+                    if min > max {
+                        return Err(Error("quantifier min > max".into()));
+                    }
+                    i = close + 1;
+                    (min, max)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Quantified { piece, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a property test (panics on failure here —
+/// no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1usize..10, v in prop::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u8..3, -5i64..5).prop_map(|(a, b)| (a as i64) + b)) {
+            prop_assert!((-5..8).contains(&pair));
+        }
+
+        #[test]
+        fn regex_strings(s in crate::string::string_regex("[ -~]{0,12}").unwrap()) {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

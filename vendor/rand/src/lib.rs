@@ -1,0 +1,187 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the exact API subset DBExplorer uses: `StdRng` seeded with
+//! [`SeedableRng::seed_from_u64`] and sampled with
+//! [`RngExt::random_range`]. The generator is SplitMix64 — deterministic,
+//! fast, and statistically adequate for synthetic-data generation and
+//! k-means seeding (no cryptographic claims).
+
+// Vendored stand-in: keep workspace-wide `clippy -D warnings` runs quiet.
+#![allow(clippy::all)]
+
+/// A source of `u64` randomness.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding from a `u64` (the only constructor the project uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed; identical seeds give
+    /// identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand`'s `Rng::random_range`.
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range`. Panics if the range is empty,
+    /// matching upstream `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+/// Types usable as the argument of [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types that can be sampled uniformly from a range. A single
+/// generic `SampleRange` impl over this trait (mirroring upstream `rand`)
+/// keeps integer/float literal fallback working at call sites like
+/// `rng.random_range(0..9)`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from `[lo, hi)`. Panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// A uniform sample from `[lo, hi]`. Panics if the range is empty.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! int_uniform_impl {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform_impl {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                lo + (hi - lo) * unit as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+                if lo == hi {
+                    return lo;
+                }
+                Self::sample_half_open(rng, lo, hi)
+            }
+        }
+    )*};
+}
+
+float_uniform_impl!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for `rand`'s `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix so that small consecutive seeds land in well-separated
+            // stream positions.
+            let mut rng = StdRng {
+                state: seed ^ 0x5DEE_CE66_D6C1_B2A9,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0usize..1000),
+                b.random_range(0usize..1000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.random_range(3usize..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed: {counts:?}");
+        }
+    }
+}

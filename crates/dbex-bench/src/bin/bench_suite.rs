@@ -1,0 +1,218 @@
+//! `bench_suite` — the machine-readable CAD construction benchmark.
+//!
+//! Runs the Figure-8 worst-case workload and the Table-1 workload at
+//! several pool sizes (1 / 2 / 8 / auto threads), checks that every
+//! parallel build renders byte-identically to the sequential one, and
+//! writes medians over repeated runs to a JSON report (`BENCH_cad.json`
+//! by default). The serialized JSON is validated before it is written;
+//! a malformed report is a hard failure (exit code 1).
+//!
+//! ```text
+//! cargo run --release -p dbex-bench --bin bench_suite             # full, ≥5 runs/point
+//! cargo run --release -p dbex-bench --bin bench_suite -- --quick  # CI smoke, 1 run/point
+//! cargo run --release -p dbex-bench --bin bench_suite -- --out target/bench.json --runs 7
+//! ```
+//!
+//! `DBEX_THREADS` pins what the `auto` (0) pool size resolves to, so CI
+//! can keep the run reproducible on any machine.
+
+use dbex_bench::{
+    base_cars_table, five_make_view, median_ms, validate_json, warn_if_debug, worst_case_request,
+    FIVE_MAKES,
+};
+use dbex_core::{build_cad_view, CadRequest, CadView};
+use dbex_table::View;
+use std::time::Instant;
+
+/// One workload: a named request over a fixed result-set size.
+struct Workload {
+    name: &'static str,
+    rows: usize,
+    request: CadRequest,
+}
+
+/// Timings and the determinism verdict for one workload × thread count.
+struct Cell {
+    threads: usize,
+    runs_ms: Vec<f64>,
+    matches_sequential: bool,
+}
+
+fn main() {
+    warn_if_debug();
+    let mut quick = false;
+    let mut out_path = "BENCH_cad.json".to_owned();
+    let mut runs = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => die("--out requires a path"),
+            },
+            "--runs" => match args.next().map(|r| r.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => runs = n,
+                _ => die("--runs requires a positive integer"),
+            },
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if quick {
+        runs = 1;
+    }
+
+    let auto = dbex_par::resolve_threads(0);
+    // 1 is the sequential baseline; 2 and 8 chart scaling; `auto` is what
+    // `.threads auto` / DBEX_THREADS actually give users on this machine.
+    let mut thread_counts: Vec<usize> = if quick { vec![1, auto] } else { vec![1, 2, 8, auto] };
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let table = base_cars_table();
+    let population = five_make_view(&table);
+    let fig8_rows = if quick { 5_000 } else { 40_000 };
+    let workloads = [
+        Workload {
+            name: "fig8_worst_case",
+            rows: fig8_rows,
+            request: worst_case_request(),
+        },
+        Workload {
+            name: "table1_defaults",
+            rows: if quick { 5_000 } else { 40_000 },
+            request: CadRequest::new("Make")
+                .with_pivot_values(FIVE_MAKES.to_vec())
+                .with_compare(vec!["Price"])
+                .with_max_compare_attrs(5)
+                .with_iunits(3),
+        },
+    ];
+
+    println!(
+        "bench_suite: {} run(s)/point, threads {:?}, auto = {auto} (hardware {}, DBEX_THREADS {})",
+        runs,
+        thread_counts,
+        dbex_par::hardware_threads(),
+        std::env::var("DBEX_THREADS").unwrap_or_else(|_| "unset".into()),
+    );
+
+    let mut sections = Vec::new();
+    for workload in &workloads {
+        let result = population.sample(workload.rows);
+        let cells = run_workload(workload, &result, &thread_counts, runs);
+        let seq_median = cells
+            .iter()
+            .find(|c| c.threads == 1)
+            .map(|c| median_ms(&c.runs_ms))
+            .unwrap_or(0.0);
+        let deterministic = cells.iter().all(|c| c.matches_sequential);
+        if !deterministic {
+            die(&format!(
+                "{}: parallel render diverged from sequential",
+                workload.name
+            ));
+        }
+        println!("\n{} ({} rows):", workload.name, result.len());
+        for cell in &cells {
+            let med = median_ms(&cell.runs_ms);
+            let speedup = if med > 0.0 { seq_median / med } else { 0.0 };
+            println!(
+                "  {:>2} thread(s): median {:>9.1} ms  (speedup {:.2}x, output identical)",
+                cell.threads, med, speedup
+            );
+        }
+        sections.push(render_section(workload, result.len(), &cells, seq_median));
+    }
+
+    let report = format!(
+        "{{\n  \"bench\": \"cad\",\n  \"quick\": {quick},\n  \"runs_per_point\": {runs},\n  \
+         \"hardware_threads\": {},\n  \"auto_threads\": {auto},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        dbex_par::hardware_threads(),
+        sections.join(",\n"),
+    );
+    if let Err(e) = validate_json(&report) {
+        die(&format!("generated report is not valid JSON: {e}"));
+    }
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        die(&format!("cannot write {out_path}: {e}"));
+    }
+    println!("\nwrote {out_path}");
+}
+
+/// Builds the workload at every pool size, `runs` times each, and checks
+/// each parallel render against the sequential one.
+fn run_workload(
+    workload: &Workload,
+    result: &View<'_>,
+    thread_counts: &[usize],
+    runs: usize,
+) -> Vec<Cell> {
+    let mut sequential_render: Option<String> = None;
+    let mut cells = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let mut request = workload.request.clone();
+        request.config.threads = threads;
+        let mut runs_ms = Vec::with_capacity(runs);
+        let mut last: Option<CadView> = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let cad = build_cad_view(result, &request).unwrap_or_else(|e| {
+                die(&format!("{} failed at {threads} threads: {e}", workload.name))
+            });
+            runs_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+            last = Some(cad);
+        }
+        let render = last.map(|c| c.render()).unwrap_or_default();
+        let matches_sequential = match &sequential_render {
+            None => {
+                sequential_render = Some(render);
+                true
+            }
+            Some(seq) => *seq == render,
+        };
+        cells.push(Cell {
+            threads,
+            runs_ms,
+            matches_sequential,
+        });
+    }
+    cells
+}
+
+/// One workload's JSON object (hand-rolled; validated by the caller).
+fn render_section(workload: &Workload, rows: usize, cells: &[Cell], seq_median: f64) -> String {
+    let max_threads = cells.iter().map(|c| c.threads).max().unwrap_or(1);
+    let max_median = cells
+        .iter()
+        .find(|c| c.threads == max_threads)
+        .map(|c| median_ms(&c.runs_ms))
+        .unwrap_or(0.0);
+    let speedup = if max_median > 0.0 { seq_median / max_median } else { 0.0 };
+    let points: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let samples: Vec<String> = c.runs_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+            format!(
+                "        {{\"threads\": {}, \"median_ms\": {:.3}, \"runs_ms\": [{}], \
+                 \"output_matches_sequential\": {}}}",
+                c.threads,
+                median_ms(&c.runs_ms),
+                samples.join(", "),
+                c.matches_sequential,
+            )
+        })
+        .collect();
+    format!
+        (
+        "    {{\n      \"name\": \"{}\",\n      \"rows\": {rows},\n      \"points\": [\n{}\n      \
+         ],\n      \"speedup_at_max_threads\": {speedup:.3}\n    }}",
+        workload.name,
+        points.join(",\n"),
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_suite: {msg}");
+    std::process::exit(1);
+}

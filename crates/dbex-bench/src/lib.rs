@@ -128,6 +128,173 @@ fn rotate<'a>(view: &View<'a>, by: usize) -> View<'a> {
     View::from_rows(view.table(), rows)
 }
 
+/// Median of a sample set (for robust bench aggregation). Even-length
+/// inputs average the two middle values; empty input is 0.
+pub fn median_ms(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Minimal JSON well-formedness check for the machine-readable bench
+/// output (`BENCH_cad.json`): one value, full-input consumption, no
+/// dependency on a JSON crate. Returns a position-tagged message on the
+/// first syntax error.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2, // escape; next byte consumed blindly
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
 /// Prints one aligned text table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells
@@ -166,6 +333,27 @@ mod tests {
         let m = timed_builds(&v, 2_000, &worst_case_request(), 2);
         assert!(m.total_ms() > 0.0);
         assert!(m.iunit_ms > 0.0);
+    }
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median_ms(&[]), 0.0);
+        assert_eq!(median_ms(&[3.0]), 3.0);
+        assert_eq!(median_ms(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median_ms(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        assert!(validate_json(r#"{"a": [1, -2.5, 3e4], "b": {"c": "x\"y"}, "d": null}"#).is_ok());
+        assert!(validate_json("[true, false]").is_ok());
+        assert!(validate_json("  42  ").is_ok());
+        assert!(validate_json(r#"{"a": 1"#).is_err()); // truncated
+        assert!(validate_json(r#"{"a": 1} extra"#).is_err()); // trailing
+        assert!(validate_json(r#"{"a": 1.}"#).is_err()); // bad number
+        assert!(validate_json(r#"{a: 1}"#).is_err()); // unquoted key
+        assert!(validate_json(r#"{"a": }"#).is_err());
+        assert!(validate_json("").is_err());
     }
 
     #[test]

@@ -12,6 +12,19 @@
 //!
 //! Deadlines are measured against an injectable [`ClockSource`] so tests
 //! can exhaust the budget deterministically without sleeping.
+//!
+//! # Thread safety
+//!
+//! A [`BudgetGauge`] is shared by reference across `dbex_par::par_map`
+//! workers when `CadConfig::threads > 1`. Every check reads immutable
+//! state or atomics: `time_exhausted` reads the clock, `rows_exhausted`
+//! compares its argument against a fixed limit, and the cumulative
+//! row-accounting counter ([`BudgetGauge::charge_rows`] /
+//! [`BudgetGauge::rows_spent`]) is an `AtomicU64`. Degradation *decisions*
+//! deliberately depend only on per-partition quantities (a partition's own
+//! size, the monotone clock) — never on the cumulative counter — so the
+//! ladder fires identically regardless of the order in which workers
+//! happen to run.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,16 +105,20 @@ impl ExecBudget {
             budget: self,
             started: Instant::now(),
             manual_start,
+            rows_spent: AtomicU64::new(0),
         }
     }
 }
 
 /// A running measurement of one build against its [`ExecBudget`].
+///
+/// Safe to share by `&` across worker threads — see the module docs.
 #[derive(Debug)]
 pub struct BudgetGauge<'a> {
     budget: &'a ExecBudget,
     started: Instant,
     manual_start: u64,
+    rows_spent: AtomicU64,
 }
 
 impl BudgetGauge<'_> {
@@ -125,6 +142,20 @@ impl BudgetGauge<'_> {
     /// True when `rows` exceeds the row limit.
     pub fn rows_exhausted(&self, rows: usize) -> bool {
         self.budget.max_rows.is_some_and(|max| rows > max)
+    }
+
+    /// Records `rows` rows of work against the gauge. Atomic, so pool
+    /// workers can charge concurrently; the final total is deterministic
+    /// (a sum) even though the interleaving is not.
+    pub fn charge_rows(&self, rows: usize) {
+        self.rows_spent.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Total rows charged so far via [`Self::charge_rows`]. Diagnostic
+    /// accounting only — degradation decisions never read this (see the
+    /// module docs on thread safety).
+    pub fn rows_spent(&self) -> u64 {
+        self.rows_spent.load(Ordering::Relaxed)
     }
 
     /// Clamps a requested k-means iteration count to the budget cap.
@@ -230,6 +261,23 @@ mod tests {
         assert!(gauge.rows_exhausted(101));
         assert_eq!(gauge.clamp_iters(20), 5);
         assert_eq!(gauge.clamp_iters(3), 3);
+    }
+
+    #[test]
+    fn rows_charged_concurrently_sum_exactly() {
+        let budget = ExecBudget::unlimited();
+        let gauge = budget.start();
+        assert_eq!(gauge.rows_spent(), 0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        gauge.charge_rows(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(gauge.rows_spent(), 12_000);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct CadView {
     pub feature_scores: Vec<FeatureScore>,
     /// Per-stage build timings.
     pub timings: crate::builder::CadTimings,
+    /// Worker threads the builder fanned out to (`1` = fully sequential,
+    /// on the caller's thread). Surfaced by `EXPLAIN CADVIEW`.
+    pub threads_used: usize,
     /// Shortcuts the builder took under budget pressure or after
     /// recoverable failures (empty for a full-fidelity build). Surfaced
     /// by `EXPLAIN CADVIEW` and the REPL.

@@ -39,7 +39,12 @@ pub mod simil;
 pub mod tpfacet;
 
 pub use budget::{BudgetGauge, ClockSource, Degradation, DegradationKind, ExecBudget};
-pub use builder::{build_cad_view, CadConfig, CadRequest, CadTimings, Preference};
+pub use builder::{
+    build_cad_view, build_cad_view_cached, CadConfig, CadRequest, CadTimings, Preference,
+};
+// Re-exported so clients one layer up (dbex-query) can hold a cache
+// without depending on dbex-stats directly.
+pub use dbex_stats::{CacheStats, StatsCache};
 pub use cad::{CadRow, CadView};
 pub use error::CadError;
 pub use diff::{ContextDiff, IUnitChange, RowDiff};

@@ -11,6 +11,8 @@ use dbex_stats::discretize::AttributeCodec;
 use dbex_stats::histogram::BinningStrategy;
 use dbex_table::{Error, Predicate, Result, Table, View};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Current selection state: per attribute, the set of selected value labels.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +40,13 @@ pub struct FacetedEngine<'a> {
     /// Facetable attributes with their digest codecs.
     attrs: Vec<(usize, AttributeCodec)>,
     state: FacetState,
+    /// Memoized digest of the most recent result set, keyed on the view
+    /// fingerprint. A selection change produces a different result view
+    /// (different fingerprint), so invalidation is implicit — the stale
+    /// entry simply never matches again.
+    digest_cache: Mutex<Option<(u64, Arc<SummaryDigest>)>>,
+    digest_hits: AtomicU64,
+    digest_misses: AtomicU64,
 }
 
 impl<'a> FacetedEngine<'a> {
@@ -59,6 +68,9 @@ impl<'a> FacetedEngine<'a> {
             table,
             attrs,
             state: FacetState::default(),
+            digest_cache: Mutex::new(None),
+            digest_hits: AtomicU64::new(0),
+            digest_misses: AtomicU64::new(0),
         }
     }
 
@@ -135,8 +147,37 @@ impl<'a> FacetedEngine<'a> {
     }
 
     /// Summary digest of the current result set.
+    ///
+    /// Memoized on the result view's fingerprint: repeated digests of the
+    /// same selection (every query-panel render triggers one) are served
+    /// from the cache, and any refinement invalidates it implicitly by
+    /// changing the fingerprint.
     pub fn digest(&self) -> Result<SummaryDigest> {
-        Ok(SummaryDigest::compute(&self.results()?, &self.attrs))
+        let view = self.results()?;
+        let fp = view.fingerprint();
+        if let Ok(guard) = self.digest_cache.lock() {
+            if let Some((key, digest)) = guard.as_ref() {
+                if *key == fp {
+                    self.digest_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((**digest).clone());
+                }
+            }
+        }
+        self.digest_misses.fetch_add(1, Ordering::Relaxed);
+        let digest = SummaryDigest::compute(&view, &self.attrs);
+        if let Ok(mut guard) = self.digest_cache.lock() {
+            *guard = Some((fp, Arc::new(digest.clone())));
+        }
+        Ok(digest)
+    }
+
+    /// `(hits, misses)` of the digest memo — diagnostics for `EXPLAIN` and
+    /// the bench harness.
+    pub fn digest_cache_stats(&self) -> (u64, u64) {
+        (
+            self.digest_hits.load(Ordering::Relaxed),
+            self.digest_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Summary digest of an arbitrary view (with this engine's codecs, so
@@ -330,6 +371,29 @@ mod tests {
         assert_eq!(e.results_for(&s).unwrap().len(), 2);
         assert!(e.state().is_empty());
         assert_eq!(e.results().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn digest_memoized_until_selection_changes() {
+        let t = table();
+        let mut e = FacetedEngine::new(&t, 3);
+        let d1 = e.digest().unwrap();
+        let d2 = e.digest().unwrap();
+        assert_eq!(e.digest_cache_stats(), (1, 1), "second digest should hit");
+        assert_eq!(d1.total, d2.total);
+        assert_eq!(d1.attribute(0).unwrap().counts, d2.attribute(0).unwrap().counts);
+
+        // A refinement changes the result fingerprint: the memo misses once
+        // and the digest reflects the new selection.
+        e.select(0, "Ford").unwrap();
+        let d3 = e.digest().unwrap();
+        assert_eq!(e.digest_cache_stats(), (1, 2));
+        assert_eq!(d3.total, 2);
+        // Backing out restores the full view; the single-entry memo was
+        // overwritten, so this recomputes — but stays correct.
+        e.deselect(0, "Ford");
+        let d4 = e.digest().unwrap();
+        assert_eq!(d4.total, 6);
     }
 
     #[test]

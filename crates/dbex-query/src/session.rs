@@ -4,10 +4,11 @@
 use crate::ast::*;
 use crate::error::{CaughtPanic, QueryError, SessionError};
 use crate::parser::parse;
-use dbex_core::{build_cad_view, CadRequest, CadView, ExecBudget, Preference};
+use dbex_core::{build_cad_view_cached, CadRequest, CadView, ExecBudget, Preference, StatsCache};
 use dbex_table::{group_by, sort_view, SortKey, Table, Value};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Session-local result alias.
 type Result<T> = std::result::Result<T, QueryError>;
@@ -48,6 +49,13 @@ pub struct Session {
     tables: HashMap<String, Table>,
     cad_views: HashMap<String, CadView>,
     budget: ExecBudget,
+    /// Worker threads for CAD View builds: `1` = sequential (default),
+    /// `0` = auto (`DBEX_THREADS` / hardware parallelism).
+    threads: Option<usize>,
+    /// Memoized codecs + contingency tables shared by every CAD build in
+    /// this session (keyed on view fingerprints, so table or predicate
+    /// changes invalidate implicitly).
+    stats_cache: Arc<StatsCache>,
 }
 
 impl Session {
@@ -70,6 +78,24 @@ impl Session {
     /// The session's execution budget.
     pub fn budget(&self) -> &ExecBudget {
         &self.budget
+    }
+
+    /// Sets the worker-thread count for CAD View builds: `1` = sequential,
+    /// `0` = auto (`DBEX_THREADS` env, else hardware parallelism). Output
+    /// is byte-identical for any setting at a fixed seed.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = Some(threads);
+    }
+
+    /// The configured thread count (`None` = builder default, sequential).
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The session's shared statistics cache (codecs + contingency
+    /// tables), for diagnostics.
+    pub fn stats_cache(&self) -> &StatsCache {
+        &self.stats_cache
     }
 
     /// A registered table.
@@ -295,7 +321,7 @@ impl Session {
         let table = self.table(&c.table)?;
         let result = table.filter(&c.predicate)?;
         let request = self.cad_request(&c)?;
-        let cad = build_cad_view(&result, &request)?;
+        let cad = build_cad_view_cached(&result, &request, Some(&self.stats_cache))?;
         let mut out = format!(
             "CADVIEW {} over {} rows of {}\n  pivot: {} ({} values shown)\n",
             c.name,
@@ -318,6 +344,12 @@ impl Session {
             "  timings: compare-attrs {:.1?} | iunit-generation {:.1?} | others {:.1?}\n",
             cad.timings.compare_attrs, cad.timings.iunit_generation, cad.timings.others
         ));
+        out.push_str(&format!(
+            "  parallelism: {} thread{}\n",
+            cad.threads_used,
+            if cad.threads_used == 1 { "" } else { "s" }
+        ));
+        out.push_str(&format!("  stats cache: {}\n", self.stats_cache.stats()));
         if cad.is_degraded() {
             out.push_str("  degradation:\n");
             for d in &cad.degradation {
@@ -335,6 +367,9 @@ impl Session {
         let mut request = CadRequest::new(&c.pivot)
             .with_compare(c.compare_attrs.clone())
             .with_budget(self.budget.clone());
+        if let Some(threads) = self.threads {
+            request.config.threads = threads;
+        }
         if let Some(m) = c.limit_columns {
             request = request.with_max_compare_attrs(m);
         }
@@ -357,7 +392,7 @@ impl Session {
         let table = self.table(&c.table)?;
         let result = table.filter(&c.predicate)?;
         let request = self.cad_request(&c)?;
-        let cad = build_cad_view(&result, &request)?;
+        let cad = build_cad_view_cached(&result, &request, Some(&self.stats_cache))?;
         let rendered = cad.render();
         let degradation = cad.degradation.iter().map(|d| d.to_string()).collect();
         self.cad_views.insert(c.name.clone(), cad);
@@ -564,6 +599,53 @@ mod tests {
             .execute_script("SELECT * FROM cars WHERE Make = 'a;b' LIMIT 1")
             .unwrap();
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn explain_reports_parallelism_and_cache() {
+        let mut s = session();
+        let QueryOutput::Text(t) = s
+            .execute("EXPLAIN CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(t.contains("parallelism: 1 thread\n"), "{t}");
+        assert!(t.contains("stats cache:"), "{t}");
+
+        s.set_threads(2);
+        let QueryOutput::Text(t) = s
+            .execute("EXPLAIN CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(t.contains("parallelism: 2 threads\n"), "{t}");
+    }
+
+    #[test]
+    fn repeated_create_hits_stats_cache_and_renders_identically() {
+        let mut s = session();
+        let stmt = "CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2";
+        let QueryOutput::Cad { rendered: r1, .. } = s.execute(stmt).unwrap() else {
+            panic!()
+        };
+        let QueryOutput::Cad { rendered: r2, .. } = s.execute(stmt).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r1, r2);
+        assert!(
+            s.stats_cache().stats().hits > 0,
+            "second build should reuse cached stats: {}",
+            s.stats_cache().stats()
+        );
+
+        // Parallel build of the same statement renders identically too.
+        s.set_threads(4);
+        let QueryOutput::Cad { rendered: r3, .. } = s.execute(stmt).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r1, r3);
     }
 
     #[test]

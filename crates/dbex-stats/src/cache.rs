@@ -1,0 +1,296 @@
+//! Memoized per-view statistics.
+//!
+//! CAD View construction and faceted refinement recompute the same
+//! statistics over and over: a TPFacet toggle rebuilds histograms for every
+//! attribute of an unchanged result set, and repeated `CREATE CADVIEW` /
+//! `EXPLAIN CADVIEW` calls on the same result set redo every contingency
+//! table. [`StatsCache`] memoizes the two expensive artifacts — attribute
+//! codecs (which embed the histogram for numeric attributes) and chi-square
+//! contingency tables — keyed on the *view fingerprint* plus the statistic's
+//! parameters.
+//!
+//! # Keying and invalidation
+//!
+//! [`dbex_table::View::fingerprint`] hashes the table's process-unique id
+//! together with the exact row selection, so there is no explicit
+//! invalidation protocol: any change to the selection (or a reloaded table)
+//! produces a different key and simply misses. Stale entries for dead views
+//! are bounded by [`MAX_ENTRIES`] per map — when a map fills up it is
+//! cleared wholesale, which only costs recomputation, never correctness.
+//!
+//! # Concurrency
+//!
+//! The cache is `Sync` and lock-based; builds run *outside* the lock, so
+//! parallel workers scoring different attributes never serialize on each
+//! other's computation. Two threads racing on the same key may both build;
+//! the results are deterministic and identical, so either insert is fine.
+
+use crate::chi2::ContingencyTable;
+use crate::discretize::AttributeCodec;
+use crate::error::StatsError;
+use crate::histogram::BinningStrategy;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-map entry cap; reaching it clears the map (see module docs).
+pub const MAX_ENTRIES: usize = 1024;
+
+/// Key for a memoized [`AttributeCodec`] (histogram + labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodecKey {
+    /// [`dbex_table::View::fingerprint`] of the view the codec was built on.
+    pub view_fp: u64,
+    /// Schema index of the discretized attribute.
+    pub attr: usize,
+    /// Bin count for numeric attributes.
+    pub bins: usize,
+    /// Binning strategy for numeric attributes.
+    pub strategy: BinningStrategy,
+}
+
+/// Key for a memoized chi-square [`ContingencyTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContingencyKey {
+    /// [`dbex_table::View::fingerprint`] of the scoring view.
+    pub view_fp: u64,
+    /// Hash of the class-label assignment (pivot column + selected pivot
+    /// codes): the same view crossed with a different pivot must not share
+    /// contingency tables.
+    pub class_ctx: u64,
+    /// Schema index of the scored attribute.
+    pub attr: usize,
+    /// Bin count used to discretize the attribute.
+    pub bins: usize,
+    /// Binning strategy used to discretize the attribute.
+    pub strategy: BinningStrategy,
+}
+
+/// Counters and sizes reported by [`StatsCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Live codec entries.
+    pub codec_entries: usize,
+    /// Live contingency-table entries.
+    pub contingency_entries: usize,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} entries",
+            self.hits,
+            self.misses,
+            self.codec_entries + self.contingency_entries
+        )
+    }
+}
+
+/// Memoization cache for per-view statistics. See the module docs.
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    codecs: Mutex<HashMap<CodecKey, Arc<AttributeCodec>>>,
+    tables: Mutex<HashMap<ContingencyKey, Arc<ContingencyTable>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StatsCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the codec for `key`, building it with `build` on a miss.
+    ///
+    /// Build errors are returned and not cached, so a transient failure
+    /// (e.g. injected fault) does not poison the key.
+    pub fn codec_with(
+        &self,
+        key: CodecKey,
+        build: impl FnOnce() -> Result<AttributeCodec, StatsError>,
+    ) -> Result<Arc<AttributeCodec>, StatsError> {
+        if let Ok(map) = self.codecs.lock() {
+            if let Some(hit) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(hit));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        if let Ok(mut map) = self.codecs.lock() {
+            if map.len() >= MAX_ENTRIES {
+                map.clear();
+            }
+            map.insert(key, Arc::clone(&built));
+        }
+        Ok(built)
+    }
+
+    /// Returns the contingency table for `key`, building on a miss.
+    ///
+    /// `build` returning `None` (attribute cannot be discretized) is passed
+    /// through and not cached.
+    pub fn contingency_with(
+        &self,
+        key: ContingencyKey,
+        build: impl FnOnce() -> Option<ContingencyTable>,
+    ) -> Option<Arc<ContingencyTable>> {
+        if let Ok(map) = self.tables.lock() {
+            if let Some(hit) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(hit));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        if let Ok(mut map) = self.tables.lock() {
+            if map.len() >= MAX_ENTRIES {
+                map.clear();
+            }
+            map.insert(key, Arc::clone(&built));
+        }
+        Some(built)
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        if let Ok(mut map) = self.codecs.lock() {
+            map.clear();
+        }
+        if let Ok(mut map) = self.tables.lock() {
+            map.clear();
+        }
+    }
+
+    /// Snapshot of hit/miss counters and live entry counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            codec_entries: self.codecs.lock().map(|m| m.len()).unwrap_or(0),
+            contingency_entries: self.tables.lock().map(|m| m.len()).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec_key(fp: u64, attr: usize) -> CodecKey {
+        CodecKey {
+            view_fp: fp,
+            attr,
+            bins: 4,
+            strategy: BinningStrategy::EquiDepth,
+        }
+    }
+
+    fn some_codec() -> Result<AttributeCodec, StatsError> {
+        Ok(AttributeCodec::Categorical {
+            labels: vec!["a".into(), "b".into()],
+        })
+    }
+
+    #[test]
+    fn codec_hits_after_miss() {
+        let cache = StatsCache::new();
+        let a = cache.codec_with(codec_key(1, 0), some_codec).unwrap();
+        let b = cache.codec_with(codec_key(1, 0), || panic!("must hit")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.codec_entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_keys_do_not_collide() {
+        let cache = StatsCache::new();
+        cache.codec_with(codec_key(1, 0), some_codec).unwrap();
+        cache.codec_with(codec_key(2, 0), some_codec).unwrap();
+        cache.codec_with(codec_key(1, 1), some_codec).unwrap();
+        assert_eq!(cache.stats().codec_entries, 3);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = StatsCache::new();
+        let err = cache.codec_with(codec_key(1, 0), || {
+            Err(StatsError::NoUsableValues { attr: 0 })
+        });
+        assert!(err.is_err());
+        // The next call builds again and can succeed.
+        assert!(cache.codec_with(codec_key(1, 0), some_codec).is_ok());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn contingency_round_trip() {
+        let cache = StatsCache::new();
+        let key = ContingencyKey {
+            view_fp: 7,
+            class_ctx: 3,
+            attr: 2,
+            bins: 4,
+            strategy: BinningStrategy::EquiWidth,
+        };
+        let built = cache
+            .contingency_with(key, || {
+                let mut t = ContingencyTable::new(2, 2);
+                t.add(0, 1);
+                Some(t)
+            })
+            .unwrap();
+        let hit = cache.contingency_with(key, || panic!("must hit")).unwrap();
+        assert!(Arc::ptr_eq(&built, &hit));
+        assert!(cache
+            .contingency_with(
+                ContingencyKey { class_ctx: 4, ..key },
+                || Some(ContingencyTable::new(2, 2))
+            )
+            .is_some());
+        assert_eq!(cache.stats().contingency_entries, 2);
+    }
+
+    #[test]
+    fn clear_and_capacity() {
+        let cache = StatsCache::new();
+        for i in 0..MAX_ENTRIES {
+            cache.codec_with(codec_key(i as u64, 0), some_codec).unwrap();
+        }
+        assert_eq!(cache.stats().codec_entries, MAX_ENTRIES);
+        // At capacity the map is cleared before the next insert.
+        cache
+            .codec_with(codec_key(u64::MAX, 0), some_codec)
+            .unwrap();
+        assert_eq!(cache.stats().codec_entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().codec_entries, 0);
+        assert!(cache.stats().misses > 0, "counters survive clear");
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = Arc::new(StatsCache::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        cache
+                            .codec_with(codec_key(i as u64 % 8, t), some_codec)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert!(s.codec_entries >= 8);
+    }
+}

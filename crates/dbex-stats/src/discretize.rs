@@ -154,10 +154,40 @@ impl CodedMatrix {
         bins: usize,
         strategy: BinningStrategy,
     ) -> CodedMatrix {
-        let mut columns = Vec::with_capacity(attr_indices.len());
-        for &col in attr_indices {
-            let Ok(codec) = AttributeCodec::build(view, col, bins, strategy) else {
-                continue;
+        Self::encode_ctx(view, attr_indices, bins, strategy, 1, None)
+    }
+
+    /// [`CodedMatrix::encode`] with explicit parallelism and memoization:
+    /// attributes are encoded across `threads` workers, and codecs
+    /// (histograms + labels) are looked up in `cache` when present.
+    ///
+    /// Output is identical to [`CodedMatrix::encode`] for any thread count:
+    /// encoding is independent per attribute and column order follows
+    /// `attr_indices` regardless of completion order.
+    pub fn encode_ctx(
+        view: &View<'_>,
+        attr_indices: &[usize],
+        bins: usize,
+        strategy: BinningStrategy,
+        threads: usize,
+        cache: Option<&crate::cache::StatsCache>,
+    ) -> CodedMatrix {
+        let view_fp = cache.map(|_| view.fingerprint());
+        let encode_one = |col: usize| -> Option<CodedColumn> {
+            let codec: AttributeCodec = match (cache, view_fp) {
+                (Some(cache), Some(fp)) => {
+                    let key = crate::cache::CodecKey {
+                        view_fp: fp,
+                        attr: col,
+                        bins,
+                        strategy,
+                    };
+                    let shared = cache
+                        .codec_with(key, || AttributeCodec::build(view, col, bins, strategy))
+                        .ok()?;
+                    (*shared).clone()
+                }
+                _ => AttributeCodec::build(view, col, bins, strategy).ok()?,
             };
             let column = view.table().column(col);
             let codes = view
@@ -165,12 +195,16 @@ impl CodedMatrix {
                 .iter()
                 .map(|&r| codec.encode(column, r as usize).unwrap_or(NULL_CODE))
                 .collect();
-            columns.push(CodedColumn {
+            Some(CodedColumn {
                 attr_index: col,
                 codec,
                 codes,
-            });
-        }
+            })
+        };
+        let columns = dbex_par::par_map(threads, attr_indices, |_, &col| encode_one(col))
+            .into_iter()
+            .flatten()
+            .collect();
         CodedMatrix {
             columns,
             rows: view.len(),

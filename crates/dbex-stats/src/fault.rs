@@ -9,6 +9,18 @@
 //!
 //! Production code never arms a fault; the per-call check is a
 //! thread-local read, negligible next to the statistics it guards.
+//!
+//! # Interaction with parallel CAD builds
+//!
+//! Hooks fire **only on the arming thread** — this is a deliberate design
+//! decision, not an accident. With `CadConfig::threads == 1` (the default)
+//! the whole pipeline runs on the caller's thread and every armed site is
+//! honored, which is what the robustness suite exercises. With
+//! `threads > 1`, per-partition and per-attribute work runs on short-lived
+//! pool workers (`dbex_par::par_map`) whose fresh thread-locals are never
+//! armed, so those stages proceed at full fidelity; stages that stay on the
+//! caller's thread (e.g. the pivot codec build) still see the fault.
+//! `tests/parallel_determinism.rs` pins down both behaviors.
 
 use crate::error::StatsError;
 use std::cell::Cell;

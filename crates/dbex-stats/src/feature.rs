@@ -9,12 +9,14 @@
 //! attributes failing the significance threshold are dropped, and the
 //! remainder are ranked by decreasing statistic.
 
+use crate::cache::{ContingencyKey, StatsCache};
 use crate::chi2::ContingencyTable;
 use crate::discretize::AttributeCodec;
 use crate::entropy::{information_gain, symmetrical_uncertainty};
 use crate::histogram::BinningStrategy;
 use dbex_table::dict::NULL_CODE;
 use dbex_table::View;
+use std::sync::Arc;
 
 /// Relevance measure used to rank candidate Compare Attributes.
 ///
@@ -124,6 +126,23 @@ pub fn select_compare_attributes(
     )
 }
 
+/// Execution context for Compare Attribute selection: parallelism and
+/// memoization. The default is sequential and uncached — exactly the
+/// behavior of [`select_compare_attributes_by`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScoringCtx<'a> {
+    /// Worker threads for per-attribute scoring; `0`/`1` score on the
+    /// caller's thread (see `dbex_par::par_map`).
+    pub threads: usize,
+    /// Memoization cache for contingency tables, if any.
+    pub cache: Option<&'a StatsCache>,
+    /// Hash identifying the class-label assignment (e.g. pivot column +
+    /// selected pivot codes). Only used as part of the cache key; callers
+    /// passing a cache must make this collision-free across different
+    /// `class_of` functions used with the same view.
+    pub class_ctx: u64,
+}
+
 /// Generalized Compare Attribute selection with caller-provided class
 /// labels.
 ///
@@ -134,52 +153,88 @@ pub fn select_compare_attributes(
 pub fn select_compare_attributes_by(
     view: &View<'_>,
     num_classes: usize,
-    class_of: &dyn Fn(usize) -> Option<usize>,
+    class_of: &(dyn Fn(usize) -> Option<usize> + Sync),
     pivot_col: usize,
     forced: &[usize],
     candidates: &[usize],
     config: &FeatureSelectionConfig,
 ) -> (Vec<usize>, Vec<FeatureScore>) {
+    select_compare_attributes_ctx(
+        view,
+        num_classes,
+        class_of,
+        pivot_col,
+        forced,
+        candidates,
+        config,
+        ScoringCtx::default(),
+    )
+}
+
+/// [`select_compare_attributes_by`] with an explicit [`ScoringCtx`]:
+/// candidate attributes are scored across `ctx.threads` workers, and
+/// contingency tables are memoized in `ctx.cache` when present.
+///
+/// The scored list is identical to the sequential, uncached path for any
+/// thread count: each attribute's score is computed independently and
+/// results are collected in candidate order before the stable sort.
+#[allow(clippy::too_many_arguments)]
+pub fn select_compare_attributes_ctx(
+    view: &View<'_>,
+    num_classes: usize,
+    class_of: &(dyn Fn(usize) -> Option<usize> + Sync),
+    pivot_col: usize,
+    forced: &[usize],
+    candidates: &[usize],
+    config: &FeatureSelectionConfig,
+    ctx: ScoringCtx<'_>,
+) -> (Vec<usize>, Vec<FeatureScore>) {
     let scoring_view = match config.sample {
         Some(n) => view.sample(n),
         None => view.clone(),
     };
+    let view_fp = ctx.cache.map(|_| scoring_view.fingerprint());
 
-    let mut scores: Vec<FeatureScore> = Vec::new();
-    for &attr in candidates {
+    let score_one = |attr: usize| -> Option<FeatureScore> {
         if attr == pivot_col || forced.contains(&attr) {
-            continue;
+            return None;
         }
-        let Ok(codec) = AttributeCodec::build(&scoring_view, attr, config.bins, config.strategy)
-        else {
-            continue;
+        let build = || {
+            contingency_for(&scoring_view, attr, num_classes, class_of, config)
         };
-        let column = scoring_view.table().column(attr);
-        let mut table = ContingencyTable::new(num_classes, codec.cardinality());
-        for &row in scoring_view.row_ids() {
-            let Some(class) = class_of(row as usize) else {
-                continue;
-            };
-            let Some(code) = codec.encode(column, row as usize) else {
-                continue;
-            };
-            table.add(class, code as usize);
-        }
-        if let Some(result) = table.chi_square() {
-            let score = match config.scorer {
-                FeatureScorer::ChiSquare => result.statistic,
-                FeatureScorer::InfoGain => information_gain(&table),
-                FeatureScorer::SymmetricalUncertainty => symmetrical_uncertainty(&table),
-            };
-            scores.push(FeatureScore {
-                attr_index: attr,
-                statistic: result.statistic,
-                dof: result.dof,
-                p_value: result.p_value,
-                score,
-            });
-        }
-    }
+        let table: Arc<ContingencyTable> = match (ctx.cache, view_fp) {
+            (Some(cache), Some(fp)) => cache.contingency_with(
+                ContingencyKey {
+                    view_fp: fp,
+                    class_ctx: ctx.class_ctx,
+                    attr,
+                    bins: config.bins,
+                    strategy: config.strategy,
+                },
+                build,
+            )?,
+            _ => Arc::new(build()?),
+        };
+        let result = table.chi_square()?;
+        let score = match config.scorer {
+            FeatureScorer::ChiSquare => result.statistic,
+            FeatureScorer::InfoGain => information_gain(&table),
+            FeatureScorer::SymmetricalUncertainty => symmetrical_uncertainty(&table),
+        };
+        Some(FeatureScore {
+            attr_index: attr,
+            statistic: result.statistic,
+            dof: result.dof,
+            p_value: result.p_value,
+            score,
+        })
+    };
+
+    let mut scores: Vec<FeatureScore> =
+        dbex_par::par_map(ctx.threads, candidates, |_, &attr| score_one(attr))
+            .into_iter()
+            .flatten()
+            .collect();
 
     scores.sort_by(|a, b| b.score.total_cmp(&a.score));
 
@@ -193,6 +248,30 @@ pub fn select_compare_attributes_by(
         }
     }
     (selected, scores)
+}
+
+/// Builds the (class × code) contingency table for one candidate attribute,
+/// or `None` when the attribute cannot be discretized over the view.
+fn contingency_for(
+    scoring_view: &View<'_>,
+    attr: usize,
+    num_classes: usize,
+    class_of: &(dyn Fn(usize) -> Option<usize> + Sync),
+    config: &FeatureSelectionConfig,
+) -> Option<ContingencyTable> {
+    let codec = AttributeCodec::build(scoring_view, attr, config.bins, config.strategy).ok()?;
+    let column = scoring_view.table().column(attr);
+    let mut table = ContingencyTable::new(num_classes, codec.cardinality());
+    for &row in scoring_view.row_ids() {
+        let Some(class) = class_of(row as usize) else {
+            continue;
+        };
+        let Some(code) = codec.encode(column, row as usize) else {
+            continue;
+        };
+        table.add(class, code as usize);
+    }
+    Some(table)
 }
 
 #[cfg(test)]
@@ -294,6 +373,45 @@ mod tests {
         let (selected, _) =
             select_compare_attributes(&v, 0, &codes, &[], &[1, 2, 3], &config);
         assert_eq!(selected[0], 1);
+    }
+
+    /// Scoring across threads, with or without the cache, must reproduce
+    /// the sequential uncached scores exactly.
+    #[test]
+    fn parallel_and_cached_scoring_match_sequential() {
+        let t = table();
+        let v = t.full_view();
+        let codes = pivot_codes(&t);
+        let pivot_column = t.column(0);
+        let class_of = |row: usize| -> Option<usize> {
+            let code = pivot_column.get_code(row)?;
+            codes.iter().position(|&c| c == code)
+        };
+        let config = FeatureSelectionConfig::default();
+        let run = |ctx: ScoringCtx<'_>| {
+            select_compare_attributes_ctx(&v, codes.len(), &class_of, 0, &[], &[1, 2, 3], &config, ctx)
+        };
+        let (base_sel, base_scores) = run(ScoringCtx::default());
+        let cache = StatsCache::new();
+        for threads in [1, 2, 4] {
+            for use_cache in [false, true] {
+                let ctx = ScoringCtx {
+                    threads,
+                    cache: use_cache.then_some(&cache),
+                    class_ctx: 17,
+                };
+                let (sel, scores) = run(ctx);
+                assert_eq!(sel, base_sel, "threads={threads} cache={use_cache}");
+                assert_eq!(scores.len(), base_scores.len());
+                for (a, b) in scores.iter().zip(&base_scores) {
+                    assert_eq!(a.attr_index, b.attr_index);
+                    assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "repeat cached runs must hit: {stats}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::error::StatsError;
 use crate::fault;
 
 /// Strategy used to place bin boundaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinningStrategy {
     /// Fixed-width bins over the value range.
     EquiWidth,

@@ -26,6 +26,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod chi2;
 pub mod entropy;
 pub mod discretize;
@@ -39,13 +40,14 @@ pub mod mixed;
 pub mod simil;
 pub mod special;
 
+pub use cache::{CacheStats, CodecKey, ContingencyKey, StatsCache};
 pub use chi2::{ChiSquareResult, ContingencyTable};
 pub use error::StatsError;
 pub use discretize::{AttributeCodec, CodedColumn, CodedMatrix};
 pub use entropy::{entropy, information_gain, mutual_information, symmetrical_uncertainty};
 pub use feature::{
-    select_compare_attributes, select_compare_attributes_by, FeatureScore, FeatureScorer,
-    FeatureSelectionConfig,
+    select_compare_attributes, select_compare_attributes_by, select_compare_attributes_ctx,
+    FeatureScore, FeatureScorer, FeatureSelectionConfig, ScoringCtx,
 };
 pub use interact::{InteractionMatrix, PairInteraction};
 pub use histogram::{BinningStrategy, Histogram};

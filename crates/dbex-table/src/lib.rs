@@ -21,6 +21,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
+pub mod batch;
 pub mod column;
 pub mod csv;
 pub mod dict;

@@ -19,9 +19,23 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    id: u64,
 }
 
+/// Monotonic id source for [`Table::id`].
+static NEXT_TABLE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 impl Table {
+    /// Process-unique identity of this table's contents.
+    ///
+    /// Assigned once when the builder finishes; clones share the id (their
+    /// contents are identical), while any rebuilt table gets a fresh one.
+    /// [`View::fingerprint`] folds this in so cached per-view statistics
+    /// never survive a table swap.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -71,16 +85,10 @@ impl Table {
     /// Evaluates `predicate` over all rows, returning the selected view.
     ///
     /// This is the engine's `SELECT * FROM t WHERE ...` primitive; the query
-    /// layer in `dbex-query` compiles SQL text down to this call.
+    /// layer in `dbex-query` compiles SQL text down to this call. The scan
+    /// runs through the columnar batch kernels in [`crate::batch`].
     pub fn filter(&self, predicate: &Predicate) -> Result<View<'_>> {
-        predicate.validate(&self.schema)?;
-        let mut rows = Vec::new();
-        for row in 0..self.rows {
-            if predicate.eval(self, row)? {
-                rows.push(row as u32);
-            }
-        }
-        Ok(View::from_rows(self, rows))
+        self.full_view().refine(predicate)
     }
 }
 
@@ -146,6 +154,7 @@ impl TableBuilder {
             schema: self.schema,
             columns: self.columns,
             rows: self.rows,
+            id: NEXT_TABLE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 }

@@ -54,20 +54,44 @@ impl<'a> View<'a> {
         self.rows.is_empty()
     }
 
+    /// Order-sensitive 64-bit fingerprint of (table identity, row selection).
+    ///
+    /// Two views with equal fingerprints select the same rows of the same
+    /// table (up to negligible FNV-1a collision probability), so the
+    /// fingerprint serves as a cache key for per-view statistics: any change
+    /// to the selection — or a rebuilt table, which gets a fresh
+    /// [`Table::id`] — changes the fingerprint and invalidates the entry.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.table.id());
+        mix(self.rows.len() as u64);
+        for &row in &self.rows {
+            mix(u64::from(row));
+        }
+        hash
+    }
+
     /// Value of `col` at the `i`-th selected row.
     pub fn value(&self, i: usize, col: usize) -> Value {
         self.table.value(self.rows[i] as usize, col)
     }
 
     /// Further filters this view by `predicate`.
+    ///
+    /// Evaluation runs through the columnar batch kernels
+    /// ([`crate::batch`]): one pass per predicate leaf over the typed
+    /// column data, no per-row `Value` materialization.
     pub fn refine(&self, predicate: &Predicate) -> Result<View<'a>> {
         predicate.validate(self.table.schema())?;
-        let mut rows = Vec::new();
-        for &row in &self.rows {
-            if predicate.eval(self.table, row as usize)? {
-                rows.push(row);
-            }
-        }
+        let rows = crate::batch::select(self.table, &self.rows, predicate)?;
         Ok(View {
             table: self.table,
             rows,
@@ -81,28 +105,28 @@ impl<'a> View<'a> {
     /// Attribute value.
     pub fn partition_by_code(&self, col: usize) -> Vec<(u32, Vec<u32>)> {
         let column = self.table.column(col);
-        let mut order: Vec<u32> = Vec::new();
-        let mut groups: std::collections::HashMap<u32, Vec<u32>> =
-            std::collections::HashMap::new();
+        let (Some(codes), Some(dict)) = (column.codes(), column.dictionary()) else {
+            // Non-categorical columns have no codes to partition by.
+            return Vec::new();
+        };
+        // Dictionary codes are dense, so a code-indexed slot vector replaces
+        // the HashMap: one bounds-checked index per row instead of a hash.
+        const UNSEEN: usize = usize::MAX;
+        let mut slots: Vec<usize> = vec![UNSEEN; dict.len()];
+        let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
         for &row in &self.rows {
-            if let Some(code) = column.get_code(row as usize) {
-                if code == crate::dict::NULL_CODE {
-                    continue;
-                }
-                let entry = groups.entry(code).or_insert_with(|| {
-                    order.push(code);
-                    Vec::new()
-                });
-                entry.push(row);
+            let code = codes[row as usize];
+            if code == crate::dict::NULL_CODE {
+                continue;
             }
+            let slot = &mut slots[code as usize];
+            if *slot == UNSEEN {
+                *slot = groups.len();
+                groups.push((code, Vec::new()));
+            }
+            groups[*slot].1.push(row);
         }
-        order
-            .into_iter()
-            .map(|code| {
-                let rows = groups.remove(&code).unwrap_or_default();
-                (code, rows)
-            })
-            .collect()
+        groups
     }
 
     /// Deterministic uniform subsample of at most `n` rows.
@@ -112,27 +136,43 @@ impl<'a> View<'a> {
     /// A partial Fisher-Yates shuffle driven by a fixed-seed xorshift PRNG
     /// makes the sample uniform (no aliasing with periodic row orders) yet
     /// reproducible across runs.
+    ///
+    /// The shuffle is *sparse*: rather than cloning the whole row pool and
+    /// swapping in place, displaced entries are tracked in a map holding at
+    /// most `n` overrides, so sampling costs O(n) time and memory even when
+    /// `n` is far smaller than the view. The PRNG draw sequence and the
+    /// selected set are identical to the dense shuffle this replaced.
     pub fn sample(&self, n: usize) -> View<'a> {
-        if n == 0 || self.rows.len() <= n {
+        let len = self.rows.len();
+        if n == 0 || len <= n {
             return self.clone();
         }
-        let mut pool = self.rows.clone();
-        let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (pool.len() as u64);
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (len as u64);
         let mut next = || {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
             state
         };
+        // displaced[p] = value virtually swapped into position p; positions
+        // not present still hold self.rows[p]. Position i is consumed at
+        // step i and never read again, so only the write to j is recorded.
+        let mut displaced: std::collections::HashMap<usize, u32> =
+            std::collections::HashMap::with_capacity(n * 2);
+        let mut picked = Vec::with_capacity(n);
         for i in 0..n {
-            let j = i + (next() as usize) % (pool.len() - i);
-            pool.swap(i, j);
+            let j = i + (next() as usize) % (len - i);
+            let at = |p: usize, displaced: &std::collections::HashMap<usize, u32>| {
+                displaced.get(&p).copied().unwrap_or(self.rows[p])
+            };
+            let vi = at(i, &displaced);
+            picked.push(at(j, &displaced));
+            displaced.insert(j, vi);
         }
-        pool.truncate(n);
-        pool.sort_unstable();
+        picked.sort_unstable();
         View {
             table: self.table,
-            rows: pool,
+            rows: picked,
         }
     }
 
@@ -225,6 +265,54 @@ mod tests {
         assert_eq!(v.sample(3).len(), 3);
         assert_eq!(v.sample(10).len(), 5);
         assert_eq!(v.sample(0).len(), 5);
+    }
+
+    /// The sparse partial Fisher-Yates must pick exactly the rows the dense
+    /// clone-the-pool shuffle picked (same PRNG, same draw sequence).
+    #[test]
+    fn sample_matches_dense_reference() {
+        fn dense_sample(rows: &[u32], n: usize) -> Vec<u32> {
+            let mut pool = rows.to_vec();
+            let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (pool.len() as u64);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for i in 0..n {
+                let j = i + (next() as usize) % (pool.len() - i);
+                pool.swap(i, j);
+            }
+            pool.truncate(n);
+            pool.sort_unstable();
+            pool
+        }
+        let mut b = TableBuilder::new(vec![Field::new("X", DataType::Int)]).unwrap();
+        for i in 0..5_000 {
+            b.push_row(vec![Value::Int(i)]).unwrap();
+        }
+        let t = b.finish();
+        let ids: Vec<u32> = (0..5_000u32).rev().collect();
+        let v = View::from_rows(&t, ids.clone());
+        for n in [1, 2, 7, 64, 1_000, 4_999] {
+            assert_eq!(v.sample(n).row_ids(), dense_sample(&ids, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_selection_and_table() {
+        let t = table();
+        let a = View::from_rows(&t, vec![0, 1, 2]);
+        assert_eq!(a.fingerprint(), View::from_rows(&t, vec![0, 1, 2]).fingerprint());
+        assert_ne!(a.fingerprint(), View::from_rows(&t, vec![0, 1, 3]).fingerprint());
+        assert_ne!(a.fingerprint(), View::from_rows(&t, vec![2, 1, 0]).fingerprint());
+        // A structurally identical but rebuilt table has a new id.
+        let t2 = table();
+        assert_ne!(a.fingerprint(), View::from_rows(&t2, vec![0, 1, 2]).fingerprint());
+        // A clone shares the id, so fingerprints agree.
+        let t3 = t.clone();
+        assert_eq!(a.fingerprint(), View::from_rows(&t3, vec![0, 1, 2]).fingerprint());
     }
 
     #[test]

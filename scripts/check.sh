@@ -4,9 +4,23 @@
 # The clippy step runs with -D warnings, and the library crates carry
 # `#![warn(clippy::unwrap_used, clippy::expect_used)]` outside #[cfg(test)],
 # so any new unwrap/expect in library code fails this script.
+#
+# `--bench-smoke` additionally runs the CAD bench harness in --quick mode
+# with DBEX_THREADS pinned, so the run is reproducible on any machine.
+# bench_suite exits non-zero if any parallel build diverges from the
+# sequential render or if the generated report is not well-formed JSON,
+# so a bad report fails the gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "usage: $0 [--bench-smoke]" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -16,5 +30,13 @@ cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$BENCH_SMOKE" -eq 1 ]]; then
+  echo "==> bench smoke (bench_suite --quick, DBEX_THREADS=2)"
+  SMOKE_OUT="$(mktemp /tmp/bench_cad_smoke.XXXXXX.json)"
+  trap 'rm -f "$SMOKE_OUT"' EXIT
+  DBEX_THREADS=2 cargo run --release -p dbex-bench --bin bench_suite -- \
+    --quick --out "$SMOKE_OUT"
+fi
 
 echo "All checks passed."

@@ -13,8 +13,9 @@
 //!
 //! Dot-commands: `.load cars|mushroom [rows] [seed]`,
 //! `.open <path> <name> [--lossy]`, `.budget [rows N] [time MS] [iters N]`,
-//! `.tables`, `.summary <table>`, `.help`, `.quit`. Everything else is fed
-//! to the SQL engine (statements may span lines; terminate with `;`).
+//! `.threads [N|auto]`, `.tables`, `.summary <table>`, `.help`, `.quit`.
+//! Everything else is fed to the SQL engine (statements may span lines;
+//! terminate with `;`).
 //!
 //! The shell never dies on bad input: missing or malformed CSV files, bad
 //! `.load` arguments, SQL errors, and even statements that panic inside the
@@ -104,6 +105,8 @@ impl Shell {
                     "                              skip bad rows instead of aborting",
                     ".budget [rows N] [time MS] [iters N] | off",
                     "                              limit CAD View builds (degrade, don't fail)",
+                    ".threads [N|auto]             CAD build parallelism (1 = sequential;",
+                    "                              auto = DBEX_THREADS or hardware cores)",
                     ".tables                       list registered tables",
                     ".summary <table>              per-column statistics",
                     ".quit                         exit",
@@ -115,6 +118,7 @@ impl Shell {
             ".load" => self.load(&parts),
             ".open" => self.open(&parts),
             ".budget" => self.budget(&parts),
+            ".threads" => self.threads(&parts),
             ".tables" => {
                 for t in &self.tables {
                     println!("{t}");
@@ -269,6 +273,33 @@ impl Shell {
         }
         println!("budget: {}", render_budget(&budget));
         self.session.set_budget(budget);
+    }
+
+    /// `.threads N` pins the CAD build pool size; `.threads auto` resolves
+    /// from `DBEX_THREADS` / hardware; bare `.threads` shows the setting.
+    fn threads(&mut self, parts: &[&str]) {
+        match parts.get(1) {
+            None => match self.session.threads() {
+                Some(0) => println!("threads: auto"),
+                Some(n) => println!("threads: {n}"),
+                None => println!("threads: 1 (sequential)"),
+            },
+            Some(&"auto") => {
+                self.session.set_threads(0);
+                println!("threads: auto");
+            }
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) => {
+                    self.session.set_threads(n);
+                    if n == 0 {
+                        println!("threads: auto");
+                    } else {
+                        println!("threads: {n}");
+                    }
+                }
+                Err(e) => println!("bad thread count {raw:?}: {e} (expected N or auto)"),
+            },
+        }
     }
 
     fn run_sql(&mut self, sql: &str) {

@@ -1,0 +1,207 @@
+//! Parallel CAD construction is an *optimization*, never a semantic
+//! change: at a fixed seed, a build fanned out across any number of pool
+//! workers must be byte-identical to the sequential build — rows, IUnit
+//! membership, scores, feature statistics, and the degradation log.
+//!
+//! Also pinned here: the budget ladder still fires under parallelism, and
+//! the thread-local fault-injection hooks keep their documented semantics
+//! (they fire on the arming thread only — honored at `threads = 1`,
+//! invisible to pool workers at `threads > 1`).
+
+use dbexplorer::core::{
+    build_cad_view, CadConfig, CadRequest, CadView, DegradationKind, ExecBudget,
+};
+use dbexplorer::data::{HotelsGenerator, MushroomGenerator, UsedCarsGenerator};
+use dbexplorer::table::Table;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Flattens everything observable about a view into one comparable string
+/// (float bits included, so "close" never passes for "equal").
+fn digest(cad: &CadView) -> String {
+    let mut out = format!(
+        "pivot={} compare={:?} k={} tau={}\n",
+        cad.pivot_name, cad.compare_names, cad.k, cad.tau
+    );
+    for s in &cad.feature_scores {
+        out.push_str(&format!(
+            "score attr={} stat={} p={}\n",
+            s.attr_index,
+            s.statistic.to_bits(),
+            s.p_value.to_bits()
+        ));
+    }
+    for row in &cad.rows {
+        out.push_str(&format!("row {} {}\n", row.pivot_code, row.pivot_label));
+        for u in &row.iunits {
+            out.push_str(&format!(
+                "  size={} score={} labels={:?} members={:?}\n",
+                u.size,
+                u.score.to_bits(),
+                u.labels,
+                u.members
+            ));
+        }
+    }
+    for d in &cad.degradation {
+        out.push_str(&format!("degraded {d}\n"));
+    }
+    out
+}
+
+fn request_with_threads(pivot: &str, threads: usize) -> CadRequest {
+    CadRequest::new(pivot).with_iunits(3).with_config(CadConfig {
+        threads,
+        ..CadConfig::default()
+    })
+}
+
+/// The three datasets and their pivot attributes.
+fn datasets() -> Vec<(&'static str, Table, &'static str)> {
+    vec![
+        ("cars", UsedCarsGenerator::new(7).generate(6_000), "Make"),
+        ("mushroom", MushroomGenerator::new(7).generate(4_000), "Odor"),
+        ("hotels", HotelsGenerator::new(7).generate(4_000), "District"),
+    ]
+}
+
+#[test]
+fn parallel_build_is_byte_identical_across_datasets() {
+    for (name, table, pivot) in datasets() {
+        let view = table.full_view();
+        let sequential = build_cad_view(&view, &request_with_threads(pivot, 1))
+            .unwrap_or_else(|e| panic!("{name}: sequential build failed: {e}"));
+        assert!(
+            !sequential.is_degraded(),
+            "{name}: unlimited budget must not degrade"
+        );
+        let reference = digest(&sequential);
+        for threads in [2, 4, 8] {
+            let parallel = build_cad_view(&view, &request_with_threads(pivot, threads))
+                .unwrap_or_else(|e| panic!("{name}: {threads}-thread build failed: {e}"));
+            assert_eq!(parallel.threads_used, threads);
+            assert_eq!(
+                digest(&parallel),
+                reference,
+                "{name}: {threads}-thread build diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_degradation_still_fires_under_parallelism() {
+    let table = UsedCarsGenerator::new(11).generate(5_000);
+    let view = table.full_view();
+    // A zero deadline on a manual clock is exhausted before any stage
+    // runs, deterministically, regardless of machine speed or pool size.
+    let clock = Arc::new(AtomicU64::new(10_000));
+    let request = request_with_threads("Make", 4).with_budget(
+        ExecBudget::unlimited()
+            .with_time_limit(Duration::ZERO)
+            .with_manual_clock(clock),
+    );
+    let cad = build_cad_view(&view, &request).expect("exhausted budget degrades, not fails");
+    assert_eq!(cad.threads_used, 4);
+    for kind in [
+        DegradationKind::SampledFeatureSelection,
+        DegradationKind::SampledClustering,
+        DegradationKind::GreedyTopK,
+    ] {
+        assert!(
+            cad.degradation.iter().any(|d| d.kind == kind),
+            "{kind:?} missing under parallelism: {:?}",
+            cad.degradation
+        );
+    }
+    // Row caps too: per-partition sizes, not scheduling order, drive them.
+    let request = request_with_threads("Make", 4)
+        .with_budget(ExecBudget::unlimited().with_max_rows(50));
+    let cad = build_cad_view(&view, &request).expect("row budget degrades, not fails");
+    assert!(
+        cad.degradation
+            .iter()
+            .any(|d| d.kind == DegradationKind::MiniBatchClustering),
+        "{:?}",
+        cad.degradation
+    );
+}
+
+#[test]
+fn budget_degradation_identical_between_sequential_and_parallel() {
+    // With a manual clock the deadline state is identical for every
+    // worker, so even the *degraded* output must match byte-for-byte.
+    let table = UsedCarsGenerator::new(13).generate(4_000);
+    let view = table.full_view();
+    let build = |threads: usize| {
+        let clock = Arc::new(AtomicU64::new(42));
+        let request = request_with_threads("Make", threads).with_budget(
+            ExecBudget::unlimited()
+                .with_time_limit(Duration::ZERO)
+                .with_manual_clock(clock),
+        );
+        build_cad_view(&view, &request).expect("degraded build succeeds")
+    };
+    let sequential = digest(&build(1));
+    for threads in [2, 8] {
+        assert_eq!(
+            digest(&build(threads)),
+            sequential,
+            "degraded {threads}-thread build diverged"
+        );
+    }
+}
+
+#[test]
+fn fault_hooks_fire_sequentially_and_are_invisible_to_pool_workers() {
+    let table = UsedCarsGenerator::new(17).generate(2_000);
+    let view = table.full_view();
+
+    // threads = 1: the armed fault lives on the build thread, every
+    // clustering attempt sees it, and the ladder descends all the way to
+    // the single-unit fallback for every partition.
+    {
+        let _kmeans = dbexplorer::cluster::fault::scoped("cluster::kmeans");
+        let cad = build_cad_view(&view, &request_with_threads("Make", 1))
+            .expect("fault degrades, not fails");
+        assert!(
+            cad.degradation
+                .iter()
+                .any(|d| d.kind == DegradationKind::MiniBatchClustering
+                    && d.reason.contains("clustering failed")),
+            "armed fault should force the ladder down at threads = 1: {:?}",
+            cad.degradation
+        );
+    }
+
+    // threads = 4: partitions cluster on pool workers whose fresh
+    // thread-locals were never armed — the build is full-fidelity even
+    // though the *caller's* thread still has the fault armed.
+    {
+        let _kmeans = dbexplorer::cluster::fault::scoped("cluster::kmeans");
+        let cad = build_cad_view(&view, &request_with_threads("Make", 4))
+            .expect("build succeeds");
+        assert!(
+            !cad.is_degraded(),
+            "pool workers must not see the caller's armed fault: {:?}",
+            cad.degradation
+        );
+    }
+
+    // Sanity: with nothing armed, the sequential build is clean too.
+    let cad = build_cad_view(&view, &request_with_threads("Make", 1)).expect("clean build");
+    assert!(!cad.is_degraded());
+}
+
+#[test]
+fn caller_thread_stages_still_see_faults_under_parallelism() {
+    // The pivot codec is built on the caller's thread even at threads > 1,
+    // so an armed `codec::build` fails the build the same way it does
+    // sequentially (a typed error, not a panic).
+    let table = UsedCarsGenerator::new(19).generate(500);
+    let view = table.full_view();
+    let _codec = dbexplorer::stats::fault::scoped("codec::build");
+    let err = build_cad_view(&view, &request_with_threads("Make", 4));
+    assert!(err.is_err(), "pivot codec fault must surface at any thread count");
+}

@@ -4,8 +4,10 @@
 //! several pool sizes (1 / 2 / 8 / auto threads), checks that every
 //! parallel build renders byte-identically to the sequential one, and
 //! writes medians over repeated runs to a JSON report (`BENCH_cad.json`
-//! by default). The serialized JSON is validated before it is written;
-//! a malformed report is a hard failure (exit code 1).
+//! by default). The report carries `"schema": 2` plus a per-workload
+//! `"span_breakdown"` (the traced span tree of one sequential build),
+//! and is validated — well-formedness *and* schema version — before it
+//! is written; a bad report is a hard failure (exit code 1).
 //!
 //! ```text
 //! cargo run --release -p dbex-bench --bin bench_suite             # full, ≥5 runs/point
@@ -17,10 +19,10 @@
 //! can keep the run reproducible on any machine.
 
 use dbex_bench::{
-    base_cars_table, five_make_view, median_ms, validate_json, warn_if_debug, worst_case_request,
-    FIVE_MAKES,
+    base_cars_table, five_make_view, median_ms, validate_report, warn_if_debug,
+    worst_case_request, BENCH_SCHEMA, FIVE_MAKES,
 };
-use dbex_core::{build_cad_view, CadRequest, CadView};
+use dbex_core::{build_cad_view, build_cad_view_traced, CadRequest, CadView, Tracer};
 use dbex_table::View;
 use std::time::Instant;
 
@@ -122,17 +124,19 @@ fn main() {
                 cell.threads, med, speedup
             );
         }
-        sections.push(render_section(workload, result.len(), &cells, seq_median));
+        let breakdown = span_breakdown(workload, &result);
+        sections.push(render_section(workload, result.len(), &cells, seq_median, &breakdown));
     }
 
     let report = format!(
-        "{{\n  \"bench\": \"cad\",\n  \"quick\": {quick},\n  \"runs_per_point\": {runs},\n  \
+        "{{\n  \"bench\": \"cad\",\n  \"schema\": {BENCH_SCHEMA},\n  \"quick\": {quick},\n  \
+         \"runs_per_point\": {runs},\n  \
          \"hardware_threads\": {},\n  \"auto_threads\": {auto},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         dbex_par::hardware_threads(),
         sections.join(",\n"),
     );
-    if let Err(e) = validate_json(&report) {
-        die(&format!("generated report is not valid JSON: {e}"));
+    if let Err(e) = validate_report(&report) {
+        die(&format!("generated report is invalid: {e}"));
     }
     if let Err(e) = std::fs::write(&out_path, &report) {
         die(&format!("cannot write {out_path}: {e}"));
@@ -180,8 +184,28 @@ fn run_workload(
     cells
 }
 
+/// The traced span tree of one extra sequential build, as JSON. Wall
+/// times inside it come from a single run (the medians above remain the
+/// timing source of record); the structural fields — span names, call
+/// counts, rows scanned, cache hits/misses — are deterministic.
+fn span_breakdown(workload: &Workload, result: &View<'_>) -> String {
+    let mut request = workload.request.clone();
+    request.config.threads = 1;
+    let tracer = Tracer::enabled();
+    let cad = build_cad_view_traced(result, &request, None, &tracer).unwrap_or_else(|e| {
+        die(&format!("{} traced build failed: {e}", workload.name))
+    });
+    cad.trace.map_or_else(|| "[]".to_owned(), |t| t.to_json())
+}
+
 /// One workload's JSON object (hand-rolled; validated by the caller).
-fn render_section(workload: &Workload, rows: usize, cells: &[Cell], seq_median: f64) -> String {
+fn render_section(
+    workload: &Workload,
+    rows: usize,
+    cells: &[Cell],
+    seq_median: f64,
+    span_breakdown: &str,
+) -> String {
     let max_threads = cells.iter().map(|c| c.threads).max().unwrap_or(1);
     let max_median = cells
         .iter()
@@ -206,7 +230,8 @@ fn render_section(workload: &Workload, rows: usize, cells: &[Cell], seq_median: 
     format!
         (
         "    {{\n      \"name\": \"{}\",\n      \"rows\": {rows},\n      \"points\": [\n{}\n      \
-         ],\n      \"speedup_at_max_threads\": {speedup:.3}\n    }}",
+         ],\n      \"speedup_at_max_threads\": {speedup:.3},\n      \
+         \"span_breakdown\": {span_breakdown}\n    }}",
         workload.name,
         points.join(",\n"),
     )

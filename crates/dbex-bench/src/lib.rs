@@ -144,6 +144,48 @@ pub fn median_ms(samples: &[f64]) -> f64 {
     }
 }
 
+/// Schema version of the machine-readable bench report
+/// (`BENCH_cad.json`). Bump whenever the report shape changes
+/// incompatibly; `validate_report` rejects any other version.
+///
+/// History: schema 1 was the original unversioned report (no `"schema"`
+/// field); schema 2 adds the version field and a per-workload
+/// `"span_breakdown"` (the traced span tree of one sequential build).
+pub const BENCH_SCHEMA: u64 = 2;
+
+/// Validates a bench report: well-formed JSON carrying
+/// `"schema": `[`BENCH_SCHEMA`]. Reports without a schema field
+/// (pre-versioning) and reports from a different harness version are
+/// rejected with an actionable message rather than silently consumed.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    validate_json(text)?;
+    let Some(found) = extract_schema(text) else {
+        return Err(format!(
+            "report has no \"schema\" field (pre-versioning output?); \
+             this validator understands schema {BENCH_SCHEMA} — regenerate with bench_suite"
+        ));
+    };
+    if found != BENCH_SCHEMA {
+        return Err(format!(
+            "unknown report schema {found}; this validator understands schema \
+             {BENCH_SCHEMA} — regenerate with bench_suite"
+        ));
+    }
+    Ok(())
+}
+
+/// Extracts the integer value of a top-level-looking `"schema"` key.
+/// Good enough for reports bench_suite itself writes (the key appears
+/// exactly once); returns `None` when absent or non-numeric.
+fn extract_schema(text: &str) -> Option<u64> {
+    let key = "\"schema\"";
+    let at = text.find(key)?;
+    let rest = text[at + key.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 /// Minimal JSON well-formedness check for the machine-readable bench
 /// output (`BENCH_cad.json`): one value, full-input consumption, no
 /// dependency on a JSON crate. Returns a position-tagged message on the
@@ -354,6 +396,23 @@ mod tests {
         assert!(validate_json(r#"{a: 1}"#).is_err()); // unquoted key
         assert!(validate_json(r#"{"a": }"#).is_err());
         assert!(validate_json("").is_err());
+    }
+
+    #[test]
+    fn report_validator_checks_schema() {
+        assert!(validate_report(r#"{"schema": 2, "bench": "cad"}"#).is_ok());
+        // Missing schema: actionable message, not silent acceptance.
+        let err = validate_report(r#"{"bench": "cad"}"#).unwrap_err();
+        assert!(err.contains("no \"schema\" field"), "{err}");
+        // Wrong version names both the found and the understood schema.
+        let err = validate_report(r#"{"schema": 1, "bench": "cad"}"#).unwrap_err();
+        assert!(err.contains("unknown report schema 1"), "{err}");
+        assert!(err.contains("schema 2"), "{err}");
+        // Malformed JSON still fails on well-formedness first.
+        assert!(validate_report(r#"{"schema": 2"#).is_err());
+        // Non-numeric schema value reads as absent.
+        let err = validate_report(r#"{"schema": "two"}"#).unwrap_err();
+        assert!(err.contains("no \"schema\" field"), "{err}");
     }
 
     #[test]

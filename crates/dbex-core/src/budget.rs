@@ -202,6 +202,24 @@ impl DegradationKind {
             DegradationKind::ClampedKMeansIters => "clamped-kmeans-iters",
         }
     }
+
+    /// Fidelity loss on a 1-4 scale (the observability layer reports the
+    /// maximum over a build as its `degradation_level`; 0 = full
+    /// fidelity). Higher means further down the ladder:
+    ///
+    /// 1. sampling/clamping that the paper's own optimizations also use,
+    /// 2. mini-batch clustering,
+    /// 3. emergency sampling / greedy top-k under an exhausted deadline,
+    /// 4. the single-unit fallback (no clustering at all).
+    pub fn severity(&self) -> u64 {
+        match self {
+            DegradationKind::SampledFeatureSelection
+            | DegradationKind::ClampedKMeansIters => 1,
+            DegradationKind::MiniBatchClustering => 2,
+            DegradationKind::SampledClustering | DegradationKind::GreedyTopK => 3,
+            DegradationKind::SingleUnitFallback => 4,
+        }
+    }
 }
 
 /// One recorded shortcut: what degraded, where, and why.

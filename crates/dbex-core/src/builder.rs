@@ -27,8 +27,9 @@ use dbex_stats::discretize::{AttributeCodec, CodedColumn, CodedMatrix};
 use dbex_stats::feature::{
     select_compare_attributes_ctx, FeatureScorer, FeatureSelectionConfig, ScoringCtx,
 };
+use dbex_obs::Tracer;
 use dbex_stats::histogram::BinningStrategy;
-use dbex_stats::StatsCache;
+use dbex_stats::{CacheStats, StatsCache};
 use dbex_table::dict::NULL_CODE;
 use dbex_table::{DataType, View};
 use dbex_topk::{div_astar, greedy, ConflictGraph};
@@ -270,6 +271,50 @@ pub fn build_cad_view_cached(
     request: &CadRequest,
     cache: Option<&StatsCache>,
 ) -> Result<CadView, CadError> {
+    build_cad_view_traced(result, request, cache, &Tracer::disabled())
+}
+
+/// Reads the cache counters, treating "no cache" as all-zero.
+fn cache_stats(cache: Option<&StatsCache>) -> CacheStats {
+    cache.map(|c| c.stats()).unwrap_or(CacheStats {
+        hits: 0,
+        misses: 0,
+        codec_entries: 0,
+        contingency_entries: 0,
+    })
+}
+
+/// [`build_cad_view_cached`] with span tracing.
+///
+/// With an enabled `tracer` the build records the span taxonomy below
+/// and attaches the assembled tree as [`CadView::trace`] (the tracer is
+/// drained — use one tracer per build). With `Tracer::disabled()` the
+/// instrumentation cost is an `Option` check per stage.
+///
+/// ```text
+/// cad_build                rows_input, degradations, degradation_level
+/// ├ pivot_encode           rows_scanned, pivot_values
+/// ├ compare_attrs          rows_scanned, attrs_scored, attrs_selected,
+/// │                        cache_hits, cache_misses
+/// ├ iunit_generation
+/// │ ├ encode_matrix        rows_scanned, attrs_encoded, cache_hits/misses
+/// │ └ cluster_partition    rows_clustered, candidates, degradations
+/// └ topk
+///   └ solve_partition      candidates, selected, greedy_solves
+/// ```
+///
+/// `cluster_partition` / `solve_partition` run once per pivot value —
+/// possibly on pool workers — and merge into a single node, so the tree
+/// and every counter are byte-identical at any thread count; only the
+/// recorded durations differ.
+pub fn build_cad_view_traced(
+    result: &View<'_>,
+    request: &CadRequest,
+    cache: Option<&StatsCache>,
+    tracer: &Tracer,
+) -> Result<CadView, CadError> {
+    let build_start = Instant::now();
+    dbex_obs::counter!("cad.builds").incr(1);
     let threads = dbex_par::resolve_threads(request.config.threads);
     let gauge = request.budget.start();
     let mut degradation: Vec<Degradation> = Vec::new();
@@ -278,6 +323,9 @@ pub fn build_cad_view_cached(
     if request.iunits == 0 {
         return Err(CadError::ZeroIUnits);
     }
+    let root = tracer.root("cad_build");
+    root.add("rows_input", result.len() as u64);
+    let pivot_span = root.child("pivot_encode");
     let pivot_column = result.table().column(pivot_col);
     // Categorical pivots use their dictionary codes; numeric pivots are
     // discretized, and the bins act as pivot values (an extension beyond
@@ -356,15 +404,21 @@ pub fn build_cad_view_cached(
     if pivot_codes.is_empty() {
         return Err(CadError::NoPivotValues);
     }
+    pivot_span.add("rows_scanned", result.len() as u64);
+    pivot_span.add("pivot_values", selected_partitions.len() as u64);
+    drop(pivot_span);
 
     // --- Stage 1: Compare Attributes (Problem 1.1) ---
     let t0 = Instant::now();
+    let fs_span = root.child("compare_attrs");
+    let fs_cache_before = cache_stats(cache);
     let forced: Vec<usize> = request
         .compare_attrs
         .iter()
         .map(|name| schema.index_of(name))
         .collect::<dbex_table::Result<_>>()?;
     let candidates: Vec<usize> = (0..schema.len()).filter(|&i| i != pivot_col).collect();
+    let candidates_scored = candidates.len();
     // Deadline already blown before stage 1 (e.g. a tiny budget): clamp
     // feature selection to a small sample instead of scanning everything.
     let mut fs_sample = request.config.fs_sample;
@@ -438,10 +492,23 @@ pub fn build_cad_view_cached(
             .take(request.max_compare_attrs)
             .collect();
     }
+    // The scoring view is the (possibly sampled) result set crossed with
+    // every candidate attribute.
+    let scoring_rows = fs_sample.map_or(result.len(), |s| result.len().min(s));
+    fs_span.add("rows_scanned", (scoring_rows * candidates_scored) as u64);
+    fs_span.add("attrs_scored", candidates_scored as u64);
+    fs_span.add("attrs_selected", compare_attrs.len() as u64);
+    let fs_cache_after = cache_stats(cache);
+    fs_span.add("cache_hits", fs_cache_after.hits - fs_cache_before.hits);
+    fs_span.add("cache_misses", fs_cache_after.misses - fs_cache_before.misses);
+    drop(fs_span);
     let timing_compare = t0.elapsed();
 
     // --- Stage 2: Candidate IUnits (Problem 1.2) ---
     let t1 = Instant::now();
+    let gen_span = root.child("iunit_generation");
+    let enc_span = gen_span.child("encode_matrix");
+    let enc_cache_before = cache_stats(cache);
     let matrix = CodedMatrix::encode_ctx(
         result,
         &compare_attrs,
@@ -456,6 +523,15 @@ pub fn build_cad_view_cached(
     if coded.is_empty() {
         return Err(CadError::NoCompareAttributes);
     }
+    enc_span.add("rows_scanned", (result.len() * coded.len()) as u64);
+    enc_span.add("attrs_encoded", coded.len() as u64);
+    let enc_cache_after = cache_stats(cache);
+    enc_span.add("cache_hits", enc_cache_after.hits - enc_cache_before.hits);
+    enc_span.add(
+        "cache_misses",
+        enc_cache_after.misses - enc_cache_before.misses,
+    );
+    drop(enc_span);
     let space = OneHotSpace::from_columns(&coded);
     let k = request.iunits;
 
@@ -482,8 +558,9 @@ pub fn build_cad_view_cached(
         threads,
         &selected_partitions,
         |_, (_, label, members)| {
+            let span = gen_span.child("cluster_partition");
             gauge.charge_rows(members.len());
-            generate_candidates(
+            let (units, degraded) = generate_candidates(
                 members,
                 &coded,
                 &space,
@@ -492,12 +569,17 @@ pub fn build_cad_view_cached(
                 kmeans_iters,
                 &gauge,
                 label,
-            )
+            );
+            span.add("rows_clustered", members.len() as u64);
+            span.add("candidates", units.len() as u64);
+            span.add("degradations", degraded.len() as u64);
+            (units, degraded)
         },
     ) {
         candidate_sets.push(units);
         degradation.extend(degraded);
     }
+    drop(gen_span);
     let timing_iunits = t1.elapsed();
 
     // --- Stage 3: preference scores + diversified top-k (Problem 2) ---
@@ -516,8 +598,10 @@ pub fn build_cad_view_cached(
     // heuristic (recorded once, after the fan-out). The clock is monotone,
     // so the sequential path degrades every partition after the first
     // exhausted one, exactly as before.
+    let topk_span = root.child("topk");
     let solved: Vec<(Vec<usize>, Vec<f64>, bool)> =
         dbex_par::par_map(threads, &staged, |_, (_, _, units)| {
+            let span = topk_span.child("solve_partition");
             let scores = preference_scores(units, result, &pref);
             let graph = ConflictGraph::from_similarity(
                 units.len(),
@@ -532,6 +616,9 @@ pub fn build_cad_view_cached(
             };
             let mut chosen: Vec<usize> = solution.items;
             chosen.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+            span.add("candidates", units.len() as u64);
+            span.add("selected", chosen.len() as u64);
+            span.add("greedy_solves", used_greedy as u64);
             (chosen, scores, used_greedy)
         });
     let mut greedy_partitions = 0usize;
@@ -576,7 +663,18 @@ pub fn build_cad_view_cached(
             ),
         });
     }
+    drop(topk_span);
     let timing_others = t2.elapsed();
+
+    root.add("degradations", degradation.len() as u64);
+    root.add(
+        "degradation_level",
+        degradation.iter().map(|d| d.kind.severity()).max().unwrap_or(0),
+    );
+    drop(root);
+    let trace = tracer.finish();
+    dbex_obs::counter!("cad.degradations").incr(degradation.len() as u64);
+    build_ms_histogram().observe_ms(build_start.elapsed());
 
     Ok(CadView {
         pivot_attr: pivot_col,
@@ -597,7 +695,18 @@ pub fn build_cad_view_cached(
         },
         threads_used: threads,
         degradation,
+        trace,
     })
+}
+
+/// The global build-latency histogram (fixed bounds: interactive-latency
+/// decades from 1 ms to 2.5 s).
+fn build_ms_histogram() -> std::sync::Arc<dbex_obs::Histogram> {
+    static SLOT: std::sync::OnceLock<std::sync::Arc<dbex_obs::Histogram>> =
+        std::sync::OnceLock::new();
+    std::sync::Arc::clone(SLOT.get_or_init(|| {
+        dbex_obs::global().histogram("cad.build_ms", &[1.0, 5.0, 25.0, 100.0, 500.0, 2_500.0])
+    }))
 }
 
 /// Sample cap used by the last clustering rung under an exhausted budget.

@@ -46,6 +46,10 @@ pub struct CadView {
     /// recoverable failures (empty for a full-fidelity build). Surfaced
     /// by `EXPLAIN CADVIEW` and the REPL.
     pub degradation: Vec<Degradation>,
+    /// Span tree recorded by [`crate::builder::build_cad_view_traced`]
+    /// when built with an enabled tracer (`None` otherwise). Surfaced by
+    /// `EXPLAIN ANALYZE CADVIEW` and the REPL's `.trace on` mode.
+    pub trace: Option<dbex_obs::Trace>,
 }
 
 impl CadView {

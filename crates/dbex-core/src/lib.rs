@@ -40,8 +40,12 @@ pub mod tpfacet;
 
 pub use budget::{BudgetGauge, ClockSource, Degradation, DegradationKind, ExecBudget};
 pub use builder::{
-    build_cad_view, build_cad_view_cached, CadConfig, CadRequest, CadTimings, Preference,
+    build_cad_view, build_cad_view_cached, build_cad_view_traced, CadConfig, CadRequest,
+    CadTimings, Preference,
 };
+// Re-exported so clients can trace builds and inspect the resulting span
+// trees without depending on dbex-obs directly.
+pub use dbex_obs::{Trace, Tracer};
 // Re-exported so clients one layer up (dbex-query) can hold a cache
 // without depending on dbex-stats directly.
 pub use dbex_stats::{CacheStats, StatsCache};

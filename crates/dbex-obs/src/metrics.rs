@@ -1,0 +1,353 @@
+//! Process-wide metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! All instruments are lock-free atomics; the registry's mutexes are
+//! touched only on first registration and when snapshotting. Histogram
+//! bucket boundaries are fixed at registration, so rendered output is
+//! deterministic modulo the observed timing values themselves (which
+//! [`crate::mask_timings`] masks for snapshot comparisons).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    pub fn incr(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed value (e.g. "tables currently registered").
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, sorted bucket boundaries.
+///
+/// An observation `v` lands in the first bucket whose upper bound is
+/// `>= v`; values above every bound land in the overflow bucket, and
+/// NaN gets a dedicated count — so bucket counts plus the NaN count
+/// always sum to the observation count (the property tests pin this).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (last = overflow)
+    nan: AtomicU64,
+    count: AtomicU64,
+    sum_micros: AtomicU64, // micro-unit integer sum of finite values
+}
+
+impl Histogram {
+    /// Builds a histogram. Non-finite bounds are dropped and the rest
+    /// sorted and deduplicated, so the layout is always well-formed.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            nan: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_nan() {
+            self.nan.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            // Accumulate in millionths so the sum is an exact integer add.
+            let micros = (v * 1e6).clamp(0.0, u64::MAX as f64) as u64;
+            self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        }
+    }
+
+    /// Observes a duration in milliseconds (the `_ms` naming contract).
+    pub fn observe_ms(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64() * 1e3);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            nan: self.nan.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub nan: u64,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Bucket counts plus the NaN count — always equals `count`.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.nan
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as the `.metrics` table: one line per
+    /// instrument, sorted by name, zero-valued instruments included.
+    pub fn render(&self) -> String {
+        let mut out = String::from("metrics registry\n");
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
+            out.push_str("  (empty)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  counter    {name:<width$}  {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "  gauge      {name:<width$}  {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = write!(out, "  histogram  {name:<width$}  count={} sum={:.3}", h.count, h.sum);
+            for (i, n) in h.buckets.iter().enumerate() {
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = write!(out, " le{b}:{n}");
+                    }
+                    None => {
+                        let _ = write!(out, " inf:{n}");
+                    }
+                }
+            }
+            let _ = writeln!(out, " nan:{}", h.nan);
+        }
+        out
+    }
+}
+
+/// The registry: named instruments, first registration wins.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.gauges)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`. The bounds of the *first* caller
+    /// win; later registrations get the existing instrument.
+    pub fn histogram(&self, name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.get()))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.get()))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Shorthand for `snapshot().render()`.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// The process-wide registry (what `counter!` / `gauge!` and the REPL's
+/// `.metrics` use).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Looks up (once per call site) and returns the global counter `name`.
+/// Expands to an `&'static Counter`, so the hot path is one relaxed
+/// atomic add.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static SLOT: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**SLOT.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Looks up (once per call site) and returns the global gauge `name`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static SLOT: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**SLOT.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        reg.counter("a.calls").incr(2);
+        reg.counter("a.calls").incr(3);
+        reg.gauge("b.level").set(7);
+        reg.gauge("b.level").add(-2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a.calls"], 5);
+        assert_eq!(snap.gauges["b.level"], 5);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_line() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ms", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 5000.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.total(), 8);
+        assert_eq!(snap.buckets, vec![3, 1, 1, 2]); // -inf, 0.5, 1.0 | 5 | 50 | 5000, +inf
+        assert_eq!(snap.nan, 1);
+    }
+
+    #[test]
+    fn histogram_bounds_are_sanitized() {
+        let h = Histogram::new(&[10.0, f64::NAN, 1.0, 10.0, f64::INFINITY]);
+        let snap = h.snapshot();
+        assert_eq!(snap.bounds, vec![1.0, 10.0]);
+        assert_eq!(snap.buckets.len(), 3);
+    }
+
+    #[test]
+    fn first_histogram_registration_wins() {
+        let reg = Registry::new();
+        let a = reg.histogram("h", &[1.0]);
+        let b = reg.histogram("h", &[1.0, 2.0, 3.0]);
+        a.observe(0.5);
+        assert_eq!(b.snapshot().bounds, vec![1.0]);
+        assert_eq!(b.snapshot().count, 1);
+    }
+
+    #[test]
+    fn render_lists_instruments_sorted() {
+        let reg = Registry::new();
+        reg.counter("z.last").incr(1);
+        reg.counter("a.first").incr(9);
+        reg.gauge("m.mid").set(-3);
+        reg.histogram("lat_ms", &[5.0]).observe(2.0);
+        let text = reg.render();
+        let a = text.find("a.first").expect("a.first rendered");
+        let z = text.find("z.last").expect("z.last rendered");
+        assert!(a < z);
+        assert!(text.contains("gauge      m.mid"));
+        assert!(text.contains("histogram  lat_ms"));
+        assert!(text.contains("le5:1"));
+    }
+
+    #[test]
+    fn global_macros_hit_the_global_registry() {
+        crate::counter!("obs.test.macro").incr(4);
+        crate::gauge!("obs.test.gauge").set(2);
+        let snap = global().snapshot();
+        assert_eq!(snap.counters["obs.test.macro"], 4);
+        assert_eq!(snap.gauges["obs.test.gauge"], 2);
+    }
+}

@@ -92,6 +92,10 @@ pub enum Statement {
     /// Attributes with their chi-square scores and the per-stage timings
     /// instead of storing the view.
     ExplainCadView(CadViewStmt),
+    /// `EXPLAIN ANALYZE` of a CAD View statement: everything `EXPLAIN`
+    /// reports, plus the traced span tree of the build — per-phase wall
+    /// time, rows scanned, cache hits/misses, and degradation level.
+    ExplainAnalyzeCadView(CadViewStmt),
     /// Similar-IUnit highlighting.
     Highlight(HighlightStmt),
     /// Row reordering by pivot-value similarity.

@@ -146,7 +146,17 @@ impl Parser {
             Ok(Statement::CreateCadView(self.create_cadview()?))
         } else if self.peek_kw("EXPLAIN") {
             self.expect_kw("EXPLAIN")?;
-            Ok(Statement::ExplainCadView(self.create_cadview()?))
+            let analyze = self.eat_kw("ANALYZE");
+            // `CREATE` is optional under EXPLAIN: both
+            // `EXPLAIN ANALYZE CADVIEW ...` and
+            // `EXPLAIN ANALYZE CREATE CADVIEW ...` parse.
+            self.eat_kw("CREATE");
+            let stmt = self.cadview_body()?;
+            Ok(if analyze {
+                Statement::ExplainAnalyzeCadView(stmt)
+            } else {
+                Statement::ExplainCadView(stmt)
+            })
         } else if self.peek_kw("DESCRIBE") || self.peek_kw("DESC") {
             self.pos += 1;
             Ok(Statement::Describe(self.identifier()?))
@@ -286,6 +296,11 @@ impl Parser {
 
     fn create_cadview(&mut self) -> Result<CadViewStmt> {
         self.expect_kw("CREATE")?;
+        self.cadview_body()
+    }
+
+    /// The CADVIEW statement body, after any `CREATE` / `EXPLAIN` prefix.
+    fn cadview_body(&mut self) -> Result<CadViewStmt> {
         self.expect_kw("CADVIEW")?;
         let name = self.identifier()?;
         self.expect_kw("AS")?;

@@ -4,8 +4,11 @@
 use crate::ast::*;
 use crate::error::{CaughtPanic, QueryError, SessionError};
 use crate::parser::parse;
-use dbex_core::{build_cad_view_cached, CadRequest, CadView, ExecBudget, Preference, StatsCache};
-use dbex_table::{group_by, sort_view, SortKey, Table, Value};
+use dbex_core::{
+    build_cad_view_traced, CadRequest, CadView, ExecBudget, Preference, StatsCache, Tracer,
+};
+use dbex_obs::TraceSink;
+use dbex_table::{group_by, sort_view, SortKey, Table, Value, View};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -32,6 +35,9 @@ pub enum QueryOutput {
         /// Rendered [`dbex_core::Degradation`] records, one per shortcut
         /// the builder took under budget pressure (empty = full fidelity).
         degradation: Vec<String>,
+        /// Rendered span tree of the build when the session's tracing is
+        /// on (see [`Session::set_tracing`]); `None` otherwise.
+        trace: Option<String>,
     },
     /// `HIGHLIGHT SIMILAR IUNITS` hits: `(pivot value, 1-based IUnit id,
     /// similarity)`.
@@ -56,6 +62,11 @@ pub struct Session {
     /// this session (keyed on view fingerprints, so table or predicate
     /// changes invalidate implicitly).
     stats_cache: Arc<StatsCache>,
+    /// When set, every CAD build is traced and the rendered span tree is
+    /// attached to [`QueryOutput::Cad`].
+    tracing: bool,
+    /// Optional sink receiving the span tree of every traced build.
+    trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Session {
@@ -67,6 +78,27 @@ impl Session {
     /// Registers `table` under `name` (replacing any previous table).
     pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
         self.tables.insert(name.into(), table);
+        dbex_obs::gauge!("session.tables").set(self.tables.len() as i64);
+    }
+
+    /// Turns per-build span tracing on or off. While on, every CAD build
+    /// records the span tree, attaches its rendering to
+    /// [`QueryOutput::Cad`], and forwards it to the trace sink (if any).
+    /// `EXPLAIN ANALYZE` traces its build regardless of this flag.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Whether per-build span tracing is on.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Installs (or, with `None`, removes) a sink receiving the span tree
+    /// of every traced build. Installing a sink implies tracing for CAD
+    /// builds even when [`Session::set_tracing`] is off.
+    pub fn set_trace_sink(&mut self, sink: Option<Arc<dyn TraceSink>>) {
+        self.trace_sink = sink;
     }
 
     /// Sets the execution budget applied to every CAD View build. The
@@ -145,6 +177,7 @@ impl Session {
     /// any CAD View the statement may have left half-mutated is dropped,
     /// so the shell or a server loop survives every input.
     pub fn execute_statement(&mut self, stmt: Statement) -> Result<QueryOutput> {
+        dbex_obs::counter!("query.statements").incr(1);
         // CREATE CADVIEW inserts atomically at the end, but REORDER
         // mutates a stored view in place — if it panics midway the view
         // is poisoned and must not be served again.
@@ -167,7 +200,8 @@ impl Session {
         match stmt {
             Statement::Select(s) => self.run_select(s),
             Statement::CreateCadView(c) => self.run_create_cadview(c),
-            Statement::ExplainCadView(c) => self.run_explain_cadview(c),
+            Statement::ExplainCadView(c) => self.run_explain_cadview(c, false),
+            Statement::ExplainAnalyzeCadView(c) => self.run_explain_cadview(c, true),
             Statement::Highlight(h) => self.run_highlight(h),
             Statement::Reorder(r) => self.run_reorder(r),
             Statement::Describe(name) => self.run_describe(&name),
@@ -317,11 +351,33 @@ impl Session {
         Ok(QueryOutput::Text(out))
     }
 
-    fn run_explain_cadview(&self, c: CadViewStmt) -> Result<QueryOutput> {
+    /// Builds a CAD view, tracing it when the session traces (or
+    /// `force_trace` — the `EXPLAIN ANALYZE` path — demands it) and
+    /// forwarding the span tree to the installed sink.
+    fn build_cad(
+        &self,
+        result: &View<'_>,
+        request: &CadRequest,
+        force_trace: bool,
+    ) -> Result<CadView> {
+        let traced = force_trace || self.tracing || self.trace_sink.is_some();
+        let tracer = if traced {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let cad = build_cad_view_traced(result, request, Some(&self.stats_cache), &tracer)?;
+        if let (Some(sink), Some(trace)) = (&self.trace_sink, &cad.trace) {
+            sink.record(trace);
+        }
+        Ok(cad)
+    }
+
+    fn run_explain_cadview(&self, c: CadViewStmt, analyze: bool) -> Result<QueryOutput> {
         let table = self.table(&c.table)?;
         let result = table.filter(&c.predicate)?;
         let request = self.cad_request(&c)?;
-        let cad = build_cad_view_cached(&result, &request, Some(&self.stats_cache))?;
+        let cad = self.build_cad(&result, &request, analyze)?;
         let mut out = format!(
             "CADVIEW {} over {} rows of {}\n  pivot: {} ({} values shown)\n",
             c.name,
@@ -358,6 +414,19 @@ impl Session {
         } else {
             out.push_str("  degradation: none\n");
         }
+        if analyze {
+            out.push_str("  analyze (per-phase spans):\n");
+            match &cad.trace {
+                Some(trace) => {
+                    for line in trace.render().lines() {
+                        out.push_str("    ");
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+                None => out.push_str("    (trace unavailable)\n"),
+            }
+        }
         Ok(QueryOutput::Text(out))
     }
 
@@ -392,14 +461,16 @@ impl Session {
         let table = self.table(&c.table)?;
         let result = table.filter(&c.predicate)?;
         let request = self.cad_request(&c)?;
-        let cad = build_cad_view_cached(&result, &request, Some(&self.stats_cache))?;
+        let cad = self.build_cad(&result, &request, false)?;
         let rendered = cad.render();
         let degradation = cad.degradation.iter().map(|d| d.to_string()).collect();
+        let trace = cad.trace.as_ref().map(|t| t.render());
         self.cad_views.insert(c.name.clone(), cad);
         Ok(QueryOutput::Cad {
             name: c.name,
             rendered,
             degradation,
+            trace,
         })
     }
 
@@ -646,6 +717,73 @@ mod tests {
             panic!()
         };
         assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn explain_analyze_reports_span_tree() {
+        let mut s = session();
+        let QueryOutput::Text(t) = s
+            .execute("EXPLAIN ANALYZE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(t.contains("analyze (per-phase spans):"), "{t}");
+        for span in [
+            "cad_build",
+            "pivot_encode",
+            "compare_attrs",
+            "iunit_generation",
+            "encode_matrix",
+            "cluster_partition",
+            "topk",
+            "solve_partition",
+        ] {
+            assert!(t.contains(span), "span {span} missing from:\n{t}");
+        }
+        assert!(t.contains("rows_input=30"), "{t}");
+        assert!(t.contains("cache_hits="), "{t}");
+        assert!(t.contains("degradation_level=0"), "{t}");
+        // The `CREATE` keyword stays optional but accepted.
+        assert!(s
+            .execute("EXPLAIN ANALYZE CREATE CADVIEW v AS SET pivot = Make FROM cars")
+            .is_ok());
+        // Plain EXPLAIN stays trace-free.
+        let QueryOutput::Text(t) = s
+            .execute("EXPLAIN CADVIEW v AS SET pivot = Make FROM cars")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(!t.contains("analyze (per-phase spans)"), "{t}");
+    }
+
+    #[test]
+    fn tracing_attaches_traces_and_feeds_the_sink() {
+        let mut s = session();
+        let stmt = "CREATE CADVIEW v AS SET pivot = Make FROM cars IUNITS 2";
+        let QueryOutput::Cad { trace, .. } = s.execute(stmt).unwrap() else {
+            panic!()
+        };
+        assert!(trace.is_none(), "tracing off by default");
+
+        let sink = Arc::new(dbex_obs::MemorySink::new());
+        s.set_tracing(true);
+        s.set_trace_sink(Some(sink.clone()));
+        let QueryOutput::Cad { trace, .. } = s.execute(stmt).unwrap() else {
+            panic!()
+        };
+        let rendered = trace.expect("tracing on attaches the rendered tree");
+        assert!(rendered.contains("cad_build"), "{rendered}");
+        assert_eq!(sink.len(), 1);
+        assert!(sink.span_names().contains("cluster_partition"));
+
+        s.set_tracing(false);
+        s.set_trace_sink(None);
+        let QueryOutput::Cad { trace, .. } = s.execute(stmt).unwrap() else {
+            panic!()
+        };
+        assert!(trace.is_none());
     }
 
     #[test]

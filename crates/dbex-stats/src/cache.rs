@@ -106,6 +106,18 @@ impl StatsCache {
         Self::default()
     }
 
+    /// Records a hit on this cache and in the process-wide registry.
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        dbex_obs::counter!("stats.cache.hits").incr(1);
+    }
+
+    /// Records a miss on this cache and in the process-wide registry.
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        dbex_obs::counter!("stats.cache.misses").incr(1);
+    }
+
     /// Returns the codec for `key`, building it with `build` on a miss.
     ///
     /// Build errors are returned and not cached, so a transient failure
@@ -117,11 +129,11 @@ impl StatsCache {
     ) -> Result<Arc<AttributeCodec>, StatsError> {
         if let Ok(map) = self.codecs.lock() {
             if let Some(hit) = map.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hit();
                 return Ok(Arc::clone(hit));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss();
         let built = Arc::new(build()?);
         if let Ok(mut map) = self.codecs.lock() {
             if map.len() >= MAX_ENTRIES {
@@ -143,11 +155,11 @@ impl StatsCache {
     ) -> Option<Arc<ContingencyTable>> {
         if let Ok(map) = self.tables.lock() {
             if let Some(hit) = map.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hit();
                 return Some(Arc::clone(hit));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss();
         let built = Arc::new(build()?);
         if let Ok(mut map) = self.tables.lock() {
             if map.len() >= MAX_ENTRIES {

@@ -91,6 +91,8 @@ impl<'a> View<'a> {
     /// column data, no per-row `Value` materialization.
     pub fn refine(&self, predicate: &Predicate) -> Result<View<'a>> {
         predicate.validate(self.table.schema())?;
+        dbex_obs::counter!("table.refine.calls").incr(1);
+        dbex_obs::counter!("table.rows_scanned").incr(self.rows.len() as u64);
         let rows = crate::batch::select(self.table, &self.rows, predicate)?;
         Ok(View {
             table: self.table,
@@ -104,6 +106,8 @@ impl<'a> View<'a> {
     /// the partition step of CAD View construction: one partition per Pivot
     /// Attribute value.
     pub fn partition_by_code(&self, col: usize) -> Vec<(u32, Vec<u32>)> {
+        dbex_obs::counter!("table.partition.calls").incr(1);
+        dbex_obs::counter!("table.rows_scanned").incr(self.rows.len() as u64);
         let column = self.table.column(col);
         let (Some(codes), Some(dict)) = (column.codes(), column.dictionary()) else {
             // Non-categorical columns have no codes to partition by.
@@ -147,6 +151,8 @@ impl<'a> View<'a> {
         if n == 0 || len <= n {
             return self.clone();
         }
+        dbex_obs::counter!("table.sample.calls").incr(1);
+        dbex_obs::counter!("table.rows_sampled").incr(n as u64);
         let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (len as u64);
         let mut next = || {
             state ^= state << 13;

@@ -5,6 +5,12 @@
 # `#![warn(clippy::unwrap_used, clippy::expect_used)]` outside #[cfg(test)],
 # so any new unwrap/expect in library code fails this script.
 #
+# The observability smoke (also available alone via `--obs-smoke`) runs a
+# tiny traced CAD build and asserts the in-memory sink saw the expected
+# span taxonomy and that the global counters moved; it is part of the
+# default gate because it is cheap and catches silently-dropped
+# instrumentation.
+#
 # `--bench-smoke` additionally runs the CAD bench harness in --quick mode
 # with DBEX_THREADS pinned, so the run is reproducible on any machine.
 # bench_suite exits non-zero if any parallel build diverges from the
@@ -15,12 +21,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+OBS_SMOKE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
-    *) echo "usage: $0 [--bench-smoke]" >&2; exit 2 ;;
+    --obs-smoke) OBS_SMOKE_ONLY=1 ;;
+    *) echo "usage: $0 [--bench-smoke] [--obs-smoke]" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$OBS_SMOKE_ONLY" -eq 1 ]]; then
+  echo "==> obs smoke (traced build against the in-memory sink)"
+  cargo run --release --bin obs_smoke
+  exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -30,6 +44,9 @@ cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> obs smoke (traced build against the in-memory sink)"
+cargo run --release --bin obs_smoke
 
 if [[ "$BENCH_SMOKE" -eq 1 ]]; then
   echo "==> bench smoke (bench_suite --quick, DBEX_THREADS=2)"

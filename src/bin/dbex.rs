@@ -11,9 +11,10 @@
 //! dbex> .quit
 //! ```
 //!
-//! Dot-commands: `.load cars|mushroom [rows] [seed]`,
+//! Dot-commands: `.load cars|mushroom|hotels [rows] [seed]`,
 //! `.open <path> <name> [--lossy]`, `.budget [rows N] [time MS] [iters N]`,
-//! `.threads [N|auto]`, `.tables`, `.summary <table>`, `.help`, `.quit`.
+//! `.threads [N|auto]`, `.trace [on|off]`, `.metrics`, `.tables`,
+//! `.summary <table>`, `.help`, `.quit`.
 //! Everything else is fed to the SQL engine (statements may span lines;
 //! terminate with `;`).
 //!
@@ -22,7 +23,7 @@
 //! engine all print a diagnostic and return to the prompt.
 
 use dbexplorer::core::ExecBudget;
-use dbexplorer::data::{MushroomGenerator, UsedCarsGenerator};
+use dbexplorer::data::{HotelsGenerator, MushroomGenerator, UsedCarsGenerator};
 use dbexplorer::query::{QueryOutput, Session};
 use std::collections::BTreeSet;
 use std::io::{BufRead, Write};
@@ -101,17 +102,21 @@ impl Shell {
                 let help = [
                     ".load cars [rows] [seed]      register the synthetic used-car table",
                     ".load mushroom [rows] [seed]  register the synthetic mushroom table",
+                    ".load hotels [rows] [seed]    register the synthetic hotels table",
                     ".open <path> <name> [--lossy] load a CSV file as <name>; with --lossy,",
                     "                              skip bad rows instead of aborting",
                     ".budget [rows N] [time MS] [iters N] | off",
                     "                              limit CAD View builds (degrade, don't fail)",
                     ".threads [N|auto]             CAD build parallelism (1 = sequential;",
                     "                              auto = DBEX_THREADS or hardware cores)",
+                    ".trace [on|off]               trace CAD builds (per-phase span tree;",
+                    "                              bare .trace shows the current state)",
+                    ".metrics                      dump the process-wide metrics registry",
                     ".tables                       list registered tables",
                     ".summary <table>              per-column statistics",
                     ".quit                         exit",
                     "Any other input is SQL (end statements with ';'):",
-                    "SELECT, CREATE CADVIEW, EXPLAIN, DESCRIBE, HIGHLIGHT, REORDER",
+                    "SELECT, CREATE CADVIEW, EXPLAIN [ANALYZE], DESCRIBE, HIGHLIGHT, REORDER",
                 ];
                 println!("{}", help.join("\n"));
             }
@@ -119,6 +124,8 @@ impl Shell {
             ".open" => self.open(&parts),
             ".budget" => self.budget(&parts),
             ".threads" => self.threads(&parts),
+            ".trace" => self.trace(&parts),
+            ".metrics" => print!("{}", dbexplorer::obs::global().render()),
             ".tables" => {
                 for t in &self.tables {
                     println!("{t}");
@@ -185,7 +192,14 @@ impl Shell {
                 self.session.register_table("mushroom", table);
                 self.tables.insert("mushroom".into());
             }
-            _ => println!("usage: .load cars|mushroom [rows] [seed]"),
+            "hotels" => {
+                let rows = if rows == 0 { 8_000 } else { rows };
+                let table = HotelsGenerator::new(seed).generate(rows);
+                println!("loaded hotels: {rows} rows");
+                self.session.register_table("hotels", table);
+                self.tables.insert("hotels".into());
+            }
+            _ => println!("usage: .load cars|mushroom|hotels [rows] [seed]"),
         }
     }
 
@@ -302,6 +316,26 @@ impl Shell {
         }
     }
 
+    /// `.trace on|off` toggles per-build span tracing; bare `.trace`
+    /// shows the current state.
+    fn trace(&mut self, parts: &[&str]) {
+        match parts.get(1) {
+            None => println!(
+                "trace: {}",
+                if self.session.tracing() { "on" } else { "off" }
+            ),
+            Some(&"on") => {
+                self.session.set_tracing(true);
+                println!("trace: on");
+            }
+            Some(&"off") => {
+                self.session.set_tracing(false);
+                println!("trace: off");
+            }
+            Some(other) => println!("unknown trace mode {other}; expected on or off"),
+        }
+    }
+
     fn run_sql(&mut self, sql: &str) {
         match self.session.execute(sql) {
             Ok(output) => print_output(&output),
@@ -370,9 +404,16 @@ fn print_output(output: &QueryOutput) {
             name,
             rendered,
             degradation,
+            trace,
         } => {
             println!("CAD View {name}:");
             println!("{rendered}");
+            if let Some(trace) = trace {
+                println!("trace (per-phase spans):");
+                for line in trace.lines() {
+                    println!("  {line}");
+                }
+            }
             for d in degradation {
                 println!("warning: degraded build: {d}");
             }

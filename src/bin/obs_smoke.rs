@@ -1,0 +1,90 @@
+//! `obs_smoke` — tiny end-to-end check of the observability layer.
+//!
+//! Runs one traced CAD build over a small synthetic table with an
+//! in-memory trace sink attached, then asserts that the sink saw the
+//! expected span taxonomy and that the global metrics registry recorded
+//! the build. Exits 0 and prints `obs smoke OK` on success; prints a
+//! diagnostic and exits 1 on any missing span or counter.
+//!
+//! Wired into `scripts/check.sh` (and its `--obs-smoke` flag) so a
+//! regression that silently drops instrumentation fails the gate.
+
+use dbexplorer::data::UsedCarsGenerator;
+use dbexplorer::obs::MemorySink;
+use dbexplorer::query::Session;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const EXPECTED_SPANS: [&str; 8] = [
+    "cad_build",
+    "pivot_encode",
+    "compare_attrs",
+    "iunit_generation",
+    "encode_matrix",
+    "cluster_partition",
+    "topk",
+    "solve_partition",
+];
+
+fn main() -> ExitCode {
+    let mut failures = Vec::new();
+
+    let mut session = Session::new();
+    session.register_table("cars", UsedCarsGenerator::new(1).generate(500));
+    let sink = Arc::new(MemorySink::new());
+    session.set_trace_sink(Some(sink.clone()));
+    if let Err(e) = session.execute("CREATE CADVIEW smoke AS SET pivot = Make FROM cars IUNITS 2")
+    {
+        eprintln!("obs smoke: traced build failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if sink.len() != 1 {
+        failures.push(format!("expected 1 recorded trace, saw {}", sink.len()));
+    }
+    let names = sink.span_names();
+    for span in EXPECTED_SPANS {
+        if !names.contains(span) {
+            failures.push(format!("span {span:?} missing from the recorded trace"));
+        }
+    }
+    for trace in sink.traces() {
+        if trace.forced_closures != 0 {
+            failures.push(format!(
+                "{} span(s) were force-closed: instrumentation leaks guards",
+                trace.forced_closures
+            ));
+        }
+        match trace.find("cad_build") {
+            Some(root) => {
+                let rows = root.counters.get("rows_input").copied().unwrap_or(0);
+                if rows != 500 {
+                    failures.push(format!("cad_build rows_input = {rows}, expected 500"));
+                }
+            }
+            None => failures.push("no cad_build root span".to_owned()),
+        }
+    }
+
+    let metrics = dbexplorer::obs::global().snapshot();
+    for counter in ["cad.builds", "table.rows_scanned", "query.statements"] {
+        match metrics.counters.get(counter) {
+            Some(0) | None => failures.push(format!("global counter {counter:?} never moved")),
+            Some(_) => {}
+        }
+    }
+    let build_ms = metrics.histograms.get("cad.build_ms");
+    if build_ms.is_none_or(|h| h.total() == 0) {
+        failures.push("histogram \"cad.build_ms\" recorded no observations".to_owned());
+    }
+
+    if failures.is_empty() {
+        println!("obs smoke OK ({} spans traced)", names.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("obs smoke FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`topk`] — diversified top-k (div-astar) selection.
 //! * [`facet`] — faceted navigation engine (the Solr-style baseline).
 //! * [`core`] — the CAD View itself: builder, similarity, TPFacet.
+//! * [`obs`] — first-party observability: span traces, metrics registry,
+//!   trace sinks, and the timing-masking helpers used by snapshot tests.
 //! * [`data`] — synthetic UsedCars / Mushroom dataset generators.
 //! * [`study`] — the simulated user study reproducing Section 6.2.
 //!
@@ -36,6 +38,7 @@
 //! ```
 
 pub use dbex_cluster as cluster;
+pub use dbex_obs as obs;
 pub use dbex_core as core;
 pub use dbex_data as data;
 pub use dbex_facet as facet;

@@ -91,6 +91,47 @@ fn parallel_build_is_byte_identical_across_datasets() {
 }
 
 #[test]
+fn trace_structure_is_identical_across_thread_counts() {
+    // The observability layer is part of the determinism contract:
+    // same-named sibling spans merge, so the span tree — names, call
+    // counts, rows scanned, cache hits/misses, degradation level —
+    // must be byte-identical at 1, 2, and 8 threads (only wall times,
+    // which the structural digest excludes, may differ).
+    use dbexplorer::core::{build_cad_view_traced, StatsCache, Tracer};
+    for (name, table, pivot) in datasets() {
+        let view = table.full_view();
+        let build = |threads: usize| {
+            // A fresh cache per build keeps hit/miss deltas a function
+            // of the build alone, not of prior builds.
+            let cache = StatsCache::new();
+            let tracer = Tracer::enabled();
+            let cad = build_cad_view_traced(
+                &view,
+                &request_with_threads(pivot, threads),
+                Some(&cache),
+                &tracer,
+            )
+            .unwrap_or_else(|e| panic!("{name}: {threads}-thread traced build failed: {e}"));
+            let trace = cad.trace.unwrap_or_else(|| panic!("{name}: traced build has no trace"));
+            assert_eq!(trace.forced_closures, 0, "{name}: spans leaked at {threads} threads");
+            trace.structural_digest()
+        };
+        let sequential = build(1);
+        assert!(
+            sequential.contains("cluster_partition"),
+            "{name}: worker spans missing from the sequential trace:\n{sequential}"
+        );
+        for threads in [2, 8] {
+            assert_eq!(
+                build(threads),
+                sequential,
+                "{name}: {threads}-thread trace structure diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
 fn budget_degradation_still_fires_under_parallelism() {
     let table = UsedCarsGenerator::new(11).generate(5_000);
     let view = table.full_view();

@@ -280,6 +280,114 @@ proptest! {
     }
 
     #[test]
+    fn span_trees_are_well_nested(ops in prop::collection::vec((0u8..3, 0u8..8), 0..60)) {
+        // Drive the raw span API with an arbitrary interleaving of
+        // enter / exit / add-counter operations and check that the
+        // merged tree conserves every structural quantity.
+        use dbexplorer::obs::Tracer;
+        const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+        const KEYS: [&str; 2] = ["k0", "k1"];
+        let tracer = Tracer::enabled();
+        // Open spans as (id, name); parents are picked from this list,
+        // so every parent precedes its children in the log.
+        let mut open: Vec<(dbexplorer::obs::SpanId, &'static str)> = Vec::new();
+        let mut enters = 0u64;
+        let mut exits = 0u64;
+        // Expected multiset of (parent name or None, span name) pairs.
+        let mut pairs = std::collections::BTreeMap::<(Option<&str>, &str), u64>::new();
+        let mut counter_sums = std::collections::BTreeMap::<&str, u64>::new();
+        for (op, sel) in ops {
+            let sel = sel as usize;
+            match op {
+                0 => {
+                    let name = NAMES[sel % NAMES.len()];
+                    let pick = sel % (open.len() + 1);
+                    let parent = if pick == 0 { None } else { Some(open[pick - 1]) };
+                    if let Some(id) = tracer.enter_raw(parent.map(|(id, _)| id), name) {
+                        enters += 1;
+                        *pairs.entry((parent.map(|(_, n)| n), name)).or_insert(0) += 1;
+                        open.push((id, name));
+                    }
+                }
+                1 => {
+                    if !open.is_empty() {
+                        let (id, _) = open.remove(sel % open.len());
+                        tracer.exit_raw(id);
+                        exits += 1;
+                    }
+                }
+                _ => {
+                    if !open.is_empty() {
+                        let (id, _) = open[sel % open.len()];
+                        let key = KEYS[sel % KEYS.len()];
+                        tracer.add_raw(id, key, sel as u64);
+                        *counter_sums.entry(key).or_insert(0) += sel as u64;
+                    }
+                }
+            }
+        }
+        let trace = tracer.finish().expect("enabled tracer yields a trace");
+        // Every entered span survives merging exactly once.
+        prop_assert_eq!(trace.total_spans(), enters);
+        // Spans left open are force-closed, and only those.
+        prop_assert_eq!(trace.forced_closures, enters - exits);
+        // The (parent name, child name) multiset and the per-key counter
+        // sums are conserved by sibling merging.
+        fn walk<'a>(
+            nodes: &'a [dbexplorer::obs::SpanNode],
+            parent: Option<&'a str>,
+            pairs: &mut std::collections::BTreeMap<(Option<&'a str>, &'a str), u64>,
+            counters: &mut std::collections::BTreeMap<&'a str, u64>,
+        ) {
+            for node in nodes {
+                *pairs.entry((parent, node.name.as_str())).or_insert(0) += node.calls;
+                for (key, n) in &node.counters {
+                    *counters.entry(key.as_str()).or_insert(0) += n;
+                }
+                walk(&node.children, Some(node.name.as_str()), pairs, counters);
+            }
+        }
+        let mut got_pairs = std::collections::BTreeMap::new();
+        let mut got_counters = std::collections::BTreeMap::new();
+        walk(&trace.roots, None, &mut got_pairs, &mut got_counters);
+        // An `add` of 0 legitimately materializes a zero-valued key in
+        // the trace; compare only the nonzero entries on both sides.
+        got_pairs.retain(|_, n| *n > 0);
+        got_counters.retain(|_, n| *n > 0);
+        pairs.retain(|_, n| *n > 0);
+        counter_sums.retain(|_, n| *n > 0);
+        prop_assert_eq!(got_pairs, pairs);
+        prop_assert_eq!(got_counters, counter_sums);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_count(
+        observations in prop::collection::vec((0u8..5, -1e15f64..1e15), 0..300),
+        bounds in prop::collection::vec(-1e9f64..1e9, 0..8),
+    ) {
+        // Bucket counts plus the NaN bin always account for every
+        // observation, for arbitrary f64 including NaN and ±infinity.
+        let h = dbexplorer::obs::Histogram::new(&bounds);
+        for &(kind, v) in &observations {
+            h.observe(match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                _ => v,
+            });
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.total(), observations.len() as u64);
+        prop_assert_eq!(snap.count, observations.len() as u64);
+        // One bucket per bound plus the overflow bucket, regardless of
+        // duplicate or unsorted input bounds.
+        prop_assert_eq!(snap.buckets.len(), snap.bounds.len() + 1);
+        let nan_expected = observations.iter().filter(|(k, _)| *k == 0).count() as u64;
+        prop_assert_eq!(snap.nan, nan_expected);
+    }
+
+    #[test]
     fn view_sample_is_subset_without_duplicates(table in arb_table(), n in 0usize..100) {
         let view = table.full_view();
         let sample = view.sample(n);

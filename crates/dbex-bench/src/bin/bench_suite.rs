@@ -4,27 +4,47 @@
 //! several pool sizes (1 / 2 / 8 / auto threads), checks that every
 //! parallel build renders byte-identically to the sequential one, and
 //! writes medians over repeated runs to a JSON report (`BENCH_cad.json`
-//! by default). The report carries `"schema": 2` plus a per-workload
-//! `"span_breakdown"` (the traced span tree of one sequential build),
-//! and is validated — well-formedness *and* schema version — before it
-//! is written; a bad report is a hard failure (exit code 1).
+//! by default). Every point is measured twice: **cold** (a fresh build,
+//! no cache) and **warm** (rebuilds against a `StatsCache` primed by one
+//! preceding build, so codec, contingency and cluster-partition reuse
+//! all engage). The report carries `"schema": 3`, a per-workload
+//! `"warm_cache"` object (hits / misses / partitions served from the
+//! cluster-reuse cache), `"span_medians_ms"` (per-span medians over
+//! repeated traced builds) and a `"span_breakdown"` tree, and is
+//! validated — well-formedness *and* schema version — before it is
+//! written; a bad report is a hard failure (exit code 1).
 //!
 //! ```text
 //! cargo run --release -p dbex-bench --bin bench_suite             # full, ≥5 runs/point
 //! cargo run --release -p dbex-bench --bin bench_suite -- --quick  # CI smoke, 1 run/point
 //! cargo run --release -p dbex-bench --bin bench_suite -- --out target/bench.json --runs 7
+//! cargo run --release -p dbex-bench --bin bench_suite -- --baseline BENCH_cad.json
 //! ```
+//!
+//! `--baseline <report.json>` additionally diffs the fresh report
+//! against a committed schema-2 or schema-3 report: per-workload and
+//! per-span regressions/speedups are printed, and the run exits
+//! non-zero when the `cluster_partition` median regresses by more than
+//! 25% on any comparable workload (row-count mismatches — e.g. a
+//! `--quick` run against a full baseline — are skipped, not failed).
 //!
 //! `DBEX_THREADS` pins what the `auto` (0) pool size resolves to, so CI
 //! can keep the run reproducible on any machine.
 
 use dbex_bench::{
-    base_cars_table, five_make_view, median_ms, validate_report, warn_if_debug,
-    worst_case_request, BENCH_SCHEMA, FIVE_MAKES,
+    base_cars_table, diff_reports, five_make_view, flatten_spans, median_ms, validate_report,
+    warn_if_debug, worst_case_request, Json, BENCH_SCHEMA, FIVE_MAKES,
 };
-use dbex_core::{build_cad_view, build_cad_view_traced, CadRequest, CadView, Tracer};
+use dbex_core::{
+    build_cad_view, build_cad_view_cached, build_cad_view_traced, CadRequest, CadView, StatsCache,
+    Tracer,
+};
 use dbex_table::View;
 use std::time::Instant;
+
+/// Gate threshold for `--baseline`: fail on a >25% regression in the
+/// `cluster_partition` median.
+const GATE_THRESHOLD: f64 = 0.25;
 
 /// One workload: a named request over a fixed result-set size.
 struct Workload {
@@ -36,14 +56,23 @@ struct Workload {
 /// Timings and the determinism verdict for one workload × thread count.
 struct Cell {
     threads: usize,
-    runs_ms: Vec<f64>,
+    cold_runs_ms: Vec<f64>,
+    warm_runs_ms: Vec<f64>,
     matches_sequential: bool,
+}
+
+/// Cache effectiveness observed by the sequential warm rebuilds.
+struct WarmCache {
+    hits: u64,
+    misses: u64,
+    partitions_reused: usize,
 }
 
 fn main() {
     warn_if_debug();
     let mut quick = false;
     let mut out_path = "BENCH_cad.json".to_owned();
+    let mut baseline_path: Option<String> = None;
     let mut runs = 5usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +81,10 @@ fn main() {
             "--out" => match args.next() {
                 Some(p) => out_path = p,
                 None => die("--out requires a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(p),
+                None => die("--baseline requires a path"),
             },
             "--runs" => match args.next().map(|r| r.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => runs = n,
@@ -102,30 +135,44 @@ fn main() {
     let mut sections = Vec::new();
     for workload in &workloads {
         let result = population.sample(workload.rows);
-        let cells = run_workload(workload, &result, &thread_counts, runs);
+        let (cells, warm_cache) = run_workload(workload, &result, &thread_counts, runs);
         let seq_median = cells
             .iter()
             .find(|c| c.threads == 1)
-            .map(|c| median_ms(&c.runs_ms))
+            .map(|c| median_ms(&c.cold_runs_ms))
             .unwrap_or(0.0);
         let deterministic = cells.iter().all(|c| c.matches_sequential);
         if !deterministic {
             die(&format!(
-                "{}: parallel render diverged from sequential",
+                "{}: parallel or warm render diverged from sequential",
                 workload.name
             ));
         }
         println!("\n{} ({} rows):", workload.name, result.len());
         for cell in &cells {
-            let med = median_ms(&cell.runs_ms);
-            let speedup = if med > 0.0 { seq_median / med } else { 0.0 };
+            let cold = median_ms(&cell.cold_runs_ms);
+            let warm = median_ms(&cell.warm_runs_ms);
+            let speedup = if cold > 0.0 { seq_median / cold } else { 0.0 };
             println!(
-                "  {:>2} thread(s): median {:>9.1} ms  (speedup {:.2}x, output identical)",
-                cell.threads, med, speedup
+                "  {:>2} thread(s): cold median {:>9.1} ms, warm median {:>9.1} ms  \
+                 (cold speedup {:.2}x, output identical)",
+                cell.threads, cold, warm, speedup
             );
         }
-        let breakdown = span_breakdown(workload, &result);
-        sections.push(render_section(workload, result.len(), &cells, seq_median, &breakdown));
+        println!(
+            "  warm cache: {} hit(s), {} miss(es), {} partition(s) reused per rebuild",
+            warm_cache.hits, warm_cache.misses, warm_cache.partitions_reused
+        );
+        let (breakdown, span_medians) = span_breakdown(workload, &result, runs);
+        sections.push(render_section(
+            workload,
+            result.len(),
+            &cells,
+            seq_median,
+            &warm_cache,
+            &breakdown,
+            &span_medians,
+        ));
     }
 
     let report = format!(
@@ -142,60 +189,142 @@ fn main() {
         die(&format!("cannot write {out_path}: {e}"));
     }
     println!("\nwrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
+        let diff = diff_reports(&report, &baseline, GATE_THRESHOLD)
+            .unwrap_or_else(|e| die(&format!("baseline diff failed: {e}")));
+        println!("\nbaseline diff vs {path}:");
+        for line in &diff.lines {
+            println!("  {line}");
+        }
+        if diff.gate_failed {
+            die(&format!(
+                "cluster_partition median regressed by more than {:.0}% vs {path}",
+                GATE_THRESHOLD * 100.0
+            ));
+        }
+    }
 }
 
-/// Builds the workload at every pool size, `runs` times each, and checks
-/// each parallel render against the sequential one.
+/// Builds the workload at every pool size, `runs` times each cold and —
+/// against a cache primed by one preceding build — `runs` times warm,
+/// checking every render (parallel and warm alike) against the
+/// sequential cold one.
 fn run_workload(
     workload: &Workload,
     result: &View<'_>,
     thread_counts: &[usize],
     runs: usize,
-) -> Vec<Cell> {
+) -> (Vec<Cell>, WarmCache) {
     let mut sequential_render: Option<String> = None;
     let mut cells = Vec::with_capacity(thread_counts.len());
+    let mut warm_cache = WarmCache {
+        hits: 0,
+        misses: 0,
+        partitions_reused: 0,
+    };
     for &threads in thread_counts {
         let mut request = workload.request.clone();
         request.config.threads = threads;
-        let mut runs_ms = Vec::with_capacity(runs);
+        let mut cold_runs_ms = Vec::with_capacity(runs);
         let mut last: Option<CadView> = None;
         for _ in 0..runs {
             let start = Instant::now();
             let cad = build_cad_view(result, &request).unwrap_or_else(|e| {
                 die(&format!("{} failed at {threads} threads: {e}", workload.name))
             });
-            runs_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+            cold_runs_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
             last = Some(cad);
         }
+        // Warm path: one untimed priming build populates the cache, then
+        // every timed rebuild reuses codecs, contingency tables and
+        // untouched cluster partitions.
+        let cache = StatsCache::new();
+        build_cad_view_cached(result, &request, Some(&cache)).unwrap_or_else(|e| {
+            die(&format!(
+                "{} warm prime failed at {threads} threads: {e}",
+                workload.name
+            ))
+        });
+        let mut warm_runs_ms = Vec::with_capacity(runs);
+        let mut warm_last: Option<CadView> = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let cad = build_cad_view_cached(result, &request, Some(&cache)).unwrap_or_else(|e| {
+                die(&format!(
+                    "{} warm build failed at {threads} threads: {e}",
+                    workload.name
+                ))
+            });
+            warm_runs_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+            warm_last = Some(cad);
+        }
+        if threads == 1 {
+            let stats = cache.stats();
+            warm_cache.hits = stats.hits;
+            warm_cache.misses = stats.misses;
+            warm_cache.partitions_reused = warm_last
+                .as_ref()
+                .map(|c| c.partitions_reused)
+                .unwrap_or(0);
+        }
         let render = last.map(|c| c.render()).unwrap_or_default();
+        let warm_render = warm_last.map(|c| c.render()).unwrap_or_default();
         let matches_sequential = match &sequential_render {
             None => {
-                sequential_render = Some(render);
-                true
+                sequential_render = Some(render.clone());
+                warm_render == render
             }
-            Some(seq) => *seq == render,
+            Some(seq) => *seq == render && *seq == warm_render,
         };
         cells.push(Cell {
             threads,
-            runs_ms,
+            cold_runs_ms,
+            warm_runs_ms,
             matches_sequential,
         });
     }
-    cells
+    (cells, warm_cache)
 }
 
-/// The traced span tree of one extra sequential build, as JSON. Wall
-/// times inside it come from a single run (the medians above remain the
-/// timing source of record); the structural fields — span names, call
-/// counts, rows scanned, cache hits/misses — are deterministic.
-fn span_breakdown(workload: &Workload, result: &View<'_>) -> String {
+/// The traced span tree of `runs` extra sequential builds: returns the
+/// last run's tree as JSON (the structural fields — span names, call
+/// counts, rows scanned, cache hits — are deterministic) plus per-span
+/// medians of total `duration_ms` across the runs, the values the
+/// `--baseline` gate compares.
+fn span_breakdown(
+    workload: &Workload,
+    result: &View<'_>,
+    runs: usize,
+) -> (String, Vec<(String, f64)>) {
     let mut request = workload.request.clone();
     request.config.threads = 1;
-    let tracer = Tracer::enabled();
-    let cad = build_cad_view_traced(result, &request, None, &tracer).unwrap_or_else(|e| {
-        die(&format!("{} traced build failed: {e}", workload.name))
-    });
-    cad.trace.map_or_else(|| "[]".to_owned(), |t| t.to_json())
+    let mut tree_json = "[]".to_owned();
+    let mut per_span: Vec<(String, Vec<f64>)> = Vec::new();
+    for _ in 0..runs.max(1) {
+        let tracer = Tracer::enabled();
+        let cad = build_cad_view_traced(result, &request, None, &tracer).unwrap_or_else(|e| {
+            die(&format!("{} traced build failed: {e}", workload.name))
+        });
+        let Some(trace) = cad.trace else { continue };
+        tree_json = trace.to_json();
+        let parsed = Json::parse(&tree_json).unwrap_or_else(|e| {
+            die(&format!("{} span tree is invalid JSON: {e}", workload.name))
+        });
+        for (name, ms) in flatten_spans(&parsed) {
+            match per_span.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, samples)) => samples.push(ms),
+                None => per_span.push((name, vec![ms])),
+            }
+        }
+    }
+    let medians = per_span
+        .into_iter()
+        .map(|(name, samples)| (name, median_ms(&samples)))
+        .collect();
+    (tree_json, medians)
 }
 
 /// One workload's JSON object (hand-rolled; validated by the caller).
@@ -204,36 +333,54 @@ fn render_section(
     rows: usize,
     cells: &[Cell],
     seq_median: f64,
+    warm_cache: &WarmCache,
     span_breakdown: &str,
+    span_medians: &[(String, f64)],
 ) -> String {
     let max_threads = cells.iter().map(|c| c.threads).max().unwrap_or(1);
     let max_median = cells
         .iter()
         .find(|c| c.threads == max_threads)
-        .map(|c| median_ms(&c.runs_ms))
+        .map(|c| median_ms(&c.cold_runs_ms))
         .unwrap_or(0.0);
     let speedup = if max_median > 0.0 { seq_median / max_median } else { 0.0 };
     let points: Vec<String> = cells
         .iter()
         .map(|c| {
-            let samples: Vec<String> = c.runs_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+            let fmt = |runs_ms: &[f64]| {
+                let samples: Vec<String> = runs_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+                samples.join(", ")
+            };
+            let cold = median_ms(&c.cold_runs_ms);
             format!(
-                "        {{\"threads\": {}, \"median_ms\": {:.3}, \"runs_ms\": [{}], \
+                "        {{\"threads\": {}, \"median_ms\": {cold:.3}, \
+                 \"cold_median_ms\": {cold:.3}, \"warm_median_ms\": {:.3}, \
+                 \"cold_runs_ms\": [{}], \"warm_runs_ms\": [{}], \
                  \"output_matches_sequential\": {}}}",
                 c.threads,
-                median_ms(&c.runs_ms),
-                samples.join(", "),
+                median_ms(&c.warm_runs_ms),
+                fmt(&c.cold_runs_ms),
+                fmt(&c.warm_runs_ms),
                 c.matches_sequential,
             )
         })
         .collect();
-    format!
-        (
+    let medians: Vec<String> = span_medians
+        .iter()
+        .map(|(name, ms)| format!("\"{name}\": {ms:.3}"))
+        .collect();
+    format!(
         "    {{\n      \"name\": \"{}\",\n      \"rows\": {rows},\n      \"points\": [\n{}\n      \
          ],\n      \"speedup_at_max_threads\": {speedup:.3},\n      \
+         \"warm_cache\": {{\"hits\": {}, \"misses\": {}, \"partitions_reused\": {}}},\n      \
+         \"span_medians_ms\": {{{}}},\n      \
          \"span_breakdown\": {span_breakdown}\n    }}",
         workload.name,
         points.join(",\n"),
+        warm_cache.hits,
+        warm_cache.misses,
+        warm_cache.partitions_reused,
+        medians.join(", "),
     )
 }
 

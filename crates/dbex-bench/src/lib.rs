@@ -150,8 +150,16 @@ pub fn median_ms(samples: &[f64]) -> f64 {
 ///
 /// History: schema 1 was the original unversioned report (no `"schema"`
 /// field); schema 2 adds the version field and a per-workload
-/// `"span_breakdown"` (the traced span tree of one sequential build).
-pub const BENCH_SCHEMA: u64 = 2;
+/// `"span_breakdown"` (the traced span tree of one sequential build);
+/// schema 3 adds cold/warm measurement per point (`cold_median_ms`,
+/// `warm_median_ms`, `cold_runs_ms`, `warm_runs_ms` — warm builds run
+/// against a primed [`dbex_core::StatsCache`]), a per-workload
+/// `"warm_cache"` object (cache hits/misses and partitions served from
+/// the cluster-reuse cache) and `"span_medians_ms"` (per-span medians
+/// over repeated traced builds, the values the `--baseline` diff
+/// compares). `median_ms` is retained as an alias of `cold_median_ms`
+/// so schema-2 baselines stay diffable.
+pub const BENCH_SCHEMA: u64 = 3;
 
 /// Validates a bench report: well-formed JSON carrying
 /// `"schema": `[`BENCH_SCHEMA`]. Reports without a schema field
@@ -337,6 +345,363 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+/// A parsed JSON value — just enough structure for bench-report diffing
+/// (no crate dependency; the reports are small and written by this
+/// harness or its predecessors).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as `f64` (report numbers are small).
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving field order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document; the whole input must be consumed.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        let value = parse_value_tree(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn parse_value_tree(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut fields = Vec::new();
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string_tree(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                let value = parse_value_tree(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut items = Vec::new();
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                skip_ws(b, pos);
+                items.push(parse_value_tree(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string_tree(b, pos).map(Json::Str),
+        Some(b't') => parse_literal(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null").map(|()| Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("unrepresentable number at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}")),
+    }
+}
+
+fn parse_string_tree(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_owned());
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = b.get(*pos).copied();
+                *pos += 1;
+                match esc {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0C),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(hex.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            _ => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+/// Flattens a span tree (the `span_breakdown` array of `to_json` span
+/// objects) into total `duration_ms` per span name, summed over every
+/// occurrence, in first-seen order.
+pub fn flatten_spans(tree: &Json) -> Vec<(String, f64)> {
+    fn walk(nodes: &[Json], out: &mut Vec<(String, f64)>) {
+        for node in nodes {
+            let name = node.get("name").and_then(Json::as_str).unwrap_or("");
+            let ms = node.get("duration_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            match out.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => *total += ms,
+                None => out.push((name.to_owned(), ms)),
+            }
+            if let Some(children) = node.get("children").and_then(Json::as_array) {
+                walk(children, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(roots) = tree.as_array() {
+        walk(roots, &mut out);
+    }
+    out
+}
+
+/// The span whose median regression fails the `--baseline` gate: the
+/// clustering hot path this harness exists to keep fast.
+pub const GATE_SPAN: &str = "cluster_partition";
+
+/// Outcome of diffing a fresh report against a baseline report.
+pub struct ReportDiff {
+    /// Human-readable per-workload and per-span comparison lines.
+    pub lines: Vec<String>,
+    /// True when [`GATE_SPAN`] regressed beyond the threshold on any
+    /// comparable workload.
+    pub gate_failed: bool,
+}
+
+/// Compares a freshly generated report against a baseline (schema 2 or
+/// 3). Workloads are matched by name; a workload whose `rows` differ
+/// (e.g. a `--quick` run against a full baseline) is reported as not
+/// comparable and never trips the gate. Per-point medians use
+/// `cold_median_ms`, falling back to schema 2's `median_ms`; per-span
+/// values use `span_medians_ms`, falling back to a flattened
+/// `span_breakdown`. The gate fails when [`GATE_SPAN`]'s median exceeds
+/// the baseline by more than `gate_threshold` (0.25 = 25%).
+pub fn diff_reports(
+    current: &str,
+    baseline: &str,
+    gate_threshold: f64,
+) -> Result<ReportDiff, String> {
+    let cur = Json::parse(current).map_err(|e| format!("current report: {e}"))?;
+    let base = Json::parse(baseline).map_err(|e| format!("baseline report: {e}"))?;
+    let base_schema = base
+        .get("schema")
+        .and_then(Json::as_f64)
+        .map(|n| n as u64)
+        .ok_or_else(|| "baseline report has no \"schema\" field".to_owned())?;
+    if !(2..=BENCH_SCHEMA).contains(&base_schema) {
+        return Err(format!(
+            "baseline schema {base_schema} not understood (want 2..={BENCH_SCHEMA})"
+        ));
+    }
+    let empty: [Json; 0] = [];
+    let cur_workloads = cur.get("workloads").and_then(Json::as_array).unwrap_or(&empty);
+    let base_workloads = base.get("workloads").and_then(Json::as_array).unwrap_or(&empty);
+    let mut lines = Vec::new();
+    let mut gate_failed = false;
+    for workload in cur_workloads {
+        let name = workload.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(base_workload) = base_workloads
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            lines.push(format!("{name}: not in baseline — skipped"));
+            continue;
+        };
+        let rows = workload.get("rows").and_then(Json::as_f64);
+        let base_rows = base_workload.get("rows").and_then(Json::as_f64);
+        if rows != base_rows {
+            lines.push(format!(
+                "{name}: {} rows vs baseline {} — not comparable, skipped",
+                rows.unwrap_or(0.0),
+                base_rows.unwrap_or(0.0),
+            ));
+            continue;
+        }
+        for point in workload
+            .get("points")
+            .and_then(Json::as_array)
+            .unwrap_or(&empty)
+        {
+            let Some(threads) = point.get("threads").and_then(Json::as_f64) else {
+                continue;
+            };
+            let Some(base_point) = base_workload
+                .get("points")
+                .and_then(Json::as_array)
+                .unwrap_or(&empty)
+                .iter()
+                .find(|p| p.get("threads").and_then(Json::as_f64) == Some(threads))
+            else {
+                continue;
+            };
+            if let (Some(cur_ms), Some(base_ms)) = (point_median(point), point_median(base_point)) {
+                lines.push(format!(
+                    "{name} @ {threads} thread(s): {cur_ms:.3} ms vs {base_ms:.3} ms — {}",
+                    verdict(cur_ms, base_ms),
+                ));
+            }
+        }
+        let base_spans = workload_span_medians(base_workload);
+        for (span, cur_ms) in workload_span_medians(workload) {
+            let Some((_, base_ms)) = base_spans.iter().find(|(n, _)| *n == span) else {
+                continue;
+            };
+            let mut line = format!(
+                "{name} span {span}: {cur_ms:.3} ms vs {base_ms:.3} ms — {}",
+                verdict(cur_ms, *base_ms),
+            );
+            if span == GATE_SPAN && *base_ms > 0.0 && cur_ms > base_ms * (1.0 + gate_threshold) {
+                gate_failed = true;
+                line.push_str(&format!(
+                    "  [GATE FAILED: > {:.0}% regression]",
+                    gate_threshold * 100.0
+                ));
+            }
+            lines.push(line);
+        }
+    }
+    if cur_workloads.is_empty() {
+        lines.push("current report has no workloads".to_owned());
+    }
+    Ok(ReportDiff { lines, gate_failed })
+}
+
+/// A point's comparison median: `cold_median_ms` (schema 3), falling
+/// back to `median_ms` (schema 2, where every run was cold).
+fn point_median(point: &Json) -> Option<f64> {
+    point
+        .get("cold_median_ms")
+        .or_else(|| point.get("median_ms"))
+        .and_then(Json::as_f64)
+}
+
+/// A workload's per-span medians: `span_medians_ms` (schema 3), falling
+/// back to the flattened single-run `span_breakdown` (schema 2).
+fn workload_span_medians(workload: &Json) -> Vec<(String, f64)> {
+    if let Some(Json::Obj(fields)) = workload.get("span_medians_ms") {
+        return fields
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|ms| (k.clone(), ms)))
+            .collect();
+    }
+    workload
+        .get("span_breakdown")
+        .map(flatten_spans)
+        .unwrap_or_default()
+}
+
+fn verdict(cur_ms: f64, base_ms: f64) -> String {
+    if base_ms <= 0.0 || cur_ms <= 0.0 {
+        return "not comparable".to_owned();
+    }
+    let ratio = cur_ms / base_ms;
+    if ratio <= 1.0 {
+        format!("{:.2}x speedup", base_ms / cur_ms)
+    } else {
+        format!("+{:.1}% regression", (ratio - 1.0) * 100.0)
+    }
+}
+
 /// Prints one aligned text table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells
@@ -400,19 +765,96 @@ mod tests {
 
     #[test]
     fn report_validator_checks_schema() {
-        assert!(validate_report(r#"{"schema": 2, "bench": "cad"}"#).is_ok());
+        assert!(validate_report(r#"{"schema": 3, "bench": "cad"}"#).is_ok());
         // Missing schema: actionable message, not silent acceptance.
         let err = validate_report(r#"{"bench": "cad"}"#).unwrap_err();
         assert!(err.contains("no \"schema\" field"), "{err}");
         // Wrong version names both the found and the understood schema.
-        let err = validate_report(r#"{"schema": 1, "bench": "cad"}"#).unwrap_err();
-        assert!(err.contains("unknown report schema 1"), "{err}");
-        assert!(err.contains("schema 2"), "{err}");
+        let err = validate_report(r#"{"schema": 2, "bench": "cad"}"#).unwrap_err();
+        assert!(err.contains("unknown report schema 2"), "{err}");
+        assert!(err.contains("schema 3"), "{err}");
         // Malformed JSON still fails on well-formedness first.
-        assert!(validate_report(r#"{"schema": 2"#).is_err());
+        assert!(validate_report(r#"{"schema": 3"#).is_err());
         // Non-numeric schema value reads as absent.
         let err = validate_report(r#"{"schema": "two"}"#).unwrap_err();
         assert!(err.contains("no \"schema\" field"), "{err}");
+    }
+
+    #[test]
+    fn json_parser_round_trips_report_shapes() {
+        let v = Json::parse(r#"{"a": [1, -2.5, 3e2], "b": {"c": "x\"yA"}, "d": null}"#)
+            .unwrap();
+        let a = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_f64(), Some(300.0));
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
+            Some("x\"yA")
+        );
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+        assert!(Json::parse(r#"{"a": 1"#).is_err());
+        assert!(Json::parse("[1] tail").is_err());
+    }
+
+    #[test]
+    fn flatten_spans_sums_by_name_over_the_tree() {
+        let tree = Json::parse(
+            r#"[{"name": "cad_build", "calls": 1, "duration_ms": 10.0, "counters": {},
+                 "children": [
+                   {"name": "cluster_partition", "calls": 5, "duration_ms": 6.0,
+                    "counters": {}, "children": []},
+                   {"name": "cluster_partition", "calls": 1, "duration_ms": 1.5,
+                    "counters": {}, "children": []}]}]"#,
+        )
+        .unwrap();
+        let flat = flatten_spans(&tree);
+        assert_eq!(flat[0], ("cad_build".to_owned(), 10.0));
+        assert_eq!(flat[1], ("cluster_partition".to_owned(), 7.5));
+    }
+
+    fn report(schema: u64, rows: u64, median: f64, cluster_ms: f64) -> String {
+        // A schema-2-shaped workload (median_ms + span_breakdown) is
+        // also a valid diff input for schema 3 via the fallbacks.
+        format!(
+            r#"{{"schema": {schema}, "workloads": [
+                 {{"name": "w", "rows": {rows},
+                   "points": [{{"threads": 1, "median_ms": {median}}}],
+                   "span_breakdown": [{{"name": "cluster_partition", "calls": 5,
+                     "duration_ms": {cluster_ms}, "counters": {{}}, "children": []}}]}}]}}"#
+        )
+    }
+
+    #[test]
+    fn diff_reports_flags_gate_regressions_only_when_comparable() {
+        // 10% slower cluster_partition: reported, below the 25% gate.
+        let diff = diff_reports(&report(3, 100, 11.0, 11.0), &report(2, 100, 10.0, 10.0), 0.25)
+            .unwrap();
+        assert!(!diff.gate_failed, "{:?}", diff.lines);
+        assert!(diff.lines.iter().any(|l| l.contains("+10.0% regression")));
+
+        // 50% slower: gate fails.
+        let diff = diff_reports(&report(3, 100, 15.0, 15.0), &report(2, 100, 10.0, 10.0), 0.25)
+            .unwrap();
+        assert!(diff.gate_failed, "{:?}", diff.lines);
+        assert!(diff.lines.iter().any(|l| l.contains("GATE FAILED")));
+
+        // Faster: speedup reported, no gate.
+        let diff = diff_reports(&report(3, 100, 5.0, 4.0), &report(2, 100, 10.0, 10.0), 0.25)
+            .unwrap();
+        assert!(!diff.gate_failed);
+        assert!(diff.lines.iter().any(|l| l.contains("2.50x speedup")));
+
+        // Row-count mismatch (e.g. --quick vs full baseline): skipped,
+        // never trips the gate even with a huge regression.
+        let diff = diff_reports(&report(3, 5, 99.0, 99.0), &report(2, 100, 10.0, 10.0), 0.25)
+            .unwrap();
+        assert!(!diff.gate_failed);
+        assert!(diff.lines.iter().any(|l| l.contains("not comparable")));
+
+        // Pre-versioning baseline is rejected outright.
+        assert!(diff_reports(&report(3, 100, 1.0, 1.0), r#"{"workloads": []}"#, 0.25).is_err());
     }
 
     #[test]

@@ -10,8 +10,18 @@
 //!   sample and assigns remaining tuples to the nearest learned centroid.
 //!
 //! Points are sparse binary vectors (active dimensions, one per non-NULL
-//! attribute); centroids are dense. The squared distance between point `x`
-//! and centroid `c` is `‖c‖² − 2·Σ_{d∈x} c_d + |x|`, so each distance costs
+//! attribute). During Lloyd iterations a centroid is represented as an
+//! integer **histogram**: the per-dimension member counts `h_d` plus the
+//! cluster size `m` (the conceptual dense centroid is `h_d / m`). The
+//! squared distance between point `x` and centroid `(h, m)` is then
+//!
+//! ```text
+//! ‖c‖² − 2·Σ_{d∈x} h_d · (1/m) + |x|      where ‖c‖² = Σ_d h_d² · (1/m)²
+//! ```
+//!
+//! so the per-point inner loop is a pure *integer* accumulation — exact in
+//! any evaluation order, which frees the packed kernel below to vectorize
+//! it — followed by one float multiply per centroid. Each distance costs
 //! `O(#attributes)` regardless of dimensionality.
 
 use crate::error::ClusterError;
@@ -57,6 +67,15 @@ pub struct KMeansResult {
     pub inertia: f64,
     /// Lloyd iterations actually run.
     pub iterations: usize,
+    /// Integer centroid histograms from the final Lloyd state — per
+    /// cluster, the per-dimension member counts plus the update-step
+    /// cluster size (`centroids[c][d] == histograms[c].0[d] / histograms[c].1`).
+    /// Only the clusters that actually ran Lloyd are present (fewer than
+    /// the padded `centroids` when `k` was clamped to the point count);
+    /// empty for mini-batch results, whose learning-rate centroids are
+    /// not count ratios. The incremental-reuse warm-start path feeds
+    /// these into a later build.
+    pub histograms: Vec<(Vec<u32>, u32)>,
 }
 
 impl KMeansResult {
@@ -111,6 +130,7 @@ pub fn kmeans(
             sizes: vec![0; config.k],
             inertia: 0.0,
             iterations: 0,
+            histograms: Vec::new(),
         });
     }
 
@@ -120,29 +140,23 @@ pub fn kmeans(
     } else {
         seed_random(n, k, &mut rng)
     };
-    let mut centroids: Vec<Vec<f64>> = seeds
-        .iter()
-        .map(|&i| {
-            let mut c = vec![0.0; dim];
-            for &d in &points[i] {
-                c[d as usize] = 1.0;
-            }
-            c
-        })
-        .collect();
+    let mut hist: Vec<Vec<u32>> = seeds.iter().map(|&i| hist_onehot(&points[i], dim)).collect();
+    let mut count: Vec<u32> = vec![1; k];
 
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
         // Assignment step.
-        let norms: Vec<f64> = centroids
+        let inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
+        let norms: Vec<f64> = hist
             .iter()
-            .map(|c| c.iter().map(|v| v * v).sum())
+            .zip(&inv)
+            .map(|(h, &iv)| hist_norm2(h, iv))
             .collect();
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
-            let (best, _) = nearest(p, &centroids, &norms);
+            let (best, _) = nearest_hist(p, &hist, &norms, &inv);
             if assignments[i] != best {
                 assignments[i] = best;
                 changed = true;
@@ -151,57 +165,68 @@ pub fn kmeans(
         if !changed && iter > 0 {
             break;
         }
-        // Update step.
-        let mut sums = vec![vec![0.0; dim]; k];
-        let mut counts = vec![0usize; k];
+        // Update step (integer sums; `n < 2³²` is implied by the points
+        // fitting in memory).
+        let mut sums = vec![vec![0u32; dim]; k];
+        let mut counts = vec![0u32; k];
         for (i, p) in points.iter().enumerate() {
             let c = assignments[i];
             counts[c] += 1;
             for &d in p {
-                sums[c][d as usize] += 1.0;
+                sums[c][d as usize] += 1;
             }
         }
         for c in 0..k {
             if counts[c] == 0 {
-                // Reseed empty cluster to the point farthest from its centroid.
-                let norms: Vec<f64> = centroids
+                // Reseed empty cluster to the point farthest from its
+                // centroid (against the mixed state: clusters before `c`
+                // already hold this iteration's histograms).
+                let inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
+                let norms: Vec<f64> = hist
                     .iter()
-                    .map(|cc| cc.iter().map(|v| v * v).sum())
+                    .zip(&inv)
+                    .map(|(h, &iv)| hist_norm2(h, iv))
                     .collect();
                 let far = (0..n)
                     .max_by(|&a, &b| {
-                        let da = dist2(&points[a], &centroids[assignments[a]], norms[assignments[a]]);
-                        let db = dist2(&points[b], &centroids[assignments[b]], norms[assignments[b]]);
+                        let ca = assignments[a];
+                        let cb = assignments[b];
+                        let da = hist_dist2(&points[a], &hist[ca], norms[ca], inv[ca]);
+                        let db = hist_dist2(&points[b], &hist[cb], norms[cb], inv[cb]);
                         da.total_cmp(&db)
                     })
                     .unwrap_or(0);
-                let mut cc = vec![0.0; dim];
-                for &d in &points[far] {
-                    cc[d as usize] = 1.0;
-                }
-                centroids[c] = cc;
+                hist[c] = hist_onehot(&points[far], dim);
+                count[c] = 1;
             } else {
-                for d in 0..dim {
-                    centroids[c][d] = sums[c][d] / counts[c] as f64;
-                }
+                std::mem::swap(&mut hist[c], &mut sums[c]);
+                count[c] = counts[c];
             }
         }
     }
 
     // Final stats.
-    let norms: Vec<f64> = centroids
+    let inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
+    let norms: Vec<f64> = hist
         .iter()
-        .map(|c| c.iter().map(|v| v * v).sum())
+        .zip(&inv)
+        .map(|(h, &iv)| hist_norm2(h, iv))
         .collect();
     let mut inertia = 0.0;
     let mut sizes = vec![0usize; k];
     for (i, p) in points.iter().enumerate() {
-        let (best, d) = nearest(p, &centroids, &norms);
+        let (best, d) = nearest_hist(p, &hist, &norms, &inv);
         assignments[i] = best;
         sizes[best] += 1;
         inertia += d;
     }
-    // Pad to the requested k so callers can index by cluster id uniformly.
+    let mut centroids: Vec<Vec<f64>> = hist
+        .iter()
+        .zip(&count)
+        .map(|(h, &m)| h.iter().map(|&v| f64::from(v) / f64::from(m)).collect())
+        .collect();
+    // Pad to the requested k so callers can index by cluster id uniformly
+    // (histograms stay unpadded: padded clusters never ran Lloyd).
     while centroids.len() < config.k {
         centroids.push(vec![0.0; dim]);
         sizes.push(0);
@@ -212,7 +237,51 @@ pub fn kmeans(
         sizes,
         inertia,
         iterations,
+        histograms: hist.into_iter().zip(count).collect(),
     })
+}
+
+/// The one-hot integer histogram of a sparse point (cluster size 1).
+fn hist_onehot(point: &[u32], dim: usize) -> Vec<u32> {
+    let mut h = vec![0u32; dim];
+    for &d in point {
+        h[d as usize] = 1;
+    }
+    h
+}
+
+/// `‖c‖²` of histogram centroid `(h, 1/m)`: `Σ_d h_d² · (1/m)²`, summed
+/// in ascending dimension order — the canonical order both kernels use.
+fn hist_norm2(hist: &[u32], inv: f64) -> f64 {
+    let mut sum = 0.0;
+    for &v in hist {
+        let f = f64::from(v);
+        sum += f * f;
+    }
+    sum * inv * inv
+}
+
+/// Squared distance between a sparse point and a histogram centroid:
+/// `(‖c‖² − 2·dot·(1/m) + |x|).max(0)` with an exact integer `dot`.
+fn hist_dist2(point: &[u32], hist: &[u32], norm2: f64, inv: f64) -> f64 {
+    let mut dot: u64 = 0;
+    for &d in point {
+        dot += u64::from(hist[d as usize]);
+    }
+    (norm2 - 2.0 * dot as f64 * inv + point.len() as f64).max(0.0)
+}
+
+fn nearest_hist(point: &[u32], hists: &[Vec<u32>], norms: &[f64], invs: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, h) in hists.iter().enumerate() {
+        let d = hist_dist2(point, h, norms[c], invs[c]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
 }
 
 /// Rejects points referencing dimensions outside `0..dim` — they would
@@ -279,6 +348,512 @@ fn seed_plus_plus(points: &[Vec<u32>], k: usize, rng: &mut StdRng) -> Vec<usize>
             let d = sparse_dist2(p, &points[last]);
             if d < d2[i] {
                 d2[i] = d;
+            }
+        }
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        seeds.push(next);
+        last = next;
+    }
+    seeds
+}
+
+// --- Packed-code kernel -------------------------------------------------
+//
+// The packed variants mirror the sparse reference implementation above
+// *operation for operation*: the histogram formulation makes the per-point
+// inner loop a pure integer accumulation (exact in any order — the
+// reference's u64 scalar dot and the packed kernel's u32 strip adds
+// compute the same integers), every floating-point combine happens in the
+// same canonical expression (`‖c‖² − 2·dot·(1/m) + |x|`, norms summed in
+// ascending dimension order), every RNG draw happens at the same point in
+// the control flow, and ties break identically. The results are therefore
+// bit-equal to `kmeans` / `KMeansResult::assign_all` on the same data —
+// the reference path stays available as the oracle the packed path is
+// tested against.
+//
+// The speed comes from the data layout: no per-tuple heap allocation,
+// contiguous u8/u16 rows, and a per-iteration transposed centroid-count
+// table (`lut[d·k + c] = hist[c][d]` as u32, k ≤ dozens, so it lives in
+// L1) that turns the assignment step's inner loop into a dense integer
+// `dot[0..k] += lut[base..base+k]` strip add the compiler is free to
+// vectorize four lanes wide. `PackedMatrix::from_columns` refuses inputs
+// with `rows·attrs > u32::MAX`, so a u32 dot accumulator cannot overflow.
+//
+// The f64 LUT helpers below the integer ones remain in use by the
+// mini-batch kernel (whose learning-rate centroids are genuinely dense
+// floats) and by out-of-sample assignment against final `f64` centroids.
+
+use crate::packed::{CodeWord, PackedMatrix, PackedView};
+
+/// [`kmeans`] over a [`PackedMatrix`] — bit-identical results, packed
+/// storage. See the module comment above for why the bits match.
+pub fn kmeans_packed(
+    matrix: &PackedMatrix,
+    config: &KMeansConfig,
+) -> Result<KMeansResult, ClusterError> {
+    kmeans_packed_warm(matrix, config, None)
+}
+
+/// [`kmeans_packed`] with optional warm-start centroid histograms.
+///
+/// When `initial` supplies at least `min(k, n)` histograms of the right
+/// dimensionality with non-zero cluster sizes, Lloyd iterations start
+/// from them (first `min(k, n)` taken) instead of seeding — the
+/// incremental-reuse path feeds a previous build's
+/// [`KMeansResult::histograms`] here. Unusable `initial` values (too
+/// few clusters, wrong dimensionality, zero sizes, or counts large
+/// enough to overflow the u32 dot accumulator) fall back to cold
+/// seeding. Warm starts converge faster but are *not* bit-identical to
+/// a cold run.
+pub fn kmeans_packed_warm(
+    matrix: &PackedMatrix,
+    config: &KMeansConfig,
+    initial: Option<&[(Vec<u32>, u32)]>,
+) -> Result<KMeansResult, ClusterError> {
+    fault::check("cluster::kmeans")?;
+    if config.k == 0 {
+        return Err(ClusterError::ZeroClusters);
+    }
+    matrix.dispatch(|view| match view {
+        PackedView::U8(codes) => kmeans_packed_impl(codes, matrix, config, initial),
+        PackedView::U16(codes) => kmeans_packed_impl(codes, matrix, config, initial),
+    })
+}
+
+/// Assigns every row of `matrix` to its nearest centroid — the packed
+/// mirror of [`KMeansResult::assign_all`] (bit-identical assignments).
+pub fn assign_all_packed(result: &KMeansResult, matrix: &PackedMatrix) -> Vec<usize> {
+    let norms: Vec<f64> = result
+        .centroids
+        .iter()
+        .map(|c| c.iter().map(|v| v * v).sum())
+        .collect();
+    matrix.dispatch(|view| match view {
+        PackedView::U8(codes) => assign_all_packed_impl(codes, matrix, &result.centroids, &norms),
+        PackedView::U16(codes) => assign_all_packed_impl(codes, matrix, &result.centroids, &norms),
+    })
+}
+
+fn kmeans_packed_impl<T: CodeWord>(
+    codes: &[T],
+    m: &PackedMatrix,
+    config: &KMeansConfig,
+    initial: Option<&[(Vec<u32>, u32)]>,
+) -> Result<KMeansResult, ClusterError> {
+    let n = m.rows();
+    let dim = m.dim();
+    let attrs = m.attrs();
+    let k = config.k.min(n.max(1));
+    if n == 0 {
+        return Ok(KMeansResult {
+            assignments: Vec::new(),
+            centroids: vec![vec![0.0; dim]; config.k],
+            sizes: vec![0; config.k],
+            inertia: 0.0,
+            iterations: 0,
+            histograms: Vec::new(),
+        });
+    }
+    let row = |i: usize| &codes[i * attrs..(i + 1) * attrs];
+
+    // A warm start is usable when it covers k clusters of this space's
+    // dimensionality, every cluster is non-empty, and no histogram entry
+    // could overflow the u32 dot accumulator (`attrs · max_entry`).
+    let warm = initial.filter(|init| {
+        init.len() >= k
+            && init.iter().all(|(h, count)| {
+                h.len() == dim
+                    && *count > 0
+                    && h.iter().all(|&v| (v as usize).saturating_mul(attrs) <= u32::MAX as usize)
+            })
+    });
+    let (mut hist, mut count): (Vec<Vec<u32>>, Vec<u32>) = match warm {
+        Some(init) => init.iter().take(k).cloned().unzip(),
+        None => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let seeds = if config.plus_plus {
+                packed_seed_plus_plus(codes, m, k, &mut rng)
+            } else {
+                seed_random(n, k, &mut rng)
+            };
+            (
+                seeds.iter().map(|&i| packed_hist_onehot(row(i), m, dim)).collect(),
+                vec![1; k],
+            )
+        }
+    };
+
+    // Flatten each row's active one-hot dimensions once (CSR layout):
+    // every Lloyd iteration then walks plain `u32` dim lists instead of
+    // re-deriving attribute offsets and NULL checks from the packed
+    // codes, and `dims.len()` doubles as the row's |x| term.
+    let mut row_dims: Vec<u32> = Vec::with_capacity(n * attrs);
+    let mut row_ends: Vec<u32> = Vec::with_capacity(n);
+    for i in 0..n {
+        for (a, &code) in row(i).iter().enumerate() {
+            if code != T::NULL {
+                row_dims.push((m.offset(a) + code.index()) as u32);
+            }
+        }
+        row_ends.push(row_dims.len() as u32);
+    }
+    let dims_of = |i: usize| {
+        let start = if i == 0 { 0 } else { row_ends[i - 1] as usize };
+        &row_dims[start..row_ends[i] as usize]
+    };
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    let mut dot = vec![0u32; dot_stride(k)];
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
+        let norms: Vec<f64> = hist
+            .iter()
+            .zip(&inv)
+            .map(|(h, &iv)| hist_norm2(h, iv))
+            .collect();
+        let lut = build_int_lut(&hist, dim);
+        let mut changed = false;
+        // Assignment fused with the update scatter: integer sums are
+        // order-free, so accumulating row i into its (new) cluster the
+        // moment it is assigned yields the exact histogram the separate
+        // two-pass update would — with one walk over the rows, not two.
+        let mut sums = vec![vec![0u32; dim]; k];
+        let mut counts = vec![0u32; k];
+        let mut start = 0usize;
+        for (i, &end) in row_ends.iter().enumerate() {
+            let dims = &row_dims[start..end as usize];
+            start = end as usize;
+            accumulate_int_dots(dims, &lut, &mut dot);
+            let (best, _) = nearest_from_int_dots(&norms, &inv, &dot, dims.len() as f64);
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+            counts[best] += 1;
+            let sum = &mut sums[best];
+            for &d in dims {
+                sum[d as usize] += 1;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed empty cluster to the point farthest from its
+                // centroid (mixed state, mirroring the reference).
+                let inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
+                let norms: Vec<f64> = hist
+                    .iter()
+                    .zip(&inv)
+                    .map(|(h, &iv)| hist_norm2(h, iv))
+                    .collect();
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let ca = assignments[a];
+                        let cb = assignments[b];
+                        let da =
+                            packed_hist_dist2(row(a), m, &hist[ca], norms[ca], inv[ca]);
+                        let db =
+                            packed_hist_dist2(row(b), m, &hist[cb], norms[cb], inv[cb]);
+                        da.total_cmp(&db)
+                    })
+                    .unwrap_or(0);
+                hist[c] = packed_hist_onehot(row(far), m, dim);
+                count[c] = 1;
+            } else {
+                std::mem::swap(&mut hist[c], &mut sums[c]);
+                count[c] = counts[c];
+            }
+        }
+    }
+
+    // Final stats.
+    let inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
+    let norms: Vec<f64> = hist
+        .iter()
+        .zip(&inv)
+        .map(|(h, &iv)| hist_norm2(h, iv))
+        .collect();
+    let lut = build_int_lut(&hist, dim);
+    let mut inertia = 0.0;
+    let mut sizes = vec![0usize; k];
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        let dims = dims_of(i);
+        accumulate_int_dots(dims, &lut, &mut dot);
+        let (best, d) = nearest_from_int_dots(&norms, &inv, &dot, dims.len() as f64);
+        *slot = best;
+        sizes[best] += 1;
+        inertia += d;
+    }
+    let mut centroids: Vec<Vec<f64>> = hist
+        .iter()
+        .zip(&count)
+        .map(|(h, &m)| h.iter().map(|&v| f64::from(v) / f64::from(m)).collect())
+        .collect();
+    // Pad to the requested k so callers can index by cluster id uniformly.
+    while centroids.len() < config.k {
+        centroids.push(vec![0.0; dim]);
+        sizes.push(0);
+    }
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        sizes,
+        inertia,
+        iterations,
+        histograms: hist.into_iter().zip(count).collect(),
+    })
+}
+
+fn assign_all_packed_impl<T: CodeWord>(
+    codes: &[T],
+    m: &PackedMatrix,
+    centroids: &[Vec<f64>],
+    norms: &[f64],
+) -> Vec<usize> {
+    let attrs = m.attrs();
+    let lut = build_lut(centroids, m.dim());
+    let mut dot = vec![0.0f64; centroids.len()];
+    (0..m.rows())
+        .map(|i| {
+            accumulate_dots(&codes[i * attrs..(i + 1) * attrs], m, &lut, &mut dot);
+            nearest_from_dots(norms, &dot, m.len_of(i) as f64).0
+        })
+        .collect()
+}
+
+/// Transposed centroid table: `lut[d·k + c] = centroids[c][d]`, so one
+/// active dimension contributes a contiguous k-wide strip of partial dots.
+pub(crate) fn build_lut(centroids: &[Vec<f64>], dim: usize) -> Vec<f64> {
+    let k = centroids.len();
+    let mut lut = vec![0.0; dim * k];
+    for (c, cent) in centroids.iter().enumerate() {
+        for (d, &v) in cent.iter().enumerate() {
+            lut[d * k + c] = v;
+        }
+    }
+    lut
+}
+
+/// Accumulates `dot[c] = Σ_{d∈x} centroids[c][d]` for all centroids at
+/// once. Per centroid, additions happen in ascending attribute order —
+/// exactly the order `dist2` walks a sorted sparse point — so each
+/// `dot[c]` is bit-equal to the reference dot product.
+#[inline]
+pub(crate) fn accumulate_dots<T: CodeWord>(
+    row: &[T],
+    m: &PackedMatrix,
+    lut: &[f64],
+    dot: &mut [f64],
+) {
+    let k = dot.len();
+    for v in dot.iter_mut() {
+        *v = 0.0;
+    }
+    for (a, &code) in row.iter().enumerate() {
+        if code != T::NULL {
+            let base = (m.offset(a) + code.index()) * k;
+            for (acc, &v) in dot.iter_mut().zip(&lut[base..base + k]) {
+                *acc += v;
+            }
+        }
+    }
+}
+
+/// `nearest` over precomputed dots (clamped distance, first-min ties).
+#[inline]
+pub(crate) fn nearest_from_dots(norms: &[f64], dot: &[f64], len: f64) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, (&n2, &dt)) in norms.iter().zip(dot).enumerate() {
+        let d = (n2 - 2.0 * dt + len).max(0.0);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Lane width of the integer dot strips: the LUT stride is padded to a
+/// multiple of this so [`accumulate_int_dots`] can walk fixed-size
+/// chunks with no scalar remainder loop. Eight u32 lanes per chunk is
+/// the sweet spot measured on the fig8 shape (k = 15): two 128-bit adds
+/// per chunk with the loop fully unrolled.
+pub(crate) const DOT_STRIP: usize = 8;
+
+/// Rounds a centroid count up to the padded LUT stride.
+#[inline]
+pub(crate) fn dot_stride(k: usize) -> usize {
+    k.div_ceil(DOT_STRIP).max(1) * DOT_STRIP
+}
+
+/// Transposed integer histogram table with padded stride:
+/// `lut[d·stride + c] = hist[c][d]`, zero in the padding lanes. Half the
+/// footprint of the f64 [`build_lut`], and because integer addition is
+/// associative the strip adds are free to vectorize — eight u32 lanes
+/// per 256-bit op instead of two f64 doublewords.
+pub(crate) fn build_int_lut(hists: &[Vec<u32>], dim: usize) -> Vec<u32> {
+    let ks = dot_stride(hists.len());
+    let mut lut = vec![0u32; dim * ks];
+    for (c, h) in hists.iter().enumerate() {
+        for (d, &v) in h.iter().enumerate() {
+            lut[d * ks + c] = v;
+        }
+    }
+    lut
+}
+
+/// Integer mirror of [`accumulate_dots`]: `dot[c] = Σ_{d∈x} hist[c][d]`
+/// over a row's pre-flattened active one-hot dimensions. `dot` must be
+/// `dot_stride(k)` long (padding lanes accumulate zeros). Integer
+/// addition is associative, so unlike the f64 strip adds the order of
+/// accumulation is free — each `DOT_STRIP`-wide chunk compiles to
+/// straight-line vector adds while the result stays exactly the
+/// reference dot.
+#[inline]
+pub(crate) fn accumulate_int_dots(dims: &[u32], lut: &[u32], dot: &mut [u32]) {
+    let ks = dot.len();
+    for v in dot.iter_mut() {
+        *v = 0;
+    }
+    for &d in dims {
+        let base = d as usize * ks;
+        let strip = &lut[base..base + ks];
+        for (acc, s) in dot
+            .chunks_exact_mut(DOT_STRIP)
+            .zip(strip.chunks_exact(DOT_STRIP))
+        {
+            for i in 0..DOT_STRIP {
+                acc[i] += s[i];
+            }
+        }
+    }
+}
+
+/// `nearest` over precomputed integer dots, evaluating the canonical
+/// histogram expression `(norm2 − 2·dot·inv + len).max(0)` — identical
+/// to [`hist_dist2`] in the reference kernel (clamped, first-min ties).
+#[inline]
+pub(crate) fn nearest_from_int_dots(
+    norms: &[f64],
+    invs: &[f64],
+    dot: &[u32],
+    len: f64,
+) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, ((&n2, &iv), &dt)) in norms.iter().zip(invs).zip(dot).enumerate() {
+        let d = (n2 - 2.0 * f64::from(dt) * iv + len).max(0.0);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// The packed mirror of [`hist_dist2`]: single-point distance to one
+/// histogram centroid, same canonical expression as
+/// [`nearest_from_int_dots`]. The u32 dot cannot overflow because each
+/// of the ≤ attrs active dimensions contributes at most the cluster
+/// size, bounded by the `rows·attrs ≤ u32::MAX` gate at pack time.
+#[inline]
+pub(crate) fn packed_hist_dist2<T: CodeWord>(
+    row: &[T],
+    m: &PackedMatrix,
+    hist: &[u32],
+    norm2: f64,
+    inv: f64,
+) -> f64 {
+    let mut dot = 0u32;
+    for (a, &code) in row.iter().enumerate() {
+        if code != T::NULL {
+            dot += hist[m.offset(a) + code.index()];
+        }
+    }
+    let len = row.iter().filter(|&&c| c != T::NULL).count() as f64;
+    (norm2 - 2.0 * f64::from(dot) * inv + len).max(0.0)
+}
+
+/// The one-hot histogram (cluster size 1) of a packed row — the packed
+/// mirror of [`hist_onehot`].
+pub(crate) fn packed_hist_onehot<T: CodeWord>(
+    row: &[T],
+    m: &PackedMatrix,
+    dim: usize,
+) -> Vec<u32> {
+    let mut h = vec![0u32; dim];
+    for (a, &code) in row.iter().enumerate() {
+        if code != T::NULL {
+            h[m.offset(a) + code.index()] = 1;
+        }
+    }
+    h
+}
+
+/// The one-hot (dense) centroid of a packed row.
+pub(crate) fn packed_onehot<T: CodeWord>(row: &[T], m: &PackedMatrix, dim: usize) -> Vec<f64> {
+    let mut c = vec![0.0; dim];
+    for (a, &code) in row.iter().enumerate() {
+        if code != T::NULL {
+            c[m.offset(a) + code.index()] = 1.0;
+        }
+    }
+    c
+}
+
+/// The packed mirror of [`sparse_dist2`]: `|x| + |y| − 2|x∩y|` with the
+/// intersection counted as matching non-NULL `(attribute, code)` cells.
+/// Pure integer arithmetic, so the cast is exact either way.
+#[inline]
+pub(crate) fn packed_sparse_dist2<T: CodeWord>(a: &[T], b: &[T], la: usize, lb: usize) -> f64 {
+    let mut common = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        if x != T::NULL && x == y {
+            common += 1;
+        }
+    }
+    (la + lb - 2 * common) as f64
+}
+
+/// The packed mirror of [`seed_plus_plus`] (identical RNG draw sequence).
+fn packed_seed_plus_plus<T: CodeWord>(
+    codes: &[T],
+    m: &PackedMatrix,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let n = m.rows();
+    let attrs = m.attrs();
+    let row = |i: usize| &codes[i * attrs..(i + 1) * attrs];
+    let mut seeds = Vec::with_capacity(k);
+    let mut last = rng.random_range(0..n);
+    seeds.push(last);
+    let mut d2 = vec![f64::INFINITY; n];
+    for _ in 1..k {
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let d = packed_sparse_dist2(row(i), row(last), m.len_of(i), m.len_of(last));
+            if d < *slot {
+                *slot = d;
             }
         }
         let total: f64 = d2.iter().sum();

@@ -22,10 +22,12 @@ pub mod fault;
 pub mod kmeans;
 pub mod minibatch;
 pub mod onehot;
+pub mod packed;
 pub mod quality;
 
 pub use error::ClusterError;
-pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
-pub use minibatch::{mini_batch_kmeans, MiniBatchConfig};
+pub use kmeans::{assign_all_packed, kmeans, kmeans_packed, kmeans_packed_warm, KMeansConfig, KMeansResult};
+pub use minibatch::{mini_batch_kmeans, mini_batch_kmeans_packed, MiniBatchConfig};
 pub use onehot::OneHotSpace;
+pub use packed::PackedMatrix;
 pub use quality::silhouette;

@@ -1,0 +1,311 @@
+//! Packed dictionary-code point storage for the clustering hot path.
+//!
+//! The one-hot representation ([`crate::onehot`]) materializes one heap
+//! `Vec<u32>` per tuple. For the CAD hot path — tens of thousands of rows
+//! per pivot partition, re-encoded on every build — those allocations and
+//! the pointer chase per distance dominate the profile. A [`PackedMatrix`]
+//! stores the same information as one contiguous row-major code matrix:
+//! one `u8` (or `u16`, see below) per `(tuple, attribute)` cell holding the
+//! attribute's discrete code, with the all-ones sentinel marking NULL.
+//!
+//! # Width promotion
+//!
+//! Codes are stored as `u8` when every attribute cardinality is ≤ 255 (the
+//! sentinel `u8::MAX` must not collide with a live code), promoted to
+//! `u16` up to cardinality 65 535, and refused beyond that —
+//! [`PackedMatrix::from_columns`] returns `None` and the caller falls back
+//! to the sparse one-hot reference path.
+//!
+//! # Equivalence with the one-hot space
+//!
+//! A packed row is exactly the sparse one-hot point of the same tuple:
+//! active dimension `offsets[a] + code` for every non-NULL attribute `a`.
+//! Because the one-hot dimensions of a tuple are sorted and attribute
+//! offsets ascend, iterating packed cells in attribute order visits the
+//! active dimensions in the same order the sparse kernels do — which is
+//! what lets the packed kernels ([`crate::kmeans::kmeans_packed`],
+//! [`crate::minibatch::mini_batch_kmeans_packed`]) reproduce the reference
+//! results *bit for bit*, not just approximately.
+
+use crate::onehot::OneHotSpace;
+use dbex_stats::discretize::CodedColumn;
+use dbex_table::dict::NULL_CODE;
+
+/// A fixed-width storage cell of a [`PackedMatrix`].
+///
+/// Implemented for `u8` and `u16`; the all-ones value is the NULL
+/// sentinel, so the maximum representable live code is `MAX - 1`.
+pub trait CodeWord: Copy + Eq {
+    /// The NULL sentinel (`MAX` of the carrier type).
+    const NULL: Self;
+    /// Widens a live code to a dimension index.
+    fn index(self) -> usize;
+}
+
+impl CodeWord for u8 {
+    const NULL: Self = u8::MAX;
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl CodeWord for u16 {
+    const NULL: Self = u16::MAX;
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The width-dispatched code storage of a [`PackedMatrix`].
+#[derive(Debug, Clone)]
+enum PackedCodes {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+}
+
+/// Row-major packed code matrix over a set of discretized attributes.
+///
+/// Construction gathers the member tuples' codes once; the clustering
+/// kernels then stream the matrix with zero further allocation per row.
+#[derive(Debug, Clone)]
+pub struct PackedMatrix {
+    space: OneHotSpace,
+    /// Attribute block offsets, mirrored out of `space` for direct access
+    /// in the kernels' inner loops.
+    offsets: Vec<usize>,
+    rows: usize,
+    attrs: usize,
+    /// Non-NULL attribute count per row (`|x|` in the distance formula).
+    lens: Vec<u32>,
+    codes: PackedCodes,
+}
+
+impl PackedMatrix {
+    /// Packs the tuples at `positions` of the given coded columns.
+    ///
+    /// Returns `None` when any attribute cardinality exceeds the `u16`
+    /// carrier (sentinel collision), a stored code is out of its codec's
+    /// range, or `rows·attrs` exceeds `u32::MAX` (the packed kernel's
+    /// integer dot accumulator bound) — the caller must use the one-hot
+    /// reference path.
+    pub fn from_columns(columns: &[&CodedColumn], positions: &[usize]) -> Option<PackedMatrix> {
+        let cards: Vec<usize> = columns.iter().map(|c| c.codec.cardinality()).collect();
+        let space = OneHotSpace::from_cardinalities(&cards);
+        let offsets: Vec<usize> = (0..columns.len()).map(|a| space.dim_of(a, 0)).collect();
+        let max_card = cards.iter().copied().max().unwrap_or(0);
+        let rows = positions.len();
+        let attrs = columns.len();
+        if rows.saturating_mul(attrs) > u32::MAX as usize {
+            return None;
+        }
+        let mut lens = vec![0u32; rows];
+        let codes = if max_card <= u8::MAX as usize {
+            PackedCodes::U8(pack::<u8>(columns, positions, &cards, &mut lens)?)
+        } else if max_card <= u16::MAX as usize {
+            PackedCodes::U16(pack::<u16>(columns, positions, &cards, &mut lens)?)
+        } else {
+            return None;
+        };
+        Some(PackedMatrix {
+            space,
+            offsets,
+            rows,
+            attrs,
+            lens,
+            codes,
+        })
+    }
+
+    /// Number of packed rows (tuples).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of packed attributes (columns).
+    pub fn attrs(&self) -> usize {
+        self.attrs
+    }
+
+    /// The induced one-hot space (offsets and total dimensionality).
+    pub fn space(&self) -> &OneHotSpace {
+        &self.space
+    }
+
+    /// Total one-hot dimensionality.
+    pub fn dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    /// True when codes are stored as `u8` (every cardinality ≤ 255).
+    pub fn is_u8(&self) -> bool {
+        matches!(self.codes, PackedCodes::U8(_))
+    }
+
+    /// Attribute block offset `a` (same as `space().dim_of(a, 0)`).
+    #[inline]
+    pub fn offset(&self, a: usize) -> usize {
+        self.offsets[a]
+    }
+
+    /// Non-NULL attribute count of row `r`.
+    #[inline]
+    pub fn len_of(&self, r: usize) -> usize {
+        self.lens[r] as usize
+    }
+
+    /// Runs `f` over the width-monomorphized code slice.
+    pub(crate) fn dispatch<R>(&self, f: impl FnOnce(PackedView<'_>) -> R) -> R {
+        match &self.codes {
+            PackedCodes::U8(codes) => f(PackedView::U8(codes)),
+            PackedCodes::U16(codes) => f(PackedView::U16(codes)),
+        }
+    }
+
+    /// The sparse one-hot point of row `r` — the reference representation
+    /// the packed kernels are checked against.
+    pub fn onehot_row(&self, r: usize) -> Vec<u32> {
+        let mut active = Vec::with_capacity(self.attrs);
+        match &self.codes {
+            PackedCodes::U8(codes) => {
+                for a in 0..self.attrs {
+                    let code = codes[r * self.attrs + a];
+                    if code != u8::NULL {
+                        active.push((self.offsets[a] + code.index()) as u32);
+                    }
+                }
+            }
+            PackedCodes::U16(codes) => {
+                for a in 0..self.attrs {
+                    let code = codes[r * self.attrs + a];
+                    if code != u16::NULL {
+                        active.push((self.offsets[a] + code.index()) as u32);
+                    }
+                }
+            }
+        }
+        active
+    }
+
+    /// Every row as a sparse one-hot point (oracle/testing path).
+    pub fn onehot_rows(&self) -> Vec<Vec<u32>> {
+        (0..self.rows).map(|r| self.onehot_row(r)).collect()
+    }
+}
+
+/// Width-monomorphized borrow of the code matrix.
+pub(crate) enum PackedView<'a> {
+    U8(&'a [u8]),
+    U16(&'a [u16]),
+}
+
+/// Gathers and narrows the codes at `positions`; `None` on any code
+/// outside its codec's cardinality (broken invariant — let the one-hot
+/// path surface the typed error).
+///
+/// Extraction runs column-at-a-time through [`dbex_table::batch::gather_into`]
+/// — one sequential pass over each column's code slice — before narrowing
+/// into the row-major matrix, instead of striding all columns per row.
+fn pack<T: CodeWord + TryFrom<u32>>(
+    columns: &[&CodedColumn],
+    positions: &[usize],
+    cards: &[usize],
+    lens: &mut [u32],
+) -> Option<Vec<T>> {
+    let attrs = columns.len();
+    let mut out = vec![T::NULL; positions.len() * attrs];
+    let mut gathered: Vec<u32> = Vec::new();
+    for (a, col) in columns.iter().enumerate() {
+        if !dbex_table::batch::gather_into(&col.codes, positions, &mut gathered) {
+            return None;
+        }
+        for (r, &code) in gathered.iter().enumerate() {
+            if code == NULL_CODE {
+                continue; // cell already holds the NULL sentinel
+            }
+            if code as usize >= cards[a] {
+                return None;
+            }
+            out[r * attrs + a] = T::try_from(code).ok()?;
+            lens[r] += 1;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_stats::discretize::AttributeCodec;
+
+    fn coded(attr_index: usize, labels: &[&str], codes: Vec<u32>) -> CodedColumn {
+        CodedColumn {
+            attr_index,
+            codec: AttributeCodec::Categorical {
+                labels: labels.iter().map(|s| s.to_string()).collect(),
+            },
+            codes,
+        }
+    }
+
+    #[test]
+    fn packs_u8_and_matches_onehot_encoding() {
+        let c0 = coded(0, &["a", "b", "c"], vec![0, 2, NULL_CODE, 1]);
+        let c1 = coded(1, &["x", "y"], vec![1, NULL_CODE, 0, 1]);
+        let cols = [&c0, &c1];
+        let m = PackedMatrix::from_columns(&cols, &[0, 1, 2, 3]).unwrap();
+        assert!(m.is_u8());
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.attrs(), 2);
+        assert_eq!(m.dim(), 5);
+        let space = OneHotSpace::from_columns(&cols);
+        let expected = space.encode_positions(&cols, &[0, 1, 2, 3]);
+        assert_eq!(m.onehot_rows(), expected);
+        assert_eq!(m.len_of(0), 2);
+        assert_eq!(m.len_of(1), 1);
+        assert_eq!(m.len_of(2), 1);
+    }
+
+    #[test]
+    fn subset_of_positions() {
+        let c0 = coded(0, &["a", "b"], vec![0, 1, 0, 1]);
+        let cols = [&c0];
+        let m = PackedMatrix::from_columns(&cols, &[3, 1]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.onehot_row(0), vec![1]);
+        assert_eq!(m.onehot_row(1), vec![1]);
+    }
+
+    #[test]
+    fn promotes_to_u16_above_255() {
+        let labels: Vec<String> = (0..300).map(|i| format!("v{i}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let c0 = coded(0, &label_refs, vec![0, 255, 299, NULL_CODE]);
+        let cols = [&c0];
+        let m = PackedMatrix::from_columns(&cols, &[0, 1, 2, 3]).unwrap();
+        assert!(!m.is_u8());
+        assert_eq!(m.onehot_rows(), vec![vec![0], vec![255], vec![299], vec![]]);
+    }
+
+    #[test]
+    fn u8_sentinel_never_collides_with_live_code() {
+        // Cardinality 256 must promote: code 255 would alias the sentinel.
+        let labels: Vec<String> = (0..256).map(|i| format!("v{i}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let c0 = coded(0, &label_refs, vec![255]);
+        let cols = [&c0];
+        let m = PackedMatrix::from_columns(&cols, &[0]).unwrap();
+        assert!(!m.is_u8());
+        assert_eq!(m.len_of(0), 1);
+        assert_eq!(m.onehot_row(0), vec![255]);
+    }
+
+    #[test]
+    fn refuses_out_of_range_codes_and_oversized_cardinalities() {
+        let c0 = coded(0, &["a", "b"], vec![5]); // code ≥ cardinality
+        assert!(PackedMatrix::from_columns(&[&c0], &[0]).is_none());
+        let labels: Vec<String> = (0..70_000).map(|i| format!("v{i}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let big = coded(0, &label_refs, vec![0]);
+        assert!(PackedMatrix::from_columns(&[&big], &[0]).is_none());
+    }
+}

@@ -21,8 +21,10 @@ use crate::error::CadError;
 use crate::iunit::{IUnit, LabelConfig};
 use crate::simil::iunit_similarity;
 use dbex_cluster::{
-    kmeans, mini_batch_kmeans, KMeansConfig, KMeansResult, MiniBatchConfig, OneHotSpace,
+    assign_all_packed, kmeans, kmeans_packed_warm, mini_batch_kmeans, mini_batch_kmeans_packed,
+    KMeansConfig, KMeansResult, MiniBatchConfig, OneHotSpace, PackedMatrix,
 };
+use dbex_stats::cache::{ClusterKey, ClusterSolution};
 use dbex_stats::discretize::{AttributeCodec, CodedColumn, CodedMatrix};
 use dbex_stats::feature::{
     select_compare_attributes_ctx, FeatureScorer, FeatureSelectionConfig, ScoringCtx,
@@ -81,6 +83,20 @@ pub struct CadConfig {
     pub plus_plus: bool,
     /// PRNG seed for clustering.
     pub seed: u64,
+    /// Cluster directly on packed `u8`/`u16` dictionary-code rows instead
+    /// of materialized sparse one-hot points (the default). The packed
+    /// kernels are bit-identical to the one-hot reference — this switch
+    /// exists for A/B verification and as an escape hatch; attribute sets
+    /// the packed layout cannot represent (cardinality > 65 535) fall back
+    /// to the reference path automatically.
+    pub packed_kernel: bool,
+    /// Seed k-means from the previous build's centroids for the same pivot
+    /// value when the partition's membership *changed* (a shrunken or grown
+    /// facet refinement). Warm seeding converges in fewer Lloyd iterations
+    /// but produces a (deterministically) different clustering than a cold
+    /// build, so it is opt-in and disables exact cluster reuse; the default
+    /// preserves the byte-identical cold-vs-incremental contract.
+    pub warm_start: bool,
     /// Worker threads for the per-attribute and per-pivot-value stages.
     /// `1` (the default) runs the whole pipeline sequentially on the
     /// caller's thread — required by the fault-injection hooks, whose
@@ -123,6 +139,8 @@ impl Default for CadConfig {
             kmeans_iters: 20,
             plus_plus: true,
             seed: 0xCAD,
+            packed_kernel: true,
+            warm_start: false,
             threads: 1,
         }
     }
@@ -281,6 +299,7 @@ fn cache_stats(cache: Option<&StatsCache>) -> CacheStats {
         misses: 0,
         codec_entries: 0,
         contingency_entries: 0,
+        cluster_entries: 0,
     })
 }
 
@@ -554,13 +573,15 @@ pub fn build_cad_view_traced(
     // so the output — including the degradation log — is byte-identical
     // at any thread count.
     let mut candidate_sets: Vec<Vec<IUnit>> = Vec::with_capacity(selected_partitions.len());
-    for (units, degraded) in dbex_par::par_map(
+    let mut partitions_reused = 0usize;
+    let mut warm_starts = 0usize;
+    for (units, degraded, reused, warm) in dbex_par::par_map(
         threads,
         &selected_partitions,
         |_, (_, label, members)| {
             let span = gen_span.child("cluster_partition");
             gauge.charge_rows(members.len());
-            let (units, degraded) = generate_candidates(
+            let (units, degraded, reused, warm) = generate_candidates(
                 members,
                 &coded,
                 &space,
@@ -569,15 +590,21 @@ pub fn build_cad_view_traced(
                 kmeans_iters,
                 &gauge,
                 label,
+                cache,
+                result,
             );
             span.add("rows_clustered", members.len() as u64);
             span.add("candidates", units.len() as u64);
             span.add("degradations", degraded.len() as u64);
-            (units, degraded)
+            span.add("partitions_reused", reused as u64);
+            span.add("warm_starts", warm as u64);
+            (units, degraded, reused, warm)
         },
     ) {
         candidate_sets.push(units);
         degradation.extend(degraded);
+        partitions_reused += reused as usize;
+        warm_starts += warm as usize;
     }
     drop(gen_span);
     let timing_iunits = t1.elapsed();
@@ -695,6 +722,8 @@ pub fn build_cad_view_traced(
         },
         threads_used: threads,
         degradation,
+        partitions_reused,
+        warm_starts,
         trace,
     })
 }
@@ -742,6 +771,62 @@ impl ClusterRung {
     }
 }
 
+/// Hash of the partition's *content* for the cluster-reuse cache key:
+/// the member row ids (via [`View::fingerprint_positions`]) crossed with
+/// every compare attribute's identity, cardinality, and dictionary codes
+/// at those members. A numeric attribute re-binned after a refinement
+/// changes its codes and so misses; categorical codes are stable across
+/// refinements, which is what makes untouched partitions hit.
+fn partition_fingerprint(
+    result: &View<'_>,
+    members: &[usize],
+    coded: &[&CodedColumn],
+) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = result.fingerprint_positions(members);
+    let mut mix = |word: u64| {
+        hash = (hash ^ word).wrapping_mul(PRIME);
+    };
+    for col in coded {
+        mix(col.attr_index as u64);
+        mix(col.codec.cardinality() as u64);
+        for &p in members {
+            mix(u64::from(col.codes.get(p).copied().unwrap_or(NULL_CODE)) + 1);
+        }
+    }
+    hash
+}
+
+/// Identity under which a pivot value's centroids are kept for warm
+/// seeding: table, pivot value, live attribute set, and the parameters
+/// that shape the centroid space. Deliberately *excludes* the partition
+/// membership — warm starts exist precisely for when membership changed.
+fn warm_start_key(
+    result: &View<'_>,
+    pivot_label: &str,
+    coded: &[&CodedColumn],
+    l: usize,
+    config: &CadConfig,
+) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |word: u64| {
+        hash = (hash ^ word).wrapping_mul(PRIME);
+    };
+    mix(result.table().id());
+    for byte in pivot_label.as_bytes() {
+        mix(u64::from(*byte) + 1);
+    }
+    for col in coded {
+        mix(col.attr_index as u64);
+        mix(col.codec.cardinality() as u64);
+    }
+    mix(l as u64);
+    mix(config.seed);
+    mix(config.plus_plus as u64);
+    hash
+}
+
 /// Clusters one pivot partition into `l` candidate IUnits.
 ///
 /// Budget exhaustion and clustering failures never propagate: the ladder
@@ -750,6 +835,14 @@ impl ClusterRung {
 /// degradations are *returned* rather than pushed into shared state so the
 /// caller can run partitions on pool workers and still merge the log in
 /// deterministic partition order.
+///
+/// With a [`StatsCache`], full-fidelity solutions are memoized per
+/// partition fingerprint, so a facet refinement that leaves this pivot
+/// value's rows untouched skips re-clustering entirely (the returned
+/// `reused` flag). Reuse is bypassed whenever it could diverge from a cold
+/// build: on any degraded rung, in warm-start mode, or while a cluster
+/// fault is armed on this thread (a cold build would descend the ladder).
+/// Returns `(units, degradations, reused, warm_started)`.
 #[allow(clippy::too_many_arguments)]
 fn generate_candidates(
     members: &[usize],
@@ -760,10 +853,12 @@ fn generate_candidates(
     kmeans_iters: usize,
     gauge: &BudgetGauge<'_>,
     pivot_label: &str,
-) -> (Vec<IUnit>, Vec<Degradation>) {
+    cache: Option<&dbex_stats::StatsCache>,
+    result: &View<'_>,
+) -> (Vec<IUnit>, Vec<Degradation>, bool, bool) {
     let mut degradation = Vec::new();
     if members.is_empty() {
-        return (Vec::new(), degradation);
+        return (Vec::new(), degradation, false, false);
     }
     let adaptive_clamp =
         config.adaptive_iunits && members.len() > CadConfig::ADAPTIVE_THRESHOLD;
@@ -800,9 +895,77 @@ fn generate_candidates(
         ClusterRung::Full
     };
 
+    // Exact cluster reuse: only at full fidelity (degraded rungs are shaped
+    // by transient budget state), only outside warm-start mode (warm
+    // results are history-dependent), and only with no armed cluster fault
+    // (a cold build would degrade, so a cache hit would diverge from it).
+    let faults_clear = dbex_cluster::fault::check("cluster::kmeans").is_ok()
+        && dbex_cluster::fault::check("cluster::minibatch").is_ok();
+    let mut reuse_key = None;
+    if rung == ClusterRung::Full && !config.warm_start && faults_clear {
+        if let Some(cache) = cache {
+            let key = ClusterKey {
+                partition_fp: partition_fingerprint(result, members, coded),
+                l,
+                iters: kmeans_iters,
+                seed: config.seed,
+                plus_plus: config.plus_plus,
+                sample: config.cluster_sample.unwrap_or(usize::MAX),
+            };
+            if let Some(solution) = cache.cluster_lookup(&key) {
+                dbex_obs::counter!("cluster.partitions_reused").incr(1);
+                let units = solution
+                    .clusters
+                    .iter()
+                    .map(|cluster| {
+                        let mems: Vec<usize> = cluster
+                            .iter()
+                            .filter_map(|&i| members.get(i as usize).copied())
+                            .collect();
+                        IUnit::from_members(mems, coded, &config.label)
+                    })
+                    .collect();
+                return (units, degradation, true, false);
+            }
+            reuse_key = Some(key);
+        }
+    }
+
+    // Warm seeding is keyed on the pivot value's identity, not its
+    // membership, so a refined (shrunken/grown) partition can still seed
+    // from the previous build's centroids.
+    let warm = (config.warm_start && rung != ClusterRung::MiniBatch)
+        .then(|| cache.map(|c| (c, warm_start_key(result, pivot_label, coded, l, config))))
+        .flatten();
+
     loop {
-        match cluster_partition(members, coded, space, l, config, kmeans_iters, rung) {
-            Ok(units) => return (units, degradation),
+        match cluster_partition(members, coded, space, l, config, kmeans_iters, rung, warm) {
+            Ok((clusters, warm_started)) => {
+                if rung == ClusterRung::Full {
+                    if let (Some(key), Some(cache)) = (reuse_key, cache) {
+                        cache.cluster_insert(
+                            key,
+                            ClusterSolution {
+                                clusters: clusters.clone(),
+                            },
+                        );
+                    }
+                }
+                if warm_started {
+                    dbex_obs::counter!("cluster.warm_starts").incr(1);
+                }
+                let units = clusters
+                    .iter()
+                    .map(|cluster| {
+                        let mems: Vec<usize> = cluster
+                            .iter()
+                            .filter_map(|&i| members.get(i as usize).copied())
+                            .collect();
+                        IUnit::from_members(mems, coded, &config.label)
+                    })
+                    .collect();
+                return (units, degradation, false, warm_started);
+            }
             Err(e) => match rung.next() {
                 Some(next) => {
                     degradation.push(Degradation {
@@ -821,7 +984,7 @@ fn generate_candidates(
                         reason: format!("all clustering fallbacks failed ({e})"),
                     });
                     let unit = IUnit::from_members(members.to_vec(), coded, &config.label);
-                    return (vec![unit], degradation);
+                    return (vec![unit], degradation, false, false);
                 }
             },
         }
@@ -829,6 +992,15 @@ fn generate_candidates(
 }
 
 /// One attempt at clustering a partition on a specific ladder rung.
+///
+/// Returns the non-empty clusters as **indices into `members`** (the
+/// representation the reuse cache stores, position-independent) plus
+/// whether the k-means was warm-seeded. The default path clusters on a
+/// [`PackedMatrix`] of `u8`/`u16` dictionary codes — no per-tuple one-hot
+/// vectors are materialized — and is bit-identical to the sparse one-hot
+/// reference, which remains both the oracle and the automatic fallback
+/// when the attribute set cannot pack.
+#[allow(clippy::too_many_arguments)]
 fn cluster_partition(
     members: &[usize],
     coded: &[&CodedColumn],
@@ -837,7 +1009,8 @@ fn cluster_partition(
     config: &CadConfig,
     kmeans_iters: usize,
     rung: ClusterRung,
-) -> Result<Vec<IUnit>, dbex_cluster::ClusterError> {
+    warm: Option<(&dbex_stats::StatsCache, u64)>,
+) -> Result<(Vec<Vec<u32>>, bool), dbex_cluster::ClusterError> {
     // Cluster a sample and assign the rest (Optimization 1). The sampled
     // rung forces a tiny cap regardless of configuration.
     let cap = match rung {
@@ -849,7 +1022,9 @@ fn cluster_partition(
         ),
         _ => config.cluster_sample,
     };
-    let (train_members, holdout): (Vec<usize>, Vec<usize>) = match cap {
+    // Train/holdout split as member-list indices; positions are looked up
+    // only where the encoders need them.
+    let (train_idx, holdout_idx): (Vec<usize>, Vec<usize>) = match cap {
         Some(cap) if members.len() > cap => {
             // Deterministic stride sample over the member positions.
             let step = members.len() as f64 / cap as f64;
@@ -863,25 +1038,55 @@ fn cluster_partition(
                 }
                 if !is_train[idx] {
                     is_train[idx] = true;
-                    train.push(members[idx]);
+                    train.push(idx);
                 }
                 pos += step;
             }
-            let holdout = members
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| !is_train[*i])
-                .map(|(_, &m)| m)
-                .collect();
+            let holdout = (0..members.len()).filter(|&i| !is_train[i]).collect();
             (train, holdout)
         }
-        _ => (members.to_vec(), Vec::new()),
+        _ => ((0..members.len()).collect(), Vec::new()),
     };
+    let train_members: Vec<usize> = train_idx.iter().map(|&i| members[i]).collect();
 
-    let train_points = space.encode_positions(coded, &train_members);
-    let km: KMeansResult = match rung {
-        ClusterRung::MiniBatch => mini_batch_kmeans(
-            &train_points,
+    let packed = if config.packed_kernel {
+        PackedMatrix::from_columns(coded, &train_members)
+    } else {
+        None
+    };
+    if packed.is_some() {
+        dbex_obs::counter!("cluster.packed_path").incr(1);
+    } else {
+        dbex_obs::counter!("cluster.onehot_path").incr(1);
+    }
+
+    let mut warm_started = false;
+    let km: KMeansResult = match (&packed, rung) {
+        (Some(matrix), ClusterRung::MiniBatch) => mini_batch_kmeans_packed(
+            matrix,
+            &MiniBatchConfig {
+                k: l,
+                batch_size: 256,
+                batches: kmeans_iters.max(1) * 3,
+                seed: config.seed,
+            },
+        )?,
+        (Some(matrix), _) => {
+            let initial = warm.and_then(|(cache, key)| cache.warm_centroids(key));
+            warm_started = initial.is_some();
+            kmeans_packed_warm(
+                matrix,
+                &KMeansConfig {
+                    k: l,
+                    max_iters: kmeans_iters,
+                    seed: config.seed,
+                    plus_plus: config.plus_plus,
+                },
+                initial.as_ref().map(|c| c.as_slice()),
+            )?
+        }
+        (None, ClusterRung::MiniBatch) => mini_batch_kmeans(
+            &space.encode_positions(coded, &train_members),
             space.dim(),
             &MiniBatchConfig {
                 k: l,
@@ -890,8 +1095,8 @@ fn cluster_partition(
                 seed: config.seed,
             },
         )?,
-        _ => kmeans(
-            &train_points,
+        (None, _) => kmeans(
+            &space.encode_positions(coded, &train_members),
             space.dim(),
             &KMeansConfig {
                 k: l,
@@ -901,24 +1106,45 @@ fn cluster_partition(
             },
         )?,
     };
-
-    // Bucket every member (train + holdout) into its cluster.
-    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); km.centroids.len()];
-    for (i, &m) in train_members.iter().enumerate() {
-        clusters[km.assignments[i]].push(m);
-    }
-    if !holdout.is_empty() {
-        let holdout_points = space.encode_positions(coded, &holdout);
-        for (assignment, &m) in km.assign_all(&holdout_points).iter().zip(&holdout) {
-            clusters[*assignment].push(m);
+    if let Some((cache, key)) = warm {
+        // Publish this build's centroid histograms so the *next* build of
+        // the same pivot value (possibly over refined membership) can
+        // warm-seed. Mini-batch runs leave `histograms` empty (their
+        // centroids are learning-rate blends, not count ratios) and keep
+        // whatever a previous Lloyd run stored.
+        if !km.histograms.is_empty() {
+            cache.set_warm_centroids(key, km.histograms.clone());
         }
     }
 
-    Ok(clusters
-        .into_iter()
-        .filter(|c| !c.is_empty())
-        .map(|c| IUnit::from_members(c, coded, &config.label))
-        .collect())
+    // Bucket every member (train + holdout) into its cluster.
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); km.centroids.len()];
+    for (i, &mi) in train_idx.iter().enumerate() {
+        if let Some(slot) = clusters.get_mut(km.assignments[i]) {
+            slot.push(mi as u32);
+        }
+    }
+    if !holdout_idx.is_empty() {
+        let holdout_members: Vec<usize> = holdout_idx.iter().map(|&i| members[i]).collect();
+        let holdout_packed = packed
+            .is_some()
+            .then(|| PackedMatrix::from_columns(coded, &holdout_members))
+            .flatten();
+        let assignments = match &holdout_packed {
+            Some(matrix) => assign_all_packed(&km, matrix),
+            None => km.assign_all(&space.encode_positions(coded, &holdout_members)),
+        };
+        for (assignment, &mi) in assignments.iter().zip(&holdout_idx) {
+            if let Some(slot) = clusters.get_mut(*assignment) {
+                slot.push(mi as u32);
+            }
+        }
+    }
+
+    Ok((
+        clusters.into_iter().filter(|c| !c.is_empty()).collect(),
+        warm_started,
+    ))
 }
 
 /// A [`Preference`] resolved against the result schema, so applying it to

@@ -406,6 +406,10 @@ impl Session {
             if cad.threads_used == 1 { "" } else { "s" }
         ));
         out.push_str(&format!("  stats cache: {}\n", self.stats_cache.stats()));
+        out.push_str(&format!(
+            "  cluster reuse: {} partition(s) served from cache, {} warm start(s)\n",
+            cad.partitions_reused, cad.warm_starts
+        ));
         if cad.is_degraded() {
             out.push_str("  degradation:\n");
             for d in &cad.degradation {

@@ -66,6 +66,52 @@ pub struct ContingencyKey {
     pub strategy: BinningStrategy,
 }
 
+/// Key for a memoized per-pivot-partition cluster solution.
+///
+/// The fingerprint half identifies the *data*: the CAD builder hashes the
+/// partition's member row ids together with every compare attribute's
+/// dictionary codes and cardinality at those rows, so any change to the
+/// partition's membership, the attribute set, or a numeric attribute's
+/// re-binned codes misses automatically. The remaining fields pin the
+/// clustering parameters that shape the solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterKey {
+    /// Hash of (table id, member row ids, per-attribute codes + cardinality).
+    pub partition_fp: u64,
+    /// Candidate cluster count `l` after any adaptive clamping.
+    pub l: usize,
+    /// k-means iteration cap after any budget clamping.
+    pub iters: usize,
+    /// Clustering PRNG seed.
+    pub seed: u64,
+    /// Whether k-means++ seeding was used.
+    pub plus_plus: bool,
+    /// Effective training-sample cap (`usize::MAX` = cluster every member).
+    pub sample: usize,
+}
+
+/// A memoized cluster solution: the partition's members bucketed into
+/// non-empty clusters, in cluster-index order.
+///
+/// Members are stored as **indices into the partition's member list**, not
+/// as view positions — a facet refinement renumbers positions, but as long
+/// as the partition holds the same rows in the same order (which the
+/// [`ClusterKey`] fingerprint guarantees) the indices remap exactly. The
+/// consumer rebuilds IUnits from the remapped members, so labels and
+/// scores are recomputed identically rather than trusted stale.
+#[derive(Debug, Clone)]
+pub struct ClusterSolution {
+    /// Non-empty clusters of member-list indices, in discovery order.
+    pub clusters: Vec<Vec<u32>>,
+}
+
+/// A Lloyd centroid in integer-histogram form: per-one-hot-dimension
+/// member counts plus the cluster size (the conceptual centroid is
+/// `counts / size`). Stored for warm-starting k-means on a changed
+/// partition; mini-batch centroids have no such form and are never
+/// stored.
+pub type CentroidHistogram = (Vec<u32>, u32);
+
 /// Counters and sizes reported by [`StatsCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -77,6 +123,8 @@ pub struct CacheStats {
     pub codec_entries: usize,
     /// Live contingency-table entries.
     pub contingency_entries: usize,
+    /// Live cluster-reuse entries (exact solutions + warm centroid sets).
+    pub cluster_entries: usize,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -86,7 +134,7 @@ impl std::fmt::Display for CacheStats {
             "{} hits, {} misses, {} entries",
             self.hits,
             self.misses,
-            self.codec_entries + self.contingency_entries
+            self.codec_entries + self.contingency_entries + self.cluster_entries
         )
     }
 }
@@ -96,6 +144,11 @@ impl std::fmt::Display for CacheStats {
 pub struct StatsCache {
     codecs: Mutex<HashMap<CodecKey, Arc<AttributeCodec>>>,
     tables: Mutex<HashMap<ContingencyKey, Arc<ContingencyTable>>>,
+    clusters: Mutex<HashMap<ClusterKey, Arc<ClusterSolution>>>,
+    /// Latest centroid histograms per warm-start identity (pivot value +
+    /// attribute set + params), for seeding k-means after the partition
+    /// *changed*.
+    warm: Mutex<HashMap<u64, Arc<Vec<CentroidHistogram>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -170,12 +223,69 @@ impl StatsCache {
         Some(built)
     }
 
+    /// Returns the memoized cluster solution for `key`, if any.
+    ///
+    /// Unlike [`Self::codec_with`] this is a pure lookup: the build runs in
+    /// the caller (the CAD degradation ladder), which then publishes a
+    /// success via [`Self::cluster_insert`]. Hits and misses count toward
+    /// [`Self::stats`].
+    pub fn cluster_lookup(&self, key: &ClusterKey) -> Option<Arc<ClusterSolution>> {
+        if let Ok(map) = self.clusters.lock() {
+            if let Some(hit) = map.get(key) {
+                self.hit();
+                return Some(Arc::clone(hit));
+            }
+        }
+        self.miss();
+        None
+    }
+
+    /// Memoizes a cluster solution under `key` (see [`Self::cluster_lookup`]).
+    pub fn cluster_insert(&self, key: ClusterKey, solution: ClusterSolution) {
+        if let Ok(mut map) = self.clusters.lock() {
+            if map.len() >= MAX_ENTRIES {
+                map.clear();
+            }
+            map.insert(key, Arc::new(solution));
+        }
+    }
+
+    /// The most recent centroid histograms stored under a warm-start
+    /// identity.
+    ///
+    /// Warm lookups do **not** count toward hit/miss statistics: they are
+    /// seeding hints for a clustering that runs regardless, not avoided
+    /// recomputation.
+    pub fn warm_centroids(&self, key: u64) -> Option<Arc<Vec<CentroidHistogram>>> {
+        self.warm
+            .lock()
+            .ok()
+            .and_then(|map| map.get(&key).map(Arc::clone))
+    }
+
+    /// Stores (replacing) the centroid histograms for a warm-start
+    /// identity.
+    pub fn set_warm_centroids(&self, key: u64, centroids: Vec<CentroidHistogram>) {
+        if let Ok(mut map) = self.warm.lock() {
+            if map.len() >= MAX_ENTRIES {
+                map.clear();
+            }
+            map.insert(key, Arc::new(centroids));
+        }
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         if let Ok(mut map) = self.codecs.lock() {
             map.clear();
         }
         if let Ok(mut map) = self.tables.lock() {
+            map.clear();
+        }
+        if let Ok(mut map) = self.clusters.lock() {
+            map.clear();
+        }
+        if let Ok(mut map) = self.warm.lock() {
             map.clear();
         }
     }
@@ -187,6 +297,8 @@ impl StatsCache {
             misses: self.misses.load(Ordering::Relaxed),
             codec_entries: self.codecs.lock().map(|m| m.len()).unwrap_or(0),
             contingency_entries: self.tables.lock().map(|m| m.len()).unwrap_or(0),
+            cluster_entries: self.clusters.lock().map(|m| m.len()).unwrap_or(0)
+                + self.warm.lock().map(|m| m.len()).unwrap_or(0),
         }
     }
 }
@@ -267,6 +379,50 @@ mod tests {
             )
             .is_some());
         assert_eq!(cache.stats().contingency_entries, 2);
+    }
+
+    #[test]
+    fn cluster_solution_round_trip() {
+        let cache = StatsCache::new();
+        let key = ClusterKey {
+            partition_fp: 42,
+            l: 5,
+            iters: 20,
+            seed: 7,
+            plus_plus: true,
+            sample: usize::MAX,
+        };
+        assert!(cache.cluster_lookup(&key).is_none());
+        cache.cluster_insert(
+            key,
+            ClusterSolution {
+                clusters: vec![vec![0, 2], vec![1]],
+            },
+        );
+        let hit = cache.cluster_lookup(&key).expect("must hit");
+        assert_eq!(hit.clusters, vec![vec![0, 2], vec![1]]);
+        // A different fingerprint or parameter misses.
+        assert!(cache
+            .cluster_lookup(&ClusterKey { partition_fp: 43, ..key })
+            .is_none());
+        assert!(cache.cluster_lookup(&ClusterKey { l: 6, ..key }).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.cluster_entries), (1, 3, 1));
+    }
+
+    #[test]
+    fn warm_centroids_replace_and_skip_counters() {
+        let cache = StatsCache::new();
+        assert!(cache.warm_centroids(9).is_none());
+        cache.set_warm_centroids(9, vec![(vec![1, 0], 1)]);
+        cache.set_warm_centroids(9, vec![(vec![0, 2], 2)]);
+        assert_eq!(*cache.warm_centroids(9).expect("stored"), vec![(vec![0, 2], 2)]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "warm lookups are not hits/misses");
+        assert_eq!(s.cluster_entries, 1);
+        cache.clear();
+        assert!(cache.warm_centroids(9).is_none());
+        assert_eq!(cache.stats().cluster_entries, 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod mixed;
 pub mod simil;
 pub mod special;
 
-pub use cache::{CacheStats, CodecKey, ContingencyKey, StatsCache};
+pub use cache::{CacheStats, ClusterKey, ClusterSolution, CodecKey, ContingencyKey, StatsCache};
 pub use chi2::{ChiSquareResult, ContingencyTable};
 pub use error::StatsError;
 pub use discretize::{AttributeCodec, CodedColumn, CodedMatrix};

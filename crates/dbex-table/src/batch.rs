@@ -26,6 +26,36 @@ use crate::table::Table;
 use crate::value::Value;
 use std::cmp::Ordering;
 
+/// Gathers `data[p]` for every position in `positions` into `out`
+/// (cleared first), preserving order.
+///
+/// This is the selection kernel behind packed code extraction: the
+/// clustering layer pulls each compare attribute's dictionary codes for
+/// one pivot partition in a single sequential pass over the column before
+/// narrowing them into a row-major code matrix. Returns `false` (with
+/// `out` cleared) if any position is out of range — callers treat that as
+/// "cannot pack" rather than a panic.
+pub fn gather_into<T: Copy>(data: &[T], positions: &[usize], out: &mut Vec<T>) -> bool {
+    out.clear();
+    out.reserve(positions.len());
+    for &p in positions {
+        match data.get(p) {
+            Some(&v) => out.push(v),
+            None => {
+                out.clear();
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// [`gather_into`] returning a fresh vector (`None` on out-of-range).
+pub fn gather<T: Copy>(data: &[T], positions: &[usize]) -> Option<Vec<T>> {
+    let mut out = Vec::new();
+    gather_into(data, positions, &mut out).then_some(out)
+}
+
 /// Filters `rows` by `predicate`, returning the selected row ids in order.
 pub fn select(table: &Table, rows: &[u32], predicate: &Predicate) -> Result<Vec<u32>> {
     let mut out = Vec::new();
@@ -408,6 +438,17 @@ mod tests {
         for p in &cases {
             assert_matches_eval(&t, p);
         }
+    }
+
+    #[test]
+    fn gather_preserves_order_and_checks_bounds() {
+        let data = [10u32, 11, 12, 13];
+        assert_eq!(gather(&data, &[3, 0, 0, 2]), Some(vec![13, 10, 10, 12]));
+        assert_eq!(gather(&data, &[]), Some(vec![]));
+        assert_eq!(gather(&data, &[1, 4]), None);
+        let mut out = vec![99u32];
+        assert!(!gather_into(&data, &[9], &mut out));
+        assert!(out.is_empty(), "failed gather must not leave stale values");
     }
 
     #[test]

@@ -79,6 +79,36 @@ impl<'a> View<'a> {
         hash
     }
 
+    /// [`Self::fingerprint`] restricted to the subset of this view's rows
+    /// at `positions` (indices into [`Self::row_ids`], in order).
+    ///
+    /// A pivot partition is exactly such a subset, so this is the identity
+    /// half of the per-partition cluster-reuse cache key: it hashes the
+    /// *row ids*, not the positions, so a facet refinement that renumbers
+    /// positions but leaves a partition's rows (and their order) intact
+    /// still produces the same fingerprint. Out-of-range positions are
+    /// hashed as a sentinel instead of panicking.
+    pub fn fingerprint_positions(&self, positions: &[usize]) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.table.id());
+        mix(positions.len() as u64);
+        for &pos in positions {
+            match self.rows.get(pos) {
+                Some(&row) => mix(u64::from(row)),
+                None => mix(u64::MAX),
+            }
+        }
+        hash
+    }
+
     /// Value of `col` at the `i`-th selected row.
     pub fn value(&self, i: usize, col: usize) -> Value {
         self.table.value(self.rows[i] as usize, col)
@@ -319,6 +349,23 @@ mod tests {
         // A clone shares the id, so fingerprints agree.
         let t3 = t.clone();
         assert_eq!(a.fingerprint(), View::from_rows(&t3, vec![0, 1, 2]).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_positions_tracks_rows_not_positions() {
+        let t = table();
+        let a = View::from_rows(&t, vec![0, 1, 2, 3]);
+        // Same rows selected through different position lists of different
+        // views agree as long as the row ids (and their order) agree.
+        let b = View::from_rows(&t, vec![1, 3]);
+        assert_eq!(a.fingerprint_positions(&[1, 3]), b.fingerprint_positions(&[0, 1]));
+        // Different rows or a different order diverge.
+        assert_ne!(a.fingerprint_positions(&[1, 3]), a.fingerprint_positions(&[3, 1]));
+        assert_ne!(a.fingerprint_positions(&[1, 3]), a.fingerprint_positions(&[1, 2]));
+        // The full-subset fingerprint matches the view fingerprint's space
+        // (same construction), and out-of-range positions do not panic.
+        assert_eq!(a.fingerprint_positions(&[0, 1, 2, 3]), a.fingerprint());
+        let _ = a.fingerprint_positions(&[99]);
     }
 
     #[test]

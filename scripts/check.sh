@@ -16,17 +16,26 @@
 # bench_suite exits non-zero if any parallel build diverges from the
 # sequential render or if the generated report is not well-formed JSON,
 # so a bad report fails the gate.
+#
+# `--bench-regression` runs the *full* bench harness (release, 40K rows)
+# and diffs it against the committed BENCH_cad.json: bench_suite exits
+# non-zero — failing this gate — when the cluster_partition span median
+# regresses by more than 25% on any comparable workload. This takes
+# minutes and measures real wall-clock, so it is opt-in, not part of the
+# default gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+BENCH_REGRESSION=0
 OBS_SMOKE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --bench-regression) BENCH_REGRESSION=1 ;;
     --obs-smoke) OBS_SMOKE_ONLY=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--obs-smoke]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--obs-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -54,6 +63,14 @@ if [[ "$BENCH_SMOKE" -eq 1 ]]; then
   trap 'rm -f "$SMOKE_OUT"' EXIT
   DBEX_THREADS=2 cargo run --release -p dbex-bench --bin bench_suite -- \
     --quick --out "$SMOKE_OUT"
+fi
+
+if [[ "$BENCH_REGRESSION" -eq 1 ]]; then
+  echo "==> bench regression gate (full bench_suite vs committed BENCH_cad.json)"
+  REG_OUT="$(mktemp /tmp/bench_cad_regression.XXXXXX.json)"
+  trap 'rm -f "$REG_OUT"' EXIT
+  cargo run --release -p dbex-bench --bin bench_suite -- \
+    --out "$REG_OUT" --baseline BENCH_cad.json
 fi
 
 echo "All checks passed."

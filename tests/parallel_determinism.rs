@@ -235,6 +235,189 @@ fn fault_hooks_fire_sequentially_and_are_invisible_to_pool_workers() {
     assert!(!cad.is_degraded());
 }
 
+/// Categorical-only compare attributes, forced: categorical dictionary
+/// codes are stable across refinements (unlike numeric equi-depth bins,
+/// which re-bin and deliberately invalidate cluster reuse), so untouched
+/// pivot partitions can be served from the cluster-reuse cache.
+fn categorical_request(threads: usize) -> CadRequest {
+    request_with_threads("Make", threads)
+        .with_compare(vec!["Model", "BodyType", "Engine", "Drivetrain"])
+        .with_max_compare_attrs(4)
+}
+
+#[test]
+fn incremental_rebuild_is_byte_identical_to_cold_rebuild() {
+    use dbexplorer::core::{build_cad_view_cached, StatsCache};
+    use dbexplorer::table::predicate::{CmpOp, Predicate};
+
+    let table = UsedCarsGenerator::new(23).generate(4_000);
+    let full = table.full_view();
+    // The refinement drops one pivot value entirely; every other
+    // partition keeps exactly its rows (ids and order), so its cluster
+    // solution from the pre-refinement build is reusable verbatim.
+    let refined = full
+        .refine(&Predicate::cmp("Make", CmpOp::Ne, "BMW"))
+        .expect("refine");
+    assert!(refined.len() < full.len());
+
+    for threads in [1, 2, 8] {
+        let request = categorical_request(threads);
+        // Reference: a cold, uncached build of the refined result set.
+        let cold = build_cad_view(&refined, &request).expect("cold build");
+        // Incremental: prime the cache on the pre-refinement view, then
+        // rebuild after the refinement.
+        let cache = StatsCache::new();
+        let primed = build_cad_view_cached(&full, &request, Some(&cache)).expect("prime");
+        assert_eq!(primed.partitions_reused, 0, "first build has nothing to reuse");
+        let incremental =
+            build_cad_view_cached(&refined, &request, Some(&cache)).expect("incremental");
+        assert_eq!(
+            digest(&incremental),
+            digest(&cold),
+            "{threads}-thread incremental rebuild diverged from a cold rebuild"
+        );
+        assert_eq!(
+            incremental.partitions_reused,
+            incremental.rows.len(),
+            "every untouched partition must be served from the cluster cache"
+        );
+        assert!(cache.stats().hits > 0, "cluster reuse must register cache hits");
+
+        // A second identical build reuses every partition too.
+        let again = build_cad_view_cached(&refined, &request, Some(&cache)).expect("repeat");
+        assert_eq!(digest(&again), digest(&cold));
+        assert_eq!(again.partitions_reused, again.rows.len());
+    }
+}
+
+#[test]
+fn incremental_rebuild_matches_cold_under_budget_degradation() {
+    use dbexplorer::core::{build_cad_view_cached, StatsCache};
+    use dbexplorer::table::predicate::{CmpOp, Predicate};
+
+    let table = UsedCarsGenerator::new(23).generate(4_000);
+    let full = table.full_view();
+    let refined = full
+        .refine(&Predicate::cmp("Make", CmpOp::Ne, "BMW"))
+        .expect("refine");
+    // Degraded rungs are shaped by transient budget state, so the builder
+    // must bypass the cluster cache entirely: the incremental rebuild has
+    // to degrade exactly like the cold one, with zero reuse.
+    let degraded_request = |threads: usize| {
+        let clock = Arc::new(AtomicU64::new(77));
+        categorical_request(threads).with_budget(
+            ExecBudget::unlimited()
+                .with_time_limit(Duration::ZERO)
+                .with_manual_clock(clock),
+        )
+    };
+    for threads in [1, 2, 8] {
+        let cold = build_cad_view(&refined, &degraded_request(threads)).expect("cold degraded");
+        assert!(cold.is_degraded());
+        let cache = StatsCache::new();
+        // Prime at full fidelity so the cache *would* have solutions to
+        // offer if the builder (incorrectly) consulted it while degraded.
+        build_cad_view_cached(&full, &categorical_request(threads), Some(&cache))
+            .expect("prime");
+        let incremental =
+            build_cad_view_cached(&refined, &degraded_request(threads), Some(&cache))
+                .expect("incremental degraded");
+        assert_eq!(
+            digest(&incremental),
+            digest(&cold),
+            "{threads}-thread degraded incremental rebuild diverged from cold"
+        );
+        assert_eq!(incremental.partitions_reused, 0, "degraded rungs must not reuse");
+    }
+}
+
+#[test]
+fn packed_kernel_matches_onehot_oracle_end_to_end() {
+    // The packed-code kernels are an optimization with a bit-identity
+    // contract: a build on packed `u8`/`u16` code rows must equal the
+    // sparse one-hot reference build byte for byte — at full fidelity and
+    // on the mini-batch degradation rung.
+    let with_kernel = |pivot: &str, packed: bool| {
+        CadRequest::new(pivot).with_iunits(3).with_config(CadConfig {
+            packed_kernel: packed,
+            ..CadConfig::default()
+        })
+    };
+    for (name, table, pivot) in datasets() {
+        let view = table.full_view();
+        let packed = build_cad_view(&view, &with_kernel(pivot, true))
+            .unwrap_or_else(|e| panic!("{name}: packed build failed: {e}"));
+        let onehot = build_cad_view(&view, &with_kernel(pivot, false))
+            .unwrap_or_else(|e| panic!("{name}: one-hot build failed: {e}"));
+        assert_eq!(
+            digest(&packed),
+            digest(&onehot),
+            "{name}: packed kernel diverged from the one-hot oracle"
+        );
+    }
+    // Mini-batch rung (row budget forces it) — packed and reference
+    // mini-batch must agree too.
+    let table = UsedCarsGenerator::new(29).generate(5_000);
+    let view = table.full_view();
+    let budgeted = |packed: bool| {
+        let request = with_kernel("Make", packed)
+            .with_budget(ExecBudget::unlimited().with_max_rows(50));
+        build_cad_view(&view, &request).expect("row budget degrades, not fails")
+    };
+    let packed = budgeted(true);
+    assert!(
+        packed
+            .degradation
+            .iter()
+            .any(|d| d.kind == DegradationKind::MiniBatchClustering),
+        "{:?}",
+        packed.degradation
+    );
+    assert_eq!(digest(&packed), digest(&budgeted(false)));
+}
+
+#[test]
+fn warm_start_mode_reseeds_and_stays_deterministic() {
+    use dbexplorer::core::{build_cad_view_cached, StatsCache};
+    use dbexplorer::table::predicate::{CmpOp, Predicate};
+
+    // Opt-in warm starting seeds k-means from the previous build's
+    // centroids for the same pivot value, even after the partition's
+    // membership changed. It is allowed to differ from a cold build —
+    // but it must be deterministic: the same build history replayed
+    // gives the same bytes, at any thread count.
+    let table = UsedCarsGenerator::new(31).generate(4_000);
+    let full = table.full_view();
+    let refined = full
+        .refine(&Predicate::cmp("Make", CmpOp::Ne, "BMW"))
+        .expect("refine");
+    let warm_request = |threads: usize| {
+        let mut request = categorical_request(threads);
+        request.config.warm_start = true;
+        request
+    };
+    let run = |threads: usize| {
+        let cache = StatsCache::new();
+        let first =
+            build_cad_view_cached(&full, &warm_request(threads), Some(&cache)).expect("first");
+        let second = build_cad_view_cached(&refined, &warm_request(threads), Some(&cache))
+            .expect("second");
+        (digest(&first), digest(&second), second.warm_starts)
+    };
+    let (first_a, second_a, warm_a) = run(1);
+    assert!(warm_a > 0, "second build must warm-start from stored centroids");
+    let (first_b, second_b, warm_b) = run(1);
+    assert_eq!((&first_a, &second_a, warm_a), (&first_b, &second_b, warm_b));
+    for threads in [2, 8] {
+        let (first_t, second_t, warm_t) = run(threads);
+        assert_eq!(
+            (&first_t, &second_t, warm_t),
+            (&first_a, &second_a, warm_a),
+            "{threads}-thread warm-start history diverged"
+        );
+    }
+}
+
 #[test]
 fn caller_thread_stages_still_see_faults_under_parallelism() {
     // The pivot codec is built on the caller's thread even at threads > 1,

@@ -1,0 +1,215 @@
+//! `concurrent_load` — serving benchmark: request latency under 1 / 8 /
+//! 32 concurrent clients.
+//!
+//! Boots one in-process wire server per client count (so each point
+//! starts from a cold shared cache), has every client replay the same
+//! exploration round — SELECT, CREATE CADVIEW, REORDER, HIGHLIGHT —
+//! `--rounds` times, and reports per-request latency percentiles plus
+//! shared-cache effectiveness to `BENCH_serve.json`:
+//!
+//! ```text
+//! cargo run --release -p dbex-bench --bin concurrent_load             # full
+//! cargo run --release -p dbex-bench --bin concurrent_load -- --quick  # CI smoke
+//! cargo run --release -p dbex-bench --bin concurrent_load -- --out target/serve.json
+//! ```
+//!
+//! The interesting number is the p99 *ratio* between 1 and 32 clients:
+//! sessions share one `StatsCache`, so past the first CAD build most of
+//! each request is cache lookups and rendering, and the server should
+//! degrade far slower than 32x.
+
+use dbex_bench::{median_ms, validate_json, warn_if_debug};
+use dbex_data::UsedCarsGenerator;
+use dbex_serve::{Client, ServeConfig, Server};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Schema version of `BENCH_serve.json`; bump on incompatible changes.
+const SERVE_SCHEMA: u64 = 1;
+
+const CLIENT_COUNTS: &[usize] = &[1, 8, 32];
+
+/// One exploration round, identical across clients so the shared stats
+/// cache engages (which is the scenario being measured).
+const ROUND: &[&str] = &[
+    "SELECT Make, Model, Price FROM cars WHERE BodyType = SUV LIMIT 3",
+    "CREATE CADVIEW w AS SET pivot = Make FROM cars WHERE BodyType = SUV LIMIT COLUMNS 3 IUNITS 2",
+    "REORDER ROWS IN w ORDER BY SIMILARITY(Jeep) DESC",
+    "HIGHLIGHT SIMILAR IUNITS IN w WHERE SIMILARITY(Ford, 1) > 0.5",
+];
+
+struct Point {
+    clients: usize,
+    requests: usize,
+    errors: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    busy_rejections: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Percentile over a sample set (nearest-rank); empty input is 0.
+fn percentile_ms(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn measure(clients: usize, rows: usize, rounds: usize) -> Point {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .expect("bind ephemeral port");
+    server.preload("cars", UsedCarsGenerator::new(7).generate(rows));
+    let cache = server.cache();
+    let handle = server.spawn().expect("spawn accept thread");
+    let addr = handle.addr();
+
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let errors: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let latencies = Arc::clone(&latencies);
+            let errors = Arc::clone(&errors);
+            scope.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        *errors.lock().unwrap() += ROUND.len() * rounds;
+                        return;
+                    }
+                };
+                let mut local = Vec::with_capacity(ROUND.len() * rounds);
+                for _ in 0..rounds {
+                    for request in ROUND {
+                        let started = Instant::now();
+                        match client.request(request) {
+                            Ok(resp) if resp.ok => {
+                                local.push(started.elapsed().as_secs_f64() * 1e3);
+                            }
+                            _ => *errors.lock().unwrap() += 1,
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let samples = latencies.lock().unwrap().clone();
+    let stats = cache.stats();
+    let point = Point {
+        clients,
+        requests: samples.len(),
+        errors: *errors.lock().unwrap(),
+        p50_ms: median_ms(&samples),
+        p99_ms: percentile_ms(&samples, 99.0),
+        max_ms: samples.iter().copied().fold(0.0, f64::max),
+        busy_rejections: handle.busy_rejections(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    };
+    handle.shutdown();
+    point
+}
+
+fn main() {
+    warn_if_debug();
+    let mut quick = false;
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut rounds = 5usize;
+    let mut rows = 10_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                quick = true;
+                rounds = 2;
+                rows = 2_000;
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .expect("--rounds needs a value")
+                    .parse()
+                    .expect("--rounds must be an integer")
+            }
+            "--rows" => {
+                rows = args
+                    .next()
+                    .expect("--rows needs a value")
+                    .parse()
+                    .expect("--rows must be an integer")
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --quick, --out, --rounds, --rows");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut points = Vec::new();
+    for &clients in CLIENT_COUNTS {
+        eprintln!(
+            "concurrent_load: {clients} client(s) x {rounds} round(s) over {rows} rows ..."
+        );
+        let point = measure(clients, rows, rounds);
+        eprintln!(
+            "  p50 {:.2}ms  p99 {:.2}ms  max {:.2}ms  ({} requests, {} errors, cache {}/{} hit/miss)",
+            point.p50_ms,
+            point.p99_ms,
+            point.max_ms,
+            point.requests,
+            point.errors,
+            point.cache_hits,
+            point.cache_misses
+        );
+        points.push(point);
+    }
+
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\n  \"schema\": {SERVE_SCHEMA},\n  \"harness\": \"concurrent_load\",\n  \
+         \"quick\": {quick},\n  \"rows\": {rows},\n  \"rounds\": {rounds},\n  \
+         \"requests_per_round\": {},\n  \"points\": [\n",
+        ROUND.len()
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"errors\": {}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}, \
+             \"busy_rejections\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+            p.clients,
+            p.requests,
+            p.errors,
+            p.p50_ms,
+            p.p99_ms,
+            p.max_ms,
+            p.busy_rejections,
+            p.cache_hits,
+            p.cache_misses,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = validate_json(&json) {
+        eprintln!("concurrent_load: generated report is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    let total_errors: usize = points.iter().map(|p| p.errors).sum();
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("concurrent_load: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("concurrent_load: wrote {out_path}");
+    if total_errors > 0 {
+        eprintln!("concurrent_load: {total_errors} request(s) failed");
+        std::process::exit(1);
+    }
+}

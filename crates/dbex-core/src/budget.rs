@@ -27,7 +27,7 @@
 //! happen to run.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +57,13 @@ pub struct ExecBudget {
     pub max_kmeans_iters: Option<usize>,
     /// Clock the deadline is measured against.
     pub clock: ClockSource,
+    /// Cooperative cancellation: once the flag flips `true` the gauge
+    /// reports the deadline as exhausted at every check, collapsing the
+    /// remaining work onto the cheapest degradation rungs so the build
+    /// finishes (degraded, never failed) as fast as possible. `dbex-serve`
+    /// arms one flag per connection and fires it when the client
+    /// disconnects mid-request.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl ExecBudget {
@@ -90,7 +97,15 @@ impl ExecBudget {
         self
     }
 
-    /// True when no limit is set.
+    /// Arms a cooperative cancellation flag (see the field docs): flipping
+    /// it to `true` makes every deadline check report exhaustion.
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True when no limit is set. An armed (but unfired) cancellation flag
+    /// does not make a budget limited — it constrains nothing until fired.
     pub fn is_unlimited(&self) -> bool {
         self.max_rows.is_none() && self.time_limit.is_none() && self.max_kmeans_iters.is_none()
     }
@@ -132,11 +147,23 @@ impl BudgetGauge<'_> {
         }
     }
 
-    /// True once the wall-clock deadline has passed.
-    pub fn time_exhausted(&self) -> bool {
+    /// True once the build has been cancelled (see
+    /// [`ExecBudget::with_cancel_flag`]).
+    pub fn cancelled(&self) -> bool {
         self.budget
-            .time_limit
-            .is_some_and(|limit| self.elapsed() >= limit)
+            .cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// True once the wall-clock deadline has passed — or the build was
+    /// cancelled, which the ladder treats as an already-expired deadline.
+    pub fn time_exhausted(&self) -> bool {
+        self.cancelled()
+            || self
+                .budget
+                .time_limit
+                .is_some_and(|limit| self.elapsed() >= limit)
     }
 
     /// True when `rows` exceeds the row limit.
@@ -269,6 +296,23 @@ mod tests {
         clock.store(1_050, Ordering::Relaxed);
         assert!(gauge.time_exhausted());
         assert_eq!(gauge.elapsed(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn cancellation_reads_as_an_expired_deadline() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let budget = ExecBudget::unlimited().with_cancel_flag(flag.clone());
+        // Arming alone limits nothing.
+        assert!(budget.is_unlimited());
+        let gauge = budget.start();
+        assert!(!gauge.cancelled());
+        assert!(!gauge.time_exhausted());
+        flag.store(true, Ordering::Relaxed);
+        assert!(gauge.cancelled());
+        assert!(gauge.time_exhausted(), "cancel fires every deadline check");
+        // Row and iteration limits are unaffected by cancellation.
+        assert!(!gauge.rows_exhausted(usize::MAX));
+        assert_eq!(gauge.clamp_iters(9), 9);
     }
 
     #[test]

@@ -294,13 +294,7 @@ pub fn build_cad_view_cached(
 
 /// Reads the cache counters, treating "no cache" as all-zero.
 fn cache_stats(cache: Option<&StatsCache>) -> CacheStats {
-    cache.map(|c| c.stats()).unwrap_or(CacheStats {
-        hits: 0,
-        misses: 0,
-        codec_entries: 0,
-        contingency_entries: 0,
-        cluster_entries: 0,
-    })
+    cache.map(|c| c.stats()).unwrap_or_default()
 }
 
 /// [`build_cad_view_cached`] with span tracing.

@@ -274,6 +274,18 @@ macro_rules! gauge {
     }};
 }
 
+/// Looks up (once per call site) and returns the global histogram `name`
+/// with the given bucket bounds (first registration's bounds win, as with
+/// [`Registry::histogram`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal, $bounds:expr) => {{
+        static SLOT: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**SLOT.get_or_init(|| $crate::global().histogram($name, $bounds))
+    }};
+}
+
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -346,8 +358,11 @@ mod tests {
     fn global_macros_hit_the_global_registry() {
         crate::counter!("obs.test.macro").incr(4);
         crate::gauge!("obs.test.gauge").set(2);
+        crate::histogram!("obs.test.hist_ms", &[1.0, 10.0]).observe(3.0);
         let snap = global().snapshot();
         assert_eq!(snap.counters["obs.test.macro"], 4);
         assert_eq!(snap.gauges["obs.test.gauge"], 2);
+        assert_eq!(snap.histograms["obs.test.hist_ms"].count, 1);
+        assert_eq!(snap.histograms["obs.test.hist_ms"].buckets, vec![0, 1, 0]);
     }
 }

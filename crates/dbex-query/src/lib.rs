@@ -40,4 +40,4 @@ pub mod session;
 pub use ast::{CadViewStmt, HighlightStmt, ReorderStmt, SelectStmt, Statement};
 pub use error::{CaughtPanic, ParseError, QueryError, SessionError};
 pub use parser::parse;
-pub use session::{QueryOutput, Session};
+pub use session::{QueryOutput, Session, SharedCatalog};

@@ -10,8 +10,9 @@ use dbex_core::{
 use dbex_obs::TraceSink;
 use dbex_table::{group_by, sort_view, SortKey, Table, Value, View};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Session-local result alias.
 type Result<T> = std::result::Result<T, QueryError>;
@@ -49,10 +50,157 @@ pub enum QueryOutput {
     Text(String),
 }
 
+impl QueryOutput {
+    /// Renders the output exactly as the interactive shell prints it (the
+    /// wire server ships this same text, so a `--connect` client and the
+    /// local REPL are byte-identical).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self {
+            QueryOutput::Rows { columns, rows } => {
+                // Column widths over header + up to 40 shown rows.
+                let shown = rows.len().min(40);
+                let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+                let cells: Vec<Vec<String>> = rows[..shown]
+                    .iter()
+                    .map(|r| r.iter().map(|v| v.to_string()).collect())
+                    .collect();
+                for row in &cells {
+                    for (w, cell) in widths.iter_mut().zip(row) {
+                        *w = (*w).max(cell.len());
+                    }
+                }
+                let print_row = |out: &mut String, cells: &[String]| {
+                    let line: Vec<String> = cells
+                        .iter()
+                        .zip(&widths)
+                        .map(|(c, w)| format!("{c:<w$}"))
+                        .collect();
+                    let _ = writeln!(out, "| {} |", line.join(" | "));
+                };
+                print_row(&mut out, columns);
+                let _ = writeln!(
+                    out,
+                    "|{}|",
+                    widths
+                        .iter()
+                        .map(|w| "-".repeat(w + 2))
+                        .collect::<Vec<_>>()
+                        .join("|")
+                );
+                for row in &cells {
+                    print_row(&mut out, row);
+                }
+                if rows.len() > shown {
+                    let _ = writeln!(out, "... ({} rows total)", rows.len());
+                }
+            }
+            QueryOutput::Cad {
+                name,
+                rendered,
+                degradation,
+                trace,
+            } => {
+                let _ = writeln!(out, "CAD View {name}:");
+                let _ = writeln!(out, "{rendered}");
+                if let Some(trace) = trace {
+                    let _ = writeln!(out, "trace (per-phase spans):");
+                    for line in trace.lines() {
+                        let _ = writeln!(out, "  {line}");
+                    }
+                }
+                for d in degradation {
+                    let _ = writeln!(out, "warning: degraded build: {d}");
+                }
+            }
+            QueryOutput::Highlights(hits) => {
+                if hits.is_empty() {
+                    let _ = writeln!(out, "(no IUnits above the threshold)");
+                }
+                for (value, id, sim) in hits {
+                    let _ = writeln!(out, "{value} IUnit {id}: similarity {sim:.2}");
+                }
+            }
+            QueryOutput::Reordered(order) => {
+                for (value, distance) in order {
+                    let _ = writeln!(out, "{value} (distance {distance})");
+                }
+            }
+            QueryOutput::Text(text) => {
+                let _ = writeln!(out, "{text}");
+            }
+        }
+        out
+    }
+}
+
+/// A concurrency-safe table catalog shared by every server session.
+///
+/// Tables are immutable once registered, so the catalog hands out
+/// [`Arc<Table>`] clones: a reader keeps its table alive (and its
+/// [`dbex_table::Table::id`]-based cache keys valid) even if another
+/// session re-registers the name mid-query. The `RwLock` is held only for
+/// the map probe — never across a build.
+#[derive(Debug, Default)]
+pub struct SharedCatalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+/// Locks, recovering from poisoning: the map holds `Arc`s that are only
+/// inserted or removed whole, so a panicking writer cannot leave a
+/// half-written entry.
+fn read_catalog(
+    lock: &RwLock<HashMap<String, Arc<Table>>>,
+) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Table>>> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl SharedCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> SharedCatalog {
+        SharedCatalog::default()
+    }
+
+    /// Registers `table` under `name` (replacing any previous table).
+    /// Sessions already holding the old `Arc` keep it until their
+    /// statement finishes.
+    pub fn insert(&self, name: impl Into<String>, table: Arc<Table>) {
+        self.tables
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(name.into(), table);
+    }
+
+    /// The table registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<Table>> {
+        read_catalog(&self.tables).get(name).map(Arc::clone)
+    }
+
+    /// Registered table names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = read_catalog(&self.tables).keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        read_catalog(&self.tables).len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// An interactive session over registered tables.
 #[derive(Default)]
 pub struct Session {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
+    /// Fallback lookup for names not registered locally: the process-wide
+    /// catalog a `dbex-serve` connection shares with every other session.
+    catalog: Option<Arc<SharedCatalog>>,
     cad_views: HashMap<String, CadView>,
     budget: ExecBudget,
     /// Worker threads for CAD View builds: `1` = sequential (default),
@@ -77,8 +225,29 @@ impl Session {
 
     /// Registers `table` under `name` (replacing any previous table).
     pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
+        self.register_shared(name, Arc::new(table));
+    }
+
+    /// Registers an already-shared table under `name` — the `dbex-serve`
+    /// path, where every session holds the same `Arc` so cache keys (which
+    /// embed [`dbex_table::Table::id`]) agree across connections.
+    pub fn register_shared(&mut self, name: impl Into<String>, table: Arc<Table>) {
         self.tables.insert(name.into(), table);
         dbex_obs::gauge!("session.tables").set(self.tables.len() as i64);
+    }
+
+    /// Attaches (or with `None` detaches) a shared catalog consulted for
+    /// table names not registered locally. Local registrations shadow the
+    /// catalog.
+    pub fn set_catalog(&mut self, catalog: Option<Arc<SharedCatalog>>) {
+        self.catalog = catalog;
+    }
+
+    /// Replaces the session's statistics cache — the `dbex-serve` path
+    /// installs one process-wide cache into every connection's session so
+    /// builds warm each other across clients.
+    pub fn set_stats_cache(&mut self, cache: Arc<StatsCache>) {
+        self.stats_cache = cache;
     }
 
     /// Turns per-build span tracing on or off. While on, every CAD build
@@ -130,14 +299,21 @@ impl Session {
         &self.stats_cache
     }
 
-    /// A registered table.
-    pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| {
-            SessionError::UnknownTable {
-                name: name.to_owned(),
-            }
-            .into()
-        })
+    /// A registered table: session-local names first, then the shared
+    /// catalog (if attached). Returns a clone of the `Arc`, so the table
+    /// stays alive for the whole statement even if another session
+    /// re-registers the name concurrently.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .map(Arc::clone)
+            .or_else(|| self.catalog.as_ref().and_then(|c| c.get(name)))
+            .ok_or_else(|| {
+                SessionError::UnknownTable {
+                    name: name.to_owned(),
+                }
+                .into()
+            })
     }
 
     /// A stored CAD View.

@@ -1,0 +1,124 @@
+//! Minimal blocking client for the wire protocol — used by the
+//! `--connect` REPL, the smoke/determinism tests, and the bench harness.
+
+use crate::protocol::{write_frame, ProtocolError};
+use crate::wire::{WireParseError, WireResponse};
+use std::io::{BufRead, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server rejected the connection with a typed `BUSY` response
+    /// (connection cap reached). The payload is the server's message.
+    Busy(String),
+    /// Framing or transport failure.
+    Protocol(ProtocolError),
+    /// The server closed the connection where a response line was due.
+    ServerClosed,
+    /// The server sent a line that does not parse as a wire response.
+    Wire(WireParseError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Busy(msg) => write!(f, "server busy: {msg}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+            ClientError::Wire(e) => write!(f, "bad response line: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Protocol(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// A connected wire client. One request in flight at a time:
+/// [`Client::request`] writes a frame and blocks for the response line.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    hello: WireResponse,
+}
+
+impl Client {
+    /// Connects and consumes the server's hello line. A server at its
+    /// connection cap answers with `BUSY` and closes; that surfaces here
+    /// as [`ClientError::Busy`] — callers can back off and retry.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = Client {
+            writer,
+            reader,
+            hello: WireResponse::ok("hello", ""),
+        };
+        let hello = client.read_line()?;
+        let hello = WireResponse::parse(&hello).map_err(ClientError::Wire)?;
+        if hello.code.as_deref() == Some("BUSY") {
+            return Err(ClientError::Busy(hello.text));
+        }
+        client.hello = hello;
+        Ok(client)
+    }
+
+    /// The hello response the server sent on accept.
+    pub fn hello(&self) -> &WireResponse {
+        &self.hello
+    }
+
+    /// Sets a read timeout so a wedged server cannot hang the client
+    /// forever (used by the soak test's watchdog clients).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and returns the **raw response line** (no
+    /// trailing newline) — the byte-comparison primitive the determinism
+    /// tests diff against the oracle transcript.
+    pub fn request_line(&mut self, request: &str) -> Result<String, ClientError> {
+        write_frame(&mut self.writer, request)?;
+        self.read_line()
+    }
+
+    /// Sends one request and parses the response.
+    pub fn request(&mut self, request: &str) -> Result<WireResponse, ClientError> {
+        let line = self.request_line(request)?;
+        WireResponse::parse(&line).map_err(ClientError::Wire)
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::ServerClosed);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}

@@ -1,0 +1,296 @@
+//! Frame codec for the wire protocol.
+//!
+//! Requests travel client → server as **length-prefixed UTF-8 frames**: a
+//! 4-byte big-endian payload length followed by exactly that many bytes of
+//! UTF-8 text (one statement or dot-command per frame). Responses travel
+//! server → client as **JSON lines** (see [`crate::wire`]), one line per
+//! request, so the two directions never share a framing state machine.
+//!
+//! Every malformed input — a declared length over [`MAX_FRAME`], a stream
+//! that ends mid-frame, payload bytes that are not UTF-8 — decodes to a
+//! typed [`ProtocolError`], never a panic; the property tests in
+//! `tests/properties.rs` fuzz this boundary.
+
+use std::io::{Read, Write};
+
+/// Maximum payload size (1 MiB). A frame declaring more is rejected
+/// before any payload is read, so a hostile header cannot make the server
+/// allocate unboundedly.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Bytes in the length prefix.
+pub const HEADER_LEN: usize = 4;
+
+/// A typed wire-framing failure. Conversions to wire error codes live in
+/// [`ProtocolError::code`].
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The header declared a payload larger than [`MAX_FRAME`].
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// The protocol limit it exceeded.
+        max: usize,
+    },
+    /// The stream ended inside a header or payload.
+    Truncated {
+        /// Bytes the frame still needed.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The payload is not valid UTF-8.
+    InvalidUtf8 {
+        /// Length of the valid prefix, as reported by the UTF-8 validator.
+        valid_up_to: usize,
+    },
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl ProtocolError {
+    /// Short stable code used in wire error responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::Oversized { .. } => "OVERSIZED",
+            ProtocolError::Truncated { .. } => "TRUNCATED",
+            ProtocolError::InvalidUtf8 { .. } => "BAD_UTF8",
+            ProtocolError::Io(_) => "IO",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Oversized { declared, max } => {
+                write!(f, "frame declares {declared} bytes, over the {max}-byte limit")
+            }
+            ProtocolError::Truncated { expected, got } => {
+                write!(f, "stream ended mid-frame ({got} of {expected} bytes)")
+            }
+            ProtocolError::InvalidUtf8 { valid_up_to } => {
+                write!(f, "frame payload is not UTF-8 (valid up to byte {valid_up_to})")
+            }
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Encodes `msg` as one frame. Fails (rather than silently truncating)
+/// when the message exceeds [`MAX_FRAME`].
+pub fn encode_frame(msg: &str) -> Result<Vec<u8>, ProtocolError> {
+    if msg.len() > MAX_FRAME {
+        return Err(ProtocolError::Oversized {
+            declared: msg.len(),
+            max: MAX_FRAME,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + msg.len());
+    out.extend_from_slice(&(msg.len() as u32).to_be_bytes());
+    out.extend_from_slice(msg.as_bytes());
+    Ok(out)
+}
+
+/// Decodes the first frame of `buf`.
+///
+/// * `Ok(None)` — `buf` holds a (possibly empty) prefix of a frame; read
+///   more bytes and retry. A *streaming* caller cannot distinguish "not
+///   yet arrived" from "truncated" — [`read_frame`] makes that call when
+///   the stream reports EOF.
+/// * `Ok(Some((msg, consumed)))` — one decoded message and how many bytes
+///   of `buf` it used (frames may be concatenated back to back).
+/// * `Err` — the frame can never become valid (oversized declaration,
+///   non-UTF-8 payload).
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(String, usize)>, ProtocolError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let declared = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if declared > MAX_FRAME {
+        return Err(ProtocolError::Oversized {
+            declared,
+            max: MAX_FRAME,
+        });
+    }
+    let total = HEADER_LEN + declared;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    match std::str::from_utf8(&buf[HEADER_LEN..total]) {
+        Ok(msg) => Ok(Some((msg.to_owned(), total))),
+        Err(e) => Err(ProtocolError::InvalidUtf8 {
+            valid_up_to: e.valid_up_to(),
+        }),
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, reporting how many arrived before EOF.
+fn read_exact_counting(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, ProtocolError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame from a stream.
+///
+/// * `Ok(None)` — clean EOF at a frame boundary (the peer closed).
+/// * `Err(Truncated)` — EOF inside a header or payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    let got = read_exact_counting(r, &mut header)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < HEADER_LEN {
+        return Err(ProtocolError::Truncated {
+            expected: HEADER_LEN,
+            got,
+        });
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > MAX_FRAME {
+        return Err(ProtocolError::Oversized {
+            declared,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; declared];
+    let got = read_exact_counting(r, &mut payload)?;
+    if got < declared {
+        return Err(ProtocolError::Truncated {
+            expected: declared,
+            got,
+        });
+    }
+    match String::from_utf8(payload) {
+        Ok(msg) => Ok(Some(msg)),
+        Err(e) => Err(ProtocolError::InvalidUtf8 {
+            valid_up_to: e.utf8_error().valid_up_to(),
+        }),
+    }
+}
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, msg: &str) -> Result<(), ProtocolError> {
+    let frame = encode_frame(msg)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single_frame() {
+        let frame = encode_frame("SELECT 1").unwrap();
+        let (msg, used) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(msg, "SELECT 1");
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order() {
+        let mut buf = encode_frame("a").unwrap();
+        buf.extend(encode_frame("bb").unwrap());
+        let (first, used) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(first, "a");
+        let (second, used2) = decode_frame(&buf[used..]).unwrap().unwrap();
+        assert_eq!(second, "bb");
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn prefixes_ask_for_more_bytes() {
+        let frame = encode_frame("hello").unwrap();
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).unwrap().is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_payload() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"ignored");
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(ProtocolError::Oversized { .. })
+        ));
+        // And over the io path, without the payload ever arriving.
+        let header = ((MAX_FRAME + 1) as u32).to_be_bytes();
+        let mut r = &header[..];
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Oversized { .. })));
+        // encode refuses to produce one.
+        assert!(matches!(
+            encode_frame(&"x".repeat(MAX_FRAME + 1)),
+            Err(ProtocolError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0x61, 0xFF]);
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(ProtocolError::InvalidUtf8 { valid_up_to: 1 })
+        ));
+    }
+
+    #[test]
+    fn read_frame_distinguishes_eof_kinds() {
+        // Clean EOF at the boundary.
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).unwrap().is_none());
+        // EOF inside the header.
+        let mut partial: &[u8] = &[0, 0];
+        assert!(matches!(
+            read_frame(&mut partial),
+            Err(ProtocolError::Truncated { expected: 4, got: 2 })
+        ));
+        // EOF inside the payload.
+        let frame = encode_frame("abcdef").unwrap();
+        let mut cut = &frame[..frame.len() - 2];
+        assert!(matches!(
+            read_frame(&mut cut),
+            Err(ProtocolError::Truncated { expected: 6, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        assert_eq!(
+            ProtocolError::Oversized { declared: 9, max: 1 }.code(),
+            "OVERSIZED"
+        );
+        assert_eq!(
+            ProtocolError::Truncated { expected: 4, got: 0 }.code(),
+            "TRUNCATED"
+        );
+        assert_eq!(ProtocolError::InvalidUtf8 { valid_up_to: 0 }.code(), "BAD_UTF8");
+    }
+}

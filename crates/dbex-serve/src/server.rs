@@ -1,0 +1,663 @@
+//! The concurrent wire server: shared catalog, shared stats cache, one
+//! session per connection.
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept loop ──▶ per-connection thread (executor)
+//!                   ├ reader thread: frames → bounded channel,
+//!                   │                EOF/error → cancel flag
+//!                   └ executor: Session::execute → JSON line
+//!                      ▲ shared: Arc<SharedCatalog>, Arc<StatsCache>
+//! ```
+//!
+//! Each accepted connection gets its own [`Session`] (so CAD Views,
+//! budgets and `REORDER` state stay private), but every session points at
+//! the same [`SharedCatalog`] of `Arc`-immutable tables and the same
+//! process-wide [`StatsCache`] — one client's CAD build warms every other
+//! client's refinements.
+//!
+//! # Backpressure ladder
+//!
+//! 1. Per-connection pipelining is bounded by a small channel
+//!    ([`PIPELINE_DEPTH`] in-flight requests); beyond it the client's TCP
+//!    stream simply stops being read.
+//! 2. Connections over [`ServeConfig::max_connections`] are rejected
+//!    immediately with a typed `BUSY` response and a close — never queued
+//!    unboundedly.
+//! 3. Per-request work is bounded by the configured
+//!    [`ServeConfig::request_time_limit`]: past the deadline a CAD build
+//!    degrades (it never fails), so the response still arrives.
+//! 4. A client that disconnects mid-request fires the connection's cancel
+//!    flag; the running build observes it as an expired deadline and
+//!    finishes on the cheapest degradation rungs instead of wasting the
+//!    server's time on an answer nobody will read.
+
+use crate::protocol::{read_frame, ProtocolError, MAX_FRAME};
+use crate::wire::{query_error_code, WireResponse};
+use dbex_core::{ExecBudget, StatsCache, Tracer};
+use dbex_data::{HotelsGenerator, MushroomGenerator, UsedCarsGenerator};
+use dbex_obs::TraceSink;
+use dbex_query::{QueryOutput, Session, SharedCatalog};
+use dbex_table::Table;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// In-flight pipelined requests per connection before the reader stops
+/// pulling frames off the socket.
+pub const PIPELINE_DEPTH: usize = 16;
+
+/// Bucket bounds (milliseconds) for the `server.request_ms` histogram.
+const REQUEST_MS_BOUNDS: &[f64] = &[1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0];
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Concurrent-connection cap; connection `max_connections + 1` gets a
+    /// typed `BUSY` response and an immediate close.
+    pub max_connections: usize,
+    /// Per-request wall-clock deadline applied to every session's
+    /// [`ExecBudget`]; past it CAD builds degrade rather than fail.
+    /// `None` = no deadline.
+    pub request_time_limit: Option<Duration>,
+    /// Worker threads per CAD build (`1` = sequential, `0` = auto).
+    pub threads: usize,
+    /// When set, every request is traced (a `serve_request` root span with
+    /// request/response byte counts) and the trace forwarded here.
+    pub trace_sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_connections: 64,
+            request_time_limit: None,
+            threads: 1,
+            trace_sink: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("max_connections", &self.max_connections)
+            .field("request_time_limit", &self.request_time_limit)
+            .field("threads", &self.threads)
+            .field("trace_sink", &self.trace_sink.is_some())
+            .finish()
+    }
+}
+
+/// State shared by the accept loop, every connection, and the handle.
+struct Shared {
+    catalog: Arc<SharedCatalog>,
+    cache: Arc<StatsCache>,
+    config: ServeConfig,
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    busy_rejections: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl Shared {
+    fn set_connections_gauge(&self) {
+        dbex_obs::gauge!("server.connections").set(self.active.load(Ordering::SeqCst) as i64);
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::spawn`] starts the accept
+/// loop on a background thread and returns the controlling handle.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port) with
+    /// a fresh shared catalog and stats cache.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                catalog: Arc::new(SharedCatalog::new()),
+                cache: Arc::new(StatsCache::new()),
+                config,
+                active: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                busy_rejections: AtomicU64::new(0),
+                panics: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers a table into the shared catalog before (or while)
+    /// serving.
+    pub fn preload(&self, name: impl Into<String>, table: Table) {
+        self.shared.catalog.insert(name, Arc::new(table));
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> Arc<SharedCatalog> {
+        Arc::clone(&self.shared.catalog)
+    }
+
+    /// The process-wide stats cache every session shares.
+    pub fn cache(&self) -> Arc<StatsCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Starts the accept loop on a background thread. Fails only when
+    /// the OS cannot spawn a thread.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let accept = std::thread::Builder::new()
+            .name("dbex-serve-accept".into())
+            .spawn(move || accept_loop(listener, shared))?;
+        Ok(ServerHandle {
+            addr: self.addr,
+            shared: self.shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Controls a running server: address, live counters, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared catalog (also reachable by clients via `.load`).
+    pub fn catalog(&self) -> Arc<SharedCatalog> {
+        Arc::clone(&self.shared.catalog)
+    }
+
+    /// The process-wide stats cache every session shares.
+    pub fn cache(&self) -> Arc<StatsCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Connections currently open (mirrors the `server.connections` gauge).
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Connections rejected with `BUSY` since startup.
+    pub fn busy_rejections(&self) -> u64 {
+        self.shared.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Panics caught at the connection boundary since startup (always 0
+    /// unless there is a bug below the session's own panic boundary).
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, wakes the accept loop, and waits (bounded) for
+    /// open connections to drain.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        // Bounded drain: clients that already disconnected release their
+        // slots within milliseconds; a still-connected client is the
+        // caller's bug, not ours, so give up after 5 s.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let slot = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.set_connections_gauge();
+        if slot > shared.config.max_connections {
+            // Backpressure rung 2: typed rejection, never an unbounded
+            // queue. The write is bounded by a timeout so a stalled
+            // client cannot wedge the accept loop.
+            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            dbex_obs::counter!("server.busy_rejections").incr(1);
+            let busy = WireResponse::err(
+                "BUSY",
+                &format!(
+                    "server at capacity ({} connections)",
+                    shared.config.max_connections
+                ),
+            );
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let mut stream = stream;
+            let _ = writeln!(stream, "{}", busy.to_line());
+            let _ = stream.shutdown(Shutdown::Both);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shared.set_connections_gauge();
+            continue;
+        }
+        let shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("dbex-serve-conn".into())
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| handle_connection(&stream, &shared)));
+                if result.is_err() {
+                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                    dbex_obs::counter!("server.panics").incr(1);
+                }
+                let _ = stream.shutdown(Shutdown::Both);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.set_connections_gauge();
+            });
+    }
+}
+
+/// Reads frames into a bounded channel; fires the cancel flag the moment
+/// the client goes away so an in-flight build stops wasting time.
+fn reader_loop(
+    stream: TcpStream,
+    tx: std::sync::mpsc::SyncSender<Result<String, ProtocolError>>,
+    cancel: Arc<AtomicBool>,
+) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(request)) => {
+                if tx.send(Ok(request)).is_err() {
+                    break; // executor gone
+                }
+            }
+            Ok(None) => {
+                // Clean disconnect. Cancel any in-flight build.
+                cancel.store(true, Ordering::Relaxed);
+                break;
+            }
+            Err(e) => {
+                // Io/Truncated mean the client is gone mid-frame; cancel.
+                // Oversized/BadUtf8 leave the client connected but the
+                // framing unrecoverable: report, then the executor closes.
+                if matches!(e, ProtocolError::Io(_) | ProtocolError::Truncated { .. }) {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                let _ = tx.send(Err(e));
+                break;
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: &TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let (tx, rx) = sync_channel::<Result<String, ProtocolError>>(PIPELINE_DEPTH);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let reader = match stream.try_clone() {
+        Ok(clone) => {
+            let cancel = Arc::clone(&cancel);
+            std::thread::Builder::new()
+                .name("dbex-serve-read".into())
+                .spawn(move || reader_loop(clone, tx, cancel))
+                .ok()
+        }
+        Err(_) => None,
+    };
+    if reader.is_some() {
+        execute_loop(stream, shared, &cancel, &rx);
+    }
+    // Unblock the reader (it may be parked in read_frame) and collect it.
+    let _ = stream.shutdown(Shutdown::Both);
+    if let Some(reader) = reader {
+        let _ = reader.join();
+    }
+}
+
+/// The executor half of a connection: hello line, then one response line
+/// per received frame.
+fn execute_loop(
+    stream: &TcpStream,
+    shared: &Shared,
+    cancel: &Arc<AtomicBool>,
+    rx: &Receiver<Result<String, ProtocolError>>,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => BufWriter::new(clone),
+        Err(_) => return,
+    };
+    let hello = WireResponse::ok(
+        "hello",
+        &format!("dbex-serve ready; max_frame={MAX_FRAME} bytes, one statement per frame"),
+    );
+    if writeln!(writer, "{}", hello.to_line()).and_then(|()| writer.flush()).is_err() {
+        return;
+    }
+
+    let mut session = Session::new();
+    session.set_catalog(Some(Arc::clone(&shared.catalog)));
+    session.set_stats_cache(Arc::clone(&shared.cache));
+    if shared.config.threads != 1 {
+        session.set_threads(shared.config.threads);
+    }
+    let mut budget = ExecBudget::unlimited().with_cancel_flag(Arc::clone(cancel));
+    if let Some(limit) = shared.config.request_time_limit {
+        budget = budget.with_time_limit(limit);
+    }
+    session.set_budget(budget);
+
+    for message in rx.iter() {
+        match message {
+            Ok(request) => {
+                let started = Instant::now();
+                dbex_obs::counter!("server.requests").incr(1);
+                let tracer = if shared.config.trace_sink.is_some() {
+                    Tracer::enabled()
+                } else {
+                    Tracer::disabled()
+                };
+                let line = {
+                    let span = tracer.root("serve_request");
+                    span.add("request_bytes", request.len() as u64);
+                    let line = handle_request(&mut session, &shared.catalog, &request);
+                    span.add("response_bytes", line.len() as u64);
+                    line
+                };
+                if let (Some(sink), Some(trace)) =
+                    (&shared.config.trace_sink, tracer.finish())
+                {
+                    sink.record(&trace);
+                }
+                let ok = writeln!(writer, "{line}").and_then(|()| writer.flush()).is_ok();
+                dbex_obs::histogram!("server.request_ms", REQUEST_MS_BOUNDS)
+                    .observe_ms(started.elapsed());
+                if !ok {
+                    break; // client gone; reader has fired the cancel flag
+                }
+            }
+            Err(protocol_error) => {
+                dbex_obs::counter!("server.protocol_errors").incr(1);
+                let line = WireResponse::err(protocol_error.code(), &protocol_error.to_string())
+                    .to_line();
+                let _ = writeln!(writer, "{line}").and_then(|()| writer.flush());
+                break; // framing unrecoverable: close
+            }
+        }
+    }
+}
+
+/// Maps a [`QueryOutput`] to its wire `kind` tag.
+fn output_kind(output: &QueryOutput) -> &'static str {
+    match output {
+        QueryOutput::Rows { .. } => "rows",
+        QueryOutput::Cad { .. } => "cad",
+        QueryOutput::Highlights(_) => "highlights",
+        QueryOutput::Reordered(_) => "reordered",
+        QueryOutput::Text(_) => "text",
+    }
+}
+
+/// Executes one wire request against a session and renders the response
+/// line (no trailing newline).
+///
+/// This is the single dispatch point shared by the live server and
+/// [`oracle_transcript`], so a multi-client run can be diffed against a
+/// single-session oracle byte for byte.
+pub fn handle_request(session: &mut Session, catalog: &Arc<SharedCatalog>, request: &str) -> String {
+    let request = request.trim();
+    if request.is_empty() {
+        return WireResponse::err("REQUEST", "empty request").to_line();
+    }
+    if let Some(rest) = request.strip_prefix('.') {
+        return dot_request(catalog, rest).to_line();
+    }
+    match session.execute(request) {
+        Ok(output) => WireResponse::ok(output_kind(&output), &output.render()).to_line(),
+        Err(e) => WireResponse::err(query_error_code(&e), &e.to_string()).to_line(),
+    }
+}
+
+/// The dot-command subset available over the wire. `.load` mutates the
+/// *shared* catalog, so a dataset one client loads is immediately visible
+/// to every other connection.
+fn dot_request(catalog: &Arc<SharedCatalog>, rest: &str) -> WireResponse {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    match parts.first().copied() {
+        Some("ping") => WireResponse::ok("text", "pong\n"),
+        Some("tables") => {
+            let names = catalog.names();
+            if names.is_empty() {
+                WireResponse::ok("text", "(no tables)\n")
+            } else {
+                WireResponse::ok("text", &format!("{}\n", names.join("\n")))
+            }
+        }
+        Some("metrics") => WireResponse::ok("text", &dbex_obs::global().render()),
+        Some("load") => match parse_load(&parts[1..]) {
+            Ok((name, rows, table)) => {
+                catalog.insert(name, Arc::new(table));
+                WireResponse::ok("text", &format!("loaded {name}: {rows} rows\n"))
+            }
+            Err(message) => WireResponse::err("REQUEST", &message),
+        },
+        _ => WireResponse::err(
+            "REQUEST",
+            &format!(".{rest}: unknown command (try .ping, .tables, .load, .metrics)"),
+        ),
+    }
+}
+
+/// Parses `.load <cars|mushroom|hotels> [rows] [seed]` and generates the
+/// dataset (same defaults as the local REPL).
+fn parse_load(args: &[&str]) -> Result<(&'static str, usize, Table), String> {
+    let which = args.first().copied().unwrap_or("");
+    let rows: usize = match args.get(1) {
+        Some(s) => s.parse().map_err(|e| format!("bad row count {s:?}: {e}"))?,
+        None => 0,
+    };
+    let seed: u64 = match args.get(2) {
+        Some(s) => s.parse().map_err(|e| format!("bad seed {s:?}: {e}"))?,
+        None => 42,
+    };
+    match which {
+        "cars" => {
+            let rows = if rows == 0 { 40_000 } else { rows };
+            Ok(("cars", rows, UsedCarsGenerator::new(seed).generate(rows)))
+        }
+        "mushroom" => {
+            let rows = if rows == 0 {
+                dbex_data::mushroom::MUSHROOM_ROWS
+            } else {
+                rows
+            };
+            Ok(("mushroom", rows, MushroomGenerator::new(seed).generate(rows)))
+        }
+        "hotels" => {
+            let rows = if rows == 0 { 8_000 } else { rows };
+            Ok(("hotels", rows, HotelsGenerator::new(seed).generate(rows)))
+        }
+        other => Err(format!(
+            "usage: .load cars|mushroom|hotels [rows] [seed] (got {other:?})"
+        )),
+    }
+}
+
+/// Replays `requests` through ONE fresh session (its own catalog and
+/// stats cache, seeded with `tables`) and returns the response lines a
+/// server connection would produce for the same input.
+///
+/// This is the determinism oracle: rendered output never embeds table
+/// ids, timings, or cache state, so N concurrent server clients must each
+/// receive exactly these bytes.
+pub fn oracle_transcript(
+    tables: impl IntoIterator<Item = (String, Table)>,
+    config: &ServeConfig,
+    requests: &[impl AsRef<str>],
+) -> Vec<String> {
+    let catalog = Arc::new(SharedCatalog::new());
+    for (name, table) in tables {
+        catalog.insert(name, Arc::new(table));
+    }
+    let mut session = Session::new();
+    session.set_catalog(Some(Arc::clone(&catalog)));
+    session.set_stats_cache(Arc::new(StatsCache::new()));
+    if config.threads != 1 {
+        session.set_threads(config.threads);
+    }
+    if let Some(limit) = config.request_time_limit {
+        session.set_budget(ExecBudget::unlimited().with_time_limit(limit));
+    }
+    requests
+        .iter()
+        .map(|request| handle_request(&mut session, &catalog, request.as_ref()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn small_cars() -> Table {
+        UsedCarsGenerator::new(7).generate(600)
+    }
+
+    fn spawn_server(config: ServeConfig) -> ServerHandle {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+        server.preload("cars", small_cars());
+        server.spawn().expect("spawn accept thread")
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let handle = spawn_server(ServeConfig::default());
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let resp = client.request(".ping").unwrap();
+        assert!(resp.ok);
+        assert_eq!(resp.text, "pong\n");
+        let resp = client
+            .request("SELECT Make FROM cars WHERE Make = Jeep LIMIT 2")
+            .unwrap();
+        assert!(resp.ok, "{resp:?}");
+        assert_eq!(resp.kind.as_deref(), Some("rows"));
+        assert!(resp.text.contains("Jeep"), "{}", resp.text);
+        let resp = client.request("SELECT * FROM nope").unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.code.as_deref(), Some("SESSION"));
+        drop(client);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn responses_match_the_oracle() {
+        let script = [
+            ".tables",
+            "CREATE CADVIEW v AS SET pivot = Make FROM cars LIMIT COLUMNS 2 IUNITS 2",
+            "REORDER ROWS IN v ORDER BY SIMILARITY(Jeep) DESC",
+        ];
+        let oracle = oracle_transcript(
+            vec![("cars".to_owned(), small_cars())],
+            &ServeConfig::default(),
+            &script,
+        );
+        let handle = spawn_server(ServeConfig::default());
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for (request, expected) in script.iter().zip(&oracle) {
+            let line = client.request_line(request).unwrap();
+            assert_eq!(&line, expected, "divergence on {request}");
+        }
+        drop(client);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn over_cap_connections_get_busy() {
+        let handle = spawn_server(ServeConfig {
+            max_connections: 2,
+            ..ServeConfig::default()
+        });
+        let a = Client::connect(handle.addr()).expect("first connect");
+        let b = Client::connect(handle.addr()).expect("second connect");
+        match Client::connect(handle.addr()) {
+            Err(crate::client::ClientError::Busy(_)) => {}
+            Err(other) => panic!("expected BUSY, got {other}"),
+            Ok(_) => panic!("third connection should be rejected with BUSY"),
+        }
+        assert_eq!(handle.busy_rejections(), 1);
+        drop((a, b));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn load_over_the_wire_is_shared_across_connections() {
+        let handle = spawn_server(ServeConfig::default());
+        let mut a = Client::connect(handle.addr()).expect("connect a");
+        let resp = a.request(".load hotels 400 3").unwrap();
+        assert!(resp.ok, "{resp:?}");
+        let mut b = Client::connect(handle.addr()).expect("connect b");
+        let resp = b.request("SELECT * FROM hotels LIMIT 1").unwrap();
+        assert!(resp.ok, "hotels loaded by a should be visible to b: {resp:?}");
+        drop((a, b));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connection_gauge_returns_to_zero() {
+        let handle = spawn_server(ServeConfig::default());
+        {
+            let _a = Client::connect(handle.addr()).expect("connect");
+            let _b = Client::connect(handle.addr()).expect("connect");
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while handle.active_connections() < 2 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            assert_eq!(handle.active_connections(), 2);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.active_connections() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(handle.active_connections(), 0);
+        assert_eq!(handle.panics(), 0);
+        handle.shutdown();
+    }
+}

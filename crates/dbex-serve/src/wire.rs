@@ -1,0 +1,384 @@
+//! Response encoding: one JSON object per line, server → client.
+//!
+//! Success lines carry the same text the local REPL would print
+//! ([`dbex_query::QueryOutput::render`]), so a remote client and a local
+//! shell are byte-identical:
+//!
+//! ```text
+//! {"ok":true,"kind":"cad","text":"CAD View v:\n..."}
+//! {"ok":false,"code":"PARSE","error":"syntax error: ..."}
+//! {"ok":false,"code":"BUSY","error":"server at capacity (8 connections)"}
+//! ```
+//!
+//! Everything is hand-rolled (zero-dependency contract): [`json_escape`]
+//! on the way out, and a small recursive-descent scanner on the way in
+//! that accepts exactly the flat string/bool/number objects this module
+//! emits. Responses are produced and parsed through the same two types,
+//! so the round-trip is property-testable.
+
+use dbex_query::QueryError;
+use std::collections::BTreeMap;
+
+/// Stable wire code for each [`QueryError`] variant.
+pub fn query_error_code(e: &QueryError) -> &'static str {
+    match e {
+        QueryError::Parse(_) => "PARSE",
+        QueryError::Table(_) => "TABLE",
+        QueryError::Cad(_) => "CAD",
+        QueryError::Session(_) => "SESSION",
+        QueryError::Panicked(_) => "PANIC",
+    }
+}
+
+/// One parsed response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Output kind on success (`rows`, `cad`, `highlights`, `reordered`,
+    /// `text`, `hello`).
+    pub kind: Option<String>,
+    /// Error code on failure (`PARSE`, `SESSION`, `BUSY`, `OVERSIZED`, ...).
+    pub code: Option<String>,
+    /// Rendered output (success) or error message (failure).
+    pub text: String,
+}
+
+impl WireResponse {
+    /// A success line.
+    pub fn ok(kind: &str, text: &str) -> WireResponse {
+        WireResponse {
+            ok: true,
+            kind: Some(kind.to_owned()),
+            code: None,
+            text: text.to_owned(),
+        }
+    }
+
+    /// An error line.
+    pub fn err(code: &str, message: &str) -> WireResponse {
+        WireResponse {
+            ok: false,
+            kind: None,
+            code: Some(code.to_owned()),
+            text: message.to_owned(),
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{\"ok\":");
+        out.push_str(if self.ok { "true" } else { "false" });
+        if let Some(kind) = &self.kind {
+            out.push_str(",\"kind\":\"");
+            out.push_str(&json_escape(kind));
+            out.push('"');
+        }
+        if let Some(code) = &self.code {
+            out.push_str(",\"code\":\"");
+            out.push_str(&json_escape(code));
+            out.push('"');
+        }
+        out.push_str(if self.ok { ",\"text\":\"" } else { ",\"error\":\"" });
+        out.push_str(&json_escape(&self.text));
+        out.push_str("\"}");
+        out
+    }
+
+    /// Parses a response line. Strict about structure (it must be a flat
+    /// JSON object with an `ok` bool) but tolerant of extra fields, so the
+    /// format can grow without breaking old clients.
+    pub fn parse(line: &str) -> Result<WireResponse, WireParseError> {
+        let fields = parse_flat_object(line)?;
+        let ok = match fields.get("ok") {
+            Some(JsonScalar::Bool(b)) => *b,
+            _ => return Err(WireParseError::new("missing or non-bool \"ok\" field")),
+        };
+        let get_str = |name: &str| match fields.get(name) {
+            Some(JsonScalar::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        Ok(WireResponse {
+            ok,
+            kind: get_str("kind"),
+            code: get_str("code"),
+            text: get_str("text").or_else(|| get_str("error")).unwrap_or_default(),
+        })
+    }
+}
+
+/// A malformed response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireParseError {
+    /// What the scanner objected to.
+    pub message: String,
+}
+
+impl WireParseError {
+    fn new(message: impl Into<String>) -> WireParseError {
+        WireParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed response line: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireParseError {}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Scalar values the flat-object scanner accepts.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonScalar {
+    Str(String),
+    Bool(bool),
+    Num(f64),
+    Null,
+}
+
+/// Parses `{"k":scalar,...}` — the exact shape this module emits. Nested
+/// containers are rejected (the wire format is deliberately flat).
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonScalar>, WireParseError> {
+    let mut scanner = Scanner {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let fields = scanner.object()?;
+    scanner.skip_ws();
+    if scanner.pos != scanner.bytes.len() {
+        return Err(WireParseError::new("trailing bytes after object"));
+    }
+    Ok(fields)
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), WireParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(WireParseError::new(format!(
+                "expected {:?} at byte {}",
+                expected as char, self.pos
+            )))
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, JsonScalar>, WireParseError> {
+        self.eat(b'{')?;
+        let mut fields = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.scalar()?;
+            fields.insert(key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return Err(WireParseError::new("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<JsonScalar, WireParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(JsonScalar::Str(self.string()?)),
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(JsonScalar::Bool(true))
+            }
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(JsonScalar::Bool(false))
+            }
+            Some(b'n') if self.bytes[self.pos..].starts_with(b"null") => {
+                self.pos += 4;
+                Ok(JsonScalar::Null)
+            }
+            Some(b) if b.is_ascii_digit() || *b == b'-' => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| WireParseError::new("non-UTF-8 number"))?;
+                text.parse()
+                    .map(JsonScalar::Num)
+                    .map_err(|_| WireParseError::new(format!("bad number {text:?}")))
+            }
+            _ => Err(WireParseError::new(format!(
+                "expected scalar at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(WireParseError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| WireParseError::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| WireParseError::new("non-UTF-8 \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| WireParseError::new("bad \\u escape"))?;
+                            // Surrogates never appear in our output (we
+                            // only \u-escape control characters), so a
+                            // lone surrogate is malformed input.
+                            out.push(char::from_u32(cp).ok_or_else(|| {
+                                WireParseError::new("\\u escape is not a scalar value")
+                            })?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(WireParseError::new("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the line is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| WireParseError::new("non-UTF-8 string body"))?;
+                    let c = s.chars().next().ok_or_else(|| {
+                        WireParseError::new("unterminated string")
+                    })?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_line_round_trips() {
+        let resp = WireResponse::ok("cad", "CAD View v:\n| a | b |\n\ttab \"quote\" \\slash");
+        let parsed = WireResponse::parse(&resp.to_line()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn err_line_round_trips() {
+        let resp = WireResponse::err("BUSY", "server at capacity (8 connections)");
+        let line = resp.to_line();
+        assert!(line.contains("\"ok\":false"));
+        assert!(line.contains("\"code\":\"BUSY\""));
+        assert_eq!(WireResponse::parse(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn control_characters_survive() {
+        let resp = WireResponse::ok("text", "bell\u{7} and \u{1f} end");
+        let line = resp.to_line();
+        assert!(line.contains("\\u0007"));
+        assert_eq!(WireResponse::parse(&line).unwrap().text, "bell\u{7} and \u{1f} end");
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let parsed =
+            WireResponse::parse("{\"ok\":true,\"kind\":\"text\",\"text\":\"x\",\"extra\":42}")
+                .unwrap();
+        assert!(parsed.ok);
+        assert_eq!(parsed.text, "x");
+    }
+
+    #[test]
+    fn malformed_lines_error_not_panic() {
+        for bad in [
+            "",
+            "{",
+            "nonsense",
+            "{\"ok\":\"yes\"}",
+            "{\"ok\":true",
+            "{\"ok\":true}trailing",
+            "{\"ok\":true,\"text\":\"\\u12\"}",
+            "{\"ok\":true,\"text\":[1,2]}",
+            "{\"ok\":true,\"text\":\"\\ud800\"}",
+        ] {
+            assert!(WireResponse::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn query_error_codes_cover_variants() {
+        let err: QueryError = dbex_query::ParseError::UnexpectedEnd.into();
+        assert_eq!(query_error_code(&err), "PARSE");
+    }
+}

@@ -14,27 +14,42 @@
 //! [`dbex_table::View::fingerprint`] hashes the table's process-unique id
 //! together with the exact row selection, so there is no explicit
 //! invalidation protocol: any change to the selection (or a reloaded table)
-//! produces a different key and simply misses. Stale entries for dead views
-//! are bounded by [`MAX_ENTRIES`] per map — when a map fills up it is
-//! cleared wholesale, which only costs recomputation, never correctness.
+//! produces a different key and simply misses. Entries for dead views are
+//! bounded by [`MAX_ENTRIES`] per map — when a map fills up the
+//! least-recently-used entry is evicted, which only costs recomputation,
+//! never correctness: a fingerprint either finds the value built for
+//! exactly that key or misses and rebuilds.
 //!
 //! # Concurrency
 //!
-//! The cache is `Sync` and lock-based; builds run *outside* the lock, so
-//! parallel workers scoring different attributes never serialize on each
-//! other's computation. Two threads racing on the same key may both build;
-//! the results are deterministic and identical, so either insert is fine.
+//! The cache is `Sync` and shared process-wide by `dbex-serve`: every
+//! connection's session points at the same instance, so one client's CAD
+//! build warms every other client's refinements. Each map is sharded
+//! ([`SHARD_COUNT`] ways, keyed on the entry hash) so concurrent sessions
+//! touching different keys rarely contend on the same `Mutex`, and builds
+//! run *outside* the lock, so parallel workers scoring different
+//! attributes never serialize on each other's computation. Two threads
+//! racing on the same key may both build; the results are deterministic
+//! and identical, so either insert is fine.
 
 use crate::chi2::ContingencyTable;
 use crate::discretize::AttributeCodec;
 use crate::error::StatsError;
 use crate::histogram::BinningStrategy;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-/// Per-map entry cap; reaching it clears the map (see module docs).
+/// Per-map entry cap; reaching it evicts the least-recently-used entry
+/// (see the module docs).
 pub const MAX_ENTRIES: usize = 1024;
+
+/// Lock shards per map. Sized for "a few dozen concurrent sessions": the
+/// probability of two random keys colliding on a shard is 1/8, and the
+/// critical sections are a `HashMap` probe, so contention is negligible.
+pub const SHARD_COUNT: usize = 8;
 
 /// Key for a memoized [`AttributeCodec`] (histogram + labels).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,12 +128,14 @@ pub struct ClusterSolution {
 pub type CentroidHistogram = (Vec<u32>, u32);
 
 /// Counters and sizes reported by [`StatsCache::stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
+    /// Entries dropped by LRU eviction (capacity pressure, not staleness).
+    pub evictions: u64,
     /// Live codec entries.
     pub codec_entries: usize,
     /// Live contingency-table entries.
@@ -139,18 +156,117 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// Locks a shard, recovering the data from a poisoned mutex: every value
+/// in the maps is immutable once inserted (entries are `Arc`ed and only
+/// added or removed whole), so a panic mid-operation cannot leave a
+/// half-written value behind.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One shard's storage: value plus its last-touched stamp.
+type Shard<K, V> = HashMap<K, (Arc<V>, u64)>;
+
+/// A sharded, LRU-evicting map from `K` to `Arc<V>`.
+///
+/// Each shard is an independent `Mutex<HashMap>` holding entries tagged
+/// with a last-touched stamp drawn from one shared atomic tick. Lookups
+/// refresh the stamp; inserts into a full shard evict that shard's
+/// least-recently-touched entry first. Eviction scans the shard (O(shard
+/// size)), which at ≤ [`MAX_ENTRIES`]`/`[`SHARD_COUNT`] entries is cheaper
+/// than maintaining linked LRU order on every hit.
+#[derive(Debug)]
+struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    cap_per_shard: usize,
+    tick: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
+    fn new(total_cap: usize) -> Self {
+        ShardedLru {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            cap_per_shard: total_cap.div_ceil(SHARD_COUNT).max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, (Arc<V>, u64)>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// Looks `key` up, refreshing its recency stamp on a hit.
+    fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut map = lock(self.shard(key));
+        map.get_mut(key).map(|entry| {
+            entry.1 = self.tick.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&entry.0)
+        })
+    }
+
+    /// Inserts `key`, evicting the shard's least-recently-used entry when
+    /// the shard is full and `key` is new.
+    fn insert(&self, key: K, value: Arc<V>) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = lock(self.shard(&key));
+        if map.len() >= self.cap_per_shard && !map.contains_key(&key) {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, (_, touched))| *touched)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                dbex_obs::counter!("stats.cache.evictions").incr(1);
+            }
+        }
+        map.insert(key, (value, stamp));
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            lock(shard).clear();
+        }
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
 /// Memoization cache for per-view statistics. See the module docs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StatsCache {
-    codecs: Mutex<HashMap<CodecKey, Arc<AttributeCodec>>>,
-    tables: Mutex<HashMap<ContingencyKey, Arc<ContingencyTable>>>,
-    clusters: Mutex<HashMap<ClusterKey, Arc<ClusterSolution>>>,
+    codecs: ShardedLru<CodecKey, AttributeCodec>,
+    tables: ShardedLru<ContingencyKey, ContingencyTable>,
+    clusters: ShardedLru<ClusterKey, ClusterSolution>,
     /// Latest centroid histograms per warm-start identity (pivot value +
     /// attribute set + params), for seeding k-means after the partition
     /// *changed*.
-    warm: Mutex<HashMap<u64, Arc<Vec<CentroidHistogram>>>>,
+    warm: ShardedLru<u64, Vec<CentroidHistogram>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for StatsCache {
+    fn default() -> Self {
+        StatsCache {
+            codecs: ShardedLru::new(MAX_ENTRIES),
+            tables: ShardedLru::new(MAX_ENTRIES),
+            clusters: ShardedLru::new(MAX_ENTRIES),
+            warm: ShardedLru::new(MAX_ENTRIES),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl StatsCache {
@@ -180,20 +296,13 @@ impl StatsCache {
         key: CodecKey,
         build: impl FnOnce() -> Result<AttributeCodec, StatsError>,
     ) -> Result<Arc<AttributeCodec>, StatsError> {
-        if let Ok(map) = self.codecs.lock() {
-            if let Some(hit) = map.get(&key) {
-                self.hit();
-                return Ok(Arc::clone(hit));
-            }
+        if let Some(hit) = self.codecs.get(&key) {
+            self.hit();
+            return Ok(hit);
         }
         self.miss();
         let built = Arc::new(build()?);
-        if let Ok(mut map) = self.codecs.lock() {
-            if map.len() >= MAX_ENTRIES {
-                map.clear();
-            }
-            map.insert(key, Arc::clone(&built));
-        }
+        self.codecs.insert(key, Arc::clone(&built));
         Ok(built)
     }
 
@@ -206,20 +315,13 @@ impl StatsCache {
         key: ContingencyKey,
         build: impl FnOnce() -> Option<ContingencyTable>,
     ) -> Option<Arc<ContingencyTable>> {
-        if let Ok(map) = self.tables.lock() {
-            if let Some(hit) = map.get(&key) {
-                self.hit();
-                return Some(Arc::clone(hit));
-            }
+        if let Some(hit) = self.tables.get(&key) {
+            self.hit();
+            return Some(hit);
         }
         self.miss();
         let built = Arc::new(build()?);
-        if let Ok(mut map) = self.tables.lock() {
-            if map.len() >= MAX_ENTRIES {
-                map.clear();
-            }
-            map.insert(key, Arc::clone(&built));
-        }
+        self.tables.insert(key, Arc::clone(&built));
         Some(built)
     }
 
@@ -230,11 +332,9 @@ impl StatsCache {
     /// success via [`Self::cluster_insert`]. Hits and misses count toward
     /// [`Self::stats`].
     pub fn cluster_lookup(&self, key: &ClusterKey) -> Option<Arc<ClusterSolution>> {
-        if let Ok(map) = self.clusters.lock() {
-            if let Some(hit) = map.get(key) {
-                self.hit();
-                return Some(Arc::clone(hit));
-            }
+        if let Some(hit) = self.clusters.get(key) {
+            self.hit();
+            return Some(hit);
         }
         self.miss();
         None
@@ -242,12 +342,7 @@ impl StatsCache {
 
     /// Memoizes a cluster solution under `key` (see [`Self::cluster_lookup`]).
     pub fn cluster_insert(&self, key: ClusterKey, solution: ClusterSolution) {
-        if let Ok(mut map) = self.clusters.lock() {
-            if map.len() >= MAX_ENTRIES {
-                map.clear();
-            }
-            map.insert(key, Arc::new(solution));
-        }
+        self.clusters.insert(key, Arc::new(solution));
     }
 
     /// The most recent centroid histograms stored under a warm-start
@@ -257,48 +352,35 @@ impl StatsCache {
     /// seeding hints for a clustering that runs regardless, not avoided
     /// recomputation.
     pub fn warm_centroids(&self, key: u64) -> Option<Arc<Vec<CentroidHistogram>>> {
-        self.warm
-            .lock()
-            .ok()
-            .and_then(|map| map.get(&key).map(Arc::clone))
+        self.warm.get(&key)
     }
 
     /// Stores (replacing) the centroid histograms for a warm-start
     /// identity.
     pub fn set_warm_centroids(&self, key: u64, centroids: Vec<CentroidHistogram>) {
-        if let Ok(mut map) = self.warm.lock() {
-            if map.len() >= MAX_ENTRIES {
-                map.clear();
-            }
-            map.insert(key, Arc::new(centroids));
-        }
+        self.warm.insert(key, Arc::new(centroids));
     }
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        if let Ok(mut map) = self.codecs.lock() {
-            map.clear();
-        }
-        if let Ok(mut map) = self.tables.lock() {
-            map.clear();
-        }
-        if let Ok(mut map) = self.clusters.lock() {
-            map.clear();
-        }
-        if let Ok(mut map) = self.warm.lock() {
-            map.clear();
-        }
+        self.codecs.clear();
+        self.tables.clear();
+        self.clusters.clear();
+        self.warm.clear();
     }
 
-    /// Snapshot of hit/miss counters and live entry counts.
+    /// Snapshot of hit/miss/eviction counters and live entry counts.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            codec_entries: self.codecs.lock().map(|m| m.len()).unwrap_or(0),
-            contingency_entries: self.tables.lock().map(|m| m.len()).unwrap_or(0),
-            cluster_entries: self.clusters.lock().map(|m| m.len()).unwrap_or(0)
-                + self.warm.lock().map(|m| m.len()).unwrap_or(0),
+            evictions: self.codecs.evictions()
+                + self.tables.evictions()
+                + self.clusters.evictions()
+                + self.warm.evictions(),
+            codec_entries: self.codecs.len(),
+            contingency_entries: self.tables.len(),
+            cluster_entries: self.clusters.len() + self.warm.len(),
         }
     }
 }
@@ -320,6 +402,21 @@ mod tests {
         Ok(AttributeCodec::Categorical {
             labels: vec!["a".into(), "b".into()],
         })
+    }
+
+    /// A codec whose labels encode the key that built it, so a lookup can
+    /// verify it got the value for *its* fingerprint and nobody else's.
+    fn codec_for(fp: u64) -> Result<AttributeCodec, StatsError> {
+        Ok(AttributeCodec::Categorical {
+            labels: vec![format!("fp{fp}")],
+        })
+    }
+
+    fn codec_label(codec: &AttributeCodec) -> String {
+        match codec {
+            AttributeCodec::Categorical { labels } => labels.join(","),
+            other => format!("{other:?}"),
+        }
     }
 
     #[test]
@@ -426,20 +523,92 @@ mod tests {
     }
 
     #[test]
-    fn clear_and_capacity() {
+    fn capacity_is_bounded_by_lru_eviction() {
         let cache = StatsCache::new();
-        for i in 0..MAX_ENTRIES {
+        // Twice the cap: the map must stay bounded and evict, not grow.
+        for i in 0..2 * MAX_ENTRIES {
             cache.codec_with(codec_key(i as u64, 0), some_codec).unwrap();
         }
-        assert_eq!(cache.stats().codec_entries, MAX_ENTRIES);
-        // At capacity the map is cleared before the next insert.
-        cache
-            .codec_with(codec_key(u64::MAX, 0), some_codec)
-            .unwrap();
-        assert_eq!(cache.stats().codec_entries, 1);
+        let s = cache.stats();
+        assert!(
+            s.codec_entries <= MAX_ENTRIES,
+            "codec map exceeded its cap: {} entries",
+            s.codec_entries
+        );
+        assert!(s.codec_entries > 0);
+        assert!(s.evictions > 0, "over-cap inserts must evict");
         cache.clear();
         assert_eq!(cache.stats().codec_entries, 0);
         assert!(cache.stats().misses > 0, "counters survive clear");
+    }
+
+    #[test]
+    fn eviction_prefers_the_least_recently_used_entry() {
+        let lru: ShardedLru<u64, u64> = ShardedLru::new(SHARD_COUNT); // 1 entry per shard
+        // Find two keys landing on the same shard.
+        let hasher = |k: &u64| {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            (h.finish() as usize) % SHARD_COUNT
+        };
+        let a = 0u64;
+        let b = (1..).find(|k| hasher(k) == hasher(&a)).unwrap();
+        let c = (b + 1..).find(|k| hasher(k) == hasher(&a)).unwrap();
+        lru.insert(a, Arc::new(100));
+        lru.insert(b, Arc::new(200)); // shard full: evicts a (LRU)
+        assert!(lru.get(&a).is_none());
+        assert_eq!(*lru.get(&b).unwrap(), 200);
+        lru.insert(c, Arc::new(300)); // b was just touched, still evict-safe? no: shard cap 1
+        assert!(lru.get(&b).is_none(), "cap-1 shard keeps only the newest");
+        assert_eq!(*lru.get(&c).unwrap(), 300);
+        assert_eq!(lru.evictions(), 2);
+    }
+
+    #[test]
+    fn eviction_never_serves_a_stale_fingerprint() {
+        let cache = StatsCache::new();
+        // Fill far past capacity with self-describing values.
+        for i in 0..3 * MAX_ENTRIES as u64 {
+            cache.codec_with(codec_key(i, 0), || codec_for(i)).unwrap();
+        }
+        assert!(cache.stats().evictions > 0);
+        // Every fingerprint — evicted or live — must come back with *its*
+        // value: a hit returns the codec built for that exact key, and an
+        // evicted key rebuilds rather than aliasing another entry.
+        for i in (0..3 * MAX_ENTRIES as u64).step_by(17) {
+            let got = cache.codec_with(codec_key(i, 0), || codec_for(i)).unwrap();
+            assert_eq!(
+                codec_label(&got),
+                format!("fp{i}"),
+                "fingerprint {i} served a stale or aliased entry"
+            );
+        }
+        // Same check after re-inserting over an evicted key: the rebuilt
+        // value replaces, never resurrects, the old entry.
+        let fresh = cache
+            .codec_with(
+                CodecKey { bins: 9, ..codec_key(0, 0) },
+                || codec_for(999),
+            )
+            .unwrap();
+        assert_eq!(codec_label(&fresh), "fp999");
+    }
+
+    #[test]
+    fn hot_entries_survive_cold_scans() {
+        let cache = StatsCache::new();
+        let hot = codec_key(u64::MAX, 7);
+        cache.codec_with(hot, || codec_for(7)).unwrap();
+        // A cold scan twice the cache size, touching the hot key between
+        // batches the way a session's pinned view does.
+        for i in 0..2 * MAX_ENTRIES as u64 {
+            cache.codec_with(codec_key(i, 0), some_codec).unwrap();
+            if i % 64 == 0 {
+                cache.codec_with(hot, || panic!("hot entry evicted")).unwrap();
+            }
+        }
+        let got = cache.codec_with(hot, || panic!("hot entry evicted")).unwrap();
+        assert_eq!(codec_label(&got), "fp7");
     }
 
     #[test]
@@ -460,5 +629,29 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 200);
         assert!(s.codec_entries >= 8);
+    }
+
+    #[test]
+    fn concurrent_insert_scan_keeps_every_lookup_consistent() {
+        // Hammer one cache from writers that overflow capacity and readers
+        // that verify value identity: no lookup may ever observe a value
+        // that belongs to a different key.
+        let cache = Arc::new(StatsCache::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for round in 0..3u64 {
+                        for i in 0..MAX_ENTRIES as u64 {
+                            let fp = (t * 31 + round * 7 + i) % (MAX_ENTRIES as u64 * 2);
+                            let got = cache
+                                .codec_with(codec_key(fp, 0), || codec_for(fp))
+                                .unwrap();
+                            assert_eq!(codec_label(&got), format!("fp{fp}"));
+                        }
+                    }
+                });
+            }
+        });
     }
 }

@@ -23,6 +23,17 @@
 # regresses by more than 25% on any comparable workload. This takes
 # minutes and measures real wall-clock, so it is opt-in, not part of the
 # default gate.
+#
+# The serve smoke (also available alone via `--serve-smoke`) boots the
+# wire server in-process, replays an exploration script through three
+# concurrent clients, and fails unless every transcript is byte-identical
+# to the single-session oracle AND to the committed golden snapshot
+# (tests/snapshots/serve_smoke.txt); it is part of the default gate.
+#
+# `--serve-soak` runs the ignored-by-default 60-second hostile-workload
+# soak (mid-request disconnects, oversized/truncated frames, connection
+# hammers over the cap) in release mode; shorten with
+# DBEX_SERVE_SOAK_SECS. Opt-in because of its wall-clock cost.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,18 +41,34 @@ cd "$(dirname "$0")/.."
 BENCH_SMOKE=0
 BENCH_REGRESSION=0
 OBS_SMOKE_ONLY=0
+SERVE_SMOKE_ONLY=0
+SERVE_SOAK=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --bench-regression) BENCH_REGRESSION=1 ;;
     --obs-smoke) OBS_SMOKE_ONLY=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--obs-smoke]" >&2; exit 2 ;;
+    --serve-smoke) SERVE_SMOKE_ONLY=1 ;;
+    --serve-soak) SERVE_SOAK=1 ;;
+    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--obs-smoke] [--serve-smoke] [--serve-soak]" >&2; exit 2 ;;
   esac
 done
 
 if [[ "$OBS_SMOKE_ONLY" -eq 1 ]]; then
   echo "==> obs smoke (traced build against the in-memory sink)"
   cargo run --release --bin obs_smoke
+  exit 0
+fi
+
+if [[ "$SERVE_SMOKE_ONLY" -eq 1 ]]; then
+  echo "==> serve smoke (3 concurrent clients vs oracle + golden transcript)"
+  cargo run --release --bin serve_smoke
+  exit 0
+fi
+
+if [[ "$SERVE_SOAK" -eq 1 ]]; then
+  echo "==> serve soak (hostile mixed workload, ${DBEX_SERVE_SOAK_SECS:-60}s)"
+  cargo test --release --test serve_soak -- --ignored --nocapture
   exit 0
 fi
 
@@ -56,6 +83,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> obs smoke (traced build against the in-memory sink)"
 cargo run --release --bin obs_smoke
+
+echo "==> serve smoke (3 concurrent clients vs oracle + golden transcript)"
+cargo run --release --bin serve_smoke
 
 if [[ "$BENCH_SMOKE" -eq 1 ]]; then
   echo "==> bench smoke (bench_suite --quick, DBEX_THREADS=2)"

@@ -25,11 +25,184 @@
 use dbexplorer::core::ExecBudget;
 use dbexplorer::data::{HotelsGenerator, MushroomGenerator, UsedCarsGenerator};
 use dbexplorer::query::{QueryOutput, Session};
+use dbexplorer::serve::{Client, ClientError, ServeConfig, Server};
 use std::collections::BTreeSet;
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--serve") => {
+            std::process::exit(run_serve(&args[1..]));
+        }
+        Some("--connect") => {
+            std::process::exit(run_connect(&args[1..]));
+        }
+        Some("--help" | "-h") => {
+            println!(
+                "usage: dbex                                  interactive local shell\n\
+                 \x20      dbex --serve <addr> [--max-conns N] [--time-limit-ms N] [--threads N]\n\
+                 \x20                                           serve the wire protocol on <addr>\n\
+                 \x20      dbex --connect <addr>                REPL against a running server"
+            );
+            return;
+        }
+        Some(other) => {
+            eprintln!("unknown flag {other}; try --help");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    run_repl();
+}
+
+/// `dbex --serve <addr>`: bind, preload nothing (clients `.load` into the
+/// shared catalog), and serve until the process is killed.
+fn run_serve(args: &[String]) -> i32 {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: dbex --serve <addr> [--max-conns N] [--time-limit-ms N] [--threads N]");
+        return 2;
+    };
+    let mut config = ServeConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(raw) = it.next() else {
+            eprintln!("{flag} needs a value");
+            return 2;
+        };
+        let parsed: u64 = match raw.parse() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bad value {raw:?} for {flag}: {e}");
+                return 2;
+            }
+        };
+        match flag.as_str() {
+            "--max-conns" => config.max_connections = parsed as usize,
+            "--time-limit-ms" => config.request_time_limit = Some(Duration::from_millis(parsed)),
+            "--threads" => config.threads = parsed as usize,
+            other => {
+                eprintln!("unknown flag {other} for --serve");
+                return 2;
+            }
+        }
+    }
+    let server = match Server::bind(addr.as_str(), config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "dbex-serve listening on {} (max {} connections{})",
+        server.local_addr(),
+        config.max_connections,
+        match config.request_time_limit {
+            Some(limit) => format!(", {}ms/request", limit.as_millis()),
+            None => String::new(),
+        }
+    );
+    let handle = match server.spawn() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start the accept thread: {e}");
+            return 1;
+        }
+    };
+    // Serve until killed: the accept loop runs on its own thread, so park
+    // the main thread instead of spinning.
+    loop {
+        std::thread::park();
+        // Spurious unparks are permitted by the API; keep serving.
+        let _ = &handle;
+    }
+}
+
+/// `dbex --connect <addr>`: the familiar REPL surface, but every
+/// statement travels the wire and the rendered text comes back from the
+/// server (byte-identical to the local shell's output).
+fn run_connect(args: &[String]) -> i32 {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: dbex --connect <addr>");
+        return 2;
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(ClientError::Busy(msg)) => {
+            eprintln!("server busy: {msg}");
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    println!("connected to {addr} — {}", client.hello().text);
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("dbex> ");
+        } else {
+            print!("  ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if trimmed == ".quit" || trimmed == ".exit" {
+                break;
+            }
+            if !send_and_print(&mut client, trimmed) {
+                return 1;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') || trimmed.is_empty() {
+            let statement = std::mem::take(&mut buffer);
+            if !statement.trim().is_empty() && !send_and_print(&mut client, statement.trim()) {
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// Sends one request; prints the response. Returns `false` when the
+/// connection is unusable (the caller exits).
+fn send_and_print(client: &mut Client, request: &str) -> bool {
+    match client.request(request) {
+        Ok(resp) if resp.ok => {
+            print!("{}", resp.text);
+            true
+        }
+        Ok(resp) => {
+            println!(
+                "error [{}]: {}",
+                resp.code.as_deref().unwrap_or("?"),
+                resp.text
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("connection lost: {e}");
+            false
+        }
+    }
+}
+
+fn run_repl() {
     let mut shell = Shell::new();
     println!("DBExplorer shell — .help for commands, .quit to exit");
     let stdin = std::io::stdin();
@@ -362,75 +535,5 @@ fn render_budget(budget: &ExecBudget) -> String {
 }
 
 fn print_output(output: &QueryOutput) {
-    match output {
-        QueryOutput::Rows { columns, rows } => {
-            // Column widths over header + up to 40 shown rows.
-            let shown = rows.len().min(40);
-            let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
-            let cells: Vec<Vec<String>> = rows[..shown]
-                .iter()
-                .map(|r| r.iter().map(|v| v.to_string()).collect())
-                .collect();
-            for row in &cells {
-                for (w, cell) in widths.iter_mut().zip(row) {
-                    *w = (*w).max(cell.len());
-                }
-            }
-            let print_row = |cells: &[String]| {
-                let line: Vec<String> = cells
-                    .iter()
-                    .zip(&widths)
-                    .map(|(c, w)| format!("{c:<w$}"))
-                    .collect();
-                println!("| {} |", line.join(" | "));
-            };
-            print_row(&columns.to_vec());
-            println!(
-                "|{}|",
-                widths
-                    .iter()
-                    .map(|w| "-".repeat(w + 2))
-                    .collect::<Vec<_>>()
-                    .join("|")
-            );
-            for row in &cells {
-                print_row(row);
-            }
-            if rows.len() > shown {
-                println!("... ({} rows total)", rows.len());
-            }
-        }
-        QueryOutput::Cad {
-            name,
-            rendered,
-            degradation,
-            trace,
-        } => {
-            println!("CAD View {name}:");
-            println!("{rendered}");
-            if let Some(trace) = trace {
-                println!("trace (per-phase spans):");
-                for line in trace.lines() {
-                    println!("  {line}");
-                }
-            }
-            for d in degradation {
-                println!("warning: degraded build: {d}");
-            }
-        }
-        QueryOutput::Highlights(hits) => {
-            if hits.is_empty() {
-                println!("(no IUnits above the threshold)");
-            }
-            for (value, id, sim) in hits {
-                println!("{value} IUnit {id}: similarity {sim:.2}");
-            }
-        }
-        QueryOutput::Reordered(order) => {
-            for (value, distance) in order {
-                println!("{value} (distance {distance})");
-            }
-        }
-        QueryOutput::Text(text) => println!("{text}"),
-    }
+    print!("{}", output.render());
 }

@@ -1,0 +1,118 @@
+//! `serve_smoke` — CI gate for the wire server (`scripts/check.sh
+//! --serve-smoke`).
+//!
+//! Boots an in-process server with a preloaded dataset, replays the same
+//! exploration script through three concurrent clients, and requires:
+//!
+//! 1. every client's transcript is byte-identical to the single-session
+//!    oracle ([`dbexplorer::serve::oracle_transcript`]),
+//! 2. the transcript matches the golden file
+//!    `tests/snapshots/serve_smoke.txt` (regenerate with
+//!    `UPDATE_SNAPSHOTS=1`),
+//! 3. the shared stats cache saw hits (clients after the first reuse the
+//!    first client's CAD work).
+//!
+//! Exits nonzero with a labeled diff on any mismatch.
+
+use dbexplorer::data::UsedCarsGenerator;
+use dbexplorer::serve::{oracle_transcript, Client, ServeConfig, Server};
+
+const ROWS: usize = 3_000;
+const SEED: u64 = 7;
+const CLIENTS: usize = 3;
+
+const SCRIPT: &[&str] = &[
+    ".ping",
+    ".tables",
+    "SELECT Make, Model, Price FROM cars WHERE BodyType = SUV LIMIT 5",
+    "CREATE CADVIEW v AS SET pivot = Make FROM cars WHERE BodyType = SUV LIMIT COLUMNS 3 IUNITS 2",
+    "HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(Ford, 1) > 0.5",
+    "REORDER ROWS IN v ORDER BY SIMILARITY(Jeep) DESC",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let config = ServeConfig::default();
+    let oracle = oracle_transcript(
+        vec![("cars".to_owned(), UsedCarsGenerator::new(SEED).generate(ROWS))],
+        &config,
+        SCRIPT,
+    );
+    let golden = format!("{}\n", oracle.join("\n"));
+
+    let snapshot = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots/serve_smoke.txt");
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&snapshot, &golden)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", snapshot.display())));
+        println!("serve_smoke: updated {}", snapshot.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&snapshot).unwrap_or_else(|e| {
+        fail(&format!(
+            "cannot read {} ({e}); regenerate with UPDATE_SNAPSHOTS=1",
+            snapshot.display()
+        ))
+    });
+    if expected != golden {
+        eprintln!("--- golden (tests/snapshots/serve_smoke.txt)\n+++ oracle (current code)");
+        for (i, (want, got)) in expected.lines().zip(golden.lines()).enumerate() {
+            if want != got {
+                eprintln!("line {}:\n- {want}\n+ {got}", i + 1);
+            }
+        }
+        fail("oracle transcript diverges from the golden snapshot (UPDATE_SNAPSHOTS=1 to accept)");
+    }
+
+    let server = Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| fail(&e.to_string()));
+    server.preload("cars", UsedCarsGenerator::new(SEED).generate(ROWS));
+    let cache = server.cache();
+    let handle = server.spawn().unwrap_or_else(|e| fail(&e.to_string()));
+
+    let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect(addr).unwrap_or_else(|e| fail(&e.to_string()));
+                    SCRIPT
+                        .iter()
+                        .map(|req| {
+                            client.request_line(req).unwrap_or_else(|e| fail(&e.to_string()))
+                        })
+                        .collect::<Vec<String>>()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    });
+
+    for (i, transcript) in transcripts.iter().enumerate() {
+        if transcript != &oracle {
+            for (j, (want, got)) in oracle.iter().zip(transcript).enumerate() {
+                if want != got {
+                    eprintln!("client {i}, request {:?}:\n- {want}\n+ {got}", SCRIPT[j]);
+                }
+            }
+            fail(&format!("client {i} transcript diverges from the oracle"));
+        }
+    }
+
+    let stats = cache.stats();
+    if stats.hits == 0 {
+        fail(&format!(
+            "expected shared-cache hits across {CLIENTS} clients, saw none ({stats})"
+        ));
+    }
+
+    handle.shutdown();
+    println!(
+        "serve_smoke: OK ({CLIENTS} clients x {} requests byte-identical; shared cache: {stats})",
+        SCRIPT.len()
+    );
+}

@@ -15,6 +15,8 @@
 //! * [`core`] — the CAD View itself: builder, similarity, TPFacet.
 //! * [`obs`] — first-party observability: span traces, metrics registry,
 //!   trace sinks, and the timing-masking helpers used by snapshot tests.
+//! * [`serve`] — concurrent TCP wire server: shared catalog + shared
+//!   stats cache, length-prefixed requests, JSON-line responses.
 //! * [`data`] — synthetic UsedCars / Mushroom dataset generators.
 //! * [`study`] — the simulated user study reproducing Section 6.2.
 //!
@@ -43,6 +45,7 @@ pub use dbex_core as core;
 pub use dbex_data as data;
 pub use dbex_facet as facet;
 pub use dbex_query as query;
+pub use dbex_serve as serve;
 pub use dbex_stats as stats;
 pub use dbex_study as study;
 pub use dbex_table as table;

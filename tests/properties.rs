@@ -402,3 +402,117 @@ proptest! {
         }
     }
 }
+
+/// Arbitrary valid UTF-8 (including multi-byte sequences: lossy decoding
+/// of random bytes inserts U+FFFD replacement characters).
+fn arb_utf8() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..255, 0..300)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Wire protocol: the framing layer must round-trip any UTF-8 and
+    // turn any malformed input into a typed error — never a panic.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn frames_round_trip_any_utf8(msg in arb_utf8()) {
+        use dbexplorer::serve::{decode_frame, encode_frame};
+        let frame = encode_frame(&msg).unwrap();
+        let (decoded, consumed) = decode_frame(&frame).unwrap().expect("complete frame");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn concatenated_frames_stream_back_in_order(msgs in prop::collection::vec(arb_utf8(), 0..8)) {
+        use dbexplorer::serve::{encode_frame, read_frame};
+        let mut buf = Vec::new();
+        for msg in &msgs {
+            buf.extend(encode_frame(msg).unwrap());
+        }
+        let mut stream: &[u8] = &buf;
+        for msg in &msgs {
+            let got = read_frame(&mut stream).unwrap().expect("frame per message");
+            prop_assert_eq!(&got, msg);
+        }
+        // After the last frame: clean EOF, not an error.
+        prop_assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in prop::collection::vec(0u8..255, 0..600)) {
+        use dbexplorer::serve::{decode_frame, read_frame};
+        // Buffered decode: any result is fine, a panic is not.
+        let _ = decode_frame(&bytes);
+        // Streaming decode: drain the input; every frame either decodes,
+        // asks for more (clean EOF), or fails typed.
+        let mut stream: &[u8] = &bytes;
+        while let Ok(Some(_)) = read_frame(&mut stream) {}
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors(msg in arb_utf8(), cut_seed in 0usize..10_000) {
+        use dbexplorer::serve::{decode_frame, encode_frame, read_frame, ProtocolError};
+        let frame = encode_frame(&msg).unwrap();
+        let cut = cut_seed % frame.len(); // frame.len() >= 4, cut < len
+        // A buffered prefix just asks for more bytes...
+        prop_assert!(decode_frame(&frame[..cut]).unwrap().is_none());
+        // ...but a *stream* ending there is a typed truncation (or, at
+        // cut 0, a clean EOF).
+        let mut stream = &frame[..cut];
+        match read_frame(&mut stream) {
+            Ok(None) => prop_assert_eq!(cut, 0, "mid-frame EOF reported as clean"),
+            Err(ProtocolError::Truncated { expected, got }) => {
+                prop_assert!(cut > 0);
+                prop_assert!(got < expected);
+            }
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn oversized_and_invalid_utf8_frames_are_typed(extra in 1usize..1000, bad_at in 0usize..50) {
+        use dbexplorer::serve::{decode_frame, ProtocolError, HEADER_LEN, MAX_FRAME};
+        // Oversized declaration: rejected from the header alone.
+        let declared = MAX_FRAME + extra;
+        let header = (declared as u32).to_be_bytes();
+        prop_assert!(matches!(
+            decode_frame(&header),
+            Err(ProtocolError::Oversized { declared: d, .. }) if d == declared
+        ));
+        // Invalid UTF-8 payload: typed, with the valid prefix length.
+        let mut payload = vec![b'a'; bad_at + 1];
+        payload[bad_at] = 0xFF;
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        match decode_frame(&buf) {
+            Err(ProtocolError::InvalidUtf8 { valid_up_to }) => {
+                prop_assert_eq!(valid_up_to, bad_at);
+            }
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
+        let _ = HEADER_LEN; // referenced for the doc link above
+    }
+
+    #[test]
+    fn wire_responses_round_trip_any_text(ok_bit in 0u8..2, tag in arb_utf8(), text in arb_utf8()) {
+        use dbexplorer::serve::WireResponse;
+        let resp = if ok_bit == 1 {
+            WireResponse::ok(&tag, &text)
+        } else {
+            WireResponse::err(&tag, &text)
+        };
+        let line = resp.to_line();
+        // JSON lines may not contain raw newlines or other C0 controls
+        // (DEL and C1 controls are legal unescaped JSON and may pass
+        // through).
+        prop_assert!(!line.contains('\n'));
+        prop_assert!(line.chars().all(|c| (c as u32) >= 0x20));
+        let parsed = WireResponse::parse(&line).unwrap();
+        prop_assert_eq!(parsed, resp);
+    }
+}

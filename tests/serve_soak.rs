@@ -1,0 +1,206 @@
+//! Soak test for the wire server: a hostile mixed workload sustained for
+//! `DBEX_SERVE_SOAK_SECS` (default 60) against a small connection cap.
+//!
+//! Ignored by default — run via `scripts/check.sh --serve-soak` or:
+//!
+//! ```text
+//! DBEX_SERVE_SOAK_SECS=10 cargo test --release --test serve_soak -- --ignored
+//! ```
+//!
+//! Worker zoo: well-behaved explorers, clients that disconnect
+//! mid-request, clients that abort mid-frame, oversized-frame senders,
+//! invalid-UTF-8 senders, and connection hammers that overrun the cap.
+//! Afterwards the server must show zero caught panics, `BUSY` rejections
+//! (the cap held under pressure), and a connection gauge back at 0 — no
+//! leaked sessions, threads, or slots.
+
+use dbexplorer::data::UsedCarsGenerator;
+use dbexplorer::serve::{Client, ClientError, ServeConfig, Server, MAX_FRAME};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CAP: usize = 8;
+
+fn soak_secs() -> u64 {
+    std::env::var("DBEX_SERVE_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+#[test]
+#[ignore = "long-running; invoked by scripts/check.sh --serve-soak"]
+fn hostile_mixed_workload_leaks_nothing() {
+    let config = ServeConfig {
+        max_connections: CAP,
+        request_time_limit: Some(Duration::from_millis(150)),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    server.preload("cars", UsedCarsGenerator::new(3).generate(4_000));
+    let handle = server.spawn().expect("spawn accept thread");
+    let addr = handle.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let busy_seen = Arc::new(AtomicU64::new(0));
+    let requests_ok = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        // 3 well-behaved explorers: full exploration rounds, reconnect
+        // politely (with backoff) when the hammers push the server to its
+        // cap.
+        for _ in 0..3 {
+            let stop = Arc::clone(&stop);
+            let busy_seen = Arc::clone(&busy_seen);
+            let requests_ok = Arc::clone(&requests_ok);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut client = match Client::connect(addr) {
+                        Ok(c) => c,
+                        Err(ClientError::Busy(_)) => {
+                            busy_seen.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(10));
+                            continue;
+                        }
+                        Err(_) => continue,
+                    };
+                    for request in [
+                        "SELECT Make FROM cars WHERE BodyType = SUV LIMIT 3",
+                        "CREATE CADVIEW v AS SET pivot = Make FROM cars LIMIT COLUMNS 2 IUNITS 2",
+                        "REORDER ROWS IN v ORDER BY SIMILARITY(Jeep) DESC",
+                        ".tables",
+                    ] {
+                        match client.request(request) {
+                            Ok(resp) => {
+                                assert!(resp.ok, "well-formed request failed: {request}");
+                                requests_ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => break, // hammered off; reconnect
+                        }
+                    }
+                }
+            });
+        }
+
+        // Mid-request disconnecter: fire an expensive build, vanish.
+        {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(mut client) = Client::connect(addr) {
+                        client.set_read_timeout(Some(Duration::from_millis(5))).ok();
+                        let _ = client.request(
+                            "CREATE CADVIEW big AS SET pivot = Model FROM cars IUNITS 4",
+                        );
+                        drop(client); // gone before (or just after) the response
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+
+        // Mid-frame aborter: declare 64 bytes, send 3, close.
+        {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(mut raw) = TcpStream::connect(addr) {
+                        let _ = raw.write_all(&64u32.to_be_bytes());
+                        let _ = raw.write_all(b"SEL");
+                        drop(raw);
+                    }
+                    std::thread::sleep(Duration::from_millis(7));
+                }
+            });
+        }
+
+        // Protocol abusers: oversized declarations and invalid UTF-8.
+        {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut flip = false;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(mut raw) = TcpStream::connect(addr) {
+                        if flip {
+                            let _ = raw.write_all(&((MAX_FRAME + 1) as u32).to_be_bytes());
+                        } else {
+                            let _ = raw.write_all(&2u32.to_be_bytes());
+                            let _ = raw.write_all(&[0x61, 0xFF]);
+                        }
+                        flip = !flip;
+                        let _ = raw.flush();
+                        std::thread::sleep(Duration::from_millis(2));
+                        drop(raw);
+                    }
+                    std::thread::sleep(Duration::from_millis(7));
+                }
+            });
+        }
+
+        // Connection hammer: 12 simultaneous holders against a cap of 8 —
+        // some MUST be turned away with BUSY, none may be queued forever.
+        {
+            let stop = Arc::clone(&stop);
+            let busy_seen = Arc::clone(&busy_seen);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let holders: Vec<_> = (0..12).filter_map(|_| {
+                        match Client::connect(addr) {
+                            Ok(mut c) => {
+                                let _ = c.request(".ping");
+                                Some(c)
+                            }
+                            Err(ClientError::Busy(_)) => {
+                                busy_seen.fetch_add(1, Ordering::Relaxed);
+                                None
+                            }
+                            Err(_) => None,
+                        }
+                    }).collect();
+                    drop(holders);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            });
+        }
+
+        let deadline = Instant::now() + Duration::from_secs(soak_secs());
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Every worker has exited and dropped its sockets; the server must
+    // release every slot.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.active_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    assert_eq!(handle.panics(), 0, "server caught panics during the soak");
+    assert_eq!(
+        handle.active_connections(),
+        0,
+        "connection slots leaked after all clients disconnected"
+    );
+    assert_eq!(
+        dbexplorer::obs::global().gauge("server.connections").get(),
+        0,
+        "server.connections gauge did not return to 0"
+    );
+    assert!(
+        handle.busy_rejections() > 0 || busy_seen.load(Ordering::Relaxed) > 0,
+        "12 holders against a cap of {CAP} never produced a BUSY rejection"
+    );
+    assert!(
+        requests_ok.load(Ordering::Relaxed) > 0,
+        "no well-behaved request succeeded during the soak"
+    );
+    let ok = requests_ok.load(Ordering::Relaxed);
+    let busy = handle.busy_rejections() + busy_seen.load(Ordering::Relaxed);
+    handle.shutdown();
+    println!("soak: {ok} ok requests, {busy} busy rejections, 0 panics, gauge at 0");
+}

@@ -144,6 +144,9 @@ impl QueryOutput {
 #[derive(Debug, Default)]
 pub struct SharedCatalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// Bumped on every mutation; snapshot code compares it against the
+    /// version it last persisted to decide whether the catalog is dirty.
+    version: std::sync::atomic::AtomicU64,
 }
 
 /// Locks, recovering from poisoning: the map holds `Arc`s that are only
@@ -169,6 +172,23 @@ impl SharedCatalog {
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .insert(name.into(), table);
+        self.version.fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Monotonic mutation counter. Two equal readings with no mutation in
+    /// between guarantee the catalog contents are unchanged.
+    pub fn version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// All registered tables, sorted by name — the unit a snapshot saves.
+    pub fn snapshot(&self) -> Vec<(String, Arc<Table>)> {
+        let mut tables: Vec<(String, Arc<Table>)> = read_catalog(&self.tables)
+            .iter()
+            .map(|(name, table)| (name.clone(), Arc::clone(table)))
+            .collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        tables
     }
 
     /// The table registered under `name`, if any.
@@ -215,6 +235,9 @@ pub struct Session {
     tracing: bool,
     /// Optional sink receiving the span tree of every traced build.
     trace_sink: Option<Arc<dyn TraceSink>>,
+    /// Set when a table is (re-)registered after the last `.save`, so the
+    /// REPL can warn about unsaved catalog changes.
+    catalog_dirty: bool,
 }
 
 impl Session {
@@ -233,7 +256,32 @@ impl Session {
     /// embed [`dbex_table::Table::id`]) agree across connections.
     pub fn register_shared(&mut self, name: impl Into<String>, table: Arc<Table>) {
         self.tables.insert(name.into(), table);
+        self.catalog_dirty = true;
         dbex_obs::gauge!("session.tables").set(self.tables.len() as i64);
+    }
+
+    /// Locally registered tables, sorted by name — what `.save <dir>`
+    /// snapshots. Catalog-shadowed tables belong to the server's own
+    /// snapshot cycle, not the session's.
+    pub fn tables_snapshot(&self) -> Vec<(String, Arc<Table>)> {
+        let mut tables: Vec<(String, Arc<Table>)> = self
+            .tables
+            .iter()
+            .map(|(name, table)| (name.clone(), Arc::clone(table)))
+            .collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        tables
+    }
+
+    /// Whether a table has been (re-)registered since the last
+    /// [`Session::mark_catalog_saved`].
+    pub fn catalog_dirty(&self) -> bool {
+        self.catalog_dirty
+    }
+
+    /// Records that the current catalog has been persisted.
+    pub fn mark_catalog_saved(&mut self) {
+        self.catalog_dirty = false;
     }
 
     /// Attaches (or with `None` detaches) a shared catalog consulted for

@@ -49,9 +49,11 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    decode_frame, encode_frame, read_frame, write_frame, ProtocolError, HEADER_LEN, MAX_FRAME,
+    decode_frame, decode_frame_with, encode_frame, encode_frame_with, read_frame, read_frame_with,
+    write_frame, ProtocolError, HEADER_LEN, MAX_FRAME,
 };
 pub use server::{
-    handle_request, oracle_transcript, ServeConfig, Server, ServerHandle, PIPELINE_DEPTH,
+    handle_request, oracle_transcript, ServeConfig, Server, ServerHandle, ShutdownSummary,
+    PIPELINE_DEPTH,
 };
 pub use wire::{query_error_code, WireParseError, WireResponse};

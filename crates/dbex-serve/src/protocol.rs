@@ -95,10 +95,16 @@ impl From<std::io::Error> for ProtocolError {
 /// Encodes `msg` as one frame. Fails (rather than silently truncating)
 /// when the message exceeds [`MAX_FRAME`].
 pub fn encode_frame(msg: &str) -> Result<Vec<u8>, ProtocolError> {
-    if msg.len() > MAX_FRAME {
+    encode_frame_with(msg, MAX_FRAME)
+}
+
+/// [`encode_frame`] against an explicit frame cap — the server's
+/// configurable [`crate::ServeConfig::max_frame_bytes`] limit.
+pub fn encode_frame_with(msg: &str, max_frame: usize) -> Result<Vec<u8>, ProtocolError> {
+    if msg.len() > max_frame {
         return Err(ProtocolError::Oversized {
             declared: msg.len(),
-            max: MAX_FRAME,
+            max: max_frame,
         });
     }
     let mut out = Vec::with_capacity(HEADER_LEN + msg.len());
@@ -118,14 +124,22 @@ pub fn encode_frame(msg: &str) -> Result<Vec<u8>, ProtocolError> {
 /// * `Err` — the frame can never become valid (oversized declaration,
 ///   non-UTF-8 payload).
 pub fn decode_frame(buf: &[u8]) -> Result<Option<(String, usize)>, ProtocolError> {
+    decode_frame_with(buf, MAX_FRAME)
+}
+
+/// [`decode_frame`] against an explicit frame cap.
+pub fn decode_frame_with(
+    buf: &[u8],
+    max_frame: usize,
+) -> Result<Option<(String, usize)>, ProtocolError> {
     if buf.len() < HEADER_LEN {
         return Ok(None);
     }
     let declared = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-    if declared > MAX_FRAME {
+    if declared > max_frame {
         return Err(ProtocolError::Oversized {
             declared,
-            max: MAX_FRAME,
+            max: max_frame,
         });
     }
     let total = HEADER_LEN + declared;
@@ -159,6 +173,12 @@ fn read_exact_counting(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, Proto
 /// * `Ok(None)` — clean EOF at a frame boundary (the peer closed).
 /// * `Err(Truncated)` — EOF inside a header or payload.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtocolError> {
+    read_frame_with(r, MAX_FRAME)
+}
+
+/// [`read_frame`] against an explicit frame cap. An over-cap declaration
+/// is rejected before a single payload byte is read or allocated.
+pub fn read_frame_with(r: &mut impl Read, max_frame: usize) -> Result<Option<String>, ProtocolError> {
     let mut header = [0u8; HEADER_LEN];
     let got = read_exact_counting(r, &mut header)?;
     if got == 0 {
@@ -171,10 +191,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtocolError> {
         });
     }
     let declared = u32::from_be_bytes(header) as usize;
-    if declared > MAX_FRAME {
+    if declared > max_frame {
         return Err(ProtocolError::Oversized {
             declared,
-            max: MAX_FRAME,
+            max: max_frame,
         });
     }
     let mut payload = vec![0u8; declared];
@@ -279,6 +299,32 @@ mod tests {
             read_frame(&mut cut),
             Err(ProtocolError::Truncated { expected: 6, got: 4 })
         ));
+    }
+
+    #[test]
+    fn explicit_caps_override_the_default() {
+        // A 100-byte payload is fine at the default cap but over a
+        // 64-byte one, from both the buffer and the stream paths.
+        let msg = "x".repeat(100);
+        let frame = encode_frame(&msg).unwrap();
+        assert!(matches!(
+            decode_frame_with(&frame, 64),
+            Err(ProtocolError::Oversized { declared: 100, max: 64 })
+        ));
+        let mut r = &frame[..];
+        assert!(matches!(
+            read_frame_with(&mut r, 64),
+            Err(ProtocolError::Oversized { declared: 100, max: 64 })
+        ));
+        assert!(matches!(
+            encode_frame_with(&msg, 64),
+            Err(ProtocolError::Oversized { declared: 100, max: 64 })
+        ));
+        // And a raised cap admits what the default refuses.
+        let big = "y".repeat(MAX_FRAME + 1);
+        let frame = encode_frame_with(&big, MAX_FRAME * 2).unwrap();
+        let (decoded, _) = decode_frame_with(&frame, MAX_FRAME * 2).unwrap().unwrap();
+        assert_eq!(decoded.len(), big.len());
     }
 
     #[test]

@@ -33,19 +33,21 @@
 //!    finishes on the cheapest degradation rungs instead of wasting the
 //!    server's time on an answer nobody will read.
 
-use crate::protocol::{read_frame, ProtocolError, MAX_FRAME};
+use crate::protocol::{read_frame_with, ProtocolError, MAX_FRAME};
 use crate::wire::{query_error_code, WireResponse};
 use dbex_core::{ExecBudget, StatsCache, Tracer};
 use dbex_data::{HotelsGenerator, MushroomGenerator, UsedCarsGenerator};
 use dbex_obs::TraceSink;
 use dbex_query::{QueryOutput, Session, SharedCatalog};
+use dbex_store::{RealVfs, SaveReport, StoreError};
 use dbex_table::Table;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -71,6 +73,18 @@ pub struct ServeConfig {
     /// When set, every request is traced (a `serve_request` root span with
     /// request/response byte counts) and the trace forwarded here.
     pub trace_sink: Option<Arc<dyn TraceSink>>,
+    /// Per-request frame cap; a frame declaring more is rejected with a
+    /// typed `OVERSIZED` response before any payload byte is read.
+    /// Defaults to [`MAX_FRAME`] (1 MiB).
+    pub max_frame_bytes: usize,
+    /// Snapshot directory for the durable catalog. When set,
+    /// [`Server::bind`] warm-restarts from the newest loadable generation
+    /// and [`ServerHandle::shutdown`] flushes a final snapshot.
+    pub data_dir: Option<PathBuf>,
+    /// Background autosave cadence. Snapshots are only written when the
+    /// catalog or the exact-cluster cache actually changed. Requires
+    /// `data_dir`.
+    pub autosave_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +94,9 @@ impl Default for ServeConfig {
             request_time_limit: None,
             threads: 1,
             trace_sink: None,
+            max_frame_bytes: MAX_FRAME,
+            data_dir: None,
+            autosave_interval: None,
         }
     }
 }
@@ -91,8 +108,18 @@ impl std::fmt::Debug for ServeConfig {
             .field("request_time_limit", &self.request_time_limit)
             .field("threads", &self.threads)
             .field("trace_sink", &self.trace_sink.is_some())
+            .field("max_frame_bytes", &self.max_frame_bytes)
+            .field("data_dir", &self.data_dir)
+            .field("autosave_interval", &self.autosave_interval)
             .finish()
     }
+}
+
+/// One tracked connection: the stream (to unblock its reader during a
+/// drain) and the executor thread (to join at shutdown).
+struct ConnSlot {
+    stream: Option<TcpStream>,
+    handle: JoinHandle<()>,
 }
 
 /// State shared by the accept loop, every connection, and the handle.
@@ -102,13 +129,54 @@ struct Shared {
     config: ServeConfig,
     active: AtomicUsize,
     shutdown: AtomicBool,
+    /// Graceful drain in progress: readers that hit EOF (because shutdown
+    /// half-closed their streams) must NOT fire the cancel flag, so
+    /// in-flight builds finish and their responses go out.
+    draining: AtomicBool,
     busy_rejections: AtomicU64,
     panics: AtomicU64,
+    /// Live connection threads, joined (bounded) at shutdown.
+    conns: Mutex<Vec<ConnSlot>>,
+    /// Serialises snapshot writes (wire `.save`, autosave, final flush).
+    save_lock: Mutex<()>,
+    /// Catalog version as of the last committed snapshot.
+    saved_catalog_version: AtomicU64,
+    /// Exact-cluster cache entry count as of the last committed snapshot.
+    saved_cluster_entries: AtomicUsize,
 }
 
 impl Shared {
     fn set_connections_gauge(&self) {
         dbex_obs::gauge!("server.connections").set(self.active.load(Ordering::SeqCst) as i64);
+    }
+
+    fn lock_conns(&self) -> std::sync::MutexGuard<'_, Vec<ConnSlot>> {
+        self.conns.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Whether the catalog or warm-cluster state changed since the last
+    /// snapshot (always true on the very first check of a cold start with
+    /// tables).
+    fn snapshot_dirty(&self) -> bool {
+        self.catalog.version() != self.saved_catalog_version.load(Ordering::Acquire)
+            || self.cache.exact_cluster_entries()
+                != self.saved_cluster_entries.load(Ordering::Acquire)
+    }
+
+    /// Writes a snapshot of the shared catalog + cluster cache to the
+    /// configured data dir. Serialised by `save_lock` so the wire `.save`,
+    /// the autosaver, and the shutdown flush never interleave.
+    fn flush_snapshot(&self) -> Result<SaveReport, StoreError> {
+        let dir = self.config.data_dir.as_deref().ok_or_else(|| StoreError::NoManifest {
+            dir: PathBuf::from("(no --data-dir configured)"),
+        })?;
+        let _guard = self.save_lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let version = self.catalog.version();
+        let tables = self.catalog.snapshot();
+        let report = dbex_store::save(&RealVfs, dir, &tables, Some(&self.cache))?;
+        self.saved_catalog_version.store(version, Ordering::Release);
+        self.saved_cluster_entries.store(report.cluster_entries, Ordering::Release);
+        Ok(report)
     }
 }
 
@@ -123,21 +191,69 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port) with
     /// a fresh shared catalog and stats cache.
+    ///
+    /// When [`ServeConfig::data_dir`] is set, the catalog **warm
+    /// restarts**: the newest loadable snapshot generation is opened,
+    /// its tables registered, and its persisted cluster solutions
+    /// rehydrated into the shared stats cache — so the first CAD build
+    /// after a crash reuses partitions instead of clustering cold. A
+    /// directory with no manifest is a cold start; a directory where
+    /// every generation is corrupt fails the bind (serving an empty
+    /// catalog where one was expected would be silent data loss).
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
+        let catalog = Arc::new(SharedCatalog::new());
+        let cache = Arc::new(StatsCache::new());
+        if let Some(dir) = &config.data_dir {
+            match dbex_store::open(&RealVfs, dir) {
+                Ok(report) => {
+                    for (name, table) in &report.tables {
+                        catalog.insert(name.clone(), Arc::clone(table));
+                    }
+                    let rehydrated = report.rehydrate_into(&cache);
+                    dbex_obs::gauge!("store.rehydrated_clusters").set(rehydrated as i64);
+                    if report.fallbacks > 0 {
+                        eprintln!(
+                            "dbex-serve: recovered generation {} after {} corrupt generation(s)",
+                            report.generation, report.fallbacks
+                        );
+                    }
+                }
+                Err(StoreError::NoManifest { .. }) => {} // cold start
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("cannot open data dir {}: {e}", dir.display()),
+                    ))
+                }
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            catalog,
+            cache,
+            config,
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            busy_rejections: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            save_lock: Mutex::new(()),
+            saved_catalog_version: AtomicU64::new(0),
+            saved_cluster_entries: AtomicUsize::new(0),
+        });
+        // The just-recovered state is by definition in sync with disk.
+        shared
+            .saved_catalog_version
+            .store(shared.catalog.version(), Ordering::Release);
+        shared
+            .saved_cluster_entries
+            .store(shared.cache.exact_cluster_entries(), Ordering::Release);
         Ok(Server {
             listener,
             addr,
-            shared: Arc::new(Shared {
-                catalog: Arc::new(SharedCatalog::new()),
-                cache: Arc::new(StatsCache::new()),
-                config,
-                active: AtomicUsize::new(0),
-                shutdown: AtomicBool::new(false),
-                busy_rejections: AtomicU64::new(0),
-                panics: AtomicU64::new(0),
-            }),
+            shared,
         })
     }
 
@@ -162,20 +278,68 @@ impl Server {
         Arc::clone(&self.shared.cache)
     }
 
-    /// Starts the accept loop on a background thread. Fails only when
-    /// the OS cannot spawn a thread.
+    /// Starts the accept loop (and, when configured, the autosaver) on
+    /// background threads. Fails only when the OS cannot spawn a thread.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let shared = Arc::clone(&self.shared);
         let listener = self.listener;
         let accept = std::thread::Builder::new()
             .name("dbex-serve-accept".into())
             .spawn(move || accept_loop(listener, shared))?;
+        let autosave = match (&self.shared.config.data_dir, self.shared.config.autosave_interval) {
+            (Some(_), Some(interval)) => {
+                let shared = Arc::clone(&self.shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("dbex-serve-autosave".into())
+                        .spawn(move || autosave_loop(&shared, interval))?,
+                )
+            }
+            _ => None,
+        };
         Ok(ServerHandle {
             addr: self.addr,
             shared: self.shared,
             accept: Some(accept),
+            autosave,
         })
     }
+}
+
+/// Polls at a short cadence (so shutdown is prompt) and snapshots whenever
+/// `interval` has elapsed since the last save **and** something changed.
+fn autosave_loop(shared: &Shared, interval: Duration) {
+    let mut last_save = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+        if last_save.elapsed() < interval {
+            continue;
+        }
+        if shared.snapshot_dirty() {
+            match shared.flush_snapshot() {
+                Ok(report) => {
+                    dbex_obs::counter!("store.autosaves").incr(1);
+                    dbex_obs::gauge!("store.generation").set(report.generation as i64);
+                }
+                Err(e) => eprintln!("dbex-serve: autosave failed: {e}"),
+            }
+        }
+        last_save = Instant::now();
+    }
+}
+
+/// What a graceful shutdown did. Returned by [`ServerHandle::shutdown`];
+/// callers that don't persist can ignore it.
+#[derive(Debug, Default)]
+pub struct ShutdownSummary {
+    /// Whether a final snapshot was written (false when no data dir is
+    /// configured or nothing changed since the last save).
+    pub flushed: bool,
+    /// Generation of the final snapshot, when one was written.
+    pub generation: Option<u64>,
+    /// Rendered error if the final flush failed — the catalog on disk is
+    /// then the last successful generation, never a torn one.
+    pub flush_error: Option<String>,
 }
 
 /// Controls a running server: address, live counters, shutdown.
@@ -183,6 +347,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    autosave: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -217,33 +382,73 @@ impl ServerHandle {
         self.shared.panics.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, wakes the accept loop, and waits (bounded) for
-    /// open connections to drain.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
+    /// Gracefully stops the server: stops accepting, half-closes every
+    /// open connection so in-flight requests finish and their responses
+    /// go out, **joins** every connection thread (bounded), and — when a
+    /// data dir is configured — flushes a final snapshot.
+    pub fn shutdown(mut self) -> ShutdownSummary {
+        self.shutdown_inner()
     }
 
-    fn shutdown_inner(&mut self) {
+    fn shutdown_inner(&mut self) -> ShutdownSummary {
         let Some(accept) = self.accept.take() else {
-            return;
+            return ShutdownSummary::default();
         };
+        // Drain first, then shutdown: readers unblocked by the half-close
+        // below must see `draining` set so they don't cancel in-flight
+        // builds.
+        self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
-        // Bounded drain: clients that already disconnected release their
-        // slots within milliseconds; a still-connected client is the
-        // caller's bug, not ours, so give up after 5 s.
+        if let Some(autosave) = self.autosave.take() {
+            let _ = autosave.join();
+        }
+
+        // Half-close every tracked connection: the reader sees EOF (no
+        // cancel, because draining), the executor finishes the pipeline
+        // and exits.
+        let mut conns = std::mem::take(&mut *self.shared.lock_conns());
+        for slot in &conns {
+            if let Some(stream) = &slot.stream {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        // Bounded join: a connection wedged past the deadline is leaked
+        // (detached), not waited on forever.
         let deadline = Instant::now() + Duration::from_secs(5);
-        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        while Instant::now() < deadline && !conns.iter().all(|s| s.handle.is_finished()) {
             std::thread::sleep(Duration::from_millis(5));
         }
+        for slot in conns.drain(..) {
+            if slot.handle.is_finished() {
+                let _ = slot.handle.join();
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Final flush, now that no connection can mutate the catalog.
+        let mut summary = ShutdownSummary::default();
+        if self.shared.config.data_dir.is_some() && self.shared.snapshot_dirty() {
+            match self.shared.flush_snapshot() {
+                Ok(report) => {
+                    summary.flushed = true;
+                    summary.generation = Some(report.generation);
+                }
+                Err(e) => summary.flush_error = Some(e.to_string()),
+            }
+        }
+        summary
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown_inner();
+        let _ = self.shutdown_inner();
     }
 }
 
@@ -279,47 +484,76 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             shared.set_connections_gauge();
             continue;
         }
-        let shared = Arc::clone(&shared);
-        let _ = std::thread::Builder::new()
+        let drain_stream = stream.try_clone().ok();
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
             .name("dbex-serve-conn".into())
             .spawn(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| handle_connection(&stream, &shared)));
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| handle_connection(&stream, &conn_shared)));
                 if result.is_err() {
-                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                    conn_shared.panics.fetch_add(1, Ordering::Relaxed);
                     dbex_obs::counter!("server.panics").incr(1);
                 }
                 let _ = stream.shutdown(Shutdown::Both);
+                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                conn_shared.set_connections_gauge();
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut conns = shared.lock_conns();
+                // Reap slots whose threads already exited; dropping a
+                // finished JoinHandle just detaches it.
+                conns.retain(|slot| !slot.handle.is_finished());
+                conns.push(ConnSlot {
+                    stream: drain_stream,
+                    handle,
+                });
+            }
+            Err(_) => {
                 shared.active.fetch_sub(1, Ordering::SeqCst);
                 shared.set_connections_gauge();
-            });
+            }
+        }
     }
 }
 
 /// Reads frames into a bounded channel; fires the cancel flag the moment
 /// the client goes away so an in-flight build stops wasting time.
+///
+/// During a graceful drain the server half-closes the read side itself,
+/// so the resulting EOF (or read error) must *not* cancel: the in-flight
+/// request finishes and its response still goes out.
 fn reader_loop(
     stream: TcpStream,
     tx: std::sync::mpsc::SyncSender<Result<String, ProtocolError>>,
     cancel: Arc<AtomicBool>,
+    shared: Arc<Shared>,
 ) {
+    let max_frame = shared.config.max_frame_bytes;
     let mut reader = BufReader::new(stream);
     loop {
-        match read_frame(&mut reader) {
+        match read_frame_with(&mut reader, max_frame) {
             Ok(Some(request)) => {
                 if tx.send(Ok(request)).is_err() {
                     break; // executor gone
                 }
             }
             Ok(None) => {
-                // Clean disconnect. Cancel any in-flight build.
-                cancel.store(true, Ordering::Relaxed);
+                // Clean disconnect. Cancel any in-flight build — unless
+                // this EOF is the server draining itself.
+                if !shared.draining.load(Ordering::SeqCst) {
+                    cancel.store(true, Ordering::Relaxed);
+                }
                 break;
             }
             Err(e) => {
                 // Io/Truncated mean the client is gone mid-frame; cancel.
                 // Oversized/BadUtf8 leave the client connected but the
                 // framing unrecoverable: report, then the executor closes.
-                if matches!(e, ProtocolError::Io(_) | ProtocolError::Truncated { .. }) {
+                if matches!(e, ProtocolError::Io(_) | ProtocolError::Truncated { .. })
+                    && !shared.draining.load(Ordering::SeqCst)
+                {
                     cancel.store(true, Ordering::Relaxed);
                 }
                 let _ = tx.send(Err(e));
@@ -329,16 +563,17 @@ fn reader_loop(
     }
 }
 
-fn handle_connection(stream: &TcpStream, shared: &Shared) {
+fn handle_connection(stream: &TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let (tx, rx) = sync_channel::<Result<String, ProtocolError>>(PIPELINE_DEPTH);
     let cancel = Arc::new(AtomicBool::new(false));
     let reader = match stream.try_clone() {
         Ok(clone) => {
             let cancel = Arc::clone(&cancel);
+            let reader_shared = Arc::clone(shared);
             std::thread::Builder::new()
                 .name("dbex-serve-read".into())
-                .spawn(move || reader_loop(clone, tx, cancel))
+                .spawn(move || reader_loop(clone, tx, cancel, reader_shared))
                 .ok()
         }
         Err(_) => None,
@@ -365,9 +600,10 @@ fn execute_loop(
         Ok(clone) => BufWriter::new(clone),
         Err(_) => return,
     };
+    let max_frame = shared.config.max_frame_bytes;
     let hello = WireResponse::ok(
         "hello",
-        &format!("dbex-serve ready; max_frame={MAX_FRAME} bytes, one statement per frame"),
+        &format!("dbex-serve ready; max_frame={max_frame} bytes, one statement per frame"),
     );
     if writeln!(writer, "{}", hello.to_line()).and_then(|()| writer.flush()).is_err() {
         return;
@@ -398,7 +634,14 @@ fn execute_loop(
                 let line = {
                     let span = tracer.root("serve_request");
                     span.add("request_bytes", request.len() as u64);
-                    let line = handle_request(&mut session, &shared.catalog, &request);
+                    // `.save` needs the server's data dir and save lock,
+                    // which sessions don't have — intercept it before the
+                    // shared (oracle-checked) dispatch point.
+                    let line = if request.trim() == ".save" {
+                        save_request(shared).to_line()
+                    } else {
+                        handle_request(&mut session, &shared.catalog, &request)
+                    };
                     span.add("response_bytes", line.len() as u64);
                     line
                 };
@@ -481,8 +724,30 @@ fn dot_request(catalog: &Arc<SharedCatalog>, rest: &str) -> WireResponse {
         },
         _ => WireResponse::err(
             "REQUEST",
-            &format!(".{rest}: unknown command (try .ping, .tables, .load, .metrics)"),
+            &format!(".{rest}: unknown command (try .ping, .tables, .load, .metrics, .save)"),
         ),
+    }
+}
+
+/// Wire `.save`: snapshot the shared catalog + cluster cache to the
+/// configured data dir, serialised against autosave and shutdown.
+fn save_request(shared: &Shared) -> WireResponse {
+    if shared.config.data_dir.is_none() {
+        return WireResponse::err("REQUEST", "server has no --data-dir; nothing to save to");
+    }
+    match shared.flush_snapshot() {
+        Ok(report) => WireResponse::ok(
+            "text",
+            &format!(
+                "saved generation {}: {} table(s), {} segment(s) written, {} reused, {} cluster solution(s)\n",
+                report.generation,
+                report.tables,
+                report.segments_written,
+                report.segments_reused,
+                report.cluster_entries
+            ),
+        ),
+        Err(e) => WireResponse::err("STORE", &e.to_string()),
     }
 }
 
@@ -637,6 +902,133 @@ mod tests {
         let resp = b.request("SELECT * FROM hotels LIMIT 1").unwrap();
         assert!(resp.ok, "hotels loaded by a should be visible to b: {resp:?}");
         drop((a, b));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_connection_threads_and_zeroes_the_gauge() {
+        let handle = spawn_server(ServeConfig::default());
+        // Two clients stay connected and idle across the shutdown — the
+        // old behaviour would burn the whole 5 s drain deadline waiting
+        // for them; the graceful drain must half-close and join instead.
+        let mut a = Client::connect(handle.addr()).expect("connect a");
+        let mut b = Client::connect(handle.addr()).expect("connect b");
+        assert!(a.request(".ping").unwrap().ok);
+        assert!(b.request(".ping").unwrap().ok);
+        let shared = Arc::clone(&handle.shared);
+        let started = Instant::now();
+        let summary = handle.shutdown();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "shutdown took {elapsed:?}; drain is not joining connection threads"
+        );
+        assert!(!summary.flushed, "no data dir configured");
+        assert_eq!(shared.active.load(Ordering::SeqCst), 0);
+        assert!(shared.lock_conns().is_empty(), "all conn slots joined and cleared");
+        assert_eq!(shared.panics.load(Ordering::Relaxed), 0);
+        // The `server.connections` gauge must be back to 0. Other tests
+        // in this binary share the gauge, so poll briefly before failing.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let gauge = dbex_obs::gauge!("server.connections");
+        while gauge.get() != 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(gauge.get(), 0, "server.connections gauge did not return to 0");
+    }
+
+    #[test]
+    fn oversized_round_trips_at_a_non_default_cap() {
+        let cap = 512;
+        let handle = spawn_server(ServeConfig {
+            max_frame_bytes: cap,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        // The hello line advertises the configured cap, not the default.
+        assert!(
+            client.hello().text.contains("max_frame=512"),
+            "hello should advertise the 512-byte cap: {}",
+            client.hello().text
+        );
+        // Under the cap: served normally.
+        assert!(client.request(".ping").unwrap().ok);
+        // Over the configured cap but far under the 1 MiB default: the
+        // server must reject it with a typed OVERSIZED response before
+        // reading the payload.
+        let big = format!("SELECT Make FROM cars WHERE Make = {}", "x".repeat(600));
+        let resp = client.request(&big).unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.code.as_deref(), Some("OVERSIZED"));
+        assert!(resp.text.contains("512"), "{}", resp.text);
+        drop(client);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn warm_restart_from_snapshot_and_shutdown_flush() {
+        let dir = std::env::temp_dir().join(format!("dbex-serve-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            data_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+
+        // First server: loads a table over the wire, then drains; the
+        // shutdown flush must persist the catalog.
+        let server = Server::bind("127.0.0.1:0", config.clone()).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        assert!(client.request(".load hotels 300 9").unwrap().ok);
+        drop(client);
+        let summary = handle.shutdown();
+        assert!(summary.flushed, "catalog was dirty: {summary:?}");
+        assert!(summary.flush_error.is_none(), "{summary:?}");
+
+        // Second server on the same dir: the catalog is already there.
+        let server = Server::bind("127.0.0.1:0", config).expect("warm bind");
+        assert_eq!(server.catalog().names(), vec!["hotels".to_owned()]);
+        let handle = server.spawn().expect("spawn");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let resp = client.request("SELECT * FROM hotels LIMIT 1").unwrap();
+        assert!(resp.ok, "recovered table must be queryable: {resp:?}");
+        drop(client);
+        // Nothing changed since the snapshot: clean shutdown, no flush.
+        let summary = handle.shutdown();
+        assert!(!summary.flushed, "unchanged catalog must not rewrite: {summary:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wire_save_writes_a_generation() {
+        let dir = std::env::temp_dir().join(format!("dbex-serve-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = spawn_server(ServeConfig {
+            data_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let resp = client.request(".save").unwrap();
+        assert!(resp.ok, "{resp:?}");
+        assert!(resp.text.contains("saved generation 1"), "{}", resp.text);
+        // Saving again with no changes still commits a (cheap, fully
+        // segment-reused) generation on explicit request.
+        let resp = client.request(".save").unwrap();
+        assert!(resp.ok, "{resp:?}");
+        assert!(resp.text.contains("1 reused"), "{}", resp.text);
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_without_data_dir_is_a_typed_error() {
+        let handle = spawn_server(ServeConfig::default());
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let resp = client.request(".save").unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.code.as_deref(), Some("REQUEST"));
+        drop(client);
         handle.shutdown();
     }
 

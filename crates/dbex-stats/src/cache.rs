@@ -231,6 +231,16 @@ impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
         self.shards.iter().map(|s| lock(s).len()).sum()
     }
 
+    /// Snapshot of every live entry, shard by shard (order unspecified).
+    fn entries(&self) -> Vec<(K, Arc<V>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = lock(shard);
+            out.extend(map.iter().map(|(k, (v, _))| (k.clone(), Arc::clone(v))));
+        }
+        out
+    }
+
     fn clear(&self) {
         for shard in &self.shards {
             lock(shard).clear();
@@ -359,6 +369,26 @@ impl StatsCache {
     /// identity.
     pub fn set_warm_centroids(&self, key: u64, centroids: Vec<CentroidHistogram>) {
         self.warm.insert(key, Arc::new(centroids));
+    }
+
+    /// Snapshot of every memoized exact cluster solution, for persistence:
+    /// `dbex-store` saves these alongside the catalog so a warm-restarted
+    /// server's first CAD build reuses partitions instead of re-clustering.
+    /// Order is unspecified; callers needing deterministic output sort by
+    /// key. Warm-start centroids are deliberately excluded — they are
+    /// seeding hints, not reusable answers.
+    pub fn export_clusters(&self) -> Vec<(ClusterKey, ClusterSolution)> {
+        self.clusters
+            .entries()
+            .into_iter()
+            .map(|(k, v)| (k, (*v).clone()))
+            .collect()
+    }
+
+    /// Number of exact cluster solutions currently memoized (excludes
+    /// warm-start centroid sets, unlike [`CacheStats::cluster_entries`]).
+    pub fn exact_cluster_entries(&self) -> usize {
+        self.clusters.len()
     }
 
     /// Drops every entry (counters are kept).
@@ -505,6 +535,36 @@ mod tests {
         assert!(cache.cluster_lookup(&ClusterKey { l: 6, ..key }).is_none());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.cluster_entries), (1, 3, 1));
+    }
+
+    #[test]
+    fn export_clusters_round_trips_through_a_fresh_cache() {
+        let cache = StatsCache::new();
+        let key = |fp: u64| ClusterKey {
+            partition_fp: fp,
+            l: 4,
+            iters: 20,
+            seed: 7,
+            plus_plus: true,
+            sample: usize::MAX,
+        };
+        cache.cluster_insert(key(1), ClusterSolution { clusters: vec![vec![0, 1], vec![2]] });
+        cache.cluster_insert(key(2), ClusterSolution { clusters: vec![vec![3]] });
+        cache.set_warm_centroids(9, vec![(vec![1, 0], 1)]); // must NOT be exported
+        assert_eq!(cache.exact_cluster_entries(), 2);
+
+        let mut exported = cache.export_clusters();
+        exported.sort_by_key(|(k, _)| k.partition_fp);
+        assert_eq!(exported.len(), 2);
+        assert_eq!(exported[0].1.clusters, vec![vec![0, 1], vec![2]]);
+
+        let rehydrated = StatsCache::new();
+        for (k, v) in exported {
+            rehydrated.cluster_insert(k, v);
+        }
+        let hit = rehydrated.cluster_lookup(&key(1)).expect("rehydrated entry hits");
+        assert_eq!(hit.clusters, vec![vec![0, 1], vec![2]]);
+        assert!(rehydrated.warm_centroids(9).is_none());
     }
 
     #[test]

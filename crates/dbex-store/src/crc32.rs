@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/`crc32fast` variant), std-only.
+//!
+//! Every block in a segment or manifest file is framed as
+//! `[len][crc32(payload)][payload]`; this is the checksum half of that
+//! frame. Table-driven, one 1 KiB table computed at compile time.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `data` (initial value all-ones, final complement — the
+/// standard zlib convention, so values match external tooling).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The CRC catalog's check value for this polynomial/convention.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_crc() {
+        let data = b"DBEXSEG1 example payload with some entropy 0123456789";
+        let clean = crc32(data);
+        let mut copy = data.to_vec();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), clean, "flip at byte {byte} bit {bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

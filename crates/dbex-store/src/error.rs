@@ -1,0 +1,152 @@
+//! Typed storage errors.
+//!
+//! Every failure mode of the on-disk format — IO, torn files, checksum
+//! mismatches, structurally invalid payloads, digest divergence — maps to
+//! a distinct [`StoreError`] variant carrying the file and offset it was
+//! detected at. Nothing in this crate panics on input bytes: the recovery
+//! property tests feed truncations, bit flips and injected IO faults
+//! through every decode path and require a typed error or a clean
+//! fallback, never an abort.
+
+use std::path::PathBuf;
+
+/// Any failure while saving or opening a snapshot directory.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem (or the fault-injecting VFS) failed.
+    Io {
+        /// File or directory the operation touched.
+        path: PathBuf,
+        /// The originating IO error.
+        source: std::io::Error,
+    },
+    /// A file ended before a declared block or field did.
+    Truncated {
+        /// File being decoded.
+        path: PathBuf,
+        /// Byte offset the decoder had reached.
+        offset: usize,
+        /// What was expected there.
+        detail: String,
+    },
+    /// A block's stored CRC does not match its payload.
+    ChecksumMismatch {
+        /// File being decoded.
+        path: PathBuf,
+        /// Byte offset of the block frame.
+        offset: usize,
+        /// CRC stored in the frame.
+        expected: u32,
+        /// CRC computed over the payload bytes.
+        found: u32,
+    },
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// File being decoded.
+        path: PathBuf,
+        /// The bytes actually found (at most 8).
+        found: Vec<u8>,
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// File being decoded.
+        path: PathBuf,
+        /// Version number found in the header.
+        found: u32,
+    },
+    /// A checksum-valid payload is structurally invalid (impossible
+    /// counts, non-UTF-8 strings, trailing bytes, ...).
+    Corrupt {
+        /// File being decoded.
+        path: PathBuf,
+        /// Byte offset within the payload.
+        offset: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A decoded table's content digest does not match the manifest's.
+    DigestMismatch {
+        /// Segment file that decoded cleanly but to the wrong content.
+        path: PathBuf,
+        /// Digest recorded at save time.
+        expected: u64,
+        /// Digest of the decoded content.
+        found: u64,
+    },
+    /// The directory holds no manifest at all (a cold start, not
+    /// corruption).
+    NoManifest {
+        /// The snapshot directory.
+        dir: PathBuf,
+    },
+    /// Every manifest generation present failed to load.
+    AllGenerationsCorrupt {
+        /// The snapshot directory.
+        dir: PathBuf,
+        /// How many generations were tried.
+        tried: usize,
+        /// The error from the newest generation.
+        newest: Box<StoreError>,
+    },
+    /// The decoded parts were rejected by the table layer's validation.
+    Table {
+        /// Segment file the parts came from.
+        path: PathBuf,
+        /// The table-layer rejection.
+        source: dbex_table::Error,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            StoreError::Truncated { path, offset, detail } => {
+                write!(f, "{} truncated at byte {offset}: expected {detail}", path.display())
+            }
+            StoreError::ChecksumMismatch { path, offset, expected, found } => write!(
+                f,
+                "{} block at byte {offset}: checksum {found:#010x} != stored {expected:#010x}",
+                path.display()
+            ),
+            StoreError::BadMagic { path, found } => {
+                write!(f, "{} has bad magic {found:02x?}", path.display())
+            }
+            StoreError::UnsupportedVersion { path, found } => {
+                write!(f, "{} uses unsupported format version {found}", path.display())
+            }
+            StoreError::Corrupt { path, offset, detail } => {
+                write!(f, "{} corrupt at payload byte {offset}: {detail}", path.display())
+            }
+            StoreError::DigestMismatch { path, expected, found } => write!(
+                f,
+                "{} decoded to digest {found:#018x}, manifest says {expected:#018x}",
+                path.display()
+            ),
+            StoreError::NoManifest { dir } => {
+                write!(f, "no manifest in {}", dir.display())
+            }
+            StoreError::AllGenerationsCorrupt { dir, tried, newest } => write!(
+                f,
+                "all {tried} manifest generation(s) in {} failed to load; newest: {newest}",
+                dir.display()
+            ),
+            StoreError::Table { path, source } => {
+                write!(f, "{} decoded to an invalid table: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Table { source, .. } => Some(source),
+            StoreError::AllGenerationsCorrupt { newest, .. } => Some(newest.as_ref()),
+            _ => None,
+        }
+    }
+}

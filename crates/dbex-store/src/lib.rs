@@ -1,0 +1,43 @@
+//! # dbex-store
+//!
+//! The durable catalog: crash-safe, checksummed, std-only persistence for
+//! DBExplorer's tables and warm clustering state.
+//!
+//! The paper's system is in-memory — result sets of ~40K tuples need no
+//! disk to stay interactive — but a *server* built on it does: restarting
+//! the process should not cost the catalog, and ideally not the CAD
+//! View's incrementally-reusable cluster solutions either. This crate
+//! provides that layer:
+//!
+//! * [`segment`] — one table per content-addressed file: dictionary pages
+//!   and packed code/value columns, every block framed with a length and
+//!   CRC-32 so torn writes and bit rot are detected before interpretation.
+//! * [`manifest`] — a tiny versioned catalog file committed by atomic
+//!   rename; the previous generation is kept so a torn swap falls back.
+//! * [`store`] — the [`save`]/[`open`] protocols (write-temp → fsync →
+//!   rename → fsync-dir), content-addressed segment reuse, the stats
+//!   sidecar, and newest-first recovery with typed fallback.
+//! * [`vfs`] — the IO shim the protocols run against, with a
+//!   deterministic fault injector ([`FaultVfs`]) used by the recovery
+//!   test suite to crash a save at every one of its mutation points.
+//!
+//! The load-bearing invariant, enforced by fault-injection and bit-flip
+//! property tests: **`open` never panics on disk bytes and never returns
+//! silently wrong rows** — every failure is a typed [`StoreError`] or a
+//! clean fallback to an older, digest-verified generation.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod crc32;
+pub mod error;
+pub mod manifest;
+pub mod segment;
+pub mod store;
+pub mod vfs;
+
+pub use crc32::crc32;
+pub use error::StoreError;
+pub use manifest::{manifest_file_name, parse_manifest_gen, Manifest, ManifestEntry};
+pub use segment::{block_boundaries, content_digest, segment_file_name, table_digest};
+pub use store::{open, save, OpenReport, SaveReport};
+pub use vfs::{flip_bit, FaultKind, FaultVfs, RealVfs, Vfs};

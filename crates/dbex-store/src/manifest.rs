@@ -1,0 +1,233 @@
+//! The catalog manifest: one small file naming a consistent snapshot.
+//!
+//! A manifest file `MANIFEST-<generation:016x>` lists, for every table in
+//! the catalog at save time, the content-addressed segment holding its
+//! bytes, its row count, content digest, and persisted table id; plus the
+//! optional stats-sidecar file carrying warm cluster solutions. The whole
+//! payload sits in one CRC-framed block behind the `DBEXMAN1` magic, so a
+//! torn manifest is detected as cheaply as a torn segment.
+//!
+//! Manifests are never overwritten: each save writes generation `g+1` via
+//! write-temp → fsync → atomic-rename → fsync-dir, keeping generation `g`
+//! on disk. Recovery walks generations newest-first and falls back across
+//! any that fail to load.
+
+use crate::error::StoreError;
+use crate::segment::{check_magic, push_block, BlockReader, Cursor};
+use std::path::Path;
+
+/// Magic bytes opening every manifest file.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"DBEXMAN1";
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One table recorded in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Catalog name the table was registered under.
+    pub name: String,
+    /// Segment file name (content-addressed) holding the table.
+    pub segment: String,
+    /// Row count, for sanity checks before decoding.
+    pub rows: u64,
+    /// Content digest the segment must decode to.
+    pub digest: u64,
+    /// The authoritative `Table::id()` at save time. Segments embed an id
+    /// too, but content-addressed reuse can leave a stale one there; the
+    /// manifest's is the one recovery adopts.
+    pub table_id: u64,
+}
+
+/// A decoded manifest: the catalog as of one generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic generation number (embedded in the file name too).
+    pub generation: u64,
+    /// Tables, sorted by name at encode time.
+    pub entries: Vec<ManifestEntry>,
+    /// Stats sidecar file name, if cluster solutions were persisted.
+    pub stats_file: Option<String>,
+}
+
+/// File name for a manifest generation (fixed-width hex so lexicographic
+/// order equals numeric order).
+pub fn manifest_file_name(generation: u64) -> String {
+    format!("MANIFEST-{generation:016x}")
+}
+
+/// Parses a manifest file name back to its generation.
+pub fn parse_manifest_gen(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("MANIFEST-")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// File name for a generation's stats sidecar.
+pub fn stats_file_name(generation: u64) -> String {
+    format!("stats-{generation:016x}.bin")
+}
+
+/// Parses a stats sidecar file name back to its generation.
+pub fn parse_stats_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("stats-")?.strip_suffix(".bin")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serialises a manifest to file bytes.
+pub fn encode_manifest(manifest: &Manifest) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    payload.extend_from_slice(&manifest.generation.to_le_bytes());
+    match &manifest.stats_file {
+        Some(name) => {
+            payload.push(1);
+            push_str(&mut payload, name);
+        }
+        None => payload.push(0),
+    }
+    payload.extend_from_slice(&(manifest.entries.len() as u32).to_le_bytes());
+    for entry in &manifest.entries {
+        push_str(&mut payload, &entry.name);
+        push_str(&mut payload, &entry.segment);
+        payload.extend_from_slice(&entry.rows.to_le_bytes());
+        payload.extend_from_slice(&entry.digest.to_le_bytes());
+        payload.extend_from_slice(&entry.table_id.to_le_bytes());
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MANIFEST_MAGIC);
+    push_block(&mut out, &payload);
+    out
+}
+
+/// Decodes manifest bytes, verifying magic, CRC, and structure.
+pub fn decode_manifest(data: &[u8], path: &Path) -> Result<Manifest, StoreError> {
+    check_magic(data, MANIFEST_MAGIC, path)?;
+    let mut blocks = BlockReader::new(data, 8, path);
+    let (payload, base) = blocks.next_block()?;
+    blocks.done()?;
+
+    let mut cur = Cursor::new(payload, path, base);
+    let version = cur.u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    let generation = cur.u64()?;
+    let stats_file = match cur.u8()? {
+        0 => None,
+        1 => Some(cur.str()?.to_owned()),
+        flag => {
+            return Err(StoreError::Corrupt {
+                path: path.to_path_buf(),
+                offset: base,
+                detail: format!("stats-file flag {flag}"),
+            })
+        }
+    };
+    let count = cur.u32()? as usize;
+    let mut entries = Vec::with_capacity(count.min(cur.remaining() / 24 + 1));
+    for _ in 0..count {
+        let name = cur.str()?.to_owned();
+        let segment = cur.str()?.to_owned();
+        let rows = cur.u64()?;
+        let digest = cur.u64()?;
+        let table_id = cur.u64()?;
+        entries.push(ManifestEntry {
+            name,
+            segment,
+            rows,
+            digest,
+            table_id,
+        });
+    }
+    cur.done()?;
+
+    Ok(Manifest {
+        generation,
+        entries,
+        stats_file,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 42,
+            entries: vec![
+                ManifestEntry {
+                    name: "cars".to_owned(),
+                    segment: "seg-00000000deadbeef.seg".to_owned(),
+                    rows: 15_191,
+                    digest: 0xDEAD_BEEF,
+                    table_id: 7,
+                },
+                ManifestEntry {
+                    name: "hotels".to_owned(),
+                    segment: "seg-0000000012345678.seg".to_owned(),
+                    rows: 1_000,
+                    digest: 0x1234_5678,
+                    table_id: 9,
+                },
+            ],
+            stats_file: Some(stats_file_name(42)),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        let bytes = encode_manifest(&m);
+        let back = decode_manifest(&bytes, Path::new("MANIFEST-test")).unwrap();
+        assert_eq!(back, m);
+
+        let bare = Manifest {
+            stats_file: None,
+            ..sample()
+        };
+        let back = decode_manifest(&encode_manifest(&bare), Path::new("m")).unwrap();
+        assert_eq!(back, bare);
+    }
+
+    #[test]
+    fn file_names_sort_numerically_and_parse_back() {
+        assert_eq!(manifest_file_name(1), "MANIFEST-0000000000000001");
+        assert!(manifest_file_name(9) < manifest_file_name(10));
+        assert!(manifest_file_name(255) < manifest_file_name(4096));
+        assert_eq!(parse_manifest_gen(&manifest_file_name(77)), Some(77));
+        assert_eq!(parse_manifest_gen("MANIFEST-zz"), None);
+        assert_eq!(parse_manifest_gen("seg-0.seg"), None);
+        assert_eq!(parse_stats_name(&stats_file_name(77)), Some(77));
+        assert_eq!(parse_stats_name("stats-short.bin"), None);
+    }
+
+    #[test]
+    fn truncation_and_flips_are_typed_errors() {
+        let bytes = encode_manifest(&sample());
+        for cut in 0..bytes.len() {
+            assert!(decode_manifest(&bytes[..cut], Path::new("m")).is_err(), "cut {cut}");
+        }
+        let mut copy = bytes.clone();
+        for byte in 0..copy.len() {
+            copy[byte] ^= 0x10;
+            assert!(decode_manifest(&copy, Path::new("m")).is_err(), "flip {byte}");
+            copy[byte] ^= 0x10;
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! Segment files: one table, columnar, checksummed.
+//!
+//! A segment is a sequence of CRC-framed blocks behind an 8-byte magic:
+//!
+//! ```text
+//! "DBEXSEG1"
+//! block: header   — version, table id, row count, field descriptors
+//! block: column 0 — typed payload (values + packed null bitmap, or
+//!                   dictionary pages + packed codes)
+//! block: column 1
+//! ...
+//! block: footer   — FNV-1a content digest of the decoded table
+//! ```
+//!
+//! Every block is framed `[u32 len][u32 crc32(payload)][payload]`, both
+//! little-endian, so truncation and bit rot are detected before any
+//! payload byte is interpreted. Decoding never trusts a declared count:
+//! all reads go through a bounds-checked [`Cursor`], size arithmetic is
+//! `checked_mul`, and structurally impossible payloads yield
+//! [`StoreError::Corrupt`] rather than an allocation or a panic.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use dbex_table::dict::NULL_CODE;
+use dbex_table::{Column, DataType, Dictionary, Field, Schema};
+use std::path::Path;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"DBEXSEG1";
+
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Everything a segment stores about one table, decoded but not yet
+/// promoted to a [`dbex_table::Table`] (the store layer does that so it
+/// can adopt persisted ids in a controlled order).
+#[derive(Debug)]
+pub struct SegmentParts {
+    /// The table's schema, reconstructed from the header descriptors.
+    pub schema: Schema,
+    /// One column per field, in schema order.
+    pub columns: Vec<Column>,
+    /// Row count.
+    pub rows: usize,
+    /// The `Table::id()` the table had when saved.
+    pub persisted_id: u64,
+    /// Content digest recorded in the footer.
+    pub digest: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Appends one `[len][crc][payload]` frame to `out`.
+pub fn push_block(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn dtype_tag(data_type: DataType) -> u8 {
+    match data_type {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Categorical => 2,
+    }
+}
+
+fn pack_bools(bits: &[bool]) -> Vec<u8> {
+    let mut packed = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            packed[i / 8] |= 1 << (i % 8);
+        }
+    }
+    packed
+}
+
+/// Serialises a table's parts into segment-file bytes.
+pub fn encode_table(schema: &Schema, columns: &[Column], rows: usize, table_id: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SEGMENT_MAGIC);
+
+    // Header block.
+    let mut header = Vec::new();
+    header.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    header.extend_from_slice(&table_id.to_le_bytes());
+    header.extend_from_slice(&(rows as u64).to_le_bytes());
+    header.extend_from_slice(&(schema.len() as u32).to_le_bytes());
+    for field in schema.fields() {
+        push_str(&mut header, &field.name);
+        header.push(dtype_tag(field.data_type));
+        header.push(field.queriable as u8);
+    }
+    push_block(&mut out, &header);
+
+    // One block per column.
+    for column in columns {
+        let mut body = Vec::new();
+        match column {
+            Column::Int { data, nulls } => {
+                body.push(0u8);
+                for v in data {
+                    body.extend_from_slice(&v.to_le_bytes());
+                }
+                body.extend_from_slice(&pack_bools(nulls));
+            }
+            Column::Float { data, nulls } => {
+                body.push(1u8);
+                for v in data {
+                    body.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                body.extend_from_slice(&pack_bools(nulls));
+            }
+            Column::Categorical { codes, dict } => {
+                body.push(2u8);
+                body.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+                for (_, value) in dict.iter() {
+                    push_str(&mut body, value);
+                }
+                for code in codes {
+                    body.extend_from_slice(&code.to_le_bytes());
+                }
+            }
+        }
+        push_block(&mut out, &body);
+    }
+
+    // Footer block: the content digest, so a decode can prove it
+    // reconstructed the same logical table that was saved.
+    let mut footer = Vec::new();
+    footer.extend_from_slice(&content_digest(schema, columns, rows).to_le_bytes());
+    push_block(&mut out, &footer);
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Content digest
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// FNV-1a digest over a table's logical content: row count, field
+/// descriptors, and every typed cell. Deliberately independent of the
+/// process-local `Table::id()` so an unchanged table hashes identically
+/// across sessions and its segment can be reused by content address.
+pub fn content_digest(schema: &Schema, columns: &[Column], rows: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(rows as u64);
+    h.u64(schema.len() as u64);
+    for field in schema.fields() {
+        h.u64(field.name.len() as u64);
+        h.bytes(field.name.as_bytes());
+        h.bytes(&[dtype_tag(field.data_type), field.queriable as u8]);
+    }
+    for column in columns {
+        match column {
+            Column::Int { data, nulls } => {
+                h.bytes(&[0]);
+                for (v, &null) in data.iter().zip(nulls) {
+                    // Nulls carry arbitrary slot values; don't let them in.
+                    h.u64(if null { 1 } else { 0 });
+                    h.u64(if null { 0 } else { *v as u64 });
+                }
+            }
+            Column::Float { data, nulls } => {
+                h.bytes(&[1]);
+                for (v, &null) in data.iter().zip(nulls) {
+                    h.u64(if null { 1 } else { 0 });
+                    h.u64(if null { 0 } else { v.to_bits() });
+                }
+            }
+            Column::Categorical { codes, dict } => {
+                h.bytes(&[2]);
+                h.u64(dict.len() as u64);
+                for (_, value) in dict.iter() {
+                    h.u64(value.len() as u64);
+                    h.bytes(value.as_bytes());
+                }
+                for code in codes {
+                    h.u64(*code as u64);
+                }
+            }
+        }
+    }
+    h.0
+}
+
+/// [`content_digest`] of an existing table.
+pub fn table_digest(table: &dbex_table::Table) -> u64 {
+    let columns: Vec<Column> = (0..table.num_columns()).map(|i| table.column(i).clone()).collect();
+    content_digest(table.schema(), &columns, table.num_rows())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked reader over a block payload. Every accessor returns a
+/// typed [`StoreError`] instead of slicing past the end.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+    /// Offset of the payload within the file, for error reporting.
+    base: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a payload located at `base` bytes into the file at `path`.
+    pub fn new(data: &'a [u8], path: &'a Path, base: usize) -> Cursor<'a> {
+        Cursor { data, pos: 0, path, base }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            path: self.path.to_path_buf(),
+            offset: self.base + self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or_else(|| self.corrupt(format!("{n} more byte(s)")))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let bytes = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads a `[u32 len][bytes]` UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| self.corrupt("utf-8 string"))
+    }
+
+    /// Requires the payload to be fully consumed.
+    pub fn done(&self) -> Result<(), StoreError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(self.corrupt(format!("{} trailing byte(s)", self.data.len() - self.pos)))
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+/// Iterates the CRC-framed blocks of a file, validating each frame's
+/// length and checksum before handing out the payload.
+pub struct BlockReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> BlockReader<'a> {
+    /// Wraps the bytes after the magic. `pos` is the absolute offset of
+    /// the first frame within the file.
+    pub fn new(data: &'a [u8], pos: usize, path: &'a Path) -> BlockReader<'a> {
+        BlockReader { data, pos, path }
+    }
+
+    fn truncated(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::Truncated {
+            path: self.path.to_path_buf(),
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    /// Reads the next block, returning `(payload, payload_offset)`.
+    pub fn next_block(&mut self) -> Result<(&'a [u8], usize), StoreError> {
+        if self.data.len() - self.pos < 8 {
+            return Err(self.truncated("8-byte block frame".to_owned()));
+        }
+        let frame = &self.data[self.pos..];
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        let stored_crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        if len > self.data.len() - self.pos - 8 {
+            return Err(self.truncated(format!("{len}-byte block payload")));
+        }
+        let payload = &frame[8..8 + len];
+        let found = crc32(payload);
+        if found != stored_crc {
+            return Err(StoreError::ChecksumMismatch {
+                path: self.path.to_path_buf(),
+                offset: self.pos,
+                expected: stored_crc,
+                found,
+            });
+        }
+        let payload_offset = self.pos + 8;
+        self.pos += 8 + len;
+        Ok((payload, payload_offset))
+    }
+
+    /// True once every byte has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    /// Requires the file to end exactly here.
+    pub fn done(&self) -> Result<(), StoreError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt {
+                path: self.path.to_path_buf(),
+                offset: self.pos,
+                detail: format!("{} byte(s) after final block", self.data.len() - self.pos),
+            })
+        }
+    }
+}
+
+/// Checks a file's opening magic.
+pub fn check_magic(data: &[u8], magic: &[u8; 8], path: &Path) -> Result<(), StoreError> {
+    if data.len() < 8 || &data[..8] != magic {
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+            found: data[..data.len().min(8)].to_vec(),
+        });
+    }
+    Ok(())
+}
+
+fn unpack_bools(cursor: &mut Cursor<'_>, rows: usize) -> Result<Vec<bool>, StoreError> {
+    let packed = cursor.take(rows.div_ceil(8))?;
+    Ok((0..rows).map(|i| packed[i / 8] & (1 << (i % 8)) != 0).collect())
+}
+
+/// Decodes segment bytes into their parts, verifying every frame CRC and
+/// the footer digest along the way.
+pub fn decode_segment(data: &[u8], path: &Path) -> Result<SegmentParts, StoreError> {
+    check_magic(data, SEGMENT_MAGIC, path)?;
+    let mut blocks = BlockReader::new(data, 8, path);
+
+    // Header.
+    let (payload, base) = blocks.next_block()?;
+    let mut cur = Cursor::new(payload, path, base);
+    let version = cur.u32()?;
+    if version != SEGMENT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    let persisted_id = cur.u64()?;
+    let rows_u64 = cur.u64()?;
+    let rows = usize::try_from(rows_u64)
+        .ok()
+        .filter(|&r| r <= data.len().saturating_mul(8))
+        .ok_or_else(|| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            offset: base,
+            detail: format!("implausible row count {rows_u64} for a {}-byte file", data.len()),
+        })?;
+    let field_count = cur.u32()? as usize;
+    let mut fields = Vec::new();
+    for _ in 0..field_count {
+        let name = cur.str()?.to_owned();
+        let dtype = match cur.u8()? {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            2 => DataType::Categorical,
+            tag => return Err(cur_corrupt(&cur, format!("unknown dtype tag {tag}"))),
+        };
+        let queriable = match cur.u8()? {
+            0 => false,
+            1 => true,
+            flag => return Err(cur_corrupt(&cur, format!("queriable flag {flag}"))),
+        };
+        fields.push(Field {
+            name,
+            data_type: dtype,
+            queriable,
+        });
+    }
+    cur.done()?;
+    let schema = Schema::new(fields).map_err(|e| StoreError::Table {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+
+    // Columns.
+    let mut columns = Vec::new();
+    for i in 0..field_count {
+        let (payload, base) = blocks.next_block()?;
+        let mut cur = Cursor::new(payload, path, base);
+        let tag = cur.u8()?;
+        let expected = dtype_tag(schema.field(i).data_type);
+        if tag != expected {
+            return Err(cur_corrupt(
+                &cur,
+                format!("column {i} tag {tag} != schema dtype tag {expected}"),
+            ));
+        }
+        let column = match tag {
+            0 => {
+                let mut data = Vec::with_capacity(capped(rows, cur.remaining() / 8));
+                for _ in 0..rows {
+                    data.push(cur.u64()? as i64);
+                }
+                Column::Int {
+                    data,
+                    nulls: unpack_bools(&mut cur, rows)?,
+                }
+            }
+            1 => {
+                let mut data = Vec::with_capacity(capped(rows, cur.remaining() / 8));
+                for _ in 0..rows {
+                    data.push(f64::from_bits(cur.u64()?));
+                }
+                Column::Float {
+                    data,
+                    nulls: unpack_bools(&mut cur, rows)?,
+                }
+            }
+            _ => {
+                let dict_len = cur.u32()? as usize;
+                if dict_len >= NULL_CODE as usize {
+                    return Err(cur_corrupt(&cur, format!("dictionary of {dict_len} entries")));
+                }
+                let mut values = Vec::with_capacity(capped(dict_len, cur.remaining() / 4));
+                for _ in 0..dict_len {
+                    values.push(cur.str()?.to_owned());
+                }
+                let dict = Dictionary::from_values(values).map_err(|e| StoreError::Table {
+                    path: path.to_path_buf(),
+                    source: e,
+                })?;
+                let mut codes = Vec::with_capacity(capped(rows, cur.remaining() / 4));
+                for _ in 0..rows {
+                    let code = cur.u32()?;
+                    if code != NULL_CODE && code as usize >= dict.len() {
+                        return Err(cur_corrupt(&cur, format!("code {code} >= dict {}", dict.len())));
+                    }
+                    codes.push(code);
+                }
+                Column::Categorical { codes, dict }
+            }
+        };
+        cur.done()?;
+        columns.push(column);
+    }
+
+    // Footer.
+    let (payload, base) = blocks.next_block()?;
+    let mut cur = Cursor::new(payload, path, base);
+    let stored_digest = cur.u64()?;
+    cur.done()?;
+    blocks.done()?;
+
+    let digest = content_digest(&schema, &columns, rows);
+    if digest != stored_digest {
+        return Err(StoreError::DigestMismatch {
+            path: path.to_path_buf(),
+            expected: stored_digest,
+            found: digest,
+        });
+    }
+
+    Ok(SegmentParts {
+        schema,
+        columns,
+        rows,
+        persisted_id,
+        digest,
+    })
+}
+
+/// Caps a declared element count by what the remaining payload could
+/// possibly hold, so `Vec::with_capacity` never trusts the wire.
+fn capped(declared: usize, fits: usize) -> usize {
+    declared.min(fits.max(1))
+}
+
+fn cur_corrupt(cur: &Cursor<'_>, detail: String) -> StoreError {
+    StoreError::Corrupt {
+        path: cur.path.to_path_buf(),
+        offset: cur.base + cur.pos,
+        detail,
+    }
+}
+
+/// File name for a content-addressed segment.
+pub fn segment_file_name(digest: u64) -> String {
+    format!("seg-{digest:016x}.seg")
+}
+
+/// Parses a segment file name back to its digest.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("seg-")?.strip_suffix(".seg")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Byte offsets of every block-frame boundary in `data` (the positions a
+/// truncation test should cut at).
+pub fn block_boundaries(data: &[u8]) -> Vec<usize> {
+    let mut offsets = vec![8.min(data.len())];
+    let mut pos = 8;
+    while pos + 8 <= data.len() {
+        let len =
+            u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]) as usize;
+        if len > data.len() - pos - 8 {
+            break;
+        }
+        pos += 8 + len;
+        offsets.push(pos);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbex_table::{TableBuilder, Value};
+
+    fn sample_table() -> dbex_table::Table {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+            Field::new("Rating", DataType::Float),
+            Field::hidden("Engine", DataType::Categorical),
+        ])
+        .unwrap();
+        let makes = ["BMW", "Honda", "Toyota"];
+        let engines = ["V6", "I4"];
+        for i in 0..57 {
+            let price = if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int(15_000 + i * 37)
+            };
+            let rating = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Float(1.0 + (i % 5) as f64 * 0.7)
+            };
+            b.push_row(vec![
+                Value::Str(makes[(i % 3) as usize].to_owned()),
+                price,
+                rating,
+                Value::Str(engines[(i % 2) as usize].to_owned()),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    fn parts(table: &dbex_table::Table) -> (Schema, Vec<Column>, usize) {
+        let columns = (0..table.num_columns()).map(|i| table.column(i).clone()).collect();
+        (table.schema().clone(), columns, table.num_rows())
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_for_bit() {
+        let table = sample_table();
+        let (schema, columns, rows) = parts(&table);
+        let bytes = encode_table(&schema, &columns, rows, table.id());
+        let decoded = decode_segment(&bytes, Path::new("test.seg")).unwrap();
+
+        assert_eq!(decoded.rows, rows);
+        assert_eq!(decoded.persisted_id, table.id());
+        assert_eq!(decoded.digest, table_digest(&table));
+        assert_eq!(decoded.schema.names(), schema.names());
+        assert_eq!(decoded.schema.queriable_indices(), schema.queriable_indices());
+        // Cell-exact: compare every value through the table API.
+        let (t2, adopted) =
+            dbex_table::Table::from_parts_adopting(decoded.schema, decoded.columns, decoded.rows, 0)
+                .unwrap();
+        assert!(!adopted, "id 0 must never be adopted");
+        for row in 0..rows {
+            for col in 0..schema.len() {
+                assert_eq!(table.value(row, col), t2.value(row, col), "cell ({row},{col})");
+            }
+        }
+        // And digest-exact after the round trip.
+        assert_eq!(table_digest(&t2), table_digest(&table));
+    }
+
+    #[test]
+    fn digest_ignores_table_id_but_not_content() {
+        let table = sample_table();
+        let (schema, columns, rows) = parts(&table);
+        let a = encode_table(&schema, &columns, rows, 7);
+        let b = encode_table(&schema, &columns, rows, 99);
+        let da = decode_segment(&a, Path::new("a.seg")).unwrap().digest;
+        let db = decode_segment(&b, Path::new("b.seg")).unwrap().digest;
+        assert_eq!(da, db, "digest must be id-independent for content addressing");
+
+        // Any cell change must move the digest.
+        let mut columns2 = columns.clone();
+        if let Column::Int { data, .. } = &mut columns2[1] {
+            data[3] += 1;
+        }
+        assert_ne!(content_digest(&schema, &columns2, rows), da);
+    }
+
+    #[test]
+    fn null_slots_do_not_leak_into_the_digest() {
+        let table = sample_table();
+        let (schema, mut columns, rows) = parts(&table);
+        // Row 0 of Price is null (0 % 11 == 0); its slot value is
+        // arbitrary and must not affect the digest.
+        let before = content_digest(&schema, &columns, rows);
+        if let Column::Int { data, nulls } = &mut columns[1] {
+            assert!(nulls[0]);
+            data[0] = 0xDEAD;
+        }
+        assert_eq!(content_digest(&schema, &columns, rows), before);
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_a_typed_error() {
+        let table = sample_table();
+        let (schema, columns, rows) = parts(&table);
+        let bytes = encode_table(&schema, &columns, rows, table.id());
+        for cut in 0..bytes.len() {
+            let err = decode_segment(&bytes[..cut], Path::new("cut.seg"));
+            assert!(err.is_err(), "decode of {cut}/{} bytes must fail", bytes.len());
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let table = sample_table();
+        let (schema, columns, rows) = parts(&table);
+        let clean = encode_table(&schema, &columns, rows, table.id());
+        let reference = decode_segment(&clean, Path::new("ok.seg")).unwrap().digest;
+        let mut bytes = clean.clone();
+        // Stride through the file flipping one bit at a time; a flip must
+        // either produce an error or (never) decode to different content.
+        for byte in (0..bytes.len()).step_by(7) {
+            let bit = (byte % 8) as u8;
+            bytes[byte] ^= 1 << bit;
+            match decode_segment(&bytes, Path::new("flip.seg")) {
+                Err(_) => {}
+                Ok(parts) => assert_eq!(parts.digest, reference, "silent corruption at byte {byte}"),
+            }
+            bytes[byte] ^= 1 << bit;
+        }
+    }
+
+    #[test]
+    fn block_boundaries_walk_the_frames() {
+        let table = sample_table();
+        let (schema, columns, rows) = parts(&table);
+        let bytes = encode_table(&schema, &columns, rows, table.id());
+        let bounds = block_boundaries(&bytes);
+        // magic + header + 4 columns + footer = 6 frame ends + the magic end.
+        assert_eq!(bounds.len(), 7);
+        assert_eq!(bounds[0], 8);
+        assert_eq!(*bounds.last().unwrap(), bytes.len());
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        let name = segment_file_name(0xDEAD_BEEF_0123_4567);
+        assert_eq!(name, "seg-deadbeef01234567.seg");
+        assert_eq!(parse_segment_name(&name), Some(0xDEAD_BEEF_0123_4567));
+        assert_eq!(parse_segment_name("seg-xyz.seg"), None);
+        assert_eq!(parse_segment_name("MANIFEST-0"), None);
+    }
+}

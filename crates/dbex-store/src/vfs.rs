@@ -1,0 +1,380 @@
+//! The IO shim: a [`Vfs`] trait the save/open protocols run against, with
+//! a real-filesystem implementation and a deterministic fault injector.
+//!
+//! Crash consistency is not testable by hoping: [`FaultVfs`] counts
+//! mutating operations (writes, fsyncs, renames, removes) and fails the
+//! N-th one with a chosen [`FaultKind`] — a short write, an ENOSPC, a
+//! failed fsync, a torn rename. After the fault fires the VFS is **dead**:
+//! every subsequent operation errors, modelling a process that crashed at
+//! that instant. Sweeping N across a save's whole operation sequence
+//! exercises every crash point the protocol has.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Filesystem operations the store protocols are written against.
+///
+/// Paths are plain `std::path::Path`s; implementations decide what they
+/// mean. All methods are `&self` so a `Vfs` can be shared across threads.
+pub trait Vfs: Send + Sync {
+    /// Reads an entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates/truncates `path` and writes `data` fully.
+    fn write_all(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Flushes a file's contents and metadata to stable storage.
+    fn fsync(&self, path: &Path) -> io::Result<()>;
+    /// Flushes a directory, making renames within it durable.
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// File names (not paths) in `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Creates `dir` and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write_all(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::write(path, data)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and syncing it is the POSIX way to
+        // make a completed rename durable; on platforms where directories
+        // cannot be opened this degrades to a no-op.
+        match fs::File::open(dir) {
+            Ok(f) => f.sync_all().or(Ok(())),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+}
+
+/// What the injected fault does at the operation it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A write persists only the first half of its bytes, then errors.
+    ShortWrite,
+    /// A write errors leaving the target untouched (disk full).
+    Enospc,
+    /// An fsync errors; preceding writes may not be durable.
+    FsyncFail,
+    /// A rename leaves a half-written destination and no source.
+    TornRename,
+}
+
+/// One fault fires on a kind-specific op type; every other mutating op up
+/// to that point proceeds normally, and everything after errors as
+/// "crashed".
+#[derive(Debug)]
+struct FaultState {
+    /// Mutating ops to let through before the fault (None = never fault).
+    remaining: Option<u64>,
+    kind: FaultKind,
+    /// Set once the fault fired; all later ops fail.
+    dead: bool,
+    /// Total mutating ops observed (gated or not).
+    mutations: u64,
+}
+
+/// A [`Vfs`] wrapper that injects one deterministic fault, then plays
+/// dead. See the module docs.
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: RealVfs,
+    state: Mutex<FaultState>,
+}
+
+/// Whether the current op should proceed or apply the fault effect.
+enum Gate {
+    Proceed,
+    Fault(FaultKind),
+}
+
+fn crashed() -> io::Error {
+    io::Error::other("vfs crashed (fault injected)")
+}
+
+impl FaultVfs {
+    /// A VFS that never faults but counts mutating operations — the dry
+    /// run that tells a sweep how many injection points a save has.
+    pub fn counting() -> FaultVfs {
+        FaultVfs {
+            inner: RealVfs,
+            state: Mutex::new(FaultState {
+                remaining: None,
+                kind: FaultKind::Enospc,
+                dead: false,
+                mutations: 0,
+            }),
+        }
+    }
+
+    /// A VFS whose `nth` mutating operation (0-based) fails with `kind`.
+    pub fn failing_at(kind: FaultKind, nth: u64) -> FaultVfs {
+        FaultVfs {
+            inner: RealVfs,
+            state: Mutex::new(FaultState {
+                remaining: Some(nth),
+                kind,
+                dead: false,
+                mutations: 0,
+            }),
+        }
+    }
+
+    /// Mutating operations observed so far.
+    pub fn mutations(&self) -> u64 {
+        self.lock().mutations
+    }
+
+    /// Whether the fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.lock().dead
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        // State is plain counters; a poisoned lock loses nothing.
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Counts one mutating op and decides its fate.
+    fn gate(&self) -> io::Result<Gate> {
+        let mut st = self.lock();
+        if st.dead {
+            return Err(crashed());
+        }
+        st.mutations += 1;
+        match st.remaining {
+            Some(0) => {
+                st.dead = true;
+                Ok(Gate::Fault(st.kind))
+            }
+            Some(n) => {
+                st.remaining = Some(n - 1);
+                Ok(Gate::Proceed)
+            }
+            None => Ok(Gate::Proceed),
+        }
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.lock().dead {
+            Err(crashed())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.read(path)
+    }
+
+    fn write_all(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => self.inner.write_all(path, data),
+            Gate::Fault(FaultKind::ShortWrite) => {
+                // Half the bytes land, then the "crash".
+                let _ = self.inner.write_all(path, &data[..data.len() / 2]);
+                Err(io::Error::other("short write (injected)"))
+            }
+            Gate::Fault(_) => Err(io::Error::other("no space left on device (injected)")),
+        }
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => self.inner.fsync(path),
+            Gate::Fault(_) => Err(io::Error::other("fsync failed (injected)")),
+        }
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => self.inner.fsync_dir(dir),
+            Gate::Fault(_) => Err(io::Error::other("fsync failed (injected)")),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => self.inner.rename(from, to),
+            Gate::Fault(FaultKind::TornRename) => {
+                // The nightmare rename: destination gets half the source's
+                // bytes, source disappears. Only a non-atomic filesystem
+                // would do this — which is exactly what recovery must
+                // survive.
+                if let Ok(data) = self.inner.read(from) {
+                    let _ = self.inner.write_all(to, &data[..data.len() / 2]);
+                }
+                let _ = self.inner.remove(from);
+                Err(io::Error::other("torn rename (injected)"))
+            }
+            Gate::Fault(_) => Err(io::Error::other("rename failed (injected)")),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => self.inner.remove(path),
+            Gate::Fault(_) => Err(io::Error::other("remove failed (injected)")),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.check_alive()?;
+        self.inner.list(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.lock().dead && self.inner.exists(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.inner.create_dir_all(dir)
+    }
+}
+
+/// Flips one bit of the file at `path` in place — the post-hoc corruption
+/// half of the fault matrix (cosmic-ray bit rot rather than a crash).
+/// `byte` wraps modulo the file length; empty files are left alone.
+pub fn flip_bit(path: &Path, byte: usize, bit: u8) -> io::Result<()> {
+    let mut data = fs::read(path)?;
+    if data.is_empty() {
+        return Ok(());
+    }
+    let i = byte % data.len();
+    data[i] ^= 1 << (bit % 8);
+    fs::write(path, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbex-vfs-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn real_vfs_round_trips() {
+        let path = tmp("real.bin");
+        let v = RealVfs;
+        v.write_all(&path, b"hello").unwrap();
+        v.fsync(&path).unwrap();
+        assert_eq!(v.read(&path).unwrap(), b"hello");
+        assert!(v.exists(&path));
+        let dest = tmp("real2.bin");
+        v.rename(&path, &dest).unwrap();
+        assert!(!v.exists(&path));
+        v.remove(&dest).unwrap();
+    }
+
+    #[test]
+    fn fault_fires_once_then_everything_is_dead() {
+        let a = tmp("fault-a.bin");
+        let b = tmp("fault-b.bin");
+        let v = FaultVfs::failing_at(FaultKind::Enospc, 1);
+        v.write_all(&a, b"first").unwrap(); // op 0: fine
+        assert!(v.write_all(&b, b"second").is_err()); // op 1: ENOSPC, nothing written
+        assert!(!RealVfs.exists(&b));
+        assert!(v.crashed());
+        // Dead: reads and writes both fail, exists answers false.
+        assert!(v.read(&a).is_err());
+        assert!(v.write_all(&a, b"x").is_err());
+        assert!(!v.exists(&a));
+        assert_eq!(v.mutations(), 2);
+        RealVfs.remove(&a).unwrap();
+    }
+
+    #[test]
+    fn short_write_persists_half() {
+        let path = tmp("short.bin");
+        let v = FaultVfs::failing_at(FaultKind::ShortWrite, 0);
+        assert!(v.write_all(&path, b"12345678").is_err());
+        assert_eq!(RealVfs.read(&path).unwrap(), b"1234");
+        RealVfs.remove(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_rename_loses_the_source_and_tears_the_dest() {
+        let from = tmp("torn-from.bin");
+        let to = tmp("torn-to.bin");
+        RealVfs.write_all(&from, b"ABCDEFGH").unwrap();
+        let v = FaultVfs::failing_at(FaultKind::TornRename, 0);
+        assert!(v.rename(&from, &to).is_err());
+        assert!(!RealVfs.exists(&from));
+        assert_eq!(RealVfs.read(&to).unwrap(), b"ABCD");
+        RealVfs.remove(&to).unwrap();
+    }
+
+    #[test]
+    fn counting_never_faults() {
+        let path = tmp("count.bin");
+        let v = FaultVfs::counting();
+        for _ in 0..5 {
+            v.write_all(&path, b"x").unwrap();
+        }
+        v.fsync(&path).unwrap();
+        assert_eq!(v.mutations(), 6);
+        assert!(!v.crashed());
+        RealVfs.remove(&path).unwrap();
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let path = tmp("flip.bin");
+        RealVfs.write_all(&path, &[0u8; 4]).unwrap();
+        flip_bit(&path, 9, 3).unwrap(); // byte 9 % 4 = 1
+        assert_eq!(RealVfs.read(&path).unwrap(), vec![0, 8, 0, 0]);
+        RealVfs.remove(&path).unwrap();
+    }
+}

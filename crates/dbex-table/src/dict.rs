@@ -23,6 +23,32 @@ impl Dictionary {
         Self::default()
     }
 
+    /// Rebuilds a dictionary from values in code order — the decode path
+    /// for persisted dictionary pages, where value `i` must map back to
+    /// code `i` exactly so persisted column codes keep their meaning.
+    ///
+    /// Duplicates are rejected (codes must stay bijective with values), as
+    /// is a value count that would collide with [`NULL_CODE`].
+    pub fn from_values(
+        values: Vec<String>,
+    ) -> std::result::Result<Dictionary, crate::error::Error> {
+        if values.len() >= NULL_CODE as usize {
+            return Err(crate::error::Error::Invalid(format!(
+                "dictionary of {} values overflows the code space",
+                values.len()
+            )));
+        }
+        let mut index = HashMap::with_capacity(values.len());
+        for (i, v) in values.iter().enumerate() {
+            if index.insert(v.clone(), i as u32).is_some() {
+                return Err(crate::error::Error::Invalid(format!(
+                    "duplicate dictionary value {v:?}"
+                )));
+            }
+        }
+        Ok(Dictionary { values, index })
+    }
+
     /// Interns `s`, returning its code. Existing strings keep their code.
     pub fn intern(&mut self, s: &str) -> u32 {
         if let Some(&code) = self.index.get(s) {
@@ -89,6 +115,19 @@ mod tests {
         assert_eq!(d.code("Jeep"), Some(code));
         assert_eq!(d.resolve(NULL_CODE), None);
         assert_eq!(d.code("Toyota"), None);
+    }
+
+    #[test]
+    fn from_values_round_trips_and_rejects_duplicates() {
+        let mut d = Dictionary::new();
+        d.intern("SUV");
+        d.intern("Sedan");
+        let rebuilt = Dictionary::from_values(d.iter().map(|(_, s)| s.to_owned()).collect())
+            .expect("rebuild");
+        assert_eq!(rebuilt.code("SUV"), Some(0));
+        assert_eq!(rebuilt.code("Sedan"), Some(1));
+        assert_eq!(rebuilt.resolve(1), Some("Sedan"));
+        assert!(Dictionary::from_values(vec!["a".into(), "a".into()]).is_err());
     }
 
     #[test]

@@ -90,6 +90,127 @@ impl Table {
     pub fn filter(&self, predicate: &Predicate) -> Result<View<'_>> {
         self.full_view().refine(predicate)
     }
+
+    /// Assembles a table directly from a schema and pre-built columns with
+    /// a fresh [`Table::id`] — the decode path of `dbex-store`'s segment
+    /// files, and the reason every invariant the builder guarantees is
+    /// re-validated here: arity, per-column types, uniform row counts,
+    /// null-mask lengths, and categorical codes in dictionary range. A
+    /// corrupt-but-checksum-valid input must surface as a typed error,
+    /// never as a panic in a later scan.
+    pub fn from_parts(schema: Schema, columns: Vec<Column>, rows: usize) -> Result<Table> {
+        validate_parts(&schema, &columns, rows)?;
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+            id: NEXT_TABLE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        })
+    }
+
+    /// Like [`Table::from_parts`], but first tries to re-adopt the id the
+    /// table was persisted under, so fingerprints computed against the
+    /// pre-crash table (e.g. persisted cluster-solution cache keys) remain
+    /// valid after a warm restart.
+    ///
+    /// Adoption succeeds only when `persisted_id` is still ahead of the
+    /// process's id counter — i.e. no table in this process has taken it —
+    /// and atomically bumps the counter past it. Returns the table plus
+    /// whether the id was adopted; on `false` the table carries a fresh id
+    /// and any persisted fingerprints referring to `persisted_id` must be
+    /// discarded (they can never collide with the fresh id).
+    pub fn from_parts_adopting(
+        schema: Schema,
+        columns: Vec<Column>,
+        rows: usize,
+        persisted_id: u64,
+    ) -> Result<(Table, bool)> {
+        validate_parts(&schema, &columns, rows)?;
+        let adopted = persisted_id != 0
+            && persisted_id != u64::MAX
+            && NEXT_TABLE_ID
+                .fetch_update(
+                    std::sync::atomic::Ordering::Relaxed,
+                    std::sync::atomic::Ordering::Relaxed,
+                    |current| (persisted_id >= current).then_some(persisted_id + 1),
+                )
+                .is_ok();
+        let id = if adopted {
+            persisted_id
+        } else {
+            NEXT_TABLE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        };
+        Ok((
+            Table {
+                schema,
+                columns,
+                rows,
+                id,
+            },
+            adopted,
+        ))
+    }
+}
+
+/// Shared validation for the `from_parts*` constructors.
+fn validate_parts(schema: &Schema, columns: &[Column], rows: usize) -> Result<()> {
+    if columns.len() != schema.len() {
+        return Err(Error::ArityMismatch {
+            expected: schema.len(),
+            found: columns.len(),
+        });
+    }
+    for (i, column) in columns.iter().enumerate() {
+        let field = schema.field(i);
+        if column.data_type() != field.data_type {
+            return Err(Error::TypeMismatch {
+                attribute: field.name.clone(),
+                expected: field.data_type.to_string(),
+                found: column.data_type().to_string(),
+            });
+        }
+        if column.len() != rows {
+            return Err(Error::Invalid(format!(
+                "column {} has {} rows, expected {rows}",
+                field.name,
+                column.len()
+            )));
+        }
+        match column {
+            Column::Int { data, nulls } => {
+                if data.len() != nulls.len() {
+                    return Err(Error::Invalid(format!(
+                        "column {}: {} values but {} null flags",
+                        field.name,
+                        data.len(),
+                        nulls.len()
+                    )));
+                }
+            }
+            Column::Float { data, nulls } => {
+                if data.len() != nulls.len() {
+                    return Err(Error::Invalid(format!(
+                        "column {}: {} values but {} null flags",
+                        field.name,
+                        data.len(),
+                        nulls.len()
+                    )));
+                }
+            }
+            Column::Categorical { codes, dict } => {
+                for (row, &code) in codes.iter().enumerate() {
+                    if code != crate::dict::NULL_CODE && (code as usize) >= dict.len() {
+                        return Err(Error::Invalid(format!(
+                            "column {} row {row}: code {code} outside dictionary of {} values",
+                            field.name,
+                            dict.len()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Incremental, row-at-a-time table constructor.
@@ -215,5 +336,83 @@ mod tests {
         let t = cars();
         let p = Predicate::eq("Nope", "x");
         assert!(t.filter(&p).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_every_invariant() {
+        use crate::dict::{Dictionary, NULL_CODE};
+        let schema = || {
+            Schema::new(vec![
+                Field::new("Make", DataType::Categorical),
+                Field::new("Price", DataType::Int),
+            ])
+            .unwrap()
+        };
+        let mut dict = Dictionary::new();
+        dict.intern("Ford");
+        let good_cat = Column::Categorical {
+            codes: vec![0, NULL_CODE],
+            dict: dict.clone(),
+        };
+        let good_int = Column::Int {
+            data: vec![1, 2],
+            nulls: vec![false, false],
+        };
+
+        let t = Table::from_parts(schema(), vec![good_cat.clone(), good_int.clone()], 2).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, 0), Value::Str("Ford".into()));
+
+        // Arity.
+        assert!(Table::from_parts(schema(), vec![good_int.clone()], 2).is_err());
+        // Type mismatch against the schema.
+        assert!(Table::from_parts(schema(), vec![good_int.clone(), good_int.clone()], 2).is_err());
+        // Row-count mismatch.
+        assert!(Table::from_parts(schema(), vec![good_cat.clone(), good_int.clone()], 3).is_err());
+        // Null mask length mismatch.
+        let bad_nulls = Column::Int {
+            data: vec![1, 2],
+            nulls: vec![false],
+        };
+        let r = Table::from_parts(schema(), vec![good_cat.clone(), bad_nulls], 2);
+        assert!(r.is_err(), "{r:?}");
+        // Out-of-range categorical code (would panic in cardinality()).
+        let bad_code = Column::Categorical {
+            codes: vec![0, 7],
+            dict,
+        };
+        assert!(Table::from_parts(schema(), vec![bad_code, good_int], 2).is_err());
+    }
+
+    #[test]
+    fn id_adoption_is_unique_and_monotonic() {
+        let schema = || Schema::new(vec![Field::new("A", DataType::Int)]).unwrap();
+        let col = || Column::Int {
+            data: vec![5],
+            nulls: vec![false],
+        };
+        // Reserve a known-fresh id by burning one off the counter.
+        let probe = Table::from_parts(schema(), vec![col()], 1).unwrap();
+        let target = probe.id() + 10;
+
+        let (t1, adopted1) = Table::from_parts_adopting(schema(), vec![col()], 1, target).unwrap();
+        assert!(adopted1);
+        assert_eq!(t1.id(), target);
+
+        // The same persisted id cannot be adopted twice in one process.
+        let (t2, adopted2) = Table::from_parts_adopting(schema(), vec![col()], 1, target).unwrap();
+        assert!(!adopted2);
+        assert_ne!(t2.id(), t1.id());
+
+        // Fresh builder ids never collide with the adopted id.
+        let fresh = Table::from_parts(schema(), vec![col()], 1).unwrap();
+        assert!(fresh.id() > target);
+
+        // Sentinel ids are never adopted.
+        let (_, adopted0) = Table::from_parts_adopting(schema(), vec![col()], 1, 0).unwrap();
+        assert!(!adopted0);
+        let (_, adopted_max) =
+            Table::from_parts_adopting(schema(), vec![col()], 1, u64::MAX).unwrap();
+        assert!(!adopted_max);
     }
 }

@@ -34,6 +34,18 @@
 # soak (mid-request disconnects, oversized/truncated frames, connection
 # hammers over the cap) in release mode; shorten with
 # DBEX_SERVE_SOAK_SECS. Opt-in because of its wall-clock cost.
+#
+# The store smoke (also available alone via `--store-smoke`) saves a
+# snapshot in a child process, reopens it cold, and fails unless the
+# rehydrated cluster solutions serve the first post-restart build from
+# cache, the rebuilt view renders byte-identical, and a fault-injected
+# save leaves the committed generation intact; it is part of the default
+# gate.
+#
+# `--crash-smoke` SIGKILLs a child that saves alternating catalogs in a
+# tight loop and requires every reopen to land on a consistent
+# generation — never a panic, never a torn mix. Opt-in because the kill
+# ladder sleeps between iterations.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,6 +55,8 @@ BENCH_REGRESSION=0
 OBS_SMOKE_ONLY=0
 SERVE_SMOKE_ONLY=0
 SERVE_SOAK=0
+STORE_SMOKE_ONLY=0
+CRASH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -50,7 +64,9 @@ for arg in "$@"; do
     --obs-smoke) OBS_SMOKE_ONLY=1 ;;
     --serve-smoke) SERVE_SMOKE_ONLY=1 ;;
     --serve-soak) SERVE_SOAK=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--obs-smoke] [--serve-smoke] [--serve-soak]" >&2; exit 2 ;;
+    --store-smoke) STORE_SMOKE_ONLY=1 ;;
+    --crash-smoke) CRASH_SMOKE=1 ;;
+    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--obs-smoke] [--serve-smoke] [--serve-soak] [--store-smoke] [--crash-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -72,6 +88,18 @@ if [[ "$SERVE_SOAK" -eq 1 ]]; then
   exit 0
 fi
 
+if [[ "$STORE_SMOKE_ONLY" -eq 1 ]]; then
+  echo "==> store smoke (cross-process warm restart + fault-injected save)"
+  cargo run --release --bin store_smoke
+  exit 0
+fi
+
+if [[ "$CRASH_SMOKE" -eq 1 ]]; then
+  echo "==> crash smoke (SIGKILL mid-save loop; every reopen must be consistent)"
+  cargo run --release --bin store_smoke -- --crash
+  exit 0
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -86,6 +114,9 @@ cargo run --release --bin obs_smoke
 
 echo "==> serve smoke (3 concurrent clients vs oracle + golden transcript)"
 cargo run --release --bin serve_smoke
+
+echo "==> store smoke (cross-process warm restart + fault-injected save)"
+cargo run --release --bin store_smoke
 
 if [[ "$BENCH_SMOKE" -eq 1 ]]; then
   echo "==> bench smoke (bench_suite --quick, DBEX_THREADS=2)"

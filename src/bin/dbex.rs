@@ -26,9 +26,56 @@ use dbexplorer::core::ExecBudget;
 use dbexplorer::data::{HotelsGenerator, MushroomGenerator, UsedCarsGenerator};
 use dbexplorer::query::{QueryOutput, Session};
 use dbexplorer::serve::{Client, ClientError, ServeConfig, Server};
+use dbexplorer::store::{RealVfs, StoreError};
 use std::collections::BTreeSet;
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Std-only POSIX signal shim: flags SIGINT/SIGTERM so `--serve` can
+/// drain connections and flush a final snapshot instead of dying with
+/// whatever half-written state the kernel interrupts.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX `signal(2)`. The handler must be async-signal-safe: ours
+        // only stores to an atomic.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    /// Whether a termination signal has arrived.
+    pub fn termination_requested() -> bool {
+        TERMINATE.load(Ordering::SeqCst)
+    }
+}
+
+/// Non-unix fallback: no signal handling; `--serve` runs until killed.
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn termination_requested() -> bool {
+        false
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,7 +90,10 @@ fn main() {
             println!(
                 "usage: dbex                                  interactive local shell\n\
                  \x20      dbex --serve <addr> [--max-conns N] [--time-limit-ms N] [--threads N]\n\
-                 \x20                                           serve the wire protocol on <addr>\n\
+                 \x20                  [--data-dir DIR] [--autosave-ms N] [--max-frame-bytes N]\n\
+                 \x20                                           serve the wire protocol on <addr>;\n\
+                 \x20                                           with --data-dir, warm-restart from\n\
+                 \x20                                           DIR and flush a snapshot on Ctrl-C\n\
                  \x20      dbex --connect <addr>                REPL against a running server"
             );
             return;
@@ -57,11 +107,15 @@ fn main() {
     run_repl();
 }
 
-/// `dbex --serve <addr>`: bind, preload nothing (clients `.load` into the
-/// shared catalog), and serve until the process is killed.
+/// `dbex --serve <addr>`: bind (warm-restarting from `--data-dir` when
+/// given), preload nothing (clients `.load` into the shared catalog), and
+/// serve until SIGINT/SIGTERM — then drain connections, flush a final
+/// snapshot, and exit 0.
 fn run_serve(args: &[String]) -> i32 {
+    let usage = "usage: dbex --serve <addr> [--max-conns N] [--time-limit-ms N] [--threads N] \
+                 [--data-dir DIR] [--autosave-ms N] [--max-frame-bytes N]";
     let Some(addr) = args.first() else {
-        eprintln!("usage: dbex --serve <addr> [--max-conns N] [--time-limit-ms N] [--threads N]");
+        eprintln!("{usage}");
         return 2;
     };
     let mut config = ServeConfig::default();
@@ -71,6 +125,10 @@ fn run_serve(args: &[String]) -> i32 {
             eprintln!("{flag} needs a value");
             return 2;
         };
+        if flag.as_str() == "--data-dir" {
+            config.data_dir = Some(PathBuf::from(raw));
+            continue;
+        }
         let parsed: u64 = match raw.parse() {
             Ok(v) => v,
             Err(e) => {
@@ -82,11 +140,17 @@ fn run_serve(args: &[String]) -> i32 {
             "--max-conns" => config.max_connections = parsed as usize,
             "--time-limit-ms" => config.request_time_limit = Some(Duration::from_millis(parsed)),
             "--threads" => config.threads = parsed as usize,
+            "--max-frame-bytes" => config.max_frame_bytes = parsed as usize,
+            "--autosave-ms" => config.autosave_interval = Some(Duration::from_millis(parsed)),
             other => {
                 eprintln!("unknown flag {other} for --serve");
                 return 2;
             }
         }
+    }
+    if config.autosave_interval.is_some() && config.data_dir.is_none() {
+        eprintln!("--autosave-ms requires --data-dir");
+        return 2;
     }
     let server = match Server::bind(addr.as_str(), config.clone()) {
         Ok(s) => s,
@@ -96,11 +160,19 @@ fn run_serve(args: &[String]) -> i32 {
         }
     };
     println!(
-        "dbex-serve listening on {} (max {} connections{})",
+        "dbex-serve listening on {} (max {} connections{}{})",
         server.local_addr(),
         config.max_connections,
         match config.request_time_limit {
             Some(limit) => format!(", {}ms/request", limit.as_millis()),
+            None => String::new(),
+        },
+        match &config.data_dir {
+            Some(dir) => format!(
+                ", {} table(s) from {}",
+                server.catalog().len(),
+                dir.display()
+            ),
             None => String::new(),
         }
     );
@@ -111,13 +183,22 @@ fn run_serve(args: &[String]) -> i32 {
             return 1;
         }
     };
-    // Serve until killed: the accept loop runs on its own thread, so park
-    // the main thread instead of spinning.
-    loop {
-        std::thread::park();
-        // Spurious unparks are permitted by the API; keep serving.
-        let _ = &handle;
+    // Serve until a termination signal arrives; then drain gracefully.
+    sig::install();
+    while !sig::termination_requested() {
+        std::thread::park_timeout(Duration::from_millis(200));
     }
+    println!("dbex-serve: shutting down (draining connections)");
+    let summary = handle.shutdown();
+    if let Some(err) = &summary.flush_error {
+        eprintln!("dbex-serve: final snapshot failed: {err}");
+        return 1;
+    }
+    match summary.generation {
+        Some(generation) => println!("dbex-serve: flushed snapshot generation {generation}"),
+        None => println!("dbex-serve: nothing to flush"),
+    }
+    0
 }
 
 /// `dbex --connect <addr>`: the familiar REPL surface, but every
@@ -278,6 +359,10 @@ impl Shell {
                     ".load hotels [rows] [seed]    register the synthetic hotels table",
                     ".open <path> <name> [--lossy] load a CSV file as <name>; with --lossy,",
                     "                              skip bad rows instead of aborting",
+                    ".open <dir>                   open a saved snapshot directory (tables +",
+                    "                              cached cluster solutions)",
+                    ".save <dir>                   write a checksummed snapshot of every",
+                    "                              registered table (atomic, generational)",
                     ".budget [rows N] [time MS] [iters N] | off",
                     "                              limit CAD View builds (degrade, don't fail)",
                     ".threads [N|auto]             CAD build parallelism (1 = sequential;",
@@ -295,6 +380,7 @@ impl Shell {
             }
             ".load" => self.load(&parts),
             ".open" => self.open(&parts),
+            ".save" => self.save(&parts),
             ".budget" => self.budget(&parts),
             ".threads" => self.threads(&parts),
             ".trace" => self.trace(&parts),
@@ -379,8 +465,13 @@ impl Shell {
     fn open(&mut self, parts: &[&str]) {
         let lossy = parts.contains(&"--lossy");
         let args: Vec<&str> = parts[1..].iter().copied().filter(|p| *p != "--lossy").collect();
+        // One bare argument is a snapshot directory; two is a CSV import.
+        if args.len() == 1 && !lossy {
+            self.open_snapshot(args[0]);
+            return;
+        }
         let (Some(path), Some(name)) = (args.first(), args.get(1)) else {
-            println!("usage: .open <path> <name> [--lossy]");
+            println!("usage: .open <path> <name> [--lossy]  or  .open <dir>");
             return;
         };
         let text = match std::fs::read_to_string(path) {
@@ -420,6 +511,78 @@ impl Shell {
         println!();
         self.session.register_table(name.to_string(), table);
         self.tables.insert(name.to_string());
+    }
+
+    /// `.open <dir>`: load the newest consistent snapshot generation from a
+    /// `.save` directory, registering every table and rehydrating any
+    /// persisted cluster solutions into the session's stats cache.
+    fn open_snapshot(&mut self, dir: &str) {
+        let report = match dbexplorer::store::open(&RealVfs, Path::new(dir)) {
+            Ok(report) => report,
+            Err(StoreError::NoManifest { .. }) => {
+                println!("no snapshot found in {dir}");
+                return;
+            }
+            Err(e) => {
+                println!("cannot open snapshot {dir}: {e}");
+                return;
+            }
+        };
+        if report.fallbacks > 0 {
+            println!(
+                "warning: newest generation unreadable; fell back {} generation(s)",
+                report.fallbacks
+            );
+        }
+        let rehydrated = report.rehydrate_into(self.session.stats_cache());
+        for (name, table) in &report.tables {
+            println!("opened {name}: {} rows", table.num_rows());
+            self.tables.insert(name.clone());
+        }
+        for (name, table) in report.tables {
+            self.session.register_shared(name, table);
+        }
+        self.session.mark_catalog_saved();
+        println!(
+            "snapshot generation {}: {} table(s), {} cached cluster solution(s)",
+            report.generation,
+            self.tables.len(),
+            rehydrated
+        );
+    }
+
+    /// `.save <dir>`: write an atomic, checksummed snapshot of every
+    /// registered table plus the exact-key cluster solutions in the cache.
+    fn save(&mut self, parts: &[&str]) {
+        let Some(dir) = parts.get(1) else {
+            println!("usage: .save <dir>");
+            return;
+        };
+        let tables = self.session.tables_snapshot();
+        if tables.is_empty() {
+            println!("nothing to save: no tables registered");
+            return;
+        }
+        match dbexplorer::store::save(
+            &RealVfs,
+            Path::new(dir),
+            &tables,
+            Some(self.session.stats_cache()),
+        ) {
+            Ok(report) => {
+                self.session.mark_catalog_saved();
+                println!(
+                    "saved generation {}: {} table(s), {} segment(s) written, {} reused, \
+                     {} cluster solution(s)",
+                    report.generation,
+                    report.tables,
+                    report.segments_written,
+                    report.segments_reused,
+                    report.cluster_entries
+                );
+            }
+            Err(e) => println!("save failed: {e}"),
+        }
     }
 
     /// `.budget [rows N] [time MS] [iters N]` tightens the session budget;

@@ -1,0 +1,283 @@
+//! `store_smoke` — CI gate for the durable catalog (`scripts/check.sh`, and
+//! `--crash-smoke` for the kill-loop variant).
+//!
+//! Default mode exercises the full durability story end-to-end across a real
+//! process boundary:
+//!
+//! 1. a child process (`--prepare`) loads two synthetic tables, builds a CAD
+//!    View (populating the stats cache with cluster solutions), records the
+//!    rendered view, and saves a snapshot;
+//! 2. the parent reopens the snapshot cold, adopts the persisted table ids,
+//!    rehydrates the cluster solutions, and requires the **first**
+//!    post-restart `EXPLAIN ANALYZE` build to report partitions served from
+//!    cache;
+//! 3. the rebuilt view must render byte-identical to the child's;
+//! 4. a second save must reuse every segment (content-addressed storage);
+//! 5. a fault-injected save must leave the previous generation readable.
+//!
+//! `--crash` mode SIGKILLs a `--crash-child` that saves alternating catalogs
+//! in a tight loop, and requires every reopen to land on a consistent
+//! generation — never a panic, never a torn mix of the two catalogs.
+
+use dbexplorer::data::{HotelsGenerator, UsedCarsGenerator};
+use dbexplorer::query::Session;
+use dbexplorer::store::{
+    open, save, table_digest, FaultKind, FaultVfs, RealVfs, StoreError,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CARS_ROWS: usize = 2_000;
+const HOTELS_ROWS: usize = 500;
+const SEED: u64 = 7;
+
+const VIEW_SQL: &str =
+    "CREATE CADVIEW v AS SET pivot = Make FROM cars WHERE BodyType = SUV LIMIT COLUMNS 3 IUNITS 2";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("store_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbex-store-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn prepared_session() -> Session {
+    let mut session = Session::new();
+    session.register_table("cars", UsedCarsGenerator::new(SEED).generate(CARS_ROWS));
+    session.register_table("hotels", HotelsGenerator::new(SEED).generate(HOTELS_ROWS));
+    session
+}
+
+fn render_of(session: &mut Session, sql: &str) -> String {
+    match session.execute(sql) {
+        Ok(out) => out.render(),
+        Err(e) => fail(&format!("{sql:?} failed: {e}")),
+    }
+}
+
+/// Child step: build the view, record its render next to the snapshot dir,
+/// and save tables + cluster solutions.
+fn run_prepare(dir: &Path) -> i32 {
+    let mut session = prepared_session();
+    let render = render_of(&mut session, VIEW_SQL);
+    if let Err(e) = std::fs::write(render_path(dir), &render) {
+        fail(&format!("cannot record the view render: {e}"));
+    }
+    let tables = session.tables_snapshot();
+    match save(&RealVfs, dir, &tables, Some(session.stats_cache())) {
+        Ok(report) => {
+            if report.cluster_entries == 0 {
+                fail("prepare child saved no cluster solutions; the warm-reuse check is vacuous");
+            }
+            println!(
+                "store_smoke[prepare]: generation {} with {} cluster solution(s)",
+                report.generation, report.cluster_entries
+            );
+            0
+        }
+        Err(e) => fail(&format!("prepare save failed: {e}")),
+    }
+}
+
+fn render_path(dir: &Path) -> PathBuf {
+    let mut name = dir.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push("-render.txt");
+    dir.with_file_name(name)
+}
+
+/// Parses `  cluster reuse: N partition(s) served from cache, ...` out of an
+/// `EXPLAIN ANALYZE` render.
+fn parse_reused_partitions(render: &str) -> u64 {
+    for line in render.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix("cluster reuse: ") {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            return digits.parse().unwrap_or(0);
+        }
+    }
+    fail("EXPLAIN ANALYZE output has no `cluster reuse:` line");
+}
+
+fn run_default() {
+    let dir = scratch_dir("main");
+
+    // 1. Prepare the snapshot in a child process: table-id adoption only
+    //    succeeds when the persisted ids are ahead of this process's
+    //    counter, i.e. when the snapshot comes from another process.
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let status = std::process::Command::new(&exe)
+        .arg("--prepare")
+        .arg(&dir)
+        .status()
+        .unwrap_or_else(|e| fail(&format!("cannot spawn the prepare child: {e}")));
+    if !status.success() {
+        fail(&format!("prepare child failed: {status}"));
+    }
+    let expected_render = std::fs::read_to_string(render_path(&dir))
+        .unwrap_or_else(|e| fail(&format!("cannot read the recorded render: {e}")));
+
+    // 2. Warm restart: open cold, rehydrate, and demand cache reuse on the
+    //    very first build.
+    let report = open(&RealVfs, &dir).unwrap_or_else(|e| fail(&format!("warm open failed: {e}")));
+    if report.tables.len() != 2 {
+        fail(&format!("expected 2 tables after open, got {}", report.tables.len()));
+    }
+    if !report.all_ids_adopted {
+        fail("cross-process open did not adopt the persisted table ids");
+    }
+    let mut session = Session::new();
+    let rehydrated = report.rehydrate_into(session.stats_cache());
+    if rehydrated == 0 {
+        fail("no cluster solutions rehydrated from the stats sidecar");
+    }
+    for (name, table) in &report.tables {
+        session.register_shared(name.clone(), Arc::clone(table));
+    }
+    let analyze = render_of(&mut session, &format!("EXPLAIN ANALYZE {VIEW_SQL}"));
+    let reused = parse_reused_partitions(&analyze);
+    if reused == 0 {
+        fail(&format!(
+            "first post-restart build served 0 partitions from cache:\n{analyze}"
+        ));
+    }
+
+    // 3. Determinism across the restart: same statement, same bytes.
+    let render = render_of(&mut session, VIEW_SQL);
+    if render != expected_render {
+        fail("post-restart CAD View render differs from the pre-save render");
+    }
+
+    // 4. Content-addressed reuse: an unchanged catalog rewrites no segments.
+    let tables = session.tables_snapshot();
+    let second = save(&RealVfs, &dir, &tables, Some(session.stats_cache()))
+        .unwrap_or_else(|e| fail(&format!("second save failed: {e}")));
+    if second.segments_written != 0 || second.segments_reused != 2 {
+        fail(&format!(
+            "second save should reuse both segments, wrote {} reused {}",
+            second.segments_written, second.segments_reused
+        ));
+    }
+
+    // 5. A failed save must not damage the committed generation.
+    let faulty = FaultVfs::failing_at(FaultKind::Enospc, 0);
+    if save(&faulty, &dir, &tables, None).is_ok() {
+        fail("save through a failing VFS reported success");
+    }
+    let after = open(&RealVfs, &dir)
+        .unwrap_or_else(|e| fail(&format!("open after the failed save broke: {e}")));
+    if after.generation != second.generation || after.tables.len() != 2 {
+        fail("the failed save damaged the committed generation");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(render_path(&dir));
+    println!(
+        "store_smoke: OK (warm restart reused {reused} partition(s); render byte-identical; \
+         {} segment(s) reused; fault save left generation {} intact)",
+        second.segments_reused, second.generation
+    );
+}
+
+/// The two catalogs the crash child alternates between. Digests are
+/// content-based, so the parent can recompute the legal sets independently.
+fn catalog_a() -> Vec<(String, Arc<dbexplorer::table::Table>)> {
+    vec![(
+        "cars".to_owned(),
+        Arc::new(UsedCarsGenerator::new(1).generate(300)),
+    )]
+}
+
+fn catalog_b() -> Vec<(String, Arc<dbexplorer::table::Table>)> {
+    vec![
+        ("cars".to_owned(), Arc::new(UsedCarsGenerator::new(1).generate(300))),
+        ("hotels".to_owned(), Arc::new(HotelsGenerator::new(2).generate(200))),
+    ]
+}
+
+fn digest_set(tables: &[(String, Arc<dbexplorer::table::Table>)]) -> Vec<u64> {
+    let mut digests: Vec<u64> = tables.iter().map(|(_, t)| table_digest(t)).collect();
+    digests.sort_unstable();
+    digests
+}
+
+/// Child for `--crash`: save alternating catalogs as fast as possible until
+/// killed.
+fn run_crash_child(dir: &Path) -> i32 {
+    let a = catalog_a();
+    let b = catalog_b();
+    loop {
+        if save(&RealVfs, dir, &a, None).is_err() {
+            return 1;
+        }
+        if save(&RealVfs, dir, &b, None).is_err() {
+            return 1;
+        }
+    }
+}
+
+fn run_crash() {
+    let dir = scratch_dir("crash");
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let legal_a = digest_set(&catalog_a());
+    let legal_b = digest_set(&catalog_b());
+
+    const ITERATIONS: u32 = 8;
+    let mut observed_tables = 0usize;
+    for i in 0..ITERATIONS {
+        let mut child = std::process::Command::new(&exe)
+            .arg("--crash-child")
+            .arg(&dir)
+            .spawn()
+            .unwrap_or_else(|e| fail(&format!("cannot spawn the crash child: {e}")));
+        // A sleep ladder lands the SIGKILL at different points of the save
+        // cycle: mid-segment, mid-manifest, mid-rename, between saves.
+        std::thread::sleep(Duration::from_millis(40 + 35 * u64::from(i)));
+        let _ = child.kill();
+        let _ = child.wait();
+
+        match open(&RealVfs, &dir) {
+            Ok(report) => {
+                let digests = digest_set(&report.tables);
+                if digests != legal_a && digests != legal_b {
+                    fail(&format!(
+                        "iteration {i}: recovered generation {} is a torn mix of catalogs",
+                        report.generation
+                    ));
+                }
+                observed_tables += report.tables.len();
+            }
+            Err(StoreError::NoManifest { .. }) => {
+                // Killed before the very first commit: an empty store is a
+                // consistent state.
+            }
+            Err(e) => fail(&format!("iteration {i}: reopen failed hard: {e}")),
+        }
+    }
+    if observed_tables == 0 {
+        fail("every kill landed before the first commit; the ladder never exercised recovery");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("store_smoke: OK (--crash: {ITERATIONS} SIGKILLs, every reopen consistent)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => run_default(),
+        Some("--crash") => run_crash(),
+        Some("--prepare") => {
+            let Some(dir) = args.get(1) else { fail("--prepare needs a directory") };
+            std::process::exit(run_prepare(Path::new(dir)));
+        }
+        Some("--crash-child") => {
+            let Some(dir) = args.get(1) else { fail("--crash-child needs a directory") };
+            std::process::exit(run_crash_child(Path::new(dir)));
+        }
+        Some(other) => fail(&format!("unknown flag {other}; try --crash")),
+    }
+}

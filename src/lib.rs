@@ -17,6 +17,8 @@
 //!   trace sinks, and the timing-masking helpers used by snapshot tests.
 //! * [`serve`] — concurrent TCP wire server: shared catalog + shared
 //!   stats cache, length-prefixed requests, JSON-line responses.
+//! * [`store`] — crash-safe durable catalog: checksummed columnar
+//!   snapshots, atomic manifest swaps, fault-injected recovery.
 //! * [`data`] — synthetic UsedCars / Mushroom dataset generators.
 //! * [`study`] — the simulated user study reproducing Section 6.2.
 //!
@@ -47,6 +49,7 @@ pub use dbex_facet as facet;
 pub use dbex_query as query;
 pub use dbex_serve as serve;
 pub use dbex_stats as stats;
+pub use dbex_store as store;
 pub use dbex_study as study;
 pub use dbex_table as table;
 pub use dbex_topk as topk;

@@ -7,11 +7,16 @@
 //! by default). Every point is measured twice: **cold** (a fresh build,
 //! no cache) and **warm** (rebuilds against a `StatsCache` primed by one
 //! preceding build, so codec, contingency and cluster-partition reuse
-//! all engage). The report carries `"schema": 3`, a per-workload
+//! all engage). The report carries `"schema": 4`, a per-workload
 //! `"warm_cache"` object (hits / misses / partitions served from the
 //! cluster-reuse cache), `"span_medians_ms"` (per-span medians over
-//! repeated traced builds) and a `"span_breakdown"` tree, and is
-//! validated — well-formedness *and* schema version — before it is
+//! repeated traced builds), a `"kernel_speedups"` object (the
+//! kernel-heavy spans' median speedup at the max measured pool size
+//! over 1 thread), a `"span_breakdown"` tree, and top-level
+//! `"cpu_features"` / `"kernel_dispatch"` provenance (which SIMD family
+//! the packed kernels dispatched to on this host — compare reports from
+//! different machines with that in hand). It is validated —
+//! well-formedness, schema version *and* field whitelist — before it is
 //! written; a bad report is a hard failure (exit code 1).
 //!
 //! ```text
@@ -45,6 +50,11 @@ use std::time::Instant;
 /// Gate threshold for `--baseline`: fail on a >25% regression in the
 /// `cluster_partition` median.
 const GATE_THRESHOLD: f64 = 0.25;
+
+/// The kernel-heavy spans whose thread-scaling speedup the schema-4
+/// report records (`"kernel_speedups"`): the packed clustering walk and
+/// the chi-square contingency fill.
+const KERNEL_SPANS: [&str; 2] = ["cluster_partition", "compare_attrs"];
 
 /// One workload: a named request over a fixed result-set size.
 struct Workload {
@@ -124,6 +134,8 @@ fn main() {
         },
     ];
 
+    let cpu_features = dbex_stats::simd::cpu_features();
+    let kernel_dispatch = dbex_stats::simd::dispatch().name();
     println!(
         "bench_suite: {} run(s)/point, threads {:?}, auto = {auto} (hardware {}, DBEX_THREADS {})",
         runs,
@@ -131,6 +143,7 @@ fn main() {
         dbex_par::hardware_threads(),
         std::env::var("DBEX_THREADS").unwrap_or_else(|_| "unset".into()),
     );
+    println!("kernel dispatch: {kernel_dispatch} (cpu: {cpu_features})");
 
     let mut sections = Vec::new();
     for workload in &workloads {
@@ -163,7 +176,27 @@ fn main() {
             "  warm cache: {} hit(s), {} miss(es), {} partition(s) reused per rebuild",
             warm_cache.hits, warm_cache.misses, warm_cache.partitions_reused
         );
-        let (breakdown, span_medians) = span_breakdown(workload, &result, runs);
+        let (breakdown, span_medians) = span_breakdown(workload, &result, runs, 1);
+        // Kernel-only speedups: the kernel-heavy spans' medians at the
+        // max measured pool size over the sequential medians, isolating
+        // the intra-partition chunking from end-to-end effects.
+        let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
+        let max_span_medians = if max_threads > 1 {
+            span_breakdown(workload, &result, runs, max_threads).1
+        } else {
+            span_medians.clone()
+        };
+        let kernel_speedups: Vec<(String, f64)> = KERNEL_SPANS
+            .iter()
+            .filter_map(|&span| {
+                let seq = span_medians.iter().find(|(n, _)| n == span)?.1;
+                let par = max_span_medians.iter().find(|(n, _)| n == span)?.1;
+                (par > 0.0).then(|| (span.to_owned(), seq / par))
+            })
+            .collect();
+        for (span, speedup) in &kernel_speedups {
+            println!("  kernel span {span}: {speedup:.2}x at {max_threads} thread(s)");
+        }
         sections.push(render_section(
             workload,
             result.len(),
@@ -172,13 +205,16 @@ fn main() {
             &warm_cache,
             &breakdown,
             &span_medians,
+            &kernel_speedups,
         ));
     }
 
     let report = format!(
         "{{\n  \"bench\": \"cad\",\n  \"schema\": {BENCH_SCHEMA},\n  \"quick\": {quick},\n  \
          \"runs_per_point\": {runs},\n  \
-         \"hardware_threads\": {},\n  \"auto_threads\": {auto},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"hardware_threads\": {},\n  \"auto_threads\": {auto},\n  \
+         \"cpu_features\": \"{cpu_features}\",\n  \"kernel_dispatch\": \"{kernel_dispatch}\",\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
         dbex_par::hardware_threads(),
         sections.join(",\n"),
     );
@@ -289,18 +325,20 @@ fn run_workload(
     (cells, warm_cache)
 }
 
-/// The traced span tree of `runs` extra sequential builds: returns the
-/// last run's tree as JSON (the structural fields — span names, call
-/// counts, rows scanned, cache hits — are deterministic) plus per-span
-/// medians of total `duration_ms` across the runs, the values the
-/// `--baseline` gate compares.
+/// The traced span tree of `runs` extra builds at the given pool size:
+/// returns the last run's tree as JSON (the structural fields — span
+/// names, call counts, rows scanned, cache hits — are deterministic)
+/// plus per-span medians of total `duration_ms` across the runs, the
+/// values the `--baseline` gate and the `kernel_speedups` object
+/// compare.
 fn span_breakdown(
     workload: &Workload,
     result: &View<'_>,
     runs: usize,
+    threads: usize,
 ) -> (String, Vec<(String, f64)>) {
     let mut request = workload.request.clone();
-    request.config.threads = 1;
+    request.config.threads = threads;
     let mut tree_json = "[]".to_owned();
     let mut per_span: Vec<(String, Vec<f64>)> = Vec::new();
     for _ in 0..runs.max(1) {
@@ -328,6 +366,7 @@ fn span_breakdown(
 }
 
 /// One workload's JSON object (hand-rolled; validated by the caller).
+#[allow(clippy::too_many_arguments)]
 fn render_section(
     workload: &Workload,
     rows: usize,
@@ -336,6 +375,7 @@ fn render_section(
     warm_cache: &WarmCache,
     span_breakdown: &str,
     span_medians: &[(String, f64)],
+    kernel_speedups: &[(String, f64)],
 ) -> String {
     let max_threads = cells.iter().map(|c| c.threads).max().unwrap_or(1);
     let max_median = cells
@@ -369,11 +409,16 @@ fn render_section(
         .iter()
         .map(|(name, ms)| format!("\"{name}\": {ms:.3}"))
         .collect();
+    let speedups: Vec<String> = kernel_speedups
+        .iter()
+        .map(|(name, x)| format!("\"{name}\": {x:.3}"))
+        .collect();
     format!(
         "    {{\n      \"name\": \"{}\",\n      \"rows\": {rows},\n      \"points\": [\n{}\n      \
          ],\n      \"speedup_at_max_threads\": {speedup:.3},\n      \
          \"warm_cache\": {{\"hits\": {}, \"misses\": {}, \"partitions_reused\": {}}},\n      \
          \"span_medians_ms\": {{{}}},\n      \
+         \"kernel_speedups\": {{{}}},\n      \
          \"span_breakdown\": {span_breakdown}\n    }}",
         workload.name,
         points.join(",\n"),
@@ -381,6 +426,7 @@ fn render_section(
         warm_cache.misses,
         warm_cache.partitions_reused,
         medians.join(", "),
+        speedups.join(", "),
     )
 }
 

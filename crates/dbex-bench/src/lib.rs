@@ -158,13 +158,22 @@ pub fn median_ms(samples: &[f64]) -> f64 {
 /// the cluster-reuse cache) and `"span_medians_ms"` (per-span medians
 /// over repeated traced builds, the values the `--baseline` diff
 /// compares). `median_ms` is retained as an alias of `cold_median_ms`
-/// so schema-2 baselines stay diffable.
-pub const BENCH_SCHEMA: u64 = 3;
+/// so schema-2 baselines stay diffable. Schema 4 adds kernel-dispatch
+/// provenance — top-level `"cpu_features"` (the detected ISA feature
+/// string) and `"kernel_dispatch"` (which SIMD family the process
+/// routed the packed kernels to) — plus a per-workload
+/// `"kernel_speedups"` object (span-median speedup of the kernel-heavy
+/// spans at the max measured pool size over 1 thread), and tightens
+/// validation: `validate_report` now rejects unknown fields anywhere in
+/// the report, not just unknown schema numbers.
+pub const BENCH_SCHEMA: u64 = 4;
 
 /// Validates a bench report: well-formed JSON carrying
-/// `"schema": `[`BENCH_SCHEMA`]. Reports without a schema field
-/// (pre-versioning) and reports from a different harness version are
-/// rejected with an actionable message rather than silently consumed.
+/// `"schema": `[`BENCH_SCHEMA`] and **only** the fields that schema
+/// defines. Reports without a schema field (pre-versioning), reports
+/// from a different harness version, and reports carrying unknown
+/// fields (a stale generator, or hand edits) are rejected with an
+/// actionable message rather than silently consumed.
 pub fn validate_report(text: &str) -> Result<(), String> {
     validate_json(text)?;
     let Some(found) = extract_schema(text) else {
@@ -178,6 +187,96 @@ pub fn validate_report(text: &str) -> Result<(), String> {
             "unknown report schema {found}; this validator understands schema \
              {BENCH_SCHEMA} — regenerate with bench_suite"
         ));
+    }
+    let parsed = Json::parse(text)?;
+    validate_fields(&parsed)
+}
+
+/// Field whitelists of the schema-[`BENCH_SCHEMA`] report shape. Objects
+/// with caller-defined keys (`span_medians_ms`, `kernel_speedups`, span
+/// `counters`) are exempt from the walk.
+const TOP_FIELDS: &[&str] = &[
+    "bench",
+    "schema",
+    "quick",
+    "runs_per_point",
+    "hardware_threads",
+    "auto_threads",
+    "cpu_features",
+    "kernel_dispatch",
+    "workloads",
+];
+const WORKLOAD_FIELDS: &[&str] = &[
+    "name",
+    "rows",
+    "points",
+    "speedup_at_max_threads",
+    "warm_cache",
+    "span_medians_ms",
+    "kernel_speedups",
+    "span_breakdown",
+];
+const POINT_FIELDS: &[&str] = &[
+    "threads",
+    "median_ms",
+    "cold_median_ms",
+    "warm_median_ms",
+    "cold_runs_ms",
+    "warm_runs_ms",
+    "output_matches_sequential",
+];
+const WARM_CACHE_FIELDS: &[&str] = &["hits", "misses", "partitions_reused"];
+const SPAN_FIELDS: &[&str] = &["name", "calls", "duration_ms", "counters", "children"];
+
+fn check_keys(obj: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    if let Json::Obj(fields) = obj {
+        for (key, _) in fields {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown field \"{key}\" in {ctx}; schema {BENCH_SCHEMA} allows \
+                     {allowed:?} — regenerate with bench_suite"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks the report against the schema-4 field whitelists.
+fn validate_fields(report: &Json) -> Result<(), String> {
+    check_keys(report, TOP_FIELDS, "report")?;
+    let empty: [Json; 0] = [];
+    for workload in report.get("workloads").and_then(Json::as_array).unwrap_or(&empty) {
+        let name = workload.get("name").and_then(Json::as_str).unwrap_or("?");
+        check_keys(workload, WORKLOAD_FIELDS, &format!("workload \"{name}\""))?;
+        for point in workload.get("points").and_then(Json::as_array).unwrap_or(&empty) {
+            check_keys(point, POINT_FIELDS, &format!("a point of workload \"{name}\""))?;
+        }
+        if let Some(cache) = workload.get("warm_cache") {
+            check_keys(
+                cache,
+                WARM_CACHE_FIELDS,
+                &format!("warm_cache of workload \"{name}\""),
+            )?;
+        }
+        if let Some(tree) = workload.get("span_breakdown") {
+            validate_span_nodes(tree, name)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_span_nodes(tree: &Json, workload: &str) -> Result<(), String> {
+    let empty: [Json; 0] = [];
+    for node in tree.as_array().unwrap_or(&empty) {
+        check_keys(
+            node,
+            SPAN_FIELDS,
+            &format!("a span node of workload \"{workload}\""),
+        )?;
+        if let Some(children) = node.get("children") {
+            validate_span_nodes(children, workload)?;
+        }
     }
     Ok(())
 }
@@ -568,8 +667,8 @@ pub struct ReportDiff {
     pub gate_failed: bool,
 }
 
-/// Compares a freshly generated report against a baseline (schema 2 or
-/// 3). Workloads are matched by name; a workload whose `rows` differ
+/// Compares a freshly generated report against a baseline (schema 2
+/// through [`BENCH_SCHEMA`]). Workloads are matched by name; a workload whose `rows` differ
 /// (e.g. a `--quick` run against a full baseline) is reported as not
 /// comparable and never trips the gate. Per-point medians use
 /// `cold_median_ms`, falling back to schema 2's `median_ms`; per-span
@@ -765,19 +864,61 @@ mod tests {
 
     #[test]
     fn report_validator_checks_schema() {
-        assert!(validate_report(r#"{"schema": 3, "bench": "cad"}"#).is_ok());
+        assert!(validate_report(r#"{"schema": 4, "bench": "cad"}"#).is_ok());
         // Missing schema: actionable message, not silent acceptance.
         let err = validate_report(r#"{"bench": "cad"}"#).unwrap_err();
         assert!(err.contains("no \"schema\" field"), "{err}");
         // Wrong version names both the found and the understood schema.
-        let err = validate_report(r#"{"schema": 2, "bench": "cad"}"#).unwrap_err();
-        assert!(err.contains("unknown report schema 2"), "{err}");
-        assert!(err.contains("schema 3"), "{err}");
+        let err = validate_report(r#"{"schema": 3, "bench": "cad"}"#).unwrap_err();
+        assert!(err.contains("unknown report schema 3"), "{err}");
+        assert!(err.contains("schema 4"), "{err}");
         // Malformed JSON still fails on well-formedness first.
-        assert!(validate_report(r#"{"schema": 3"#).is_err());
+        assert!(validate_report(r#"{"schema": 4"#).is_err());
         // Non-numeric schema value reads as absent.
         let err = validate_report(r#"{"schema": "two"}"#).unwrap_err();
         assert!(err.contains("no \"schema\" field"), "{err}");
+    }
+
+    #[test]
+    fn report_validator_rejects_unknown_fields() {
+        // A field schema 4 does not define fails at every level of the
+        // report — top level, workload, point, warm_cache, span node.
+        let err = validate_report(r#"{"schema": 4, "surprise": 1}"#).unwrap_err();
+        assert!(err.contains("unknown field \"surprise\" in report"), "{err}");
+        let err = validate_report(
+            r#"{"schema": 4, "workloads": [{"name": "w", "bogus": 2}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("\"bogus\" in workload \"w\""), "{err}");
+        let err = validate_report(
+            r#"{"schema": 4, "workloads": [{"name": "w",
+                "points": [{"threads": 1, "mean_ms": 3.0}]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("\"mean_ms\" in a point"), "{err}");
+        let err = validate_report(
+            r#"{"schema": 4, "workloads": [{"name": "w",
+                "warm_cache": {"hits": 1, "evictions": 0}}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("\"evictions\" in warm_cache"), "{err}");
+        let err = validate_report(
+            r#"{"schema": 4, "workloads": [{"name": "w",
+                "span_breakdown": [{"name": "s", "children":
+                  [{"name": "t", "wall_ms": 1.0}]}]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("\"wall_ms\" in a span node"), "{err}");
+        // Caller-defined key spaces stay open: span medians, kernel
+        // speedups, and span counters take arbitrary names.
+        assert!(validate_report(
+            r#"{"schema": 4, "workloads": [{"name": "w",
+                "span_medians_ms": {"anything_at_all": 1.0},
+                "kernel_speedups": {"cluster_partition": 1.6},
+                "span_breakdown": [{"name": "s",
+                  "counters": {"rows_scanned": 7}, "children": []}]}]}"#,
+        )
+        .is_ok());
     }
 
     #[test]

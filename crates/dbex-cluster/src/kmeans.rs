@@ -26,6 +26,8 @@
 
 use crate::error::ClusterError;
 use crate::fault;
+use crate::simd::{assign_rows_with, assign_scatter_rows_with, dot_stride};
+use dbex_stats::simd::SimdDispatch;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -41,6 +43,13 @@ pub struct KMeansConfig {
     /// Use k-means++ seeding (`true`, default) or uniform random seeding
     /// (`false`, ablation baseline).
     pub plus_plus: bool,
+    /// Worker threads for the packed assignment/update and final-stats
+    /// steps (`1` = run on the caller thread). Rows are split into
+    /// deterministic chunks whose integer partials merge in chunk order,
+    /// so the output is **byte-identical at any thread count**; the f64
+    /// inertia is folded sequentially in row order for the same reason.
+    /// The reference [`kmeans`] ignores this field.
+    pub threads: usize,
 }
 
 impl Default for KMeansConfig {
@@ -50,6 +59,7 @@ impl Default for KMeansConfig {
             max_iters: 25,
             seed: 0xDBE0,
             plus_plus: true,
+            threads: 1,
         }
     }
 }
@@ -399,6 +409,13 @@ fn seed_plus_plus(points: &[Vec<u32>], k: usize, rng: &mut StdRng) -> Vec<usize>
 
 use crate::packed::{CodeWord, PackedMatrix, PackedView};
 
+
+/// Minimum rows per worker chunk in the packed kernel. Below this the
+/// per-chunk partials (k histograms of `dim` u32s each) cost more to
+/// allocate and merge than the row walk saves, so short partitions stay
+/// on one chunk regardless of the requested thread count.
+pub(crate) const KMEANS_PAR_MIN_CHUNK: usize = 256;
+
 /// [`kmeans`] over a [`PackedMatrix`] — bit-identical results, packed
 /// storage. See the module comment above for why the bits match.
 pub fn kmeans_packed(
@@ -511,46 +528,81 @@ fn kmeans_packed_impl<T: CodeWord>(
         }
         row_ends.push(row_dims.len() as u32);
     }
-    let dims_of = |i: usize| {
-        let start = if i == 0 { 0 } else { row_ends[i - 1] as usize };
-        &row_dims[start..row_ends[i] as usize]
-    };
 
-    let mut assignments = vec![0usize; n];
+    let threads = config.threads.max(1);
+    // `usize::MAX` = "not yet assigned": the first pass moves every row
+    // into its cluster, priming the running histogram below.
+    let mut assignments = vec![usize::MAX; n];
+    // Running assignment histogram, maintained incrementally: each pass
+    // merges per-chunk wrapping deltas (rows that changed cluster) instead
+    // of rebuilding the `k × dim` sums from scratch — bit-identical by the
+    // group argument on `assign_scatter_rows_with`, and nearly free once
+    // Lloyd stops moving rows.
+    let mut sums = vec![0u32; k * dim];
+    let mut counts = vec![0u32; k];
     let mut iterations = 0;
-    let mut dot = vec![0u32; dot_stride(k)];
     for iter in 0..config.max_iters {
         iterations = iter + 1;
-        // Assignment step.
-        let inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
-        let norms: Vec<f64> = hist
+        // Assignment step. The centroid constants are padded to the LUT
+        // stride with (+inf, 0.0) so the fused kernel's padded lanes can
+        // never win the argmin (see `assign_rows_with`).
+        let stride = dot_stride(k);
+        let mut inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
+        let mut norms: Vec<f64> = hist
             .iter()
             .zip(&inv)
             .map(|(h, &iv)| hist_norm2(h, iv))
             .collect();
+        norms.resize(stride, f64::INFINITY);
+        inv.resize(stride, 0.0);
         let lut = build_int_lut(&hist, dim);
+        // Assignment fused with the incremental update scatter: each chunk
+        // reports which of its rows moved between clusters as wrapping
+        // `(counts, sums)` deltas against the previous assignment. The
+        // partials merge in chunk order into the running histogram;
+        // because every merged quantity is a wrapping integer sum, the
+        // result is byte-identical to a from-scratch scatter at any
+        // thread count (see `assign_scatter_rows_with`).
+        let chunk = |range: std::ops::Range<usize>| {
+            // Resolve the kernel family once per chunk, not per row: the
+            // batched kernel keeps its dot accumulators in registers for
+            // the whole chunk. The per-chunk delta histogram is one flat
+            // `k × dim` array — contiguous scatter targets, and the chunk
+            // merge below is a single strip add.
+            let disp = dbex_stats::simd::dispatch();
+            let mut part_assign = Vec::with_capacity(range.len());
+            let mut part_counts = vec![0u32; k];
+            let mut part_sums = vec![0u32; k * dim];
+            assign_scatter_rows_with(
+                disp,
+                &row_dims,
+                &row_ends,
+                range,
+                &lut,
+                &norms,
+                &inv,
+                dim,
+                &assignments,
+                &mut part_assign,
+                &mut part_counts,
+                &mut part_sums,
+            );
+            (part_assign, part_counts, part_sums)
+        };
+        let parts = dbex_par::par_map_chunks(threads, n, KMEANS_PAR_MIN_CHUNK, chunk);
+        let ranges = dbex_par::chunk_ranges(n, threads, KMEANS_PAR_MIN_CHUNK);
         let mut changed = false;
-        // Assignment fused with the update scatter: integer sums are
-        // order-free, so accumulating row i into its (new) cluster the
-        // moment it is assigned yields the exact histogram the separate
-        // two-pass update would — with one walk over the rows, not two.
-        let mut sums = vec![vec![0u32; dim]; k];
-        let mut counts = vec![0u32; k];
-        let mut start = 0usize;
-        for (i, &end) in row_ends.iter().enumerate() {
-            let dims = &row_dims[start..end as usize];
-            start = end as usize;
-            accumulate_int_dots(dims, &lut, &mut dot);
-            let (best, _) = nearest_from_int_dots(&norms, &inv, &dot, dims.len() as f64);
-            if assignments[i] != best {
-                assignments[i] = best;
-                changed = true;
+        for (range, (part_assign, part_counts, part_sums)) in ranges.into_iter().zip(parts) {
+            for (slot, best) in assignments[range].iter_mut().zip(part_assign) {
+                if *slot != best {
+                    *slot = best;
+                    changed = true;
+                }
             }
-            counts[best] += 1;
-            let sum = &mut sums[best];
-            for &d in dims {
-                sum[d as usize] += 1;
+            for (c, pc) in counts.iter_mut().zip(&part_counts) {
+                *c = c.wrapping_add(*pc);
             }
+            dbex_stats::simd::add_assign_u32(&mut sums, &part_sums);
         }
         if !changed && iter > 0 {
             break;
@@ -579,26 +631,35 @@ fn kmeans_packed_impl<T: CodeWord>(
                 hist[c] = packed_hist_onehot(row(far), m, dim);
                 count[c] = 1;
             } else {
-                std::mem::swap(&mut hist[c], &mut sums[c]);
+                hist[c].copy_from_slice(&sums[c * dim..(c + 1) * dim]);
                 count[c] = counts[c];
             }
         }
     }
 
     // Final stats.
-    let inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
-    let norms: Vec<f64> = hist
+    let stride = dot_stride(k);
+    let mut inv: Vec<f64> = count.iter().map(|&m| 1.0 / f64::from(m)).collect();
+    let mut norms: Vec<f64> = hist
         .iter()
         .zip(&inv)
         .map(|(h, &iv)| hist_norm2(h, iv))
         .collect();
+    norms.resize(stride, f64::INFINITY);
+    inv.resize(stride, 0.0);
     let lut = build_int_lut(&hist, dim);
+    // Nearest-centroid lookups chunk like the iteration loop; the f64
+    // inertia fold stays sequential in row order (float addition is not
+    // associative, so only the per-row (best, d) pairs parallelize).
+    let parts = dbex_par::par_map_chunks(threads, n, KMEANS_PAR_MIN_CHUNK, |range| {
+        let disp = dbex_stats::simd::dispatch();
+        let mut out = Vec::with_capacity(range.len());
+        assign_rows_with(disp, &row_dims, &row_ends, range, &lut, &norms, &inv, &mut out);
+        out
+    });
     let mut inertia = 0.0;
     let mut sizes = vec![0usize; k];
-    for (i, slot) in assignments.iter_mut().enumerate() {
-        let dims = dims_of(i);
-        accumulate_int_dots(dims, &lut, &mut dot);
-        let (best, d) = nearest_from_int_dots(&norms, &inv, &dot, dims.len() as f64);
+    for (slot, (best, d)) in assignments.iter_mut().zip(parts.into_iter().flatten()) {
         *slot = best;
         sizes[best] += 1;
         inertia += d;
@@ -693,19 +754,6 @@ pub(crate) fn nearest_from_dots(norms: &[f64], dot: &[f64], len: f64) -> (usize,
     (best, best_d)
 }
 
-/// Lane width of the integer dot strips: the LUT stride is padded to a
-/// multiple of this so [`accumulate_int_dots`] can walk fixed-size
-/// chunks with no scalar remainder loop. Eight u32 lanes per chunk is
-/// the sweet spot measured on the fig8 shape (k = 15): two 128-bit adds
-/// per chunk with the loop fully unrolled.
-pub(crate) const DOT_STRIP: usize = 8;
-
-/// Rounds a centroid count up to the padded LUT stride.
-#[inline]
-pub(crate) fn dot_stride(k: usize) -> usize {
-    k.div_ceil(DOT_STRIP).max(1) * DOT_STRIP
-}
-
 /// Transposed integer histogram table with padded stride:
 /// `lut[d·stride + c] = hist[c][d]`, zero in the padding lanes. Half the
 /// footprint of the f64 [`build_lut`], and because integer addition is
@@ -722,58 +770,15 @@ pub(crate) fn build_int_lut(hists: &[Vec<u32>], dim: usize) -> Vec<u32> {
     lut
 }
 
-/// Integer mirror of [`accumulate_dots`]: `dot[c] = Σ_{d∈x} hist[c][d]`
-/// over a row's pre-flattened active one-hot dimensions. `dot` must be
-/// `dot_stride(k)` long (padding lanes accumulate zeros). Integer
-/// addition is associative, so unlike the f64 strip adds the order of
-/// accumulation is free — each `DOT_STRIP`-wide chunk compiles to
-/// straight-line vector adds while the result stays exactly the
-/// reference dot.
-#[inline]
-pub(crate) fn accumulate_int_dots(dims: &[u32], lut: &[u32], dot: &mut [u32]) {
-    let ks = dot.len();
-    for v in dot.iter_mut() {
-        *v = 0;
-    }
-    for &d in dims {
-        let base = d as usize * ks;
-        let strip = &lut[base..base + ks];
-        for (acc, s) in dot
-            .chunks_exact_mut(DOT_STRIP)
-            .zip(strip.chunks_exact(DOT_STRIP))
-        {
-            for i in 0..DOT_STRIP {
-                acc[i] += s[i];
-            }
-        }
-    }
-}
-
-/// `nearest` over precomputed integer dots, evaluating the canonical
-/// histogram expression `(norm2 − 2·dot·inv + len).max(0)` — identical
-/// to [`hist_dist2`] in the reference kernel (clamped, first-min ties).
-#[inline]
-pub(crate) fn nearest_from_int_dots(
-    norms: &[f64],
-    invs: &[f64],
-    dot: &[u32],
-    len: f64,
-) -> (usize, f64) {
-    let mut best = 0;
-    let mut best_d = f64::INFINITY;
-    for (c, ((&n2, &iv), &dt)) in norms.iter().zip(invs).zip(dot).enumerate() {
-        let d = (n2 - 2.0 * f64::from(dt) * iv + len).max(0.0);
-        if d < best_d {
-            best_d = d;
-            best = c;
-        }
-    }
-    (best, best_d)
-}
+// `nearest` over precomputed integer dots lives in [`crate::simd`]
+// (`nearest_from_int_dots_with`): it evaluates the canonical histogram
+// expression `(norm2 − 2·dot·inv + len).max(0)` — identical to
+// [`hist_dist2`] in the reference kernel (clamped, first-min ties) —
+// with per-lane-exact SIMD variants behind the runtime dispatch.
 
 /// The packed mirror of [`hist_dist2`]: single-point distance to one
 /// histogram centroid, same canonical expression as
-/// [`nearest_from_int_dots`]. The u32 dot cannot overflow because each
+/// [`nearest_from_int_dots_with`]. The u32 dot cannot overflow because each
 /// of the ≤ attrs active dimensions contributes at most the cluster
 /// size, bounded by the `rows·attrs ≤ u32::MAX` gate at pack time.
 #[inline]
@@ -836,6 +841,16 @@ pub(crate) fn packed_sparse_dist2<T: CodeWord>(a: &[T], b: &[T], la: usize, lb: 
 }
 
 /// The packed mirror of [`seed_plus_plus`] (identical RNG draw sequence).
+///
+/// For `u8` matrices on an x86_64 SIMD dispatch the per-round distance
+/// refresh runs column-major: the codes are transposed once, then each
+/// non-NULL seed attribute folds `col == code` matches into a per-row
+/// byte counter 16/32 rows at a time ([`crate::simd::byte_eq_accumulate`])
+/// and the exact integer distances `min`-fold into `d2`
+/// ([`crate::simd::seed_min_update`]). Both the distances and the
+/// sampling scan are bit-identical to the row-wise loop — the scan and
+/// every RNG draw go through the shared [`seed_sample`], so the chosen
+/// seeds match the reference path exactly.
 fn packed_seed_plus_plus<T: CodeWord>(
     codes: &[T],
     m: &PackedMatrix,
@@ -844,6 +859,21 @@ fn packed_seed_plus_plus<T: CodeWord>(
 ) -> Vec<usize> {
     let n = m.rows();
     let attrs = m.attrs();
+    let disp = dbex_stats::simd::dispatch();
+    // The byte kernels need u8 codes, per-row match counts that fit a
+    // byte (`common ≤ attrs`), and a vector unit that beats the
+    // transpose overhead.
+    if size_of::<T>() == 1
+        && attrs > 0
+        && attrs <= u8::MAX as usize
+        && matches!(disp, SimdDispatch::Sse2 | SimdDispatch::Avx2)
+    {
+        // SAFETY: `size_of::<T>() == 1` means `T` is `u8` (`CodeWord` is
+        // implemented for `u8` and `u16` only), so this is an identity
+        // reinterpretation of the same initialized bytes.
+        let bytes = unsafe { std::slice::from_raw_parts(codes.as_ptr().cast::<u8>(), codes.len()) };
+        return packed_seed_plus_plus_u8(bytes, m, k, disp, rng);
+    }
     let row = |i: usize| &codes[i * attrs..(i + 1) * attrs];
     let mut seeds = Vec::with_capacity(k);
     let mut last = rng.random_range(0..n);
@@ -856,25 +886,76 @@ fn packed_seed_plus_plus<T: CodeWord>(
                 *slot = d;
             }
         }
-        let total: f64 = d2.iter().sum();
-        let next = if total <= 0.0 {
-            rng.random_range(0..n)
-        } else {
-            let mut target = rng.random_range(0.0..total);
-            let mut chosen = n - 1;
-            for (i, &d) in d2.iter().enumerate() {
-                if target < d {
-                    chosen = i;
-                    break;
-                }
-                target -= d;
-            }
-            chosen
-        };
+        let next = seed_sample(&d2, rng);
         seeds.push(next);
         last = next;
     }
     seeds
+}
+
+/// Column-major vectorized body of [`packed_seed_plus_plus`] (u8 codes).
+fn packed_seed_plus_plus_u8(
+    bytes: &[u8],
+    m: &PackedMatrix,
+    k: usize,
+    disp: SimdDispatch,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let n = m.rows();
+    let attrs = m.attrs();
+    let lens = m.lens();
+    // Transpose once so each attribute's cells are contiguous for the
+    // byte-compare kernel; k−1 rounds then stream `attrs` columns each.
+    let mut cols = vec![0u8; n * attrs];
+    for (i, row) in bytes.chunks_exact(attrs).enumerate() {
+        for (a, &c) in row.iter().enumerate() {
+            cols[a * n + i] = c;
+        }
+    }
+    let mut common = vec![0u8; n];
+    let mut seeds = Vec::with_capacity(k);
+    let mut last = rng.random_range(0..n);
+    seeds.push(last);
+    let mut d2 = vec![f64::INFINITY; n];
+    for _ in 1..k {
+        common.fill(0);
+        let seed_row = &bytes[last * attrs..(last + 1) * attrs];
+        for (a, &t) in seed_row.iter().enumerate() {
+            // A NULL cell never matches a non-NULL code, and NULL seed
+            // attributes contribute nothing — same intersection rule as
+            // `packed_sparse_dist2`.
+            if t != u8::MAX {
+                crate::simd::byte_eq_accumulate(disp, &cols[a * n..(a + 1) * n], t, &mut common);
+            }
+        }
+        crate::simd::seed_min_update(disp, &common, lens, lens[last], &mut d2);
+        let next = seed_sample(&d2, rng);
+        seeds.push(next);
+        last = next;
+    }
+    seeds
+}
+
+/// One k-means++ sampling draw over the current distance vector — shared
+/// by the row-wise and column-major seeding paths so their RNG sequences
+/// are identical by construction.
+fn seed_sample(d2: &[f64], rng: &mut StdRng) -> usize {
+    let n = d2.len();
+    let total: f64 = d2.iter().sum();
+    if total <= 0.0 {
+        rng.random_range(0..n)
+    } else {
+        let mut target = rng.random_range(0.0..total);
+        let mut chosen = n - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if target < d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        chosen
+    }
 }
 
 /// Squared distance between two sparse binary points (sorted dim lists).

@@ -16,6 +16,7 @@
 //!   optimization clusters a sample and assigns the remainder).
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod error;
 pub mod fault;
@@ -24,6 +25,7 @@ pub mod minibatch;
 pub mod onehot;
 pub mod packed;
 pub mod quality;
+pub(crate) mod simd;
 
 pub use error::ClusterError;
 pub use kmeans::{assign_all_packed, kmeans, kmeans_packed, kmeans_packed_warm, KMeansConfig, KMeansResult};

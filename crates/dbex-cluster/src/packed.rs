@@ -153,6 +153,12 @@ impl PackedMatrix {
         self.lens[r] as usize
     }
 
+    /// All per-row non-NULL counts (the vectorized seeding kernel loads
+    /// them four at a time).
+    pub(crate) fn lens(&self) -> &[u32] {
+        &self.lens
+    }
+
     /// Runs `f` over the width-monomorphized code slice.
     pub(crate) fn dispatch<R>(&self, f: impl FnOnce(PackedView<'_>) -> R) -> R {
         match &self.codes {

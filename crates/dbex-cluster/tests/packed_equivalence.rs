@@ -99,10 +99,20 @@ fn check_equivalence(cards: &[usize], rows: &[Vec<Option<u32>>], k: usize, seed:
             max_iters: 12,
             seed,
             plus_plus,
+            threads: 1,
         };
         let reference = kmeans(&points, space.dim(), &cfg).unwrap();
         let packed = kmeans_packed(&matrix, &cfg).unwrap();
         assert_bit_identical(&packed, &reference, &format!("kmeans pp={plus_plus}"));
+        let threaded = kmeans_packed(
+            &matrix,
+            &KMeansConfig {
+                threads: 3,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_bit_identical(&threaded, &reference, &format!("kmeans t=3 pp={plus_plus}"));
         assert_eq!(
             assign_all_packed(&reference, &matrix),
             reference.assign_all(&points),

@@ -329,6 +329,10 @@ pub fn build_cad_view_traced(
     let build_start = Instant::now();
     dbex_obs::counter!("cad.builds").incr(1);
     let threads = dbex_par::resolve_threads(request.config.threads);
+    // Record which SIMD kernel family this process dispatches to, so
+    // `metrics`/EXPLAIN ANALYZE can attribute build timings to the
+    // hardware path actually taken (codes from `SimdDispatch::code`).
+    dbex_obs::gauge!("cluster.kernel_dispatch").set(dbex_stats::simd::dispatch().code());
     let gauge = request.budget.start();
     let mut degradation: Vec<Degradation> = Vec::new();
     let schema = result.table().schema();
@@ -569,6 +573,16 @@ pub fn build_cad_view_traced(
     let mut candidate_sets: Vec<Vec<IUnit>> = Vec::with_capacity(selected_partitions.len());
     let mut partitions_reused = 0usize;
     let mut warm_starts = 0usize;
+    // When there are fewer partitions than workers (few pivot values, the
+    // common shape on real datasets), the leftover parallelism moves
+    // *inside* each partition: the packed kernel splits its row walk into
+    // deterministically-merged chunks. Dividing keeps the worst-case
+    // thread count near `threads` (outer workers × inner chunks).
+    let inner_threads = if threads > 1 {
+        threads.div_ceil(selected_partitions.len().max(1)).max(1)
+    } else {
+        1
+    };
     for (units, degraded, reused, warm) in dbex_par::par_map(
         threads,
         &selected_partitions,
@@ -582,6 +596,7 @@ pub fn build_cad_view_traced(
                 k,
                 &request.config,
                 kmeans_iters,
+                inner_threads,
                 &gauge,
                 label,
                 cache,
@@ -845,6 +860,7 @@ fn generate_candidates(
     k: usize,
     config: &CadConfig,
     kmeans_iters: usize,
+    inner_threads: usize,
     gauge: &BudgetGauge<'_>,
     pivot_label: &str,
     cache: Option<&dbex_stats::StatsCache>,
@@ -933,7 +949,17 @@ fn generate_candidates(
         .flatten();
 
     loop {
-        match cluster_partition(members, coded, space, l, config, kmeans_iters, rung, warm) {
+        match cluster_partition(
+            members,
+            coded,
+            space,
+            l,
+            config,
+            kmeans_iters,
+            inner_threads,
+            rung,
+            warm,
+        ) {
             Ok((clusters, warm_started)) => {
                 if rung == ClusterRung::Full {
                     if let (Some(key), Some(cache)) = (reuse_key, cache) {
@@ -1002,6 +1028,7 @@ fn cluster_partition(
     l: usize,
     config: &CadConfig,
     kmeans_iters: usize,
+    inner_threads: usize,
     rung: ClusterRung,
     warm: Option<(&dbex_stats::StatsCache, u64)>,
 ) -> Result<(Vec<Vec<u32>>, bool), dbex_cluster::ClusterError> {
@@ -1075,6 +1102,7 @@ fn cluster_partition(
                     max_iters: kmeans_iters,
                     seed: config.seed,
                     plus_plus: config.plus_plus,
+                    threads: inner_threads,
                 },
                 initial.as_ref().map(|c| c.as_slice()),
             )?
@@ -1097,6 +1125,7 @@ fn cluster_partition(
                 max_iters: kmeans_iters,
                 seed: config.seed,
                 plus_plus: config.plus_plus,
+                threads: 1, // the one-hot reference path is sequential
             },
         )?,
     };

@@ -43,7 +43,10 @@ pub use span::{fmt_ns, Span, SpanId, SpanNode, Trace, Tracer};
 /// * `histogram` lines whose metric name ends in `_ns`/`_us`/`_ms`
 ///   have their value part replaced (bucket contents are timing);
 /// * everything after `parallelism:` is replaced (thread count is an
-///   execution detail, not an output property).
+///   execution detail, not an output property);
+/// * everything after `kernel dispatch:` and the value of the
+///   `cluster.kernel_dispatch` gauge are replaced (the SIMD family is a
+///   property of the host CPU).
 ///
 /// Golden snapshot tests compare `mask_timings(rendered)` so that span
 /// names, row counters, cache hit/miss, and degradation levels stay
@@ -68,6 +71,15 @@ fn mask_line(line: &str) -> String {
     }
     if let Some(pos) = line.find("parallelism:") {
         return format!("{}parallelism: <T>", &line[..pos]);
+    }
+    if let Some(pos) = line.find("kernel dispatch:") {
+        // Which SIMD family dispatched is a property of the host CPU,
+        // not of the output — mask it like the thread count.
+        return format!("{}kernel dispatch: <T>", &line[..pos]);
+    }
+    if line.contains("cluster.kernel_dispatch") {
+        // Same story for the gauge in the metrics registry dump.
+        return format!("{indent}gauge      cluster.kernel_dispatch  <T>");
     }
     mask_durations(line)
 }

@@ -102,6 +102,49 @@ where
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Deterministic chunk layout for [`par_map_chunks`]: at most `threads`
+/// ranges covering `0..len`, each at least `min_chunk` long (except when
+/// `len < min_chunk`, which yields a single short range). Sizes differ by
+/// at most one, larger chunks first, so the layout is a pure function of
+/// `(len, threads, min_chunk)` — never of scheduling.
+pub fn chunk_ranges(len: usize, threads: usize, min_chunk: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let max_chunks = (len / min_chunk.max(1)).max(1);
+    let chunks = threads.clamp(1, max_chunks);
+    let base = len / chunks;
+    let rem = len % chunks;
+    (0..chunks)
+        .map(|i| {
+            let start = i * base + i.min(rem);
+            let end = start + base + usize::from(i < rem);
+            start..end
+        })
+        .collect()
+}
+
+/// Splits `0..len` into [`chunk_ranges`] and applies `f` to every range
+/// across up to `threads` workers, returning results in chunk order.
+///
+/// This is the intra-partition counterpart of [`par_map`]: one large work
+/// item (e.g. a k-means assignment pass over all rows) is cut into row
+/// ranges instead of fanning out whole items. Callers whose per-chunk
+/// results merge order-invariantly (integer histogram adds, disjoint
+/// per-row writes) therefore produce byte-identical output at any thread
+/// count *and* any chunk layout.
+///
+/// With one chunk (or `threads <= 1`) `f` runs on the caller's thread, so
+/// thread-local state (fault hooks) behaves exactly as in sequential code.
+pub fn par_map_chunks<R, F>(threads: usize, len: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(len, threads, min_chunk);
+    par_map(threads, &ranges, |_, r| f(r.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +211,51 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(1), 1);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 7, 100, 1001] {
+            for threads in [1usize, 2, 3, 8] {
+                for min_chunk in [1usize, 16, 64] {
+                    let ranges = chunk_ranges(len, threads, min_chunk);
+                    let mut next = 0usize;
+                    for r in &ranges {
+                        assert_eq!(r.start, next, "len={len} threads={threads}");
+                        assert!(r.end > r.start);
+                        next = r.end;
+                    }
+                    assert_eq!(next, len);
+                    assert!(ranges.len() <= threads.max(1));
+                    if len > 0 && len >= min_chunk {
+                        assert!(ranges.iter().all(|r| r.len() >= min_chunk));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_matches_sequential() {
+        let data: Vec<u64> = (0..1000).map(|i| i * 37 % 101).collect();
+        let sum_range = |r: std::ops::Range<usize>| data[r].iter().sum::<u64>();
+        let total: u64 = data.iter().sum();
+        for threads in [1usize, 2, 3, 8] {
+            for min_chunk in [1usize, 100, 5000] {
+                let parts = par_map_chunks(threads, data.len(), min_chunk, sum_range);
+                assert_eq!(parts.iter().sum::<u64>(), total);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_single_chunk_runs_on_caller_thread() {
+        thread_local! {
+            static MARKER: Cell<u32> = const { Cell::new(0) };
+        }
+        MARKER.with(|m| m.set(23));
+        let out = par_map_chunks(1, 10, 1, |r| (r.len(), MARKER.with(|m| m.get())));
+        assert_eq!(out, vec![(10, 23)]);
     }
 
     #[test]

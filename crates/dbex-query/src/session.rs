@@ -629,6 +629,10 @@ impl Session {
             cad.threads_used,
             if cad.threads_used == 1 { "" } else { "s" }
         ));
+        out.push_str(&format!(
+            "  kernel dispatch: {}\n",
+            dbex_stats::simd::dispatch().name()
+        ));
         out.push_str(&format!("  stats cache: {}\n", self.stats_cache.stats()));
         out.push_str(&format!(
             "  cluster reuse: {} partition(s) served from cache, {} warm start(s)\n",
@@ -910,6 +914,11 @@ mod tests {
             panic!()
         };
         assert!(t.contains("parallelism: 1 thread\n"), "{t}");
+        let dispatch = dbex_stats::simd::dispatch().name();
+        assert!(
+            t.contains(&format!("kernel dispatch: {dispatch}\n")),
+            "{t}"
+        );
         assert!(t.contains("stats cache:"), "{t}");
 
         s.set_threads(2);

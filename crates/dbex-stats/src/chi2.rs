@@ -5,17 +5,24 @@
 //! computing the value of the chi-squared statistic with respect to the
 //! class".
 
+use crate::simd;
 use crate::special::chi2_sf;
 
 /// A dense `rows × cols` contingency table of observation counts.
 ///
 /// Rows index the class variable (Pivot Attribute values); columns index the
 /// candidate attribute's discrete values.
+///
+/// Counts are stored as `u64` internally and surfaced as `f64` — every
+/// count is an exact integer far below 2⁵³, so the conversion is lossless
+/// and the marginal sums (pure integer reductions, SIMD-dispatched via
+/// [`crate::simd`]) are bit-identical to the old f64 accumulation in any
+/// evaluation order.
 #[derive(Debug, Clone)]
 pub struct ContingencyTable {
     rows: usize,
     cols: usize,
-    counts: Vec<f64>,
+    counts: Vec<u64>,
 }
 
 impl ContingencyTable {
@@ -24,7 +31,7 @@ impl ContingencyTable {
         ContingencyTable {
             rows,
             cols,
-            counts: vec![0.0; rows * cols],
+            counts: vec![0; rows * cols],
         }
     }
 
@@ -40,31 +47,47 @@ impl ContingencyTable {
 
     /// Increments the `(row, col)` cell by one observation.
     pub fn add(&mut self, row: usize, col: usize) {
-        self.counts[row * self.cols + col] += 1.0;
+        self.counts[row * self.cols + col] += 1;
+    }
+
+    /// Batch fill from parallel code slices: for every position where
+    /// neither `rows[i]` nor `cols[i]` is `sentinel` (the NULL code),
+    /// increments cell `(rows[i], cols[i])`. The hot path of both the
+    /// interaction matrix and Compare Attribute scoring; identical to
+    /// calling [`ContingencyTable::add`] per pair, but the NULL screen and
+    /// address arithmetic vectorize.
+    pub fn fill_pairs(&mut self, rows: &[u32], cols: &[u32], sentinel: u32) {
+        simd::fill_pair_counts(&mut self.counts, self.cols, rows, cols, sentinel);
     }
 
     /// Count in cell `(row, col)`.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        self.counts[row * self.cols + col]
+        self.counts[row * self.cols + col] as f64
     }
 
     /// Total number of observations.
     pub fn total(&self) -> f64 {
-        self.counts.iter().sum()
+        simd::sum_u64(&self.counts) as f64
     }
 
     /// Row marginal sums.
     pub fn row_totals(&self) -> Vec<f64> {
-        (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| self.get(r, c)).sum())
+        if self.cols == 0 {
+            return vec![0.0; self.rows];
+        }
+        self.counts
+            .chunks(self.cols)
+            .map(|row| simd::sum_u64(row) as f64)
             .collect()
     }
 
     /// Column marginal sums.
     pub fn col_totals(&self) -> Vec<f64> {
-        (0..self.cols)
-            .map(|c| (0..self.rows).map(|r| self.get(r, c)).sum())
-            .collect()
+        let mut totals = vec![0u64; self.cols];
+        for row in self.counts.chunks(self.cols.max(1)) {
+            simd::add_assign_u64(&mut totals, row);
+        }
+        totals.into_iter().map(|t| t as f64).collect()
     }
 
     /// Runs Pearson's chi-square test of independence on the table.
@@ -198,6 +221,31 @@ mod tests {
         t.add(0, 0);
         t.add(0, 1);
         assert!(t.chi_square().is_none()); // single non-empty row
+    }
+
+    #[test]
+    fn fill_pairs_matches_per_pair_adds() {
+        let sentinel = u32::MAX;
+        let rows: Vec<u32> = (0..200)
+            .map(|i| if i % 17 == 0 { sentinel } else { i % 3 })
+            .collect();
+        let cols: Vec<u32> = (0..200)
+            .map(|i| if i % 23 == 0 { sentinel } else { (i * 5) % 4 })
+            .collect();
+        let mut batch = ContingencyTable::new(3, 4);
+        batch.fill_pairs(&rows, &cols, sentinel);
+        let mut reference = ContingencyTable::new(3, 4);
+        for (&r, &c) in rows.iter().zip(&cols) {
+            if r != sentinel && c != sentinel {
+                reference.add(r as usize, c as usize);
+            }
+        }
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(batch.get(r, c), reference.get(r, c), "({r},{c})");
+            }
+        }
+        assert_eq!(batch.total(), reference.total());
     }
 
     #[test]

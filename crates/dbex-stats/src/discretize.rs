@@ -98,6 +98,45 @@ impl AttributeCodec {
         }
     }
 
+    /// Encodes a whole view's worth of rows at once — exactly
+    /// [`AttributeCodec::encode`] per row, with `NULL_CODE` standing in
+    /// for `None`.
+    ///
+    /// Binned columns take the batch path: the numeric values are gathered
+    /// once and binned through the SIMD batch kernel
+    /// ([`Histogram::bin_of_batch`]), with NULL positions tracked
+    /// separately so a stored NaN (which bins to 0) is never confused with
+    /// a missing value.
+    pub fn encode_rows(&self, column: &Column, row_ids: &[u32]) -> Vec<u32> {
+        match self {
+            AttributeCodec::Categorical { .. } => row_ids
+                .iter()
+                .map(|&r| match column.get_code(r as usize) {
+                    Some(NULL_CODE) | None => NULL_CODE,
+                    Some(code) => code,
+                })
+                .collect(),
+            AttributeCodec::Binned { histogram, .. } => {
+                let mut values = vec![0.0f64; row_ids.len()];
+                let mut null = vec![false; row_ids.len()];
+                for ((&r, v), is_null) in row_ids.iter().zip(&mut values).zip(&mut null) {
+                    match column.get_f64(r as usize) {
+                        Some(x) => *v = x,
+                        None => *is_null = true,
+                    }
+                }
+                let mut codes = vec![0u32; row_ids.len()];
+                histogram.bin_of_batch(&values, &mut codes);
+                for (code, is_null) in codes.iter_mut().zip(&null) {
+                    if *is_null {
+                        *code = NULL_CODE;
+                    }
+                }
+                codes
+            }
+        }
+    }
+
     /// Finds the code whose label equals `label`, if any.
     pub fn code_of_label(&self, label: &str) -> Option<u32> {
         let labels = match self {
@@ -190,11 +229,7 @@ impl CodedMatrix {
                 _ => AttributeCodec::build(view, col, bins, strategy).ok()?,
             };
             let column = view.table().column(col);
-            let codes = view
-                .row_ids()
-                .iter()
-                .map(|&r| codec.encode(column, r as usize).unwrap_or(NULL_CODE))
-                .collect();
+            let codes = codec.encode_rows(column, view.row_ids());
             Some(CodedColumn {
                 attr_index: col,
                 codec,
@@ -271,6 +306,23 @@ mod tests {
         assert_eq!(freq, vec![2.0, 2.0]);
         let freq_subset = make.frequencies(&[0, 4]);
         assert_eq!(freq_subset, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn encode_rows_matches_per_row_encode() {
+        let t = table();
+        let v = t.full_view();
+        for (col, bins) in [(0usize, 4usize), (1, 2)] {
+            let codec = AttributeCodec::build(&v, col, bins, BinningStrategy::EquiDepth).unwrap();
+            let column = t.column(col);
+            let batch = codec.encode_rows(column, v.row_ids());
+            let per_row: Vec<u32> = v
+                .row_ids()
+                .iter()
+                .map(|&r| codec.encode(column, r as usize).unwrap_or(NULL_CODE))
+                .collect();
+            assert_eq!(batch, per_row, "col {col}");
+        }
     }
 
     #[test]

@@ -195,12 +195,26 @@ pub fn select_compare_attributes_ctx(
     };
     let view_fp = ctx.cache.map(|_| scoring_view.fingerprint());
 
+    // Resolve the class label of every scoring row once, up front —
+    // `class_of` used to be re-evaluated per row *per candidate*. The
+    // labels feed the batch contingency fill as a code slice with
+    // `NULL_CODE` marking skipped rows (a class index can never collide
+    // with the sentinel: contingency rows are bounded far below u32::MAX).
+    let classes: Vec<u32> = scoring_view
+        .row_ids()
+        .iter()
+        .map(|&r| match class_of(r as usize) {
+            Some(c) => c as u32,
+            None => NULL_CODE,
+        })
+        .collect();
+
     let score_one = |attr: usize| -> Option<FeatureScore> {
         if attr == pivot_col || forced.contains(&attr) {
             return None;
         }
         let build = || {
-            contingency_for(&scoring_view, attr, num_classes, class_of, config)
+            contingency_for(&scoring_view, attr, num_classes, &classes, config)
         };
         let table: Arc<ContingencyTable> = match (ctx.cache, view_fp) {
             (Some(cache), Some(fp)) => cache.contingency_with(
@@ -252,25 +266,23 @@ pub fn select_compare_attributes_ctx(
 
 /// Builds the (class × code) contingency table for one candidate attribute,
 /// or `None` when the attribute cannot be discretized over the view.
+///
+/// `classes` carries the precomputed per-row class labels (`NULL_CODE` =
+/// skip), parallel to the scoring view's `row_ids()`. The attribute is
+/// batch-encoded and the table filled through the vectorized pair kernel —
+/// counts identical to the old per-row `add` loop.
 fn contingency_for(
     scoring_view: &View<'_>,
     attr: usize,
     num_classes: usize,
-    class_of: &(dyn Fn(usize) -> Option<usize> + Sync),
+    classes: &[u32],
     config: &FeatureSelectionConfig,
 ) -> Option<ContingencyTable> {
     let codec = AttributeCodec::build(scoring_view, attr, config.bins, config.strategy).ok()?;
     let column = scoring_view.table().column(attr);
+    let codes = codec.encode_rows(column, scoring_view.row_ids());
     let mut table = ContingencyTable::new(num_classes, codec.cardinality());
-    for &row in scoring_view.row_ids() {
-        let Some(class) = class_of(row as usize) else {
-            continue;
-        };
-        let Some(code) = codec.encode(column, row as usize) else {
-            continue;
-        };
-        table.add(class, code as usize);
-    }
+    table.fill_pairs(classes, &codes, NULL_CODE);
     Some(table)
 }
 

@@ -121,6 +121,15 @@ impl Histogram {
         idx.saturating_sub(1).min(last)
     }
 
+    /// Batch [`Histogram::bin_of`]: writes the bin of every value into
+    /// `out` (same length). Identical results — including the NaN and
+    /// out-of-range clamping — via the branchless count-of-edges
+    /// formulation, which SIMD-vectorizes four values per op (see
+    /// [`crate::simd::bin_of_batch`]).
+    pub fn bin_of_batch(&self, values: &[f64], out: &mut [u32]) {
+        crate::simd::bin_of_batch(&self.edges, values, out);
+    }
+
     /// Human-readable label for bin `i`, e.g. `"15K-20K"` or `"2011-2012"`.
     pub fn label(&self, i: usize) -> String {
         let lo = self.edges[i];
@@ -492,6 +501,26 @@ mod tests {
                 site: "histogram::build"
             }
         );
+    }
+
+    #[test]
+    fn batch_binning_matches_bin_of() {
+        let values: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 / 3.0).collect();
+        for strategy in [
+            BinningStrategy::EquiWidth,
+            BinningStrategy::EquiDepth,
+            BinningStrategy::VOptimal,
+            BinningStrategy::MaxDiff,
+        ] {
+            let h = Histogram::build(&values, 6, strategy).unwrap();
+            let mut probes = values.clone();
+            probes.extend([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1e18, 1e18]);
+            let mut batch = vec![0u32; probes.len()];
+            h.bin_of_batch(&probes, &mut batch);
+            for (&v, &b) in probes.iter().zip(&batch) {
+                assert_eq!(b as usize, h.bin_of(v), "strategy {strategy:?}, v={v}");
+            }
+        }
     }
 
     #[test]

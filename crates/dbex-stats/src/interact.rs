@@ -60,11 +60,7 @@ impl InteractionMatrix {
                 let cj = &coded.columns[j];
                 let mut table =
                     ContingencyTable::new(ci.codec.cardinality(), cj.codec.cardinality());
-                for (ai, bj) in ci.codes.iter().zip(&cj.codes) {
-                    if *ai != NULL_CODE && *bj != NULL_CODE {
-                        table.add(*ai as usize, *bj as usize);
-                    }
-                }
+                table.fill_pairs(&ci.codes, &cj.codes, NULL_CODE);
                 let cramers_v = table.cramers_v().unwrap_or(0.0);
                 let ha = entropy(&table.row_totals());
                 let hb = entropy(&table.col_totals());

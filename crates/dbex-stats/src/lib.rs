@@ -23,8 +23,12 @@
 //!   likelihood-ratio tests, reproducing the paper's Section 6.2 analysis.
 //! * [`error`] — the layer's typed error ([`StatsError`]); [`fault`] holds
 //!   the deterministic fault-injection hooks the robustness tests use.
+//! * [`simd`] — runtime-dispatched integer SIMD kernels (contingency fill,
+//!   marginal sums, batch binning) shared with `dbex-cluster`; every
+//!   vector path is bit-identical to its always-compiled scalar oracle.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cache;
 pub mod chi2;
@@ -37,6 +41,7 @@ pub mod histogram;
 pub mod interact;
 pub mod metrics;
 pub mod mixed;
+pub mod simd;
 pub mod simil;
 pub mod special;
 
@@ -53,4 +58,5 @@ pub use interact::{InteractionMatrix, PairInteraction};
 pub use histogram::{BinningStrategy, Histogram};
 pub use metrics::{f1_score, ConfusionCounts};
 pub use mixed::{likelihood_ratio_test, LmmFit, LrtResult};
+pub use simd::SimdDispatch;
 pub use simil::{cosine_similarity, cosine_similarity_sparse};

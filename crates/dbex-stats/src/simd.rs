@@ -1,0 +1,637 @@
+//! Runtime-dispatched SIMD kernels shared by the stats and clustering hot
+//! paths.
+//!
+//! Every kernel here operates on **integers** (u32/u64 counts), so
+//! accumulation is associative and the vector lane order is free: each
+//! SIMD variant computes bit-for-bit the same result as the scalar
+//! fallback, which stays always-compiled as both the reference oracle and
+//! the path taken on hardware without the wider instruction sets.
+//!
+//! # Dispatch
+//!
+//! [`dispatch`] picks the widest path the CPU supports, once per process:
+//!
+//! * x86_64 — AVX2 when the CPU reports it (`is_x86_feature_detected!`),
+//!   otherwise SSE2 (the x86_64 baseline, always present).
+//! * aarch64 — NEON (baseline, always present).
+//! * everything else — scalar.
+//!
+//! The `DBEX_SIMD` environment variable (`scalar` / `sse2` / `avx2` /
+//! `neon` / `auto`) overrides the choice for A/B digest gates, clamped to
+//! what the hardware actually supports — requesting `avx2` on an
+//! SSE2-only machine silently gets SSE2, never an illegal instruction.
+//! The variable is read once; tests that need both paths in one process
+//! use the explicit `*_with` kernel variants instead.
+
+use std::sync::OnceLock;
+
+/// The SIMD instruction family a kernel call runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdDispatch {
+    /// Plain scalar loops — always available, the reference oracle.
+    Scalar,
+    /// x86_64 SSE2 (128-bit lanes, baseline on every x86_64 CPU).
+    Sse2,
+    /// x86_64 AVX2 (256-bit lanes, runtime-detected).
+    Avx2,
+    /// aarch64 NEON (128-bit lanes, baseline on every aarch64 CPU).
+    Neon,
+}
+
+impl SimdDispatch {
+    /// Stable lowercase name, used in metrics, EXPLAIN output, and bench
+    /// provenance.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdDispatch::Scalar => "scalar",
+            SimdDispatch::Sse2 => "sse2",
+            SimdDispatch::Avx2 => "avx2",
+            SimdDispatch::Neon => "neon",
+        }
+    }
+
+    /// Stable numeric id for the `cluster.kernel_dispatch` gauge
+    /// (gauges are integers): scalar 0, sse2 1, avx2 2, neon 3.
+    pub fn code(self) -> i64 {
+        match self {
+            SimdDispatch::Scalar => 0,
+            SimdDispatch::Sse2 => 1,
+            SimdDispatch::Avx2 => 2,
+            SimdDispatch::Neon => 3,
+        }
+    }
+
+    fn parse(name: &str) -> Option<SimdDispatch> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdDispatch::Scalar),
+            "sse2" => Some(SimdDispatch::Sse2),
+            "avx2" => Some(SimdDispatch::Avx2),
+            "neon" => Some(SimdDispatch::Neon),
+            _ => None,
+        }
+    }
+}
+
+/// The widest dispatch this hardware supports (ignoring `DBEX_SIMD`).
+pub fn detected() -> SimdDispatch {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdDispatch::Avx2;
+        }
+        SimdDispatch::Sse2
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        SimdDispatch::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        SimdDispatch::Scalar
+    }
+}
+
+/// The process-wide kernel dispatch: [`detected`], optionally lowered by
+/// the `DBEX_SIMD` environment variable (read once, cached).
+pub fn dispatch() -> SimdDispatch {
+    static DISPATCH: OnceLock<SimdDispatch> = OnceLock::new();
+    *DISPATCH.get_or_init(|| {
+        let hw = detected();
+        match std::env::var("DBEX_SIMD").ok().and_then(|v| SimdDispatch::parse(&v)) {
+            // A request for an unavailable family clamps to the hardware:
+            // `neon` on x86_64 (or `avx2`/`sse2` on aarch64) falls back to
+            // the detected path rather than faulting.
+            Some(want) => match (want, hw) {
+                (SimdDispatch::Scalar, _) => SimdDispatch::Scalar,
+                (SimdDispatch::Neon, SimdDispatch::Neon) => SimdDispatch::Neon,
+                (SimdDispatch::Sse2 | SimdDispatch::Avx2, SimdDispatch::Neon) => hw,
+                (SimdDispatch::Neon, _) => hw,
+                (want, hw) => want.min(hw),
+            },
+            None => hw,
+        }
+    })
+}
+
+/// Comma-separated CPU feature list for bench provenance, e.g.
+/// `"x86_64:sse2,ssse3,sse4.2,avx,avx2"`.
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats = vec!["sse2"];
+        for (name, present) in [
+            ("ssse3", std::arch::is_x86_feature_detected!("ssse3")),
+            ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+            ("avx", std::arch::is_x86_feature_detected!("avx")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ] {
+            if present {
+                feats.push(name);
+            }
+        }
+        format!("x86_64:{}", feats.join(","))
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "aarch64:neon".to_string()
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        format!("{}:scalar", std::env::consts::ARCH)
+    }
+}
+
+// --- u64 reductions (contingency-table marginals) -----------------------
+
+/// Sum of a u64 slice under the process dispatch. Exact (wrapping adds in
+/// any order are associative; callers' counts never approach overflow).
+pub fn sum_u64(xs: &[u64]) -> u64 {
+    sum_u64_with(dispatch(), xs)
+}
+
+/// [`sum_u64`] with an explicit dispatch, for in-process A/B tests.
+pub fn sum_u64_with(d: SimdDispatch, xs: &[u64]) -> u64 {
+    match d {
+        #[cfg(target_arch = "x86_64")]
+        SimdDispatch::Avx2 => {
+            // SAFETY: dispatch()/the caller only selects Avx2 when the CPU
+            // reports the avx2 feature (detected() clamps DBEX_SIMD).
+            unsafe { sum_u64_avx2(xs) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdDispatch::Sse2 => {
+            // SAFETY: SSE2 is the x86_64 baseline — always available.
+            unsafe { sum_u64_sse2(xs) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdDispatch::Neon => sum_u64_neon(xs),
+        _ => sum_u64_scalar(xs),
+    }
+}
+
+fn sum_u64_scalar(xs: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for &x in xs {
+        total = total.wrapping_add(x);
+    }
+    total
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sum_u64_avx2(xs: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let mut acc = _mm256_setzero_si256();
+    let mut chunks = xs.chunks_exact(4);
+    for chunk in &mut chunks {
+        // SAFETY: `chunk` is exactly 4 u64 (32 bytes); loadu has no
+        // alignment requirement.
+        acc = unsafe { _mm256_add_epi64(acc, _mm256_loadu_si256(chunk.as_ptr() as *const __m256i)) };
+    }
+    let mut lanes = [0u64; 4];
+    // SAFETY: `lanes` is exactly 32 bytes; storeu has no alignment requirement.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc) };
+    let mut total = lanes
+        .iter()
+        .fold(0u64, |t, &l| t.wrapping_add(l));
+    for &x in chunks.remainder() {
+        total = total.wrapping_add(x);
+    }
+    total
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn sum_u64_sse2(xs: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let mut acc = _mm_setzero_si128();
+    let mut chunks = xs.chunks_exact(2);
+    for chunk in &mut chunks {
+        // SAFETY: `chunk` is exactly 2 u64 (16 bytes); loadu is unaligned-safe.
+        acc = unsafe { _mm_add_epi64(acc, _mm_loadu_si128(chunk.as_ptr() as *const __m128i)) };
+    }
+    let mut lanes = [0u64; 2];
+    // SAFETY: `lanes` is exactly 16 bytes.
+    unsafe { _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, acc) };
+    let mut total = lanes[0].wrapping_add(lanes[1]);
+    for &x in chunks.remainder() {
+        total = total.wrapping_add(x);
+    }
+    total
+}
+
+#[cfg(target_arch = "aarch64")]
+fn sum_u64_neon(xs: &[u64]) -> u64 {
+    use std::arch::aarch64::*;
+    // SAFETY: NEON is baseline on aarch64; vld1q_u64 reads exactly the two
+    // u64 of each chunks_exact(2) window.
+    unsafe {
+        let mut acc = vdupq_n_u64(0);
+        let mut chunks = xs.chunks_exact(2);
+        for chunk in &mut chunks {
+            acc = vaddq_u64(acc, vld1q_u64(chunk.as_ptr()));
+        }
+        let mut total = vgetq_lane_u64(acc, 0).wrapping_add(vgetq_lane_u64(acc, 1));
+        for &x in chunks.remainder() {
+            total = total.wrapping_add(x);
+        }
+        total
+    }
+}
+
+/// `acc[i] += xs[i]` element-wise under the process dispatch (slices must
+/// be the same length). Used for column-marginal accumulation.
+pub fn add_assign_u64(acc: &mut [u64], xs: &[u64]) {
+    add_assign_u64_with(dispatch(), acc, xs)
+}
+
+/// [`add_assign_u64`] with an explicit dispatch.
+pub fn add_assign_u64_with(d: SimdDispatch, acc: &mut [u64], xs: &[u64]) {
+    assert_eq!(acc.len(), xs.len(), "add_assign_u64: length mismatch");
+    match d {
+        #[cfg(target_arch = "x86_64")]
+        SimdDispatch::Avx2 => {
+            // SAFETY: Avx2 only selected when the CPU supports it.
+            unsafe { add_assign_u64_avx2(acc, xs) }
+        }
+        _ => add_assign_u64_scalar(acc, xs),
+    }
+}
+
+fn add_assign_u64_scalar(acc: &mut [u64], xs: &[u64]) {
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a = a.wrapping_add(x);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_u64_avx2(acc: &mut [u64], xs: &[u64]) {
+    use std::arch::x86_64::*;
+    let mut a_chunks = acc.chunks_exact_mut(4);
+    let mut x_chunks = xs.chunks_exact(4);
+    for (a, x) in (&mut a_chunks).zip(&mut x_chunks) {
+        // SAFETY: both chunks are exactly 4 u64; unaligned load/store.
+        unsafe {
+            let va = _mm256_loadu_si256(a.as_ptr() as *const __m256i);
+            let vx = _mm256_loadu_si256(x.as_ptr() as *const __m256i);
+            _mm256_storeu_si256(a.as_mut_ptr() as *mut __m256i, _mm256_add_epi64(va, vx));
+        }
+    }
+    for (a, &x) in a_chunks.into_remainder().iter_mut().zip(x_chunks.remainder()) {
+        *a = a.wrapping_add(x);
+    }
+}
+
+/// `acc[i] += xs[i]` element-wise over u32 (same length required). Used to
+/// merge per-chunk centroid histograms in the parallel k-means path.
+pub fn add_assign_u32(acc: &mut [u32], xs: &[u32]) {
+    add_assign_u32_with(dispatch(), acc, xs)
+}
+
+/// [`add_assign_u32`] with an explicit dispatch.
+pub fn add_assign_u32_with(d: SimdDispatch, acc: &mut [u32], xs: &[u32]) {
+    assert_eq!(acc.len(), xs.len(), "add_assign_u32: length mismatch");
+    match d {
+        #[cfg(target_arch = "x86_64")]
+        SimdDispatch::Avx2 => {
+            // SAFETY: Avx2 only selected when the CPU supports it.
+            unsafe { add_assign_u32_avx2(acc, xs) }
+        }
+        _ => add_assign_u32_scalar(acc, xs),
+    }
+}
+
+fn add_assign_u32_scalar(acc: &mut [u32], xs: &[u32]) {
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a = a.wrapping_add(x);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_u32_avx2(acc: &mut [u32], xs: &[u32]) {
+    use std::arch::x86_64::*;
+    let mut a_chunks = acc.chunks_exact_mut(8);
+    let mut x_chunks = xs.chunks_exact(8);
+    for (a, x) in (&mut a_chunks).zip(&mut x_chunks) {
+        // SAFETY: both chunks are exactly 8 u32 (32 bytes); unaligned ops.
+        unsafe {
+            let va = _mm256_loadu_si256(a.as_ptr() as *const __m256i);
+            let vx = _mm256_loadu_si256(x.as_ptr() as *const __m256i);
+            _mm256_storeu_si256(a.as_mut_ptr() as *mut __m256i, _mm256_add_epi32(va, vx));
+        }
+    }
+    for (a, &x) in a_chunks.into_remainder().iter_mut().zip(x_chunks.remainder()) {
+        *a = a.wrapping_add(x);
+    }
+}
+
+// --- Contingency-table pair fill ----------------------------------------
+
+/// Increments `counts[row·width + col]` for every pair drawn from
+/// `zip(rows, cols)` where neither side equals `sentinel` — the inner
+/// loop of contingency-table construction.
+///
+/// Exactly equivalent to the scalar zip-and-add loop: out-of-range codes
+/// panic on the same slice index, counts are exact. The AVX2 path
+/// vectorizes the sentinel screen and the `row·width + col` address
+/// arithmetic eight pairs at a time (the increments themselves are
+/// scatter stores, which stay scalar below AVX-512).
+pub fn fill_pair_counts(counts: &mut [u64], width: usize, rows: &[u32], cols: &[u32], sentinel: u32) {
+    fill_pair_counts_with(dispatch(), counts, width, rows, cols, sentinel)
+}
+
+/// [`fill_pair_counts`] with an explicit dispatch.
+pub fn fill_pair_counts_with(
+    d: SimdDispatch,
+    counts: &mut [u64],
+    width: usize,
+    rows: &[u32],
+    cols: &[u32],
+    sentinel: u32,
+) {
+    match d {
+        #[cfg(target_arch = "x86_64")]
+        SimdDispatch::Avx2 if width <= i32::MAX as usize => {
+            // SAFETY: Avx2 only selected when the CPU supports it.
+            unsafe { fill_pair_counts_avx2(counts, width, rows, cols, sentinel) }
+        }
+        _ => fill_pair_counts_scalar(counts, width, rows, cols, sentinel),
+    }
+}
+
+fn fill_pair_counts_scalar(
+    counts: &mut [u64],
+    width: usize,
+    rows: &[u32],
+    cols: &[u32],
+    sentinel: u32,
+) {
+    for (&r, &c) in rows.iter().zip(cols) {
+        if r != sentinel && c != sentinel {
+            counts[r as usize * width + c as usize] += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_pair_counts_avx2(
+    counts: &mut [u64],
+    width: usize,
+    rows: &[u32],
+    cols: &[u32],
+    sentinel: u32,
+) {
+    use std::arch::x86_64::*;
+    let n = rows.len().min(cols.len());
+    // SAFETY for the whole block: all loads read exactly 8 u32 from within
+    // `rows`/`cols` (i + 8 <= n bounds every lane), and the only writes go
+    // through the bounds-checked `counts[idx]` slice index.
+    unsafe {
+        let vsent = _mm256_set1_epi32(sentinel as i32);
+        let vwidth = _mm256_set1_epi32(width as i32);
+        let mut idx = [0u32; 8];
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let vr = _mm256_loadu_si256(rows.as_ptr().add(i) as *const __m256i);
+            let vc = _mm256_loadu_si256(cols.as_ptr().add(i) as *const __m256i);
+            let null_mask = _mm256_or_si256(
+                _mm256_cmpeq_epi32(vr, vsent),
+                _mm256_cmpeq_epi32(vc, vsent),
+            );
+            if _mm256_movemask_epi8(null_mask) == 0 {
+                // Common case: no NULLs in the block. `row·width + col`
+                // fits u32 because the scalar path's `counts` index does.
+                let vidx = _mm256_add_epi32(_mm256_mullo_epi32(vr, vwidth), vc);
+                _mm256_storeu_si256(idx.as_mut_ptr() as *mut __m256i, vidx);
+                for &j in &idx {
+                    counts[j as usize] += 1;
+                }
+            } else {
+                for j in i..i + 8 {
+                    let (r, c) = (rows[j], cols[j]);
+                    if r != sentinel && c != sentinel {
+                        counts[r as usize * width + c as usize] += 1;
+                    }
+                }
+            }
+            i += 8;
+        }
+        for j in i..n {
+            let (r, c) = (rows[j], cols[j]);
+            if r != sentinel && c != sentinel {
+                counts[r as usize * width + c as usize] += 1;
+            }
+        }
+    }
+}
+
+// --- Batch histogram binning --------------------------------------------
+
+/// Writes the bin index of every value into `out` (same length), using
+/// the branchless formulation
+/// `bin(v) = min(count(e ≤ v) − 1 clamped at 0, last)` — exactly
+/// equivalent to the sequential `partition_point` search for every input,
+/// including NaN (count 0 → bin 0) and ±∞ (clamped to the first/last
+/// bin).
+///
+/// `edges` must be strictly increasing with at least two entries (the
+/// `Histogram` invariant).
+pub fn bin_of_batch(edges: &[f64], values: &[f64], out: &mut [u32]) {
+    bin_of_batch_with(dispatch(), edges, values, out)
+}
+
+/// [`bin_of_batch`] with an explicit dispatch.
+pub fn bin_of_batch_with(d: SimdDispatch, edges: &[f64], values: &[f64], out: &mut [u32]) {
+    assert_eq!(values.len(), out.len(), "bin_of_batch: length mismatch");
+    assert!(edges.len() >= 2, "bin_of_batch: degenerate histogram");
+    match d {
+        #[cfg(target_arch = "x86_64")]
+        SimdDispatch::Avx2 => {
+            // SAFETY: Avx2 only selected when the CPU supports it.
+            unsafe { bin_of_batch_avx2(edges, values, out) }
+        }
+        _ => bin_of_batch_scalar(edges, values, out),
+    }
+}
+
+fn bin_of_batch_scalar(edges: &[f64], values: &[f64], out: &mut [u32]) {
+    let last = (edges.len() - 2) as u32;
+    for (&v, slot) in values.iter().zip(out.iter_mut()) {
+        // NaN compares false to every edge, so `le` stays 0 and NaN lands
+        // in bin 0 — same as Histogram::bin_of.
+        let mut le = 0u32;
+        for &e in edges {
+            le += u32::from(e <= v);
+        }
+        *slot = le.saturating_sub(1).min(last);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn bin_of_batch_avx2(edges: &[f64], values: &[f64], out: &mut [u32]) {
+    use std::arch::x86_64::*;
+    let last = (edges.len() - 2) as i64;
+    // SAFETY for the whole block: loads read exactly 4 f64 from within
+    // `values` (i + 4 <= n), stores write the 4-entry stack buffer `lanes`.
+    unsafe {
+        let vlast = _mm256_set1_epi64x(last);
+        let vone = _mm256_set1_epi64x(1);
+        let mut lanes = [0i64; 4];
+        let n = values.len();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let vv = _mm256_loadu_pd(values.as_ptr().add(i));
+            // Count edges ≤ v per lane: a GE compare yields all-ones
+            // (-1 as i64) per satisfied lane, so subtracting the mask
+            // increments the count. NaN compares false (ordered,
+            // non-signaling), matching the scalar path.
+            let mut le = _mm256_setzero_si256();
+            for &e in edges {
+                let ve = _mm256_set1_pd(e);
+                let ge = _mm256_cmp_pd::<_CMP_GE_OQ>(vv, ve);
+                le = _mm256_sub_epi64(le, _mm256_castpd_si256(ge));
+            }
+            // saturating_sub(1).min(last) in 64-bit lanes. The counts are
+            // tiny non-negative integers, so signed max/min are exact:
+            // max(le − 1, 0) then min(·, last). AVX2 lacks 64-bit min/max,
+            // so do it with a compare+blend.
+            let dec = _mm256_sub_epi64(le, vone);
+            let neg = _mm256_cmpgt_epi64(_mm256_setzero_si256(), dec);
+            let clamped0 = _mm256_andnot_si256(neg, dec);
+            let over = _mm256_cmpgt_epi64(clamped0, vlast);
+            let binv = _mm256_blendv_epi8(clamped0, vlast, over);
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, binv);
+            for (j, &lane) in lanes.iter().enumerate() {
+                out[i + j] = lane as u32;
+            }
+            i += 4;
+        }
+        if i < n {
+            bin_of_batch_scalar(edges, &values[i..], &mut out[i..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[SimdDispatch] = &[
+        SimdDispatch::Scalar,
+        SimdDispatch::Sse2,
+        SimdDispatch::Avx2,
+        SimdDispatch::Neon,
+    ];
+
+    #[test]
+    fn dispatch_is_supported_and_stable() {
+        let d = dispatch();
+        assert_eq!(d, dispatch());
+        assert!(d <= detected() || d == SimdDispatch::Neon);
+        assert!(!d.name().is_empty());
+    }
+
+    #[test]
+    fn names_and_codes_are_stable() {
+        let names: Vec<&str> = ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["scalar", "sse2", "avx2", "neon"]);
+        let codes: Vec<i64> = ALL.iter().map(|d| d.code()).collect();
+        assert_eq!(codes, vec![0, 1, 2, 3]);
+        for d in ALL {
+            assert_eq!(SimdDispatch::parse(d.name()), Some(*d));
+        }
+        assert_eq!(SimdDispatch::parse("AVX2 "), Some(SimdDispatch::Avx2));
+        assert_eq!(SimdDispatch::parse("bogus"), None);
+    }
+
+    #[test]
+    fn cpu_features_names_the_arch() {
+        let f = cpu_features();
+        assert!(f.contains(':'), "{f}");
+    }
+
+    /// Every dispatch value routes to a kernel that reproduces the scalar
+    /// result exactly (unsupported families fall through to scalar via
+    /// the match arms' cfg gates).
+    #[test]
+    fn sums_match_scalar_for_every_dispatch() {
+        let xs: Vec<u64> = (0..103).map(|i| i * i * 31 + 7).collect();
+        let want = sum_u64_with(SimdDispatch::Scalar, &xs);
+        for &d in ALL {
+            assert_eq!(sum_u64_with(d, &xs), want, "{d:?}");
+        }
+        assert_eq!(sum_u64_with(dispatch(), &[]), 0);
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_for_every_dispatch() {
+        let xs: Vec<u64> = (0..37).map(|i| i * 1013 + 5).collect();
+        let mut want: Vec<u64> = (0..37).map(|i| i + 1).collect();
+        add_assign_u64_with(SimdDispatch::Scalar, &mut want, &xs);
+        for &d in ALL {
+            let mut acc: Vec<u64> = (0..37).map(|i| i + 1).collect();
+            add_assign_u64_with(d, &mut acc, &xs);
+            assert_eq!(acc, want, "{d:?}");
+        }
+        let xs32: Vec<u32> = (0..29).map(|i| i * 7 + 3).collect();
+        let mut want32: Vec<u32> = (0..29).collect();
+        add_assign_u32_with(SimdDispatch::Scalar, &mut want32, &xs32);
+        for &d in ALL {
+            let mut acc: Vec<u32> = (0..29).collect();
+            add_assign_u32_with(d, &mut acc, &xs32);
+            assert_eq!(acc, want32, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn pair_fill_matches_scalar_for_every_dispatch() {
+        let sentinel = u32::MAX;
+        let rows: Vec<u32> = (0..100)
+            .map(|i| if i % 11 == 0 { sentinel } else { i % 4 })
+            .collect();
+        let cols: Vec<u32> = (0..100)
+            .map(|i| if i % 13 == 0 { sentinel } else { (i * 7) % 6 })
+            .collect();
+        let mut want = vec![0u64; 4 * 6];
+        fill_pair_counts_with(SimdDispatch::Scalar, &mut want, 6, &rows, &cols, sentinel);
+        assert_eq!(sum_u64(&want) as usize, (0..100).filter(|i| i % 11 != 0 && i % 13 != 0).count());
+        for &d in ALL {
+            let mut counts = vec![0u64; 4 * 6];
+            fill_pair_counts_with(d, &mut counts, 6, &rows, &cols, sentinel);
+            assert_eq!(counts, want, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn batch_binning_matches_scalar_for_every_dispatch() {
+        let edges = [0.0, 1.5, 3.0, 10.0];
+        let values: Vec<f64> = vec![
+            -5.0,
+            0.0,
+            0.1,
+            1.5,
+            2.9,
+            3.0,
+            9.99,
+            10.0,
+            11.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.49,
+        ];
+        let mut want = vec![0u32; values.len()];
+        bin_of_batch_with(SimdDispatch::Scalar, &edges, &values, &mut want);
+        assert_eq!(want, vec![0, 0, 0, 1, 1, 2, 2, 2, 2, 0, 2, 0, 0]);
+        for &d in ALL {
+            let mut out = vec![0u32; values.len()];
+            bin_of_batch_with(d, &edges, &values, &mut out);
+            assert_eq!(out, want, "{d:?}");
+        }
+    }
+}

@@ -46,6 +46,13 @@
 # tight loop and requires every reopen to land on a consistent
 # generation — never a panic, never a torn mix. Opt-in because the kill
 # ladder sleeps between iterations.
+#
+# `--kernel-ab` is the scalar ↔ SIMD bit-identity gate: it first runs the
+# whole test suite pinned to the scalar kernels (DBEX_SIMD=scalar), then
+# runs `kernel_ab`, which re-executes itself as one child per dispatch
+# family (scalar / sse2 / avx2 / neon, clamped to the hardware) and
+# fails unless every family's CAD digests are byte-identical to the
+# scalar reference. Opt-in because it rebuilds and re-runs the suite.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,6 +64,7 @@ SERVE_SMOKE_ONLY=0
 SERVE_SOAK=0
 STORE_SMOKE_ONLY=0
 CRASH_SMOKE=0
+KERNEL_AB=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -66,7 +74,8 @@ for arg in "$@"; do
     --serve-soak) SERVE_SOAK=1 ;;
     --store-smoke) STORE_SMOKE_ONLY=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--obs-smoke] [--serve-smoke] [--serve-soak] [--store-smoke] [--crash-smoke]" >&2; exit 2 ;;
+    --kernel-ab) KERNEL_AB=1 ;;
+    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--obs-smoke] [--serve-smoke] [--serve-soak] [--store-smoke] [--crash-smoke] [--kernel-ab]" >&2; exit 2 ;;
   esac
 done
 
@@ -97,6 +106,14 @@ fi
 if [[ "$CRASH_SMOKE" -eq 1 ]]; then
   echo "==> crash smoke (SIGKILL mid-save loop; every reopen must be consistent)"
   cargo run --release --bin store_smoke -- --crash
+  exit 0
+fi
+
+if [[ "$KERNEL_AB" -eq 1 ]]; then
+  echo "==> kernel A/B gate: full test suite pinned to the scalar kernels"
+  DBEX_SIMD=scalar cargo test -q --workspace
+  echo "==> kernel A/B gate: per-dispatch CAD digest diff"
+  cargo run --release --bin kernel_ab
   exit 0
 fi
 

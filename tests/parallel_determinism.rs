@@ -418,6 +418,184 @@ fn warm_start_mode_reseeds_and_stays_deterministic() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Property-based A/B digests for the packed clustering kernels: the u16
+// width-promoted path and the chunked-merge parallel path. The CAD-level
+// tests above pin end-to-end determinism on curated datasets; these pin
+// the same contracts on *arbitrary* inputs, including row counts that
+// land chunk boundaries unevenly.
+// ---------------------------------------------------------------------
+
+use dbexplorer::cluster::{kmeans, kmeans_packed, KMeansConfig, KMeansResult, OneHotSpace, PackedMatrix};
+use dbexplorer::stats::discretize::{AttributeCodec, CodedColumn};
+use proptest::prelude::*;
+
+/// Flattens a [`KMeansResult`] into one comparable string, float bits
+/// included — the kernel-level analogue of [`digest`].
+fn kmeans_digest(r: &KMeansResult) -> String {
+    let mut out = format!(
+        "assign={:?} sizes={:?} iters={} inertia={}\n",
+        r.assignments,
+        r.sizes,
+        r.iterations,
+        r.inertia.to_bits()
+    );
+    for (c, centroid) in r.centroids.iter().enumerate() {
+        let bits: Vec<u64> = centroid.iter().map(|v| v.to_bits()).collect();
+        out.push_str(&format!("centroid {c} {bits:?}\n"));
+    }
+    for (h, count) in &r.histograms {
+        out.push_str(&format!("hist {h:?} {count}\n"));
+    }
+    out
+}
+
+/// Coded columns over the given cardinalities filled with deterministic
+/// xorshift draws (NULL with probability ~1/8). A seed-driven fill keeps
+/// proptest shrinking cheap even at four-digit row counts.
+fn seeded_columns(cards: &[usize], n: usize, seed: u64) -> Vec<CodedColumn> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut columns: Vec<CodedColumn> = cards
+        .iter()
+        .enumerate()
+        .map(|(a, &card)| CodedColumn {
+            attr_index: a,
+            codec: AttributeCodec::Categorical {
+                labels: (0..card).map(|i| format!("v{i}")).collect(),
+            },
+            codes: Vec::with_capacity(n),
+        })
+        .collect();
+    for _ in 0..n {
+        for (a, &card) in cards.iter().enumerate() {
+            let r = next();
+            columns[a].codes.push(if r % 8 == 0 {
+                dbexplorer::table::dict::NULL_CODE
+            } else {
+                (r % card as u64) as u32
+            });
+        }
+    }
+    columns
+}
+
+fn packed_config(k: usize, seed: u64, threads: usize) -> KMeansConfig {
+    KMeansConfig {
+        k,
+        max_iters: 12,
+        seed,
+        plus_plus: true,
+        threads,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A/B digest for the width-promoted packed path: an attribute
+    /// cardinality above 255 forces `u16` code storage, and the promoted
+    /// kernel must still equal the one-hot reference bit for bit — and
+    /// stay byte-identical when the assignment pass is chunked across
+    /// worker threads.
+    #[test]
+    fn u16_promoted_kernel_matches_onehot_reference_at_any_thread_count(
+        wide_card in 256usize..340,
+        narrow_card in 2usize..6,
+        n in 40usize..160,
+        k in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let columns = seeded_columns(&[wide_card, narrow_card], n, seed | 1);
+        let refs: Vec<&CodedColumn> = columns.iter().collect();
+        let positions: Vec<usize> = (0..n).collect();
+        let matrix = PackedMatrix::from_columns(&refs, &positions).expect("packable");
+        prop_assert!(!matrix.is_u8(), "cardinality {wide_card} must promote to u16");
+        let space = OneHotSpace::from_columns(&refs);
+        let points = space.encode_positions(&refs, &positions);
+        let reference = kmeans(&points, space.dim(), &packed_config(k, seed, 1)).unwrap();
+        let a = kmeans_digest(&reference);
+        for threads in [1usize, 2, 8] {
+            let packed = kmeans_packed(&matrix, &packed_config(k, seed, threads)).unwrap();
+            prop_assert_eq!(
+                &kmeans_digest(&packed),
+                &a,
+                "u16 packed kernel at {} threads diverged from the one-hot reference",
+                threads
+            );
+        }
+    }
+
+    /// A/B digest for the chunked merge: row counts straddling multiples
+    /// of the 256-row minimum chunk land the final chunk short (uneven
+    /// boundaries), and the per-chunk integer partials must still merge
+    /// to the sequential bytes at every thread count.
+    #[test]
+    fn chunked_merge_is_byte_identical_across_uneven_boundaries(
+        n in 512usize..1300,
+        k in 2usize..7,
+        seed in 0u64..10_000,
+    ) {
+        let columns = seeded_columns(&[7, 4, 3], n, seed.wrapping_add(17) | 1);
+        let refs: Vec<&CodedColumn> = columns.iter().collect();
+        let positions: Vec<usize> = (0..n).collect();
+        let matrix = PackedMatrix::from_columns(&refs, &positions).expect("packable");
+        let a = kmeans_digest(&kmeans_packed(&matrix, &packed_config(k, seed, 1)).unwrap());
+        for threads in [2usize, 8] {
+            let b = kmeans_digest(&kmeans_packed(&matrix, &packed_config(k, seed, threads)).unwrap());
+            prop_assert_eq!(
+                &b, &a,
+                "{} rows at {} threads: chunked merge diverged from sequential",
+                n, threads
+            );
+        }
+    }
+}
+
+#[test]
+fn few_pivot_values_route_spare_threads_into_partition_chunking() {
+    // End-to-end coverage of the intra-partition parallel path: with only
+    // two pivot values and eight requested threads, the builder hands the
+    // spare threads to the clustering kernel, whose partitions (≥ 1024
+    // rows each) split into multiple chunks — and the build must still be
+    // byte-identical to sequential.
+    use dbexplorer::table::{DataType, Field, TableBuilder, Value};
+    let mut b = TableBuilder::new(vec![
+        Field::new("Pivot", DataType::Categorical),
+        Field::new("Cat", DataType::Categorical),
+        Field::new("Cat2", DataType::Categorical),
+        Field::new("Num", DataType::Int),
+    ])
+    .expect("schema");
+    for i in 0..2600usize {
+        b.push_row(vec![
+            Value::Str(format!("p{}", i % 2)),
+            Value::Str(format!("c{}", (i / 3) % 5)),
+            Value::Str(format!("d{}", (i * 7) % 4)),
+            Value::Int(((i * 37) % 100) as i64 - 50),
+        ])
+        .expect("row");
+    }
+    let table = b.finish();
+    let view = table.full_view();
+    let sequential = build_cad_view(&view, &request_with_threads("Pivot", 1)).expect("sequential");
+    let reference = digest(&sequential);
+    for threads in [2, 8] {
+        let parallel =
+            build_cad_view(&view, &request_with_threads("Pivot", threads)).expect("parallel");
+        assert_eq!(
+            digest(&parallel),
+            reference,
+            "{threads}-thread chunked build diverged from sequential"
+        );
+    }
+}
+
 #[test]
 fn caller_thread_stages_still_see_faults_under_parallelism() {
     // The pivot codec is built on the caller's thread even at threads > 1,

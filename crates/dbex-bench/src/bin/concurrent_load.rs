@@ -18,14 +18,11 @@
 //! each request is cache lookups and rendering, and the server should
 //! degrade far slower than 32x.
 
-use dbex_bench::{median_ms, validate_json, warn_if_debug};
+use dbex_bench::{median_ms, validate_serve_report, warn_if_debug, SERVE_SCHEMA};
 use dbex_data::UsedCarsGenerator;
 use dbex_serve::{Client, ServeConfig, Server};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-/// Schema version of `BENCH_serve.json`; bump on incompatible changes.
-const SERVE_SCHEMA: u64 = 1;
 
 const CLIENT_COUNTS: &[usize] = &[1, 8, 32];
 
@@ -198,8 +195,8 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    if let Err(e) = validate_json(&json) {
-        eprintln!("concurrent_load: generated report is not valid JSON: {e}");
+    if let Err(e) = validate_serve_report(&json) {
+        eprintln!("concurrent_load: generated report fails its own schema: {e}");
         std::process::exit(1);
     }
     let total_errors: usize = points.iter().map(|p| p.errors).sum();

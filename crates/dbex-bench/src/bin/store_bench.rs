@@ -20,16 +20,13 @@
 //! cargo run --release -p dbex-bench --bin store_bench -- --quick  # CI smoke (4K)
 //! ```
 
-use dbex_bench::{median_ms, validate_json, warn_if_debug};
+use dbex_bench::{median_ms, validate_store_report, warn_if_debug, STORE_SCHEMA};
 use dbex_query::Session;
 use dbex_store::{open, save, OpenReport, RealVfs};
 use dbex_table::Table;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Schema version of `BENCH_store.json`; bump on incompatible changes.
-const STORE_SCHEMA: u64 = 1;
 
 const SEED: u64 = 7;
 const RUNS: usize = 5;
@@ -196,8 +193,8 @@ fn main() {
          \"rehydrated_solutions\": {rehydrated},\n  \
          \"partitions_reused\": {warm_reused}\n}}\n"
     );
-    if let Err(e) = validate_json(&json) {
-        eprintln!("store_bench: generated report is not valid JSON: {e}");
+    if let Err(e) = validate_store_report(&json) {
+        eprintln!("store_bench: generated report fails its own schema: {e}");
         std::process::exit(1);
     }
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {

@@ -654,6 +654,277 @@ pub fn flatten_spans(tree: &Json) -> Vec<(String, f64)> {
     out
 }
 
+// --- sibling report schemas -------------------------------------------------
+//
+// The suite writes four machine-readable reports; each has its own
+// schema number and whitelist so a stale generator (or hand edit) is
+// rejected at the same place regardless of which harness produced it:
+//
+// | file | harness | validator |
+// |---|---|---|
+// | `BENCH_cad.json` | `bench_suite` | [`validate_report`] |
+// | `BENCH_serve.json` | `concurrent_load` | [`validate_serve_report`] |
+// | `BENCH_store.json` | `store_bench` | [`validate_store_report`] |
+// | `BENCH_explore.json` | `bench_explore` | [`validate_explore_report`] |
+
+/// Schema version of `BENCH_serve.json`; bump on incompatible changes.
+pub const SERVE_SCHEMA: u64 = 1;
+/// Schema version of `BENCH_store.json`; bump on incompatible changes.
+pub const STORE_SCHEMA: u64 = 1;
+/// Schema version of `BENCH_explore.json`; bump on incompatible changes.
+pub const EXPLORE_SCHEMA: u64 = 1;
+
+const SERVE_TOP_FIELDS: &[&str] = &[
+    "schema",
+    "harness",
+    "quick",
+    "rows",
+    "rounds",
+    "requests_per_round",
+    "points",
+];
+const SERVE_POINT_FIELDS: &[&str] = &[
+    "clients",
+    "requests",
+    "errors",
+    "p50_ms",
+    "p99_ms",
+    "max_ms",
+    "busy_rejections",
+    "cache_hits",
+    "cache_misses",
+];
+const STORE_TOP_FIELDS: &[&str] = &[
+    "schema",
+    "harness",
+    "quick",
+    "rows",
+    "runs",
+    "save_ms",
+    "save_reuse_ms",
+    "open_ms",
+    "snapshot_bytes",
+    "cold_build_ms",
+    "warm_first_build_ms",
+    "rehydrated_solutions",
+    "partitions_reused",
+];
+const EXPLORE_TOP_FIELDS: &[&str] = &[
+    "schema",
+    "harness",
+    "quick",
+    "seed",
+    "rows",
+    "ops_per_session",
+    "think_min_ms",
+    "think_max_ms",
+    "abandon_rate",
+    "reconnect_rate",
+    "repeats",
+    "points",
+];
+const EXPLORE_POINT_FIELDS: &[&str] = &[
+    "sessions",
+    "completed",
+    "abandoned",
+    "reconnects",
+    "requests",
+    "errors",
+    "busy_rejections",
+    "ttfr_p50_ms",
+    "ttfr_p99_ms",
+    "p50_ms",
+    "p99_ms",
+    "max_ms",
+    "wall_ms",
+    "ops",
+    "cache_trajectory",
+];
+const EXPLORE_OP_KINDS: &[&str] = &["drill", "cad", "pivot", "highlight", "reorder"];
+const EXPLORE_OP_FIELDS: &[&str] = &["count", "p50_ms", "p99_ms", "max_ms"];
+const EXPLORE_TRAJ_FIELDS: &[&str] = &["at_ms", "hits", "misses", "evictions", "hit_rate"];
+
+/// Shared preamble of the sibling-report validators: well-formed JSON,
+/// the expected `"schema"` number, and the expected `"harness"` tag.
+fn validate_sibling(text: &str, schema: u64, harness: &str) -> Result<Json, String> {
+    validate_json(text)?;
+    let Some(found) = extract_schema(text) else {
+        return Err(format!(
+            "report has no \"schema\" field; this validator understands \
+             schema {schema} — regenerate with {harness}"
+        ));
+    };
+    if found != schema {
+        return Err(format!(
+            "unknown report schema {found}; this validator understands schema \
+             {schema} — regenerate with {harness}"
+        ));
+    }
+    let parsed = Json::parse(text)?;
+    match parsed.get("harness").and_then(Json::as_str) {
+        Some(h) if h == harness => Ok(parsed),
+        Some(h) => Err(format!(
+            "report was produced by harness \"{h}\", expected \"{harness}\""
+        )),
+        None => Err(format!(
+            "report has no \"harness\" field — regenerate with {harness}"
+        )),
+    }
+}
+
+/// Validates `BENCH_serve.json` (schema [`SERVE_SCHEMA`]): well-formed,
+/// version-matched, and carrying **only** the fields the schema defines.
+pub fn validate_serve_report(text: &str) -> Result<(), String> {
+    let parsed = validate_sibling(text, SERVE_SCHEMA, "concurrent_load")?;
+    check_keys(&parsed, SERVE_TOP_FIELDS, "serve report")?;
+    let empty: [Json; 0] = [];
+    for point in parsed.get("points").and_then(Json::as_array).unwrap_or(&empty) {
+        check_keys(point, SERVE_POINT_FIELDS, "a serve report point")?;
+    }
+    Ok(())
+}
+
+/// Validates `BENCH_store.json` (schema [`STORE_SCHEMA`]). The store
+/// report is flat, so this is the preamble plus the top-level whitelist.
+pub fn validate_store_report(text: &str) -> Result<(), String> {
+    let parsed = validate_sibling(text, STORE_SCHEMA, "store_bench")?;
+    check_keys(&parsed, STORE_TOP_FIELDS, "store report")
+}
+
+/// Validates `BENCH_explore.json` (schema [`EXPLORE_SCHEMA`]): field
+/// whitelists at every level, including the per-op-kind latency objects
+/// (whose keys must be known op kinds) and the cache trajectory.
+pub fn validate_explore_report(text: &str) -> Result<(), String> {
+    let parsed = validate_sibling(text, EXPLORE_SCHEMA, "bench_explore")?;
+    check_keys(&parsed, EXPLORE_TOP_FIELDS, "explore report")?;
+    let empty: [Json; 0] = [];
+    for point in parsed.get("points").and_then(Json::as_array).unwrap_or(&empty) {
+        let sessions = point.get("sessions").and_then(Json::as_f64).unwrap_or(0.0);
+        let ctx = format!("the {sessions}-session point");
+        check_keys(point, EXPLORE_POINT_FIELDS, &ctx)?;
+        if let Some(Json::Obj(ops)) = point.get("ops") {
+            for (kind, stats) in ops {
+                if !EXPLORE_OP_KINDS.contains(&kind.as_str()) {
+                    return Err(format!(
+                        "unknown op kind \"{kind}\" in {ctx}; schema {EXPLORE_SCHEMA} \
+                         allows {EXPLORE_OP_KINDS:?} — regenerate with bench_explore"
+                    ));
+                }
+                check_keys(stats, EXPLORE_OP_FIELDS, &format!("op \"{kind}\" of {ctx}"))?;
+            }
+        }
+        for sample in point
+            .get("cache_trajectory")
+            .and_then(Json::as_array)
+            .unwrap_or(&empty)
+        {
+            check_keys(
+                sample,
+                EXPLORE_TRAJ_FIELDS,
+                &format!("a cache_trajectory sample of {ctx}"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Absolute noise floor for the explore gate, in milliseconds: a
+/// regression must exceed the relative threshold **and** this floor to
+/// fail. At 64 sessions the overall p99 sits at a few milliseconds,
+/// where one scheduler preemption is ±40% — a ratio-only gate fires on
+/// its own baseline. 5ms is far below anything a user perceives and far
+/// above per-op timing jitter.
+pub const EXPLORE_NOISE_FLOOR_MS: f64 = 5.0;
+
+/// Compares a fresh `BENCH_explore.json` against a baseline. Points are
+/// matched by `sessions`; runs whose workload differs (rows, seed,
+/// ops_per_session, or quick flag) are reported as not comparable and
+/// never trip the gate. The gate fails when a matched point's
+/// time-to-first-result p50 **or** overall p99 exceeds the baseline by
+/// more than `gate_threshold` (0.25 = 25%) *and* by more than
+/// [`EXPLORE_NOISE_FLOOR_MS`] absolute.
+pub fn diff_explore_reports(
+    current: &str,
+    baseline: &str,
+    gate_threshold: f64,
+) -> Result<ReportDiff, String> {
+    let cur = Json::parse(current).map_err(|e| format!("current report: {e}"))?;
+    let base = Json::parse(baseline).map_err(|e| format!("baseline report: {e}"))?;
+    let base_schema = base
+        .get("schema")
+        .and_then(Json::as_f64)
+        .map(|n| n as u64)
+        .ok_or_else(|| "baseline report has no \"schema\" field".to_owned())?;
+    if base_schema != EXPLORE_SCHEMA {
+        return Err(format!(
+            "baseline schema {base_schema} not understood (want {EXPLORE_SCHEMA})"
+        ));
+    }
+    let mut lines = Vec::new();
+    for key in ["rows", "seed", "ops_per_session", "quick"] {
+        let (c, b) = (cur.get(key), base.get(key));
+        let same = match (c, b) {
+            (Some(c), Some(b)) => match (c.as_f64(), b.as_f64()) {
+                (Some(c), Some(b)) => c == b,
+                _ => format!("{c:?}") == format!("{b:?}"),
+            },
+            _ => false,
+        };
+        if !same {
+            lines.push(format!(
+                "workload mismatch on \"{key}\" — runs not comparable, gate skipped"
+            ));
+            return Ok(ReportDiff {
+                lines,
+                gate_failed: false,
+            });
+        }
+    }
+    let empty: [Json; 0] = [];
+    let cur_points = cur.get("points").and_then(Json::as_array).unwrap_or(&empty);
+    let base_points = base.get("points").and_then(Json::as_array).unwrap_or(&empty);
+    let mut gate_failed = false;
+    for point in cur_points {
+        let Some(sessions) = point.get("sessions").and_then(Json::as_f64) else {
+            continue;
+        };
+        let Some(base_point) = base_points
+            .iter()
+            .find(|p| p.get("sessions").and_then(Json::as_f64) == Some(sessions))
+        else {
+            lines.push(format!("{sessions} sessions: not in baseline — skipped"));
+            continue;
+        };
+        for metric in ["ttfr_p50_ms", "p99_ms"] {
+            let (Some(cur_ms), Some(base_ms)) = (
+                point.get(metric).and_then(Json::as_f64),
+                base_point.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let mut line = format!(
+                "{sessions} sessions {metric}: {cur_ms:.3} ms vs {base_ms:.3} ms — {}",
+                verdict(cur_ms, base_ms),
+            );
+            if base_ms > 0.0
+                && cur_ms > base_ms * (1.0 + gate_threshold)
+                && cur_ms - base_ms > EXPLORE_NOISE_FLOOR_MS
+            {
+                gate_failed = true;
+                line.push_str(&format!(
+                    "  [GATE FAILED: > {:.0}% regression]",
+                    gate_threshold * 100.0
+                ));
+            }
+            lines.push(line);
+        }
+    }
+    if cur_points.is_empty() {
+        lines.push("current report has no points".to_owned());
+    }
+    Ok(ReportDiff { lines, gate_failed })
+}
+
 /// The span whose median regression fails the `--baseline` gate: the
 /// clustering hot path this harness exists to keep fast.
 pub const GATE_SPAN: &str = "cluster_partition";
@@ -996,6 +1267,161 @@ mod tests {
 
         // Pre-versioning baseline is rejected outright.
         assert!(diff_reports(&report(3, 100, 1.0, 1.0), r#"{"workloads": []}"#, 0.25).is_err());
+    }
+
+    #[test]
+    fn sibling_validators_check_schema_and_harness() {
+        // The committed reports must validate (guards against the
+        // whitelists drifting from what the harnesses actually write).
+        let serve = r#"{"schema": 1, "harness": "concurrent_load", "quick": false,
+            "rows": 100, "rounds": 2, "requests_per_round": 4,
+            "points": [{"clients": 1, "requests": 8, "errors": 0, "p50_ms": 0.1,
+                        "p99_ms": 0.2, "max_ms": 0.3, "busy_rejections": 0,
+                        "cache_hits": 5, "cache_misses": 1}]}"#;
+        assert!(validate_serve_report(serve).is_ok());
+        let store = r#"{"schema": 1, "harness": "store_bench", "quick": true,
+            "rows": 10, "runs": 1, "save_ms": 1.0, "save_reuse_ms": 1.0,
+            "open_ms": 1.0, "snapshot_bytes": 10, "cold_build_ms": 1.0,
+            "warm_first_build_ms": 1.0, "rehydrated_solutions": 1,
+            "partitions_reused": 1}"#;
+        assert!(validate_store_report(store).is_ok());
+
+        // Wrong harness tag, missing harness, wrong schema — each named
+        // in the message.
+        let err = validate_serve_report(&serve.replace("concurrent_load", "store_bench"))
+            .unwrap_err();
+        assert!(err.contains("harness \"store_bench\""), "{err}");
+        let err = validate_store_report(r#"{"schema": 1, "rows": 1}"#).unwrap_err();
+        assert!(err.contains("no \"harness\" field"), "{err}");
+        let err = validate_serve_report(r#"{"schema": 9, "harness": "concurrent_load"}"#)
+            .unwrap_err();
+        assert!(err.contains("unknown report schema 9"), "{err}");
+
+        // Unknown fields rejected at both levels.
+        let err = validate_serve_report(&serve.replace("\"rows\"", "\"row_count\""))
+            .unwrap_err();
+        assert!(err.contains("\"row_count\""), "{err}");
+        let err = validate_serve_report(&serve.replace("\"errors\"", "\"failures\""))
+            .unwrap_err();
+        assert!(err.contains("\"failures\" in a serve report point"), "{err}");
+        let err = validate_store_report(&store.replace("\"runs\"", "\"iters\"")).unwrap_err();
+        assert!(err.contains("\"iters\""), "{err}");
+    }
+
+    fn explore_report(sessions: u64, ttfr_p50: f64, p99: f64) -> String {
+        format!(
+            r#"{{"schema": 1, "harness": "bench_explore", "quick": false, "seed": 42,
+                "rows": 1000, "ops_per_session": 8, "think_min_ms": 0, "think_max_ms": 2,
+                "abandon_rate": 0.05, "reconnect_rate": 0.5,
+                "points": [{{"sessions": {sessions}, "completed": {sessions},
+                  "abandoned": 1, "reconnects": 1, "requests": 64, "errors": 0,
+                  "busy_rejections": 2, "ttfr_p50_ms": {ttfr_p50}, "ttfr_p99_ms": 9.0,
+                  "p50_ms": 1.0, "p99_ms": {p99}, "max_ms": 20.0, "wall_ms": 100.0,
+                  "ops": {{"drill": {{"count": 16, "p50_ms": 1.0, "p99_ms": 2.0, "max_ms": 3.0}},
+                          "cad": {{"count": 8, "p50_ms": 2.0, "p99_ms": 4.0, "max_ms": 5.0}}}},
+                  "cache_trajectory": [
+                    {{"at_ms": 0.0, "hits": 0, "misses": 0, "evictions": 0, "hit_rate": 0.0}},
+                    {{"at_ms": 50.0, "hits": 40, "misses": 10, "evictions": 0, "hit_rate": 0.8}}]}}]}}"#
+        )
+    }
+
+    #[test]
+    fn explore_validator_walks_every_level() {
+        assert!(validate_explore_report(&explore_report(8, 2.0, 10.0)).is_ok());
+        let err = validate_explore_report(
+            &explore_report(8, 2.0, 10.0).replace("\"abandon_rate\"", "\"abandonment\""),
+        )
+        .unwrap_err();
+        assert!(err.contains("\"abandonment\""), "{err}");
+        let err = validate_explore_report(
+            &explore_report(8, 2.0, 10.0).replace("\"ttfr_p50_ms\"", "\"ttfr_median_ms\""),
+        )
+        .unwrap_err();
+        assert!(err.contains("\"ttfr_median_ms\" in the 8-session point"), "{err}");
+        // Unknown op kind and unknown op field both rejected.
+        let err = validate_explore_report(
+            &explore_report(8, 2.0, 10.0).replace("\"drill\"", "\"scan\""),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown op kind \"scan\""), "{err}");
+        let err = validate_explore_report(
+            &explore_report(8, 2.0, 10.0).replace("\"count\": 16", "\"n\": 16"),
+        )
+        .unwrap_err();
+        assert!(err.contains("\"n\" in op \"drill\""), "{err}");
+        // Trajectory samples are whitelisted too.
+        let err = validate_explore_report(
+            &explore_report(8, 2.0, 10.0).replace("\"hit_rate\": 0.8", "\"ratio\": 0.8"),
+        )
+        .unwrap_err();
+        assert!(err.contains("\"ratio\" in a cache_trajectory sample"), "{err}");
+    }
+
+    #[test]
+    fn explore_diff_gates_on_ttfr_and_p99() {
+        // Mild regression: reported, below gate.
+        let diff = diff_explore_reports(
+            &explore_report(8, 2.2, 11.0),
+            &explore_report(8, 2.0, 10.0),
+            0.25,
+        )
+        .unwrap();
+        assert!(!diff.gate_failed, "{:?}", diff.lines);
+        assert!(diff.lines.iter().any(|l| l.contains("+10.0% regression")));
+
+        // TTFR p50 regresses past the gate even though p99 is fine.
+        let diff = diff_explore_reports(
+            &explore_report(8, 30.0, 100.0),
+            &explore_report(8, 20.0, 100.0),
+            0.25,
+        )
+        .unwrap();
+        assert!(diff.gate_failed, "{:?}", diff.lines);
+        assert!(diff.lines.iter().any(|l| l.contains("GATE FAILED")));
+
+        // p99 regresses past the gate independently.
+        let diff = diff_explore_reports(
+            &explore_report(8, 20.0, 200.0),
+            &explore_report(8, 20.0, 100.0),
+            0.25,
+        )
+        .unwrap();
+        assert!(diff.gate_failed, "{:?}", diff.lines);
+
+        // A big *relative* jump under the absolute noise floor is jitter
+        // on a milliseconds-scale metric, not a regression.
+        let diff = diff_explore_reports(
+            &explore_report(8, 3.0, 4.4),
+            &explore_report(8, 2.0, 3.1),
+            0.25,
+        )
+        .unwrap();
+        assert!(!diff.gate_failed, "{:?}", diff.lines);
+
+        // A point missing from the baseline is skipped, not gated.
+        let diff = diff_explore_reports(
+            &explore_report(16, 99.0, 99.0),
+            &explore_report(8, 2.0, 10.0),
+            0.25,
+        )
+        .unwrap();
+        assert!(!diff.gate_failed);
+        assert!(diff.lines.iter().any(|l| l.contains("not in baseline")));
+
+        // Workload mismatch (different rows) disables the gate entirely.
+        let other = explore_report(8, 99.0, 99.0).replace("\"rows\": 1000", "\"rows\": 9");
+        let diff =
+            diff_explore_reports(&other, &explore_report(8, 2.0, 10.0), 0.25).unwrap();
+        assert!(!diff.gate_failed);
+        assert!(diff.lines.iter().any(|l| l.contains("workload mismatch")), "{:?}", diff.lines);
+
+        // Baseline from another schema is rejected.
+        assert!(diff_explore_reports(
+            &explore_report(8, 1.0, 1.0),
+            r#"{"schema": 2, "points": []}"#,
+            0.25
+        )
+        .is_err());
     }
 
     #[test]

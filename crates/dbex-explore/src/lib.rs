@@ -1,0 +1,39 @@
+//! # dbex-explore
+//!
+//! The multi-session exploration benchmark harness (IDEBench-style; see
+//! ROADMAP item 3). Three layers, each usable on its own:
+//!
+//! * [`zipf`] — a seeded, table-driven Zipf sampler (also used by the
+//!   cache tests to generate realistically skewed key traffic).
+//! * [`gen`] — a deterministic synthetic dataset generator with
+//!   controllable per-attribute cardinality, Zipf skew, NULL rates, and
+//!   *planted* pairwise correlations the stats layer should rediscover.
+//!   Identical seeds are byte-identical across runs **and** thread
+//!   counts: every row is derived from its own `(seed, row)` RNG, so
+//!   parallel generation assembles the exact same table.
+//! * [`trace`] — a seeded generator of exploratory session traces in the
+//!   paper's TPFacet shape: facet-drill → pivot → CADVIEW →
+//!   highlight/reorder, with per-op think-times.
+//! * [`sim`] — a session simulator driving hundreds to thousands of
+//!   concurrent sessions over the **real** `dbex-serve` wire protocol,
+//!   with think-time pacing and abandon/reconnect churn, reporting
+//!   time-to-first-result, per-op latencies, BUSY/error rates, and the
+//!   shared cache's hit trajectory over the run.
+//!
+//! The `bench_explore` binary in `dbex-bench` wires these into
+//! `BENCH_explore.json` with `--baseline` regression diffing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod gen;
+mod mix;
+pub mod sim;
+pub mod trace;
+pub mod zipf;
+
+pub use gen::{AttrKind, AttrSpec, SyntheticSpec};
+pub use sim::{run_sim, OpSample, SessionOutcome, SimConfig, SimReport};
+pub use trace::{session_trace, OpKind, TraceConfig, TraceOp};
+pub use zipf::Zipf;

@@ -1,0 +1,60 @@
+//! Seed mixing shared by the generator, trace generator, and simulator.
+//!
+//! `StdRng::seed_from_u64` applies only one pre-mix round, so seeding
+//! directly from an affine family (`seed ^ (id * C + D)`) leaves the
+//! *first* draws of nearby ids visibly correlated — e.g. ~19% of the
+//! first 32 session streams opened below 0.08 instead of 8%, which
+//! tripled small-run abandon counts. Running the stream id through a
+//! full SplitMix64 finalizer first scatters consecutive ids across the
+//! state space, so per-row / per-session streams are independent from
+//! their very first draw.
+
+/// Mixes a master seed and a stream id (row index, session id) into a
+/// well-scattered RNG seed. SplitMix64 finalizer (Steele, Lea, Flood
+/// 2014).
+pub(crate) fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        ^ stream
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x1234_5678_9ABC_DEF1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// The property the simulator depends on: the FIRST draw of
+    /// consecutive streams is uniform even over tiny prefixes.
+    #[test]
+    fn first_draws_are_uniform_over_small_prefixes() {
+        for n in [32u64, 256, 1024] {
+            let mut below = 0usize;
+            for stream in 0..n {
+                let mut rng = StdRng::seed_from_u64(mix(42, stream));
+                let r: f64 = rng.random_range(0.0..1.0);
+                if r < 0.08 {
+                    below += 1;
+                }
+            }
+            let frac = below as f64 / n as f64;
+            // 4-sigma binomial envelope around 0.08.
+            let tol = 4.0 * (0.08 * 0.92 / n as f64).sqrt();
+            assert!(
+                (frac - 0.08).abs() < tol,
+                "n={n}: first-draw frac {frac} vs 0.08 ± {tol:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        assert_ne!(mix(1, 0), mix(2, 0));
+        assert_ne!(mix(1, 0), mix(1, 1));
+        assert_ne!(mix(1, 2), mix(2, 1));
+    }
+}

@@ -1,0 +1,417 @@
+//! Seeded exploratory session traces.
+//!
+//! A trace is the paper's canonical exploration loop rendered as wire
+//! requests: **facet-drill** (SELECT with accumulating equality
+//! predicates) → **CAD View construction** → **pivot change** →
+//! **highlight / reorder** interactions against the view. Each op
+//! carries a think-time so the simulator can pace it like a human
+//! session rather than a closed-loop saturation test.
+//!
+//! Traces are pure functions of `(spec, config, session id)` — the same
+//! inputs produce the same request strings and think-times on every run,
+//! which is what makes `BENCH_explore.json` reproducible under a fixed
+//! seed.
+//!
+//! Validity by construction: drills predicate only on the two most
+//! frequent levels of high-frequency facet attributes (so drilled
+//! subsets stay large), pivots only target categorical attributes with a
+//! zero NULL rate that are not currently drilled, and similarity
+//! references always use the current pivot's level-0 label — the one
+//! value guaranteed to survive any drill with overwhelming probability.
+//! Residual misses (e.g. a reorder value filtered out by an unlucky
+//! subset) surface as counted errors in the simulator, not panics.
+
+use crate::gen::{AttrKind, SyntheticSpec};
+use crate::mix::mix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// The kind of exploration step a [`TraceOp`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Facet drill: a `SELECT` narrowing the working predicate set.
+    Drill,
+    /// CAD View construction (`CREATE CADVIEW`).
+    Cad,
+    /// Pivot change: re-creates the view around a different attribute.
+    Pivot,
+    /// `HIGHLIGHT SIMILAR IUNITS` against the current view.
+    Highlight,
+    /// `REORDER ROWS` in the current view by similarity.
+    Reorder,
+}
+
+impl OpKind {
+    /// Stable lowercase name used in report JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Drill => "drill",
+            OpKind::Cad => "cad",
+            OpKind::Pivot => "pivot",
+            OpKind::Highlight => "highlight",
+            OpKind::Reorder => "reorder",
+        }
+    }
+
+    /// All kinds, in report order.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Drill,
+        OpKind::Cad,
+        OpKind::Pivot,
+        OpKind::Highlight,
+        OpKind::Reorder,
+    ];
+}
+
+/// One step of a session trace.
+#[derive(Debug, Clone)]
+pub struct TraceOp {
+    /// What kind of exploration step this is.
+    pub kind: OpKind,
+    /// The wire request line (no trailing newline).
+    pub request: String,
+    /// Think-time to wait *before* issuing the request.
+    pub think: Duration,
+}
+
+/// Knobs for [`session_trace`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Base seed; combined with the session id so each session gets a
+    /// distinct but reproducible trace.
+    pub seed: u64,
+    /// Ops per session (the first is always a drill; a CAD View is
+    /// always created by op 3 at the latest).
+    pub ops: usize,
+    /// Inclusive think-time bounds in milliseconds.
+    pub think_min_ms: u64,
+    /// See [`Self::think_min_ms`]. `0..=0` disables pacing entirely.
+    pub think_max_ms: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            seed: 0,
+            ops: 12,
+            think_min_ms: 5,
+            think_max_ms: 40,
+        }
+    }
+}
+
+/// Per-session generator state: which facets are drilled, what the view
+/// currently pivots on.
+struct TraceState<'a> {
+    spec: &'a SyntheticSpec,
+    /// `(attr index, level)` equality predicates, in drill order.
+    preds: Vec<(usize, usize)>,
+    /// Current pivot attribute index (always a no-NULL categorical).
+    pivot: usize,
+    /// Whether a CAD View exists yet.
+    has_view: bool,
+}
+
+impl TraceState<'_> {
+    /// Categorical attributes safe to pivot on: never NULL (so the
+    /// level-0 value exists under any drill) and not currently drilled
+    /// (a drilled pivot would collapse the view to one column).
+    fn pivot_candidates(&self) -> Vec<usize> {
+        self.spec
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                a.kind == AttrKind::Categorical
+                    && a.null_rate == 0.0
+                    && a.cardinality >= 2
+                    && !self.preds.iter().any(|(p, _)| p == i)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Facet attributes still available to drill: categorical, at least
+    /// two levels, not the pivot, not already drilled.
+    fn drill_candidates(&self) -> Vec<usize> {
+        self.spec
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                a.kind == AttrKind::Categorical
+                    && a.cardinality >= 2
+                    && *i != self.pivot
+                    && !self.preds.iter().any(|(p, _)| p == i)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn where_clause(&self) -> String {
+        let terms: Vec<String> = self
+            .preds
+            .iter()
+            .map(|&(attr, level)| {
+                let a = &self.spec.attrs[attr];
+                format!("{} = {}", a.name, a.label(level))
+            })
+            .collect();
+        terms.join(" AND ")
+    }
+
+    fn drill_request(&self) -> String {
+        let pivot_name = &self.spec.attrs[self.pivot].name;
+        format!(
+            "SELECT {pivot_name} FROM {} WHERE {} LIMIT 20",
+            self.spec.name,
+            self.where_clause()
+        )
+    }
+
+    fn cad_request(&self) -> String {
+        let pivot_name = &self.spec.attrs[self.pivot].name;
+        let mut req = format!(
+            "CREATE CADVIEW v AS SET pivot = {pivot_name} FROM {}",
+            self.spec.name
+        );
+        if !self.preds.is_empty() {
+            req.push_str(&format!(" WHERE {}", self.where_clause()));
+        }
+        req.push_str(" LIMIT COLUMNS 3 IUNITS 2");
+        req
+    }
+
+    /// The current pivot's most frequent level label — the similarity
+    /// anchor for highlight/reorder ops.
+    fn anchor(&self) -> String {
+        self.spec.attrs[self.pivot].label(0)
+    }
+}
+
+/// Generates the trace for one session.
+///
+/// The shape: op 0 drills, op 1 drills again or builds the view, a view
+/// exists by op 2; the remainder mixes highlight/reorder interactions
+/// (~55%), further drills that refresh the view (~25%), and pivot
+/// changes (~20%), weights varying per session seed.
+pub fn session_trace(spec: &SyntheticSpec, cfg: &TraceConfig, session: u64) -> Vec<TraceOp> {
+    let mut rng = StdRng::seed_from_u64(mix(cfg.seed ^ 0x7472_6163, session));
+    let mut state = TraceState {
+        spec,
+        preds: Vec::new(),
+        pivot: 0,
+        has_view: false,
+    };
+    // Pivot starts at the first eligible attribute (the designated pivot
+    // in the default spec). Specs without one are a configuration error.
+    let candidates = state.pivot_candidates();
+    assert!(
+        !candidates.is_empty(),
+        "spec has no pivotable attribute (categorical, no NULLs)"
+    );
+    state.pivot = candidates[0];
+    assert!(
+        !state.drill_candidates().is_empty(),
+        "spec has no drillable facet attribute"
+    );
+
+    let mut ops: Vec<TraceOp> = Vec::with_capacity(cfg.ops);
+    let think = |rng: &mut StdRng| {
+        let think_ms = if cfg.think_max_ms > cfg.think_min_ms {
+            rng.random_range(cfg.think_min_ms..cfg.think_max_ms + 1)
+        } else {
+            cfg.think_min_ms
+        };
+        Duration::from_millis(think_ms)
+    };
+
+    for i in 0..cfg.ops {
+        let drills = state.drill_candidates();
+        let kind = if i == 0 {
+            OpKind::Drill
+        } else if !state.has_view && (i >= 2 || rng.random_range(0.0..1.0) < 0.5) {
+            OpKind::Cad
+        } else if !state.has_view {
+            OpKind::Drill
+        } else {
+            // View exists: weighted mix over the interaction ops.
+            let r: f64 = rng.random_range(0.0..1.0);
+            if r < 0.30 {
+                OpKind::Highlight
+            } else if r < 0.55 {
+                OpKind::Reorder
+            } else if r < 0.80 && !drills.is_empty() && state.preds.len() < 3 {
+                OpKind::Drill
+            } else if state.pivot_candidates().len() > 1 {
+                OpKind::Pivot
+            } else {
+                OpKind::Highlight
+            }
+        };
+        match kind {
+            OpKind::Drill => {
+                if drills.is_empty() {
+                    // Fully drilled: restart the facet path (a common
+                    // real-session move — clear filters, explore anew).
+                    state.preds.clear();
+                }
+                let drills = state.drill_candidates();
+                let attr = drills[rng.random_range(0..drills.len())];
+                // Top-2 levels only: keeps drilled subsets large and the
+                // distinct-predicate space small enough that the shared
+                // stats cache warms over session lifetimes.
+                let level = rng.random_range(0..2usize.min(spec.attrs[attr].cardinality));
+                state.preds.push((attr, level));
+                ops.push(TraceOp {
+                    kind: OpKind::Drill,
+                    request: state.drill_request(),
+                    think: think(&mut rng),
+                });
+                if state.has_view {
+                    // Refresh the view over the narrowed subset.
+                    ops.push(TraceOp {
+                        kind: OpKind::Cad,
+                        request: state.cad_request(),
+                        think: think(&mut rng),
+                    });
+                }
+            }
+            OpKind::Cad => {
+                state.has_view = true;
+                ops.push(TraceOp {
+                    kind: OpKind::Cad,
+                    request: state.cad_request(),
+                    think: think(&mut rng),
+                });
+            }
+            OpKind::Pivot => {
+                let cands = state.pivot_candidates();
+                let others: Vec<usize> =
+                    cands.into_iter().filter(|&c| c != state.pivot).collect();
+                state.pivot = others[rng.random_range(0..others.len())];
+                ops.push(TraceOp {
+                    kind: OpKind::Pivot,
+                    request: state.cad_request(),
+                    think: think(&mut rng),
+                });
+            }
+            OpKind::Highlight => {
+                ops.push(TraceOp {
+                    kind: OpKind::Highlight,
+                    request: format!(
+                        "HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY({}, 1) > 0.5",
+                        state.anchor()
+                    ),
+                    think: think(&mut rng),
+                });
+            }
+            OpKind::Reorder => {
+                ops.push(TraceOp {
+                    kind: OpKind::Reorder,
+                    request: format!(
+                        "REORDER ROWS IN v ORDER BY SIMILARITY({}) DESC",
+                        state.anchor()
+                    ),
+                    think: think(&mut rng),
+                });
+            }
+        }
+        if ops.len() >= cfg.ops {
+            break;
+        }
+    }
+    ops.truncate(cfg.ops);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec::exploration_default(100, 1)
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_session() {
+        let s = spec();
+        let cfg = TraceConfig::default();
+        let a = session_trace(&s, &cfg, 3);
+        let b = session_trace(&s, &cfg, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.request, y.request);
+            assert_eq!(x.think, y.think);
+        }
+        let c = session_trace(&s, &cfg, 4);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.request != y.request || x.think != y.think),
+            "different sessions should diverge"
+        );
+    }
+
+    #[test]
+    fn trace_shape_is_valid() {
+        let s = spec();
+        let cfg = TraceConfig {
+            ops: 16,
+            ..TraceConfig::default()
+        };
+        for session in 0..50 {
+            let trace = session_trace(&s, &cfg, session);
+            assert_eq!(trace.len(), cfg.ops);
+            assert_eq!(trace[0].kind, OpKind::Drill, "session {session}");
+            let mut has_view = false;
+            for op in &trace {
+                match op.kind {
+                    OpKind::Cad | OpKind::Pivot => {
+                        has_view = true;
+                        assert!(op.request.starts_with("CREATE CADVIEW v AS SET pivot = "));
+                    }
+                    OpKind::Highlight | OpKind::Reorder => {
+                        assert!(has_view, "interaction before view in session {session}");
+                    }
+                    OpKind::Drill => assert!(op.request.starts_with("SELECT ")),
+                }
+                assert!(
+                    op.think >= Duration::from_millis(cfg.think_min_ms)
+                        && op.think <= Duration::from_millis(cfg.think_max_ms),
+                    "think-time out of bounds"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_kind_appears_across_sessions() {
+        let s = spec();
+        let cfg = TraceConfig {
+            ops: 16,
+            ..TraceConfig::default()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for session in 0..40 {
+            for op in session_trace(&s, &cfg, session) {
+                seen.insert(op.kind);
+            }
+        }
+        for kind in OpKind::ALL {
+            assert!(seen.contains(&kind), "{} never generated", kind.name());
+        }
+    }
+
+    #[test]
+    fn think_times_can_be_disabled() {
+        let s = spec();
+        let cfg = TraceConfig {
+            think_min_ms: 0,
+            think_max_ms: 0,
+            ..TraceConfig::default()
+        };
+        for op in session_trace(&s, &cfg, 0) {
+            assert_eq!(op.think, Duration::ZERO);
+        }
+    }
+}

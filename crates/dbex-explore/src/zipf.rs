@@ -1,0 +1,116 @@
+//! Seeded Zipf sampling over a finite level set.
+//!
+//! `p(k) ∝ 1 / (k + 1)^s` for `k` in `0..n`. `s = 0` degenerates to the
+//! uniform distribution; larger `s` concentrates mass on the low levels.
+//! Sampling is a binary search over the precomputed CDF, so a draw costs
+//! `O(log n)` and is a pure function of the RNG stream — deterministic
+//! for a seeded generator.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A precomputed Zipf distribution over levels `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(level ≤ k). Last entry is 1.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n ≥ 1` levels with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s` is negative/non-finite — both are
+    /// specification bugs, not data conditions.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one level");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        // Guard the tail against float round-off so a unit draw of
+        // 0.999999... can never fall past the last level.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The probability mass of level `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let prev = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - prev
+    }
+
+    /// Draws one level from `rng`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12, "level {k}: {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn mass_concentrates_with_skew() {
+        let z = Zipf::new(100, 1.2);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        let head: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!(head > 0.5, "head mass only {head}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let z = Zipf::new(16, 0.9);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = z.sample(&mut a);
+            assert_eq!(x, z.sample(&mut b));
+            assert!(x < 16);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_track_pmf() {
+        let z = Zipf::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 8];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let expected = z.pmf(k) * n as f64;
+            let tol = 4.0 * (expected.max(1.0)).sqrt() + 10.0;
+            assert!(
+                ((c as f64) - expected).abs() < tol,
+                "level {k}: observed {c}, expected {expected:.1}"
+            );
+        }
+    }
+}

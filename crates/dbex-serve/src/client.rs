@@ -84,6 +84,50 @@ impl Client {
         Ok(client)
     }
 
+    /// Like [`Self::connect`], but bounds the TCP connect **and** the
+    /// hello read by `timeout`, so a SYN dropped by an overflowing
+    /// listen backlog (or a server too loaded to greet) surfaces as a
+    /// timeout error instead of stranding the caller in the kernel's
+    /// minutes-long retransmit cycle. The exploration simulator drives
+    /// thousands of concurrent connects through this. The read timeout
+    /// is cleared again before returning; callers set their own.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let mut last_err =
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address to connect to");
+        let mut stream = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let Some(writer) = stream else {
+            return Err(last_err.into());
+        };
+        writer.set_nodelay(true).ok();
+        writer.set_read_timeout(Some(timeout)).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = Client {
+            writer,
+            reader,
+            hello: WireResponse::ok("hello", ""),
+        };
+        let hello = client.read_line()?;
+        let hello = WireResponse::parse(&hello).map_err(ClientError::Wire)?;
+        if hello.code.as_deref() == Some("BUSY") {
+            return Err(ClientError::Busy(hello.text));
+        }
+        client.hello = hello;
+        client.set_read_timeout(None)?;
+        Ok(client)
+    }
+
     /// The hello response the server sent on accept.
     pub fn hello(&self) -> &WireResponse {
         &self.hello
@@ -102,6 +146,18 @@ impl Client {
     pub fn request_line(&mut self, request: &str) -> Result<String, ClientError> {
         write_frame(&mut self.writer, request)?;
         self.read_line()
+    }
+
+    /// Writes one request frame **without** waiting for the response.
+    /// This is the abandon primitive of the exploration simulator: a
+    /// session that drops the connection with a request still in flight
+    /// exercises the server's executor-drain path, which a paired
+    /// `request` call never does. The next [`Client::request_line`] on
+    /// this client would read the orphaned response, so abandoning
+    /// callers must drop the client afterwards.
+    pub fn send_only(&mut self, request: &str) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, request)?;
+        Ok(())
     }
 
     /// Sends one request and parses the response.

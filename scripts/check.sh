@@ -47,6 +47,20 @@
 # generation — never a panic, never a torn mix. Opt-in because the kill
 # ladder sleeps between iterations.
 #
+# The explore smoke (part of the default gate) runs bench_explore in
+# --quick mode: it generates the synthetic exploration dataset, drives a
+# few dozen seeded sessions with abandon/reconnect churn over the real
+# wire protocol, and self-validates the emitted report against the
+# BENCH_explore schema — any session wave that completes zero sessions,
+# or a malformed report, fails the gate.
+#
+# `--bench-explore` runs the *full* exploration benchmark (64/256/1024
+# concurrent sessions over 6K rows) and diffs it against the committed
+# BENCH_explore.json: bench_explore exits non-zero — failing this
+# gate — when time-to-first-result p50 or overall p99 regresses by more
+# than 25% on any comparable session count. Opt-in: the 1024-session
+# wave with real think-times takes minutes of wall-clock.
+#
 # `--kernel-ab` is the scalar ↔ SIMD bit-identity gate: it first runs the
 # whole test suite pinned to the scalar kernels (DBEX_SIMD=scalar), then
 # runs `kernel_ab`, which re-executes itself as one child per dispatch
@@ -57,6 +71,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Scratch reports accumulate here; one trap cleans them all up.
+SCRATCH=()
+cleanup() { rm -f "${SCRATCH[@]:-}"; }
+trap cleanup EXIT
+
 BENCH_SMOKE=0
 BENCH_REGRESSION=0
 OBS_SMOKE_ONLY=0
@@ -65,17 +84,19 @@ SERVE_SOAK=0
 STORE_SMOKE_ONLY=0
 CRASH_SMOKE=0
 KERNEL_AB=0
+BENCH_EXPLORE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --bench-regression) BENCH_REGRESSION=1 ;;
+    --bench-explore) BENCH_EXPLORE=1 ;;
     --obs-smoke) OBS_SMOKE_ONLY=1 ;;
     --serve-smoke) SERVE_SMOKE_ONLY=1 ;;
     --serve-soak) SERVE_SOAK=1 ;;
     --store-smoke) STORE_SMOKE_ONLY=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
     --kernel-ab) KERNEL_AB=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--obs-smoke] [--serve-smoke] [--serve-soak] [--store-smoke] [--crash-smoke] [--kernel-ab]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--bench-explore] [--obs-smoke] [--serve-smoke] [--serve-soak] [--store-smoke] [--crash-smoke] [--kernel-ab]" >&2; exit 2 ;;
   esac
 done
 
@@ -135,10 +156,15 @@ cargo run --release --bin serve_smoke
 echo "==> store smoke (cross-process warm restart + fault-injected save)"
 cargo run --release --bin store_smoke
 
+echo "==> explore smoke (bench_explore --quick, seeded sessions over the wire)"
+EXPLORE_OUT="$(mktemp /tmp/bench_explore_smoke.XXXXXX.json)"
+SCRATCH+=("$EXPLORE_OUT")
+cargo run --release -p dbex-bench --bin bench_explore -- --quick --out "$EXPLORE_OUT"
+
 if [[ "$BENCH_SMOKE" -eq 1 ]]; then
   echo "==> bench smoke (bench_suite --quick, DBEX_THREADS=2)"
   SMOKE_OUT="$(mktemp /tmp/bench_cad_smoke.XXXXXX.json)"
-  trap 'rm -f "$SMOKE_OUT"' EXIT
+  SCRATCH+=("$SMOKE_OUT")
   DBEX_THREADS=2 cargo run --release -p dbex-bench --bin bench_suite -- \
     --quick --out "$SMOKE_OUT"
 fi
@@ -146,9 +172,17 @@ fi
 if [[ "$BENCH_REGRESSION" -eq 1 ]]; then
   echo "==> bench regression gate (full bench_suite vs committed BENCH_cad.json)"
   REG_OUT="$(mktemp /tmp/bench_cad_regression.XXXXXX.json)"
-  trap 'rm -f "$REG_OUT"' EXIT
+  SCRATCH+=("$REG_OUT")
   cargo run --release -p dbex-bench --bin bench_suite -- \
     --out "$REG_OUT" --baseline BENCH_cad.json
+fi
+
+if [[ "$BENCH_EXPLORE" -eq 1 ]]; then
+  echo "==> explore regression gate (full bench_explore vs committed BENCH_explore.json)"
+  EXPLORE_REG_OUT="$(mktemp /tmp/bench_explore_regression.XXXXXX.json)"
+  SCRATCH+=("$EXPLORE_REG_OUT")
+  cargo run --release -p dbex-bench --bin bench_explore -- \
+    --out "$EXPLORE_REG_OUT" --baseline BENCH_explore.json
 fi
 
 echo "All checks passed."

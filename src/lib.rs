@@ -20,6 +20,9 @@
 //! * [`store`] — crash-safe durable catalog: checksummed columnar
 //!   snapshots, atomic manifest swaps, fault-injected recovery.
 //! * [`data`] — synthetic UsedCars / Mushroom dataset generators.
+//! * [`explore`] — multi-session exploration benchmark: seeded synthetic
+//!   dataset generator, trace generator, and wire-protocol session
+//!   simulator behind `bench_explore`.
 //! * [`study`] — the simulated user study reproducing Section 6.2.
 //!
 //! ## Quickstart
@@ -45,6 +48,7 @@ pub use dbex_cluster as cluster;
 pub use dbex_obs as obs;
 pub use dbex_core as core;
 pub use dbex_data as data;
+pub use dbex_explore as explore;
 pub use dbex_facet as facet;
 pub use dbex_query as query;
 pub use dbex_serve as serve;

@@ -1,11 +1,18 @@
-//! Soak test for the wire server: a hostile mixed workload sustained for
-//! `DBEX_SERVE_SOAK_SECS` (default 60) against a small connection cap.
+//! Soak test for the wire server: a hostile mixed workload against a
+//! small connection cap.
 //!
-//! Ignored by default — run via `scripts/check.sh --serve-soak` or:
+//! Two variants share one harness ([`run_soak`]):
 //!
-//! ```text
-//! DBEX_SERVE_SOAK_SECS=10 cargo test --release --test serve_soak -- --ignored
-//! ```
+//! * `hostile_mixed_workload_quick` — ~2 s, runs in the default
+//!   `cargo test` gate. Same worker zoo, same zero-panic /
+//!   gauge-returns-to-0 assertions, small table.
+//! * `hostile_mixed_workload_leaks_nothing` — `DBEX_SERVE_SOAK_SECS`
+//!   (default 60) seconds, ignored by default; run via
+//!   `scripts/check.sh --serve-soak` or:
+//!
+//!   ```text
+//!   DBEX_SERVE_SOAK_SECS=10 cargo test --release --test serve_soak -- --ignored
+//!   ```
 //!
 //! Worker zoo: well-behaved explorers, clients that disconnect
 //! mid-request, clients that abort mid-frame, oversized-frame senders,
@@ -13,6 +20,11 @@
 //! Afterwards the server must show zero caught panics, `BUSY` rejections
 //! (the cap held under pressure), and a connection gauge back at 0 — no
 //! leaked sessions, threads, or slots.
+//!
+//! The two variants assert on the same process-wide
+//! `server.connections` gauge, so they must not run concurrently; the
+//! quick one runs in the default gate and the long one only under
+//! `-- --ignored`, which never mixes the two.
 
 use dbexplorer::data::UsedCarsGenerator;
 use dbexplorer::serve::{Client, ClientError, ServeConfig, Server, MAX_FRAME};
@@ -31,16 +43,27 @@ fn soak_secs() -> u64 {
         .unwrap_or(60)
 }
 
+/// Quick variant: same hostile mix and assertions, sized for the
+/// default `cargo test` gate.
+#[test]
+fn hostile_mixed_workload_quick() {
+    run_soak(2, 1_500);
+}
+
 #[test]
 #[ignore = "long-running; invoked by scripts/check.sh --serve-soak"]
 fn hostile_mixed_workload_leaks_nothing() {
+    run_soak(soak_secs(), 4_000);
+}
+
+fn run_soak(secs: u64, rows: usize) {
     let config = ServeConfig {
         max_connections: CAP,
         request_time_limit: Some(Duration::from_millis(150)),
         ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
-    server.preload("cars", UsedCarsGenerator::new(3).generate(4_000));
+    server.preload("cars", UsedCarsGenerator::new(3).generate(rows));
     let handle = server.spawn().expect("spawn accept thread");
     let addr = handle.addr();
 
@@ -166,7 +189,7 @@ fn hostile_mixed_workload_leaks_nothing() {
             });
         }
 
-        let deadline = Instant::now() + Duration::from_secs(soak_secs());
+        let deadline = Instant::now() + Duration::from_secs(secs);
         while Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(100));
         }
@@ -202,5 +225,5 @@ fn hostile_mixed_workload_leaks_nothing() {
     let ok = requests_ok.load(Ordering::Relaxed);
     let busy = handle.busy_rejections() + busy_seen.load(Ordering::Relaxed);
     handle.shutdown();
-    println!("soak: {ok} ok requests, {busy} busy rejections, 0 panics, gauge at 0");
+    println!("soak[{secs}s]: {ok} ok requests, {busy} busy rejections, 0 panics, gauge at 0");
 }

@@ -65,6 +65,11 @@ struct Knobs {
     /// the best wave. The workload itself is fully seeded, so the
     /// counts are identical across waves and reported from the first.
     repeats: usize,
+    /// Sessions opt into `.stream on` (the default): expensive CAD
+    /// builds answer with a preview frame before the exact one, and
+    /// TTFR measures the first frame. `--no-stream` measures the
+    /// single-frame protocol for an A/B on the same workload.
+    streamed: bool,
     session_counts: Vec<usize>,
 }
 
@@ -80,6 +85,7 @@ impl Knobs {
             abandon_rate: 0.08,
             reconnect_rate: 0.5,
             repeats: 3,
+            streamed: true,
             session_counts: vec![64, 256, 1024],
         }
     }
@@ -106,8 +112,11 @@ struct Point {
     requests: usize,
     errors: u64,
     busy_rejections: u64,
+    previewed_ops: usize,
     ttfr_p50_ms: f64,
     ttfr_p99_ms: f64,
+    first_frame_p50_ms: f64,
+    first_frame_p99_ms: f64,
     p50_ms: f64,
     p99_ms: f64,
     max_ms: f64,
@@ -136,6 +145,7 @@ fn percentile_ms(samples: &[f64], p: f64) -> f64 {
 
 fn aggregate(sessions: usize, report: &SimReport, busy_rejections: u64) -> Point {
     let all = report.latencies_ms(None);
+    let first_frames = report.first_frame_ms(None);
     let ttfr: Vec<f64> = report
         .outcomes
         .iter()
@@ -180,8 +190,11 @@ fn aggregate(sessions: usize, report: &SimReport, busy_rejections: u64) -> Point
         requests: report.requests(),
         errors: u64::from(report.errors()),
         busy_rejections,
+        previewed_ops: report.previewed_ops(),
         ttfr_p50_ms: median_ms(&ttfr),
         ttfr_p99_ms: percentile_ms(&ttfr, 99.0),
+        first_frame_p50_ms: median_ms(&first_frames),
+        first_frame_p99_ms: percentile_ms(&first_frames, 99.0),
         p50_ms: median_ms(&all),
         p99_ms: percentile_ms(&all, 99.0),
         max_ms: all.iter().copied().fold(0.0, f64::max),
@@ -209,6 +222,8 @@ fn merge_waves(mut waves: Vec<Point>) -> Point {
     let wave_spread = spread(|p| p.ttfr_p50_ms, &waves).max(spread(|p| p.p99_ms, &waves));
     let ttfr_p50_ms = best(|p| p.ttfr_p50_ms, &waves);
     let ttfr_p99_ms = best(|p| p.ttfr_p99_ms, &waves);
+    let first_frame_p50_ms = best(|p| p.first_frame_p50_ms, &waves);
+    let first_frame_p99_ms = best(|p| p.first_frame_p99_ms, &waves);
     let p50_ms = best(|p| p.p50_ms, &waves);
     let p99_ms = best(|p| p.p99_ms, &waves);
     let max_ms = best(|p| p.max_ms, &waves);
@@ -226,6 +241,8 @@ fn merge_waves(mut waves: Vec<Point>) -> Point {
     Point {
         ttfr_p50_ms,
         ttfr_p99_ms,
+        first_frame_p50_ms,
+        first_frame_p99_ms,
         p50_ms,
         p99_ms,
         max_ms,
@@ -260,6 +277,7 @@ fn measure_wave(sessions: usize, knobs: &Knobs) -> Point {
         },
         abandon_rate: knobs.abandon_rate,
         reconnect_rate: knobs.reconnect_rate,
+        streamed: knobs.streamed,
         connect_retries: 40,
         stagger: Duration::from_micros(500),
         cache_sample_every: if knobs.quick {
@@ -287,7 +305,7 @@ fn render(knobs: &Knobs, points: &[Point]) -> String {
         "{{\n  \"schema\": {EXPLORE_SCHEMA},\n  \"harness\": \"bench_explore\",\n  \
          \"quick\": {},\n  \"seed\": {},\n  \"rows\": {},\n  \"ops_per_session\": {},\n  \
          \"think_min_ms\": {},\n  \"think_max_ms\": {},\n  \"abandon_rate\": {},\n  \
-         \"reconnect_rate\": {},\n  \"repeats\": {},\n  \"points\": [\n",
+         \"reconnect_rate\": {},\n  \"repeats\": {},\n  \"streamed\": {},\n  \"points\": [\n",
         knobs.quick,
         knobs.seed,
         knobs.rows,
@@ -297,13 +315,15 @@ fn render(knobs: &Knobs, points: &[Point]) -> String {
         knobs.abandon_rate,
         knobs.reconnect_rate,
         knobs.repeats,
+        knobs.streamed,
     ));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"sessions\": {}, \"completed\": {}, \"abandoned\": {}, \
              \"reconnects\": {}, \"requests\": {}, \"errors\": {}, \
-             \"busy_rejections\": {},\n     \
+             \"busy_rejections\": {}, \"previewed_ops\": {},\n     \
              \"ttfr_p50_ms\": {:.3}, \"ttfr_p99_ms\": {:.3}, \
+             \"first_frame_p50_ms\": {:.3}, \"first_frame_p99_ms\": {:.3},\n     \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}, \
              \"wall_ms\": {:.1},\n     \"ops\": {{",
             p.sessions,
@@ -313,8 +333,11 @@ fn render(knobs: &Knobs, points: &[Point]) -> String {
             p.requests,
             p.errors,
             p.busy_rejections,
+            p.previewed_ops,
             p.ttfr_p50_ms,
             p.ttfr_p99_ms,
+            p.first_frame_p50_ms,
+            p.first_frame_p99_ms,
             p.p50_ms,
             p.p99_ms,
             p.max_ms,
@@ -353,6 +376,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => knobs = Knobs::quick(),
+            "--no-stream" => knobs.streamed = false,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
             "--rows" => {
@@ -385,8 +409,8 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other}; try --quick, --out, --baseline, --rows, --seed, \
-                     --repeats, --sessions N,N,N"
+                    "unknown flag {other}; try --quick, --no-stream, --out, --baseline, \
+                     --rows, --seed, --repeats, --sessions N,N,N"
                 );
                 std::process::exit(2);
             }
@@ -401,11 +425,14 @@ fn main() {
         );
         let point = measure(sessions, &knobs);
         eprintln!(
-            "  ttfr p50 {:.2}ms p99 {:.2}ms | op p50 {:.2}ms p99 {:.2}ms max {:.2}ms | \
+            "  ttfr p50 {:.2}ms p99 {:.2}ms | first-frame p50 {:.2}ms ({} previews) | \
+             op p50 {:.2}ms p99 {:.2}ms max {:.2}ms | \
              {}/{} completed, {} abandoned, {} reconnects, {} errors, {} busy | \
              cache hit-rate {:.2} | wall {:.0}ms",
             point.ttfr_p50_ms,
             point.ttfr_p99_ms,
+            point.first_frame_p50_ms,
+            point.previewed_ops,
             point.p50_ms,
             point.p99_ms,
             point.max_ms,

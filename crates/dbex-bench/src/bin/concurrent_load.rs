@@ -58,12 +58,14 @@ fn percentile_ms(samples: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-fn measure(clients: usize, rows: usize, rounds: usize) -> Point {
+/// Returns the point plus the server's resolved worker-pool size (the
+/// same for every point; reported once at the top of the report).
+fn measure(clients: usize, rows: usize, rounds: usize) -> (Point, usize) {
     let server = Server::bind("127.0.0.1:0", ServeConfig::default())
         .expect("bind ephemeral port");
     server.preload("cars", UsedCarsGenerator::new(7).generate(rows));
     let cache = server.cache();
-    let handle = server.spawn().expect("spawn accept thread");
+    let handle = server.spawn().expect("spawn server threads");
     let addr = handle.addr();
 
     let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
@@ -110,8 +112,9 @@ fn measure(clients: usize, rows: usize, rounds: usize) -> Point {
         cache_hits: stats.hits,
         cache_misses: stats.misses,
     };
+    let workers = handle.workers();
     handle.shutdown();
-    point
+    (point, workers)
 }
 
 fn main() {
@@ -151,11 +154,13 @@ fn main() {
     }
 
     let mut points = Vec::new();
+    let mut workers = 0usize;
     for &clients in CLIENT_COUNTS {
         eprintln!(
             "concurrent_load: {clients} client(s) x {rounds} round(s) over {rows} rows ..."
         );
-        let point = measure(clients, rows, rounds);
+        let (point, w) = measure(clients, rows, rounds);
+        workers = w;
         eprintln!(
             "  p50 {:.2}ms  p99 {:.2}ms  max {:.2}ms  ({} requests, {} errors, cache {}/{} hit/miss)",
             point.p50_ms,
@@ -173,7 +178,7 @@ fn main() {
     json.push_str(&format!(
         "{{\n  \"schema\": {SERVE_SCHEMA},\n  \"harness\": \"concurrent_load\",\n  \
          \"quick\": {quick},\n  \"rows\": {rows},\n  \"rounds\": {rounds},\n  \
-         \"requests_per_round\": {},\n  \"points\": [\n",
+         \"requests_per_round\": {},\n  \"workers\": {workers},\n  \"points\": [\n",
         ROUND.len()
     ));
     for (i, p) in points.iter().enumerate() {

@@ -668,11 +668,18 @@ pub fn flatten_spans(tree: &Json) -> Vec<(String, f64)> {
 // | `BENCH_explore.json` | `bench_explore` | [`validate_explore_report`] |
 
 /// Schema version of `BENCH_serve.json`; bump on incompatible changes.
-pub const SERVE_SCHEMA: u64 = 1;
+/// Schema 2 (evented server): adds the top-level `workers` field — the
+/// resolved worker-pool size the server executed requests with.
+pub const SERVE_SCHEMA: u64 = 2;
 /// Schema version of `BENCH_store.json`; bump on incompatible changes.
 pub const STORE_SCHEMA: u64 = 1;
 /// Schema version of `BENCH_explore.json`; bump on incompatible changes.
-pub const EXPLORE_SCHEMA: u64 = 1;
+/// Schema 2 (streamed previews): adds the top-level `streamed` flag and,
+/// per point, `first_frame_p50_ms` / `first_frame_p99_ms` (send to first
+/// response frame, preview or final) and `previewed_ops` (ops that
+/// received a preview frame before the exact answer). `ttfr_*` now means
+/// time to the first *frame* of the first successful response.
+pub const EXPLORE_SCHEMA: u64 = 2;
 
 const SERVE_TOP_FIELDS: &[&str] = &[
     "schema",
@@ -681,6 +688,7 @@ const SERVE_TOP_FIELDS: &[&str] = &[
     "rows",
     "rounds",
     "requests_per_round",
+    "workers",
     "points",
 ];
 const SERVE_POINT_FIELDS: &[&str] = &[
@@ -721,6 +729,7 @@ const EXPLORE_TOP_FIELDS: &[&str] = &[
     "abandon_rate",
     "reconnect_rate",
     "repeats",
+    "streamed",
     "points",
 ];
 const EXPLORE_POINT_FIELDS: &[&str] = &[
@@ -731,8 +740,11 @@ const EXPLORE_POINT_FIELDS: &[&str] = &[
     "requests",
     "errors",
     "busy_rejections",
+    "previewed_ops",
     "ttfr_p50_ms",
     "ttfr_p99_ms",
+    "first_frame_p50_ms",
+    "first_frame_p99_ms",
     "p50_ms",
     "p99_ms",
     "max_ms",
@@ -861,7 +873,7 @@ pub fn diff_explore_reports(
         ));
     }
     let mut lines = Vec::new();
-    for key in ["rows", "seed", "ops_per_session", "quick"] {
+    for key in ["rows", "seed", "ops_per_session", "quick", "streamed"] {
         let (c, b) = (cur.get(key), base.get(key));
         let same = match (c, b) {
             (Some(c), Some(b)) => match (c.as_f64(), b.as_f64()) {
@@ -1273,8 +1285,8 @@ mod tests {
     fn sibling_validators_check_schema_and_harness() {
         // The committed reports must validate (guards against the
         // whitelists drifting from what the harnesses actually write).
-        let serve = r#"{"schema": 1, "harness": "concurrent_load", "quick": false,
-            "rows": 100, "rounds": 2, "requests_per_round": 4,
+        let serve = r#"{"schema": 2, "harness": "concurrent_load", "quick": false,
+            "rows": 100, "rounds": 2, "requests_per_round": 4, "workers": 1,
             "points": [{"clients": 1, "requests": 8, "errors": 0, "p50_ms": 0.1,
                         "p99_ms": 0.2, "max_ms": 0.3, "busy_rejections": 0,
                         "cache_hits": 5, "cache_misses": 1}]}"#;
@@ -1310,12 +1322,14 @@ mod tests {
 
     fn explore_report(sessions: u64, ttfr_p50: f64, p99: f64) -> String {
         format!(
-            r#"{{"schema": 1, "harness": "bench_explore", "quick": false, "seed": 42,
+            r#"{{"schema": 2, "harness": "bench_explore", "quick": false, "seed": 42,
                 "rows": 1000, "ops_per_session": 8, "think_min_ms": 0, "think_max_ms": 2,
-                "abandon_rate": 0.05, "reconnect_rate": 0.5,
+                "abandon_rate": 0.05, "reconnect_rate": 0.5, "streamed": true,
                 "points": [{{"sessions": {sessions}, "completed": {sessions},
                   "abandoned": 1, "reconnects": 1, "requests": 64, "errors": 0,
-                  "busy_rejections": 2, "ttfr_p50_ms": {ttfr_p50}, "ttfr_p99_ms": 9.0,
+                  "busy_rejections": 2, "previewed_ops": 4,
+                  "ttfr_p50_ms": {ttfr_p50}, "ttfr_p99_ms": 9.0,
+                  "first_frame_p50_ms": 0.8, "first_frame_p99_ms": 4.0,
                   "p50_ms": 1.0, "p99_ms": {p99}, "max_ms": 20.0, "wall_ms": 100.0,
                   "ops": {{"drill": {{"count": 16, "p50_ms": 1.0, "p99_ms": 2.0, "max_ms": 3.0}},
                           "cad": {{"count": 8, "p50_ms": 2.0, "p99_ms": 4.0, "max_ms": 5.0}}}},
@@ -1415,10 +1429,10 @@ mod tests {
         assert!(!diff.gate_failed);
         assert!(diff.lines.iter().any(|l| l.contains("workload mismatch")), "{:?}", diff.lines);
 
-        // Baseline from another schema is rejected.
+        // Baseline from another schema (pre-streaming) is rejected.
         assert!(diff_explore_reports(
             &explore_report(8, 1.0, 1.0),
-            r#"{"schema": 2, "points": []}"#,
+            r#"{"schema": 1, "points": []}"#,
             0.25
         )
         .is_err());

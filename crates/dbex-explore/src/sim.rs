@@ -51,6 +51,11 @@ pub struct SimConfig {
     /// Cache trajectory sampling interval (used only when a cache is
     /// passed to [`run_sim`]).
     pub cache_sample_every: Duration,
+    /// Opt every session into the server's progressive responses
+    /// (`.stream on`): expensive CAD builds then answer with a sampled
+    /// preview frame before the exact final frame, and TTFR measures the
+    /// *first* frame — the paper's "first result on screen" moment.
+    pub streamed: bool,
 }
 
 impl Default for SimConfig {
@@ -63,18 +68,24 @@ impl Default for SimConfig {
             connect_retries: 40,
             stagger: Duration::from_micros(500),
             cache_sample_every: Duration::from_millis(50),
+            streamed: true,
         }
     }
 }
 
-/// One timed request/response exchange.
+/// One timed request/response exchange (possibly multi-frame).
 #[derive(Debug, Clone, Copy)]
 pub struct OpSample {
     /// Which exploration step this was.
     pub kind: OpKind,
-    /// Round-trip latency (send → response line parsed).
+    /// Full round-trip latency (send → **final** frame parsed).
     pub latency: Duration,
-    /// Whether the server answered `ok:true`.
+    /// Latency to the **first** frame — equal to `latency` for classic
+    /// single-frame responses, earlier when a preview streamed first.
+    pub first_frame: Duration,
+    /// Response frames received (`1` classic, `2` preview + exact).
+    pub frames: u32,
+    /// Whether the server's final frame answered `ok:true`.
     pub ok: bool,
 }
 
@@ -136,6 +147,21 @@ impl SimReport {
             .collect()
     }
 
+    /// First-frame latencies (ms) of successful ops of one kind — the
+    /// progressive-response counterpart of [`SimReport::latencies_ms`].
+    pub fn first_frame_ms(&self, kind: Option<OpKind>) -> Vec<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.ok && kind.is_none_or(|k| s.kind == k))
+            .map(|s| s.first_frame.as_secs_f64() * 1e3)
+            .collect()
+    }
+
+    /// How many ops streamed a preview frame before their final answer.
+    pub fn previewed_ops(&self) -> usize {
+        self.samples.iter().filter(|s| s.frames > 1).count()
+    }
+
     /// Total requests issued (ok + error samples).
     pub fn requests(&self) -> usize {
         self.samples.len()
@@ -188,6 +214,47 @@ fn is_timeout(e: &ClientError) -> bool {
     )
 }
 
+/// One request/response exchange, consuming **every** frame of a
+/// (possibly streamed) response and timestamping the first. Returns
+/// `(final_latency, first_frame_latency, frames, ok)`. Sets `ttfr` once,
+/// at the first `ok` frame the session ever receives — a preview frame
+/// counts: it is the first usable result on screen.
+fn exchange(
+    client: &mut Client,
+    request: &str,
+    session_start: Instant,
+    ttfr: &mut Option<Duration>,
+) -> Result<(Duration, Duration, u32, bool), ClientError> {
+    let started = Instant::now();
+    client.send_only(request)?;
+    let mut first_frame: Option<Duration> = None;
+    let mut frames = 0u32;
+    loop {
+        let resp = client.read_response()?;
+        frames += 1;
+        let at = started.elapsed();
+        if first_frame.is_none() {
+            first_frame = Some(at);
+        }
+        if resp.ok && ttfr.is_none() {
+            *ttfr = Some(session_start.elapsed());
+        }
+        if resp.is_final() {
+            return Ok((at, first_frame.unwrap_or(at), frames, resp.ok));
+        }
+    }
+}
+
+/// Opts a fresh connection into streamed responses. The acknowledgement
+/// deliberately does NOT count toward TTFR or the samples — only real
+/// exploration ops do.
+fn enable_streaming(client: &mut Client, errors: &mut u32) {
+    match client.request(".stream on") {
+        Ok(resp) if resp.ok => {}
+        _ => *errors += 1,
+    }
+}
+
 /// Runs one session's trace; returns its outcome and samples.
 fn run_session(
     addr: &str,
@@ -219,6 +286,9 @@ fn run_session(
     };
     // A wedged server must not strand the session thread forever.
     client.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    if cfg.streamed {
+        enable_streaming(&mut client, &mut out.errors);
+    }
 
     // Index of the last view-creating op already issued — what a
     // reconnecting session replays to restore its server-side view.
@@ -251,15 +321,19 @@ fn run_session(
                 }
             };
             client.set_read_timeout(Some(Duration::from_secs(30))).ok();
+            if cfg.streamed {
+                enable_streaming(&mut client, &mut out.errors);
+            }
             out.reconnects += 1;
             dbex_obs::counter!("explore.sessions.reconnects").incr(1);
             if let Some(v) = last_view_op {
                 if needs_view(op.kind) {
-                    let t = Instant::now();
-                    match client.request(&trace[v].request) {
-                        Ok(resp) if resp.ok => samples.push(OpSample {
+                    match exchange(&mut client, &trace[v].request, start, &mut out.ttfr) {
+                        Ok((latency, first_frame, frames, true)) => samples.push(OpSample {
                             kind: trace[v].kind,
-                            latency: t.elapsed(),
+                            latency,
+                            first_frame,
+                            frames,
                             ok: true,
                         }),
                         _ => out.errors += 1,
@@ -268,20 +342,17 @@ fn run_session(
             }
             // Fall through to issue `op` on the fresh connection.
         }
-        let t = Instant::now();
-        match client.request(&op.request) {
-            Ok(resp) => {
-                let ok = resp.ok;
+        match exchange(&mut client, &op.request, start, &mut out.ttfr) {
+            Ok((latency, first_frame, frames, ok)) => {
                 samples.push(OpSample {
                     kind: op.kind,
-                    latency: t.elapsed(),
+                    latency,
+                    first_frame,
+                    frames,
                     ok,
                 });
                 if ok {
                     dbex_obs::counter!("explore.ops.ok").incr(1);
-                    if out.ttfr.is_none() {
-                        out.ttfr = Some(start.elapsed());
-                    }
                 } else {
                     dbex_obs::counter!("explore.ops.err").incr(1);
                     out.errors += 1;

@@ -706,6 +706,52 @@ impl Session {
         })
     }
 
+    /// Result-size floor below which [`Session::preview_create_cadview`]
+    /// skips the preview: the exact build of a small result is itself
+    /// interactive, so a preview frame would only double the work.
+    pub const PREVIEW_MIN_ROWS: usize = 2_000;
+
+    /// Builds a **preview** CAD View for a `CREATE CADVIEW` statement
+    /// without storing it — the streamed-response fast path in
+    /// `dbex-serve`. The preview reuses the degradation ladder's sampled
+    /// rungs via a fixed aggressive config (same seed and cache as the
+    /// exact build, so whatever the preview computes warms the follow-up)
+    /// and is never inserted into the session's view map: the exact frame
+    /// that follows owns the name.
+    ///
+    /// Returns `None` whenever a preview is not worth streaming or cannot
+    /// be built: the statement is not `CREATE CADVIEW`, the filtered
+    /// result is under [`Session::PREVIEW_MIN_ROWS`], or anything errors
+    /// or panics (the exact build re-runs the statement and surfaces the
+    /// failure in FIFO order, so the preview path never reports one).
+    pub fn preview_create_cadview(&self, sql: &str) -> Option<QueryOutput> {
+        let Ok(Statement::CreateCadView(c)) = parse(sql) else {
+            return None;
+        };
+        let table = self.table(&c.table).ok()?;
+        let result = table.filter(&c.predicate).ok()?;
+        if result.len() < Self::PREVIEW_MIN_ROWS {
+            return None;
+        }
+        let mut request = self.cad_request(&c).ok()?;
+        let config = &mut request.config;
+        config.fs_sample = Some(config.fs_sample.map_or(1_000, |s| s.min(1_000)));
+        config.cluster_sample = Some(config.cluster_sample.map_or(500, |s| s.min(500)));
+        config.adaptive_iunits = true;
+        config.kmeans_iters = config.kmeans_iters.min(8);
+        catch_unwind(AssertUnwindSafe(|| {
+            let cad = self.build_cad(&result, &request, false).ok()?;
+            Some(QueryOutput::Cad {
+                name: c.name.clone(),
+                rendered: cad.render(),
+                degradation: cad.degradation.iter().map(|d| d.to_string()).collect(),
+                trace: cad.trace.as_ref().map(|t| t.render()),
+            })
+        }))
+        .ok()
+        .flatten()
+    }
+
     fn run_highlight(&self, h: HighlightStmt) -> Result<QueryOutput> {
         let cad = self.cad_view(&h.view)?;
         if h.iunit_id == 0 {
@@ -782,6 +828,50 @@ mod tests {
         let mut s = Session::new();
         s.register_table("cars", b.finish());
         s
+    }
+
+    #[test]
+    fn preview_builds_without_storing_the_view() {
+        let mut b = TableBuilder::new(vec![
+            Field::new("Make", DataType::Categorical),
+            Field::new("Engine", DataType::Categorical),
+            Field::new("Price", DataType::Int),
+        ])
+        .unwrap();
+        for i in 0..2_500i64 {
+            let (m, e) = match i % 3 {
+                0 => ("Ford", "V6"),
+                1 => ("Jeep", "V8"),
+                _ => ("Ford", "V4"),
+            };
+            b.push_row(vec![m.into(), e.into(), (15_000 + i).into()])
+                .unwrap();
+        }
+        let mut s = Session::new();
+        s.register_table("cars", b.finish());
+        let sql = "CREATE CADVIEW v AS SET pivot = Make FROM cars LIMIT COLUMNS 2 IUNITS 2";
+
+        let preview = s.preview_create_cadview(sql).expect("preview should build");
+        let QueryOutput::Cad { name, rendered, .. } = preview else {
+            panic!("preview should render as a CAD view");
+        };
+        assert_eq!(name, "v");
+        assert!(rendered.contains("Ford"));
+        // The preview must NOT store the view: the exact frame owns it.
+        assert!(s.cad_view("v").is_err());
+        // Non-CADVIEW statements are not previewable.
+        assert!(s.preview_create_cadview("SELECT * FROM cars").is_none());
+        // The exact path still works and stores the view.
+        s.execute(sql).unwrap();
+        assert!(s.cad_view("v").is_ok());
+    }
+
+    #[test]
+    fn preview_skips_small_results() {
+        let s = session(); // 30 rows — far under PREVIEW_MIN_ROWS
+        assert!(s
+            .preview_create_cadview("CREATE CADVIEW v AS SET pivot = Make FROM cars")
+            .is_none());
     }
 
     #[test]

@@ -166,6 +166,46 @@ impl Client {
         WireResponse::parse(&line).map_err(ClientError::Wire)
     }
 
+    /// Sends one request and reads **every frame** of the response: on a
+    /// connection in `.stream on` mode an expensive statement answers
+    /// with a preview frame (`final:false`) before the exact final frame,
+    /// and this keeps reading until a final one arrives. Untagged frames
+    /// are final (the entire pre-streaming protocol), so this is safe to
+    /// use against any server. Returns the raw lines, last one final.
+    pub fn request_stream_lines(&mut self, request: &str) -> Result<Vec<String>, ClientError> {
+        write_frame(&mut self.writer, request)?;
+        let mut lines = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let done = WireResponse::parse(&line)
+                .map_err(ClientError::Wire)?
+                .is_final();
+            lines.push(line);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
+
+    /// [`Client::request_stream_lines`], parsed. The last response is the
+    /// final frame; any before it are previews.
+    pub fn request_stream(&mut self, request: &str) -> Result<Vec<WireResponse>, ClientError> {
+        self.request_stream_lines(request)?
+            .iter()
+            .map(|line| WireResponse::parse(line).map_err(ClientError::Wire))
+            .collect()
+    }
+
+    /// Reads and parses **one** response frame. Paired with
+    /// [`Client::send_only`], this is the incremental primitive for
+    /// callers that want to timestamp streamed frames as each arrives
+    /// (the exploration simulator's time-to-first-frame measurement);
+    /// keep reading until [`WireResponse::is_final`].
+    pub fn read_response(&mut self) -> Result<WireResponse, ClientError> {
+        let line = self.read_line()?;
+        WireResponse::parse(&line).map_err(ClientError::Wire)
+    }
+
     fn read_line(&mut self) -> Result<String, ClientError> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;

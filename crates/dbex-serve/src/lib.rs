@@ -43,11 +43,13 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod poller;
 pub mod protocol;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
+pub use poller::{listen_with_backlog, Event, Interest, Poller};
 pub use protocol::{
     decode_frame, decode_frame_with, encode_frame, encode_frame_with, read_frame, read_frame_with,
     write_frame, ProtocolError, HEADER_LEN, MAX_FRAME,
@@ -56,4 +58,6 @@ pub use server::{
     handle_request, oracle_transcript, ServeConfig, Server, ServerHandle, ShutdownSummary,
     PIPELINE_DEPTH,
 };
-pub use wire::{query_error_code, WireParseError, WireResponse};
+pub use wire::{
+    query_error_code, strip_stream_tags, tag_stream_line, WireParseError, WireResponse,
+};

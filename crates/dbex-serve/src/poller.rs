@@ -1,0 +1,628 @@
+//! A tiny std-only readiness poller — the foundation of the evented
+//! serve core.
+//!
+//! The zero-dependency constraint rules out `libc`/`mio`, but std itself
+//! links the platform libc, so the handful of syscalls a readiness loop
+//! needs are declared here directly (the same idiom as the signal shim in
+//! the `dbex` binary):
+//!
+//! * **Linux** — `epoll` (level-triggered). `epoll_event` is packed on
+//!   x86-64, matching the kernel ABI.
+//! * **Other unix** — a `poll(2)` fallback that rebuilds the `pollfd`
+//!   array from its registration table on every wait. O(n) per wait where
+//!   epoll is O(ready), but correct, and fine at fallback scale.
+//!
+//! The API is deliberately minimal: register a raw fd with a `u64` token
+//! and an [`Interest`], and [`Poller::wait`] reports which tokens became
+//! readable/writable (or hung up). Level-triggered semantics everywhere:
+//! an fd that still has unread bytes reports readable again on the next
+//! wait, so the event loop never needs to drain-until-`WouldBlock` for
+//! correctness — only for throughput.
+
+#[cfg(not(unix))]
+compile_error!("dbex-serve's evented core needs a unix readiness syscall (epoll or poll)");
+
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Which readiness kinds a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only — a connection with a full pipeline and a backed-up
+    /// write buffer.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Neither direction — parked (registration kept, no wakeups).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or EOF to observe).
+    pub readable: bool,
+    /// The fd can accept more bytes.
+    pub writable: bool,
+    /// The peer closed or the fd errored; the owner should read to
+    /// observe the EOF/error and tear the connection down.
+    pub hangup: bool,
+}
+
+/// A readiness poller over raw fds. See the module docs.
+#[derive(Debug)]
+pub struct Poller {
+    imp: imp::Poller,
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { imp: imp::Poller::new()? })
+    }
+
+    /// Registers `fd` under `token`. One registration per fd; re-register
+    /// an existing fd with [`Poller::modify`].
+    pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.add(fd, token, interest)
+    }
+
+    /// Updates the interest set (and token) of a registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.modify(fd, token, interest)
+    }
+
+    /// Removes a registration. Must be called before the fd is closed.
+    pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+        self.imp.delete(fd)
+    }
+
+    /// Blocks until at least one registered fd is ready (or `timeout`
+    /// elapses — `None` blocks indefinitely), appending one [`Event`] per
+    /// ready fd to `events` (cleared first). Interrupted waits (`EINTR`)
+    /// return an empty event set rather than an error.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.imp.wait(events, timeout)
+    }
+}
+
+/// Clamps an optional wait timeout to the `int` milliseconds the syscalls
+/// take (`-1` = infinite), rounding sub-millisecond waits up so a short
+/// timeout cannot spin at 100% CPU.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => t.as_millis().clamp(if t.is_zero() { 0 } else { 1 }, i32::MAX as u128) as i32,
+    }
+}
+
+/// Binds a TCP listener with an explicit `listen(2)` backlog.
+///
+/// `TcpListener::bind` hardcodes a backlog of 128, which a
+/// thousand-session connect ramp overflows: excess SYNs are silently
+/// dropped and retried by the client kernel on a seconds-long schedule.
+/// On Linux this builds the socket by hand (`socket`/`bind`/`listen`)
+/// so the backlog is configurable (still clamped by the kernel's
+/// `net.core.somaxconn`); elsewhere it falls back to the std path and
+/// its default backlog.
+pub fn listen_with_backlog(addr: impl ToSocketAddrs, backlog: u32) -> io::Result<TcpListener> {
+    let mut last_err = io::Error::new(io::ErrorKind::InvalidInput, "no address to bind");
+    for candidate in addr.to_socket_addrs()? {
+        match imp::listen_one(candidate, backlog) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{timeout_ms, Event, Interest};
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::unix::io::{FromRawFd, RawFd};
+    use std::time::Duration;
+
+    // Kernel ABI, x86-64 values (identical across Linux architectures for
+    // everything used here except the epoll_event packing, handled below).
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    /// `struct epoll_event`. Packed on x86-64 (the kernel ABI differs
+    /// from natural alignment there); naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    struct SockAddrIn6 {
+        family: u16,
+        port: u16,
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+    }
+
+    fn last_os_error() -> io::Error {
+        io::Error::last_os_error()
+    }
+
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        /// Reused syscall buffer; grows to the largest ready set seen.
+        buf: Vec<u64>,
+    }
+
+    // One `EpollEvent` is 12 packed (or 16 aligned) bytes; a `u64` pair
+    // slot per event keeps the buffer alignment simple.
+    const EVENT_SLOTS: usize = 2;
+    const MAX_EVENTS: usize = 1024;
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![0u64; MAX_EVENTS * EVENT_SLOTS],
+            })
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut mask = EPOLLRDHUP;
+            if interest.readable {
+                mask |= EPOLLIN;
+            }
+            if interest.writable {
+                mask |= EPOLLOUT;
+            }
+            mask
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            };
+            let arg = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut ev as *mut EpollEvent
+            };
+            if unsafe { epoll_ctl(self.epfd, op, fd, arg) } < 0 {
+                return Err(last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr().cast::<EpollEvent>(),
+                    MAX_EVENTS as i32,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let e = last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for i in 0..n as usize {
+                // Copy out of the (possibly packed) slot before touching
+                // fields, so no unaligned reference is ever formed.
+                let raw: EpollEvent =
+                    unsafe { std::ptr::read_unaligned(self.buf.as_ptr().cast::<EpollEvent>().add(i)) };
+                let bits = raw.events;
+                events.push(Event {
+                    token: raw.data,
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// `socket` + `SO_REUSEADDR` + `bind` + `listen(backlog)` for one
+    /// candidate address.
+    pub fn listen_one(addr: SocketAddr, backlog: u32) -> io::Result<TcpListener> {
+        let domain = match addr {
+            SocketAddr::V4(_) => AF_INET,
+            SocketAddr::V6(_) => AF_INET6,
+        };
+        let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(last_os_error());
+        }
+        // On error from here on, close the fd before returning.
+        let result = (|| {
+            let one: i32 = 1;
+            if unsafe {
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    SO_REUSEADDR,
+                    (&one as *const i32).cast::<u8>(),
+                    std::mem::size_of::<i32>() as u32,
+                )
+            } < 0
+            {
+                return Err(last_os_error());
+            }
+            let rc = match addr {
+                SocketAddr::V4(v4) => {
+                    let sa = SockAddrIn {
+                        family: AF_INET as u16,
+                        port: v4.port().to_be(),
+                        addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                        zero: [0; 8],
+                    };
+                    unsafe {
+                        bind(
+                            fd,
+                            (&sa as *const SockAddrIn).cast::<u8>(),
+                            std::mem::size_of::<SockAddrIn>() as u32,
+                        )
+                    }
+                }
+                SocketAddr::V6(v6) => {
+                    let sa = SockAddrIn6 {
+                        family: AF_INET6 as u16,
+                        port: v6.port().to_be(),
+                        flowinfo: v6.flowinfo(),
+                        addr: v6.ip().octets(),
+                        scope_id: v6.scope_id(),
+                    };
+                    unsafe {
+                        bind(
+                            fd,
+                            (&sa as *const SockAddrIn6).cast::<u8>(),
+                            std::mem::size_of::<SockAddrIn6>() as u32,
+                        )
+                    }
+                }
+            };
+            if rc < 0 {
+                return Err(last_os_error());
+            }
+            if unsafe { listen(fd, backlog.min(i32::MAX as u32) as i32) } < 0 {
+                return Err(last_os_error());
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => Ok(unsafe { TcpListener::from_raw_fd(fd) }),
+            Err(e) => {
+                unsafe { close(fd) };
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::{timeout_ms, Event, Interest};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// `poll(2)` fallback: the registration table lives here and the
+    /// `pollfd` array is rebuilt per wait.
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: BTreeMap<RawFd, (u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: BTreeMap::new(),
+            })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.registered.contains_key(&fd) {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd registered"));
+            }
+            self.registered.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            match self.registered.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            match self.registered.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .registered
+                .iter()
+                .map(|(&fd, &(_, interest))| PollFd {
+                    fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                if let Some(&(token, _)) = self.registered.get(&pfd.fd) {
+                    events.push(Event {
+                        token,
+                        readable: pfd.revents & POLLIN != 0,
+                        writable: pfd.revents & POLLOUT != 0,
+                        hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// No portable backlog control off Linux: std's default backlog.
+    pub fn listen_one(addr: SocketAddr, _backlog: u32) -> io::Result<TcpListener> {
+        TcpListener::bind(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_after_peer_writes() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "nothing written yet: {events:?}");
+
+        a.write_all(b"x").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn level_triggered_until_drained() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        a.write_all(b"abc").unwrap();
+
+        let mut events = Vec::new();
+        for _ in 0..2 {
+            poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(events.len(), 1, "unread bytes must re-report readable");
+        }
+        let mut buf = [0u8; 8];
+        let n = b.read(&mut buf).unwrap();
+        assert_eq!(n, 3);
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "drained fd must stop reporting readable");
+    }
+
+    #[test]
+    fn writable_reported_and_maskable() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(a.as_raw_fd(), 3, Interest::BOTH).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+
+        // Masking write interest silences the (always-ready) writable
+        // report — the interest re-registration the server leans on.
+        poller.modify(a.as_raw_fd(), 3, Interest::READ).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "masked fd still reported: {events:?}");
+    }
+
+    #[test]
+    fn hangup_reported_on_peer_close() {
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(a);
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(
+            events[0].hangup || events[0].readable,
+            "peer close must surface as hangup or readable-EOF: {:?}",
+            events[0]
+        );
+    }
+
+    #[test]
+    fn delete_stops_reports() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 4, Interest::READ).unwrap();
+        a.write_all(b"x").unwrap();
+        poller.delete(b.as_raw_fd()).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn backlog_listener_accepts_connections() {
+        let listener = listen_with_backlog("127.0.0.1:0", 4096).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || TcpStream::connect(addr).map(|_| ()));
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn tokens_distinguish_many_fds() {
+        let pairs: Vec<(UnixStream, UnixStream)> =
+            (0..16).map(|_| UnixStream::pair().unwrap()).collect();
+        let mut poller = Poller::new().unwrap();
+        for (i, (_, b)) in pairs.iter().enumerate() {
+            b.set_nonblocking(true).unwrap();
+            poller.add(b.as_raw_fd(), 100 + i as u64, Interest::READ).unwrap();
+        }
+        // Write to every other pair and require exactly those tokens.
+        for (i, (a, _)) in pairs.iter().enumerate() {
+            if i % 2 == 0 {
+                let mut a = a;
+                a.write_all(b"y").unwrap();
+            }
+        }
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let mut tokens: Vec<u64> = events.iter().map(|e| e.token).collect();
+        tokens.sort_unstable();
+        let expected: Vec<u64> = (0..16).filter(|i| i % 2 == 0).map(|i| 100 + i as u64).collect();
+        assert_eq!(tokens, expected);
+    }
+}

@@ -30,7 +30,8 @@ pub fn query_error_code(e: &QueryError) -> &'static str {
     }
 }
 
-/// One parsed response line.
+/// One parsed response line (one **frame** of a possibly multi-frame
+/// response — see [`WireResponse::is_final`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireResponse {
     /// Whether the request succeeded.
@@ -40,6 +41,13 @@ pub struct WireResponse {
     pub kind: Option<String>,
     /// Error code on failure (`PARSE`, `SESSION`, `BUSY`, `OVERSIZED`, ...).
     pub code: Option<String>,
+    /// Frame number within a streamed response (`0` = first preview).
+    /// `None` on classic single-frame responses.
+    pub seq: Option<u64>,
+    /// Whether this frame completes the response. `None` (untagged — every
+    /// pre-streaming response) means final; `Some(false)` marks a preview
+    /// frame with refinements still to come.
+    pub fin: Option<bool>,
     /// Rendered output (success) or error message (failure).
     pub text: String,
 }
@@ -51,6 +59,8 @@ impl WireResponse {
             ok: true,
             kind: Some(kind.to_owned()),
             code: None,
+            seq: None,
+            fin: None,
             text: text.to_owned(),
         }
     }
@@ -61,11 +71,32 @@ impl WireResponse {
             ok: false,
             kind: None,
             code: Some(code.to_owned()),
+            seq: None,
+            fin: None,
             text: message.to_owned(),
         }
     }
 
-    /// Serializes to one JSON line (no trailing newline).
+    /// Tags this response as frame `seq` of a streamed response, final or
+    /// not.
+    pub fn with_stream_tags(mut self, seq: u64, fin: bool) -> WireResponse {
+        self.seq = Some(seq);
+        self.fin = Some(fin);
+        self
+    }
+
+    /// Whether this frame completes its response. Untagged frames (the
+    /// entire pre-streaming protocol) are final by definition, so old
+    /// servers and streamed clients interoperate.
+    pub fn is_final(&self) -> bool {
+        self.fin.unwrap_or(true)
+    }
+
+    /// Serializes to one JSON line (no trailing newline). Field order is
+    /// fixed (`ok`, `kind`, `code`, `seq`, `final`, `text`/`error`), which
+    /// is what makes the byte-identity contract of streamed responses
+    /// testable: a final frame with the `seq`/`final` tags removed is
+    /// byte-identical to the classic single-frame line.
     pub fn to_line(&self) -> String {
         let mut out = String::from("{\"ok\":");
         out.push_str(if self.ok { "true" } else { "false" });
@@ -78,6 +109,14 @@ impl WireResponse {
             out.push_str(",\"code\":\"");
             out.push_str(&json_escape(code));
             out.push('"');
+        }
+        if let Some(seq) = self.seq {
+            out.push_str(",\"seq\":");
+            out.push_str(&seq.to_string());
+        }
+        if let Some(fin) = self.fin {
+            out.push_str(",\"final\":");
+            out.push_str(if fin { "true" } else { "false" });
         }
         out.push_str(if self.ok { ",\"text\":\"" } else { ",\"error\":\"" });
         out.push_str(&json_escape(&self.text));
@@ -98,13 +137,62 @@ impl WireResponse {
             Some(JsonScalar::Str(s)) => Some(s.clone()),
             _ => None,
         };
+        let seq = match fields.get("seq") {
+            Some(JsonScalar::Num(n)) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        };
+        let fin = match fields.get("final") {
+            Some(JsonScalar::Bool(b)) => Some(*b),
+            _ => None,
+        };
         Ok(WireResponse {
             ok,
             kind: get_str("kind"),
             code: get_str("code"),
+            seq,
+            fin,
             text: get_str("text").or_else(|| get_str("error")).unwrap_or_default(),
         })
     }
+}
+
+/// Splices `"seq"`/`"final"` stream tags into an already-rendered
+/// response line, immediately before its `text`/`error` field — the
+/// server's way of tagging the oracle-checked final line **without**
+/// re-rendering it, so the tagged frame minus the tags stays
+/// byte-identical to the untagged line.
+///
+/// Safe to do textually: the payload field is always last, the fields
+/// before it hold controlled vocabulary, and an *escaped* quote inside a
+/// JSON string can never spell the unescaped `,"text":"` key sequence.
+pub fn tag_stream_line(line: &str, seq: u64, fin: bool) -> String {
+    let at = line
+        .find(",\"text\":\"")
+        .or_else(|| line.find(",\"error\":\""));
+    match at {
+        Some(at) => format!(
+            "{}{}{}",
+            &line[..at],
+            format_args!(",\"seq\":{seq},\"final\":{fin}"),
+            &line[at..]
+        ),
+        None => line.to_owned(),
+    }
+}
+
+/// Removes the `"seq"`/`"final"` tags [`tag_stream_line`] added — the
+/// determinism tests' byte-comparison primitive for streamed transcripts.
+pub fn strip_stream_tags(line: &str) -> String {
+    let Some(start) = line.find(",\"seq\":") else {
+        return line.to_owned();
+    };
+    let Some(end) = line[start..]
+        .find(",\"text\":\"")
+        .or_else(|| line[start..].find(",\"error\":\""))
+    else {
+        return line.to_owned();
+    };
+    format!("{}{}", &line[..start], &line[start + end..])
 }
 
 /// A malformed response line.
@@ -380,5 +468,46 @@ mod tests {
     fn query_error_codes_cover_variants() {
         let err: QueryError = dbex_query::ParseError::UnexpectedEnd.into();
         assert_eq!(query_error_code(&err), "PARSE");
+    }
+
+    #[test]
+    fn stream_tags_round_trip_and_strip_to_identity() {
+        let tagged = WireResponse::ok("cad", "preview body\n").with_stream_tags(0, false);
+        let line = tagged.to_line();
+        let parsed = WireResponse::parse(&line).unwrap();
+        assert_eq!(parsed.seq, Some(0));
+        assert_eq!(parsed.fin, Some(false));
+        assert!(!parsed.is_final());
+        assert_eq!(parsed, tagged);
+
+        // Untagged responses are final by definition.
+        let plain = WireResponse::ok("rows", "x\n");
+        assert!(plain.is_final());
+        assert_eq!(WireResponse::parse(&plain.to_line()).unwrap().fin, None);
+    }
+
+    #[test]
+    fn tag_splice_matches_constructed_order_and_strips_clean() {
+        // Splicing tags into an already-rendered line must produce the
+        // same bytes as constructing the response with tags — that is
+        // what guarantees a final streamed frame minus tags is
+        // byte-identical to the classic single-frame line.
+        for resp in [
+            WireResponse::ok("cad", "CAD View v:\nwith \"quotes\" and ,\"text\":\" inside\n"),
+            WireResponse::err("SESSION", "unknown table \"x\""),
+        ] {
+            let plain = resp.to_line();
+            let spliced = tag_stream_line(&plain, 1, true);
+            let constructed = resp.clone().with_stream_tags(1, true).to_line();
+            assert_eq!(spliced, constructed);
+            assert_eq!(strip_stream_tags(&spliced), plain);
+            let parsed = WireResponse::parse(&spliced).unwrap();
+            assert_eq!(parsed.seq, Some(1));
+            assert_eq!(parsed.fin, Some(true));
+            assert_eq!(parsed.text, resp.text);
+        }
+        // Lines without a payload field pass through untouched.
+        assert_eq!(tag_stream_line("{\"ok\":true}", 0, true), "{\"ok\":true}");
+        assert_eq!(strip_stream_tags("{\"ok\":true}"), "{\"ok\":true}");
     }
 }

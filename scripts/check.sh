@@ -61,6 +61,14 @@
 # than 25% on any comparable session count. Opt-in: the 1024-session
 # wave with real think-times takes minutes of wall-clock.
 #
+# `--bench-explore-regression` is the seconds-scale CI variant: a
+# --quick bench_explore run diffed against the same committed baseline.
+# The quick workload is deliberately not latency-comparable to the full
+# baseline (the diff reports the mismatch and skips the latency gate),
+# but the diff still parses and schema-checks the committed
+# BENCH_explore.json — so a baseline left stale across a schema bump
+# fails here instead of surfacing minutes into the full gate.
+#
 # `--kernel-ab` is the scalar ↔ SIMD bit-identity gate: it first runs the
 # whole test suite pinned to the scalar kernels (DBEX_SIMD=scalar), then
 # runs `kernel_ab`, which re-executes itself as one child per dispatch
@@ -85,18 +93,20 @@ STORE_SMOKE_ONLY=0
 CRASH_SMOKE=0
 KERNEL_AB=0
 BENCH_EXPLORE=0
+BENCH_EXPLORE_REGRESSION=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --bench-regression) BENCH_REGRESSION=1 ;;
     --bench-explore) BENCH_EXPLORE=1 ;;
+    --bench-explore-regression) BENCH_EXPLORE_REGRESSION=1 ;;
     --obs-smoke) OBS_SMOKE_ONLY=1 ;;
     --serve-smoke) SERVE_SMOKE_ONLY=1 ;;
     --serve-soak) SERVE_SOAK=1 ;;
     --store-smoke) STORE_SMOKE_ONLY=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
     --kernel-ab) KERNEL_AB=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--bench-explore] [--obs-smoke] [--serve-smoke] [--serve-soak] [--store-smoke] [--crash-smoke] [--kernel-ab]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--bench-explore] [--bench-explore-regression] [--obs-smoke] [--serve-smoke] [--serve-soak] [--store-smoke] [--crash-smoke] [--kernel-ab]" >&2; exit 2 ;;
   esac
 done
 
@@ -183,6 +193,14 @@ if [[ "$BENCH_EXPLORE" -eq 1 ]]; then
   SCRATCH+=("$EXPLORE_REG_OUT")
   cargo run --release -p dbex-bench --bin bench_explore -- \
     --out "$EXPLORE_REG_OUT" --baseline BENCH_explore.json
+fi
+
+if [[ "$BENCH_EXPLORE_REGRESSION" -eq 1 ]]; then
+  echo "==> explore regression smoke (bench_explore --quick vs committed BENCH_explore.json)"
+  EXPLORE_QREG_OUT="$(mktemp /tmp/bench_explore_qreg.XXXXXX.json)"
+  SCRATCH+=("$EXPLORE_QREG_OUT")
+  cargo run --release -p dbex-bench --bin bench_explore -- \
+    --quick --out "$EXPLORE_QREG_OUT" --baseline BENCH_explore.json
 fi
 
 echo "All checks passed."

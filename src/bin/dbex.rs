@@ -90,6 +90,7 @@ fn main() {
             println!(
                 "usage: dbex                                  interactive local shell\n\
                  \x20      dbex --serve <addr> [--max-conns N] [--time-limit-ms N] [--threads N]\n\
+                 \x20                  [--workers N] [--cache-entries N] [--backlog N]\n\
                  \x20                  [--data-dir DIR] [--autosave-ms N] [--max-frame-bytes N]\n\
                  \x20                                           serve the wire protocol on <addr>;\n\
                  \x20                                           with --data-dir, warm-restart from\n\
@@ -113,6 +114,7 @@ fn main() {
 /// snapshot, and exit 0.
 fn run_serve(args: &[String]) -> i32 {
     let usage = "usage: dbex --serve <addr> [--max-conns N] [--time-limit-ms N] [--threads N] \
+                 [--workers N] [--cache-entries N] [--backlog N] \
                  [--data-dir DIR] [--autosave-ms N] [--max-frame-bytes N]";
     let Some(addr) = args.first() else {
         eprintln!("{usage}");
@@ -140,6 +142,9 @@ fn run_serve(args: &[String]) -> i32 {
             "--max-conns" => config.max_connections = parsed as usize,
             "--time-limit-ms" => config.request_time_limit = Some(Duration::from_millis(parsed)),
             "--threads" => config.threads = parsed as usize,
+            "--workers" => config.workers = parsed as usize,
+            "--cache-entries" => config.cache_entries = (parsed as usize).max(1),
+            "--backlog" => config.backlog = parsed.min(u64::from(u32::MAX)) as u32,
             "--max-frame-bytes" => config.max_frame_bytes = parsed as usize,
             "--autosave-ms" => config.autosave_interval = Some(Duration::from_millis(parsed)),
             other => {
@@ -179,7 +184,7 @@ fn run_serve(args: &[String]) -> i32 {
     let handle = match server.spawn() {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("cannot start the accept thread: {e}");
+            eprintln!("cannot start the server threads: {e}");
             return 1;
         }
     };
@@ -260,25 +265,39 @@ fn run_connect(args: &[String]) -> i32 {
     0
 }
 
-/// Sends one request; prints the response. Returns `false` when the
-/// connection is unusable (the caller exits).
+/// Sends one request and prints every response frame until the final
+/// one — after `.stream on` an expensive build answers with a tagged
+/// preview frame first, and an untagged response is final by
+/// construction, so this loop serves both modes. Returns `false` when
+/// the connection is unusable (the caller exits).
 fn send_and_print(client: &mut Client, request: &str) -> bool {
-    match client.request(request) {
-        Ok(resp) if resp.ok => {
-            print!("{}", resp.text);
-            true
-        }
-        Ok(resp) => {
-            println!(
-                "error [{}]: {}",
-                resp.code.as_deref().unwrap_or("?"),
-                resp.text
-            );
-            true
-        }
-        Err(e) => {
-            eprintln!("connection lost: {e}");
-            false
+    if let Err(e) = client.send_only(request) {
+        eprintln!("connection lost: {e}");
+        return false;
+    }
+    loop {
+        match client.read_response() {
+            Ok(resp) => {
+                if resp.ok {
+                    if !resp.is_final() {
+                        println!("-- preview (exact answer follows) --");
+                    }
+                    print!("{}", resp.text);
+                } else {
+                    println!(
+                        "error [{}]: {}",
+                        resp.code.as_deref().unwrap_or("?"),
+                        resp.text
+                    );
+                }
+                if resp.is_final() {
+                    return true;
+                }
+            }
+            Err(e) => {
+                eprintln!("connection lost: {e}");
+                return false;
+            }
         }
     }
 }

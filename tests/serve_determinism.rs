@@ -9,7 +9,9 @@
 //! would be a performance bug, not a correctness pass.
 
 use dbexplorer::data::UsedCarsGenerator;
-use dbexplorer::serve::{oracle_transcript, Client, ServeConfig, Server, ServerHandle};
+use dbexplorer::serve::{
+    oracle_transcript, strip_stream_tags, Client, ServeConfig, Server, ServerHandle,
+};
 
 const CLIENTS: usize = 32;
 const ROWS: usize = 1_500;
@@ -88,6 +90,73 @@ fn thirty_two_clients_are_byte_identical_to_one_session() {
         after_warm.misses, after_cold.misses,
         "warm pass repeated identical requests yet missed the shared cache"
     );
+
+    assert_eq!(handle.panics(), 0);
+    handle.shutdown();
+}
+
+/// Streamed mode must refine toward the *same* bytes: for clients in
+/// `.stream on`, expensive builds answer with a preview frame first, but
+/// the final frame — minus its `seq`/`final` tags — must still equal the
+/// single-session oracle line for line. The table is sized past the
+/// preview threshold so the CAD build genuinely streams.
+#[test]
+fn streamed_replay_strips_to_the_oracle() {
+    const STREAM_ROWS: usize = 4_000;
+    const STREAM_CLIENTS: usize = 8;
+    let script: &[&str] = &[
+        ".tables",
+        "SELECT Make, Price FROM cars WHERE BodyType = Sedan LIMIT 4",
+        "CREATE CADVIEW v AS SET pivot = Make FROM cars LIMIT COLUMNS 2 IUNITS 2",
+        "REORDER ROWS IN v ORDER BY SIMILARITY(Honda) DESC",
+    ];
+    let cars = || UsedCarsGenerator::new(SEED).generate(STREAM_ROWS);
+
+    let config = ServeConfig::default();
+    let oracle = oracle_transcript(vec![("cars".to_owned(), cars())], &config, script);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    server.preload("cars", cars());
+    let handle = server.spawn().expect("spawn server threads");
+
+    let streams: Vec<Vec<Vec<String>>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..STREAM_CLIENTS)
+            .map(|_| {
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let ack = client.request(".stream on").expect(".stream on");
+                    assert!(ack.ok, "{ack:?}");
+                    script
+                        .iter()
+                        .map(|req| client.request_stream_lines(req).expect("request"))
+                        .collect::<Vec<Vec<String>>>()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+
+    for (i, transcript) in streams.iter().enumerate() {
+        assert_eq!(transcript.len(), oracle.len());
+        let mut previews = 0;
+        for (j, (frames, want)) in transcript.iter().zip(&oracle).enumerate() {
+            previews += frames.len() - 1; // every non-final frame is a preview
+            let last = frames.last().expect("at least one frame");
+            assert_eq!(
+                &strip_stream_tags(last),
+                want,
+                "client {i}: streamed final frame diverged from the oracle on {:?}",
+                script[j]
+            );
+        }
+        assert!(
+            previews > 0,
+            "client {i} saw no preview frames — the CAD build never streamed"
+        );
+    }
 
     assert_eq!(handle.panics(), 0);
     handle.shutdown();

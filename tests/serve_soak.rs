@@ -14,9 +14,11 @@
 //!   DBEX_SERVE_SOAK_SECS=10 cargo test --release --test serve_soak -- --ignored
 //!   ```
 //!
-//! Worker zoo: well-behaved explorers, clients that disconnect
-//! mid-request, clients that abort mid-frame, oversized-frame senders,
-//! invalid-UTF-8 senders, and connection hammers that overrun the cap.
+//! Worker zoo: well-behaved explorers, streamed-preview clients (half of
+//! whom vanish between the preview and the exact frame), clients that
+//! disconnect mid-request, clients that abort mid-frame, oversized-frame
+//! senders, invalid-UTF-8 senders, and connection hammers that overrun
+//! the cap.
 //! Afterwards the server must show zero caught panics, `BUSY` rejections
 //! (the cap held under pressure), and a connection gauge back at 0 — no
 //! leaked sessions, threads, or slots.
@@ -44,10 +46,11 @@ fn soak_secs() -> u64 {
 }
 
 /// Quick variant: same hostile mix and assertions, sized for the
-/// default `cargo test` gate.
+/// default `cargo test` gate. The table sits past the preview threshold
+/// so the streamed clients genuinely get multi-frame responses.
 #[test]
 fn hostile_mixed_workload_quick() {
-    run_soak(2, 1_500);
+    run_soak(2, 2_500);
 }
 
 #[test]
@@ -104,6 +107,48 @@ fn run_soak(secs: u64, rows: usize) {
                             Err(_) => break, // hammered off; reconnect
                         }
                     }
+                }
+            });
+        }
+
+        // Streamed explorer: opts into previews; alternates between
+        // reading the full frame sequence and vanishing right after the
+        // first frame — the mid-preview cancel path under churn.
+        {
+            let stop = Arc::clone(&stop);
+            let requests_ok = Arc::clone(&requests_ok);
+            let busy_seen = Arc::clone(&busy_seen);
+            scope.spawn(move || {
+                let mut flip = false;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut client = match Client::connect(addr) {
+                        Ok(c) => c,
+                        Err(ClientError::Busy(_)) => {
+                            busy_seen.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(10));
+                            continue;
+                        }
+                        Err(_) => continue,
+                    };
+                    client.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                    if !client.request(".stream on").map(|r| r.ok).unwrap_or(false) {
+                        continue; // hammered off mid-handshake
+                    }
+                    let build =
+                        "CREATE CADVIEW s AS SET pivot = Make FROM cars LIMIT COLUMNS 2 IUNITS 2";
+                    if flip {
+                        if let Ok(frames) = client.request_stream(build) {
+                            if frames.last().is_some_and(|f| f.ok) {
+                                requests_ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else {
+                        let _ = client.send_only(build);
+                        let _ = client.read_response();
+                        drop(client); // gone between preview and exact frame
+                    }
+                    flip = !flip;
+                    std::thread::sleep(Duration::from_millis(3));
                 }
             });
         }

@@ -679,7 +679,12 @@ pub const STORE_SCHEMA: u64 = 1;
 /// response frame, preview or final) and `previewed_ops` (ops that
 /// received a preview frame before the exact answer). `ttfr_*` now means
 /// time to the first *frame* of the first successful response.
-pub const EXPLORE_SCHEMA: u64 = 2;
+/// Schema 3 (suggest): the per-point `ops` object gains a `"suggest"`
+/// kind — keystroke-paced `SUGGEST NEXT` / `SUGGEST COMPLETE` requests
+/// issued while the simulated user composes the next statement. Its
+/// p50 joins the baseline gate and must additionally stay under the
+/// absolute [`SUGGEST_P50_BOUND_MS`] interactivity bound.
+pub const EXPLORE_SCHEMA: u64 = 3;
 
 const SERVE_TOP_FIELDS: &[&str] = &[
     "schema",
@@ -752,7 +757,7 @@ const EXPLORE_POINT_FIELDS: &[&str] = &[
     "ops",
     "cache_trajectory",
 ];
-const EXPLORE_OP_KINDS: &[&str] = &["drill", "cad", "pivot", "highlight", "reorder"];
+const EXPLORE_OP_KINDS: &[&str] = &["drill", "cad", "pivot", "highlight", "reorder", "suggest"];
 const EXPLORE_OP_FIELDS: &[&str] = &["count", "p50_ms", "p99_ms", "max_ms"];
 const EXPLORE_TRAJ_FIELDS: &[&str] = &["at_ms", "hits", "misses", "evictions", "hit_rate"];
 
@@ -848,13 +853,21 @@ pub fn validate_explore_report(text: &str) -> Result<(), String> {
 /// above per-op timing jitter.
 pub const EXPLORE_NOISE_FLOOR_MS: f64 = 5.0;
 
+/// Absolute interactivity bound on the suggest op's p50, in
+/// milliseconds. Suggestions fire on keystrokes; past ~10ms they lag
+/// the typist instead of assisting. Unlike the relative gate this is
+/// checked against the *current* run alone, so a slow baseline can
+/// never grandfather in a sluggish suggester.
+pub const SUGGEST_P50_BOUND_MS: f64 = 10.0;
+
 /// Compares a fresh `BENCH_explore.json` against a baseline. Points are
 /// matched by `sessions`; runs whose workload differs (rows, seed,
 /// ops_per_session, or quick flag) are reported as not comparable and
 /// never trip the gate. The gate fails when a matched point's
-/// time-to-first-result p50 **or** overall p99 exceeds the baseline by
-/// more than `gate_threshold` (0.25 = 25%) *and* by more than
-/// [`EXPLORE_NOISE_FLOOR_MS`] absolute.
+/// time-to-first-result p50, overall p99, **or** suggest-op p50 exceeds
+/// the baseline by more than `gate_threshold` (0.25 = 25%) *and* by
+/// more than [`EXPLORE_NOISE_FLOOR_MS`] absolute — or when the current
+/// suggest p50 exceeds [`SUGGEST_P50_BOUND_MS`] outright.
 pub fn diff_explore_reports(
     current: &str,
     baseline: &str,
@@ -926,6 +939,43 @@ pub fn diff_explore_reports(
                 line.push_str(&format!(
                     "  [GATE FAILED: > {:.0}% regression]",
                     gate_threshold * 100.0
+                ));
+            }
+            lines.push(line);
+        }
+        let suggest_p50 = |p: &Json| {
+            p.get("ops")
+                .and_then(|ops| ops.get("suggest"))
+                .and_then(|s| s.get("p50_ms"))
+                .and_then(Json::as_f64)
+        };
+        if let Some(cur_ms) = suggest_p50(point) {
+            let mut line = match suggest_p50(base_point) {
+                Some(base_ms) => {
+                    let mut line = format!(
+                        "{sessions} sessions suggest p50: {cur_ms:.3} ms vs {base_ms:.3} ms — {}",
+                        verdict(cur_ms, base_ms),
+                    );
+                    if base_ms > 0.0
+                        && cur_ms > base_ms * (1.0 + gate_threshold)
+                        && cur_ms - base_ms > EXPLORE_NOISE_FLOOR_MS
+                    {
+                        gate_failed = true;
+                        line.push_str(&format!(
+                            "  [GATE FAILED: > {:.0}% regression]",
+                            gate_threshold * 100.0
+                        ));
+                    }
+                    line
+                }
+                None => format!(
+                    "{sessions} sessions suggest p50: {cur_ms:.3} ms (no suggest section in baseline)"
+                ),
+            };
+            if cur_ms > SUGGEST_P50_BOUND_MS {
+                gate_failed = true;
+                line.push_str(&format!(
+                    "  [GATE FAILED: above the {SUGGEST_P50_BOUND_MS:.0} ms interactivity bound]"
                 ));
             }
             lines.push(line);
@@ -1322,7 +1372,7 @@ mod tests {
 
     fn explore_report(sessions: u64, ttfr_p50: f64, p99: f64) -> String {
         format!(
-            r#"{{"schema": 2, "harness": "bench_explore", "quick": false, "seed": 42,
+            r#"{{"schema": 3, "harness": "bench_explore", "quick": false, "seed": 42,
                 "rows": 1000, "ops_per_session": 8, "think_min_ms": 0, "think_max_ms": 2,
                 "abandon_rate": 0.05, "reconnect_rate": 0.5, "streamed": true,
                 "points": [{{"sessions": {sessions}, "completed": {sessions},
@@ -1332,7 +1382,8 @@ mod tests {
                   "first_frame_p50_ms": 0.8, "first_frame_p99_ms": 4.0,
                   "p50_ms": 1.0, "p99_ms": {p99}, "max_ms": 20.0, "wall_ms": 100.0,
                   "ops": {{"drill": {{"count": 16, "p50_ms": 1.0, "p99_ms": 2.0, "max_ms": 3.0}},
-                          "cad": {{"count": 8, "p50_ms": 2.0, "p99_ms": 4.0, "max_ms": 5.0}}}},
+                          "cad": {{"count": 8, "p50_ms": 2.0, "p99_ms": 4.0, "max_ms": 5.0}},
+                          "suggest": {{"count": 12, "p50_ms": 1.5, "p99_ms": 3.5, "max_ms": 4.5}}}},
                   "cache_trajectory": [
                     {{"at_ms": 0.0, "hits": 0, "misses": 0, "evictions": 0, "hit_rate": 0.0}},
                     {{"at_ms": 50.0, "hits": 40, "misses": 10, "evictions": 0, "hit_rate": 0.8}}]}}]}}"#
@@ -1436,6 +1487,56 @@ mod tests {
             0.25
         )
         .is_err());
+    }
+
+    #[test]
+    fn explore_diff_gates_on_suggest_p50() {
+        let base = explore_report(8, 2.0, 10.0);
+        let with_suggest = |p50: &str| base.replace("\"p50_ms\": 1.5", p50);
+
+        // Mild suggest drift: reported, below gate.
+        let diff =
+            diff_explore_reports(&with_suggest("\"p50_ms\": 1.6"), &base, 0.25).unwrap();
+        assert!(!diff.gate_failed, "{:?}", diff.lines);
+        assert!(diff.lines.iter().any(|l| l.contains("suggest p50")), "{:?}", diff.lines);
+
+        // Suggest p50 regresses past the relative gate (still under the
+        // absolute bound).
+        let diff =
+            diff_explore_reports(&with_suggest("\"p50_ms\": 9.0"), &base, 0.25).unwrap();
+        assert!(diff.gate_failed, "{:?}", diff.lines);
+        assert!(
+            diff.lines.iter().any(|l| l.contains("suggest p50") && l.contains("GATE FAILED")),
+            "{:?}",
+            diff.lines
+        );
+
+        // Above the absolute interactivity bound the gate fails even
+        // when the baseline is equally slow — no grandfathering.
+        let slow = with_suggest("\"p50_ms\": 12.0");
+        let diff = diff_explore_reports(&slow, &slow, 0.25).unwrap();
+        assert!(diff.gate_failed, "{:?}", diff.lines);
+        assert!(
+            diff.lines.iter().any(|l| l.contains("interactivity bound")),
+            "{:?}",
+            diff.lines
+        );
+
+        // A baseline without a suggest section (fresh family) is
+        // reported but never trips the relative gate.
+        let no_suggest = base.replace(
+            r#",
+                          "suggest": {"count": 12, "p50_ms": 1.5, "p99_ms": 3.5, "max_ms": 4.5}"#,
+            "",
+        );
+        assert!(validate_explore_report(&no_suggest).is_ok(), "fixture surgery broke JSON");
+        let diff = diff_explore_reports(&base, &no_suggest, 0.25).unwrap();
+        assert!(!diff.gate_failed, "{:?}", diff.lines);
+        assert!(
+            diff.lines.iter().any(|l| l.contains("no suggest section in baseline")),
+            "{:?}",
+            diff.lines
+        );
     }
 
     #[test]

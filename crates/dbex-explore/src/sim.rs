@@ -378,7 +378,10 @@ fn run_session(
 }
 
 fn needs_view(kind: OpKind) -> bool {
-    matches!(kind, OpKind::Highlight | OpKind::Reorder)
+    // `SUGGEST NEXT FOR v` resolves the view server-side; completion
+    // requests don't strictly need it, but replaying the view op before
+    // either keeps reconnect-resume uniform and cheap.
+    matches!(kind, OpKind::Highlight | OpKind::Reorder | OpKind::Suggest)
 }
 
 /// Drives `cfg.sessions` concurrent sessions against the server at

@@ -3,9 +3,11 @@
 //! A trace is the paper's canonical exploration loop rendered as wire
 //! requests: **facet-drill** (SELECT with accumulating equality
 //! predicates) → **CAD View construction** → **pivot change** →
-//! **highlight / reorder** interactions against the view. Each op
-//! carries a think-time so the simulator can pace it like a human
-//! session rather than a closed-loop saturation test.
+//! **highlight / reorder / suggest** interactions against the view.
+//! Each op carries a think-time so the simulator can pace it like a
+//! human session rather than a closed-loop saturation test; suggest ops
+//! pace at keystroke cadence (the bottom quarter of the think range)
+//! because they fire *while* the user types the next statement.
 //!
 //! Traces are pure functions of `(spec, config, session id)` — the same
 //! inputs produce the same request strings and think-times on every run,
@@ -40,6 +42,9 @@ pub enum OpKind {
     Highlight,
     /// `REORDER ROWS` in the current view by similarity.
     Reorder,
+    /// `SUGGEST NEXT` / `SUGGEST COMPLETE` — keystroke-paced assistance
+    /// requests issued while the user composes the next statement.
+    Suggest,
 }
 
 impl OpKind {
@@ -51,16 +56,18 @@ impl OpKind {
             OpKind::Pivot => "pivot",
             OpKind::Highlight => "highlight",
             OpKind::Reorder => "reorder",
+            OpKind::Suggest => "suggest",
         }
     }
 
     /// All kinds, in report order.
-    pub const ALL: [OpKind; 5] = [
+    pub const ALL: [OpKind; 6] = [
         OpKind::Drill,
         OpKind::Cad,
         OpKind::Pivot,
         OpKind::Highlight,
         OpKind::Reorder,
+        OpKind::Suggest,
     ];
 }
 
@@ -111,6 +118,8 @@ struct TraceState<'a> {
     pivot: usize,
     /// Whether a CAD View exists yet.
     has_view: bool,
+    /// Suggest ops issued so far (alternates NEXT / COMPLETE).
+    suggests: usize,
 }
 
 impl TraceState<'_> {
@@ -194,8 +203,9 @@ impl TraceState<'_> {
 ///
 /// The shape: op 0 drills, op 1 drills again or builds the view, a view
 /// exists by op 2; the remainder mixes highlight/reorder interactions
-/// (~55%), further drills that refresh the view (~25%), and pivot
-/// changes (~20%), weights varying per session seed.
+/// (~45%), keystroke-paced suggest requests (~20%), further drills that
+/// refresh the view (~20%), and pivot changes (~15%), weights varying
+/// per session seed.
 pub fn session_trace(spec: &SyntheticSpec, cfg: &TraceConfig, session: u64) -> Vec<TraceOp> {
     let mut rng = StdRng::seed_from_u64(mix(cfg.seed ^ 0x7472_6163, session));
     let mut state = TraceState {
@@ -203,6 +213,7 @@ pub fn session_trace(spec: &SyntheticSpec, cfg: &TraceConfig, session: u64) -> V
         preds: Vec::new(),
         pivot: 0,
         has_view: false,
+        suggests: 0,
     };
     // Pivot starts at the first eligible attribute (the designated pivot
     // in the default spec). Specs without one are a configuration error.
@@ -226,6 +237,17 @@ pub fn session_trace(spec: &SyntheticSpec, cfg: &TraceConfig, session: u64) -> V
         };
         Duration::from_millis(think_ms)
     };
+    // Suggest requests are issued *while typing*, so they pace at
+    // keystroke cadence: the bottom quarter of the think-time range.
+    let keystroke = |rng: &mut StdRng| {
+        let span = (cfg.think_max_ms.saturating_sub(cfg.think_min_ms)) / 4;
+        let think_ms = if span > 0 {
+            rng.random_range(cfg.think_min_ms..cfg.think_min_ms + span + 1)
+        } else {
+            cfg.think_min_ms
+        };
+        Duration::from_millis(think_ms)
+    };
 
     for i in 0..cfg.ops {
         let drills = state.drill_candidates();
@@ -238,11 +260,13 @@ pub fn session_trace(spec: &SyntheticSpec, cfg: &TraceConfig, session: u64) -> V
         } else {
             // View exists: weighted mix over the interaction ops.
             let r: f64 = rng.random_range(0.0..1.0);
-            if r < 0.30 {
+            if r < 0.25 {
                 OpKind::Highlight
-            } else if r < 0.55 {
+            } else if r < 0.45 {
                 OpKind::Reorder
-            } else if r < 0.80 && !drills.is_empty() && state.preds.len() < 3 {
+            } else if r < 0.65 {
+                OpKind::Suggest
+            } else if r < 0.85 && !drills.is_empty() && state.preds.len() < 3 {
                 OpKind::Drill
             } else if state.pivot_candidates().len() > 1 {
                 OpKind::Pivot
@@ -317,6 +341,40 @@ pub fn session_trace(spec: &SyntheticSpec, cfg: &TraceConfig, session: u64) -> V
                     think: think(&mut rng),
                 });
             }
+            OpKind::Suggest => {
+                state.suggests += 1;
+                if state.suggests % 2 == 1 {
+                    // "What should I look at next?" over the current view.
+                    ops.push(TraceOp {
+                        kind: OpKind::Suggest,
+                        request: "SUGGEST NEXT FOR v".to_string(),
+                        think: keystroke(&mut rng),
+                    });
+                } else {
+                    // A keystroke burst while composing the next drill:
+                    // attribute completion at `WHERE`, then value
+                    // completion once an attribute has been typed.
+                    ops.push(TraceOp {
+                        kind: OpKind::Suggest,
+                        request: format!(
+                            "SUGGEST COMPLETE SELECT * FROM {} WHERE",
+                            spec.name
+                        ),
+                        think: keystroke(&mut rng),
+                    });
+                    if !drills.is_empty() && ops.len() < cfg.ops {
+                        let attr = drills[rng.random_range(0..drills.len())];
+                        ops.push(TraceOp {
+                            kind: OpKind::Suggest,
+                            request: format!(
+                                "SUGGEST COMPLETE SELECT * FROM {} WHERE {} =",
+                                spec.name, spec.attrs[attr].name
+                            ),
+                            think: keystroke(&mut rng),
+                        });
+                    }
+                }
+            }
         }
         if ops.len() >= cfg.ops {
             break;
@@ -372,6 +430,10 @@ mod tests {
                     }
                     OpKind::Highlight | OpKind::Reorder => {
                         assert!(has_view, "interaction before view in session {session}");
+                    }
+                    OpKind::Suggest => {
+                        assert!(has_view, "suggest before view in session {session}");
+                        assert!(op.request.starts_with("SUGGEST "));
                     }
                     OpKind::Drill => assert!(op.request.starts_with("SELECT ")),
                 }

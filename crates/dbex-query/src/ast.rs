@@ -81,6 +81,36 @@ pub struct ReorderStmt {
     pub pivot_value: String,
 }
 
+/// What a `SUGGEST` statement asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuggestKind {
+    /// `SUGGEST NEXT FOR view`: rank next-step attributes for a stored
+    /// CAD View's current (refined) result set by information gain
+    /// against its pivot.
+    Next {
+        /// The stored CAD View name.
+        view: String,
+    },
+    /// `SUGGEST COMPLETE 'prefix'`: rank completions for a partial
+    /// statement prefix (attribute or value position, inferred from the
+    /// prefix text).
+    Complete {
+        /// The raw partial statement text, verbatim.
+        prefix: String,
+    },
+}
+
+/// `SUGGEST NEXT FOR view` / `SUGGEST COMPLETE 'prefix'`, optionally
+/// wrapped in `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuggestStmt {
+    /// What to suggest.
+    pub kind: SuggestKind,
+    /// `EXPLAIN ANALYZE SUGGEST ...`: append ranking timings and
+    /// stats-cache traffic to the output instead of the bare ranking.
+    pub analyze: bool,
+}
+
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -106,4 +136,6 @@ pub enum Statement {
     ShowCadViews,
     /// `DROP CADVIEW name`: remove a stored CAD View.
     DropCadView(String),
+    /// `SUGGEST NEXT FOR view` / `SUGGEST COMPLETE 'prefix'`.
+    Suggest(SuggestStmt),
 }

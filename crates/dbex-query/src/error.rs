@@ -55,7 +55,7 @@ impl fmt::Display for ParseError {
             ParseError::UnknownStatement { found } => write!(
                 f,
                 "expected SELECT, CREATE CADVIEW, EXPLAIN, DESCRIBE, SHOW CADVIEWS, DROP \
-                 CADVIEW, HIGHLIGHT or REORDER, found {found}"
+                 CADVIEW, HIGHLIGHT, REORDER or SUGGEST, found {found}"
             ),
             ParseError::TrailingInput { near } => {
                 write!(f, "unexpected trailing input near {near}")

@@ -37,7 +37,9 @@ pub mod lexer;
 pub mod parser;
 pub mod session;
 
-pub use ast::{CadViewStmt, HighlightStmt, ReorderStmt, SelectStmt, Statement};
+pub use ast::{
+    CadViewStmt, HighlightStmt, ReorderStmt, SelectStmt, Statement, SuggestKind, SuggestStmt,
+};
 pub use error::{CaughtPanic, ParseError, QueryError, SessionError};
-pub use parser::parse;
+pub use parser::{parse, parse_predicate};
 pub use session::{QueryOutput, Session, SharedCatalog};

@@ -27,6 +27,12 @@ fn describe(tok: Option<&Token>) -> String {
 /// assert!(parse("DROP TABLE cars").is_err());
 /// ```
 pub fn parse(input: &str) -> Result<Statement> {
+    // SUGGEST is handled before tokenization: `SUGGEST COMPLETE` carries a
+    // raw, by-definition-partial statement prefix (unterminated strings,
+    // dangling operators) that the lexer would reject.
+    if let Some(stmt) = parse_suggest(input)? {
+        return Ok(stmt);
+    }
     let tokens = tokenize(input)?;
     let mut p = Parser { tokens, pos: 0 };
     let stmt = p.statement()?;
@@ -37,6 +43,108 @@ pub fn parse(input: &str) -> Result<Statement> {
         });
     }
     Ok(stmt)
+}
+
+/// Parses `input` as a standalone predicate — the body of a `WHERE`
+/// clause. Used by the suggestion engine to evaluate the *complete*
+/// clauses preceding a partial one.
+pub fn parse_predicate(input: &str) -> Result<Predicate> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let pred = p.predicate()?;
+    if !p.at_end() {
+        return Err(ParseError::TrailingInput {
+            near: describe(p.peek()),
+        });
+    }
+    Ok(pred)
+}
+
+/// Strips the case-insensitive keyword sequence `kws` (whole words,
+/// whitespace-separated) from the front of `text`; `None` on mismatch.
+fn strip_kw_seq<'a>(text: &'a str, kws: &[&str]) -> Option<&'a str> {
+    let mut rest = text;
+    for kw in kws {
+        let t = rest.trim_start();
+        // Byte-wise compare: the keywords are pure ASCII, so a matched
+        // prefix always ends on a char boundary even in multi-byte input.
+        let tb = t.as_bytes();
+        if tb.len() < kw.len() || !tb[..kw.len()].eq_ignore_ascii_case(kw.as_bytes()) {
+            return None;
+        }
+        let after = &t[kw.len()..];
+        if after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return None;
+        }
+        rest = after;
+    }
+    Some(rest)
+}
+
+/// Recognizes `[EXPLAIN ANALYZE] SUGGEST NEXT FOR view` and
+/// `[EXPLAIN ANALYZE] SUGGEST COMPLETE ['prefix'|prefix]` on the raw
+/// input. Returns `Ok(None)` when the input is not a SUGGEST statement.
+fn parse_suggest(input: &str) -> Result<Option<Statement>> {
+    let trimmed = input.trim();
+    let (analyze, rest) = match strip_kw_seq(trimmed, &["EXPLAIN", "ANALYZE", "SUGGEST"]) {
+        Some(rest) => (true, rest),
+        None => match strip_kw_seq(trimmed, &["SUGGEST"]) {
+            Some(rest) => (false, rest),
+            None => return Ok(None),
+        },
+    };
+    if let Some(rest) = strip_kw_seq(rest, &["NEXT", "FOR"]) {
+        let view = rest.trim().trim_end_matches(';').trim();
+        if view.is_empty() {
+            return Err(ParseError::UnexpectedEnd);
+        }
+        if !view
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(ParseError::UnexpectedToken {
+                expected: "CAD View name".to_owned(),
+                found: view.to_owned(),
+            });
+        }
+        return Ok(Some(Statement::Suggest(SuggestStmt {
+            kind: SuggestKind::Next {
+                view: view.to_owned(),
+            },
+            analyze,
+        })));
+    }
+    if let Some(rest) = strip_kw_seq(rest, &["COMPLETE"]) {
+        let body = rest.trim().trim_end_matches(';').trim();
+        // An optional single-quote wrapping protects leading/trailing
+        // whitespace in the prefix; inner quotes are left untouched.
+        let prefix = if body.len() >= 2 && body.starts_with('\'') && body.ends_with('\'') {
+            &body[1..body.len() - 1]
+        } else {
+            body
+        };
+        if prefix.trim().is_empty() {
+            return Err(ParseError::UnexpectedEnd);
+        }
+        return Ok(Some(Statement::Suggest(SuggestStmt {
+            kind: SuggestKind::Complete {
+                prefix: prefix.to_owned(),
+            },
+            analyze,
+        })));
+    }
+    Err(ParseError::UnexpectedToken {
+        expected: "NEXT FOR <view> or COMPLETE <prefix>".to_owned(),
+        found: rest
+            .split_whitespace()
+            .next()
+            .unwrap_or("end of input")
+            .to_owned(),
+    })
 }
 
 struct Parser {
@@ -649,5 +757,14 @@ mod tests {
     #[test]
     fn semicolon_tolerated() {
         assert!(parse("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn multibyte_input_never_panics_keyword_stripping() {
+        // Keyword stripping walks byte offsets; multi-byte chars at a
+        // keyword-length boundary must fail the match, not panic.
+        for input in ["ééééééé", "ÉXPLAIN ANALYZE x", "SUGGESTé", "SUGGEST NEXT FOR café"] {
+            let _ = parse(input);
+        }
     }
 }

@@ -3,12 +3,13 @@
 
 use crate::ast::*;
 use crate::error::{CaughtPanic, QueryError, SessionError};
-use crate::parser::parse;
+use crate::parser::{parse, parse_predicate};
 use dbex_core::{
     build_cad_view_traced, CadRequest, CadView, ExecBudget, Preference, StatsCache, Tracer,
 };
 use dbex_obs::TraceSink;
-use dbex_table::{group_by, sort_view, SortKey, Table, Value, View};
+use dbex_suggest::{CompletionMode, SuggestConfig, SuggestError};
+use dbex_table::{group_by, sort_view, Predicate, SortKey, Table, Value, View};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,6 +49,15 @@ pub enum QueryOutput {
     Reordered(Vec<(String, f64)>),
     /// Free-form text output (`DESCRIBE`, `EXPLAIN CADVIEW`).
     Text(String),
+    /// `SUGGEST` ranking: a headline plus `(text, score, annotation)`
+    /// entries, best first. Scores render with fixed `{:.4}` precision so
+    /// the output is byte-identical at any thread count.
+    Suggestions {
+        /// Headline describing what was ranked.
+        title: String,
+        /// Ranked entries: completion/attribute text, score, annotation.
+        items: Vec<(String, f64, String)>,
+    },
 }
 
 impl QueryOutput {
@@ -128,6 +138,23 @@ impl QueryOutput {
             }
             QueryOutput::Text(text) => {
                 let _ = writeln!(out, "{text}");
+            }
+            QueryOutput::Suggestions { title, items } => {
+                let _ = writeln!(out, "{title}");
+                if items.is_empty() {
+                    let _ = writeln!(out, "  (no suggestions)");
+                }
+                let width = items.iter().map(|(t, _, _)| t.len()).max().unwrap_or(0);
+                for (i, (text, score, detail)) in items.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "  {}. {:<width$}  score {:.4}  {}",
+                        i + 1,
+                        text,
+                        score,
+                        detail
+                    );
+                }
             }
         }
         out
@@ -222,6 +249,11 @@ pub struct Session {
     /// catalog a `dbex-serve` connection shares with every other session.
     catalog: Option<Arc<SharedCatalog>>,
     cad_views: HashMap<String, CadView>,
+    /// Source context of each stored CAD View — `(table, predicate)` from
+    /// its `CREATE CADVIEW` statement. [`CadView`] itself only keeps the
+    /// summarized result, but `SUGGEST NEXT FOR view` must re-derive the
+    /// *current refined result set* the view was built over.
+    view_contexts: HashMap<String, (String, Predicate)>,
     budget: ExecBudget,
     /// Worker threads for CAD View builds: `1` = sequential (default),
     /// `0` = auto (`DBEX_THREADS` / hardware parallelism).
@@ -452,8 +484,10 @@ impl Session {
                 if self.cad_views.remove(&name).is_none() {
                     return Err(SessionError::UnknownCadView { name }.into());
                 }
+                self.view_contexts.remove(&name);
                 Ok(QueryOutput::Text(format!("dropped CAD View {name}\n")))
             }
+            Statement::Suggest(s) => self.run_suggest(s),
         }
     }
 
@@ -697,6 +731,8 @@ impl Session {
         let rendered = cad.render();
         let degradation = cad.degradation.iter().map(|d| d.to_string()).collect();
         let trace = cad.trace.as_ref().map(|t| t.render());
+        self.view_contexts
+            .insert(c.name.clone(), (c.table.clone(), c.predicate.clone()));
         self.cad_views.insert(c.name.clone(), cad);
         Ok(QueryOutput::Cad {
             name: c.name,
@@ -704,6 +740,185 @@ impl Session {
             degradation,
             trace,
         })
+    }
+
+    /// Maps a [`SuggestError`] onto the session's typed error hierarchy.
+    fn suggest_error(e: SuggestError) -> QueryError {
+        match e {
+            SuggestError::UnknownAttribute(name) => {
+                QueryError::Table(dbex_table::Error::UnknownAttribute(name))
+            }
+            SuggestError::PivotOutOfRange { pivot, .. } => QueryError::Table(
+                dbex_table::Error::UnknownAttribute(format!("pivot column #{pivot}")),
+            ),
+        }
+    }
+
+    /// Suggestion config derived from the session's thread setting.
+    fn suggest_config(&self) -> SuggestConfig {
+        SuggestConfig {
+            threads: self.threads.unwrap_or(1),
+            ..SuggestConfig::default()
+        }
+    }
+
+    fn run_suggest(&mut self, s: SuggestStmt) -> Result<QueryOutput> {
+        match s.kind {
+            SuggestKind::Next { view } => self.run_suggest_next(&view, s.analyze),
+            SuggestKind::Complete { prefix } => self.run_suggest_complete(&prefix, s.analyze),
+        }
+    }
+
+    /// `SUGGEST NEXT FOR view`: re-derives the view's refined result set
+    /// from its stored `(table, predicate)` context and ranks candidate
+    /// next-step attributes against the view's pivot by information gain
+    /// (symmetrical uncertainty). Contingency tables land in the session's
+    /// stats cache keyed on the refined view's fingerprint, so repeating
+    /// the statement over an unchanged view is all cache hits.
+    fn run_suggest_next(&self, view_name: &str, analyze: bool) -> Result<QueryOutput> {
+        let cad = self.cad_view(view_name)?;
+        let (table_name, predicate) =
+            self.view_contexts
+                .get(view_name)
+                .ok_or_else(|| SessionError::UnknownCadView {
+                    name: view_name.to_owned(),
+                })?;
+        let table = self.table(table_name)?;
+        let result = table.filter(predicate)?;
+        let report = dbex_suggest::suggest_next(
+            &result,
+            cad.pivot_attr,
+            &self.suggest_config(),
+            Some(&self.stats_cache),
+        )
+        .map_err(Self::suggest_error)?;
+        let items: Vec<(String, f64, String)> = report
+            .suggestions
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    s.score,
+                    format!("gain {:.4} nats over {} values", s.gain, s.cardinality),
+                )
+            })
+            .collect();
+        let title = format!(
+            "next steps for {view_name} (pivot {}, {} rows):",
+            report.pivot_name, report.view_rows
+        );
+        if analyze {
+            let mut out = format!("SUGGEST NEXT FOR {view_name}\n");
+            out.push_str(&format!("  pivot: {}\n", report.pivot_name));
+            out.push_str(&format!(
+                "  candidates: {} ranked over {} rows\n",
+                report.candidates, report.view_rows
+            ));
+            out.push_str(&format!("  rank time: {:.1?}\n", report.elapsed));
+            out.push_str(&format!(
+                "  cache traffic: {} hit(s), {} miss(es)\n",
+                report.cache_hits, report.cache_misses
+            ));
+            out.push_str(&format!("  stats cache: {}\n", self.stats_cache.stats()));
+            out.push_str(&QueryOutput::Suggestions { title, items }.render());
+            return Ok(QueryOutput::Text(out));
+        }
+        Ok(QueryOutput::Suggestions { title, items })
+    }
+
+    /// Table names visible to this session (local registrations shadow the
+    /// shared catalog), sorted.
+    fn visible_table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        if let Some(catalog) = &self.catalog {
+            for name in catalog.names() {
+                if !self.tables.contains_key(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// `SUGGEST COMPLETE prefix`: analyzes the partial statement, refines
+    /// the target table by the complete predicate clauses preceding the
+    /// partial one, and ranks either attribute names or values for the
+    /// cursor position. Completion is best-effort on the *context*: an
+    /// unparseable preceding clause falls back to the unrefined table
+    /// rather than erroring (the user is mid-keystroke), but an unknown
+    /// table or attribute is a typed error.
+    fn run_suggest_complete(&self, prefix: &str, analyze: bool) -> Result<QueryOutput> {
+        let analysis = dbex_suggest::analyze_prefix(prefix);
+        let table_name = match analysis.table {
+            Some(name) => name,
+            // No FROM in the prefix: unambiguous only when the session
+            // sees exactly one table.
+            None => {
+                let names = self.visible_table_names();
+                if names.len() == 1 {
+                    names.into_iter().next().unwrap_or_default()
+                } else {
+                    return Err(SessionError::UnknownTable {
+                        name: "(no FROM clause in prefix)".to_owned(),
+                    }
+                    .into());
+                }
+            }
+        };
+        let table = self.table(&table_name)?;
+        let context_pred = analysis
+            .context
+            .as_deref()
+            .and_then(|ctx| parse_predicate(ctx).ok());
+        let result = match &context_pred {
+            Some(pred) => table.filter(pred).unwrap_or_else(|_| table.full_view()),
+            None => table.full_view(),
+        };
+        let started = std::time::Instant::now();
+        let cfg = self.suggest_config();
+        let cache = Some(self.stats_cache.as_ref());
+        let (what, items) = match analysis.mode {
+            CompletionMode::Attribute { partial } => {
+                let items = dbex_suggest::complete_attribute(&result, &partial, &cfg, cache);
+                let what = if partial.is_empty() {
+                    "attribute".to_owned()
+                } else {
+                    format!("attribute '{partial}'")
+                };
+                (what, items)
+            }
+            CompletionMode::Value { attr, partial } => {
+                let items = dbex_suggest::complete_value(&result, &attr, &partial, &cfg, cache)
+                    .map_err(Self::suggest_error)?;
+                (format!("value for {attr}"), items)
+            }
+        };
+        let elapsed = started.elapsed();
+        let items: Vec<(String, f64, String)> = items
+            .into_iter()
+            .map(|i| (i.text, i.score, i.detail))
+            .collect();
+        let title = format!(
+            "complete {what} over {table_name} ({} rows):",
+            result.len()
+        );
+        if analyze {
+            let mut out = format!("SUGGEST COMPLETE {prefix}\n");
+            out.push_str(&format!(
+                "  context: {}\n",
+                if context_pred.is_some() {
+                    analysis.context.as_deref().unwrap_or("(none)")
+                } else {
+                    "(none)"
+                }
+            ));
+            out.push_str(&format!("  rank time: {:.1?}\n", elapsed));
+            out.push_str(&format!("  stats cache: {}\n", self.stats_cache.stats()));
+            out.push_str(&QueryOutput::Suggestions { title, items }.render());
+            return Ok(QueryOutput::Text(out));
+        }
+        Ok(QueryOutput::Suggestions { title, items })
     }
 
     /// Result-size floor below which [`Session::preview_create_cadview`]

@@ -286,6 +286,14 @@ struct Queues {
 /// connection gets exactly one hot job in its lifetime, so cold-lane
 /// starvation is bounded by the connection-accept rate, which the
 /// connection cap in turn bounds.
+///
+/// `SUGGEST` requests also ride the hot lane: they are keystroke-paced,
+/// bounded work (a handful of cached contingency-table lookups, never a
+/// clustering build), and queueing one behind a multi-second CAD build
+/// would defeat its purpose. This keeps the starvation bound: suggest
+/// jobs are cheap by construction, and each connection still runs at
+/// most one job at a time, so the hot lane holds at most one entry per
+/// connection.
 #[derive(Default)]
 struct JobQueue {
     hot: VecDeque<Job>,
@@ -1065,7 +1073,9 @@ impl EventLoop {
                     // between requests, so this reset is race-free.
                     conn.cancel.store(false, Ordering::Relaxed);
                     conn.running = true;
-                    let first = conn.jobs_started == 0;
+                    // Hot lane: first-request priority, plus the cheap
+                    // keystroke-paced SUGGEST fast path (see [`JobQueue`]).
+                    let first = conn.jobs_started == 0 || is_suggest_request(&request);
                     conn.jobs_started += 1;
                     queues.push_job(
                         Job {
@@ -1294,6 +1304,26 @@ fn output_kind(output: &QueryOutput) -> &'static str {
         QueryOutput::Highlights(_) => "highlights",
         QueryOutput::Reordered(_) => "reordered",
         QueryOutput::Text(_) => "text",
+        QueryOutput::Suggestions { .. } => "suggestions",
+    }
+}
+
+/// Whether a request is a `SUGGEST` statement (optionally under
+/// `EXPLAIN ANALYZE`) — the cheap op class that rides the hot job lane
+/// so it never queues behind CAD builds.
+fn is_suggest_request(request: &str) -> bool {
+    let mut words = request.split_whitespace();
+    match words.next() {
+        Some(w) if w.eq_ignore_ascii_case("SUGGEST") => true,
+        Some(w) if w.eq_ignore_ascii_case("EXPLAIN") => {
+            words
+                .next()
+                .is_some_and(|w| w.eq_ignore_ascii_case("ANALYZE"))
+                && words
+                    .next()
+                    .is_some_and(|w| w.eq_ignore_ascii_case("SUGGEST"))
+        }
+        _ => false,
     }
 }
 

@@ -43,6 +43,12 @@ fn run(session: &mut Session, sql: &str) {
                 println!("  {line}");
             }
         }
+        Ok(QueryOutput::Suggestions { title, items }) => {
+            println!("  {title}");
+            for (text, score, detail) in items.iter().take(5) {
+                println!("  {text} (score {score:.4}, {detail})");
+            }
+        }
         Err(e) => println!("  ERROR: {e}"),
     }
     println!();
@@ -96,6 +102,10 @@ fn main() {
         &mut session,
         "SELECT Class, Odor FROM mushrooms WHERE Odor = foul LIMIT 2",
     );
+
+    // Exploratory assistance: what next, and finish what I was typing.
+    run(&mut session, "SUGGEST NEXT FOR suvs");
+    run(&mut session, "SUGGEST COMPLETE SELECT * FROM cars WHERE Make =");
 
     // Schema inspection and aggregate queries.
     run(&mut session, "DESCRIBE cars");

@@ -35,6 +35,14 @@
 # hammers over the cap) in release mode; shorten with
 # DBEX_SERVE_SOAK_SECS. Opt-in because of its wall-clock cost.
 #
+# The suggest smoke (also available alone via `--suggest-smoke`) checks
+# the SUGGEST surface: the single-session oracle transcript must match
+# the committed golden (tests/snapshots/suggest_wire.txt), three
+# concurrent clients must reproduce it byte-for-byte, the wire frames
+# must carry exactly what the REPL renders, and one planted-correlation
+# seed must recover the planted attribute in the top 3; it is part of
+# the default gate.
+#
 # The store smoke (also available alone via `--store-smoke`) saves a
 # snapshot in a child process, reopens it cold, and fails unless the
 # rehydrated cluster solutions serve the first post-restart build from
@@ -66,8 +74,9 @@
 # The quick workload is deliberately not latency-comparable to the full
 # baseline (the diff reports the mismatch and skips the latency gate),
 # but the diff still parses and schema-checks the committed
-# BENCH_explore.json — so a baseline left stale across a schema bump
-# fails here instead of surfacing minutes into the full gate.
+# BENCH_explore.json — the schema-3 suggest section included — so a
+# baseline left stale across a schema bump fails here instead of
+# surfacing minutes into the full gate.
 #
 # `--kernel-ab` is the scalar ↔ SIMD bit-identity gate: it first runs the
 # whole test suite pinned to the scalar kernels (DBEX_SIMD=scalar), then
@@ -88,6 +97,7 @@ BENCH_SMOKE=0
 BENCH_REGRESSION=0
 OBS_SMOKE_ONLY=0
 SERVE_SMOKE_ONLY=0
+SUGGEST_SMOKE_ONLY=0
 SERVE_SOAK=0
 STORE_SMOKE_ONLY=0
 CRASH_SMOKE=0
@@ -102,11 +112,12 @@ for arg in "$@"; do
     --bench-explore-regression) BENCH_EXPLORE_REGRESSION=1 ;;
     --obs-smoke) OBS_SMOKE_ONLY=1 ;;
     --serve-smoke) SERVE_SMOKE_ONLY=1 ;;
+    --suggest-smoke) SUGGEST_SMOKE_ONLY=1 ;;
     --serve-soak) SERVE_SOAK=1 ;;
     --store-smoke) STORE_SMOKE_ONLY=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
     --kernel-ab) KERNEL_AB=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--bench-explore] [--bench-explore-regression] [--obs-smoke] [--serve-smoke] [--serve-soak] [--store-smoke] [--crash-smoke] [--kernel-ab]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--bench-smoke] [--bench-regression] [--bench-explore] [--bench-explore-regression] [--obs-smoke] [--serve-smoke] [--suggest-smoke] [--serve-soak] [--store-smoke] [--crash-smoke] [--kernel-ab]" >&2; exit 2 ;;
   esac
 done
 
@@ -119,6 +130,12 @@ fi
 if [[ "$SERVE_SMOKE_ONLY" -eq 1 ]]; then
   echo "==> serve smoke (3 concurrent clients vs oracle + golden transcript)"
   cargo run --release --bin serve_smoke
+  exit 0
+fi
+
+if [[ "$SUGGEST_SMOKE_ONLY" -eq 1 ]]; then
+  echo "==> suggest smoke (oracle + golden + REPL/wire identity + planted recovery)"
+  cargo run --release --bin suggest_smoke
   exit 0
 fi
 
@@ -162,6 +179,9 @@ cargo run --release --bin obs_smoke
 
 echo "==> serve smoke (3 concurrent clients vs oracle + golden transcript)"
 cargo run --release --bin serve_smoke
+
+echo "==> suggest smoke (oracle + golden + REPL/wire identity + planted recovery)"
+cargo run --release --bin suggest_smoke
 
 echo "==> store smoke (cross-process warm restart + fault-injected save)"
 cargo run --release --bin store_smoke

@@ -13,8 +13,8 @@
 //!
 //! Dot-commands: `.load cars|mushroom|hotels [rows] [seed]`,
 //! `.open <path> <name> [--lossy]`, `.budget [rows N] [time MS] [iters N]`,
-//! `.threads [N|auto]`, `.trace [on|off]`, `.metrics`, `.tables`,
-//! `.summary <table>`, `.help`, `.quit`.
+//! `.threads [N|auto]`, `.trace [on|off]`, `.suggest <view|partial>`,
+//! `.metrics`, `.tables`, `.summary <table>`, `.help`, `.quit`.
 //! Everything else is fed to the SQL engine (statements may span lines;
 //! terminate with `;`).
 //!
@@ -245,9 +245,31 @@ fn run_connect(args: &[String]) -> i32 {
             }
         }
         let trimmed = line.trim();
+        // Mid-statement `.suggest`: inline completion for the partial
+        // statement typed so far, without consuming the buffer.
+        if !buffer.is_empty() && trimmed == ".suggest" {
+            let sql = format!("SUGGEST COMPLETE {}", buffer.trim());
+            if !send_and_print(&mut client, &sql) {
+                return 1;
+            }
+            continue;
+        }
         if buffer.is_empty() && trimmed.starts_with('.') {
             if trimmed == ".quit" || trimmed == ".exit" {
                 break;
+            }
+            // `.suggest` is client-side sugar for the SUGGEST statement,
+            // so the wire sees the same request a plain SQL client sends.
+            if let Some(rest) = trimmed.strip_prefix(".suggest") {
+                match suggest_to_sql(rest) {
+                    Some(sql) => {
+                        if !send_and_print(&mut client, &sql) {
+                            return 1;
+                        }
+                    }
+                    None => println!("usage: .suggest <view>  or  .suggest <partial statement>"),
+                }
+                continue;
             }
             if !send_and_print(&mut client, trimmed) {
                 return 1;
@@ -336,6 +358,13 @@ fn run_repl() {
             }
         }
         let trimmed = line.trim();
+        // Mid-statement `.suggest`: inline completion for the partial
+        // statement typed so far (e.g. after a dangling WHERE), without
+        // consuming the buffer.
+        if !buffer.is_empty() && trimmed == ".suggest" {
+            shell.run_sql(&format!("SUGGEST COMPLETE {}", buffer.trim()));
+            continue;
+        }
         if buffer.is_empty() && trimmed.starts_with('.') {
             if !shell.dot_command(trimmed) {
                 break;
@@ -388,16 +417,29 @@ impl Shell {
                     "                              auto = DBEX_THREADS or hardware cores)",
                     ".trace [on|off]               trace CAD builds (per-phase span tree;",
                     "                              bare .trace shows the current state)",
+                    ".suggest <view>               rank next-step attributes for a CAD View",
+                    "                              by information gain against its pivot",
+                    ".suggest <partial statement>  rank completions for a partial WHERE;",
+                    "                              mid-statement, bare .suggest completes",
+                    "                              the statement typed so far",
                     ".metrics                      dump the process-wide metrics registry",
                     ".tables                       list registered tables",
                     ".summary <table>              per-column statistics",
                     ".quit                         exit",
                     "Any other input is SQL (end statements with ';'):",
-                    "SELECT, CREATE CADVIEW, EXPLAIN [ANALYZE], DESCRIBE, HIGHLIGHT, REORDER",
+                    "SELECT, CREATE CADVIEW, EXPLAIN [ANALYZE], DESCRIBE, HIGHLIGHT, REORDER,",
+                    "SUGGEST NEXT FOR <view>, SUGGEST COMPLETE <prefix>",
                 ];
                 println!("{}", help.join("\n"));
             }
             ".load" => self.load(&parts),
+            ".suggest" => {
+                let rest = line.strip_prefix(".suggest").unwrap_or("");
+                match suggest_to_sql(rest) {
+                    Some(sql) => self.run_sql(&sql),
+                    None => println!("usage: .suggest <view>  or  .suggest <partial statement>"),
+                }
+            }
             ".open" => self.open(&parts),
             ".save" => self.save(&parts),
             ".budget" => self.budget(&parts),
@@ -696,6 +738,28 @@ impl Shell {
             Ok(output) => print_output(&output),
             Err(e) => println!("error: {e}"),
         }
+    }
+}
+
+/// Translates the tail of a `.suggest` dot-command into its SQL `SUGGEST`
+/// statement: a single bare word is a stored CAD View name (`SUGGEST NEXT
+/// FOR v`); anything longer is a partial statement prefix (`SUGGEST
+/// COMPLETE ...`). Both the local shell and `--connect` route through
+/// this, so the wire sees the same request a plain SQL client sends and
+/// the rendered output is byte-identical.
+fn suggest_to_sql(rest: &str) -> Option<String> {
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return None;
+    }
+    let single_word = rest.split_whitespace().count() == 1
+        && rest
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if single_word {
+        Some(format!("SUGGEST NEXT FOR {rest}"))
+    } else {
+        Some(format!("SUGGEST COMPLETE {rest}"))
     }
 }
 

@@ -19,6 +19,9 @@
 //!   stats cache, length-prefixed requests, JSON-line responses.
 //! * [`store`] — crash-safe durable catalog: checksummed columnar
 //!   snapshots, atomic manifest swaps, fault-injected recovery.
+//! * [`suggest`] — exploratory assistance: information-gain next-step
+//!   recommendation and data-informed predicate completion behind the
+//!   `SUGGEST` statements.
 //! * [`data`] — synthetic UsedCars / Mushroom dataset generators.
 //! * [`explore`] — multi-session exploration benchmark: seeded synthetic
 //!   dataset generator, trace generator, and wire-protocol session
@@ -54,6 +57,7 @@ pub use dbex_query as query;
 pub use dbex_serve as serve;
 pub use dbex_stats as stats;
 pub use dbex_store as store;
+pub use dbex_suggest as suggest;
 pub use dbex_study as study;
 pub use dbex_table as table;
 pub use dbex_topk as topk;

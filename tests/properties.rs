@@ -498,6 +498,80 @@ proptest! {
         let _ = HEADER_LEN; // referenced for the doc link above
     }
 
+    // ------------------------------------------------------------------
+    // SUGGEST: ranking and completion invariants over arbitrary tables.
+    // New counterexamples persist to tests/properties.proptest-regressions
+    // next to the older properties — keep that file checked in.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn suggest_scores_bounded_sorted_and_deterministic(table in arb_table()) {
+        use dbexplorer::suggest::{suggest_next, SuggestConfig};
+        let view = table.full_view();
+        let cfg = SuggestConfig { limit: usize::MAX, ..SuggestConfig::default() };
+        let report = suggest_next(&view, 0, &cfg, None).unwrap();
+        for s in &report.suggestions {
+            prop_assert!(s.attr != 0, "pivot suggested itself");
+            prop_assert!(s.score.is_finite());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s.score), "SU {} out of [0,1]", s.score);
+            prop_assert!(s.score > 0.0, "constant attribute survived the cut");
+        }
+        // Strict total order: score descending, column index ascending on ties.
+        for w in report.suggestions.windows(2) {
+            prop_assert!(
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].attr < w[1].attr),
+                "ranking violates (score desc, attr asc): {:?} then {:?}",
+                (w[0].attr, w[0].score),
+                (w[1].attr, w[1].score)
+            );
+        }
+        // Parallel scoring is byte-identical to sequential, float bits included.
+        let par_cfg = SuggestConfig { threads: 4, limit: usize::MAX, ..SuggestConfig::default() };
+        let par = suggest_next(&view, 0, &par_cfg, None).unwrap();
+        prop_assert_eq!(report.suggestions.len(), par.suggestions.len());
+        for (a, b) in report.suggestions.iter().zip(&par.suggestions) {
+            prop_assert_eq!(a.attr, b.attr);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn value_completion_frequencies_form_a_distribution(
+        table in arb_table(),
+        partial_idx in 0usize..5,
+    ) {
+        use dbexplorer::suggest::{complete_value, SuggestConfig};
+        let partial = ["", "c", "C1", "c2", "zzz"][partial_idx];
+        let view = table.full_view();
+        let cfg = SuggestConfig { limit: usize::MAX, ..SuggestConfig::default() };
+        let items = complete_value(&view, "Cat", partial, &cfg, None).unwrap();
+        let needle = partial.to_ascii_lowercase();
+        for item in &items {
+            prop_assert!(item.text.to_ascii_lowercase().starts_with(&needle));
+            prop_assert!(item.score > 0.0 && item.score <= 1.0 + 1e-9);
+        }
+        for w in items.windows(2) {
+            prop_assert!(w[0].score >= w[1].score, "completion not sorted by frequency");
+        }
+        if partial.is_empty() {
+            // No nulls in arb_table: the frequencies are a full distribution.
+            let total: f64 = items.iter().map(|i| i.score).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "frequencies sum to {total}");
+        }
+        // The unknown-attribute path is a typed error, never a panic.
+        prop_assert!(complete_value(&view, "NoSuchAttr", partial, &cfg, None).is_err());
+    }
+
+    #[test]
+    fn analyze_prefix_never_panics(input in arb_utf8()) {
+        use dbexplorer::suggest::{analyze_prefix, CompletionMode};
+        let analysis = analyze_prefix(&input);
+        // A value completion always knows which attribute it completes.
+        if let CompletionMode::Value { attr, .. } = &analysis.mode {
+            prop_assert!(!attr.is_empty());
+        }
+    }
+
     #[test]
     fn wire_responses_round_trip_any_text(ok_bit in 0u8..2, tag in arb_utf8(), text in arb_utf8()) {
         use dbexplorer::serve::WireResponse;
@@ -514,5 +588,31 @@ proptest! {
         prop_assert!(line.chars().all(|c| (c as u32) >= 0x20));
         let parsed = WireResponse::parse(&line).unwrap();
         prop_assert_eq!(parsed, resp);
+    }
+}
+
+/// Explicit replay of the counterexample committed in
+/// `tests/properties.proptest-regressions` (shrunk to a single value in a
+/// single bin by `histogram_edges_monotone_and_total`). Pinned as a plain
+/// test so the degenerate-histogram case survives even if the regressions
+/// file is ever pruned.
+#[test]
+fn histogram_regression_single_value_single_bin() {
+    let values = [71515.76335789483];
+    for strategy in [
+        BinningStrategy::EquiWidth,
+        BinningStrategy::EquiDepth,
+        BinningStrategy::VOptimal,
+        BinningStrategy::MaxDiff,
+    ] {
+        let h = Histogram::build(&values, 1, strategy).unwrap();
+        let edges = h.edges();
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "{strategy:?}: non-monotone {edges:?}");
+        }
+        assert_eq!(h.num_bins(), 1);
+        assert_eq!(h.bin_of(values[0]), 0);
+        assert_eq!(h.bin_of(f64::MIN), 0);
+        assert_eq!(h.bin_of(f64::MAX), 0);
     }
 }

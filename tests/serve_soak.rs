@@ -14,11 +14,14 @@
 //!   DBEX_SERVE_SOAK_SECS=10 cargo test --release --test serve_soak -- --ignored
 //!   ```
 //!
-//! Worker zoo: well-behaved explorers, streamed-preview clients (half of
-//! whom vanish between the preview and the exact frame), clients that
-//! disconnect mid-request, clients that abort mid-frame, oversized-frame
-//! senders, invalid-UTF-8 senders, and connection hammers that overrun
-//! the cap.
+//! Worker zoo: well-behaved explorers (who also lean on SUGGEST between
+//! drills), streamed-preview clients (half of whom vanish between the
+//! preview and the exact frame), clients that disconnect mid-request or
+//! mid-suggest, clients that abort mid-frame, oversized-frame senders
+//! (including oversized partial-predicate SUGGEST frames), invalid-UTF-8
+//! senders, a suggest churner that drops its view out from under its own
+//! `SUGGEST NEXT` (typed error, never a panic), and connection hammers
+//! that overrun the cap.
 //! Afterwards the server must show zero caught panics, `BUSY` rejections
 //! (the cap held under pressure), and a connection gauge back at 0 — no
 //! leaked sessions, threads, or slots.
@@ -73,6 +76,8 @@ fn run_soak(secs: u64, rows: usize) {
     let stop = Arc::new(AtomicBool::new(false));
     let busy_seen = Arc::new(AtomicU64::new(0));
     let requests_ok = Arc::new(AtomicU64::new(0));
+    let suggest_ok = Arc::new(AtomicU64::new(0));
+    let suggest_typed_errors = Arc::new(AtomicU64::new(0));
 
     std::thread::scope(|scope| {
         // 3 well-behaved explorers: full exploration rounds, reconnect
@@ -96,7 +101,9 @@ fn run_soak(secs: u64, rows: usize) {
                     for request in [
                         "SELECT Make FROM cars WHERE BodyType = SUV LIMIT 3",
                         "CREATE CADVIEW v AS SET pivot = Make FROM cars LIMIT COLUMNS 2 IUNITS 2",
+                        "SUGGEST NEXT FOR v",
                         "REORDER ROWS IN v ORDER BY SIMILARITY(Jeep) DESC",
+                        "SUGGEST COMPLETE SELECT * FROM cars WHERE Make =",
                         ".tables",
                     ] {
                         match client.request(request) {
@@ -208,6 +215,92 @@ fn run_soak(secs: u64, rows: usize) {
             });
         }
 
+        // Suggest churner: keystroke-paced completion bursts, a
+        // mid-suggest disconnecter, an oversized-but-legal partial
+        // predicate, and SUGGEST against a view it just dropped — which
+        // must come back as a typed error frame, never a panic.
+        {
+            let stop = Arc::clone(&stop);
+            let busy_seen = Arc::clone(&busy_seen);
+            let suggest_ok = Arc::clone(&suggest_ok);
+            let suggest_typed_errors = Arc::clone(&suggest_typed_errors);
+            scope.spawn(move || {
+                let huge = format!(
+                    "SUGGEST COMPLETE SELECT * FROM cars WHERE Make = {}",
+                    "x".repeat(64 * 1024)
+                );
+                let mut step = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut client = match Client::connect(addr) {
+                        Ok(c) => c,
+                        Err(ClientError::Busy(_)) => {
+                            busy_seen.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(10));
+                            continue;
+                        }
+                        Err(_) => continue,
+                    };
+                    client.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                    match step % 4 {
+                        0 => {
+                            // Keystroke burst: one completion per "keypress".
+                            for partial in ["", "Mo", "Make ="] {
+                                let req = format!(
+                                    "SUGGEST COMPLETE SELECT * FROM cars WHERE {partial}"
+                                );
+                                match client.request(&req) {
+                                    Ok(resp) if resp.ok => {
+                                        suggest_ok.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Ok(_) => {}
+                                    Err(_) => break, // hammered off
+                                }
+                            }
+                        }
+                        1 => {
+                            // Mid-suggest disconnect: fire and vanish.
+                            let _ = client
+                                .send_only("SUGGEST COMPLETE SELECT * FROM cars WHERE Make =");
+                            drop(client);
+                        }
+                        2 => {
+                            // A partial predicate far past any sane keystroke,
+                            // but inside MAX_FRAME: must be answered, not
+                            // crash the session thread.
+                            if client.request(&huge).is_ok() {
+                                suggest_ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            // Create, drop, then suggest against the corpse.
+                            let built = client
+                                .request(
+                                    "CREATE CADVIEW z AS SET pivot = Make FROM cars \
+                                     LIMIT COLUMNS 2 IUNITS 2",
+                                )
+                                .map(|r| r.ok)
+                                .unwrap_or(false)
+                                && client
+                                    .request("DROP CADVIEW z")
+                                    .map(|r| r.ok)
+                                    .unwrap_or(false);
+                            if built {
+                                if let Ok(resp) = client.request("SUGGEST NEXT FOR z") {
+                                    assert!(
+                                        !resp.ok,
+                                        "SUGGEST against a dropped view must fail"
+                                    );
+                                    suggest_typed_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    step += 1;
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            });
+        }
+
         // Connection hammer: 12 simultaneous holders against a cap of 8 —
         // some MUST be turned away with BUSY, none may be queued forever.
         {
@@ -267,8 +360,21 @@ fn run_soak(secs: u64, rows: usize) {
         requests_ok.load(Ordering::Relaxed) > 0,
         "no well-behaved request succeeded during the soak"
     );
+    assert!(
+        suggest_ok.load(Ordering::Relaxed) > 0,
+        "no SUGGEST request succeeded during the soak"
+    );
+    assert!(
+        suggest_typed_errors.load(Ordering::Relaxed) > 0,
+        "SUGGEST against a dropped view never surfaced its typed error"
+    );
     let ok = requests_ok.load(Ordering::Relaxed);
+    let sok = suggest_ok.load(Ordering::Relaxed);
+    let serr = suggest_typed_errors.load(Ordering::Relaxed);
     let busy = handle.busy_rejections() + busy_seen.load(Ordering::Relaxed);
     handle.shutdown();
-    println!("soak[{secs}s]: {ok} ok requests, {busy} busy rejections, 0 panics, gauge at 0");
+    println!(
+        "soak[{secs}s]: {ok} ok requests, {sok} ok suggests, {serr} typed suggest errors, \
+         {busy} busy rejections, 0 panics, gauge at 0"
+    );
 }
